@@ -1,0 +1,108 @@
+//! Ablation of the middleware's own machinery — the components whose sum
+//! is the paper's 1.4% overhead:
+//!
+//! * adaptive tactic **selection** (covering-set search over descriptors),
+//! * **schema validation** per document,
+//! * **wire codec** (document encode/decode),
+//! * **channel framing** round-trip dispatch,
+//! * dynamic (registry) vs static (hard-coded) **tactic dispatch**.
+//!
+//! Also measures the padding ablation: RND with and without length
+//! bucketing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datablinder_core::cloud::CloudEngine;
+use datablinder_core::metadata::validate_document;
+use datablinder_core::registry::TacticRegistry;
+use datablinder_core::wire::{decode_document, encode_document};
+use datablinder_fhir::{example_observation, observation_schema};
+use datablinder_netsim::{Channel, CloudService, LatencyModel, NetError};
+use datablinder_primitives::keys::SymmetricKey;
+use datablinder_sse::rnd::RndCipher;
+use datablinder_workload::clients::bench_schema;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    let registry = TacticRegistry::with_builtins();
+    let schema = observation_schema();
+    g.bench_function("tactic_selection_per_field", |b| {
+        let annotation = schema.fields["value"].annotation.as_ref().unwrap();
+        b.iter(|| registry.select("value", annotation).unwrap());
+    });
+    g.bench_function("tactic_selection_whole_schema", |b| {
+        b.iter(|| {
+            for (field, annotation) in schema.sensitive_fields() {
+                registry.select(field, annotation).unwrap();
+            }
+        });
+    });
+
+    let doc = example_observation();
+    g.bench_function("schema_validation", |b| {
+        b.iter(|| validate_document(&schema, &doc).unwrap());
+    });
+
+    g.bench_function("wire_document_roundtrip", |b| {
+        b.iter(|| decode_document(&encode_document(&doc)).unwrap());
+    });
+
+    // Channel framing dispatch without any handler work.
+    struct Null;
+    impl CloudService for Null {
+        fn handle(&self, _route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+            Ok(payload.to_vec())
+        }
+    }
+    let null_channel = Channel::connect(Null, LatencyModel::instant());
+    let payload = encode_document(&doc);
+    g.bench_function("channel_framing_roundtrip", |b| {
+        b.iter(|| null_channel.call("echo/echo", &payload).unwrap());
+    });
+
+    // Full cloud engine dispatch on an unknown-free route (doc/count).
+    let engine_channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    g.bench_function("cloud_engine_dispatch", |b| {
+        let count_payload = datablinder_core::cloud::with_collection("c", b"");
+        b.iter(|| engine_channel.call("doc/count", &count_payload).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_registration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_setup");
+    g.sample_size(10);
+    // Schema registration end-to-end (selection + instantiation + index
+    // preparation). Uses the benchmark schema: no Sophos, so no RSA keygen
+    // noise; Paillier keygen dominates by design.
+    g.bench_function("register_schema_with_keygen", |b| {
+        b.iter(|| {
+            let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+            let mut rng = StdRng::seed_from_u64(1);
+            let kms = datablinder_kms::Kms::generate(&mut rng);
+            let mut gw = datablinder_core::gateway::GatewayEngine::new("abl", kms, channel, 1);
+            gw.register_schema(bench_schema()).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_padding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_padding");
+    let mut rng = StdRng::seed_from_u64(2);
+    let key = SymmetricKey::from_bytes(&[9u8; 32]);
+    let padded = RndCipher::new(&key).unwrap();
+    let unpadded = RndCipher::with_bucket(&key, 0).unwrap();
+    let short = b"x";
+    g.bench_function("rnd_padded_1B", |b| b.iter(|| padded.encrypt(&mut rng, short)));
+    g.bench_function("rnd_unpadded_1B", |b| b.iter(|| unpadded.encrypt(&mut rng, short)));
+    // Report the storage ratio once.
+    let cp = padded.encrypt(&mut rng, short).len();
+    let cu = unpadded.encrypt(&mut rng, short).len();
+    println!("\n[padding] 1-byte plaintext: padded {cp} B vs unpadded {cu} B ciphertext");
+    g.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_registration, bench_padding);
+criterion_main!(benches);

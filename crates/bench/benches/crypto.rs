@@ -1,0 +1,110 @@
+//! Micro-benchmarks of the cryptographic substrate: the building blocks
+//! whose cost ratios explain every number in Figure 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datablinder_bigint::{prime, BigUint};
+use datablinder_ope::{Ope, OpeParams};
+use datablinder_ore::{ClwwOre, LewiWuOre};
+use datablinder_paillier::Keypair;
+use datablinder_primitives::aes::Aes;
+use datablinder_primitives::gcm::AesGcm;
+use datablinder_primitives::hmac::hmac_sha256;
+use datablinder_primitives::keys::SymmetricKey;
+use datablinder_primitives::sha256;
+use rand::SeedableRng;
+
+fn bench_hash_and_mac(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives");
+    for size in [64usize, 1024] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256::digest(d));
+        });
+        g.bench_with_input(BenchmarkId::new("hmac_sha256", size), &data, |b, d| {
+            b.iter(|| hmac_sha256(b"key", d));
+        });
+    }
+    let aes = Aes::new(&[7u8; 16]).unwrap();
+    g.bench_function("aes128_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| aes.encrypt_block(&mut block));
+    });
+    let gcm = AesGcm::new(&SymmetricKey::from_bytes(&[7u8; 32])).unwrap();
+    let payload = vec![0u8; 256];
+    g.bench_function("aes256_gcm_seal_256B", |b| {
+        b.iter(|| gcm.seal(&[1u8; 12], b"aad", &payload));
+    });
+    g.finish();
+}
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bigint");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for bits in [512usize, 1024] {
+        let a = BigUint::random_bits(&mut rng, bits);
+        let b = BigUint::random_bits(&mut rng, bits);
+        let mut m = BigUint::random_bits(&mut rng, bits);
+        m.set_bit(0, true); // odd modulus for Montgomery
+        m.set_bit(bits - 1, true);
+        g.bench_with_input(BenchmarkId::new("mul", bits), &(a.clone(), b.clone()), |bench, (x, y)| {
+            bench.iter(|| x * y);
+        });
+        g.bench_with_input(BenchmarkId::new("modpow", bits), &(a, b, m), |bench, (x, e, m)| {
+            bench.iter(|| x.modpow(e, m));
+        });
+    }
+    g.sample_size(10);
+    g.bench_function("gen_prime_128", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        b.iter(|| prime::gen_prime(&mut rng, 128));
+    });
+    g.finish();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schemes");
+    g.sample_size(20);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+
+    // Paillier: the dominant tactic cost in the evaluation.
+    let kp = Keypair::generate(&mut rng, 512);
+    g.bench_function("paillier512_encrypt", |b| {
+        b.iter(|| kp.public().encrypt_u64(&mut rng, 1234));
+    });
+    let c1 = kp.public().encrypt_u64(&mut rng, 1);
+    let c2 = kp.public().encrypt_u64(&mut rng, 2);
+    g.bench_function("paillier512_add", |b| {
+        b.iter(|| kp.public().add(&c1, &c2));
+    });
+    g.bench_function("paillier512_decrypt", |b| {
+        b.iter(|| kp.decrypt(&c1).unwrap());
+    });
+
+    // OPE vs ORE: the two range tactics.
+    let ope = Ope::new(SymmetricKey::from_bytes(&[1u8; 32]), OpeParams::default());
+    g.bench_function("ope_encrypt", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            ope.encrypt(x)
+        });
+    });
+    let clww = ClwwOre::new(SymmetricKey::from_bytes(&[2u8; 32]));
+    g.bench_function("ore_clww_encrypt", |b| {
+        b.iter(|| clww.encrypt(123_456_789));
+    });
+    let lw = LewiWuOre::new(SymmetricKey::from_bytes(&[3u8; 32]));
+    g.bench_function("ore_lewiwu_encrypt_right", |b| {
+        b.iter(|| lw.encrypt_right(123_456_789));
+    });
+    let left = lw.encrypt_left(1);
+    let right = lw.encrypt_right(2);
+    g.bench_function("ore_lewiwu_compare", |b| {
+        b.iter(|| LewiWuOre::compare_left_right(&left, &right));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hash_and_mac, bench_bigint, bench_schemes);
+criterion_main!(benches);

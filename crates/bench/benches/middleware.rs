@@ -1,0 +1,95 @@
+//! The middleware-overhead ablation: isolates the cost DataBlinder adds
+//! over hard-coded tactics (the paper's 1.4% claim) per operation class,
+//! without the load generator's noise.
+//!
+//! Each benchmark performs one full operation (client + cloud, in-process
+//! instant channel) in both the hard-coded (S_B) and middleware (S_C)
+//! styles; comparing the two groups gives the dispatch/validation/policy
+//! overhead directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datablinder_core::cloud::CloudEngine;
+use datablinder_fhir::ObservationGenerator;
+use datablinder_netsim::{Channel, LatencyModel};
+use datablinder_workload::clients::{BenchClient, HardcodedClient, MiddlewareClient};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("middleware_overhead_insert");
+    g.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut generator = ObservationGenerator::new(32);
+
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    let mut hard = HardcodedClient::new(channel, 0, 512);
+    g.bench_function("hardcoded", |b| {
+        b.iter(|| hard.insert(&generator.generate(&mut rng)).unwrap());
+    });
+
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    let mut middleware = MiddlewareClient::new(channel, 0);
+    g.bench_function("datablinder", |b| {
+        b.iter(|| middleware.insert(&generator.generate(&mut rng)).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("middleware_overhead_search");
+    g.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut generator = ObservationGenerator::new(16);
+
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    let mut hard = HardcodedClient::new(channel, 0, 512);
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    let mut middleware = MiddlewareClient::new(channel, 0);
+    let mut subjects = Vec::new();
+    for _ in 0..200 {
+        let doc = generator.generate(&mut rng);
+        subjects.push(doc.get("subject").unwrap().as_str().unwrap().to_string());
+        hard.insert(&doc).unwrap();
+        middleware.insert(&doc).unwrap();
+    }
+
+    let mut i = 0usize;
+    g.bench_function("hardcoded", |b| {
+        b.iter(|| {
+            i = (i + 1) % subjects.len();
+            hard.search_subject(&subjects[i]).unwrap()
+        });
+    });
+    let mut j = 0usize;
+    g.bench_function("datablinder", |b| {
+        b.iter(|| {
+            j = (j + 1) % subjects.len();
+            middleware.search_subject(&subjects[j]).unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("middleware_overhead_aggregate");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut generator = ObservationGenerator::new(16);
+
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    let mut hard = HardcodedClient::new(channel, 0, 512);
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    let mut middleware = MiddlewareClient::new(channel, 0);
+    for _ in 0..200 {
+        let doc = generator.generate(&mut rng);
+        hard.insert(&doc).unwrap();
+        middleware.insert(&doc).unwrap();
+    }
+
+    g.bench_function("hardcoded", |b| b.iter(|| hard.average_value().unwrap()));
+    g.bench_function("datablinder", |b| b.iter(|| middleware.average_value().unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_search, bench_aggregate);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Benchmarks of the *static* SSE constructions (2Lev, BIEX-2Lev,
+//! BIEX-ZMF): setup cost, query cost and the read-vs-space trade-off the
+//! paper contrasts in Table 2 ("read and space efficiency, e.g. BIEX-2Lev
+//! and BIEX-ZMF").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datablinder_kvstore::KvStore;
+use datablinder_primitives::keys::SymmetricKey;
+use datablinder_sse::biex::{Biex2LevClient, Biex2LevServer, BiexQuery, BiexZmfClient, BiexZmfServer};
+use datablinder_sse::inverted::InvertedIndex;
+use datablinder_sse::twolev::{TwoLevClient, TwoLevServer};
+use datablinder_sse::DocId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Synthetic corpus: `docs` documents, each with 3 keywords drawn from a
+/// Zipf-flavored pool so common keywords get long postings lists.
+fn corpus(docs: usize) -> InvertedIndex {
+    let mut idx = InvertedIndex::new();
+    for d in 0..docs {
+        let mut id = [0u8; 16];
+        id[..8].copy_from_slice(&(d as u64).to_be_bytes());
+        let id = DocId(id);
+        // keyword pools of decreasing popularity
+        idx.add(format!("common-{}", d % 4).as_bytes(), id);
+        idx.add(format!("mid-{}", d % 32).as_bytes(), id);
+        idx.add(format!("rare-{}", d % 256).as_bytes(), id);
+    }
+    idx
+}
+
+fn bench_twolev(c: &mut Criterion) {
+    let mut g = c.benchmark_group("twolev");
+    g.sample_size(10);
+    for docs in [1_000usize, 4_000] {
+        let idx = corpus(docs);
+        g.bench_with_input(BenchmarkId::new("setup", docs), &idx, |b, idx| {
+            b.iter(|| {
+                let client = TwoLevClient::new(&SymmetricKey::from_bytes(&[1u8; 32]));
+                let server = TwoLevServer::new(KvStore::new(), b"2lev:");
+                let mut rng = StdRng::seed_from_u64(1);
+                client.setup(&mut rng, idx, &server).unwrap();
+            });
+        });
+
+        let client = TwoLevClient::new(&SymmetricKey::from_bytes(&[1u8; 32]));
+        let server = TwoLevServer::new(KvStore::new(), b"2lev:");
+        let mut rng = StdRng::seed_from_u64(1);
+        client.setup(&mut rng, &idx, &server).unwrap();
+        g.bench_with_input(BenchmarkId::new("search_long_list", docs), &(), |b, _| {
+            b.iter(|| {
+                let token = client.search_token(b"common-1");
+                let buckets = server.search(&token).unwrap();
+                client.resolve(b"common-1", &buckets).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_biex_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("biex_read_vs_space");
+    g.sample_size(10);
+    let idx = corpus(1_000);
+
+    // BIEX-2Lev: heavy setup (pair materialization), light queries.
+    let c2 = Biex2LevClient::new(&SymmetricKey::from_bytes(&[1u8; 32]));
+    let s2 = Biex2LevServer::new(KvStore::new(), b"biex:");
+    let mut rng = StdRng::seed_from_u64(2);
+    c2.setup(&mut rng, &idx, &s2).unwrap();
+
+    // BIEX-ZMF: light setup (one filter per keyword), heavier queries.
+    let cz = BiexZmfClient::new(&SymmetricKey::from_bytes(&[2u8; 32]));
+    let sz = BiexZmfServer::new(KvStore::new(), b"zmf:");
+    cz.setup(&mut rng, &idx, &sz).unwrap();
+
+    let query = BiexQuery::conjunction(vec![b"common-1".to_vec(), b"mid-1".to_vec()]);
+
+    g.bench_function("2lev_conjunction", |b| {
+        b.iter(|| {
+            let t = c2.search_token(&query);
+            let resp = s2.search(&t).unwrap();
+            c2.resolve(&query, &resp).unwrap()
+        });
+    });
+    g.bench_function("zmf_conjunction", |b| {
+        b.iter(|| {
+            let t = cz.search_token(&query);
+            let resp = sz.search(&t).unwrap();
+            cz.resolve(&query, &resp).unwrap()
+        });
+    });
+    // Storage footprint comparison, printed once for the record.
+    println!(
+        "\n[storage] biex-2lev pair entries: {} | biex-zmf filters: {} ({} bytes)",
+        s2.pair_count(),
+        sz.filter_count(),
+        sz.filter_bytes()
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_twolev, bench_biex_variants);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Per-tactic operation benchmarks through the SPI adapters — the
+//! per-operation cost model behind the tactic descriptors' `PerfMetrics`
+//! ranks (Fig. 1 "performance metrics").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datablinder_core::spi::{CloudTactic, GatewayTactic};
+use datablinder_core::tactics::{self, TacticContext};
+use datablinder_docstore::Value;
+use datablinder_kms::Kms;
+use datablinder_kvstore::KvStore;
+use datablinder_sse::DocId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ctx(scope: &str) -> TacticContext {
+    let mut rng = StdRng::seed_from_u64(1);
+    TacticContext {
+        application: "bench".into(),
+        schema: "obs".into(),
+        scope: scope.into(),
+        kms: Kms::generate(&mut rng),
+    }
+}
+
+fn bench_protect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tactic_protect");
+    g.sample_size(30);
+    let mut rng = StdRng::seed_from_u64(2);
+    let value = Value::from("final");
+    let numeric = Value::from(6.3f64);
+    let id = DocId([1; 16]);
+
+    let mut rnd = tactics::rnd::RndTactic::build(&ctx("f")).unwrap();
+    g.bench_function("rnd", |b| b.iter(|| rnd.protect(&mut rng, "f", &value, id).unwrap()));
+
+    let mut det = tactics::det::DetTactic::build(&ctx("f")).unwrap();
+    g.bench_function("det", |b| b.iter(|| det.protect(&mut rng, "f", &value, id).unwrap()));
+
+    let mut mitra = tactics::mitra::MitraTactic::build(&ctx("f")).unwrap();
+    g.bench_function("mitra", |b| b.iter(|| mitra.protect(&mut rng, "f", &value, id).unwrap()));
+
+    let mut sophos = tactics::sophos::SophosTactic::build(&ctx("f"), &mut rng).unwrap();
+    g.bench_function("sophos", |b| b.iter(|| sophos.protect(&mut rng, "f", &value, id).unwrap()));
+
+    let mut ope = tactics::ope::OpeTactic::build(&ctx("f")).unwrap();
+    g.bench_function("ope", |b| b.iter(|| ope.protect(&mut rng, "f", &numeric, id).unwrap()));
+
+    let mut ore = tactics::ore::OreTactic::build(&ctx("f")).unwrap();
+    g.bench_function("ore", |b| b.iter(|| ore.protect(&mut rng, "f", &numeric, id).unwrap()));
+
+    let mut paillier = tactics::paillier::PaillierTactic::build(&ctx("f"), &mut rng).unwrap();
+    g.bench_function("paillier", |b| b.iter(|| paillier.protect(&mut rng, "f", &numeric, id).unwrap()));
+
+    let mut biex = tactics::biex::BiexTactic::build(&ctx("__bool__"), tactics::biex::BiexVariant::TwoLev).unwrap();
+    let literals = vec![
+        ("status".to_string(), Value::from("final")),
+        ("code".to_string(), Value::from("glucose")),
+        ("value".to_string(), Value::from("high")),
+    ];
+    g.bench_function("biex_2lev_document", |b| {
+        b.iter(|| biex.protect_document(&mut rng, &literals, id).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_search_round(c: &mut Criterion) {
+    // Full client->cloud->client round per tactic, in-process (no channel),
+    // over an index preloaded with 1000 postings for the queried keyword.
+    let mut g = c.benchmark_group("tactic_search_1000");
+    g.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(3);
+    let value = Value::from("needle");
+
+    // Mitra.
+    let mut mitra = tactics::mitra::MitraTactic::build(&ctx("f")).unwrap();
+    let mitra_cloud = tactics::mitra::MitraCloud::new(KvStore::new());
+    for i in 0..1000u32 {
+        let mut idb = [0u8; 16];
+        idb[..4].copy_from_slice(&i.to_be_bytes());
+        let p = mitra.protect(&mut rng, "f", &value, DocId(idb)).unwrap();
+        for call in &p.index_calls {
+            let parts: Vec<&str> = call.route.split('/').collect();
+            mitra_cloud.handle(parts[2], parts[3], &call.payload).unwrap();
+        }
+    }
+    g.bench_function("mitra", |b| {
+        b.iter(|| {
+            let calls = mitra.eq_query("f", &value).unwrap();
+            let parts: Vec<&str> = calls[0].route.split('/').collect();
+            let resp = mitra_cloud.handle(parts[2], parts[3], &calls[0].payload).unwrap();
+            mitra.eq_resolve("f", &value, &[resp]).unwrap()
+        })
+    });
+
+    // Sophos: the cloud-side trapdoor-permutation walk makes searches much
+    // costlier than Mitra's plain multi-get — the trade for statelessness
+    // of updates.
+    let mut sophos = tactics::sophos::SophosTactic::build(&ctx("f"), &mut rng).unwrap();
+    let sophos_cloud = tactics::sophos::SophosCloud::new(KvStore::new());
+    for i in 0..1000u32 {
+        let mut idb = [0u8; 16];
+        idb[..4].copy_from_slice(&i.to_be_bytes());
+        let p = sophos.protect(&mut rng, "f", &value, DocId(idb)).unwrap();
+        for call in &p.index_calls {
+            let parts: Vec<&str> = call.route.split('/').collect();
+            sophos_cloud.handle(parts[2], parts[3], &call.payload).unwrap();
+        }
+    }
+    g.bench_function("sophos", |b| {
+        b.iter(|| {
+            let calls = sophos.eq_query("f", &value).unwrap();
+            let parts: Vec<&str> = calls[0].route.split('/').collect();
+            let resp = sophos_cloud.handle(parts[2], parts[3], &calls[0].payload).unwrap();
+            sophos.eq_resolve("f", &value, &[resp]).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_protect, bench_search_round);
+criterion_main!(benches);

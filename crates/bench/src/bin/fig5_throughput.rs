@@ -1,0 +1,25 @@
+//! Regenerates **Figure 5**: per-operation and overall throughput for the
+//! three scenarios (S_A no protection, S_B hard-coded tactics, S_C
+//! DataBlinder), plus the paper's two headline numbers (~44% tactic cost,
+//! ~1.4% middleware overhead).
+//!
+//! ```sh
+//! cargo run --release -p datablinder-bench --bin fig5_throughput
+//! cargo run --release -p datablinder-bench --bin fig5_throughput -- --full   # paper scale
+//! ```
+
+use datablinder_bench::{run_all_scenarios, EvalConfig};
+use datablinder_workload::report::render_figure5;
+
+fn main() {
+    let cfg = EvalConfig::from_args();
+    let (sa, sb, sc) = run_all_scenarios(cfg);
+    println!(
+        "\nworkload: {} requests x 3 scenarios, {} workers, {} patients, mixed insert/search/aggregate\n",
+        cfg.requests, cfg.workers, cfg.patient_pool
+    );
+    println!("{}", render_figure5(&[&sa, &sb, &sc]));
+    for r in [&sa, &sb, &sc] {
+        assert_eq!(r.failed, 0, "{}: failed requests", r.label);
+    }
+}

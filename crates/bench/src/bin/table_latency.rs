@@ -1,0 +1,29 @@
+//! Regenerates the **§5.2 latency table**: overall average and 50th/75th/
+//! 99th percentile latency for S_A / S_B / S_C.
+//!
+//! ```sh
+//! cargo run --release -p datablinder-bench --bin table_latency
+//! ```
+
+use datablinder_bench::{run_all_scenarios, EvalConfig};
+use datablinder_workload::report::render_latency_table;
+
+fn main() {
+    let cfg = EvalConfig::from_args();
+    let (sa, sb, sc) = run_all_scenarios(cfg);
+    println!();
+    println!("{}", render_latency_table(&[&sa, &sb, &sc]));
+    println!(
+        "note: the paper observed that \"the execution of aggregate protocols, namely the\n\
+         Paillier PHE, had a considerable impact on these numbers\" — compare:\n"
+    );
+    for r in [&sa, &sb, &sc] {
+        println!(
+            "  {}: aggregate p99 = {:?}, search p99 = {:?}, insert p99 = {:?}",
+            r.label,
+            r.aggregate.percentile(0.99),
+            r.search.percentile(0.99),
+            r.insert.percentile(0.99),
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Shared harness code for the evaluation binaries.
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §3):
+//!
+//! * `fig5_throughput` — Figure 5 (S_A/S_B/S_C throughput comparison),
+//! * `table_latency` — the §5.2 latency percentile table,
+//! * `table1_spi` — Table 1 (SPI interface matrix),
+//! * `table2_tactics` — Table 2 (tactic inventory from live registry
+//!   introspection).
+
+
+#![warn(missing_docs)]
+use datablinder_core::cloud::CloudEngine;
+use datablinder_netsim::{Channel, LatencyModel};
+use datablinder_workload::clients::{HardcodedClient, MiddlewareClient, PlainClient};
+use datablinder_workload::runner::{run_scenario, ScenarioReport, ScenarioSpec};
+
+/// Workload sizing for the Figure-5 / latency-table runs.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// Concurrent workers.
+    pub workers: usize,
+    /// Total requests per scenario.
+    pub requests: usize,
+    /// Distinct patients (search-result sizes).
+    pub patient_pool: usize,
+    /// Paillier modulus bits for the hard-coded client (the middleware
+    /// client always uses its registry default, 512).
+    pub paillier_bits: usize,
+    /// Channel latency model (`instant`, `lan`, `metro`, `wan`). The
+    /// paper's deployment crossed a real network (private OpenStack to a
+    /// public cloud provider); `metro` with real sleeping is the default
+    /// so round trips cost wall-clock time like they did there.
+    pub net: &'static str,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { workers: 8, requests: 4_000, patient_pool: 64, paillier_bits: 512, net: "metro" }
+    }
+}
+
+impl EvalConfig {
+    /// Parses `--workers N --requests N --full` style CLI arguments.
+    pub fn from_args() -> Self {
+        let mut cfg = EvalConfig::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--workers" => {
+                    cfg.workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(cfg.workers);
+                }
+                "--requests" => {
+                    cfg.requests = args.next().and_then(|v| v.parse().ok()).unwrap_or(cfg.requests);
+                }
+                "--patients" => {
+                    cfg.patient_pool = args.next().and_then(|v| v.parse().ok()).unwrap_or(cfg.patient_pool);
+                }
+                "--net" => {
+                    cfg.net = match args.next().as_deref() {
+                        Some("instant") => "instant",
+                        Some("lan") => "lan",
+                        Some("wan") => "wan",
+                        _ => "metro",
+                    };
+                }
+                // The paper's full scale: ~151k requests, 1000 users.
+                "--full" => {
+                    cfg.workers = 64;
+                    cfg.requests = 151_000;
+                    cfg.patient_pool = 1000;
+                }
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+        }
+        cfg
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            workers: self.workers,
+            requests: self.requests,
+            patient_pool: self.patient_pool,
+            ..ScenarioSpec::default()
+        }
+    }
+}
+
+/// Runs the three §5.2 scenarios against fresh cloud engines and returns
+/// `(S_A, S_B, S_C)` reports.
+pub fn run_all_scenarios(cfg: EvalConfig) -> (ScenarioReport, ScenarioReport, ScenarioReport) {
+    // All scenarios share one latency model; each worker gets its own
+    // channel handle to one shared per-scenario cloud engine.
+    let spec = cfg.spec();
+    let model = match cfg.net {
+        "instant" => LatencyModel::instant(),
+        "lan" => LatencyModel { real_sleep: true, ..LatencyModel::lan() },
+        "wan" => LatencyModel { real_sleep: true, ..LatencyModel::wan() },
+        _ => LatencyModel { real_sleep: true, ..LatencyModel::metro() },
+    };
+
+    eprintln!("running S_A (no middleware, no tactics): {} requests / {} workers", cfg.requests, cfg.workers);
+    let cloud_a = Channel::connect(CloudEngine::new(), model);
+    let sa = run_scenario("S_A", spec, |w| Box::new(PlainClient::new(cloud_a.clone(), w as u64)));
+
+    eprintln!("running S_B (hard-coded tactics)");
+    let cloud_b = Channel::connect(CloudEngine::new(), model);
+    let sb = run_scenario("S_B", spec, |w| {
+        Box::new(HardcodedClient::new(cloud_b.clone(), w as u64, cfg.paillier_bits))
+    });
+
+    eprintln!("running S_C (DataBlinder middleware)");
+    let cloud_c = Channel::connect(CloudEngine::new(), model);
+    let sc = run_scenario("S_C", spec, |w| Box::new(MiddlewareClient::new(cloud_c.clone(), w as u64)));
+
+    (sa, sb, sc)
+}

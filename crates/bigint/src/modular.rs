@@ -1,0 +1,348 @@
+//! Modular arithmetic: exponentiation (with Montgomery multiplication for
+//! odd moduli), inverses, and GCD.
+
+use crate::signed::BigInt;
+use crate::uint::BigUint;
+use crate::BigIntError;
+
+impl BigUint {
+    /// Greatest common divisor (binary GCD).
+    ///
+    /// ```
+    /// use datablinder_bigint::BigUint;
+    /// let g = BigUint::from(48u64).gcd(&BigUint::from(18u64));
+    /// assert_eq!(g, BigUint::from(6u64));
+    /// ```
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let az = a.trailing_zeros().unwrap();
+        let bz = b.trailing_zeros().unwrap();
+        let common = az.min(bz);
+        a = &a >> az;
+        b = &b >> bz;
+        loop {
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = &b - &a;
+            if b.is_zero() {
+                return &a << common;
+            }
+            b = &b >> b.trailing_zeros().unwrap();
+        }
+    }
+
+    /// Least common multiple.
+    pub fn lcm(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        &(self / &self.gcd(other)) * other
+    }
+
+    /// Modular addition: `(self + rhs) mod m`.
+    pub fn modadd(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        &(&(self % m) + &(rhs % m)) % m
+    }
+
+    /// Modular subtraction: `(self - rhs) mod m`, wrapping correctly.
+    pub fn modsub(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        let a = self % m;
+        let b = rhs % m;
+        if a >= b {
+            &a - &b
+        } else {
+            &(&a + m) - &b
+        }
+    }
+
+    /// Modular multiplication: `(self * rhs) mod m`.
+    pub fn modmul(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        &(self * rhs) % m
+    }
+
+    /// Modular exponentiation `self^exp mod m`.
+    ///
+    /// Uses Montgomery multiplication for odd moduli (the common case for
+    /// RSA/Paillier) and square-and-multiply with explicit reduction
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow with zero modulus");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        if m.is_odd() {
+            let ctx = MontgomeryCtx::new(m);
+            return ctx.modpow(self, exp);
+        }
+        // Fallback for even moduli: plain square-and-multiply.
+        let mut base = self % m;
+        let mut result = BigUint::one();
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                result = result.modmul(&base, m);
+            }
+            if i + 1 < exp.bits() {
+                base = base.modmul(&base, m);
+            }
+        }
+        result
+    }
+
+    /// Modular inverse: finds `x` with `self * x ≡ 1 (mod m)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BigIntError::NotInvertible`] when `gcd(self, m) != 1`, and
+    /// [`BigIntError::DivisionByZero`] when `m` is zero.
+    pub fn modinv(&self, m: &BigUint) -> Result<BigUint, BigIntError> {
+        if m.is_zero() {
+            return Err(BigIntError::DivisionByZero);
+        }
+        if m.is_one() {
+            return Ok(BigUint::zero());
+        }
+        let (g, x, _) = BigInt::from(self.clone()).extended_gcd(&BigInt::from(m.clone()));
+        if !g.magnitude().is_one() {
+            return Err(BigIntError::NotInvertible);
+        }
+        Ok(x.rem_euclid_by(m))
+    }
+}
+
+/// Montgomery-form modular arithmetic context for an odd modulus.
+///
+/// Precomputes `n' = -n^{-1} mod 2^64` and `R^2 mod n` so repeated
+/// multiplications avoid full divisions.
+pub struct MontgomeryCtx {
+    n: BigUint,
+    n_limbs: usize,
+    /// -n^{-1} mod 2^64
+    n_prime: u64,
+    /// R^2 mod n where R = 2^(64 * n_limbs)
+    r2: BigUint,
+}
+
+impl MontgomeryCtx {
+    /// Creates a context for odd modulus `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or zero.
+    pub fn new(n: &BigUint) -> Self {
+        assert!(n.is_odd(), "Montgomery context requires an odd modulus");
+        let n_limbs = n.limbs.len();
+        // Newton iteration for the inverse of n mod 2^64.
+        let n0 = n.limbs[0];
+        let mut inv = n0; // correct mod 2^3
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n_prime = inv.wrapping_neg();
+        let r = &BigUint::one() << (64 * n_limbs);
+        let r2 = &(&r * &r) % n;
+        MontgomeryCtx { n: n.clone(), n_limbs, n_prime, r2 }
+    }
+
+    /// Montgomery reduction of `t` (up to 2n_limbs wide): returns `t * R^{-1} mod n`.
+    fn redc(&self, t: &BigUint) -> BigUint {
+        let k = self.n_limbs;
+        let mut a = t.limbs.clone();
+        a.resize(2 * k + 1, 0);
+        for i in 0..k {
+            let m = a[i].wrapping_mul(self.n_prime);
+            // a += m * n << (64*i)
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let s = a[i + j] as u128 + m as u128 * self.n.limbs[j] as u128 + carry;
+                a[i + j] = s as u64;
+                carry = s >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let s = a[idx] as u128 + carry;
+                a[idx] = s as u64;
+                carry = s >> 64;
+                idx += 1;
+            }
+        }
+        let mut out = BigUint::from_limbs(a[k..].to_vec());
+        if out >= self.n {
+            out = &out - &self.n;
+        }
+        out
+    }
+
+    /// Converts into Montgomery form.
+    fn to_mont(&self, x: &BigUint) -> BigUint {
+        self.redc(&(&(x % &self.n) * &self.r2))
+    }
+
+    /// Multiplies two Montgomery-form values.
+    fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.redc(&(a * b))
+    }
+
+    /// `base^exp mod n` using a 4-bit fixed window.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        let mone = self.redc(&self.r2); // R mod n = Montgomery form of 1
+        let mbase = self.to_mont(base);
+
+        // Precompute mbase^0..mbase^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(mone.clone());
+        for i in 1..16 {
+            let prev: &BigUint = &table[i - 1];
+            table.push(self.mont_mul(prev, &mbase));
+        }
+
+        let bits = exp.bits();
+        let mut acc = mone;
+        let mut i = bits;
+        while i > 0 {
+            let take = i.min(4);
+            for _ in 0..take {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            i -= take;
+            let mut window = 0usize;
+            for b in 0..take {
+                window = (window << 1) | exp.bit(i + take - 1 - b) as usize;
+            }
+            if window != 0 {
+                acc = self.mont_mul(&acc, &table[window]);
+            }
+        }
+        self.redc(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+        assert_eq!(big(5).gcd(&big(0)), big(5));
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(17).gcd(&big(31)), big(1));
+        assert_eq!(big(1 << 20).gcd(&big(1 << 13)), big(1 << 13));
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(big(4).lcm(&big(6)), big(12));
+        assert_eq!(big(0).lcm(&big(6)), big(0));
+    }
+
+    #[test]
+    fn modpow_small_oracle() {
+        // Oracle: u128 exponentiation by squaring.
+        fn oracle(mut b: u128, mut e: u128, m: u128) -> u128 {
+            let mut r = 1u128 % m;
+            b %= m;
+            while e > 0 {
+                if e & 1 == 1 {
+                    r = r * b % m;
+                }
+                b = b * b % m;
+                e >>= 1;
+            }
+            r
+        }
+        let cases = [
+            (2u128, 10u128, 1000u128),
+            (7, 128, 13),
+            (123456789, 987654321, 1000000007),
+            (5, 0, 7),
+            (0, 5, 7),
+            (6, 3, 9),       // non-coprime base
+            (3, 100, 2u128.pow(32)), // even modulus path
+        ];
+        for (b, e, m) in cases {
+            assert_eq!(
+                big(b).modpow(&big(e), &big(m)).to_u128(),
+                Some(oracle(b, e, m)),
+                "case {b}^{e} mod {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn modpow_mod_one_is_zero() {
+        assert_eq!(big(5).modpow(&big(3), &big(1)), BigUint::zero());
+    }
+
+    #[test]
+    fn montgomery_matches_plain() {
+        // Odd multi-limb modulus; compare against the even-modulus fallback
+        // by computing with modmul chain.
+        let m = BigUint::from_limbs(vec![0xFFFF_FFFF_FFFF_FFC5, 0xFFFF_FFFF_FFFF_FFFF, 1]);
+        let base = BigUint::from_limbs(vec![0x1234_5678_9ABC_DEF0, 0x0FED_CBA9_8765_4321]);
+        let exp = big(65537);
+        let fast = base.modpow(&exp, &m);
+        // slow square-and-multiply
+        let mut slow = BigUint::one();
+        let mut b = &base % &m;
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                slow = slow.modmul(&b, &m);
+            }
+            b = b.modmul(&b, &m);
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn modinv_roundtrip() {
+        let m = big(1000000007);
+        for a in [2u128, 3, 999999999, 123456] {
+            let inv = big(a).modinv(&m).unwrap();
+            assert_eq!(big(a).modmul(&inv, &m), BigUint::one(), "a={a}");
+        }
+    }
+
+    #[test]
+    fn modinv_not_invertible() {
+        assert_eq!(big(6).modinv(&big(9)), Err(BigIntError::NotInvertible));
+        assert_eq!(big(5).modinv(&BigUint::zero()), Err(BigIntError::DivisionByZero));
+    }
+
+    #[test]
+    fn modsub_wraps() {
+        assert_eq!(big(3).modsub(&big(5), &big(7)), big(5));
+        assert_eq!(big(5).modsub(&big(3), &big(7)), big(2));
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) ≡ 1 mod p for prime p, a not divisible by p.
+        let p = big(2147483647); // Mersenne prime 2^31-1
+        for a in [2u128, 3, 7, 1234567] {
+            assert_eq!(big(a).modpow(&(&p - &BigUint::one()), &p), BigUint::one());
+        }
+    }
+}

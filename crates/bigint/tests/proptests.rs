@@ -1,0 +1,118 @@
+//! Property-based tests: BigUint arithmetic must agree with a `u128`
+//! oracle on small values and satisfy ring axioms on large ones.
+
+use datablinder_bigint::{BigInt, BigUint};
+use proptest::prelude::*;
+
+fn big(v: u128) -> BigUint {
+    BigUint::from(v)
+}
+
+/// Strategy producing a BigUint of up to 6 limbs from raw parts.
+fn arb_biguint() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..6).prop_map(|limbs| {
+        let mut v = BigUint::zero();
+        for (i, l) in limbs.into_iter().enumerate() {
+            v = &v + &(&BigUint::from(l) << (64 * i));
+        }
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in 0u128..(1 << 126), b in 0u128..(1 << 126)) {
+        prop_assert_eq!((&big(a) + &big(b)).to_u128(), Some(a + b));
+    }
+
+    #[test]
+    fn sub_matches_u128(a: u128, b: u128) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!((&big(hi) - &big(lo)).to_u128(), Some(hi - lo));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in 0u128..(1 << 64), b in 0u128..(1 << 64)) {
+        prop_assert_eq!((&big(a) * &big(b)).to_u128(), Some(a * b));
+    }
+
+    #[test]
+    fn divrem_matches_u128(a: u128, b in 1u128..u128::MAX) {
+        let (q, r) = big(a).divrem(&big(b));
+        prop_assert_eq!(q.to_u128(), Some(a / b));
+        prop_assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    #[test]
+    fn div_reconstruction(a in arb_biguint(), b in arb_biguint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn mul_commutes_and_associates(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn distributivity(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn shift_is_mul_by_power_of_two(a in arb_biguint(), s in 0usize..130) {
+        let pow = &BigUint::one() << s;
+        prop_assert_eq!(&a << s, &a * &pow);
+    }
+
+    #[test]
+    fn dec_string_roundtrip(a in arb_biguint()) {
+        let s = a.to_string();
+        prop_assert_eq!(BigUint::from_dec_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in arb_biguint()) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn modpow_fermat(p in prop::sample::select(vec![1000000007u64, 2147483647, 65537, 104729]), a in arb_biguint()) {
+        let p = BigUint::from(p);
+        prop_assume!(!(&a % &p).is_zero());
+        let e = &p - &BigUint::one();
+        prop_assert_eq!(a.modpow(&e, &p), BigUint::one());
+    }
+
+    #[test]
+    fn modinv_is_inverse(m in prop::sample::select(vec![1000000007u64, 2147483647, 998244353]), a in arb_biguint()) {
+        let m = BigUint::from(m);
+        prop_assume!(!(&a % &m).is_zero());
+        let inv = a.modinv(&m).unwrap();
+        prop_assert_eq!(a.modmul(&inv, &m), BigUint::one());
+    }
+
+    #[test]
+    fn extended_gcd_bezout(a in arb_biguint(), b in arb_biguint()) {
+        let ia = BigInt::from(a.clone());
+        let ib = BigInt::from(b.clone());
+        let (g, x, y) = ia.extended_gcd(&ib);
+        let lhs = &(&ia * &x) + &(&ib * &y);
+        prop_assert_eq!(&lhs, &g);
+        prop_assert_eq!(g.magnitude(), &a.gcd(&b));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in arb_biguint(), b in arb_biguint()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+}

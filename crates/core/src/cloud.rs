@@ -1,0 +1,428 @@
+//! The cloud engine: the untrusted-zone half of the middleware (Fig. 4,
+//! right side). Dispatches channel requests to the document store, the KV
+//! substrate and the cloud halves of the tactics. Sees only ciphertexts,
+//! tokens and opaque index entries.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use datablinder_docstore::{DocStore, Filter, Value};
+use datablinder_kvstore::KvStore;
+use datablinder_netsim::{CloudService, NetError};
+use datablinder_sse::encoding::{Reader, Writer};
+use datablinder_sse::DocId;
+
+use crate::cloudproto::{FindIdsDnf, FindIdsEq, FindIdsRange};
+use crate::error::CoreError;
+use crate::spi::CloudTactic;
+use crate::tactics;
+use crate::tactics::encode_ids;
+use crate::wire::{decode_document, encode_document, encode_documents};
+
+/// The cloud-side engine. Construct, then wrap into a
+/// [`datablinder_netsim::Channel`].
+pub struct CloudEngine {
+    docs: DocStore,
+    kv: KvStore,
+    tactics: HashMap<&'static str, Arc<dyn CloudTactic>>,
+}
+
+impl CloudEngine {
+    /// Creates an engine with every built-in cloud tactic registered.
+    pub fn new() -> Self {
+        let docs = DocStore::new();
+        let kv = KvStore::new();
+        let mut engine = CloudEngine { docs: docs.clone(), kv: kv.clone(), tactics: HashMap::new() };
+        engine.register(Arc::new(tactics::mitra::MitraCloud::new(kv.clone())));
+        engine.register(Arc::new(tactics::sophos::SophosCloud::new(kv.clone())));
+        engine.register(Arc::new(tactics::ore::OreCloud::new(kv.clone())));
+        engine.register(Arc::new(tactics::paillier::PaillierCloud::new(kv.clone(), docs.clone())));
+        engine.register(Arc::new(tactics::biex::BiexCloud::new(kv.clone(), tactics::biex::BiexVariant::TwoLev)));
+        engine.register(Arc::new(tactics::biex::BiexCloud::new(kv, tactics::biex::BiexVariant::Zmf)));
+        engine
+    }
+
+    /// Registers a cloud tactic handler (SPI extension point).
+    pub fn register(&mut self, tactic: Arc<dyn CloudTactic>) {
+        self.tactics.insert(tactic.name(), tactic);
+    }
+
+    /// The underlying document store (inspection/tests).
+    pub fn docs(&self) -> &DocStore {
+        &self.docs
+    }
+
+    /// The underlying KV store (inspection/tests).
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+
+    fn dispatch(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, CoreError> {
+        let parts: Vec<&str> = route.split('/').collect();
+        match parts.as_slice() {
+            ["doc", op] => self.handle_doc(op, payload),
+            ["batch"] => {
+                // Executes a list of (route, payload) calls in one round
+                // trip; responses are returned in order. Amortizes channel
+                // latency for multi-call operations (batched inserts).
+                let mut r = Reader::new(payload);
+                let items = r.list()?;
+                if items.len() % 2 != 0 {
+                    return Err(CoreError::Wire("batch item count"));
+                }
+                let mut w = Writer::new();
+                let mut responses = Vec::with_capacity(items.len() / 2);
+                for pair in items.chunks(2) {
+                    let route = std::str::from_utf8(&pair[0]).map_err(|_| CoreError::Wire("utf8 route"))?;
+                    if route == "batch" {
+                        return Err(CoreError::UnsupportedOperation("nested batch".into()));
+                    }
+                    responses.push(self.dispatch(route, &pair[1])?);
+                }
+                w.list(&responses);
+                Ok(w.finish())
+            }
+            ["kv", "del_prefix"] => {
+                let n = self.kv.del_prefix(payload) as u64;
+                Ok(n.to_be_bytes().to_vec())
+            }
+            ["kv", "bulk_put"] => {
+                let mut r = Reader::new(payload);
+                let pairs = r.list()?;
+                if pairs.len() % 2 != 0 {
+                    return Err(CoreError::Wire("bulk_put pair count"));
+                }
+                for kv in pairs.chunks(2) {
+                    self.kv.set(&kv[0], &kv[1]);
+                }
+                Ok(Vec::new())
+            }
+            ["tactic", name, scope, op] => {
+                let tactic = self
+                    .tactics
+                    .get(name)
+                    .ok_or_else(|| CoreError::UnsupportedOperation(format!("unknown cloud tactic {name}")))?;
+                tactic.handle(scope, op, payload)
+            }
+            _ => Err(CoreError::UnsupportedOperation(format!("unknown route {route}"))),
+        }
+    }
+
+    fn handle_doc(&self, op: &str, payload: &[u8]) -> Result<Vec<u8>, CoreError> {
+        match op {
+            "insert" => {
+                let (collection, rest) = split_collection(payload)?;
+                let doc = decode_document(rest)?;
+                self.docs.collection(&collection).insert(doc)?;
+                Ok(Vec::new())
+            }
+            "update" => {
+                let (collection, rest) = split_collection(payload)?;
+                let doc = decode_document(rest)?;
+                self.docs.collection(&collection).update(doc)?;
+                Ok(Vec::new())
+            }
+            "get" => {
+                let (collection, rest) = split_collection(payload)?;
+                let id = std::str::from_utf8(rest).map_err(|_| CoreError::Wire("utf8 id"))?;
+                let doc = self.docs.collection(&collection).get(id).ok_or_else(|| CoreError::NotFound(id.to_string()))?;
+                Ok(encode_document(&doc))
+            }
+            "get_many" => {
+                let (collection, rest) = split_collection(payload)?;
+                let mut r = Reader::new(rest);
+                let ids = r.list()?;
+                r.finish()?;
+                let coll = self.docs.collection(&collection);
+                let docs: Vec<_> = ids
+                    .iter()
+                    .filter_map(|id| std::str::from_utf8(id).ok().and_then(|s| coll.get(s)))
+                    .collect();
+                Ok(encode_documents(&docs))
+            }
+            "delete" => {
+                let (collection, rest) = split_collection(payload)?;
+                let id = std::str::from_utf8(rest).map_err(|_| CoreError::Wire("utf8 id"))?;
+                self.docs.collection(&collection).delete(id)?;
+                Ok(Vec::new())
+            }
+            "count" => {
+                let (collection, _) = split_collection(payload)?;
+                let n = self.docs.collection(&collection).len() as u64;
+                Ok(n.to_be_bytes().to_vec())
+            }
+            "extreme" => {
+                // Min/max over a stored order-preserving field: the cloud
+                // picks the extreme *ciphertext* (byte order = plaintext
+                // order for OPE shadow fields) and returns the document id.
+                let (collection, rest) = split_collection(payload)?;
+                if rest.is_empty() {
+                    return Err(CoreError::Wire("extreme payload"));
+                }
+                let want_max = rest[0] == 1;
+                let field = std::str::from_utf8(&rest[1..]).map_err(|_| CoreError::Wire("utf8 field"))?;
+                let docs = self.docs.collection(&collection).find(&Filter::Exists(field.to_string()));
+                let best = docs
+                    .iter()
+                    .filter_map(|d| d.get(field).and_then(Value::as_bytes).map(|b| (b.to_vec(), d.id().to_string())))
+                    .reduce(|a, b| {
+                        let a_wins = if want_max { a.0 >= b.0 } else { a.0 <= b.0 };
+                        if a_wins {
+                            a
+                        } else {
+                            b
+                        }
+                    });
+                match best {
+                    None => Ok(Vec::new()),
+                    Some((_, id)) => Ok(id.into_bytes()),
+                }
+            }
+            "list_ids" => {
+                let (collection, _) = split_collection(payload)?;
+                let mut ids = self.docs.collection(&collection).ids();
+                ids.sort();
+                let mut w = Writer::new();
+                w.list(&ids.into_iter().map(String::into_bytes).collect::<Vec<_>>());
+                Ok(w.finish())
+            }
+            "ensure_index" => {
+                let (collection, rest) = split_collection(payload)?;
+                let field = std::str::from_utf8(rest).map_err(|_| CoreError::Wire("utf8 field"))?;
+                self.docs.collection(&collection).create_index(field);
+                Ok(Vec::new())
+            }
+            "find_ids_eq" => {
+                let req = FindIdsEq::decode(payload)?;
+                let hits = self.docs.collection(&req.collection).find(&Filter::eq(req.field, req.value));
+                Ok(ids_of(&hits))
+            }
+            "find_ids_range" => {
+                let req = FindIdsRange::decode(payload)?;
+                let hits = self.docs.collection(&req.collection).find(&Filter::between(req.field, req.lo, req.hi));
+                Ok(ids_of(&hits))
+            }
+            "find_ids_dnf" => {
+                let req = FindIdsDnf::decode(payload)?;
+                let filter = Filter::or(
+                    req.dnf
+                        .into_iter()
+                        .map(|conj| Filter::and(conj.into_iter().map(|(f, v)| Filter::eq(f, v)).collect()))
+                        .collect(),
+                );
+                let hits = self.docs.collection(&req.collection).find(&filter);
+                Ok(ids_of(&hits))
+            }
+            "agg_plain" => {
+                // Plaintext aggregate for the S_A baseline: avg/sum over a
+                // numeric field, like a database would compute natively.
+                let (collection, rest) = split_collection(payload)?;
+                let field = std::str::from_utf8(rest).map_err(|_| CoreError::Wire("utf8 field"))?;
+                let docs = self.docs.collection(&collection).find(&Filter::Exists(field.to_string()));
+                let mut sum = 0.0f64;
+                let mut count = 0u64;
+                for d in &docs {
+                    if let Some(v) = d.get(field).and_then(Value::as_f64) {
+                        sum += v;
+                        count += 1;
+                    }
+                }
+                let mut out = sum.to_be_bytes().to_vec();
+                out.extend_from_slice(&count.to_be_bytes());
+                Ok(out)
+            }
+            other => Err(CoreError::UnsupportedOperation(format!("doc op {other}"))),
+        }
+    }
+}
+
+impl Default for CloudEngine {
+    fn default() -> Self {
+        CloudEngine::new()
+    }
+}
+
+impl CloudService for CloudEngine {
+    fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        self.dispatch(route, payload).map_err(|e| NetError::Remote(e.to_string()))
+    }
+}
+
+/// Encodes a `(collection, rest)` payload.
+pub fn with_collection(collection: &str, rest: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + collection.len() + rest.len());
+    out.extend_from_slice(&(collection.len() as u32).to_be_bytes());
+    out.extend_from_slice(collection.as_bytes());
+    out.extend_from_slice(rest);
+    out
+}
+
+fn split_collection(payload: &[u8]) -> Result<(String, &[u8]), CoreError> {
+    if payload.len() < 4 {
+        return Err(CoreError::Wire("collection header"));
+    }
+    let len = u32::from_be_bytes(payload[..4].try_into().unwrap()) as usize;
+    if payload.len() < 4 + len {
+        return Err(CoreError::Wire("collection name"));
+    }
+    let name = String::from_utf8(payload[4..4 + len].to_vec()).map_err(|_| CoreError::Wire("utf8 collection"))?;
+    Ok((name, &payload[4 + len..]))
+}
+
+/// Extracts and encodes the DocIds of documents whose ids are DocId-hex.
+fn ids_of(docs: &[datablinder_docstore::Document]) -> Vec<u8> {
+    let mut ids: Vec<DocId> = docs.iter().filter_map(|d| DocId::from_hex(d.id())).collect();
+    ids.sort();
+    encode_ids(&ids)
+}
+
+/// Encodes a `get_many` request body.
+pub fn get_many_payload(collection: &str, ids: &[DocId]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.list(&ids.iter().map(|id| id.to_hex().into_bytes()).collect::<Vec<_>>());
+    with_collection(collection, &w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datablinder_docstore::Document;
+
+    fn engine() -> CloudEngine {
+        CloudEngine::new()
+    }
+
+    fn doc(idx: u8, status: &str) -> (DocId, Vec<u8>) {
+        let id = DocId([idx; 16]);
+        let d = Document::new(id.to_hex()).with("status", Value::from(status));
+        (id, with_collection("obs", &encode_document(&d)))
+    }
+
+    #[test]
+    fn doc_crud_over_routes() {
+        let e = engine();
+        let (id, payload) = doc(1, "final");
+        e.dispatch("doc/insert", &payload).unwrap();
+        // Duplicate insert fails.
+        assert!(e.dispatch("doc/insert", &payload).is_err());
+
+        let get = with_collection("obs", id.to_hex().as_bytes());
+        let fetched = decode_document(&e.dispatch("doc/get", &get).unwrap()).unwrap();
+        assert_eq!(fetched.get("status"), Some(&Value::from("final")));
+
+        let count = e.dispatch("doc/count", &with_collection("obs", b"")).unwrap();
+        assert_eq!(u64::from_be_bytes(count.try_into().unwrap()), 1);
+
+        e.dispatch("doc/delete", &get).unwrap();
+        assert!(e.dispatch("doc/get", &get).is_err());
+    }
+
+    #[test]
+    fn find_ids_routes() {
+        let e = engine();
+        for (i, s) in [(1u8, "final"), (2, "draft"), (3, "final")] {
+            let (_, payload) = doc(i, s);
+            e.dispatch("doc/insert", &payload).unwrap();
+        }
+        let req = FindIdsEq { collection: "obs".into(), field: "status".into(), value: Value::from("final") };
+        let out = e.dispatch("doc/find_ids_eq", &req.encode()).unwrap();
+        let ids = crate::tactics::decode_ids(&out).unwrap();
+        assert_eq!(ids, vec![DocId([1; 16]), DocId([3; 16])]);
+
+        let req = FindIdsDnf {
+            collection: "obs".into(),
+            dnf: vec![vec![("status".into(), Value::from("draft"))]],
+        };
+        let out = e.dispatch("doc/find_ids_dnf", &req.encode()).unwrap();
+        assert_eq!(crate::tactics::decode_ids(&out).unwrap(), vec![DocId([2; 16])]);
+    }
+
+    #[test]
+    fn get_many_skips_missing() {
+        let e = engine();
+        let (id, payload) = doc(1, "x");
+        e.dispatch("doc/insert", &payload).unwrap();
+        let req = get_many_payload("obs", &[id, DocId([9; 16])]);
+        let docs = crate::wire::decode_documents(&e.dispatch("doc/get_many", &req).unwrap()).unwrap();
+        assert_eq!(docs.len(), 1);
+    }
+
+    #[test]
+    fn kv_bulk_put() {
+        let e = engine();
+        let mut w = Writer::new();
+        w.list(&[b"k1".to_vec(), b"v1".to_vec(), b"k2".to_vec(), b"v2".to_vec()]);
+        e.dispatch("kv/bulk_put", &w.finish()).unwrap();
+        assert_eq!(e.kv().get(b"k1"), Some(b"v1".to_vec()));
+        assert_eq!(e.kv().get(b"k2"), Some(b"v2".to_vec()));
+        // Odd pair count rejected.
+        let mut w = Writer::new();
+        w.list(&[b"k".to_vec()]);
+        assert!(e.dispatch("kv/bulk_put", &w.finish()).is_err());
+    }
+
+    #[test]
+    fn batch_route_executes_in_order_and_rejects_nesting() {
+        let e = engine();
+        let (_, ins) = doc(1, "final");
+        let mut w = Writer::new();
+        w.list(&[
+            b"doc/insert".to_vec(),
+            ins,
+            b"doc/count".to_vec(),
+            with_collection("obs", b""),
+        ]);
+        let out = e.dispatch("batch", &w.finish()).unwrap();
+        let mut r = datablinder_sse::encoding::Reader::new(&out);
+        let responses = r.list().unwrap();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(u64::from_be_bytes(responses[1].clone().try_into().unwrap()), 1);
+
+        // Nested batches are rejected.
+        let mut inner = Writer::new();
+        inner.list(&[b"doc/count".to_vec(), with_collection("obs", b"")]);
+        let mut outer = Writer::new();
+        outer.list(&[b"batch".to_vec(), inner.finish()]);
+        assert!(e.dispatch("batch", &outer.finish()).is_err());
+
+        // Odd item count rejected.
+        let mut odd = Writer::new();
+        odd.list(&[b"doc/count".to_vec()]);
+        assert!(e.dispatch("batch", &odd.finish()).is_err());
+    }
+
+    #[test]
+    fn kv_del_prefix_route() {
+        let e = engine();
+        e.kv().set(b"t/mitra/s/one", b"1");
+        e.kv().set(b"t/mitra/s/two", b"2");
+        e.kv().set(b"t/mitra/other/x", b"3");
+        let out = e.dispatch("kv/del_prefix", b"t/mitra/s/").unwrap();
+        assert_eq!(u64::from_be_bytes(out.try_into().unwrap()), 2);
+        assert!(e.kv().get(b"t/mitra/s/one").is_none());
+        assert!(e.kv().get(b"t/mitra/other/x").is_some());
+    }
+
+    #[test]
+    fn unknown_routes_rejected() {
+        let e = engine();
+        assert!(e.dispatch("nope", &[]).is_err());
+        assert!(e.dispatch("doc/nope", &with_collection("c", b"")).is_err());
+        assert!(e.dispatch("tactic/unknown/s/op", &[]).is_err());
+    }
+
+    #[test]
+    fn agg_plain_computes() {
+        let e = engine();
+        for (i, v) in [(1u8, 10.0f64), (2, 20.0)] {
+            let id = DocId([i; 16]);
+            let d = Document::new(id.to_hex()).with("value", Value::from(v));
+            e.dispatch("doc/insert", &with_collection("obs", &encode_document(&d))).unwrap();
+        }
+        let out = e.dispatch("doc/agg_plain", &with_collection("obs", b"value")).unwrap();
+        let sum = f64::from_be_bytes(out[..8].try_into().unwrap());
+        let count = u64::from_be_bytes(out[8..].try_into().unwrap());
+        assert_eq!(sum, 30.0);
+        assert_eq!(count, 2);
+    }
+}

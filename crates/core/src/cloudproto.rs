@@ -1,0 +1,298 @@
+//! Request/response payload codecs for the document-level cloud routes —
+//! shared by gateway tactic adapters and the cloud engine.
+
+use datablinder_docstore::Value;
+
+use crate::error::CoreError;
+use crate::wire::{decode_value, encode_value};
+
+/// `doc/find_ids_eq`: equality projection query over one stored field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FindIdsEq {
+    /// Target collection.
+    pub collection: String,
+    /// Stored (shadow) field name.
+    pub field: String,
+    /// Stored value to match (ciphertext bytes for DET).
+    pub value: Value,
+}
+
+impl FindIdsEq {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_str(&mut out, &self.collection);
+        put_str(&mut out, &self.field);
+        encode_value(&self.value, &mut out);
+        out
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        let collection = take_str(buf)?;
+        let field = take_str(buf)?;
+        let value = decode_value(buf)?;
+        ensure_empty(buf)?;
+        Ok(FindIdsEq { collection, field, value })
+    }
+}
+
+/// `doc/find_ids_range`: inclusive range projection query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FindIdsRange {
+    /// Target collection.
+    pub collection: String,
+    /// Stored (shadow) field name.
+    pub field: String,
+    /// Inclusive lower bound.
+    pub lo: Value,
+    /// Inclusive upper bound.
+    pub hi: Value,
+}
+
+impl FindIdsRange {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_str(&mut out, &self.collection);
+        put_str(&mut out, &self.field);
+        encode_value(&self.lo, &mut out);
+        encode_value(&self.hi, &mut out);
+        out
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        let collection = take_str(buf)?;
+        let field = take_str(buf)?;
+        let lo = decode_value(buf)?;
+        let hi = decode_value(buf)?;
+        ensure_empty(buf)?;
+        Ok(FindIdsRange { collection, field, lo, hi })
+    }
+}
+
+/// `doc/find_ids_dnf`: boolean projection query in DNF over stored fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FindIdsDnf {
+    /// Target collection.
+    pub collection: String,
+    /// Disjunction of conjunctions of `(stored field, stored value)`.
+    pub dnf: Vec<Vec<(String, Value)>>,
+}
+
+impl FindIdsDnf {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_str(&mut out, &self.collection);
+        out.extend_from_slice(&(self.dnf.len() as u32).to_be_bytes());
+        for conj in &self.dnf {
+            out.extend_from_slice(&(conj.len() as u32).to_be_bytes());
+            for (f, v) in conj {
+                put_str(&mut out, f);
+                encode_value(v, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        let collection = take_str(buf)?;
+        let nconj = take_count(buf)?;
+        let mut dnf = Vec::with_capacity(nconj);
+        for _ in 0..nconj {
+            let nlit = take_count(buf)?;
+            let mut conj = Vec::with_capacity(nlit);
+            for _ in 0..nlit {
+                let f = take_str(buf)?;
+                let v = decode_value(buf)?;
+                conj.push((f, v));
+            }
+            dnf.push(conj);
+        }
+        ensure_empty(buf)?;
+        Ok(FindIdsDnf { collection, dnf })
+    }
+}
+
+/// `agg/paillier/.../sum`: homomorphic sum over a stored ciphertext field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaillierSum {
+    /// Target collection.
+    pub collection: String,
+    /// Stored (shadow) field with Paillier ciphertexts.
+    pub field: String,
+    /// Restrict to these document ids (hex); empty = whole collection.
+    pub ids: Vec<String>,
+}
+
+impl PaillierSum {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_str(&mut out, &self.collection);
+        put_str(&mut out, &self.field);
+        out.extend_from_slice(&(self.ids.len() as u32).to_be_bytes());
+        for id in &self.ids {
+            put_str(&mut out, id);
+        }
+        out
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        let collection = take_str(buf)?;
+        let field = take_str(buf)?;
+        let n = take_count(buf)?;
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(take_str(buf)?);
+        }
+        ensure_empty(buf)?;
+        Ok(PaillierSum { collection, field, ids })
+    }
+}
+
+/// Response to a sum: accumulator ciphertext + number of contributing docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaillierSumResponse {
+    /// The homomorphic accumulator (empty when count is zero).
+    pub ciphertext: Vec<u8>,
+    /// Contributing document count.
+    pub count: u64,
+}
+
+impl PaillierSumResponse {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.count.to_be_bytes());
+        out.extend_from_slice(&self.ciphertext);
+        out
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(buf: &[u8]) -> Result<Self, CoreError> {
+        if buf.len() < 8 {
+            return Err(CoreError::Wire("sum response"));
+        }
+        Ok(PaillierSumResponse {
+            count: u64::from_be_bytes(buf[..8].try_into().unwrap()),
+            ciphertext: buf[8..].to_vec(),
+        })
+    }
+}
+
+// ----------------------------------------------------------------- helpers
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take_str(buf: &mut &[u8]) -> Result<String, CoreError> {
+    if buf.len() < 4 {
+        return Err(CoreError::Wire("truncated string"));
+    }
+    let len = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+    *buf = &buf[4..];
+    if buf.len() < len {
+        return Err(CoreError::Wire("truncated string body"));
+    }
+    let s = String::from_utf8(buf[..len].to_vec()).map_err(|_| CoreError::Wire("utf8"))?;
+    *buf = &buf[len..];
+    Ok(s)
+}
+
+fn take_count(buf: &mut &[u8]) -> Result<usize, CoreError> {
+    if buf.len() < 4 {
+        return Err(CoreError::Wire("truncated count"));
+    }
+    let n = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+    *buf = &buf[4..];
+    if n > buf.len() {
+        return Err(CoreError::Wire("count exceeds buffer"));
+    }
+    Ok(n)
+}
+
+fn ensure_empty(buf: &&[u8]) -> Result<(), CoreError> {
+    if buf.is_empty() {
+        Ok(())
+    } else {
+        Err(CoreError::Wire("trailing bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_ids_eq_roundtrip() {
+        let r = FindIdsEq { collection: "obs".into(), field: "status__det".into(), value: Value::Bytes(vec![1, 2, 3]) };
+        assert_eq!(FindIdsEq::decode(&r.encode()).unwrap(), r);
+        assert!(FindIdsEq::decode(&[1]).is_err());
+    }
+
+    #[test]
+    fn find_ids_range_roundtrip() {
+        let r = FindIdsRange {
+            collection: "obs".into(),
+            field: "eff__ope".into(),
+            lo: Value::Bytes(vec![0; 16]),
+            hi: Value::Bytes(vec![255; 16]),
+        };
+        assert_eq!(FindIdsRange::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn find_ids_dnf_roundtrip() {
+        let r = FindIdsDnf {
+            collection: "obs".into(),
+            dnf: vec![
+                vec![("a".into(), Value::from(1i64)), ("b".into(), Value::from("x"))],
+                vec![("c".into(), Value::Bytes(vec![9]))],
+            ],
+        };
+        assert_eq!(FindIdsDnf::decode(&r.encode()).unwrap(), r);
+        // Empty DNF is legal (matches nothing).
+        let e = FindIdsDnf { collection: "obs".into(), dnf: vec![] };
+        assert_eq!(FindIdsDnf::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn paillier_sum_roundtrip() {
+        let r = PaillierSum { collection: "obs".into(), field: "value__phe".into(), ids: vec!["aa".into(), "bb".into()] };
+        assert_eq!(PaillierSum::decode(&r.encode()).unwrap(), r);
+        let resp = PaillierSumResponse { ciphertext: vec![1, 2, 3], count: 7 };
+        assert_eq!(PaillierSumResponse::decode(&resp.encode()).unwrap(), resp);
+        assert!(PaillierSumResponse::decode(&[1, 2]).is_err());
+    }
+}

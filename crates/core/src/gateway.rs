@@ -1,0 +1,930 @@
+//! The gateway engine: the trusted-zone half of the middleware
+//! (Fig. 4, left side). Exposes the *Entities* interface applications use
+//! (CRUD + search + aggregates), enforces schemas and protection policies,
+//! selects tactics adaptively, and drives the cloud over the channel.
+
+use std::collections::HashMap;
+
+use datablinder_docstore::{Document, Value};
+use datablinder_kms::Kms;
+use datablinder_kvstore::KvStore;
+use datablinder_netsim::Channel;
+use datablinder_sse::DocId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cloud::{get_many_payload, with_collection};
+use crate::error::CoreError;
+use crate::metadata::{validate_document, SchemaStore};
+use crate::model::{AggFn, FieldOp, Schema};
+use crate::registry::{Selection, TacticRegistry};
+use crate::spi::{CloudCall, DnfLiterals, DocIdGen, GatewayTactic, RandomDocIdGen};
+use crate::tactics::{decode_ids, TacticContext};
+use crate::wire::{decode_document, decode_documents, encode_document};
+
+/// Scope name of the shared cross-field boolean tactic instance.
+const BOOL_SCOPE: &str = "__bool__";
+
+/// Per-field execution plan derived from selection.
+#[derive(Debug, Clone)]
+struct FieldPlan {
+    selection: Selection,
+    /// Tactic serving equality queries, if any.
+    eq_tactic: Option<String>,
+    /// Tactic serving range queries, if any.
+    range_tactic: Option<String>,
+    /// Whether the field participates in the shared boolean index.
+    boolean: bool,
+}
+
+/// Per-schema execution plan.
+struct SchemaPlan {
+    schema: Schema,
+    fields: HashMap<String, FieldPlan>,
+    /// Name of the shared boolean tactic (e.g. `biex-2lev`), if any field
+    /// requested boolean search served by a cross-field tactic.
+    bool_tactic: Option<String>,
+}
+
+/// The DataBlinder gateway.
+///
+/// # Examples
+///
+/// See `examples/quickstart.rs` for the end-to-end flow.
+pub struct GatewayEngine {
+    application: String,
+    kms: Kms,
+    registry: TacticRegistry,
+    channel: Channel,
+    schema_store: SchemaStore,
+    plans: HashMap<String, SchemaPlan>,
+    /// Tactic instances keyed by `schema / scope / tactic`.
+    tactics: HashMap<String, Box<dyn GatewayTactic>>,
+    idgen: Box<dyn DocIdGen>,
+    rng: StdRng,
+}
+
+impl GatewayEngine {
+    /// Creates a gateway with the built-in registry and a seeded RNG
+    /// (deterministic runs for benchmarks; use [`GatewayEngine::with_registry`]
+    /// for custom setups).
+    pub fn new(application: &str, kms: Kms, channel: Channel, seed: u64) -> Self {
+        Self::with_registry(application, kms, channel, seed, TacticRegistry::with_builtins())
+    }
+
+    /// Creates a gateway with a custom registry.
+    pub fn with_registry(application: &str, kms: Kms, channel: Channel, seed: u64, registry: TacticRegistry) -> Self {
+        GatewayEngine {
+            application: application.to_string(),
+            kms,
+            registry,
+            channel,
+            schema_store: SchemaStore::new(KvStore::new()),
+            plans: HashMap::new(),
+            tactics: HashMap::new(),
+            idgen: Box::new(RandomDocIdGen::new(StdRng::seed_from_u64(seed ^ 0x1D))),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The tactic registry (inspection, custom registration).
+    pub fn registry(&self) -> &TacticRegistry {
+        &self.registry
+    }
+
+    /// The gateway↔cloud channel (metrics inspection).
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// The selection for a registered field (the §5.1 table row).
+    pub fn selection(&self, schema: &str, field: &str) -> Option<&Selection> {
+        self.plans.get(schema)?.fields.get(field).map(|p| &p.selection)
+    }
+
+    // ------------------------------------------------------ Schema interface
+
+    /// Registers a schema: validates that every annotation is satisfiable,
+    /// derives the execution plan, instantiates tactics and prepares
+    /// cloud-side indexes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::PolicyUnsatisfiable`] when an annotation cannot be
+    /// served; channel errors during index preparation.
+    pub fn register_schema(&mut self, schema: Schema) -> Result<(), CoreError> {
+        let mut fields = HashMap::new();
+        let mut bool_tactic: Option<String> = None;
+
+        for (field, annotation) in schema.sensitive_fields() {
+            let selection = self.registry.select(field, annotation)?;
+            let eq_tactic = annotation
+                .ops
+                .contains(&FieldOp::Equality)
+                .then(|| {
+                    selection
+                        .search_tactics
+                        .iter()
+                        .find(|n| self.registry.descriptor(n).is_some_and(|d| d.serves_op(FieldOp::Equality)))
+                        .cloned()
+                })
+                .flatten();
+            let range_tactic = annotation
+                .ops
+                .contains(&FieldOp::Range)
+                .then(|| {
+                    selection
+                        .search_tactics
+                        .iter()
+                        .find(|n| self.registry.descriptor(n).is_some_and(|d| d.serves_op(FieldOp::Range)))
+                        .cloned()
+                })
+                .flatten();
+            let boolean = selection.search_tactics.iter().any(|n| n.starts_with("biex"));
+            if boolean {
+                let name = selection.search_tactics.iter().find(|n| n.starts_with("biex")).unwrap().clone();
+                match &bool_tactic {
+                    None => bool_tactic = Some(name),
+                    Some(existing) if *existing == name => {}
+                    Some(existing) => {
+                        return Err(CoreError::SchemaViolation(format!(
+                            "conflicting boolean tactics {existing} and {name} in one schema"
+                        )));
+                    }
+                }
+            }
+            fields.insert(field.clone(), FieldPlan { selection, eq_tactic, range_tactic, boolean });
+        }
+
+        // Instantiate tactics: per-field instances plus one shared boolean
+        // instance, loading implementations at runtime (strategy pattern).
+        for (field, plan) in &fields {
+            for tactic in plan.selection.all_tactics() {
+                if tactic.starts_with("biex") {
+                    continue; // shared instance below
+                }
+                self.ensure_tactic(&schema.name, field, &tactic)?;
+            }
+        }
+        if let Some(bt) = &bool_tactic {
+            self.ensure_tactic(&schema.name, BOOL_SCOPE, bt)?;
+        }
+
+        // Cloud-side secondary indexes for legacy-friendly shadow fields.
+        let mut index_calls = Vec::new();
+        for (field, plan) in &fields {
+            for tactic in &plan.selection.search_tactics {
+                match tactic.as_str() {
+                    "det" => index_calls.push(format!("{field}__det")),
+                    "ope" => index_calls.push(format!("{field}__ope")),
+                    _ => {}
+                }
+            }
+            if plan.selection.payload == "det" && !index_calls.contains(&format!("{field}__det")) {
+                index_calls.push(format!("{field}__det"));
+            }
+        }
+        for shadow in index_calls {
+            self.call(&CloudCall::new("doc/ensure_index", with_collection(&schema.name, shadow.as_bytes())))?;
+        }
+
+        self.schema_store.put(&schema);
+        self.plans.insert(schema.name.clone(), SchemaPlan { schema, fields, bool_tactic });
+        Ok(())
+    }
+
+    fn ensure_tactic(&mut self, schema: &str, scope: &str, tactic: &str) -> Result<(), CoreError> {
+        let key = Self::tactic_key(schema, scope, tactic);
+        if self.tactics.contains_key(&key) {
+            return Ok(());
+        }
+        let ctx = TacticContext {
+            application: self.application.clone(),
+            schema: schema.to_string(),
+            scope: scope.to_string(),
+            kms: self.kms.clone(),
+        };
+        let instance = self.registry.build_gateway(tactic, &ctx, &mut self.rng)?;
+        self.tactics.insert(key, instance);
+        Ok(())
+    }
+
+    fn tactic_key(schema: &str, scope: &str, tactic: &str) -> String {
+        format!("{schema}/{scope}/{tactic}")
+    }
+
+    fn tactic_mut(&mut self, schema: &str, scope: &str, tactic: &str) -> Result<&mut Box<dyn GatewayTactic>, CoreError> {
+        self.tactics
+            .get_mut(&Self::tactic_key(schema, scope, tactic))
+            .ok_or_else(|| CoreError::UnsupportedOperation(format!("tactic {tactic} not instantiated for {schema}/{scope}")))
+    }
+
+    fn tactic_ref(&self, schema: &str, scope: &str, tactic: &str) -> Result<&dyn GatewayTactic, CoreError> {
+        self.tactics
+            .get(&Self::tactic_key(schema, scope, tactic))
+            .map(|b| b.as_ref())
+            .ok_or_else(|| CoreError::UnsupportedOperation(format!("tactic {tactic} not instantiated for {schema}/{scope}")))
+    }
+
+    fn call(&self, call: &CloudCall) -> Result<Vec<u8>, CoreError> {
+        Ok(self.channel.call(&call.route, &call.payload)?)
+    }
+
+    fn plan(&self, schema: &str) -> Result<&SchemaPlan, CoreError> {
+        self.plans.get(schema).ok_or_else(|| CoreError::UnknownSchema(schema.to_string()))
+    }
+
+    // ---------------------------------------------------- Entities interface
+
+    /// Inserts an application document: validates, mints an id, protects
+    /// every sensitive field, runs the index updates and stores the
+    /// protected document.
+    ///
+    /// # Errors
+    ///
+    /// Schema violations, tactic failures, channel failures.
+    pub fn insert(&mut self, schema_name: &str, doc: &Document) -> Result<DocId, CoreError> {
+        let id = self.idgen.generate();
+        self.insert_with_id(schema_name, doc, id)?;
+        Ok(id)
+    }
+
+    fn insert_with_id(&mut self, schema_name: &str, doc: &Document, id: DocId) -> Result<(), CoreError> {
+        {
+            let plan = self.plan(schema_name)?;
+            validate_document(&plan.schema, doc)?;
+        }
+        let (cloud_doc, index_calls) = self.protect_document_calls(schema_name, doc, id)?;
+        // Ship index updates, then the document itself.
+        for call in &index_calls {
+            self.call(call)?;
+        }
+        self.call(&CloudCall::new("doc/insert", with_collection(schema_name, &encode_document(&cloud_doc))))?;
+        Ok(())
+    }
+
+    /// Inserts a batch of documents in (at most) two channel round trips:
+    /// one batched call for all index updates and inserts. Semantically
+    /// identical to repeated [`GatewayEngine::insert`]; amortizes channel
+    /// latency for bulk loads (initial cloud migration).
+    ///
+    /// # Errors
+    ///
+    /// Validates *all* documents first (nothing is sent if any fails);
+    /// then as [`GatewayEngine::insert`].
+    pub fn insert_many(&mut self, schema_name: &str, docs: &[Document]) -> Result<Vec<DocId>, CoreError> {
+        {
+            let plan = self.plan(schema_name)?;
+            for doc in docs {
+                validate_document(&plan.schema, doc)?;
+            }
+        }
+        let mut ids = Vec::with_capacity(docs.len());
+        let mut batch: Vec<CloudCall> = Vec::new();
+        for doc in docs {
+            let id = self.idgen.generate();
+            let (cloud_doc, index_calls) = self.protect_document_calls(schema_name, doc, id)?;
+            batch.extend(index_calls);
+            batch.push(CloudCall::new("doc/insert", with_collection(schema_name, &encode_document(&cloud_doc))));
+            ids.push(id);
+        }
+        self.call_batch(&batch)?;
+        Ok(ids)
+    }
+
+    /// Initial cloud migration: inserts a corpus like
+    /// [`GatewayEngine::insert_many`], but builds the boolean tactic's
+    /// *static* base index over the whole corpus (the Clusion-style
+    /// setup-time structures) instead of per-document dynamic chains.
+    /// Subsequent [`GatewayEngine::insert`]s layer the dynamic overlay on
+    /// top; queries merge both transparently.
+    ///
+    /// # Errors
+    ///
+    /// As [`GatewayEngine::insert_many`].
+    pub fn migrate(&mut self, schema_name: &str, docs: &[Document]) -> Result<Vec<DocId>, CoreError> {
+        let bool_fields: Vec<String> = {
+            let plan = self.plan(schema_name)?;
+            for doc in docs {
+                validate_document(&plan.schema, doc)?;
+            }
+            plan.fields.iter().filter(|(_, fp)| fp.boolean).map(|(f, _)| f.clone()).collect()
+        };
+        let bool_tactic = self.plan(schema_name)?.bool_tactic.clone();
+
+        let mut ids = Vec::with_capacity(docs.len());
+        let mut batch: Vec<CloudCall> = Vec::new();
+        let mut entries: Vec<(Vec<(String, Value)>, DocId)> = Vec::new();
+        for doc in docs {
+            let id = self.idgen.generate();
+            // Per-field tactics as usual; collect boolean literals for the
+            // bulk build instead of letting protect_document chain them.
+            let literals: Vec<(String, Value)> = bool_fields
+                .iter()
+                .filter_map(|f| doc.get(f).map(|v| (f.clone(), v.clone())))
+                .collect();
+            let (cloud_doc, index_calls) = self.protect_document_calls_inner(schema_name, doc, id, false)?;
+            batch.extend(index_calls);
+            batch.push(CloudCall::new("doc/insert", with_collection(schema_name, &encode_document(&cloud_doc))));
+            if !literals.is_empty() {
+                entries.push((literals, id));
+            }
+            ids.push(id);
+        }
+        if let (Some(bt), false) = (&bool_tactic, entries.is_empty()) {
+            let rng = &mut StdRng::from_rng(&mut self.rng).expect("rng fork");
+            let t = self.tactic_mut(schema_name, BOOL_SCOPE, bt)?;
+            if let Some(calls) = t.bulk_index(rng, &entries)? {
+                batch.extend(calls);
+            }
+        }
+        self.call_batch(&batch)?;
+        Ok(ids)
+    }
+
+    /// Executes calls through the cloud's `batch` route (one round trip).
+    fn call_batch(&self, calls: &[CloudCall]) -> Result<Vec<Vec<u8>>, CoreError> {
+        if calls.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut w = datablinder_sse::encoding::Writer::new();
+        let items: Vec<Vec<u8>> = calls
+            .iter()
+            .flat_map(|c| [c.route.clone().into_bytes(), c.payload.clone()])
+            .collect();
+        w.list(&items);
+        let out = self.call(&CloudCall::new("batch", w.finish()))?;
+        let mut r = datablinder_sse::encoding::Reader::new(&out);
+        let responses = r.list().map_err(|e| CoreError::Sse(e.to_string()))?;
+        if responses.len() != calls.len() {
+            return Err(CoreError::Wire("batch response arity"));
+        }
+        Ok(responses)
+    }
+
+    /// Computes one document's protected form + index calls (shared by
+    /// single and batched insert).
+    fn protect_document_calls(
+        &mut self,
+        schema_name: &str,
+        doc: &Document,
+        id: DocId,
+    ) -> Result<(Document, Vec<CloudCall>), CoreError> {
+        self.protect_document_calls_inner(schema_name, doc, id, true)
+    }
+
+    /// As [`GatewayEngine::protect_document_calls`]; `index_boolean`
+    /// controls whether the shared boolean tactic chains the document
+    /// (false during bulk migration, which static-indexes instead).
+    fn protect_document_calls_inner(
+        &mut self,
+        schema_name: &str,
+        doc: &Document,
+        id: DocId,
+        index_boolean: bool,
+    ) -> Result<(Document, Vec<CloudCall>), CoreError> {
+        let plan = self.plan(schema_name)?;
+        let mut cloud_doc = Document::new(id.to_hex());
+        let mut index_calls: Vec<CloudCall> = Vec::new();
+        let mut bool_literals: Vec<(String, Value)> = Vec::new();
+
+        struct FieldWork {
+            field: String,
+            value: Value,
+            tactics: Vec<String>,
+            boolean: bool,
+        }
+        let mut work = Vec::new();
+        for (field, value) in doc.iter() {
+            match plan.fields.get(field) {
+                None => {
+                    cloud_doc.set(field.clone(), value.clone());
+                }
+                Some(fp) => {
+                    let mut tactics: Vec<String> =
+                        fp.selection.all_tactics().into_iter().filter(|t| !t.starts_with("biex")).collect();
+                    if !tactics.contains(&fp.selection.payload) {
+                        tactics.push(fp.selection.payload.clone());
+                    }
+                    work.push(FieldWork { field: field.clone(), value: value.clone(), tactics, boolean: fp.boolean });
+                }
+            }
+        }
+        let bool_tactic = plan.bool_tactic.clone();
+
+        for w in &work {
+            if w.boolean {
+                bool_literals.push((w.field.clone(), w.value.clone()));
+            }
+            for tactic in &w.tactics {
+                let rng = &mut StdRng::from_rng(&mut self.rng).expect("rng fork");
+                let t = self.tactic_mut(schema_name, &w.field, tactic)?;
+                let protected = t.protect(rng, &w.field, &w.value, id)?;
+                for (f, v) in protected.stored {
+                    cloud_doc.set(f, v);
+                }
+                index_calls.extend(protected.index_calls);
+            }
+        }
+        if let (true, Some(bt), false) = (index_boolean, &bool_tactic, bool_literals.is_empty()) {
+            let rng = &mut StdRng::from_rng(&mut self.rng).expect("rng fork");
+            let t = self.tactic_mut(schema_name, BOOL_SCOPE, bt)?;
+            if let Some(calls) = t.protect_document(rng, &bool_literals, id)? {
+                index_calls.extend(calls);
+            }
+        }
+        Ok((cloud_doc, index_calls))
+    }
+
+    /// Fetches and decrypts a document.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`], decryption failures.
+    pub fn get(&self, schema_name: &str, id: DocId) -> Result<Document, CoreError> {
+        self.plan(schema_name)?;
+        let stored = self.fetch_raw(schema_name, id)?;
+        self.recover_document(schema_name, &stored)
+    }
+
+    fn fetch_raw(&self, schema_name: &str, id: DocId) -> Result<Document, CoreError> {
+        let payload = with_collection(schema_name, id.to_hex().as_bytes());
+        let bytes = self.call(&CloudCall::new("doc/get", payload))?;
+        decode_document(&bytes)
+    }
+
+    /// Decrypts a stored cloud document back into application form.
+    ///
+    /// Shadow fields are recognized as `<sensitive-base>__<suffix>`;
+    /// consequently a *plaintext* field named `<sensitive field>__x` would
+    /// be mistaken for a shadow field. Avoid such names (the schema is
+    /// under application control, so this is a naming convention, not an
+    /// attack surface).
+    fn recover_document(&self, schema_name: &str, stored: &Document) -> Result<Document, CoreError> {
+        let plan = self.plan(schema_name)?;
+        let mut out = Document::new(stored.id());
+        for (field, value) in stored.iter() {
+            if let Some((base, _)) = field.rsplit_once("__") {
+                if plan.fields.contains_key(base) {
+                    continue; // shadow field, handled below
+                }
+            }
+            out.set(field.clone(), value.clone());
+        }
+        for (field, fp) in &plan.fields {
+            let payload_tactic = self.tactic_ref(schema_name, field, &fp.selection.payload)?;
+            if let Some(v) = payload_tactic.recover(field, stored)? {
+                out.set(field.clone(), v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Deletes a document, revoking its index entries.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`], channel failures.
+    pub fn delete(&mut self, schema_name: &str, id: DocId) -> Result<(), CoreError> {
+        // Recover plaintext values to produce the revocation tokens.
+        let plaintext = self.get(schema_name, id)?;
+        let plan = self.plan(schema_name)?;
+
+        struct DeleteWork {
+            field: String,
+            value: Value,
+            tactics: Vec<String>,
+            boolean: bool,
+        }
+        let mut work = Vec::new();
+        for (field, fp) in &plan.fields {
+            if let Some(value) = plaintext.get(field) {
+                work.push(DeleteWork {
+                    field: field.clone(),
+                    value: value.clone(),
+                    tactics: fp.selection.all_tactics().into_iter().filter(|t| !t.starts_with("biex")).collect(),
+                    boolean: fp.boolean,
+                });
+            }
+        }
+        let bool_tactic = plan.bool_tactic.clone();
+
+        let mut calls = Vec::new();
+        let mut bool_literals = Vec::new();
+        for w in &work {
+            if w.boolean {
+                bool_literals.push((w.field.clone(), w.value.clone()));
+            }
+            for tactic in &w.tactics {
+                let t = self.tactic_mut(schema_name, &w.field, tactic)?;
+                calls.extend(t.delete(&w.field, &w.value, id)?);
+            }
+        }
+        if let (Some(bt), false) = (&bool_tactic, bool_literals.is_empty()) {
+            let t = self.tactic_mut(schema_name, BOOL_SCOPE, bt)?;
+            if let Some(c) = t.delete_document(&bool_literals, id)? {
+                calls.extend(c);
+            }
+        }
+        for call in &calls {
+            self.call(call)?;
+        }
+        self.call(&CloudCall::new("doc/delete", with_collection(schema_name, id.to_hex().as_bytes())))?;
+        Ok(())
+    }
+
+    /// Replaces a document (delete + insert under the same id).
+    ///
+    /// # Errors
+    ///
+    /// As [`GatewayEngine::delete`] and [`GatewayEngine::insert`].
+    pub fn update(&mut self, schema_name: &str, id: DocId, doc: &Document) -> Result<(), CoreError> {
+        self.delete(schema_name, id)?;
+        self.insert_with_id(schema_name, doc, id)
+    }
+
+    /// Equality search on one field, returning decrypted documents.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedOperation`] if the field's annotation did
+    /// not request equality.
+    pub fn find_equal(&mut self, schema_name: &str, field: &str, value: &Value) -> Result<Vec<Document>, CoreError> {
+        let plan = self.plan(schema_name)?;
+        let fp = plan
+            .fields
+            .get(field)
+            .ok_or_else(|| CoreError::UnsupportedOperation(format!("field {field} is not annotated")))?;
+        let (scope, tactic) = match (&fp.eq_tactic, fp.boolean) {
+            (Some(t), false) => (field.to_string(), t.clone()),
+            (Some(t), true) if t.starts_with("biex") => (BOOL_SCOPE.to_string(), t.clone()),
+            (Some(t), true) => (field.to_string(), t.clone()),
+            (None, _) => {
+                return Err(CoreError::UnsupportedOperation(format!("field {field} has no equality tactic")))
+            }
+        };
+        let calls = self.tactic_mut(schema_name, &scope, &tactic)?.eq_query(field, value)?;
+        let responses = calls.iter().map(|c| self.call(c)).collect::<Result<Vec<_>, _>>()?;
+        let ids = self.tactic_ref(schema_name, &scope, &tactic)?.eq_resolve(field, value, &responses)?;
+        self.get_many(schema_name, &ids)
+    }
+
+    /// Boolean (DNF) search across fields, returning decrypted documents.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedOperation`] when the touched fields have no
+    /// common boolean capability.
+    pub fn find_boolean(&mut self, schema_name: &str, dnf: &DnfLiterals) -> Result<Vec<Document>, CoreError> {
+        let plan = self.plan(schema_name)?;
+        let fields: Vec<&String> = dnf.iter().flatten().map(|(f, _)| f).collect();
+        let all_boolean = fields.iter().all(|f| plan.fields.get(*f).is_some_and(|p| p.boolean));
+        let ids = if all_boolean && plan.bool_tactic.is_some() {
+            let bt = plan.bool_tactic.clone().unwrap();
+            let calls = self.tactic_mut(schema_name, BOOL_SCOPE, &bt)?.bool_query(dnf)?;
+            let responses = calls.iter().map(|c| self.call(c)).collect::<Result<Vec<_>, _>>()?;
+            self.tactic_ref(schema_name, BOOL_SCOPE, &bt)?.bool_resolve(dnf, &responses)?
+        } else {
+            // Legacy-friendly path: every field protected by DET can be
+            // boolean-combined cloud-side.
+            let all_det = fields
+                .iter()
+                .all(|f| plan.fields.get(*f).is_some_and(|p| p.selection.all_tactics().contains(&"det".to_string())));
+            if !all_det {
+                return Err(CoreError::UnsupportedOperation(
+                    "boolean search requires all fields to share a boolean-capable tactic".into(),
+                ));
+            }
+            // Any DET field adapter can issue the combined query; literals
+            // must be rewritten with each field's own key, so collect them
+            // per field first.
+            let mut rewritten: DnfLiterals = Vec::new();
+            for conj in dnf {
+                let mut out_conj = Vec::new();
+                for (f, v) in conj {
+                    let t = self.tactic_ref(schema_name, f, "det")?;
+                    let lit = t
+                        .stored_literal(f, v)
+                        .ok_or_else(|| CoreError::UnsupportedOperation(format!("{f}: no stored literal")))?;
+                    out_conj.push(lit);
+                }
+                rewritten.push(out_conj);
+            }
+            let req = crate::cloudproto::FindIdsDnf { collection: schema_name.to_string(), dnf: rewritten };
+            let response = self.call(&CloudCall::new("doc/find_ids_dnf", req.encode()))?;
+            decode_ids(&response)?
+        };
+        self.get_many(schema_name, &ids)
+    }
+
+    /// Range search on one field (inclusive bounds), returning decrypted
+    /// documents.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedOperation`] if the field's annotation did
+    /// not request range search.
+    pub fn find_range(&mut self, schema_name: &str, field: &str, lo: &Value, hi: &Value) -> Result<Vec<Document>, CoreError> {
+        let plan = self.plan(schema_name)?;
+        let tactic = plan
+            .fields
+            .get(field)
+            .and_then(|p| p.range_tactic.clone())
+            .ok_or_else(|| CoreError::UnsupportedOperation(format!("field {field} has no range tactic")))?;
+        let calls = self.tactic_mut(schema_name, field, &tactic)?.range_query(field, lo, hi)?;
+        let responses = calls.iter().map(|c| self.call(c)).collect::<Result<Vec<_>, _>>()?;
+        let ids = self.tactic_ref(schema_name, field, &tactic)?.range_resolve(&responses)?;
+        self.get_many(schema_name, &ids)
+    }
+
+    /// Cloud-side aggregate over a field, optionally restricted by a
+    /// boolean filter evaluated first.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedOperation`] if the field has no aggregate
+    /// tactic.
+    pub fn aggregate(
+        &mut self,
+        schema_name: &str,
+        field: &str,
+        agg: AggFn,
+        filter: Option<&DnfLiterals>,
+    ) -> Result<f64, CoreError> {
+        let plan = self.plan(schema_name)?;
+        let tactic = plan
+            .fields
+            .get(field)
+            .and_then(|p| p.selection.agg_tactics.first().cloned())
+            .ok_or_else(|| CoreError::UnsupportedOperation(format!("field {field} has no aggregate tactic")))?;
+        let ids: Vec<DocId> = match filter {
+            None => Vec::new(),
+            Some(dnf) => {
+                let docs = self.find_boolean(schema_name, dnf)?;
+                docs.iter().filter_map(|d| DocId::from_hex(d.id())).collect()
+            }
+        };
+        let calls = self.tactic_mut(schema_name, field, &tactic)?.agg_query(field, agg, &ids)?;
+        let responses = calls.iter().map(|c| self.call(c)).collect::<Result<Vec<_>, _>>()?;
+        self.tactic_ref(schema_name, field, &tactic)?.agg_resolve(agg, &responses)
+    }
+
+    /// Returns the document holding the extreme (min or max) value of a
+    /// range-annotated field, computed *by the cloud over ciphertexts*
+    /// (OPE byte order equals plaintext order — a class-5 capability).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedOperation`] if the field's range tactic is
+    /// not order-preserving at rest (ORE stores no comparable bytes).
+    pub fn find_extreme(&mut self, schema_name: &str, field: &str, maximum: bool) -> Result<Option<Document>, CoreError> {
+        let plan = self.plan(schema_name)?;
+        let tactic = plan.fields.get(field).and_then(|p| p.range_tactic.clone());
+        if tactic.as_deref() != Some("ope") {
+            return Err(CoreError::UnsupportedOperation(format!(
+                "min/max needs an order-preserving stored field; {field} has {tactic:?}"
+            )));
+        }
+        let mut rest = vec![maximum as u8];
+        rest.extend_from_slice(format!("{field}__ope").as_bytes());
+        let out = self.call(&CloudCall::new("doc/extreme", with_collection(schema_name, &rest)))?;
+        if out.is_empty() {
+            return Ok(None);
+        }
+        let id = String::from_utf8(out).map_err(|_| CoreError::Wire("utf8 id"))?;
+        let doc_id = DocId::from_hex(&id).ok_or(CoreError::Wire("doc id"))?;
+        Ok(Some(self.get(schema_name, doc_id)?))
+    }
+
+    /// Number of stored documents.
+    ///
+    /// # Errors
+    ///
+    /// Channel failures.
+    pub fn count(&self, schema_name: &str) -> Result<u64, CoreError> {
+        self.plan(schema_name)?;
+        let out = self.call(&CloudCall::new("doc/count", with_collection(schema_name, b"")))?;
+        out.try_into()
+            .map(u64::from_be_bytes)
+            .map_err(|_| CoreError::Wire("count response"))
+    }
+
+    fn get_many(&self, schema_name: &str, ids: &[DocId]) -> Result<Vec<Document>, CoreError> {
+        if ids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let bytes = self.call(&CloudCall::new("doc/get_many", get_many_payload(schema_name, ids)))?;
+        let stored = decode_documents(&bytes)?;
+        stored.iter().map(|d| self.recover_document(schema_name, d)).collect()
+    }
+
+    /// Rotates the payload-encryption key of one field and re-encrypts
+    /// every stored document under the new key version — the crypto-agility
+    /// maintenance flow (§8 of DESIGN.md; Table 2's "key management"
+    /// challenge made operational).
+    ///
+    /// Returns the new key version.
+    ///
+    /// # Errors
+    ///
+    /// Decryption failures on corrupt data; channel failures. On error the
+    /// rotation may be partially applied (already re-encrypted documents
+    /// stay on the new version, which remains decryptable).
+    pub fn rotate_payload_key(&mut self, schema_name: &str, field: &str) -> Result<u64, CoreError> {
+        let plan = self.plan(schema_name)?;
+        let fp = plan
+            .fields
+            .get(field)
+            .ok_or_else(|| CoreError::UnsupportedOperation(format!("field {field} is not annotated")))?;
+        let payload_tactic = fp.selection.payload.clone();
+
+        // 1. Recover every document's plaintext value under the current key.
+        let ids_bytes = self.call(&CloudCall::new("doc/list_ids", with_collection(schema_name, b"")))?;
+        let mut r = datablinder_sse::encoding::Reader::new(&ids_bytes);
+        let raw_ids = r.list().map_err(|e| CoreError::Sse(e.to_string()))?;
+        let mut recovered: Vec<(String, Option<Value>, Document)> = Vec::new();
+        {
+            let tactic = self.tactic_ref(schema_name, field, &payload_tactic)?;
+            for id in &raw_ids {
+                let id = String::from_utf8(id.clone()).map_err(|_| CoreError::Wire("utf8 id"))?;
+                let stored = decode_document(&self.call(&CloudCall::new(
+                    "doc/get",
+                    with_collection(schema_name, id.as_bytes()),
+                ))?)?;
+                let value = tactic.recover(field, &stored)?;
+                recovered.push((id, value, stored));
+            }
+        }
+
+        // 2. Rotate the KMS scope and rebuild the tactic instance so it
+        //    derives the new key version.
+        let ctx = TacticContext {
+            application: self.application.clone(),
+            schema: schema_name.to_string(),
+            scope: field.to_string(),
+            kms: self.kms.clone(),
+        };
+        let new_version = self.kms.rotate(&ctx.key_scope(&payload_tactic));
+        let fresh = self.registry.build_gateway(&payload_tactic, &ctx, &mut self.rng)?;
+        self.tactics.insert(Self::tactic_key(schema_name, field, &payload_tactic), fresh);
+
+        // 3. Re-protect each value and update the stored documents.
+        for (id, value, mut stored) in recovered {
+            let Some(value) = value else { continue };
+            let doc_id = DocId::from_hex(&id).ok_or(CoreError::Wire("doc id"))?;
+            let rng = &mut StdRng::from_rng(&mut self.rng).expect("rng fork");
+            let tactic = self.tactic_mut(schema_name, field, &payload_tactic)?;
+            let protected = tactic.protect(rng, field, &value, doc_id)?;
+            for (f, v) in protected.stored {
+                stored.set(f, v);
+            }
+            // Payload re-encryption produces no index calls; assert the
+            // invariant so index-bearing tactics are never rotated this way.
+            debug_assert!(protected.index_calls.is_empty());
+            self.call(&CloudCall::new("doc/update", with_collection(schema_name, &encode_document(&stored))))?;
+        }
+        Ok(new_version)
+    }
+
+    /// Rotates the key of a *stateful index* tactic (Mitra/Sophos) on one
+    /// field and rebuilds the encrypted index from scratch:
+    ///
+    /// 1. recovers every document's plaintext value (payload tactic),
+    /// 2. drops the tactic's cloud scope (`kv/del_prefix`),
+    /// 3. rotates the KMS scope and rebuilds the tactic instance (fresh
+    ///    chains under the new key),
+    /// 4. re-indexes every document in one batched round trip.
+    ///
+    /// Complements [`GatewayEngine::rotate_payload_key`], which handles the
+    /// recoverable-payload tactics.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedOperation`] if the field's equality tactic
+    /// is not a field-scoped index tactic; decryption/channel failures.
+    pub fn rotate_index_key(&mut self, schema_name: &str, field: &str) -> Result<u64, CoreError> {
+        let (tactic, payload_tactic) = {
+            let plan = self.plan(schema_name)?;
+            let fp = plan
+                .fields
+                .get(field)
+                .ok_or_else(|| CoreError::UnsupportedOperation(format!("field {field} is not annotated")))?;
+            let tactic = fp
+                .eq_tactic
+                .clone()
+                .filter(|t| matches!(t.as_str(), "mitra" | "sophos"))
+                .ok_or_else(|| {
+                    CoreError::UnsupportedOperation(format!("field {field} has no rotatable index tactic"))
+                })?;
+            (tactic, fp.selection.payload.clone())
+        };
+
+        // 1. Recover plaintext values for every stored document.
+        let ids_bytes = self.call(&CloudCall::new("doc/list_ids", with_collection(schema_name, b"")))?;
+        let mut r = datablinder_sse::encoding::Reader::new(&ids_bytes);
+        let raw_ids = r.list().map_err(|e| CoreError::Sse(e.to_string()))?;
+        let mut recovered: Vec<(DocId, Value)> = Vec::new();
+        {
+            let payload = self.tactic_ref(schema_name, field, &payload_tactic)?;
+            for id in &raw_ids {
+                let id = String::from_utf8(id.clone()).map_err(|_| CoreError::Wire("utf8 id"))?;
+                let stored = decode_document(&self.call(&CloudCall::new(
+                    "doc/get",
+                    with_collection(schema_name, id.as_bytes()),
+                ))?)?;
+                if let Some(value) = payload.recover(field, &stored)? {
+                    recovered.push((DocId::from_hex(&id).ok_or(CoreError::Wire("doc id"))?, value));
+                }
+            }
+        }
+
+        // 2. Drop the old cloud scope (prefix convention shared with the
+        //    cloud tactic handlers: `t/<tactic>/<schema>:<scope>/`).
+        let prefix = format!("t/{tactic}/{schema_name}:{field}/");
+        self.call(&CloudCall::new("kv/del_prefix", prefix.into_bytes()))?;
+
+        // 3. Rotate the key and rebuild the instance (fresh chains).
+        let ctx = TacticContext {
+            application: self.application.clone(),
+            schema: schema_name.to_string(),
+            scope: field.to_string(),
+            kms: self.kms.clone(),
+        };
+        let new_version = self.kms.rotate(&ctx.key_scope(&tactic));
+        let fresh = self.registry.build_gateway(&tactic, &ctx, &mut self.rng)?;
+        self.tactics.insert(Self::tactic_key(schema_name, field, &tactic), fresh);
+
+        // 4. Re-index everything, batched.
+        let mut batch = Vec::with_capacity(recovered.len());
+        for (id, value) in &recovered {
+            let rng = &mut StdRng::from_rng(&mut self.rng).expect("rng fork");
+            let t = self.tactic_mut(schema_name, field, &tactic)?;
+            let protected = t.protect(rng, field, value, *id)?;
+            debug_assert!(protected.stored.is_empty(), "index tactics store nothing in documents");
+            batch.extend(protected.index_calls);
+        }
+        self.call_batch(&batch)?;
+        Ok(new_version)
+    }
+
+    // ----------------------------------------------- gateway state handling
+
+    /// Exports every stateful tactic's gateway state (Mitra counters,
+    /// Sophos chains) for persistence.
+    pub fn export_tactic_state(&self) -> Vec<(String, Vec<u8>)> {
+        let mut out: Vec<(String, Vec<u8>)> = self
+            .tactics
+            .iter()
+            .filter_map(|(k, t)| t.export_state().map(|s| (k.clone(), s)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Restores tactic state exported by
+    /// [`GatewayEngine::export_tactic_state`].
+    ///
+    /// # Errors
+    ///
+    /// Malformed state blobs; unknown instances are ignored.
+    pub fn import_tactic_state(&mut self, state: &[(String, Vec<u8>)]) -> Result<(), CoreError> {
+        for (key, blob) in state {
+            if let Some(t) = self.tactics.get_mut(key) {
+                t.import_state(blob)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Persists all tactic state into a gateway-local KV store (pair this
+    /// with [`datablinder_kvstore::KvStore::open_semi_durable`] for the
+    /// crash-safe variant). This is the paper's §7 observation made
+    /// concrete: stateful SSE tactics (Mitra counters, Sophos chains) are
+    /// what keeps the gateway from being a stateless cloud-native service.
+    pub fn save_state(&self, kv: &KvStore) {
+        for (key, blob) in self.export_tactic_state() {
+            let mut k = b"gwstate/".to_vec();
+            k.extend_from_slice(key.as_bytes());
+            kv.set(&k, &blob);
+        }
+    }
+
+    /// Restores state saved by [`GatewayEngine::save_state`]. Call after
+    /// `register_schema` so the tactic instances exist.
+    ///
+    /// # Errors
+    ///
+    /// Malformed state blobs.
+    pub fn load_state(&mut self, kv: &KvStore) -> Result<(), CoreError> {
+        let entries: Vec<(String, Vec<u8>)> = kv
+            .keys_with_prefix(b"gwstate/")
+            .into_iter()
+            .filter_map(|k| {
+                let name = String::from_utf8(k[b"gwstate/".len()..].to_vec()).ok()?;
+                let blob = kv.get(&k)?;
+                Some((name, blob))
+            })
+            .collect();
+        self.import_tactic_state(&entries)
+    }
+}

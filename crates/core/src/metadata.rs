@@ -1,0 +1,153 @@
+//! The data protection metadata subsystem (Fig. 4): persistence of
+//! per-application schemas and annotation validation.
+
+use datablinder_docstore::{Document, Value};
+use datablinder_kvstore::KvStore;
+
+use crate::error::CoreError;
+use crate::model::{FieldType, Schema};
+use crate::wire::{decode_schema, encode_schema};
+
+/// Gateway-local schema store over the KV substrate.
+#[derive(Clone)]
+pub struct SchemaStore {
+    kv: KvStore,
+}
+
+impl SchemaStore {
+    /// Creates a store over a (typically gateway-local) KV store.
+    pub fn new(kv: KvStore) -> Self {
+        SchemaStore { kv }
+    }
+
+    fn key(name: &str) -> Vec<u8> {
+        let mut k = b"schema/".to_vec();
+        k.extend_from_slice(name.as_bytes());
+        k
+    }
+
+    /// Persists a schema (idempotent overwrite).
+    pub fn put(&self, schema: &Schema) {
+        self.kv.set(&Self::key(&schema.name), &encode_schema(schema));
+    }
+
+    /// Loads a schema.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownSchema`] when absent, [`CoreError::Wire`] on
+    /// corrupt records.
+    pub fn get(&self, name: &str) -> Result<Schema, CoreError> {
+        let bytes = self.kv.get(&Self::key(name)).ok_or_else(|| CoreError::UnknownSchema(name.to_string()))?;
+        decode_schema(&bytes)
+    }
+
+    /// Names of registered schemas.
+    pub fn names(&self) -> Vec<String> {
+        self.kv
+            .keys_with_prefix(b"schema/")
+            .into_iter()
+            .filter_map(|k| String::from_utf8(k[b"schema/".len()..].to_vec()).ok())
+            .collect()
+    }
+}
+
+/// Validates an application document against its schema ("the schema
+/// management component also validates whether the application documents
+/// correspond to the configured schemas", §4.1).
+///
+/// # Errors
+///
+/// [`CoreError::SchemaViolation`] listing the first offending field.
+pub fn validate_document(schema: &Schema, doc: &Document) -> Result<(), CoreError> {
+    for (name, spec) in &schema.fields {
+        match doc.get(name) {
+            None if spec.required => {
+                return Err(CoreError::SchemaViolation(format!("missing required field {name}")));
+            }
+            None => {}
+            Some(value) => {
+                let ok = matches!(
+                    (spec.field_type, value),
+                    (FieldType::Text, Value::Str(_))
+                        | (FieldType::Integer, Value::I64(_))
+                        | (FieldType::Float, Value::F64(_))
+                        | (FieldType::Float, Value::I64(_))
+                        | (FieldType::Boolean, Value::Bool(_))
+                );
+                if !ok {
+                    return Err(CoreError::SchemaViolation(format!(
+                        "field {name}: expected {:?}, got {}",
+                        spec.field_type,
+                        value.type_name()
+                    )));
+                }
+            }
+        }
+    }
+    for (name, _) in doc.iter() {
+        if !schema.fields.contains_key(name) {
+            return Err(CoreError::SchemaViolation(format!("unknown field {name}")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FieldAnnotation, FieldOp, ProtectionClass};
+
+    fn schema() -> Schema {
+        Schema::new("obs")
+            .plain_field("note", FieldType::Text, false)
+            .plain_field("count", FieldType::Integer, true)
+            .sensitive_field(
+                "status",
+                FieldType::Text,
+                true,
+                FieldAnnotation::new(ProtectionClass::C3, vec![FieldOp::Insert, FieldOp::Equality]),
+            )
+            .plain_field("score", FieldType::Float, false)
+    }
+
+    #[test]
+    fn store_roundtrip_and_listing() {
+        let store = SchemaStore::new(KvStore::new());
+        assert!(matches!(store.get("obs"), Err(CoreError::UnknownSchema(_))));
+        store.put(&schema());
+        assert_eq!(store.get("obs").unwrap(), schema());
+        assert_eq!(store.names(), vec!["obs"]);
+    }
+
+    #[test]
+    fn validation_accepts_conforming_documents() {
+        let doc = Document::new("d")
+            .with("count", Value::from(5i64))
+            .with("status", Value::from("final"))
+            .with("score", Value::from(1.5f64));
+        validate_document(&schema(), &doc).unwrap();
+        // Optional fields may be absent; Float accepts integers.
+        let doc = Document::new("d")
+            .with("count", Value::from(5i64))
+            .with("status", Value::from("final"))
+            .with("score", Value::from(2i64));
+        validate_document(&schema(), &doc).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_violations() {
+        // Missing required.
+        let doc = Document::new("d").with("status", Value::from("final"));
+        assert!(validate_document(&schema(), &doc).is_err());
+        // Wrong type.
+        let doc = Document::new("d").with("count", Value::from("five")).with("status", Value::from("final"));
+        assert!(validate_document(&schema(), &doc).is_err());
+        // Unknown field.
+        let doc = Document::new("d")
+            .with("count", Value::from(1i64))
+            .with("status", Value::from("final"))
+            .with("mystery", Value::Null);
+        assert!(validate_document(&schema(), &doc).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! The DET tactic adapter: deterministic encryption, class 4.
+//!
+//! Legacy-friendly in the CryptDB sense: the cloud document store can
+//! index, equality-match and boolean-combine the ciphertexts directly, so
+//! equality and boolean search ride the generic `doc/find_ids_*` routes
+//! with no tactic-specific cloud component.
+
+use datablinder_docstore::{Document, Value};
+use datablinder_sse::det::DetCipher;
+use datablinder_sse::DocId;
+use rand::RngCore;
+
+use super::{decode_ids, shadow_field, TacticContext};
+use crate::cloudproto::{FindIdsDnf, FindIdsEq};
+use crate::error::CoreError;
+use crate::model::*;
+use crate::spi::{CloudCall, DnfLiterals, GatewayTactic, ProtectedField};
+use crate::wire::{canonical_bytes, decode_value};
+
+/// Descriptor for DET (Table 2: class 4, leakage *Equalities*,
+/// 9 gateway / 6 cloud interfaces).
+pub fn descriptor() -> TacticDescriptor {
+    TacticDescriptor {
+        name: "det".into(),
+        family: "deterministic encryption".into(),
+        operations: vec![
+            OpProfile { op: TacticOp::Init, leakage: LeakageLevel::Structure, metrics: PerfMetrics::new(1, 0, 1) },
+            OpProfile { op: TacticOp::Update, leakage: LeakageLevel::Equalities, metrics: PerfMetrics::new(1, 1, 1) },
+            OpProfile { op: TacticOp::EqQuery, leakage: LeakageLevel::Equalities, metrics: PerfMetrics::new(1, 1, 1) },
+            OpProfile { op: TacticOp::BoolQuery, leakage: LeakageLevel::Equalities, metrics: PerfMetrics::new(1, 1, 1) },
+        ],
+        serves: vec![FieldOp::Insert, FieldOp::Equality, FieldOp::Boolean],
+        serves_agg: vec![],
+        gateway_interfaces: 9,
+        cloud_interfaces: 6,
+        gateway_state: false,
+    }
+}
+
+/// Gateway half of DET.
+pub struct DetTactic {
+    cipher: DetCipher,
+    collection: String,
+}
+
+impl DetTactic {
+    /// Builds from context.
+    ///
+    /// # Errors
+    ///
+    /// Key-schedule failures.
+    pub fn build(ctx: &TacticContext) -> Result<Self, CoreError> {
+        let key = ctx.kms.key_for(&ctx.key_scope("det"));
+        Ok(DetTactic { cipher: DetCipher::new(&key)?, collection: ctx.schema.clone() })
+    }
+
+    /// The stored literal for a plaintext value — used by the engine to
+    /// compose cross-field boolean filters over DET fields.
+    pub fn stored_literal(&self, field: &str, value: &Value) -> (String, Value) {
+        (shadow_field(field, "det"), Value::Bytes(self.cipher.search_token(&canonical_bytes(value))))
+    }
+}
+
+impl GatewayTactic for DetTactic {
+    fn descriptor(&self) -> TacticDescriptor {
+        descriptor()
+    }
+
+    fn protect(&mut self, _rng: &mut dyn RngCore, field: &str, value: &Value, _id: DocId) -> Result<ProtectedField, CoreError> {
+        let ct = self.cipher.encrypt(&canonical_bytes(value));
+        Ok(ProtectedField { stored: vec![(shadow_field(field, "det"), Value::Bytes(ct))], index_calls: Vec::new() })
+    }
+
+    fn recover(&self, field: &str, stored: &Document) -> Result<Option<Value>, CoreError> {
+        let Some(Value::Bytes(ct)) = stored.get(&shadow_field(field, "det")) else {
+            return Ok(None);
+        };
+        let plain = self.cipher.decrypt(ct)?;
+        let mut slice = plain.as_slice();
+        Ok(Some(decode_value(&mut slice)?))
+    }
+
+    fn eq_query(&mut self, field: &str, value: &Value) -> Result<Vec<CloudCall>, CoreError> {
+        let (f, v) = self.stored_literal(field, value);
+        let req = FindIdsEq { collection: self.collection.clone(), field: f, value: v };
+        Ok(vec![CloudCall::new("doc/find_ids_eq", req.encode())])
+    }
+
+    fn eq_resolve(&self, _field: &str, _value: &Value, responses: &[Vec<u8>]) -> Result<Vec<DocId>, CoreError> {
+        let [response] = responses else {
+            return Err(CoreError::Wire("det eq response arity"));
+        };
+        decode_ids(response)
+    }
+
+    fn bool_query(&mut self, dnf: &DnfLiterals) -> Result<Vec<CloudCall>, CoreError> {
+        let stored_dnf = dnf
+            .iter()
+            .map(|conj| conj.iter().map(|(f, v)| self.stored_literal(f, v)).collect())
+            .collect();
+        let req = FindIdsDnf { collection: self.collection.clone(), dnf: stored_dnf };
+        Ok(vec![CloudCall::new("doc/find_ids_dnf", req.encode())])
+    }
+
+    fn bool_resolve(&self, _dnf: &DnfLiterals, responses: &[Vec<u8>]) -> Result<Vec<DocId>, CoreError> {
+        let [response] = responses else {
+            return Err(CoreError::Wire("det bool response arity"));
+        };
+        decode_ids(response)
+    }
+
+    fn stored_literal(&self, field: &str, value: &Value) -> Option<(String, Value)> {
+        Some(DetTactic::stored_literal(self, field, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx() -> TacticContext {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        TacticContext {
+            application: "app".into(),
+            schema: "obs".into(),
+            scope: "effective".into(),
+            kms: datablinder_kms::Kms::generate(&mut rng),
+        }
+    }
+
+    #[test]
+    fn protect_deterministic_and_recoverable() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut t = DetTactic::build(&ctx()).unwrap();
+        let a = t.protect(&mut rng, "effective", &Value::from(1359966610i64), DocId([1; 16])).unwrap();
+        let b = t.protect(&mut rng, "effective", &Value::from(1359966610i64), DocId([2; 16])).unwrap();
+        assert_eq!(a.stored, b.stored, "determinism enables cloud equality");
+
+        let mut doc = Document::new("x");
+        doc.set(a.stored[0].0.clone(), a.stored[0].1.clone());
+        assert_eq!(t.recover("effective", &doc).unwrap(), Some(Value::from(1359966610i64)));
+    }
+
+    #[test]
+    fn eq_query_targets_shadow_field() {
+        let mut t = DetTactic::build(&ctx()).unwrap();
+        let calls = t.eq_query("effective", &Value::from(5i64)).unwrap();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].route, "doc/find_ids_eq");
+        let req = FindIdsEq::decode(&calls[0].payload).unwrap();
+        assert_eq!(req.field, "effective__det");
+        assert_eq!(req.collection, "obs");
+    }
+
+    #[test]
+    fn bool_query_rewrites_literals() {
+        let mut t = DetTactic::build(&ctx()).unwrap();
+        let dnf = vec![vec![
+            ("status".to_string(), Value::from("final")),
+            ("code".to_string(), Value::from("glucose")),
+        ]];
+        let calls = t.bool_query(&dnf).unwrap();
+        let req = FindIdsDnf::decode(&calls[0].payload).unwrap();
+        assert_eq!(req.dnf[0][0].0, "status__det");
+        assert_eq!(req.dnf[0][1].0, "code__det");
+        assert!(matches!(req.dnf[0][0].1, Value::Bytes(_)));
+    }
+
+    #[test]
+    fn resolve_arity_checked() {
+        let t = DetTactic::build(&ctx()).unwrap();
+        assert!(t.eq_resolve("f", &Value::Null, &[]).is_err());
+        assert!(t.eq_resolve("f", &Value::Null, &[vec![], vec![]]).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Concrete tactic implementations behind the SPI ("the tactics SPI
+//! subsystem", Fig. 4) — one adapter per scheme of Table 2, wiring the
+//! `datablinder-sse`/`-ope`/`-ore`/`-paillier` schemes into the gateway
+//! and cloud halves of the middleware.
+
+pub mod biex;
+pub mod det;
+pub mod mitra;
+pub mod ope;
+pub mod ore;
+pub mod paillier;
+pub mod rnd;
+pub mod sophos;
+
+use datablinder_docstore::Value;
+use datablinder_sse::DocId;
+
+use crate::error::CoreError;
+
+/// Context handed to gateway tactic factories: identifies the key scope
+/// and the cloud collection the tactic serves.
+#[derive(Debug, Clone)]
+pub struct TacticContext {
+    /// Owning application (KMS tenant).
+    pub application: String,
+    /// Schema / collection name.
+    pub schema: String,
+    /// Scope within the schema: a field name, or `__bool__` for the shared
+    /// cross-field boolean index.
+    pub scope: String,
+    /// Key management handle.
+    pub kms: datablinder_kms::Kms,
+}
+
+impl TacticContext {
+    /// The KMS key scope for a tactic name.
+    pub fn key_scope(&self, tactic: &str) -> datablinder_kms::KeyScope {
+        datablinder_kms::KeyScope::new(
+            self.application.clone(),
+            format!("{}.{}", self.schema, self.scope),
+            tactic.to_string(),
+        )
+    }
+
+    /// The cloud route for a tactic operation in this scope.
+    pub fn route(&self, tactic: &str, op: &str) -> String {
+        format!("tactic/{tactic}/{}:{}/{op}", self.schema, self.scope)
+    }
+}
+
+/// The shadow-field name a tactic stores its ciphertext under.
+pub fn shadow_field(field: &str, suffix: &str) -> String {
+    format!("{field}__{suffix}")
+}
+
+/// Encodes a list of [`DocId`]s.
+pub fn encode_ids(ids: &[DocId]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + ids.len() * 16);
+    out.extend_from_slice(&(ids.len() as u32).to_be_bytes());
+    for id in ids {
+        out.extend_from_slice(&id.0);
+    }
+    out
+}
+
+/// Decodes a list of [`DocId`]s.
+///
+/// # Errors
+///
+/// [`CoreError::Wire`] on malformed input.
+pub fn decode_ids(buf: &[u8]) -> Result<Vec<DocId>, CoreError> {
+    if buf.len() < 4 {
+        return Err(CoreError::Wire("ids header"));
+    }
+    let n = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+    if buf.len() != 4 + n * 16 {
+        return Err(CoreError::Wire("ids body"));
+    }
+    Ok(buf[4..]
+        .chunks(16)
+        .map(|c| {
+            let mut id = [0u8; 16];
+            id.copy_from_slice(c);
+            DocId(id)
+        })
+        .collect())
+}
+
+/// Maps a numeric [`Value`] to an order-preserving `u64` (for OPE/ORE):
+/// sign-flipped two's complement for integers, IEEE-754 total-order trick
+/// for floats.
+///
+/// # Errors
+///
+/// [`CoreError::UnsupportedOperation`] for non-numeric values.
+pub fn orderable_u64(v: &Value) -> Result<u64, CoreError> {
+    match v {
+        Value::I64(i) => Ok((*i as u64) ^ (1 << 63)),
+        Value::F64(f) => {
+            let bits = f.to_bits();
+            // Standard order-preserving transform for IEEE-754 doubles.
+            Ok(if bits >> 63 == 0 { bits ^ (1 << 63) } else { !bits })
+        }
+        other => Err(CoreError::UnsupportedOperation(format!(
+            "range/order tactics need numeric values, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Fixed-point scale for homomorphic aggregation of floats.
+pub const AGG_SCALE: f64 = 1000.0;
+
+/// Maps a numeric [`Value`] to a scaled signed integer for Paillier.
+///
+/// # Errors
+///
+/// [`CoreError::UnsupportedOperation`] for non-numeric values.
+pub fn aggregable_i64(v: &Value) -> Result<i64, CoreError> {
+    match v {
+        Value::I64(i) => Ok(i.saturating_mul(AGG_SCALE as i64)),
+        Value::F64(f) => Ok((f * AGG_SCALE).round() as i64),
+        other => Err(CoreError::UnsupportedOperation(format!(
+            "aggregates need numeric values, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip() {
+        let ids = vec![DocId([1; 16]), DocId([2; 16])];
+        assert_eq!(decode_ids(&encode_ids(&ids)).unwrap(), ids);
+        assert_eq!(decode_ids(&encode_ids(&[])).unwrap(), vec![]);
+        assert!(decode_ids(&[0, 0]).is_err());
+        assert!(decode_ids(&[0, 0, 0, 2, 1]).is_err());
+    }
+
+    #[test]
+    fn orderable_u64_preserves_order() {
+        let ints = [-1000i64, -1, 0, 1, 1000, i64::MIN, i64::MAX];
+        let mut pairs: Vec<(i64, u64)> = ints.iter().map(|&i| (i, orderable_u64(&Value::I64(i)).unwrap())).collect();
+        pairs.sort_by_key(|p| p.0);
+        for w in pairs.windows(2) {
+            assert!(w[0].1 < w[1].1, "{} vs {}", w[0].0, w[1].0);
+        }
+        let floats = [-1.5f64, -0.0, 0.0, 0.1, 2.5, 1e10, -1e10];
+        let mut fpairs: Vec<(f64, u64)> = floats.iter().map(|&f| (f, orderable_u64(&Value::F64(f)).unwrap())).collect();
+        fpairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in fpairs.windows(2) {
+            assert!(w[0].1 <= w[1].1, "{} vs {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn orderable_rejects_strings() {
+        assert!(orderable_u64(&Value::from("x")).is_err());
+    }
+
+    #[test]
+    fn aggregable_scaling() {
+        assert_eq!(aggregable_i64(&Value::I64(5)).unwrap(), 5000);
+        assert_eq!(aggregable_i64(&Value::F64(6.3)).unwrap(), 6300);
+        assert_eq!(aggregable_i64(&Value::F64(-2.5)).unwrap(), -2500);
+        assert!(aggregable_i64(&Value::from("x")).is_err());
+    }
+
+    #[test]
+    fn context_routes_and_scopes() {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let ctx = TacticContext {
+            application: "ehealth".into(),
+            schema: "observation".into(),
+            scope: "status".into(),
+            kms: datablinder_kms::Kms::generate(&mut rng),
+        };
+        assert_eq!(ctx.route("mitra", "search"), "tactic/mitra/observation:status/search");
+        let ks = ctx.key_scope("mitra");
+        assert_eq!(ks.field, "observation.status");
+    }
+}

@@ -1,0 +1,332 @@
+//! The Paillier tactic adapter: cloud-side homomorphic Sum / Average.
+//!
+//! The gateway encrypts each numeric value (fixed-point scaled, signed
+//! values encoded in `Z_n`'s upper half) into a shadow field; the cloud
+//! multiplies ciphertexts — adding the plaintexts — without a decryption
+//! key. Table 2 lists key management as the integration challenge: the
+//! keypair lives in the KMS, only the public modulus goes to the cloud.
+
+use datablinder_bigint::BigUint;
+use datablinder_docstore::{DocStore, Value};
+use datablinder_kvstore::KvStore;
+use datablinder_paillier::{Ciphertext, Keypair, PublicKey};
+use datablinder_sse::DocId;
+use rand::RngCore;
+
+use super::{aggregable_i64, shadow_field, TacticContext, AGG_SCALE};
+use crate::cloudproto::{PaillierSum, PaillierSumResponse};
+use crate::error::CoreError;
+use crate::model::*;
+use crate::spi::{CloudCall, CloudTactic, GatewayTactic, ProtectedField};
+
+/// Default modulus size. 2048 for real deployments; moderate default so
+/// benchmarks finish.
+pub const DEFAULT_MODULUS_BITS: usize = 512;
+
+/// Descriptor for Paillier (Table 2: Sum/Average rows, 3/3 interfaces,
+/// challenge "key management"). The scheme itself leaks nothing beyond
+/// structure (probabilistic encryption).
+pub fn descriptor() -> TacticDescriptor {
+    TacticDescriptor {
+        name: "paillier".into(),
+        family: "partially homomorphic encryption".into(),
+        operations: vec![
+            OpProfile { op: TacticOp::Init, leakage: LeakageLevel::Structure, metrics: PerfMetrics::new(4, 1, 3) },
+            OpProfile { op: TacticOp::Update, leakage: LeakageLevel::Structure, metrics: PerfMetrics::new(5, 1, 3) },
+            OpProfile { op: TacticOp::Aggregate, leakage: LeakageLevel::Structure, metrics: PerfMetrics::new(5, 1, 3) },
+        ],
+        serves: vec![FieldOp::Insert],
+        serves_agg: vec![AggFn::Sum, AggFn::Avg, AggFn::Count],
+        gateway_interfaces: 3,
+        cloud_interfaces: 3,
+        gateway_state: false,
+    }
+}
+
+/// Gateway half of the Paillier aggregate tactic.
+pub struct PaillierTactic {
+    keypair: Keypair,
+    collection: String,
+    route_setup: String,
+    route_sum: String,
+    setup_sent: bool,
+}
+
+impl PaillierTactic {
+    /// Builds with the default modulus size.
+    ///
+    /// # Errors
+    ///
+    /// KMS failures.
+    pub fn build<R: RngCore>(ctx: &TacticContext, rng: &mut R) -> Result<Self, CoreError> {
+        Self::build_with_bits(ctx, rng, DEFAULT_MODULUS_BITS)
+    }
+
+    /// Builds with an explicit modulus size; the keypair is created once
+    /// per *application* (Paillier aggregates may span schemas) and cached
+    /// in the KMS.
+    ///
+    /// # Errors
+    ///
+    /// KMS failures.
+    pub fn build_with_bits<R: RngCore>(ctx: &TacticContext, rng: &mut R, bits: usize) -> Result<Self, CoreError> {
+        let secret_name = format!("paillier/{}", ctx.application);
+        let keypair = if ctx.kms.has_secret(&secret_name) {
+            Keypair::from_bytes(&ctx.kms.secret(&secret_name)?)?
+        } else {
+            let kp = Keypair::generate(rng, bits);
+            ctx.kms.put_secret(&secret_name, kp.to_bytes());
+            kp
+        };
+        Ok(PaillierTactic {
+            keypair,
+            collection: ctx.schema.clone(),
+            route_setup: ctx.route("paillier", "setup"),
+            route_sum: ctx.route("paillier", "sum"),
+            setup_sent: false,
+        })
+    }
+
+    /// Encodes a signed scaled value into `Z_n` (upper half = negative).
+    fn encode_plain(&self, v: i64) -> BigUint {
+        let n = self.keypair.public().modulus();
+        if v >= 0 {
+            BigUint::from(v as u64)
+        } else {
+            n - &BigUint::from(v.unsigned_abs())
+        }
+    }
+
+    /// Decodes a `Z_n` plaintext back to a signed value.
+    fn decode_plain(&self, m: &BigUint) -> i64 {
+        let n = self.keypair.public().modulus();
+        let half = n / &BigUint::from(2u64);
+        if m > &half {
+            let mag = n - m;
+            -(mag.to_u64().unwrap_or(u64::MAX) as i64)
+        } else {
+            m.to_u64().unwrap_or(u64::MAX) as i64
+        }
+    }
+
+    fn setup_call(&mut self) -> Option<CloudCall> {
+        if self.setup_sent {
+            return None;
+        }
+        self.setup_sent = true;
+        Some(CloudCall::new(self.route_setup.clone(), self.keypair.public().to_bytes()))
+    }
+}
+
+impl GatewayTactic for PaillierTactic {
+    fn descriptor(&self) -> TacticDescriptor {
+        descriptor()
+    }
+
+    fn protect(&mut self, rng: &mut dyn RngCore, field: &str, value: &Value, _id: DocId) -> Result<ProtectedField, CoreError> {
+        let scaled = aggregable_i64(value)?;
+        let m = self.encode_plain(scaled);
+        let ct = self.keypair.public().encrypt(rng, &m)?;
+        let mut index_calls = Vec::new();
+        if let Some(setup) = self.setup_call() {
+            index_calls.push(setup);
+        }
+        Ok(ProtectedField {
+            stored: vec![(shadow_field(field, "phe"), Value::Bytes(ct.to_bytes()))],
+            index_calls,
+        })
+    }
+
+    fn agg_query(&mut self, field: &str, _agg: AggFn, ids: &[DocId]) -> Result<Vec<CloudCall>, CoreError> {
+        let mut calls = Vec::new();
+        if let Some(setup) = self.setup_call() {
+            calls.push(setup);
+        }
+        let req = PaillierSum {
+            collection: self.collection.clone(),
+            field: shadow_field(field, "phe"),
+            ids: ids.iter().map(|id| id.to_hex()).collect(),
+        };
+        calls.push(CloudCall::new(self.route_sum.clone(), req.encode()));
+        Ok(calls)
+    }
+
+    fn agg_resolve(&self, agg: AggFn, responses: &[Vec<u8>]) -> Result<f64, CoreError> {
+        // The sum response is the last one (a setup call may precede it).
+        let response = responses.last().ok_or(CoreError::Wire("paillier response arity"))?;
+        let resp = PaillierSumResponse::decode(response)?;
+        if resp.count == 0 {
+            return Ok(0.0);
+        }
+        let ct = Ciphertext::from_bytes(&resp.ciphertext);
+        let m = self.keypair.decrypt(&ct)?;
+        let sum = self.decode_plain(&m) as f64 / AGG_SCALE;
+        Ok(match agg {
+            AggFn::Sum => sum,
+            AggFn::Avg => sum / resp.count as f64,
+            AggFn::Count => resp.count as f64,
+        })
+    }
+}
+
+/// Cloud half: multiplies stored ciphertexts under the scope's public key.
+pub struct PaillierCloud {
+    kv: KvStore,
+    docs: DocStore,
+}
+
+impl PaillierCloud {
+    /// Creates the handler over the cloud stores.
+    pub fn new(kv: KvStore, docs: DocStore) -> Self {
+        PaillierCloud { kv, docs }
+    }
+
+    fn pk_key(scope: &str) -> Vec<u8> {
+        let mut k = b"t/paillier/".to_vec();
+        k.extend_from_slice(scope.as_bytes());
+        k.extend_from_slice(b"/__pk__");
+        k
+    }
+}
+
+impl CloudTactic for PaillierCloud {
+    fn name(&self) -> &'static str {
+        "paillier"
+    }
+
+    fn handle(&self, scope: &str, op: &str, payload: &[u8]) -> Result<Vec<u8>, CoreError> {
+        match op {
+            "setup" => {
+                PublicKey::from_bytes(payload)?;
+                self.kv.set(&Self::pk_key(scope), payload);
+                Ok(Vec::new())
+            }
+            "sum" => {
+                let req = PaillierSum::decode(payload)?;
+                let pk_bytes = self
+                    .kv
+                    .get(&Self::pk_key(scope))
+                    .ok_or_else(|| CoreError::Storage(format!("paillier scope {scope} not set up")))?;
+                let pk = PublicKey::from_bytes(&pk_bytes)?;
+                let coll = self.docs.collection(&req.collection);
+                let docs: Vec<_> = if req.ids.is_empty() {
+                    coll.find(&datablinder_docstore::Filter::Exists(req.field.clone()))
+                } else {
+                    req.ids.iter().filter_map(|id| coll.get(id)).collect()
+                };
+                let mut acc: Option<Ciphertext> = None;
+                let mut count = 0u64;
+                for doc in &docs {
+                    let Some(Value::Bytes(ct_bytes)) = doc.get(&req.field) else {
+                        continue;
+                    };
+                    let ct = Ciphertext::from_bytes(ct_bytes);
+                    acc = Some(match acc {
+                        None => ct,
+                        Some(prev) => pk.add(&prev, &ct),
+                    });
+                    count += 1;
+                }
+                let resp = PaillierSumResponse {
+                    ciphertext: acc.map(|c| c.to_bytes()).unwrap_or_default(),
+                    count,
+                };
+                Ok(resp.encode())
+            }
+            other => Err(CoreError::UnsupportedOperation(format!("paillier cloud op {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datablinder_docstore::Document;
+    use rand::SeedableRng;
+
+    fn setup() -> (PaillierTactic, PaillierCloud, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let ctx = TacticContext {
+            application: "app".into(),
+            schema: "obs".into(),
+            scope: "value".into(),
+            kms: datablinder_kms::Kms::generate(&mut rng),
+        };
+        let gw = PaillierTactic::build_with_bits(&ctx, &mut rng, 256).unwrap();
+        let cloud = PaillierCloud::new(KvStore::new(), DocStore::new());
+        (gw, cloud, rng)
+    }
+
+    fn run(cloud: &PaillierCloud, call: &CloudCall) -> Vec<u8> {
+        let parts: Vec<&str> = call.route.split('/').collect();
+        cloud.handle(parts[2], parts[3], &call.payload).unwrap()
+    }
+
+    fn store_doc(cloud: &PaillierCloud, gw: &mut PaillierTactic, rng: &mut rand::rngs::StdRng, id: u8, v: f64) {
+        let p = gw.protect(rng, "value", &Value::from(v), DocId([id; 16])).unwrap();
+        for call in &p.index_calls {
+            run(cloud, call);
+        }
+        let mut doc = Document::new(DocId([id; 16]).to_hex());
+        for (f, val) in &p.stored {
+            doc.set(f.clone(), val.clone());
+        }
+        cloud.docs.collection("obs").insert(doc).unwrap();
+    }
+
+    #[test]
+    fn sum_and_average_whole_collection() {
+        let (mut gw, cloud, mut rng) = setup();
+        for (i, v) in [6.3f64, 5.1, 7.2].iter().enumerate() {
+            store_doc(&cloud, &mut gw, &mut rng, i as u8 + 1, *v);
+        }
+        let calls = gw.agg_query("value", AggFn::Avg, &[]).unwrap();
+        let responses: Vec<Vec<u8>> = calls.iter().map(|c| run(&cloud, c)).collect();
+        let avg = gw.agg_resolve(AggFn::Avg, &responses).unwrap();
+        assert!((avg - 6.2).abs() < 1e-9, "avg = {avg}");
+        let sum = gw.agg_resolve(AggFn::Sum, &responses).unwrap();
+        assert!((sum - 18.6).abs() < 1e-9, "sum = {sum}");
+        let count = gw.agg_resolve(AggFn::Count, &responses).unwrap();
+        assert_eq!(count, 3.0);
+    }
+
+    #[test]
+    fn sum_restricted_to_ids() {
+        let (mut gw, cloud, mut rng) = setup();
+        for (i, v) in [10.0f64, 20.0, 30.0].iter().enumerate() {
+            store_doc(&cloud, &mut gw, &mut rng, i as u8 + 1, *v);
+        }
+        let ids = vec![DocId([1; 16]), DocId([3; 16])];
+        let calls = gw.agg_query("value", AggFn::Sum, &ids).unwrap();
+        let responses: Vec<Vec<u8>> = calls.iter().map(|c| run(&cloud, c)).collect();
+        let sum = gw.agg_resolve(AggFn::Sum, &responses).unwrap();
+        assert!((sum - 40.0).abs() < 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn negative_values_sum_correctly() {
+        let (mut gw, cloud, mut rng) = setup();
+        store_doc(&cloud, &mut gw, &mut rng, 1, -5.5);
+        store_doc(&cloud, &mut gw, &mut rng, 2, 2.0);
+        let calls = gw.agg_query("value", AggFn::Sum, &[]).unwrap();
+        let responses: Vec<Vec<u8>> = calls.iter().map(|c| run(&cloud, c)).collect();
+        let sum = gw.agg_resolve(AggFn::Sum, &responses).unwrap();
+        assert!((sum + 3.5).abs() < 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn empty_collection_sums_to_zero() {
+        let (mut gw, cloud, _) = setup();
+        let calls = gw.agg_query("value", AggFn::Sum, &[]).unwrap();
+        let responses: Vec<Vec<u8>> = calls.iter().map(|c| run(&cloud, c)).collect();
+        assert_eq!(gw.agg_resolve(AggFn::Sum, &responses).unwrap(), 0.0);
+        assert_eq!(gw.agg_resolve(AggFn::Avg, &responses).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sum_without_setup_rejected() {
+        let (_, cloud, _) = setup();
+        let req = PaillierSum { collection: "obs".into(), field: "value__phe".into(), ids: vec![] };
+        assert!(cloud.handle("fresh", "sum", &req.encode()).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! The RND tactic adapter: probabilistic payload encryption, class 1.
+
+use datablinder_docstore::{Document, Value};
+use datablinder_sse::rnd::RndCipher;
+use datablinder_sse::DocId;
+use rand::RngCore;
+
+use super::{shadow_field, TacticContext};
+use crate::error::CoreError;
+use crate::model::*;
+use crate::spi::{GatewayTactic, ProtectedField};
+use crate::wire::{canonical_bytes, decode_value};
+
+/// Descriptor for RND (Table 2: class 1, leakage *Structure*, 6 gateway /
+/// 4 cloud interfaces, challenge "inefficiency" — no search at all).
+pub fn descriptor() -> TacticDescriptor {
+    TacticDescriptor {
+        name: "rnd".into(),
+        family: "probabilistic encryption".into(),
+        operations: vec![
+            OpProfile { op: TacticOp::Init, leakage: LeakageLevel::Structure, metrics: PerfMetrics::new(1, 0, 1) },
+            OpProfile { op: TacticOp::Update, leakage: LeakageLevel::Structure, metrics: PerfMetrics::new(1, 1, 1) },
+        ],
+        serves: vec![FieldOp::Insert],
+        serves_agg: vec![],
+        gateway_interfaces: 6,
+        cloud_interfaces: 4,
+        gateway_state: false,
+    }
+}
+
+/// Gateway half of RND.
+pub struct RndTactic {
+    cipher: RndCipher,
+}
+
+impl RndTactic {
+    /// Builds from context (key via KMS).
+    ///
+    /// # Errors
+    ///
+    /// Key-schedule failures.
+    pub fn build(ctx: &TacticContext) -> Result<Self, CoreError> {
+        let key = ctx.kms.key_for(&ctx.key_scope("rnd"));
+        Ok(RndTactic { cipher: RndCipher::new(&key)? })
+    }
+}
+
+impl GatewayTactic for RndTactic {
+    fn descriptor(&self) -> TacticDescriptor {
+        descriptor()
+    }
+
+    fn protect(&mut self, rng: &mut dyn RngCore, field: &str, value: &Value, _id: DocId) -> Result<ProtectedField, CoreError> {
+        let ct = self.cipher.encrypt(rng, &canonical_bytes(value));
+        Ok(ProtectedField { stored: vec![(shadow_field(field, "rnd"), Value::Bytes(ct))], index_calls: Vec::new() })
+    }
+
+    fn recover(&self, field: &str, stored: &Document) -> Result<Option<Value>, CoreError> {
+        let Some(Value::Bytes(ct)) = stored.get(&shadow_field(field, "rnd")) else {
+            return Ok(None);
+        };
+        let plain = self.cipher.decrypt(ct)?;
+        let mut slice = plain.as_slice();
+        let value = decode_value(&mut slice)?;
+        Ok(Some(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx() -> TacticContext {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        TacticContext {
+            application: "app".into(),
+            schema: "obs".into(),
+            scope: "performer".into(),
+            kms: datablinder_kms::Kms::generate(&mut rng),
+        }
+    }
+
+    #[test]
+    fn protect_and_recover() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut t = RndTactic::build(&ctx()).unwrap();
+        let p = t.protect(&mut rng, "performer", &Value::from("John Smith"), DocId([1; 16])).unwrap();
+        assert_eq!(p.stored.len(), 1);
+        assert!(p.index_calls.is_empty());
+        let mut doc = Document::new("x");
+        doc.set(p.stored[0].0.clone(), p.stored[0].1.clone());
+        let recovered = t.recover("performer", &doc).unwrap();
+        assert_eq!(recovered, Some(Value::from("John Smith")));
+    }
+
+    #[test]
+    fn recover_absent_field_is_none() {
+        let t = RndTactic::build(&ctx()).unwrap();
+        assert_eq!(t.recover("performer", &Document::new("x")).unwrap(), None);
+    }
+
+    #[test]
+    fn search_unsupported() {
+        let mut t = RndTactic::build(&ctx()).unwrap();
+        assert!(matches!(
+            t.eq_query("performer", &Value::from("x")),
+            Err(CoreError::UnsupportedOperation(_))
+        ));
+    }
+
+    #[test]
+    fn probabilistic_across_calls() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut t = RndTactic::build(&ctx()).unwrap();
+        let a = t.protect(&mut rng, "f", &Value::from("v"), DocId([1; 16])).unwrap();
+        let b = t.protect(&mut rng, "f", &Value::from("v"), DocId([1; 16])).unwrap();
+        assert_ne!(a.stored[0].1, b.stored[0].1);
+    }
+}

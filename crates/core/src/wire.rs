@@ -1,0 +1,423 @@
+//! Byte codecs for values, documents and schemas crossing the
+//! gateway↔cloud channel and stored in the metadata subsystem.
+//!
+//! No JSON serializer is available offline, so the middleware speaks a
+//! compact tagged binary format (which is also what a production system
+//! would prefer on the wire).
+
+use std::collections::BTreeMap;
+
+use datablinder_docstore::{Document, Value};
+
+use crate::error::CoreError;
+use crate::model::{AggFn, FieldAnnotation, FieldOp, FieldSpec, FieldType, ProtectionClass, Schema};
+
+/// Encodes a [`Value`].
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::I64(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_be_bytes());
+        }
+        Value::F64(f) => {
+            out.push(3);
+            out.extend_from_slice(&f.to_be_bytes());
+        }
+        Value::Str(s) => {
+            out.push(4);
+            put_bytes(out, s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(5);
+            put_bytes(out, b);
+        }
+        Value::Array(items) => {
+            out.push(6);
+            out.extend_from_slice(&(items.len() as u32).to_be_bytes());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Object(map) => {
+            out.push(7);
+            out.extend_from_slice(&(map.len() as u32).to_be_bytes());
+            for (k, val) in map {
+                put_bytes(out, k.as_bytes());
+                encode_value(val, out);
+            }
+        }
+    }
+}
+
+/// Decodes a [`Value`], advancing `buf`.
+///
+/// # Errors
+///
+/// [`CoreError::Wire`] on truncation or unknown tags.
+pub fn decode_value(buf: &mut &[u8]) -> Result<Value, CoreError> {
+    let tag = take_u8(buf)?;
+    Ok(match tag {
+        0 => Value::Null,
+        1 => Value::Bool(take_u8(buf)? != 0),
+        2 => Value::I64(i64::from_be_bytes(take_n::<8>(buf)?)),
+        3 => Value::F64(f64::from_be_bytes(take_n::<8>(buf)?)),
+        4 => Value::Str(String::from_utf8(take_bytes(buf)?).map_err(|_| CoreError::Wire("utf8"))?),
+        5 => Value::Bytes(take_bytes(buf)?),
+        6 => {
+            let n = take_count(buf)?;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_value(buf)?);
+            }
+            Value::Array(items)
+        }
+        7 => {
+            let n = take_count(buf)?;
+            let mut map = BTreeMap::new();
+            for _ in 0..n {
+                let k = String::from_utf8(take_bytes(buf)?).map_err(|_| CoreError::Wire("utf8 key"))?;
+                map.insert(k, decode_value(buf)?);
+            }
+            Value::Object(map)
+        }
+        _ => return Err(CoreError::Wire("unknown value tag")),
+    })
+}
+
+/// Encodes a [`Document`] (id + fields).
+pub fn encode_document(doc: &Document) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_bytes(&mut out, doc.id().as_bytes());
+    out.extend_from_slice(&(doc.len() as u32).to_be_bytes());
+    for (name, value) in doc.iter() {
+        put_bytes(&mut out, name.as_bytes());
+        encode_value(value, &mut out);
+    }
+    out
+}
+
+/// Decodes a [`Document`].
+///
+/// # Errors
+///
+/// [`CoreError::Wire`] on malformed input.
+pub fn decode_document(mut buf: &[u8]) -> Result<Document, CoreError> {
+    let doc = decode_document_from(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(CoreError::Wire("trailing bytes after document"));
+    }
+    Ok(doc)
+}
+
+/// Decodes a [`Document`], advancing `buf` (for streams of documents).
+///
+/// # Errors
+///
+/// [`CoreError::Wire`] on malformed input.
+pub fn decode_document_from(buf: &mut &[u8]) -> Result<Document, CoreError> {
+    let id = String::from_utf8(take_bytes(buf)?).map_err(|_| CoreError::Wire("utf8 id"))?;
+    let n = take_count(buf)?;
+    let mut doc = Document::new(id);
+    for _ in 0..n {
+        let name = String::from_utf8(take_bytes(buf)?).map_err(|_| CoreError::Wire("utf8 field"))?;
+        let value = decode_value(buf)?;
+        doc.set(name, value);
+    }
+    Ok(doc)
+}
+
+/// Encodes a list of documents.
+pub fn encode_documents(docs: &[Document]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(docs.len() as u32).to_be_bytes());
+    for d in docs {
+        put_bytes(&mut out, &encode_document(d));
+    }
+    out
+}
+
+/// Decodes a list of documents.
+///
+/// # Errors
+///
+/// [`CoreError::Wire`] on malformed input.
+pub fn decode_documents(mut buf: &[u8]) -> Result<Vec<Document>, CoreError> {
+    let n = take_count(&mut buf)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let blob = take_bytes(&mut buf)?;
+        out.push(decode_document(&blob)?);
+    }
+    Ok(out)
+}
+
+/// The canonical index-keyword encoding of a value: the byte string SSE
+/// tactics index. Cross-field boolean tactics prepend `field=`.
+pub fn canonical_bytes(v: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_value(v, &mut out);
+    out
+}
+
+/// Canonical keyword for cross-field boolean indexes: `field || 0x1F || value`.
+pub fn field_keyword(field: &str, v: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(field.len() + 1 + 16);
+    out.extend_from_slice(field.as_bytes());
+    out.push(0x1F);
+    out.extend_from_slice(&canonical_bytes(v));
+    out
+}
+
+// ------------------------------------------------------------- schema codec
+
+/// Encodes a [`Schema`] for the metadata subsystem.
+pub fn encode_schema(s: &Schema) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_bytes(&mut out, s.name.as_bytes());
+    out.extend_from_slice(&(s.fields.len() as u32).to_be_bytes());
+    for (name, spec) in &s.fields {
+        put_bytes(&mut out, name.as_bytes());
+        out.push(match spec.field_type {
+            FieldType::Text => 0,
+            FieldType::Integer => 1,
+            FieldType::Float => 2,
+            FieldType::Boolean => 3,
+        });
+        out.push(spec.required as u8);
+        match &spec.annotation {
+            None => out.push(0),
+            Some(a) => {
+                out.push(1);
+                out.push(a.class as u8);
+                out.push(a.ops.len() as u8);
+                for op in &a.ops {
+                    out.push(match op {
+                        FieldOp::Insert => 0,
+                        FieldOp::Equality => 1,
+                        FieldOp::Boolean => 2,
+                        FieldOp::Range => 3,
+                    });
+                }
+                out.push(a.aggs.len() as u8);
+                for agg in &a.aggs {
+                    out.push(match agg {
+                        AggFn::Sum => 0,
+                        AggFn::Avg => 1,
+                        AggFn::Count => 2,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a [`Schema`].
+///
+/// # Errors
+///
+/// [`CoreError::Wire`] on malformed input.
+pub fn decode_schema(mut buf: &[u8]) -> Result<Schema, CoreError> {
+    let buf = &mut buf;
+    let name = String::from_utf8(take_bytes(buf)?).map_err(|_| CoreError::Wire("utf8 schema name"))?;
+    let n = take_count(buf)?;
+    let mut schema = Schema::new(name);
+    for _ in 0..n {
+        let fname = String::from_utf8(take_bytes(buf)?).map_err(|_| CoreError::Wire("utf8 field name"))?;
+        let field_type = match take_u8(buf)? {
+            0 => FieldType::Text,
+            1 => FieldType::Integer,
+            2 => FieldType::Float,
+            3 => FieldType::Boolean,
+            _ => return Err(CoreError::Wire("field type")),
+        };
+        let required = take_u8(buf)? != 0;
+        let annotation = match take_u8(buf)? {
+            0 => None,
+            1 => {
+                let class = match take_u8(buf)? {
+                    1 => ProtectionClass::C1,
+                    2 => ProtectionClass::C2,
+                    3 => ProtectionClass::C3,
+                    4 => ProtectionClass::C4,
+                    5 => ProtectionClass::C5,
+                    _ => return Err(CoreError::Wire("protection class")),
+                };
+                let nops = take_u8(buf)? as usize;
+                let mut ops = Vec::with_capacity(nops);
+                for _ in 0..nops {
+                    ops.push(match take_u8(buf)? {
+                        0 => FieldOp::Insert,
+                        1 => FieldOp::Equality,
+                        2 => FieldOp::Boolean,
+                        3 => FieldOp::Range,
+                        _ => return Err(CoreError::Wire("field op")),
+                    });
+                }
+                let naggs = take_u8(buf)? as usize;
+                let mut aggs = Vec::with_capacity(naggs);
+                for _ in 0..naggs {
+                    aggs.push(match take_u8(buf)? {
+                        0 => AggFn::Sum,
+                        1 => AggFn::Avg,
+                        2 => AggFn::Count,
+                        _ => return Err(CoreError::Wire("agg fn")),
+                    });
+                }
+                Some(FieldAnnotation { class, ops, aggs })
+            }
+            _ => return Err(CoreError::Wire("annotation flag")),
+        };
+        schema.fields.insert(fname, FieldSpec { field_type, annotation, required });
+    }
+    Ok(schema)
+}
+
+// ----------------------------------------------------------------- helpers
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+    out.extend_from_slice(b);
+}
+
+fn take_u8(buf: &mut &[u8]) -> Result<u8, CoreError> {
+    if buf.is_empty() {
+        return Err(CoreError::Wire("truncated"));
+    }
+    let b = buf[0];
+    *buf = &buf[1..];
+    Ok(b)
+}
+
+fn take_n<const N: usize>(buf: &mut &[u8]) -> Result<[u8; N], CoreError> {
+    if buf.len() < N {
+        return Err(CoreError::Wire("truncated"));
+    }
+    let (head, rest) = buf.split_at(N);
+    *buf = rest;
+    Ok(head.try_into().unwrap())
+}
+
+fn take_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, CoreError> {
+    let len = u32::from_be_bytes(take_n::<4>(buf)?) as usize;
+    if buf.len() < len {
+        return Err(CoreError::Wire("truncated bytes"));
+    }
+    let (head, rest) = buf.split_at(len);
+    *buf = rest;
+    Ok(head.to_vec())
+}
+
+fn take_count(buf: &mut &[u8]) -> Result<usize, CoreError> {
+    let n = u32::from_be_bytes(take_n::<4>(buf)?) as usize;
+    if n > buf.len() {
+        return Err(CoreError::Wire("count exceeds buffer"));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FieldAnnotation;
+
+    fn sample_value() -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("k".to_string(), Value::from(1i64));
+        Value::Array(vec![
+            Value::Null,
+            Value::from(true),
+            Value::from(-42i64),
+            Value::from(2.5f64),
+            Value::from("text"),
+            Value::Bytes(vec![0, 255, 7]),
+            Value::Object(obj),
+        ])
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let v = sample_value();
+        let mut buf = Vec::new();
+        encode_value(&v, &mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(decode_value(&mut slice).unwrap(), v);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let doc = Document::new("d1").with("a", Value::from(1i64)).with("b", sample_value());
+        let decoded = decode_document(&encode_document(&doc)).unwrap();
+        assert_eq!(decoded, doc);
+    }
+
+    #[test]
+    fn documents_list_roundtrip() {
+        let docs = vec![
+            Document::new("a").with("x", Value::from(1i64)),
+            Document::new("b"),
+        ];
+        assert_eq!(decode_documents(&encode_documents(&docs)).unwrap(), docs);
+        assert_eq!(decode_documents(&encode_documents(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let doc = Document::new("d1").with("a", Value::from(1i64));
+        let buf = encode_document(&doc);
+        for cut in 0..buf.len() {
+            assert!(decode_document(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let doc = Document::new("d");
+        let mut buf = encode_document(&doc);
+        buf.push(0);
+        assert!(decode_document(&buf).is_err());
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_types() {
+        // "1" as string vs 1 as int must index differently.
+        assert_ne!(canonical_bytes(&Value::from("1")), canonical_bytes(&Value::from(1i64)));
+        assert_eq!(canonical_bytes(&Value::from(5i64)), canonical_bytes(&Value::from(5i64)));
+    }
+
+    #[test]
+    fn field_keyword_separates_fields() {
+        assert_ne!(field_keyword("a", &Value::from("x")), field_keyword("b", &Value::from("x")));
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let s = Schema::new("obs")
+            .plain_field("note", FieldType::Text, false)
+            .sensitive_field(
+                "status",
+                FieldType::Text,
+                true,
+                FieldAnnotation::new(ProtectionClass::C3, vec![FieldOp::Insert, FieldOp::Equality, FieldOp::Boolean]),
+            )
+            .sensitive_field(
+                "value",
+                FieldType::Float,
+                true,
+                FieldAnnotation::new(ProtectionClass::C3, vec![FieldOp::Insert]).with_aggs(vec![AggFn::Avg]),
+            );
+        let decoded = decode_schema(&encode_schema(&s)).unwrap();
+        assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn schema_garbage_rejected() {
+        assert!(decode_schema(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Decode-side robustness: arbitrary bytes must never panic any codec —
+//! they either parse or return `CoreError::Wire`/`SseError::Malformed`.
+
+use datablinder_core::cloudproto::{FindIdsDnf, FindIdsEq, FindIdsRange, PaillierSum, PaillierSumResponse};
+use datablinder_core::wire::{decode_document, decode_documents, decode_schema, decode_value};
+use datablinder_sse::biex::{Biex2LevToken, BiexZmfToken};
+use datablinder_sse::mitra::{MitraSearchToken, MitraUpdateToken};
+use datablinder_sse::sophos::{SophosSearchToken, SophosUpdateToken};
+use datablinder_sse::twolev::TwoLevToken;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn decoders_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut slice = bytes.as_slice();
+        let _ = decode_value(&mut slice);
+        let _ = decode_document(&bytes);
+        let _ = decode_documents(&bytes);
+        let _ = decode_schema(&bytes);
+        let _ = FindIdsEq::decode(&bytes);
+        let _ = FindIdsRange::decode(&bytes);
+        let _ = FindIdsDnf::decode(&bytes);
+        let _ = PaillierSum::decode(&bytes);
+        let _ = PaillierSumResponse::decode(&bytes);
+        let _ = MitraUpdateToken::decode(&bytes);
+        let _ = MitraSearchToken::decode(&bytes);
+        let _ = SophosUpdateToken::decode(&bytes);
+        let _ = SophosSearchToken::decode(&bytes);
+        let _ = TwoLevToken::decode(&bytes);
+        let _ = Biex2LevToken::decode(&bytes);
+        let _ = BiexZmfToken::decode(&bytes);
+    }
+
+    #[test]
+    fn value_reencode_is_stable(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        // Whatever parses must re-encode to an equal value (canonical form).
+        let mut slice = bytes.as_slice();
+        if let Ok(v) = decode_value(&mut slice) {
+            let mut buf = Vec::new();
+            datablinder_core::wire::encode_value(&v, &mut buf);
+            let mut slice2 = buf.as_slice();
+            let v2 = decode_value(&mut slice2).expect("reencoded value parses");
+            prop_assert_eq!(v, v2);
+        }
+    }
+}

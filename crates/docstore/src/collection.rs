@@ -1,0 +1,318 @@
+//! Collections and the store root.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::filter::Filter;
+use crate::value::{Document, Value};
+use crate::DocStoreError;
+
+/// Wrapper giving [`Value`] the `Ord` a BTreeMap index key needs, using
+/// [`Value::total_cmp`].
+#[derive(Debug, Clone, PartialEq)]
+struct IndexKey(Value);
+
+impl Eq for IndexKey {}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Default)]
+struct CollectionInner {
+    docs: HashMap<String, Document>,
+    /// field -> (value -> ids)
+    indexes: HashMap<String, BTreeMap<IndexKey, HashSet<String>>>,
+}
+
+/// A named set of documents with optional secondary indexes.
+///
+/// Cloning shares the underlying collection.
+#[derive(Clone, Default)]
+pub struct Collection {
+    inner: Arc<RwLock<CollectionInner>>,
+}
+
+impl Collection {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Collection::default()
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.inner.read().docs.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().docs.is_empty()
+    }
+
+    /// Creates a secondary index on `field` (idempotent; backfills).
+    pub fn create_index(&self, field: &str) {
+        let mut inner = self.inner.write();
+        if inner.indexes.contains_key(field) {
+            return;
+        }
+        let mut index: BTreeMap<IndexKey, HashSet<String>> = BTreeMap::new();
+        for (id, doc) in &inner.docs {
+            if let Some(v) = doc.get(field) {
+                index.entry(IndexKey(v.clone())).or_default().insert(id.clone());
+            }
+        }
+        inner.indexes.insert(field.to_string(), index);
+    }
+
+    /// Inserts a new document.
+    ///
+    /// # Errors
+    ///
+    /// [`DocStoreError::DuplicateId`] if the id exists.
+    pub fn insert(&self, doc: Document) -> Result<(), DocStoreError> {
+        let mut inner = self.inner.write();
+        if inner.docs.contains_key(doc.id()) {
+            return Err(DocStoreError::DuplicateId(doc.id().to_string()));
+        }
+        index_doc(&mut inner, &doc, true);
+        inner.docs.insert(doc.id().to_string(), doc);
+        Ok(())
+    }
+
+    /// Fetches by id.
+    pub fn get(&self, id: &str) -> Option<Document> {
+        self.inner.read().docs.get(id).cloned()
+    }
+
+    /// Replaces the document with the same id.
+    ///
+    /// # Errors
+    ///
+    /// [`DocStoreError::NotFound`] if the id does not exist.
+    pub fn update(&self, doc: Document) -> Result<(), DocStoreError> {
+        let mut inner = self.inner.write();
+        let old = inner.docs.get(doc.id()).cloned().ok_or_else(|| DocStoreError::NotFound(doc.id().to_string()))?;
+        index_doc(&mut inner, &old, false);
+        index_doc(&mut inner, &doc, true);
+        inner.docs.insert(doc.id().to_string(), doc);
+        Ok(())
+    }
+
+    /// Deletes by id.
+    ///
+    /// # Errors
+    ///
+    /// [`DocStoreError::NotFound`] if the id does not exist.
+    pub fn delete(&self, id: &str) -> Result<(), DocStoreError> {
+        let mut inner = self.inner.write();
+        let old = inner.docs.remove(id).ok_or_else(|| DocStoreError::NotFound(id.to_string()))?;
+        index_doc(&mut inner, &old, false);
+        Ok(())
+    }
+
+    /// Finds documents matching `filter`, using a secondary index when an
+    /// equality conjunct on an indexed field is present.
+    pub fn find(&self, filter: &Filter) -> Vec<Document> {
+        let inner = self.inner.read();
+        if let Some((field, value)) = filter.index_candidate() {
+            if let Some(index) = inner.indexes.get(field) {
+                let mut out = Vec::new();
+                if let Some(ids) = index.get(&IndexKey(value.clone())) {
+                    for id in ids {
+                        if let Some(doc) = inner.docs.get(id) {
+                            if filter.matches(doc) {
+                                out.push(doc.clone());
+                            }
+                        }
+                    }
+                }
+                out.sort_by(|a, b| a.id().cmp(b.id()));
+                return out;
+            }
+        }
+        let mut out: Vec<Document> = inner.docs.values().filter(|d| filter.matches(d)).cloned().collect();
+        out.sort_by(|a, b| a.id().cmp(b.id()));
+        out
+    }
+
+    /// Counts matches without materializing documents.
+    pub fn count(&self, filter: &Filter) -> usize {
+        self.inner.read().docs.values().filter(|d| filter.matches(d)).count()
+    }
+
+    /// All document ids (unordered).
+    pub fn ids(&self) -> Vec<String> {
+        self.inner.read().docs.keys().cloned().collect()
+    }
+}
+
+fn index_doc(inner: &mut CollectionInner, doc: &Document, add: bool) {
+    // Split borrows: iterate index fields, read doc fields.
+    for (field, index) in inner.indexes.iter_mut() {
+        if let Some(v) = doc.get(field) {
+            let key = IndexKey(v.clone());
+            if add {
+                index.entry(key).or_default().insert(doc.id().to_string());
+            } else if let Some(set) = index.get_mut(&key) {
+                set.remove(doc.id());
+                if set.is_empty() {
+                    index.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Collection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collection").field("len", &self.len()).finish()
+    }
+}
+
+/// The store root: named collections.
+#[derive(Clone, Default)]
+pub struct DocStore {
+    collections: Arc<RwLock<HashMap<String, Collection>>>,
+}
+
+impl DocStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        DocStore::default()
+    }
+
+    /// Gets or creates the named collection.
+    pub fn collection(&self, name: &str) -> Collection {
+        self.collections.write().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Names of existing collections.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.collections.read().keys().cloned().collect()
+    }
+
+    /// Drops a collection; `true` if it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.collections.write().remove(name).is_some()
+    }
+}
+
+impl std::fmt::Debug for DocStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DocStore").field("collections", &self.collection_names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: &str, status: &str, value: i64) -> Document {
+        Document::new(id)
+            .with("status", Value::from(status))
+            .with("value", Value::from(value))
+    }
+
+    #[test]
+    fn crud_lifecycle() {
+        let c = Collection::new();
+        c.insert(sample("1", "final", 10)).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!(matches!(c.insert(sample("1", "x", 0)), Err(DocStoreError::DuplicateId(_))));
+        assert_eq!(c.get("1").unwrap().get("status"), Some(&Value::from("final")));
+        assert_eq!(c.get("nope"), None);
+
+        c.update(sample("1", "amended", 11)).unwrap();
+        assert_eq!(c.get("1").unwrap().get("status"), Some(&Value::from("amended")));
+        assert!(matches!(c.update(sample("2", "x", 0)), Err(DocStoreError::NotFound(_))));
+
+        c.delete("1").unwrap();
+        assert!(c.is_empty());
+        assert!(matches!(c.delete("1"), Err(DocStoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn find_with_filters() {
+        let c = Collection::new();
+        for i in 0..10 {
+            c.insert(sample(&format!("d{i}"), if i % 2 == 0 { "final" } else { "draft" }, i)).unwrap();
+        }
+        assert_eq!(c.find(&Filter::eq("status", Value::from("final"))).len(), 5);
+        assert_eq!(c.find(&Filter::between("value", Value::from(3i64), Value::from(6i64))).len(), 4);
+        assert_eq!(c.find(&Filter::All).len(), 10);
+        assert_eq!(c.count(&Filter::eq("status", Value::from("draft"))), 5);
+        // Results are id-sorted for determinism.
+        let hits = c.find(&Filter::All);
+        let ids: Vec<&str> = hits.iter().map(|d| d.id()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn index_consistency_through_mutations() {
+        let c = Collection::new();
+        c.insert(sample("a", "final", 1)).unwrap();
+        c.create_index("status");
+        c.insert(sample("b", "final", 2)).unwrap();
+        c.insert(sample("c", "draft", 3)).unwrap();
+
+        let finals = c.find(&Filter::eq("status", Value::from("final")));
+        assert_eq!(finals.len(), 2, "backfilled + incremental");
+
+        c.update(sample("a", "draft", 1)).unwrap();
+        assert_eq!(c.find(&Filter::eq("status", Value::from("final"))).len(), 1);
+        assert_eq!(c.find(&Filter::eq("status", Value::from("draft"))).len(), 2);
+
+        c.delete("c").unwrap();
+        assert_eq!(c.find(&Filter::eq("status", Value::from("draft"))).len(), 1);
+    }
+
+    #[test]
+    fn indexed_find_respects_residual_filter() {
+        let c = Collection::new();
+        c.create_index("status");
+        for i in 0..10 {
+            c.insert(sample(&format!("d{i}"), "final", i)).unwrap();
+        }
+        let f = Filter::and(vec![
+            Filter::eq("status", Value::from("final")),
+            Filter::gte("value", Value::from(8i64)),
+        ]);
+        assert_eq!(c.find(&f).len(), 2);
+    }
+
+    #[test]
+    fn store_collections() {
+        let s = DocStore::new();
+        let c1 = s.collection("a");
+        c1.insert(sample("1", "x", 1)).unwrap();
+        // Same handle through a second lookup.
+        assert_eq!(s.collection("a").len(), 1);
+        assert_eq!(s.collection("b").len(), 0);
+        let mut names = s.collection_names();
+        names.sort();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(s.drop_collection("b"));
+        assert!(!s.drop_collection("b"));
+    }
+
+    #[test]
+    fn create_index_idempotent() {
+        let c = Collection::new();
+        c.insert(sample("1", "x", 1)).unwrap();
+        c.create_index("status");
+        c.create_index("status");
+        assert_eq!(c.find(&Filter::eq("status", Value::from("x"))).len(), 1);
+    }
+}

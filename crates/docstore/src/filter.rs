@@ -1,0 +1,183 @@
+//! Query filters: equality, range and boolean combinations over fields.
+
+use crate::value::{Document, Value};
+
+/// A predicate over documents.
+///
+/// # Examples
+///
+/// ```
+/// use datablinder_docstore::{Document, Filter, Value};
+///
+/// let doc = Document::new("d").with("age", Value::from(42i64));
+/// let f = Filter::and(vec![
+///     Filter::gte("age", Value::from(18i64)),
+///     Filter::lt("age", Value::from(65i64)),
+/// ]);
+/// assert!(f.matches(&doc));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Matches every document.
+    All,
+    /// Field equals value (missing field never matches).
+    Eq(String, Value),
+    /// Field is strictly less than value.
+    Lt(String, Value),
+    /// Field is less than or equal to value.
+    Lte(String, Value),
+    /// Field is strictly greater than value.
+    Gt(String, Value),
+    /// Field is greater than or equal to value.
+    Gte(String, Value),
+    /// Field exists.
+    Exists(String),
+    /// Conjunction.
+    And(Vec<Filter>),
+    /// Disjunction.
+    Or(Vec<Filter>),
+    /// Negation.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// Equality shorthand.
+    pub fn eq(field: impl Into<String>, value: Value) -> Filter {
+        Filter::Eq(field.into(), value)
+    }
+
+    /// `<` shorthand.
+    pub fn lt(field: impl Into<String>, value: Value) -> Filter {
+        Filter::Lt(field.into(), value)
+    }
+
+    /// `<=` shorthand.
+    pub fn lte(field: impl Into<String>, value: Value) -> Filter {
+        Filter::Lte(field.into(), value)
+    }
+
+    /// `>` shorthand.
+    pub fn gt(field: impl Into<String>, value: Value) -> Filter {
+        Filter::Gt(field.into(), value)
+    }
+
+    /// `>=` shorthand.
+    pub fn gte(field: impl Into<String>, value: Value) -> Filter {
+        Filter::Gte(field.into(), value)
+    }
+
+    /// Inclusive range shorthand: `lo <= field <= hi`.
+    pub fn between(field: impl Into<String>, lo: Value, hi: Value) -> Filter {
+        let field = field.into();
+        Filter::And(vec![Filter::Gte(field.clone(), lo), Filter::Lte(field, hi)])
+    }
+
+    /// Conjunction shorthand.
+    pub fn and(filters: Vec<Filter>) -> Filter {
+        Filter::And(filters)
+    }
+
+    /// Disjunction shorthand.
+    pub fn or(filters: Vec<Filter>) -> Filter {
+        Filter::Or(filters)
+    }
+
+    /// Negation shorthand.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(filter: Filter) -> Filter {
+        Filter::Not(Box::new(filter))
+    }
+
+    /// Evaluates the filter against a document.
+    pub fn matches(&self, doc: &Document) -> bool {
+        use std::cmp::Ordering;
+        match self {
+            Filter::All => true,
+            Filter::Eq(f, v) => doc.get(f).is_some_and(|x| x.total_cmp(v) == Ordering::Equal),
+            Filter::Lt(f, v) => doc.get(f).is_some_and(|x| x.total_cmp(v) == Ordering::Less),
+            Filter::Lte(f, v) => doc.get(f).is_some_and(|x| x.total_cmp(v) != Ordering::Greater),
+            Filter::Gt(f, v) => doc.get(f).is_some_and(|x| x.total_cmp(v) == Ordering::Greater),
+            Filter::Gte(f, v) => doc.get(f).is_some_and(|x| x.total_cmp(v) != Ordering::Less),
+            Filter::Exists(f) => doc.get(f).is_some(),
+            Filter::And(fs) => fs.iter().all(|f| f.matches(doc)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(doc)),
+            Filter::Not(f) => !f.matches(doc),
+        }
+    }
+
+    /// If this filter (or a conjunct of it) is an equality on an indexed
+    /// field, returns `(field, value)` so the collection can use the index.
+    pub(crate) fn index_candidate(&self) -> Option<(&str, &Value)> {
+        match self {
+            Filter::Eq(f, v) => Some((f, v)),
+            Filter::And(fs) => fs.iter().find_map(|f| f.index_candidate()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document::new("d")
+            .with("name", Value::from("alice"))
+            .with("age", Value::from(30i64))
+            .with("score", Value::from(7.5f64))
+    }
+
+    #[test]
+    fn eq_and_missing_fields() {
+        assert!(Filter::eq("name", Value::from("alice")).matches(&doc()));
+        assert!(!Filter::eq("name", Value::from("bob")).matches(&doc()));
+        assert!(!Filter::eq("missing", Value::Null).matches(&doc()));
+        assert!(Filter::Exists("age".into()).matches(&doc()));
+        assert!(!Filter::Exists("missing".into()).matches(&doc()));
+    }
+
+    #[test]
+    fn range_operators() {
+        let d = doc();
+        assert!(Filter::lt("age", Value::from(31i64)).matches(&d));
+        assert!(!Filter::lt("age", Value::from(30i64)).matches(&d));
+        assert!(Filter::lte("age", Value::from(30i64)).matches(&d));
+        assert!(Filter::gt("age", Value::from(29i64)).matches(&d));
+        assert!(Filter::gte("age", Value::from(30i64)).matches(&d));
+        assert!(Filter::between("age", Value::from(30i64), Value::from(40i64)).matches(&d));
+        assert!(!Filter::between("age", Value::from(31i64), Value::from(40i64)).matches(&d));
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let d = doc();
+        let yes = Filter::eq("name", Value::from("alice"));
+        let no = Filter::eq("name", Value::from("bob"));
+        assert!(Filter::and(vec![yes.clone(), Filter::All]).matches(&d));
+        assert!(!Filter::and(vec![yes.clone(), no.clone()]).matches(&d));
+        assert!(Filter::or(vec![no.clone(), yes.clone()]).matches(&d));
+        assert!(!Filter::or(vec![no.clone()]).matches(&d));
+        assert!(Filter::not(no).matches(&d));
+        assert!(!Filter::not(yes).matches(&d));
+        // Vacuous cases.
+        assert!(Filter::and(vec![]).matches(&d));
+        assert!(!Filter::or(vec![]).matches(&d));
+    }
+
+    #[test]
+    fn range_on_missing_field_never_matches() {
+        let d = doc();
+        assert!(!Filter::lt("missing", Value::from(1i64)).matches(&d));
+        assert!(!Filter::gte("missing", Value::from(1i64)).matches(&d));
+    }
+
+    #[test]
+    fn index_candidate_extraction() {
+        let f = Filter::and(vec![
+            Filter::gt("age", Value::from(10i64)),
+            Filter::eq("name", Value::from("alice")),
+        ]);
+        assert_eq!(f.index_candidate(), Some(("name", &Value::from("alice"))));
+        assert_eq!(Filter::All.index_candidate(), None);
+    }
+}

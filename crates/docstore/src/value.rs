@@ -1,0 +1,288 @@
+//! Schemaless document values.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A JSON-like value.
+///
+/// `Bytes` exists because encrypted field values are raw ciphertexts;
+/// MongoDB's BSON has the same distinction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent/null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// UTF-8 text.
+    Str(String),
+    /// Raw bytes (ciphertexts, tokens).
+    Bytes(Vec<u8>),
+    /// Ordered list.
+    Array(Vec<Value>),
+    /// Nested document.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Type name, for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) => "i64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "string",
+            Value::Bytes(_) => "bytes",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Total order across values (cross-type ordered by type rank), so
+    /// range filters and index BTreeMaps are well-defined. `F64` NaNs sort
+    /// greatest.
+    pub fn total_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                I64(_) => 2,
+                F64(_) => 3,
+                Str(_) => 4,
+                Bytes(_) => 5,
+                Array(_) => 6,
+                Object(_) => 7,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (I64(a), I64(b)) => a.cmp(b),
+            (F64(a), F64(b)) => a.total_cmp(b),
+            // Mixed numerics compare numerically so range queries over a
+            // field holding both behave sensibly.
+            (I64(a), F64(b)) => (*a as f64).total_cmp(b),
+            (F64(a), I64(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            (Array(a), Array(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.total_cmp(y) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Object(a), Object(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+                    match ka.cmp(kb).then_with(|| va.total_cmp(vb)) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Interprets as `i64` if numeric.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::F64(v) if v.fract() == 0.0 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Interprets as `f64` if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interprets as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interprets as bytes.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+/// A document: a string id plus named fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Document {
+    id: String,
+    fields: BTreeMap<String, Value>,
+}
+
+impl Document {
+    /// Creates an empty document with the given id.
+    pub fn new(id: impl Into<String>) -> Self {
+        Document { id: id.into(), fields: BTreeMap::new() }
+    }
+
+    /// The document id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Sets a field, returning `self` for chaining-free builder use.
+    pub fn set(&mut self, field: impl Into<String>, value: Value) -> &mut Self {
+        self.fields.insert(field.into(), value);
+        self
+    }
+
+    /// Builder-style field set.
+    #[must_use]
+    pub fn with(mut self, field: impl Into<String>, value: Value) -> Self {
+        self.fields.insert(field.into(), value);
+        self
+    }
+
+    /// Reads a field.
+    pub fn get(&self, field: &str) -> Option<&Value> {
+        self.fields.get(field)
+    }
+
+    /// Removes a field.
+    pub fn remove(&mut self, field: &str) -> Option<Value> {
+        self.fields.remove(field)
+    }
+
+    /// Iterates fields in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.fields.iter()
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the document has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field names.
+    pub fn field_names(&self) -> impl Iterator<Item = &String> {
+        self.fields.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn total_cmp_same_types() {
+        assert_eq!(Value::from(1i64).total_cmp(&Value::from(2i64)), Ordering::Less);
+        assert_eq!(Value::from("a").total_cmp(&Value::from("b")), Ordering::Less);
+        assert_eq!(Value::from(true).total_cmp(&Value::from(false)), Ordering::Greater);
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn total_cmp_mixed_numeric() {
+        assert_eq!(Value::from(1i64).total_cmp(&Value::from(1.5f64)), Ordering::Less);
+        assert_eq!(Value::from(2.0f64).total_cmp(&Value::from(2i64)), Ordering::Equal);
+    }
+
+    #[test]
+    fn total_cmp_cross_type_rank() {
+        assert_eq!(Value::Null.total_cmp(&Value::from(false)), Ordering::Less);
+        assert_eq!(Value::from("s").total_cmp(&Value::from(1i64)), Ordering::Greater);
+    }
+
+    #[test]
+    fn arrays_lexicographic() {
+        let a = Value::Array(vec![Value::from(1i64), Value::from(2i64)]);
+        let b = Value::Array(vec![Value::from(1i64), Value::from(3i64)]);
+        let c = Value::Array(vec![Value::from(1i64)]);
+        assert_eq!(a.total_cmp(&b), Ordering::Less);
+        assert_eq!(c.total_cmp(&a), Ordering::Less);
+    }
+
+    #[test]
+    fn document_accessors() {
+        let mut d = Document::new("d1");
+        d.set("a", Value::from(1i64));
+        d.set("b", Value::from("x"));
+        assert_eq!(d.id(), "d1");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.get("a"), Some(&Value::from(1i64)));
+        assert_eq!(d.remove("a"), Some(Value::from(1i64)));
+        assert_eq!(d.get("a"), None);
+        assert!(!d.is_empty());
+        let d2 = Document::new("d2").with("f", Value::from(true));
+        assert_eq!(d2.get("f"), Some(&Value::from(true)));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(Value::from(3i64).as_f64(), Some(3.0));
+        assert_eq!(Value::from(3.0f64).as_i64(), Some(3));
+        assert_eq!(Value::from(3.5f64).as_i64(), None);
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert_eq!(Value::Bytes(vec![1]).as_bytes(), Some(&[1u8][..]));
+        assert_eq!(Value::from("s").as_i64(), None);
+    }
+}

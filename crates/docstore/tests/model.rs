@@ -1,0 +1,100 @@
+//! Property tests: indexed `find` must agree with a naive full scan for
+//! arbitrary filters and mutation sequences.
+
+use datablinder_docstore::{Collection, Document, Filter, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-50i64..50).prop_map(Value::from),
+        prop::sample::select(vec!["a", "b", "c", "d"]).prop_map(Value::from),
+        any::<bool>().prop_map(Value::from),
+    ]
+}
+
+fn arb_doc(id: usize) -> impl Strategy<Value = Document> {
+    (arb_value(), arb_value()).prop_map(move |(x, y)| {
+        Document::new(format!("d{id}")).with("x", x).with("y", y)
+    })
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    let leaf = prop_oneof![
+        Just(Filter::All),
+        arb_value().prop_map(|v| Filter::eq("x", v)),
+        arb_value().prop_map(|v| Filter::lt("x", v)),
+        arb_value().prop_map(|v| Filter::gte("y", v)),
+        Just(Filter::Exists("x".into())),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Filter::and),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Filter::or),
+            inner.prop_map(Filter::not),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn indexed_find_equals_full_scan(
+        docs in prop::collection::vec(arb_doc(0), 0..30).prop_map(|ds| {
+            // Re-key with unique ids.
+            ds.into_iter().enumerate().map(|(i, d)| {
+                let mut nd = Document::new(format!("d{i}"));
+                for (f, v) in d.iter() { nd.set(f.clone(), v.clone()); }
+                nd
+            }).collect::<Vec<_>>()
+        }),
+        filter in arb_filter(),
+    ) {
+        let indexed = Collection::new();
+        indexed.create_index("x");
+        let plain = Collection::new();
+        for d in &docs {
+            indexed.insert(d.clone()).unwrap();
+            plain.insert(d.clone()).unwrap();
+        }
+        let a: Vec<String> = indexed.find(&filter).iter().map(|d| d.id().to_string()).collect();
+        let b: Vec<String> = plain.find(&filter).iter().map(|d| d.id().to_string()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn index_survives_updates_and_deletes(
+        initial in prop::collection::vec(arb_value(), 1..20),
+        updates in prop::collection::vec((0usize..20, arb_value()), 0..20),
+        deletes in prop::collection::vec(0usize..20, 0..10),
+    ) {
+        let coll = Collection::new();
+        coll.create_index("x");
+        let mut oracle: Vec<Option<Value>> = Vec::new();
+        for (i, v) in initial.iter().enumerate() {
+            coll.insert(Document::new(format!("d{i}")).with("x", v.clone())).unwrap();
+            oracle.push(Some(v.clone()));
+        }
+        for (i, v) in &updates {
+            if *i < oracle.len() && oracle[*i].is_some() {
+                coll.update(Document::new(format!("d{i}")).with("x", v.clone())).unwrap();
+                oracle[*i] = Some(v.clone());
+            }
+        }
+        for i in &deletes {
+            if *i < oracle.len() && oracle[*i].is_some() {
+                coll.delete(&format!("d{i}")).unwrap();
+                oracle[*i] = None;
+            }
+        }
+        // Every oracle value must be findable through the index, and counts
+        // must match exactly.
+        for v in [Value::from(-1i64), Value::from("a"), Value::from(true)] {
+            let hits = coll.find(&Filter::eq("x", v.clone())).len();
+            let expect = oracle
+                .iter()
+                .filter(|o| matches!(o, Some(x) if x.total_cmp(&v) == std::cmp::Ordering::Equal))
+                .count();
+            prop_assert_eq!(hits, expect, "value {:?}", v);
+        }
+        prop_assert_eq!(coll.len(), oracle.iter().flatten().count());
+    }
+}

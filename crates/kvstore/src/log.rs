@@ -1,0 +1,319 @@
+//! Append-only log for the paper's "semi-persistent durability mode".
+//!
+//! Records are framed as `tag:u8 || nfields:u8 || (len:u32 || bytes)*`
+//! with a trailing CRC-less design: a truncated tail record is treated as
+//! corruption at its offset.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::KvError;
+
+/// A single logged mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// String set.
+    Set {
+        /// Slot key.
+        key: Vec<u8>,
+        /// New value.
+        value: Vec<u8>,
+    },
+    /// Slot delete.
+    Del {
+        /// Slot key.
+        key: Vec<u8>,
+    },
+    /// Hash field set.
+    HSet {
+        /// Hash key.
+        key: Vec<u8>,
+        /// Field within the hash.
+        field: Vec<u8>,
+        /// New value.
+        value: Vec<u8>,
+    },
+    /// Hash field delete.
+    HDel {
+        /// Hash key.
+        key: Vec<u8>,
+        /// Field within the hash.
+        field: Vec<u8>,
+    },
+    /// Set member add.
+    SAdd {
+        /// Set key.
+        key: Vec<u8>,
+        /// Member added.
+        member: Vec<u8>,
+    },
+    /// Set member remove.
+    SRem {
+        /// Set key.
+        key: Vec<u8>,
+        /// Member removed.
+        member: Vec<u8>,
+    },
+    /// Counter increment.
+    Incr {
+        /// Counter key.
+        key: Vec<u8>,
+        /// Signed delta.
+        by: i64,
+    },
+}
+
+impl LogRecord {
+    fn tag(&self) -> u8 {
+        match self {
+            LogRecord::Set { .. } => 1,
+            LogRecord::Del { .. } => 2,
+            LogRecord::HSet { .. } => 3,
+            LogRecord::HDel { .. } => 4,
+            LogRecord::SAdd { .. } => 5,
+            LogRecord::SRem { .. } => 6,
+            LogRecord::Incr { .. } => 7,
+        }
+    }
+
+    fn fields(&self) -> Vec<&[u8]> {
+        match self {
+            LogRecord::Set { key, value } => vec![key, value],
+            LogRecord::Del { key } => vec![key],
+            LogRecord::HSet { key, field, value } => vec![key, field, value],
+            LogRecord::HDel { key, field } => vec![key, field],
+            LogRecord::SAdd { key, member } => vec![key, member],
+            LogRecord::SRem { key, member } => vec![key, member],
+            LogRecord::Incr { key, .. } => vec![key],
+        }
+    }
+
+    /// Encodes into `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(self.tag());
+        let fields = self.fields();
+        buf.put_u8(fields.len() as u8 + matches!(self, LogRecord::Incr { .. }) as u8);
+        for f in fields {
+            buf.put_u32(f.len() as u32);
+            buf.put_slice(f);
+        }
+        if let LogRecord::Incr { by, .. } = self {
+            buf.put_u32(8);
+            buf.put_i64(*by);
+        }
+    }
+
+    /// Decodes one record from the front of `buf`; `None` means the buffer
+    /// holds only a partial record (clean truncation handling).
+    pub fn decode(buf: &mut BytesMut) -> Result<Option<LogRecord>, KvError> {
+        if buf.len() < 2 {
+            return Ok(None);
+        }
+        let tag = buf[0];
+        let nfields = buf[1] as usize;
+        // Pre-scan field lengths without consuming.
+        let mut offset = 2usize;
+        let mut field_ranges = Vec::with_capacity(nfields);
+        for _ in 0..nfields {
+            if buf.len() < offset + 4 {
+                return Ok(None);
+            }
+            let len = u32::from_be_bytes([buf[offset], buf[offset + 1], buf[offset + 2], buf[offset + 3]]) as usize;
+            offset += 4;
+            if buf.len() < offset + len {
+                return Ok(None);
+            }
+            field_ranges.push((offset, len));
+            offset += len;
+        }
+        let mut fields: Vec<Vec<u8>> = field_ranges.iter().map(|&(o, l)| buf[o..o + l].to_vec()).collect();
+        buf.advance(offset);
+        let take = |fields: &mut Vec<Vec<u8>>| fields.remove(0);
+        let rec = match (tag, fields.len()) {
+            (1, 2) => LogRecord::Set { key: take(&mut fields), value: take(&mut fields) },
+            (2, 1) => LogRecord::Del { key: take(&mut fields) },
+            (3, 3) => LogRecord::HSet { key: take(&mut fields), field: take(&mut fields), value: take(&mut fields) },
+            (4, 2) => LogRecord::HDel { key: take(&mut fields), field: take(&mut fields) },
+            (5, 2) => LogRecord::SAdd { key: take(&mut fields), member: take(&mut fields) },
+            (6, 2) => LogRecord::SRem { key: take(&mut fields), member: take(&mut fields) },
+            (7, 2) => {
+                let key = take(&mut fields);
+                let byb = take(&mut fields);
+                if byb.len() != 8 {
+                    return Err(KvError::CorruptLog { offset: 0 });
+                }
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&byb);
+                LogRecord::Incr { key, by: i64::from_be_bytes(b) }
+            }
+            _ => return Err(KvError::CorruptLog { offset: 0 }),
+        };
+        Ok(Some(rec))
+    }
+}
+
+/// A buffered append-only writer.
+pub struct AppendLog {
+    writer: BufWriter<File>,
+    appended: u64,
+}
+
+impl AppendLog {
+    /// Opens (creating if needed) the log at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(path: &Path) -> Result<Self, KvError> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(AppendLog { writer: BufWriter::new(file), appended: 0 })
+    }
+
+    /// Appends one record (buffered; flushed every 256 records —
+    /// the "semi" in semi-durable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn append(&mut self, rec: &LogRecord) -> Result<(), KvError> {
+        let mut buf = BytesMut::with_capacity(64);
+        rec.encode(&mut buf);
+        self.writer.write_all(&buf)?;
+        self.appended += 1;
+        if self.appended.is_multiple_of(256) {
+            self.writer.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Forces buffered records to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn flush(&mut self) -> Result<(), KvError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+}
+
+impl Drop for AppendLog {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Reads every complete record from a log file; a trailing partial record
+/// is ignored (crash-consistent semi-durability).
+///
+/// # Errors
+///
+/// Propagates I/O errors and corrupt (non-truncation) records.
+pub fn replay_log(path: &Path) -> Result<Vec<LogRecord>, KvError> {
+    let mut file = File::open(path)?;
+    let mut raw = Vec::new();
+    file.read_to_end(&mut raw)?;
+    let mut buf = BytesMut::from(&raw[..]);
+    let mut out = Vec::new();
+    while let Some(rec) = LogRecord::decode(&mut buf)? {
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KvStore;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("datablinder-kvlog-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let records = vec![
+            LogRecord::Set { key: b"k".to_vec(), value: b"v".to_vec() },
+            LogRecord::Del { key: b"k".to_vec() },
+            LogRecord::HSet { key: b"h".to_vec(), field: b"f".to_vec(), value: b"v".to_vec() },
+            LogRecord::HDel { key: b"h".to_vec(), field: b"f".to_vec() },
+            LogRecord::SAdd { key: b"s".to_vec(), member: b"m".to_vec() },
+            LogRecord::SRem { key: b"s".to_vec(), member: b"m".to_vec() },
+            LogRecord::Incr { key: b"c".to_vec(), by: -42 },
+        ];
+        let mut buf = BytesMut::new();
+        for r in &records {
+            r.encode(&mut buf);
+        }
+        let mut decoded = Vec::new();
+        while let Some(r) = LogRecord::decode(&mut buf).unwrap() {
+            decoded.push(r);
+        }
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn partial_record_returns_none() {
+        let mut buf = BytesMut::new();
+        LogRecord::Set { key: b"key".to_vec(), value: b"value".to_vec() }.encode(&mut buf);
+        let full_len = buf.len();
+        for cut in 0..full_len {
+            let mut partial = BytesMut::from(&buf[..cut]);
+            assert_eq!(LogRecord::decode(&mut partial).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_corrupt() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(99);
+        buf.put_u8(0);
+        assert!(matches!(LogRecord::decode(&mut buf), Err(KvError::CorruptLog { .. })));
+    }
+
+    #[test]
+    fn semi_durable_recovery() {
+        let path = temp_path("recovery");
+        let _ = std::fs::remove_file(&path);
+        {
+            let kv = KvStore::open_semi_durable(&path).unwrap();
+            kv.set(b"a", b"1");
+            kv.hset(b"h", b"f", b"v").unwrap();
+            kv.sadd(b"s", b"m").unwrap();
+            kv.incr_by(b"c", 5).unwrap();
+            kv.set(b"gone", b"x");
+            kv.del(b"gone");
+            // store drops here, flushing the log
+        }
+        let kv = KvStore::open_semi_durable(&path).unwrap();
+        assert_eq!(kv.get(b"a"), Some(b"1".to_vec()));
+        assert_eq!(kv.hget(b"h", b"f"), Some(b"v".to_vec()));
+        assert!(kv.sismember(b"s", b"m"));
+        assert_eq!(kv.counter(b"c"), 5);
+        assert!(!kv.exists(b"gone"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_ignored_on_replay() {
+        let path = temp_path("truncated");
+        let _ = std::fs::remove_file(&path);
+        {
+            let kv = KvStore::open_semi_durable(&path).unwrap();
+            kv.set(b"a", b"1");
+            kv.set(b"b", b"2");
+        }
+        // Simulate a crash mid-append: chop the last 3 bytes.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let kv = KvStore::open_semi_durable(&path).unwrap();
+        assert_eq!(kv.get(b"a"), Some(b"1".to_vec()));
+        assert_eq!(kv.get(b"b"), None, "torn record must be dropped");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

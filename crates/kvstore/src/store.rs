@@ -1,0 +1,512 @@
+//! The in-memory store engine.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::log::{AppendLog, LogRecord};
+use crate::KvError;
+
+/// One value slot: Redis-style polymorphic values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Slot {
+    Str(Vec<u8>),
+    Hash(HashMap<Vec<u8>, Vec<u8>>),
+    Set(HashSet<Vec<u8>>),
+    Counter(i64),
+}
+
+/// Operation counters, useful for the paper's "secure index operations"
+/// accounting (~350k per benchmark run).
+#[derive(Debug, Default)]
+pub struct KvStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl KvStats {
+    /// Number of read operations served.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of write operations applied.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+}
+
+/// A thread-safe Redis-like store.
+///
+/// Cloning is cheap and shares the underlying data (like handles to one
+/// server).
+#[derive(Clone, Default)]
+pub struct KvStore {
+    inner: Arc<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    // BTreeMap so `keys_with_prefix` is efficient and iteration stable.
+    map: RwLock<BTreeMap<Vec<u8>, Slot>>,
+    stats: KvStats,
+    log: RwLock<Option<AppendLog>>,
+}
+
+impl KvStore {
+    /// Creates an empty volatile store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Creates a store in the paper's *semi-durable* mode: every write is
+    /// appended to `path`, and existing records are replayed first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and corrupt-log errors.
+    pub fn open_semi_durable(path: &std::path::Path) -> Result<Self, KvError> {
+        let store = KvStore::new();
+        if path.exists() {
+            for record in crate::log::replay_log(path)? {
+                store.apply(&record, false);
+            }
+        }
+        let log = AppendLog::open(path)?;
+        *store.inner.log.write() = Some(log);
+        Ok(store)
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> &KvStats {
+        &self.inner.stats
+    }
+
+    fn record(&self, rec: LogRecord) {
+        if let Some(log) = self.inner.log.write().as_mut() {
+            // Semi-durable: buffered append, errors are surfaced as panics
+            // only in debug; production code would expose a flush error API.
+            let _ = log.append(&rec);
+        }
+    }
+
+    /// Applies a log record (used by recovery; `log_it` controls re-logging).
+    pub(crate) fn apply(&self, rec: &LogRecord, log_it: bool) {
+        match rec {
+            LogRecord::Set { key, value } => {
+                self.set_internal(key.clone(), value.clone(), log_it);
+            }
+            LogRecord::Del { key } => {
+                self.del_internal(key, log_it);
+            }
+            LogRecord::HSet { key, field, value } => {
+                let _ = self.hset_internal(key.clone(), field.clone(), value.clone(), log_it);
+            }
+            LogRecord::HDel { key, field } => {
+                let _ = self.hdel_internal(key, field, log_it);
+            }
+            LogRecord::SAdd { key, member } => {
+                let _ = self.sadd_internal(key.clone(), member.clone(), log_it);
+            }
+            LogRecord::SRem { key, member } => {
+                let _ = self.srem_internal(key, member, log_it);
+            }
+            LogRecord::Incr { key, by } => {
+                let _ = self.incr_by_internal(key.clone(), *by, log_it);
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- strings
+
+    /// Sets a string value, replacing any previous slot.
+    pub fn set(&self, key: &[u8], value: &[u8]) {
+        self.set_internal(key.to_vec(), value.to_vec(), true);
+    }
+
+    fn set_internal(&self, key: Vec<u8>, value: Vec<u8>, log_it: bool) {
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        if log_it {
+            self.record(LogRecord::Set { key: key.clone(), value: value.clone() });
+        }
+        self.inner.map.write().insert(key, Slot::Str(value));
+    }
+
+    /// Reads a string value.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        match self.inner.map.read().get(key) {
+            Some(Slot::Str(v)) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// Deletes any slot at `key`; returns whether something was removed.
+    pub fn del(&self, key: &[u8]) -> bool {
+        self.del_internal(key, true)
+    }
+
+    fn del_internal(&self, key: &[u8], log_it: bool) -> bool {
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        if log_it {
+            self.record(LogRecord::Del { key: key.to_vec() });
+        }
+        self.inner.map.write().remove(key).is_some()
+    }
+
+    /// Deletes every slot whose key starts with `prefix`; returns the
+    /// number of slots removed. Used by index-rebuild flows to drop a
+    /// tactic scope wholesale.
+    pub fn del_prefix(&self, prefix: &[u8]) -> usize {
+        let keys = self.keys_with_prefix(prefix);
+        for k in &keys {
+            self.del_internal(k, true);
+        }
+        keys.len()
+    }
+
+    /// Whether any slot exists at `key`.
+    pub fn exists(&self, key: &[u8]) -> bool {
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.map.read().contains_key(key)
+    }
+
+    /// All keys with the given prefix (lexicographic order).
+    pub fn keys_with_prefix(&self, prefix: &[u8]) -> Vec<Vec<u8>> {
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .map
+            .read()
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    // --------------------------------------------------------------- hashes
+
+    /// Sets `field` in the hash at `key`; returns `true` if the field is new.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::WrongType`] if `key` holds a non-hash slot.
+    pub fn hset(&self, key: &[u8], field: &[u8], value: &[u8]) -> Result<bool, KvError> {
+        self.hset_internal(key.to_vec(), field.to_vec(), value.to_vec(), true)
+    }
+
+    fn hset_internal(&self, key: Vec<u8>, field: Vec<u8>, value: Vec<u8>, log_it: bool) -> Result<bool, KvError> {
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        if log_it {
+            self.record(LogRecord::HSet { key: key.clone(), field: field.clone(), value: value.clone() });
+        }
+        let mut map = self.inner.map.write();
+        match map.entry(key.clone()).or_insert_with(|| Slot::Hash(HashMap::new())) {
+            Slot::Hash(h) => Ok(h.insert(field, value).is_none()),
+            _ => Err(KvError::WrongType { key, expected: "hash" }),
+        }
+    }
+
+    /// Reads `field` from the hash at `key`.
+    pub fn hget(&self, key: &[u8], field: &[u8]) -> Option<Vec<u8>> {
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        match self.inner.map.read().get(key) {
+            Some(Slot::Hash(h)) => h.get(field).cloned(),
+            _ => None,
+        }
+    }
+
+    /// Removes `field` from the hash at `key`; `true` if it existed.
+    pub fn hdel(&self, key: &[u8], field: &[u8]) -> Result<bool, KvError> {
+        self.hdel_internal(key, field, true)
+    }
+
+    fn hdel_internal(&self, key: &[u8], field: &[u8], log_it: bool) -> Result<bool, KvError> {
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        if log_it {
+            self.record(LogRecord::HDel { key: key.to_vec(), field: field.to_vec() });
+        }
+        let mut map = self.inner.map.write();
+        match map.get_mut(key) {
+            Some(Slot::Hash(h)) => Ok(h.remove(field).is_some()),
+            Some(_) => Err(KvError::WrongType { key: key.to_vec(), expected: "hash" }),
+            None => Ok(false),
+        }
+    }
+
+    /// All `(field, value)` pairs of the hash at `key`.
+    pub fn hgetall(&self, key: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        match self.inner.map.read().get(key) {
+            Some(Slot::Hash(h)) => h.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Number of fields in the hash at `key` (0 if absent).
+    pub fn hlen(&self, key: &[u8]) -> usize {
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        match self.inner.map.read().get(key) {
+            Some(Slot::Hash(h)) => h.len(),
+            _ => 0,
+        }
+    }
+
+    // ----------------------------------------------------------------- sets
+
+    /// Adds `member` to the set at `key`; `true` if newly added.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::WrongType`] if `key` holds a non-set slot.
+    pub fn sadd(&self, key: &[u8], member: &[u8]) -> Result<bool, KvError> {
+        self.sadd_internal(key.to_vec(), member.to_vec(), true)
+    }
+
+    fn sadd_internal(&self, key: Vec<u8>, member: Vec<u8>, log_it: bool) -> Result<bool, KvError> {
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        if log_it {
+            self.record(LogRecord::SAdd { key: key.clone(), member: member.clone() });
+        }
+        let mut map = self.inner.map.write();
+        match map.entry(key.clone()).or_insert_with(|| Slot::Set(HashSet::new())) {
+            Slot::Set(s) => Ok(s.insert(member)),
+            _ => Err(KvError::WrongType { key, expected: "set" }),
+        }
+    }
+
+    /// Removes `member` from the set at `key`; `true` if it was present.
+    pub fn srem(&self, key: &[u8], member: &[u8]) -> Result<bool, KvError> {
+        self.srem_internal(key, member, true)
+    }
+
+    fn srem_internal(&self, key: &[u8], member: &[u8], log_it: bool) -> Result<bool, KvError> {
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        if log_it {
+            self.record(LogRecord::SRem { key: key.to_vec(), member: member.to_vec() });
+        }
+        let mut map = self.inner.map.write();
+        match map.get_mut(key) {
+            Some(Slot::Set(s)) => Ok(s.remove(member)),
+            Some(_) => Err(KvError::WrongType { key: key.to_vec(), expected: "set" }),
+            None => Ok(false),
+        }
+    }
+
+    /// Membership test.
+    pub fn sismember(&self, key: &[u8], member: &[u8]) -> bool {
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        match self.inner.map.read().get(key) {
+            Some(Slot::Set(s)) => s.contains(member),
+            _ => false,
+        }
+    }
+
+    /// All members of the set at `key`.
+    pub fn smembers(&self, key: &[u8]) -> Vec<Vec<u8>> {
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        match self.inner.map.read().get(key) {
+            Some(Slot::Set(s)) => s.iter().cloned().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Set cardinality (0 if absent).
+    pub fn scard(&self, key: &[u8]) -> usize {
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        match self.inner.map.read().get(key) {
+            Some(Slot::Set(s)) => s.len(),
+            _ => 0,
+        }
+    }
+
+    // ------------------------------------------------------------- counters
+
+    /// Atomically increments the counter at `key` by 1, returning the new value.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::WrongType`] if `key` holds a non-counter slot.
+    pub fn incr(&self, key: &[u8]) -> Result<i64, KvError> {
+        self.incr_by_internal(key.to_vec(), 1, true)
+    }
+
+    /// Atomically adds `by`, returning the new value.
+    pub fn incr_by(&self, key: &[u8], by: i64) -> Result<i64, KvError> {
+        self.incr_by_internal(key.to_vec(), by, true)
+    }
+
+    fn incr_by_internal(&self, key: Vec<u8>, by: i64, log_it: bool) -> Result<i64, KvError> {
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        if log_it {
+            self.record(LogRecord::Incr { key: key.clone(), by });
+        }
+        let mut map = self.inner.map.write();
+        match map.entry(key.clone()).or_insert(Slot::Counter(0)) {
+            Slot::Counter(c) => {
+                *c += by;
+                Ok(*c)
+            }
+            _ => Err(KvError::WrongType { key, expected: "counter" }),
+        }
+    }
+
+    /// Reads the counter at `key` (`0` if absent).
+    pub fn counter(&self, key: &[u8]) -> i64 {
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        match self.inner.map.read().get(key) {
+            Some(Slot::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Total number of slots.
+    pub fn len(&self) -> usize {
+        self.inner.map.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.map.read().is_empty()
+    }
+
+    /// Drops everything (does not truncate the append log).
+    pub fn clear(&self) {
+        self.inner.map.write().clear();
+    }
+}
+
+impl std::fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvStore")
+            .field("slots", &self.len())
+            .field("reads", &self.stats().reads())
+            .field("writes", &self.stats().writes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_ops() {
+        let kv = KvStore::new();
+        assert_eq!(kv.get(b"k"), None);
+        kv.set(b"k", b"v1");
+        assert_eq!(kv.get(b"k"), Some(b"v1".to_vec()));
+        kv.set(b"k", b"v2");
+        assert_eq!(kv.get(b"k"), Some(b"v2".to_vec()));
+        assert!(kv.exists(b"k"));
+        assert!(kv.del(b"k"));
+        assert!(!kv.del(b"k"));
+        assert!(!kv.exists(b"k"));
+    }
+
+    #[test]
+    fn hash_ops() {
+        let kv = KvStore::new();
+        assert!(kv.hset(b"h", b"a", b"1").unwrap());
+        assert!(!kv.hset(b"h", b"a", b"2").unwrap());
+        assert!(kv.hset(b"h", b"b", b"3").unwrap());
+        assert_eq!(kv.hget(b"h", b"a"), Some(b"2".to_vec()));
+        assert_eq!(kv.hlen(b"h"), 2);
+        let mut all = kv.hgetall(b"h");
+        all.sort();
+        assert_eq!(all, vec![(b"a".to_vec(), b"2".to_vec()), (b"b".to_vec(), b"3".to_vec())]);
+        assert!(kv.hdel(b"h", b"a").unwrap());
+        assert!(!kv.hdel(b"h", b"a").unwrap());
+        assert_eq!(kv.hlen(b"h"), 1);
+    }
+
+    #[test]
+    fn set_ops() {
+        let kv = KvStore::new();
+        assert!(kv.sadd(b"s", b"x").unwrap());
+        assert!(!kv.sadd(b"s", b"x").unwrap());
+        assert!(kv.sismember(b"s", b"x"));
+        assert!(!kv.sismember(b"s", b"y"));
+        assert_eq!(kv.scard(b"s"), 1);
+        assert!(kv.srem(b"s", b"x").unwrap());
+        assert_eq!(kv.scard(b"s"), 0);
+        assert_eq!(kv.smembers(b"missing"), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn counter_ops() {
+        let kv = KvStore::new();
+        assert_eq!(kv.counter(b"c"), 0);
+        assert_eq!(kv.incr(b"c").unwrap(), 1);
+        assert_eq!(kv.incr(b"c").unwrap(), 2);
+        assert_eq!(kv.incr_by(b"c", -5).unwrap(), -3);
+        assert_eq!(kv.counter(b"c"), -3);
+    }
+
+    #[test]
+    fn wrong_type_errors() {
+        let kv = KvStore::new();
+        kv.set(b"k", b"string");
+        assert!(matches!(kv.hset(b"k", b"f", b"v"), Err(KvError::WrongType { .. })));
+        assert!(matches!(kv.sadd(b"k", b"m"), Err(KvError::WrongType { .. })));
+        assert!(matches!(kv.incr(b"k"), Err(KvError::WrongType { .. })));
+        // Reads on wrong types degrade to absent, like decoupled clients expect.
+        assert_eq!(kv.hget(b"k", b"f"), None);
+        assert!(!kv.sismember(b"k", b"m"));
+        assert_eq!(kv.counter(b"k"), 0);
+    }
+
+    #[test]
+    fn prefix_scan() {
+        let kv = KvStore::new();
+        kv.set(b"idx:1", b"a");
+        kv.set(b"idx:2", b"b");
+        kv.set(b"other", b"c");
+        assert_eq!(kv.keys_with_prefix(b"idx:"), vec![b"idx:1".to_vec(), b"idx:2".to_vec()]);
+        assert!(kv.keys_with_prefix(b"zzz").is_empty());
+    }
+
+    #[test]
+    fn stats_counted() {
+        let kv = KvStore::new();
+        kv.set(b"a", b"1");
+        kv.get(b"a");
+        kv.get(b"b");
+        assert_eq!(kv.stats().writes(), 1);
+        assert_eq!(kv.stats().reads(), 2);
+        assert_eq!(kv.stats().total(), 3);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let kv = KvStore::new();
+        let kv2 = kv.clone();
+        kv.set(b"k", b"v");
+        assert_eq!(kv2.get(b"k"), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn concurrent_counters() {
+        let kv = KvStore::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let kv = kv.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        kv.incr(b"shared").unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(kv.counter(b"shared"), 8000);
+    }
+}

@@ -1,0 +1,394 @@
+//! Simulated gateway↔cloud transport.
+//!
+//! The original evaluation ran the gateway on a private OpenStack cloud and
+//! the cloud components on a public provider. We substitute (per DESIGN.md)
+//! an in-process channel that:
+//!
+//! * serializes every request/response through a real wire framing
+//!   (length-prefixed routes and payloads, via `bytes`), so serialization
+//!   cost is paid like on a real network,
+//! * meters round trips and bytes in both directions,
+//! * charges a configurable [`LatencyModel`] to a virtual clock (and can
+//!   optionally really sleep, for wall-clock-faithful runs).
+//!
+//! Because the paper's evaluation compares *relative* overheads
+//! (S_A vs S_B vs S_C), a deterministic simulated channel preserves the
+//! comparison while making results reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use datablinder_netsim::{Channel, CloudService, LatencyModel, NetError};
+//!
+//! struct Echo;
+//! impl CloudService for Echo {
+//!     fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+//!         assert_eq!(route, "echo");
+//!         Ok(payload.to_vec())
+//!     }
+//! }
+//!
+//! let ch = Channel::connect(Echo, LatencyModel::lan());
+//! assert_eq!(ch.call("echo", b"ping").unwrap(), b"ping");
+//! assert_eq!(ch.metrics().round_trips(), 1);
+//! ```
+
+
+#![warn(missing_docs)]
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Errors crossing the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No handler for the route.
+    UnknownRoute(String),
+    /// The remote handler failed; the message crossed the wire.
+    Remote(String),
+    /// A frame could not be decoded.
+    MalformedFrame,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::UnknownRoute(r) => write!(f, "unknown route: {r}"),
+            NetError::Remote(e) => write!(f, "remote error: {e}"),
+            NetError::MalformedFrame => write!(f, "malformed frame"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The cloud-side request handler.
+pub trait CloudService: Send + Sync {
+    /// Handles one request; the returned bytes travel back to the gateway.
+    ///
+    /// # Errors
+    ///
+    /// Any [`NetError`]; [`NetError::Remote`] for application failures.
+    fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError>;
+}
+
+impl<F> CloudService for F
+where
+    F: Fn(&str, &[u8]) -> Result<Vec<u8>, NetError> + Send + Sync,
+{
+    fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        self(route, payload)
+    }
+}
+
+/// Latency and bandwidth model charged per round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed round-trip time in microseconds.
+    pub rtt_micros: u64,
+    /// Per-byte cost in nanoseconds (inverse bandwidth), both directions.
+    pub per_byte_nanos: u64,
+    /// Whether `call` really sleeps (wall-clock mode) or only charges the
+    /// virtual clock (fast deterministic mode, the default).
+    pub real_sleep: bool,
+}
+
+impl LatencyModel {
+    /// Zero-cost channel (pure function-call dispatch).
+    pub fn instant() -> Self {
+        LatencyModel { rtt_micros: 0, per_byte_nanos: 0, real_sleep: false }
+    }
+
+    /// Data-center LAN: 200 µs RTT, ~10 Gbit/s.
+    pub fn lan() -> Self {
+        LatencyModel { rtt_micros: 200, per_byte_nanos: 1, real_sleep: false }
+    }
+
+    /// Gateway to a nearby public-cloud region: 2 ms RTT, ~2 Gbit/s — the
+    /// shape of the paper's OpenStack-to-public-cloud deployment
+    /// (private datacenter to an in-country provider).
+    pub fn metro() -> Self {
+        LatencyModel { rtt_micros: 2_000, per_byte_nanos: 4, real_sleep: false }
+    }
+
+    /// Long-haul WAN: 10 ms RTT, ~1 Gbit/s.
+    pub fn wan() -> Self {
+        LatencyModel { rtt_micros: 10_000, per_byte_nanos: 8, real_sleep: false }
+    }
+
+    fn cost(&self, bytes: usize) -> Duration {
+        Duration::from_micros(self.rtt_micros) + Duration::from_nanos(self.per_byte_nanos * bytes as u64)
+    }
+}
+
+/// Traffic counters for one channel.
+#[derive(Debug, Default)]
+pub struct ChannelMetrics {
+    round_trips: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    virtual_nanos: AtomicU64,
+}
+
+impl ChannelMetrics {
+    /// Completed request/response pairs.
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
+    /// Bytes sent gateway → cloud (framed size).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes received cloud → gateway (framed size).
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Total simulated network time charged.
+    pub fn virtual_time(&self) -> Duration {
+        Duration::from_nanos(self.virtual_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        self.round_trips.store(0, Ordering::Relaxed);
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.bytes_received.store(0, Ordering::Relaxed);
+        self.virtual_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gateway-side handle to a cloud service. Cloning shares the service,
+/// metrics and model.
+#[derive(Clone)]
+pub struct Channel {
+    service: Arc<dyn CloudService>,
+    model: LatencyModel,
+    metrics: Arc<ChannelMetrics>,
+}
+
+impl Channel {
+    /// Connects to `service` with the given latency model.
+    pub fn connect<S: CloudService + 'static>(service: S, model: LatencyModel) -> Self {
+        Channel { service: Arc::new(service), model, metrics: Arc::new(ChannelMetrics::default()) }
+    }
+
+    /// Performs one round trip: frames the request, "transmits" both ways,
+    /// charges latency, decodes the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler errors and frame decoding failures.
+    pub fn call(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        let frame = encode_frame(route, payload);
+        self.metrics.bytes_sent.fetch_add(frame.len() as u64, Ordering::Relaxed);
+
+        // The wire: decode on the "cloud side" from the serialized frame.
+        let (decoded_route, decoded_payload) = decode_frame(&frame)?;
+        let result = self.service.handle(&decoded_route, &decoded_payload);
+
+        let response = encode_response(&result);
+        self.metrics.bytes_received.fetch_add(response.len() as u64, Ordering::Relaxed);
+        self.metrics.round_trips.fetch_add(1, Ordering::Relaxed);
+
+        let cost = self.model.cost(frame.len() + response.len());
+        self.metrics.virtual_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+        if self.model.real_sleep && !cost.is_zero() {
+            std::thread::sleep(cost);
+        }
+
+        decode_response(&response)
+    }
+
+    /// Traffic counters.
+    pub fn metrics(&self) -> &ChannelMetrics {
+        &self.metrics
+    }
+
+    /// The configured latency model.
+    pub fn model(&self) -> LatencyModel {
+        self.model
+    }
+}
+
+impl std::fmt::Debug for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Channel")
+            .field("model", &self.model)
+            .field("round_trips", &self.metrics.round_trips())
+            .finish()
+    }
+}
+
+fn encode_frame(route: &str, payload: &[u8]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(8 + route.len() + payload.len());
+    buf.put_u32(route.len() as u32);
+    buf.put_slice(route.as_bytes());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    buf.to_vec()
+}
+
+fn decode_frame(frame: &[u8]) -> Result<(String, Vec<u8>), NetError> {
+    let mut buf = frame;
+    if buf.remaining() < 4 {
+        return Err(NetError::MalformedFrame);
+    }
+    let rlen = buf.get_u32() as usize;
+    if buf.remaining() < rlen + 4 {
+        return Err(NetError::MalformedFrame);
+    }
+    let route = String::from_utf8(buf[..rlen].to_vec()).map_err(|_| NetError::MalformedFrame)?;
+    buf.advance(rlen);
+    let plen = buf.get_u32() as usize;
+    if buf.remaining() < plen {
+        return Err(NetError::MalformedFrame);
+    }
+    Ok((route, buf[..plen].to_vec()))
+}
+
+fn encode_response(result: &Result<Vec<u8>, NetError>) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    match result {
+        Ok(payload) => {
+            buf.put_u8(0);
+            buf.put_u32(payload.len() as u32);
+            buf.put_slice(payload);
+        }
+        Err(e) => {
+            let (tag, msg) = match e {
+                NetError::UnknownRoute(r) => (1u8, r.clone()),
+                NetError::Remote(m) => (2, m.clone()),
+                NetError::MalformedFrame => (3, String::new()),
+            };
+            buf.put_u8(tag);
+            let msg = msg.into_bytes();
+            buf.put_u32(msg.len() as u32);
+            buf.put_slice(&msg);
+        }
+    }
+    buf.to_vec()
+}
+
+fn decode_response(response: &[u8]) -> Result<Vec<u8>, NetError> {
+    let mut buf = response;
+    if buf.remaining() < 5 {
+        return Err(NetError::MalformedFrame);
+    }
+    let tag = buf.get_u8();
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(NetError::MalformedFrame);
+    }
+    let body = buf[..len].to_vec();
+    match tag {
+        0 => Ok(body),
+        1 => Err(NetError::UnknownRoute(String::from_utf8_lossy(&body).into_owned())),
+        2 => Err(NetError::Remote(String::from_utf8_lossy(&body).into_owned())),
+        3 => Err(NetError::MalformedFrame),
+        _ => Err(NetError::MalformedFrame),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_channel(model: LatencyModel) -> Channel {
+        Channel::connect(
+            |route: &str, payload: &[u8]| -> Result<Vec<u8>, NetError> {
+                match route {
+                    "echo" => Ok(payload.to_vec()),
+                    "fail" => Err(NetError::Remote("boom".into())),
+                    other => Err(NetError::UnknownRoute(other.to_string())),
+                }
+            },
+            model,
+        )
+    }
+
+    #[test]
+    fn round_trip_and_metrics() {
+        let ch = echo_channel(LatencyModel::instant());
+        assert_eq!(ch.call("echo", b"hello").unwrap(), b"hello");
+        assert_eq!(ch.metrics().round_trips(), 1);
+        // request frame: 4 + 4 (route) + 4 + 5 = 17; response: 1 + 4 + 5 = 10
+        assert_eq!(ch.metrics().bytes_sent(), 17);
+        assert_eq!(ch.metrics().bytes_received(), 10);
+        assert_eq!(ch.metrics().virtual_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn remote_errors_propagate() {
+        let ch = echo_channel(LatencyModel::instant());
+        assert_eq!(ch.call("fail", b""), Err(NetError::Remote("boom".into())));
+        assert_eq!(ch.call("nope", b""), Err(NetError::UnknownRoute("nope".into())));
+        // Errors still count as round trips (they crossed the wire).
+        assert_eq!(ch.metrics().round_trips(), 2);
+    }
+
+    #[test]
+    fn latency_charged_to_virtual_clock() {
+        let ch = echo_channel(LatencyModel::wan());
+        ch.call("echo", &[0u8; 1000]).unwrap();
+        let t = ch.metrics().virtual_time();
+        assert!(t >= Duration::from_micros(10_000), "rtt charged: {t:?}");
+        assert!(t >= Duration::from_micros(10_000) + Duration::from_nanos(8 * 1000), "bandwidth charged");
+    }
+
+    #[test]
+    fn unicode_and_binary_safe() {
+        let ch = echo_channel(LatencyModel::instant());
+        let payload: Vec<u8> = (0..=255).collect();
+        assert_eq!(ch.call("echo", &payload).unwrap(), payload);
+    }
+
+    #[test]
+    fn frame_decode_rejects_garbage() {
+        assert_eq!(decode_frame(&[]), Err(NetError::MalformedFrame));
+        assert_eq!(decode_frame(&[0, 0, 0, 10, b'a']), Err(NetError::MalformedFrame));
+        assert!(decode_response(&[9, 0, 0, 0, 0]).is_err());
+        assert_eq!(decode_response(&[]), Err(NetError::MalformedFrame));
+    }
+
+    #[test]
+    fn model_cost_scales_with_bytes_and_rtt() {
+        let metro = LatencyModel::metro();
+        assert_eq!(metro.cost(0), Duration::from_micros(2_000));
+        assert_eq!(metro.cost(1000), Duration::from_micros(2_000) + Duration::from_nanos(4_000));
+        assert!(LatencyModel::wan().cost(0) > LatencyModel::metro().cost(0));
+        assert!(LatencyModel::metro().cost(0) > LatencyModel::lan().cost(0));
+        assert_eq!(LatencyModel::instant().cost(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn real_sleep_actually_sleeps() {
+        let model = LatencyModel { rtt_micros: 2_000, per_byte_nanos: 0, real_sleep: true };
+        let ch = echo_channel(model);
+        let start = std::time::Instant::now();
+        ch.call("echo", b"x").unwrap();
+        assert!(start.elapsed() >= Duration::from_micros(2_000));
+    }
+
+    #[test]
+    fn metrics_reset() {
+        let ch = echo_channel(LatencyModel::lan());
+        ch.call("echo", b"x").unwrap();
+        assert_ne!(ch.metrics().round_trips(), 0);
+        ch.metrics().reset();
+        assert_eq!(ch.metrics().round_trips(), 0);
+        assert_eq!(ch.metrics().bytes_sent(), 0);
+    }
+
+    #[test]
+    fn clone_shares_metrics() {
+        let ch = echo_channel(LatencyModel::instant());
+        let ch2 = ch.clone();
+        ch.call("echo", b"x").unwrap();
+        assert_eq!(ch2.metrics().round_trips(), 1);
+    }
+}

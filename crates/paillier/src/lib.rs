@@ -1,0 +1,383 @@
+//! The Paillier partially homomorphic cryptosystem (Paillier, EUROCRYPT '99).
+//!
+//! DataBlinder uses Paillier for the *Sum* and *Average* aggregate tactics:
+//! the cloud multiplies ciphertexts (homomorphic addition of plaintexts)
+//! without learning the values; the gateway decrypts the final aggregate.
+//! The original system used the Javallier library; this is a from-scratch
+//! implementation over [`datablinder_bigint`].
+//!
+//! # Examples
+//!
+//! ```
+//! use datablinder_paillier::Keypair;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let kp = Keypair::generate(&mut rng, 256); // small modulus for doctest speed
+//! let c1 = kp.public().encrypt_u64(&mut rng, 20);
+//! let c2 = kp.public().encrypt_u64(&mut rng, 22);
+//! let sum = kp.public().add(&c1, &c2);
+//! assert_eq!(kp.decrypt_u64(&sum), Some(42));
+//! ```
+//!
+//! # Security note
+//!
+//! Key sizes below 2048 bits are insecure; small keys are supported so tests
+//! and benchmarks finish quickly. Not constant-time.
+
+
+#![warn(missing_docs)]
+use datablinder_bigint::{prime, BigUint};
+use rand::Rng;
+
+/// Errors from Paillier operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaillierError {
+    /// The plaintext is not in `[0, n)`.
+    PlaintextOutOfRange,
+    /// A ciphertext was not in the valid range `[0, n^2)` or not invertible.
+    InvalidCiphertext,
+    /// Ciphertext bytes could not be decoded.
+    MalformedCiphertext,
+}
+
+impl std::fmt::Display for PaillierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PaillierError::PlaintextOutOfRange => write!(f, "plaintext out of range for modulus"),
+            PaillierError::InvalidCiphertext => write!(f, "ciphertext outside the valid group"),
+            PaillierError::MalformedCiphertext => write!(f, "malformed ciphertext encoding"),
+        }
+    }
+}
+
+impl std::error::Error for PaillierError {}
+
+/// A Paillier ciphertext: an element of `Z*_{n^2}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext(BigUint);
+
+impl Ciphertext {
+    /// Serializes to big-endian bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes_be()
+    }
+
+    /// Deserializes from big-endian bytes (range-checked lazily at use).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Ciphertext(BigUint::from_bytes_be(bytes))
+    }
+}
+
+/// The public (encryption/evaluation) key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    n: BigUint,
+    n_squared: BigUint,
+}
+
+impl PublicKey {
+    /// The modulus `n`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Modulus size in bits.
+    pub fn bits(&self) -> usize {
+        self.n.bits()
+    }
+
+    /// Encrypts `m ∈ [0, n)`.
+    ///
+    /// Uses the `g = n + 1` optimization: `c = (1 + m·n) · r^n mod n²`.
+    ///
+    /// # Errors
+    ///
+    /// [`PaillierError::PlaintextOutOfRange`] if `m >= n`.
+    pub fn encrypt<R: Rng + ?Sized>(&self, rng: &mut R, m: &BigUint) -> Result<Ciphertext, PaillierError> {
+        if m >= &self.n {
+            return Err(PaillierError::PlaintextOutOfRange);
+        }
+        let r = self.sample_unit(rng);
+        let gm = &(&(m * &self.n) + &BigUint::one()) % &self.n_squared;
+        let rn = r.modpow(&self.n, &self.n_squared);
+        Ok(Ciphertext(gm.modmul(&rn, &self.n_squared)))
+    }
+
+    /// Encrypts a `u64` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus is smaller than 64 bits (never the case for
+    /// supported key sizes).
+    pub fn encrypt_u64<R: Rng + ?Sized>(&self, rng: &mut R, m: u64) -> Ciphertext {
+        self.encrypt(rng, &BigUint::from(m)).expect("u64 always fits supported moduli")
+    }
+
+    /// Homomorphic addition: `Dec(add(c1, c2)) = Dec(c1) + Dec(c2) mod n`.
+    pub fn add(&self, c1: &Ciphertext, c2: &Ciphertext) -> Ciphertext {
+        Ciphertext(c1.0.modmul(&c2.0, &self.n_squared))
+    }
+
+    /// Adds a plaintext constant: `Dec(add_plain(c, k)) = Dec(c) + k mod n`.
+    pub fn add_plain(&self, c: &Ciphertext, k: &BigUint) -> Ciphertext {
+        let gk = &(&(k * &self.n) + &BigUint::one()) % &self.n_squared;
+        Ciphertext(c.0.modmul(&gk, &self.n_squared))
+    }
+
+    /// Multiplies the plaintext by a constant:
+    /// `Dec(mul_plain(c, k)) = k · Dec(c) mod n`.
+    pub fn mul_plain(&self, c: &Ciphertext, k: &BigUint) -> Ciphertext {
+        Ciphertext(c.0.modpow(k, &self.n_squared))
+    }
+
+    /// Fresh encryption of zero, useful for re-randomizing ciphertexts so
+    /// repeated aggregates are unlinkable.
+    pub fn rerandomize<R: Rng + ?Sized>(&self, rng: &mut R, c: &Ciphertext) -> Ciphertext {
+        let r = self.sample_unit(rng);
+        let rn = r.modpow(&self.n, &self.n_squared);
+        Ciphertext(c.0.modmul(&rn, &self.n_squared))
+    }
+
+    /// Encryption of zero with fresh randomness.
+    pub fn encrypt_zero<R: Rng + ?Sized>(&self, rng: &mut R) -> Ciphertext {
+        self.encrypt(rng, &BigUint::zero()).expect("zero is always in range")
+    }
+
+    /// Samples `r ∈ [1, n)` coprime to `n` (overwhelmingly likely first try).
+    fn sample_unit<R: Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        loop {
+            let r = BigUint::random_below(rng, &self.n);
+            if !r.is_zero() && r.gcd(&self.n).is_one() {
+                return r;
+            }
+        }
+    }
+}
+
+/// A Paillier keypair (public key plus the private `λ`, `μ` trapdoor).
+#[derive(Debug, Clone)]
+pub struct Keypair {
+    public: PublicKey,
+    lambda: BigUint,
+    mu: BigUint,
+}
+
+impl Keypair {
+    /// Generates a keypair with an (approximately) `modulus_bits`-bit `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus_bits < 16`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, modulus_bits: usize) -> Keypair {
+        assert!(modulus_bits >= 16, "modulus must be at least 16 bits");
+        loop {
+            let (p, q) = prime::gen_prime_pair(rng, modulus_bits / 2);
+            let n = &p * &q;
+            let lambda = (&p - &BigUint::one()).lcm(&(&q - &BigUint::one()));
+            let n_squared = &n * &n;
+            let public = PublicKey { n: n.clone(), n_squared };
+            // μ = (L(g^λ mod n²))^{-1} mod n, with g = n+1:
+            // g^λ mod n² = 1 + λ·n mod n², so L(·) = λ mod n.
+            let l = &lambda % &n;
+            match l.modinv(&n) {
+                Ok(mu) => return Keypair { public, lambda, mu },
+                Err(_) => continue, // pathological p, q; retry
+            }
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Decrypts a ciphertext to `m ∈ [0, n)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PaillierError::InvalidCiphertext`] if the ciphertext is zero or
+    /// out of range.
+    pub fn decrypt(&self, c: &Ciphertext) -> Result<BigUint, PaillierError> {
+        if c.0.is_zero() || c.0 >= self.public.n_squared {
+            return Err(PaillierError::InvalidCiphertext);
+        }
+        let x = c.0.modpow(&self.lambda, &self.public.n_squared);
+        // L(x) = (x - 1) / n
+        let l = &(&x - &BigUint::one()) / &self.public.n;
+        Ok(l.modmul(&self.mu, &self.public.n))
+    }
+
+    /// Decrypts to `u64` if the plaintext fits.
+    pub fn decrypt_u64(&self, c: &Ciphertext) -> Option<u64> {
+        self.decrypt(c).ok().and_then(|m| m.to_u64())
+    }
+
+    /// Serializes the keypair (private material — KMS storage only).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for part in [&self.public.n, &self.lambda, &self.mu] {
+            let b = part.to_bytes_be();
+            out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+            out.extend_from_slice(&b);
+        }
+        out
+    }
+
+    /// Deserializes a keypair produced by [`Keypair::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`PaillierError::MalformedCiphertext`] on framing errors.
+    pub fn from_bytes(mut buf: &[u8]) -> Result<Keypair, PaillierError> {
+        let take = |buf: &mut &[u8]| -> Result<BigUint, PaillierError> {
+            if buf.len() < 4 {
+                return Err(PaillierError::MalformedCiphertext);
+            }
+            let len = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+            *buf = &buf[4..];
+            if buf.len() < len {
+                return Err(PaillierError::MalformedCiphertext);
+            }
+            let v = BigUint::from_bytes_be(&buf[..len]);
+            *buf = &buf[len..];
+            Ok(v)
+        };
+        let n = take(&mut buf)?;
+        let lambda = take(&mut buf)?;
+        let mu = take(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(PaillierError::MalformedCiphertext);
+        }
+        let n_squared = &n * &n;
+        Ok(Keypair { public: PublicKey { n, n_squared }, lambda, mu })
+    }
+}
+
+impl PublicKey {
+    /// Serializes (just the modulus).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.n.to_bytes_be()
+    }
+
+    /// Deserializes from modulus bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`PaillierError::MalformedCiphertext`] when the modulus is zero.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PublicKey, PaillierError> {
+        let n = BigUint::from_bytes_be(bytes);
+        if n.is_zero() {
+            return Err(PaillierError::MalformedCiphertext);
+        }
+        let n_squared = &n * &n;
+        Ok(PublicKey { n, n_squared })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xBA11E7)
+    }
+
+    fn keypair() -> (Keypair, rand::rngs::StdRng) {
+        let mut r = rng();
+        let kp = Keypair::generate(&mut r, 256);
+        (kp, r)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (kp, mut r) = keypair();
+        for m in [0u64, 1, 42, u64::MAX] {
+            let c = kp.public().encrypt_u64(&mut r, m);
+            assert_eq!(kp.decrypt_u64(&c), Some(m));
+        }
+    }
+
+    #[test]
+    fn probabilistic_encryption() {
+        let (kp, mut r) = keypair();
+        let c1 = kp.public().encrypt_u64(&mut r, 5);
+        let c2 = kp.public().encrypt_u64(&mut r, 5);
+        assert_ne!(c1, c2, "same plaintext must give different ciphertexts");
+        assert_eq!(kp.decrypt_u64(&c1), kp.decrypt_u64(&c2));
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (kp, mut r) = keypair();
+        let c1 = kp.public().encrypt_u64(&mut r, 1000);
+        let c2 = kp.public().encrypt_u64(&mut r, 234);
+        assert_eq!(kp.decrypt_u64(&kp.public().add(&c1, &c2)), Some(1234));
+    }
+
+    #[test]
+    fn add_plain_and_mul_plain() {
+        let (kp, mut r) = keypair();
+        let c = kp.public().encrypt_u64(&mut r, 100);
+        let c2 = kp.public().add_plain(&c, &BigUint::from(23u64));
+        assert_eq!(kp.decrypt_u64(&c2), Some(123));
+        let c3 = kp.public().mul_plain(&c, &BigUint::from(7u64));
+        assert_eq!(kp.decrypt_u64(&c3), Some(700));
+    }
+
+    #[test]
+    fn sum_of_many() {
+        let (kp, mut r) = keypair();
+        let values: Vec<u64> = (1..=50).collect();
+        let mut acc = kp.public().encrypt_zero(&mut r);
+        for &v in &values {
+            let c = kp.public().encrypt_u64(&mut r, v);
+            acc = kp.public().add(&acc, &c);
+        }
+        assert_eq!(kp.decrypt_u64(&acc), Some(values.iter().sum()));
+    }
+
+    #[test]
+    fn rerandomize_preserves_plaintext() {
+        let (kp, mut r) = keypair();
+        let c = kp.public().encrypt_u64(&mut r, 77);
+        let c2 = kp.public().rerandomize(&mut r, &c);
+        assert_ne!(c, c2);
+        assert_eq!(kp.decrypt_u64(&c2), Some(77));
+    }
+
+    #[test]
+    fn plaintext_out_of_range_rejected() {
+        let (kp, mut r) = keypair();
+        let too_big = kp.public().modulus().clone();
+        assert_eq!(kp.public().encrypt(&mut r, &too_big), Err(PaillierError::PlaintextOutOfRange));
+    }
+
+    #[test]
+    fn invalid_ciphertexts_rejected() {
+        let (kp, _) = keypair();
+        assert_eq!(kp.decrypt(&Ciphertext(BigUint::zero())), Err(PaillierError::InvalidCiphertext));
+        let n2 = kp.public().modulus() * kp.public().modulus();
+        assert_eq!(kp.decrypt(&Ciphertext(n2)), Err(PaillierError::InvalidCiphertext));
+    }
+
+    #[test]
+    fn ciphertext_bytes_roundtrip() {
+        let (kp, mut r) = keypair();
+        let c = kp.public().encrypt_u64(&mut r, 555);
+        let c2 = Ciphertext::from_bytes(&c.to_bytes());
+        assert_eq!(kp.decrypt_u64(&c2), Some(555));
+    }
+
+    #[test]
+    fn addition_wraps_modulo_n() {
+        // (n - 1) + 2 ≡ 1 (mod n)
+        let (kp, mut r) = keypair();
+        let n_minus_1 = kp.public().modulus() - &BigUint::one();
+        let c1 = kp.public().encrypt(&mut r, &n_minus_1).unwrap();
+        let c2 = kp.public().encrypt_u64(&mut r, 2);
+        let sum = kp.public().add(&c1, &c2);
+        assert_eq!(kp.decrypt(&sum).unwrap(), BigUint::one());
+    }
+}

@@ -1,0 +1,303 @@
+//! AES block cipher (FIPS 197), supporting 128/192/256-bit keys.
+//!
+//! The S-box is derived at first use from the GF(2^8) inverse + affine map
+//! rather than transcribed, eliminating table-transcription errors.
+
+use std::sync::OnceLock;
+
+use crate::CryptoError;
+
+/// AES block size in bytes.
+pub const BLOCK_LEN: usize = 16;
+
+fn sboxes() -> &'static ([u8; 256], [u8; 256]) {
+    static TABLES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        // Multiplicative inverse in GF(2^8) via 3 as a generator:
+        // 3^i enumerates all non-zero field elements.
+        let mut log = [0u8; 256];
+        let mut alog = [0u8; 256];
+        let mut p: u8 = 1;
+        for i in 0..255u16 {
+            alog[i as usize] = p;
+            log[p as usize] = i as u8;
+            p = gmul3(p);
+        }
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for x in 0..256usize {
+            let inv = if x == 0 { 0 } else { alog[(255 - log[x] as usize) % 255] };
+            // Affine transform: b ^= rotl(b,1)^rotl(b,2)^rotl(b,3)^rotl(b,4) ^ 0x63
+            let b = inv;
+            let s = b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63;
+            sbox[x] = s;
+            inv_sbox[s as usize] = x as u8;
+        }
+        (sbox, inv_sbox)
+    })
+}
+
+/// Multiply by 3 in GF(2^8) (x+1 times the input).
+fn gmul3(a: u8) -> u8 {
+    a ^ xtime(a)
+}
+
+/// Multiply by x (i.e. 2) in GF(2^8) with the AES polynomial 0x11B.
+fn xtime(a: u8) -> u8 {
+    (a << 1) ^ if a & 0x80 != 0 { 0x1B } else { 0 }
+}
+
+/// General GF(2^8) multiplication (Russian-peasant).
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded-key AES instance.
+///
+/// # Examples
+///
+/// ```
+/// use datablinder_primitives::aes::Aes;
+///
+/// # fn main() -> Result<(), datablinder_primitives::CryptoError> {
+/// let aes = Aes::new(&[0u8; 16])?;
+/// let mut block = *b"0123456789abcdef";
+/// let orig = block;
+/// aes.encrypt_block(&mut block);
+/// aes.decrypt_block(&mut block);
+/// assert_eq!(block, orig);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+}
+
+impl Aes {
+    /// Expands a 16-, 24- or 32-byte key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeyLength`] for other key sizes.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        let (nk, rounds) = match key.len() {
+            16 => (4usize, 10usize),
+            24 => (6, 12),
+            32 => (8, 14),
+            n => return Err(CryptoError::InvalidKeyLength { expected: "16, 24 or 32", got: n }),
+        };
+        let (sbox, _) = sboxes();
+        let nwords = 4 * (rounds + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(nwords);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        let mut rcon: u8 = 1;
+        for i in nk..nwords {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = sbox[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([temp[0] ^ prev[0], temp[1] ^ prev[1], temp[2] ^ prev[2], temp[3] ^ prev[3]]);
+        }
+        let round_keys = (0..=rounds)
+            .map(|r| {
+                let mut rk = [0u8; 16];
+                for c in 0..4 {
+                    rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                }
+                rk
+            })
+            .collect();
+        Ok(Aes { round_keys, rounds })
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        let (sbox, _) = sboxes();
+        add_round_key(block, &self.round_keys[0]);
+        for r in 1..self.rounds {
+            sub_bytes(block, sbox);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[r]);
+        }
+        sub_bytes(block, sbox);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        let (_, inv_sbox) = sboxes();
+        add_round_key(block, &self.round_keys[self.rounds]);
+        inv_shift_rows(block);
+        sub_bytes(block, inv_sbox);
+        for r in (1..self.rounds).rev() {
+            add_round_key(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            sub_bytes(block, inv_sbox);
+        }
+        add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+// State layout: FIPS column-major — byte index = 4*col + row.
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16], sbox: &[u8; 256]) {
+    for b in state.iter_mut() {
+        *b = sbox[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    // Row r rotates left by r. Byte (r, c) is at 4*c + r.
+    for r in 1..4 {
+        let row = [state[r], state[4 + r], state[8 + r], state[12 + r]];
+        for c in 0..4 {
+            state[4 * c + r] = row[(c + r) % 4];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [state[r], state[4 + r], state[8 + r], state[12 + r]];
+        for c in 0..4 {
+            state[4 * c + r] = row[(c + 4 - r) % 4];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = xtime(col[0]) ^ gmul3(col[1]) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ gmul3(col[2]) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ gmul3(col[3]);
+        state[4 * c + 3] = gmul3(col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        state[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        state[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        state[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for i in 0..16 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        let (sbox, inv) = sboxes();
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x01], 0x7c);
+        assert_eq!(sbox[0x53], 0xed);
+        assert_eq!(sbox[0xff], 0x16);
+        for x in 0..256 {
+            assert_eq!(inv[sbox[x] as usize] as usize, x);
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_c1_aes128() {
+        let key = unhex("000102030405060708090a0b0c0d0e0f");
+        let aes = Aes::new(&key).unwrap();
+        let mut block = unhex16("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, unhex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block, unhex16("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn fips197_appendix_c2_aes192() {
+        let key = unhex("000102030405060708090a0b0c0d0e0f1011121314151617");
+        let aes = Aes::new(&key).unwrap();
+        let mut block = unhex16("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, unhex16("dda97ca4864cdfe06eaf70a0ec0d7191"));
+    }
+
+    #[test]
+    fn fips197_appendix_c3_aes256() {
+        let key = unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let aes = Aes::new(&key).unwrap();
+        let mut block = unhex16("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, unhex16("8ea2b7ca516745bfeafc49904b496089"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block, unhex16("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn invalid_key_length() {
+        assert!(matches!(Aes::new(&[0u8; 15]), Err(CryptoError::InvalidKeyLength { .. })));
+        assert!(matches!(Aes::new(&[0u8; 0]), Err(CryptoError::InvalidKeyLength { .. })));
+    }
+
+    #[test]
+    fn roundtrip_random_blocks() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for keylen in [16usize, 24, 32] {
+            let mut key = vec![0u8; keylen];
+            rng.fill_bytes(&mut key);
+            let aes = Aes::new(&key).unwrap();
+            for _ in 0..50 {
+                let mut block = [0u8; 16];
+                rng.fill_bytes(&mut block);
+                let orig = block;
+                aes.encrypt_block(&mut block);
+                assert_ne!(block, orig);
+                aes.decrypt_block(&mut block);
+                assert_eq!(block, orig);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Constant-time helpers.
+
+/// Compares two byte slices without early exit on mismatch.
+///
+/// Returns `false` immediately only for length mismatch (lengths are
+/// public in all call sites of this crate).
+///
+/// ```
+/// use datablinder_primitives::ct::constant_time_eq;
+/// assert!(constant_time_eq(b"abc", b"abc"));
+/// assert!(!constant_time_eq(b"abc", b"abd"));
+/// assert!(!constant_time_eq(b"abc", b"ab"));
+/// ```
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_and_unequal() {
+        assert!(constant_time_eq(b"", b""));
+        assert!(constant_time_eq(&[0; 32], &[0; 32]));
+        assert!(!constant_time_eq(&[0; 32], &[1; 32]));
+        let mut v = [7u8; 32];
+        let w = v;
+        assert!(constant_time_eq(&v, &w));
+        v[31] ^= 0x80;
+        assert!(!constant_time_eq(&v, &w));
+    }
+}

@@ -1,0 +1,203 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D) with GHASH over
+//! GF(2^128).
+
+use crate::aes::{Aes, BLOCK_LEN};
+use crate::ct::constant_time_eq;
+use crate::ctr::{counter_block, ctr_xor};
+use crate::keys::SymmetricKey;
+use crate::CryptoError;
+
+/// GCM nonce size in bytes (the recommended 96-bit size; other sizes are
+/// not supported).
+pub const NONCE_LEN: usize = 12;
+/// GCM tag size in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// The GHASH reduction polynomial constant (x^128 + x^7 + x^2 + x + 1 in
+/// GCM's reflected representation).
+const R: u128 = 0xE1u128 << 120;
+
+/// Multiplication in GF(2^128) with GCM bit ordering.
+fn gf_mul(x: u128, y: u128) -> u128 {
+    let mut z = 0u128;
+    let mut v = y;
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+/// GHASH over `aad` and `ciphertext` with hash subkey `h`.
+fn ghash(h: u128, aad: &[u8], ciphertext: &[u8]) -> u128 {
+    let mut y = 0u128;
+    let mut absorb = |data: &[u8]| {
+        for chunk in data.chunks(BLOCK_LEN) {
+            let mut block = [0u8; BLOCK_LEN];
+            block[..chunk.len()].copy_from_slice(chunk);
+            y = gf_mul(y ^ u128::from_be_bytes(block), h);
+        }
+    };
+    absorb(aad);
+    absorb(ciphertext);
+    let lengths = ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
+    gf_mul(y ^ lengths, h)
+}
+
+/// An AES-GCM AEAD instance.
+///
+/// # Examples
+///
+/// ```
+/// use datablinder_primitives::gcm::AesGcm;
+/// use datablinder_primitives::keys::SymmetricKey;
+///
+/// # fn main() -> Result<(), datablinder_primitives::CryptoError> {
+/// let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[0u8; 32]))?;
+/// let sealed = cipher.seal(&[0u8; 12], b"", b"secret");
+/// assert_eq!(cipher.open(&[0u8; 12], b"", &sealed)?, b"secret");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct AesGcm {
+    aes: Aes,
+    h: u128,
+}
+
+impl AesGcm {
+    /// Creates a GCM instance from a 16/24/32-byte key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeyLength`] for unsupported sizes.
+    pub fn new(key: &SymmetricKey) -> Result<Self, CryptoError> {
+        let aes = Aes::new(key.as_bytes())?;
+        let mut hb = [0u8; BLOCK_LEN];
+        aes.encrypt_block(&mut hb);
+        Ok(AesGcm { aes, h: u128::from_be_bytes(hb) })
+    }
+
+    /// Encrypts `plaintext` with `nonce` and `aad`; output is
+    /// `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        ctr_xor(&self.aes, &counter_block(nonce, 2), &mut out);
+        let tag = self.tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts and verifies `ciphertext || tag`.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::MalformedCiphertext`] if shorter than a tag,
+    /// [`CryptoError::AuthenticationFailed`] if the tag does not verify.
+    pub fn open(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::MalformedCiphertext);
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expect = self.tag(nonce, aad, ct);
+        if !constant_time_eq(&expect, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut pt = ct.to_vec();
+        ctr_xor(&self.aes, &counter_block(nonce, 2), &mut pt);
+        Ok(pt)
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let s = ghash(self.h, aad, ciphertext);
+        let mut j0 = counter_block(nonce, 1);
+        self.aes.encrypt_block(&mut j0);
+        (s ^ u128::from_be_bytes(j0)).to_be_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn nist_test_case_1_empty() {
+        // AES-128, zero key, zero IV, empty everything.
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[0u8; 16])).unwrap();
+        let sealed = cipher.seal(&[0u8; 12], b"", b"");
+        assert_eq!(hex(&sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    #[test]
+    fn nist_test_case_2_one_block() {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[0u8; 16])).unwrap();
+        let sealed = cipher.seal(&[0u8; 12], b"", &[0u8; 16]);
+        assert_eq!(
+            hex(&sealed),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
+        );
+    }
+
+    #[test]
+    fn roundtrip_with_aad() {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[3u8; 32])).unwrap();
+        let nonce = [5u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 100] {
+            let pt: Vec<u8> = (0..len as u32).map(|i| i as u8).collect();
+            let sealed = cipher.seal(&nonce, b"context", &pt);
+            assert_eq!(sealed.len(), len + TAG_LEN);
+            assert_eq!(cipher.open(&nonce, b"context", &sealed).unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[3u8; 16])).unwrap();
+        let nonce = [5u8; 12];
+        let mut sealed = cipher.seal(&nonce, b"aad", b"payload");
+        // Flip a ciphertext bit.
+        sealed[0] ^= 1;
+        assert_eq!(cipher.open(&nonce, b"aad", &sealed), Err(CryptoError::AuthenticationFailed));
+        sealed[0] ^= 1;
+        // Flip a tag bit.
+        let last = sealed.len() - 1;
+        sealed[last] ^= 1;
+        assert_eq!(cipher.open(&nonce, b"aad", &sealed), Err(CryptoError::AuthenticationFailed));
+        sealed[last] ^= 1;
+        // Wrong AAD.
+        assert_eq!(cipher.open(&nonce, b"other", &sealed), Err(CryptoError::AuthenticationFailed));
+        // Wrong nonce.
+        assert_eq!(cipher.open(&[6u8; 12], b"aad", &sealed), Err(CryptoError::AuthenticationFailed));
+        // Intact opens fine.
+        assert_eq!(cipher.open(&nonce, b"aad", &sealed).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[3u8; 16])).unwrap();
+        assert_eq!(cipher.open(&[0u8; 12], b"", &[0u8; 15]), Err(CryptoError::MalformedCiphertext));
+    }
+
+    #[test]
+    fn gf_mul_identity_and_commutativity() {
+        // The multiplicative identity in GCM's representation is the MSB-set block.
+        let one = 1u128 << 127;
+        for x in [0u128, 1, one, 0xdead_beef_u128 << 64 | 77] {
+            assert_eq!(gf_mul(x, one), x);
+            assert_eq!(gf_mul(one, x), x);
+        }
+        let a = 0x0123_4567_89ab_cdef_u128;
+        let b = 0xfeed_face_cafe_beef_u128 << 32;
+        assert_eq!(gf_mul(a, b), gf_mul(b, a));
+    }
+}

@@ -1,0 +1,88 @@
+//! Cryptographic primitives for the DataBlinder reproduction.
+//!
+//! The original DataBlinder system used Bouncy Castle for AES/GCM,
+//! HMAC-SHA256 and related building blocks. This crate rebuilds that
+//! substrate from scratch:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256,
+//! * [`hmac`] — RFC 2104 HMAC-SHA256 and RFC 5869 HKDF,
+//! * [`aes`] — FIPS 197 AES-128/192/256 block cipher,
+//! * [`ctr`] — AES-CTR stream encryption,
+//! * [`gcm`] — AES-GCM authenticated encryption (GHASH over GF(2^128)),
+//! * [`prf`] — the keyed PRF abstraction tactics are built on,
+//! * [`ct`] — constant-time comparison,
+//! * [`keys`] — symmetric key material with best-effort zeroization.
+//!
+//! # Examples
+//!
+//! ```
+//! use datablinder_primitives::gcm::AesGcm;
+//! use datablinder_primitives::keys::SymmetricKey;
+//!
+//! # fn main() -> Result<(), datablinder_primitives::CryptoError> {
+//! let key = SymmetricKey::from_bytes(&[7u8; 16]);
+//! let cipher = AesGcm::new(&key)?;
+//! let nonce = [1u8; 12];
+//! let ct = cipher.seal(&nonce, b"attached data", b"hello world");
+//! let pt = cipher.open(&nonce, b"attached data", &ct)?;
+//! assert_eq!(pt, b"hello world");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Security note
+//!
+//! Faithful to the algorithms but **not audited and not constant time**
+//! throughout (table-based AES, variable-time big-integer ops upstream).
+//! Do not reuse outside this reproduction.
+
+
+#![warn(missing_docs)]
+pub mod aes;
+pub mod ct;
+pub mod ctr;
+pub mod gcm;
+pub mod hmac;
+pub mod keys;
+pub mod prf;
+pub mod sha256;
+
+/// Errors produced by the primitives crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Key material has an unsupported length for the requested algorithm.
+    InvalidKeyLength {
+        /// Acceptable lengths, human-readable.
+        expected: &'static str,
+        /// The length supplied.
+        got: usize,
+    },
+    /// Ciphertext is malformed (too short, truncated tag, ...).
+    MalformedCiphertext,
+    /// Authentication tag verification failed.
+    AuthenticationFailed,
+    /// A nonce/IV had the wrong size.
+    InvalidNonce {
+        /// Required nonce length in bytes.
+        expected: usize,
+        /// The length supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::InvalidKeyLength { expected, got } => {
+                write!(f, "invalid key length: expected {expected} bytes, got {got}")
+            }
+            CryptoError::MalformedCiphertext => write!(f, "malformed ciphertext"),
+            CryptoError::AuthenticationFailed => write!(f, "authentication tag mismatch"),
+            CryptoError::InvalidNonce { expected, got } => {
+                write!(f, "invalid nonce length: expected {expected} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,58 @@
+//! Property tests for the AEAD and cipher layer.
+
+use datablinder_primitives::aes::Aes;
+use datablinder_primitives::ctr::{counter_block, ctr_xor};
+use datablinder_primitives::gcm::AesGcm;
+use datablinder_primitives::keys::SymmetricKey;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gcm_roundtrip(key in prop::collection::vec(any::<u8>(), 16..=16),
+                     nonce in prop::collection::vec(any::<u8>(), 12..=12),
+                     aad in prop::collection::vec(any::<u8>(), 0..32),
+                     pt in prop::collection::vec(any::<u8>(), 0..256)) {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&key)).unwrap();
+        let nonce: [u8; 12] = nonce.try_into().unwrap();
+        let sealed = cipher.seal(&nonce, &aad, &pt);
+        prop_assert_eq!(cipher.open(&nonce, &aad, &sealed).unwrap(), pt);
+    }
+
+    #[test]
+    fn gcm_any_single_bitflip_detected(pt in prop::collection::vec(any::<u8>(), 1..64),
+                                       flip_bit in 0usize..64) {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[7u8; 16])).unwrap();
+        let nonce = [3u8; 12];
+        let mut sealed = cipher.seal(&nonce, b"aad", &pt);
+        let bit = flip_bit % (sealed.len() * 8);
+        sealed[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(cipher.open(&nonce, b"aad", &sealed).is_err());
+    }
+
+    #[test]
+    fn gcm_open_never_panics_on_garbage(garbage in prop::collection::vec(any::<u8>(), 0..128)) {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[7u8; 32])).unwrap();
+        let _ = cipher.open(&[0u8; 12], b"", &garbage);
+    }
+
+    #[test]
+    fn aes_block_roundtrip(key in prop::collection::vec(any::<u8>(), 32..=32),
+                           block in prop::collection::vec(any::<u8>(), 16..=16)) {
+        let aes = Aes::new(&key).unwrap();
+        let mut b: [u8; 16] = block.clone().try_into().unwrap();
+        aes.encrypt_block(&mut b);
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b.to_vec(), block);
+    }
+
+    #[test]
+    fn ctr_is_an_involution(data in prop::collection::vec(any::<u8>(), 0..200),
+                            count in any::<u32>()) {
+        let aes = Aes::new(&[5u8; 16]).unwrap();
+        let iv = counter_block(&[9u8; 12], count);
+        let mut buf = data.clone();
+        ctr_xor(&aes, &iv, &mut buf);
+        ctr_xor(&aes, &iv, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+}

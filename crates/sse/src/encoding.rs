@@ -1,0 +1,244 @@
+//! Length-prefixed byte encoding helpers shared by the scheme tokens.
+//!
+//! All tokens crossing the gateway↔cloud channel use these so the framing
+//! is uniform and fuzz-resistant.
+
+use crate::SseError;
+
+/// Incremental writer for length-prefixed fields.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Appends a length-prefixed byte field.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(&(b.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Appends a raw u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a raw u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a list of byte fields (count-prefixed).
+    pub fn list(&mut self, items: &[Vec<u8>]) -> &mut Self {
+        self.u32(items.len() as u32);
+        for item in items {
+            self.bytes(item);
+        }
+        self
+    }
+
+    /// Finishes, returning the encoded buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Incremental reader matching [`Writer`].
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Reads a length-prefixed byte field.
+    ///
+    /// # Errors
+    ///
+    /// [`SseError::Malformed`] on truncation.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, SseError> {
+        let len = self.u32()? as usize;
+        if self.buf.len() < len {
+            return Err(SseError::Malformed("truncated byte field"));
+        }
+        let (head, rest) = self.buf.split_at(len);
+        self.buf = rest;
+        Ok(head.to_vec())
+    }
+
+    /// Reads a fixed-size array field.
+    ///
+    /// # Errors
+    ///
+    /// [`SseError::Malformed`] on truncation or wrong length.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], SseError> {
+        let b = self.bytes()?;
+        b.try_into().map_err(|_| SseError::Malformed("wrong-length array field"))
+    }
+
+    /// Reads a raw u32.
+    ///
+    /// # Errors
+    ///
+    /// [`SseError::Malformed`] on truncation.
+    pub fn u32(&mut self) -> Result<u32, SseError> {
+        if self.buf.len() < 4 {
+            return Err(SseError::Malformed("truncated u32"));
+        }
+        let (head, rest) = self.buf.split_at(4);
+        self.buf = rest;
+        Ok(u32::from_be_bytes(head.try_into().unwrap()))
+    }
+
+    /// Reads a raw u64.
+    ///
+    /// # Errors
+    ///
+    /// [`SseError::Malformed`] on truncation.
+    pub fn u64(&mut self) -> Result<u64, SseError> {
+        if self.buf.len() < 8 {
+            return Err(SseError::Malformed("truncated u64"));
+        }
+        let (head, rest) = self.buf.split_at(8);
+        self.buf = rest;
+        Ok(u64::from_be_bytes(head.try_into().unwrap()))
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SseError::Malformed`] on truncation.
+    pub fn u8(&mut self) -> Result<u8, SseError> {
+        if self.buf.is_empty() {
+            return Err(SseError::Malformed("truncated u8"));
+        }
+        let b = self.buf[0];
+        self.buf = &self.buf[1..];
+        Ok(b)
+    }
+
+    /// Reads a count-prefixed list of byte fields.
+    ///
+    /// # Errors
+    ///
+    /// [`SseError::Malformed`] on truncation.
+    pub fn list(&mut self) -> Result<Vec<Vec<u8>>, SseError> {
+        let n = self.u32()? as usize;
+        // Guard absurd counts (cheap DoS resistance on the decode path).
+        if n > self.buf.len() {
+            return Err(SseError::Malformed("list count exceeds buffer"));
+        }
+        (0..n).map(|_| self.bytes()).collect()
+    }
+
+    /// Bytes left unread.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Reads a count that bounds further per-item reads: rejects counts
+    /// larger than the remaining buffer (so hostile counts cannot drive
+    /// huge preallocations).
+    ///
+    /// # Errors
+    ///
+    /// [`SseError::Malformed`] on truncation or absurd counts.
+    pub fn count(&mut self) -> Result<usize, SseError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() {
+            return Err(SseError::Malformed("count exceeds buffer"));
+        }
+        Ok(n)
+    }
+
+    /// Asserts the buffer is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`SseError::Malformed`] if bytes remain.
+    pub fn finish(self) -> Result<(), SseError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(SseError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_field_kinds() {
+        let mut w = Writer::new();
+        w.u8(7).u32(42).u64(1 << 40).bytes(b"hello").list(&[b"a".to_vec(), b"bb".to_vec()]);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 42);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.list().unwrap(), vec![b"a".to_vec(), b"bb".to_vec()]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.bytes(b"hello");
+        let buf = w.finish();
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(r.bytes().is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.u8(1).u8(2);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        r.u8().unwrap();
+        assert!(matches!(r.finish(), Err(SseError::Malformed(_))));
+    }
+
+    #[test]
+    fn absurd_list_count_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut r = Reader::new(&buf);
+        assert!(r.list().is_err());
+    }
+
+    #[test]
+    fn array_length_enforced() {
+        let mut w = Writer::new();
+        w.bytes(&[1, 2, 3]);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert!(r.array::<16>().is_err());
+        let mut r2 = Reader::new(&buf);
+        assert_eq!(r2.array::<3>().unwrap(), [1, 2, 3]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Plaintext inverted-index builder used by the *setup* phase of the
+//! static schemes (2Lev, BIEX).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::DocId;
+
+/// A plaintext inverted index: keyword → set of document ids.
+///
+/// Built in the trusted zone during a static scheme's setup, then consumed
+/// to produce the encrypted structures. Never leaves the gateway.
+///
+/// # Examples
+///
+/// ```
+/// use datablinder_sse::inverted::InvertedIndex;
+/// use datablinder_sse::DocId;
+///
+/// let mut idx = InvertedIndex::new();
+/// idx.add(b"cancer", DocId::from_name("doc-1"));
+/// idx.add(b"cancer", DocId::from_name("doc-2"));
+/// assert_eq!(idx.postings(b"cancer").len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InvertedIndex {
+    map: BTreeMap<Vec<u8>, BTreeSet<DocId>>,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        InvertedIndex::default()
+    }
+
+    /// Adds a (keyword, document) pair.
+    pub fn add(&mut self, keyword: &[u8], id: DocId) {
+        self.map.entry(keyword.to_vec()).or_default().insert(id);
+    }
+
+    /// Adds every keyword of a document.
+    pub fn add_document<'a, I: IntoIterator<Item = &'a [u8]>>(&mut self, keywords: I, id: DocId) {
+        for kw in keywords {
+            self.add(kw, id);
+        }
+    }
+
+    /// The postings (sorted) for a keyword; empty if unknown.
+    pub fn postings(&self, keyword: &[u8]) -> Vec<DocId> {
+        self.map.get(keyword).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// All keywords, sorted.
+    pub fn keywords(&self) -> impl Iterator<Item = &Vec<u8>> {
+        self.map.keys()
+    }
+
+    /// Number of distinct keywords.
+    pub fn keyword_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of (keyword, doc) pairs.
+    pub fn pair_count(&self) -> usize {
+        self.map.values().map(|s| s.len()).sum()
+    }
+
+    /// Ids in the intersection of two keywords' postings.
+    pub fn intersection(&self, a: &[u8], b: &[u8]) -> Vec<DocId> {
+        match (self.map.get(a), self.map.get(b)) {
+            (Some(sa), Some(sb)) => sa.intersection(sb).copied().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Iterates `(keyword, postings)` pairs in keyword order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &BTreeSet<DocId>)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u8) -> DocId {
+        DocId([n; 16])
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut idx = InvertedIndex::new();
+        idx.add_document([b"a".as_slice(), b"b".as_slice()], id(1));
+        idx.add_document([b"b".as_slice(), b"c".as_slice()], id(2));
+        assert_eq!(idx.postings(b"a"), vec![id(1)]);
+        assert_eq!(idx.postings(b"b"), vec![id(1), id(2)]);
+        assert_eq!(idx.postings(b"zzz"), vec![]);
+        assert_eq!(idx.keyword_count(), 3);
+        assert_eq!(idx.pair_count(), 4);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut idx = InvertedIndex::new();
+        idx.add(b"w", id(1));
+        idx.add(b"w", id(1));
+        assert_eq!(idx.postings(b"w").len(), 1);
+    }
+
+    #[test]
+    fn intersections() {
+        let mut idx = InvertedIndex::new();
+        idx.add(b"a", id(1));
+        idx.add(b"a", id(2));
+        idx.add(b"b", id(2));
+        idx.add(b"b", id(3));
+        assert_eq!(idx.intersection(b"a", b"b"), vec![id(2)]);
+        assert_eq!(idx.intersection(b"a", b"nope"), vec![]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Plain-text rendering of Figure 5 and the §5.2 latency table.
+
+use std::time::Duration;
+
+use crate::runner::{OpKind, ScenarioReport};
+
+fn bar(value: f64, max: f64, width: usize) -> String {
+    let filled = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+    let mut s = String::new();
+    for _ in 0..filled.min(width) {
+        s.push('█');
+    }
+    for _ in filled.min(width)..width {
+        s.push('·');
+    }
+    s
+}
+
+fn fmt_dur(d: Duration) -> String {
+    if d >= Duration::from_secs(1) {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d >= Duration::from_millis(1) {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.0}µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+/// Renders the Figure 5 throughput comparison: per-operation and overall
+/// bars for the three scenarios.
+pub fn render_figure5(reports: &[&ScenarioReport]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5 — Per-operation and overall throughput comparison\n");
+    out.push_str("(requests/second; larger is better)\n\n");
+    for (title, extract) in [
+        ("insert", Box::new(|r: &ScenarioReport| r.op_throughput(OpKind::Insert)) as Box<dyn Fn(&ScenarioReport) -> f64>),
+        ("equality search", Box::new(|r: &ScenarioReport| r.op_throughput(OpKind::Search))),
+        ("aggregate", Box::new(|r: &ScenarioReport| r.op_throughput(OpKind::Aggregate))),
+        ("overall", Box::new(|r: &ScenarioReport| r.throughput())),
+    ] {
+        out.push_str(&format!("{title}:\n"));
+        let max = reports.iter().map(|r| extract(r)).fold(0.0f64, f64::max);
+        for r in reports {
+            let v = extract(r);
+            out.push_str(&format!("  {:<4} {} {:>10.1} req/s\n", r.label, bar(v, max, 40), v));
+        }
+        out.push('\n');
+    }
+    // The headline numbers of §5.2.
+    if let [sa, sb, sc] = reports {
+        let tactic_loss = 100.0 * (1.0 - sc.throughput() / sa.throughput());
+        let middleware_loss = 100.0 * (1.0 - sc.throughput() / sb.throughput());
+        out.push_str(&format!(
+            "overall throughput loss S_A -> S_C (tactics): {tactic_loss:.1}% (paper: ~44%)\n"
+        ));
+        out.push_str(&format!(
+            "additional loss S_B -> S_C (middleware):      {middleware_loss:.1}% (paper: ~1.4%)\n"
+        ));
+    }
+    out
+}
+
+/// Renders the §5.2 latency table: overall average, p50, p75, p99.
+pub fn render_latency_table(reports: &[&ScenarioReport]) -> String {
+    let mut out = String::new();
+    out.push_str("§5.2 latency table — overall request latency\n\n");
+    out.push_str(&format!("{:<6} {:>10} {:>10} {:>10} {:>10}\n", "", "avg", "p50", "p75", "p99"));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10}\n",
+            r.label,
+            fmt_dur(r.overall.mean()),
+            fmt_dur(r.overall.percentile(0.50)),
+            fmt_dur(r.overall.percentile(0.75)),
+            fmt_dur(r.overall.percentile(0.99)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::LatencyHistogram;
+
+    fn fake(label: &'static str, per_op_ms: u64) -> ScenarioReport {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..10 {
+            h.record(Duration::from_millis(per_op_ms));
+        }
+        let mut overall = LatencyHistogram::new();
+        overall.merge(&h);
+        ScenarioReport {
+            label,
+            elapsed: Duration::from_secs(1),
+            completed: 10,
+            failed: 0,
+            insert: h.clone(),
+            search: LatencyHistogram::new(),
+            aggregate: LatencyHistogram::new(),
+            overall,
+        }
+    }
+
+    #[test]
+    fn renders_include_labels_and_headline() {
+        let (a, b, c) = (fake("S_A", 1), fake("S_B", 2), fake("S_C", 2));
+        let fig = render_figure5(&[&a, &b, &c]);
+        assert!(fig.contains("S_A"));
+        assert!(fig.contains("overall"));
+        assert!(fig.contains("paper: ~44%"));
+        let tbl = render_latency_table(&[&a, &b, &c]);
+        assert!(tbl.contains("p99"));
+        assert!(tbl.contains("S_C"));
+    }
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(bar(10.0, 10.0, 4), "████");
+        assert_eq!(bar(0.0, 10.0, 4), "····");
+        assert_eq!(bar(5.0, 10.0, 4), "██··");
+        assert_eq!(bar(1.0, 0.0, 2), "··");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_micros(500)), "500µs");
+        assert_eq!(fmt_dur(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -1,0 +1,106 @@
+//! The e-finance case: DataBlinder was "developed in close collaboration
+//! with businesses that ... offer cloud-based applications in e-finance"
+//! (UnifiedPost). This example protects an invoice-processing collection:
+//!
+//! * `customer` — class 2 equality search (who are this customer's invoices for?),
+//! * `amount`   — class 5 range queries (overdue invoices above €10k) and
+//!   homomorphic sums (total receivables without decrypting),
+//! * `status`   — class 4 equality + boolean filters,
+//! * `iban`     — class 1: stored, never searched.
+//!
+//! ```sh
+//! cargo run --example efinance
+//! ```
+
+use datablinder::core::cloud::CloudEngine;
+use datablinder::core::gateway::GatewayEngine;
+use datablinder::core::model::*;
+use datablinder::docstore::{Document, Value};
+use datablinder::kms::Kms;
+use datablinder::netsim::{Channel, LatencyModel};
+use rand::Rng;
+use rand::SeedableRng;
+
+fn invoice_schema() -> Schema {
+    use FieldOp::*;
+    Schema::new("invoices")
+        .plain_field("number", FieldType::Integer, true)
+        .sensitive_field("customer", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]))
+        .sensitive_field(
+            "amount",
+            FieldType::Float,
+            true,
+            FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Range]).with_aggs(vec![AggFn::Sum, AggFn::Avg]),
+        )
+        .sensitive_field("status", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C4, vec![Insert, Equality, Boolean]))
+        .sensitive_field("iban", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C1, vec![Insert]))
+        .sensitive_field("due", FieldType::Integer, true, FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Range]))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::lan());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let mut gateway = GatewayEngine::new("unifiedpost", Kms::generate(&mut rng), channel, 3);
+    gateway.register_schema(invoice_schema())?;
+
+    println!("invoice field protection:");
+    for field in ["customer", "amount", "status", "iban", "due"] {
+        let sel = gateway.selection("invoices", field).expect("registered");
+        println!("  {:<9} {:<18} {}", field, sel.listed_tactics().join(", "), sel.reason);
+    }
+
+    // A synthetic ledger.
+    let customers = ["ACME GmbH", "Globex BV", "Initech SARL"];
+    let statuses = ["open", "paid", "overdue"];
+    let mut total_expected = 0.0f64;
+    for i in 0..60i64 {
+        let customer = customers[rng.gen_range(0..customers.len())];
+        let status = statuses[rng.gen_range(0..statuses.len())];
+        let amount = (rng.gen_range(50.0..25_000.0f64) * 100.0).round() / 100.0;
+        total_expected += amount;
+        let doc = Document::new("ignored")
+            .with("number", Value::from(1000 + i))
+            .with("customer", Value::from(customer))
+            .with("amount", Value::from(amount))
+            .with("status", Value::from(status))
+            .with("iban", Value::from(format!("BE{:014}", i * 37)))
+            .with("due", Value::from(1_700_000_000i64 + i * 86_400));
+        gateway.insert("invoices", &doc)?;
+    }
+
+    // Equality: one customer's invoices.
+    let acme = gateway.find_equal("invoices", "customer", &Value::from("ACME GmbH"))?;
+    println!("\nACME GmbH invoices: {}", acme.len());
+
+    // Boolean over DET fields: open OR overdue.
+    let dnf = vec![
+        vec![("status".to_string(), Value::from("open"))],
+        vec![("status".to_string(), Value::from("overdue"))],
+    ];
+    let outstanding = gateway.find_boolean("invoices", &dnf)?;
+    println!("outstanding invoices (open or overdue): {}", outstanding.len());
+
+    // Range: big-ticket invoices, found via OPE without decryption.
+    let big = gateway.find_range("invoices", "amount", &Value::from(10_000.0f64), &Value::from(1e9f64))?;
+    println!("invoices over €10k: {}", big.len());
+    for d in big.iter().take(3) {
+        println!("  #{:?} {:?} €{:?}", d.get("number"), d.get("customer").and_then(Value::as_str), d.get("amount"));
+    }
+
+    // Homomorphic sum: total receivables computed by the cloud on
+    // ciphertexts.
+    let total = gateway.aggregate("invoices", "amount", AggFn::Sum, None)?;
+    println!("\ntotal invoiced (homomorphic sum): €{total:.2}");
+    assert!((total - total_expected).abs() < 0.5, "sum {total} vs oracle {total_expected}");
+
+    // Due-date window (range on a second OPE field).
+    let this_month = gateway.find_range(
+        "invoices",
+        "due",
+        &Value::from(1_700_000_000i64),
+        &Value::from(1_700_000_000i64 + 30 * 86_400),
+    )?;
+    println!("invoices due in the first 30 days: {}", this_month.len());
+
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! The paper's §5.1 healthcare validation case: FHIR-style glucose
+//! observations with the exact published annotations, exercising every
+//! query family the paper motivates in its introduction:
+//!
+//! * boolean search — "the patient with a particular gastric cancer who
+//!   was admitted on 12/05/2012",
+//! * aggregate — "the average heart rate of a patient",
+//! * range — "health problems between particular date ranges".
+//!
+//! ```sh
+//! cargo run --example healthcare
+//! ```
+
+use datablinder::core::cloud::CloudEngine;
+use datablinder::core::gateway::GatewayEngine;
+use datablinder::core::model::AggFn;
+use datablinder::docstore::Value;
+use datablinder::fhir::{example_observation, observation_schema, ObservationGenerator};
+use datablinder::kms::Kms;
+use datablinder::netsim::{Channel, LatencyModel};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::lan());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let mut gateway = GatewayEngine::new("ehealth", Kms::generate(&mut rng), channel, 99);
+
+    gateway.register_schema(observation_schema())?;
+
+    // Reproduce the §5.1 selection table.
+    println!("§5.1 tactic selection (Sensitives / Tactic Selection / Reason):");
+    for field in ["status", "code", "subject", "effective", "issued", "performer", "value"] {
+        let sel = gateway.selection("observation", field).expect("registered");
+        println!("  {:<10} {:<22} {}", field, sel.listed_tactics().join(", "), sel.reason);
+    }
+
+    // Initial cloud migration: bulk-load a corpus, building the *static*
+    // BIEX base index in one batched round trip...
+    let mut generator = ObservationGenerator::new(20);
+    let corpus: Vec<_> = (0..120).map(|_| generator.generate(&mut rng)).collect();
+    gateway.migrate("observation", &corpus)?;
+    // ...then go live: the paper's example document arrives as a dynamic
+    // insert layered on top of the static base.
+    gateway.insert("observation", &example_observation())?;
+    println!("\nstored observations: {}", gateway.count("observation")?);
+
+    // Equality search (Mitra, identifier-level protection).
+    let johns = gateway.find_equal("observation", "subject", &Value::from("John Doe"))?;
+    println!("observations for John Doe: {}", johns.len());
+    assert_eq!(johns.len(), 1);
+
+    // Boolean cross-field search (BIEX-2Lev): final glucose observations.
+    let dnf = vec![vec![
+        ("status".to_string(), Value::from("final")),
+        ("code".to_string(), Value::from("glucose")),
+    ]];
+    let finals = gateway.find_boolean("observation", &dnf)?;
+    println!("final AND glucose: {} observations", finals.len());
+    assert!(finals.iter().any(|d| d.get("subject") == Some(&Value::from("John Doe"))));
+
+    // Range query over the encrypted timestamp (DET+OPE on `effective`).
+    let lo = Value::from(1_359_900_000i64);
+    let hi = Value::from(1_360_000_000i64);
+    let in_range = gateway.find_range("observation", "effective", &lo, &hi)?;
+    println!("observations effective in [{:?}, {:?}]: {}", lo, hi, in_range.len());
+    assert!(in_range.iter().any(|d| d.get("effective") == Some(&Value::from(1_359_966_610i64))));
+
+    // Cloud-side homomorphic average of the glucose values (Paillier),
+    // restricted by a boolean filter.
+    let avg_all = gateway.aggregate("observation", "value", AggFn::Avg, None)?;
+    let glucose_filter = vec![vec![("code".to_string(), Value::from("glucose"))]];
+    let avg_glucose = gateway.aggregate("observation", "value", AggFn::Avg, Some(&glucose_filter))?;
+    println!("average value (all observations):  {avg_all:.2}");
+    println!("average value (glucose only):      {avg_glucose:.2}");
+    assert!(avg_glucose > 0.0);
+
+    println!("\nchannel round trips: {}", gateway.channel().metrics().round_trips());
+    Ok(())
+}

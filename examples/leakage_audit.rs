@@ -1,0 +1,77 @@
+//! Leakage audit: measure what the cloud actually learns under each
+//! protection class — the §3.1 taxonomy made empirical.
+//!
+//! Inserts the same corpus under the benchmark schema, then audits each
+//! stored shadow field from the cloud's point of view.
+//!
+//! ```sh
+//! cargo run --example leakage_audit
+//! ```
+
+use std::collections::HashMap;
+
+use datablinder::core::cloud::CloudEngine;
+use datablinder::core::gateway::GatewayEngine;
+use datablinder::core::leakage::audit_field;
+use datablinder::docstore::Value;
+use datablinder::fhir::ObservationGenerator;
+use datablinder::kms::Kms;
+use datablinder::netsim::{Channel, LatencyModel};
+use datablinder::workload::clients::bench_schema;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cloud = CloudEngine::new();
+    let docs = cloud.docs().clone();
+    let channel = Channel::connect(cloud, LatencyModel::instant());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut gateway = GatewayEngine::new("audit", Kms::generate(&mut rng), channel, 8);
+    gateway.register_schema(bench_schema())?;
+
+    // Insert a corpus and remember the plaintext order of `effective`
+    // (auditor knowledge, for the order-correlation measurement).
+    let mut generator = ObservationGenerator::new(12);
+    let mut effective_order: HashMap<String, i64> = HashMap::new();
+    for _ in 0..60 {
+        let obs = generator.generate(&mut rng);
+        let id = gateway.insert("observation", &obs)?;
+        effective_order.insert(
+            datablinder::sse::DocId::to_hex(id),
+            obs.get("effective").and_then(Value::as_i64).unwrap(),
+        );
+    }
+
+    let collection = docs.collection("observation");
+    println!("cloud-side audit of {} stored observations:\n", collection.len());
+    println!(
+        "{:<18} {:>6} {:>9} {:>10} {:>8} {:>7}  observed level",
+        "stored field", "docs", "distinct", "max class", "lengths", "order"
+    );
+    for (field, order) in [
+        ("performer__rnd", None),                     // class 1
+        ("subject__rnd", None),                       // payload of Mitra field
+        ("status__det", None),                        // class 4
+        ("effective__det", Some(&effective_order)),   // DET on a numeric field
+        ("value__phe", None),                         // Paillier ciphertexts
+    ] {
+        let audit = audit_field(&collection, field, order);
+        println!(
+            "{:<18} {:>6} {:>9} {:>10} {:>8} {:>7}  {}",
+            audit.field,
+            audit.population,
+            audit.distinct_ciphertexts,
+            audit.largest_equality_class,
+            audit.distinct_lengths,
+            audit.order_correlation.map(|c| format!("{c:.2}")).unwrap_or_else(|| "-".into()),
+            audit.observed_level(),
+        );
+    }
+
+    println!(
+        "\nreading: RND/Paillier fields show one equality class per document\n\
+         (Structure); DET fields expose equality classes (Equalities) — the\n\
+         functional trade the annotations opted into; none of the stored\n\
+         fields exposes order (OPE would, at class C5)."
+    );
+    Ok(())
+}

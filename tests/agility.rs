@@ -1,0 +1,204 @@
+//! Crypto-agility integration tests: tactic deprecation re-routing, the
+//! ORE fallback path, and key rotation with live re-encryption.
+
+use datablinder::core::cloud::CloudEngine;
+use datablinder::core::gateway::GatewayEngine;
+use datablinder::core::model::*;
+use datablinder::core::registry::TacticRegistry;
+use datablinder::docstore::{Document, Filter, Value};
+use datablinder::kms::Kms;
+use datablinder::netsim::{Channel, LatencyModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn range_schema() -> Schema {
+    Schema::new("events").sensitive_field(
+        "at",
+        FieldType::Integer,
+        true,
+        FieldAnnotation::new(ProtectionClass::C5, vec![FieldOp::Insert, FieldOp::Range]),
+    )
+}
+
+#[test]
+fn ore_serves_ranges_when_ope_is_deprecated() {
+    // An OPE-reconstruction attack is published: the operator pulls OPE.
+    let mut registry = TacticRegistry::with_builtins();
+    assert!(registry.deprecate("ope"));
+    let selection = registry
+        .select("at", &FieldAnnotation::new(ProtectionClass::C5, vec![FieldOp::Insert, FieldOp::Range]))
+        .unwrap();
+    assert_eq!(selection.search_tactics, vec!["ore"], "ORE takes over range duty");
+
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(0x0AE);
+    let mut gw = GatewayEngine::with_registry("agile", Kms::generate(&mut rng), channel, 1, registry);
+    gw.register_schema(range_schema()).unwrap();
+
+    for t in [100i64, 200, 300, 400] {
+        gw.insert("events", &Document::new("x").with("at", Value::from(t))).unwrap();
+    }
+    let hits = gw.find_range("events", "at", &Value::from(150i64), &Value::from(350i64)).unwrap();
+    assert_eq!(hits.len(), 2);
+    let mut values: Vec<i64> = hits.iter().map(|d| d.get("at").unwrap().as_i64().unwrap()).collect();
+    values.sort();
+    assert_eq!(values, vec![200, 300]);
+}
+
+#[test]
+fn payload_key_rotation_reencrypts_documents() {
+    let cloud = CloudEngine::new();
+    let docs = cloud.docs().clone();
+    let channel = Channel::connect(cloud, LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(0x0707);
+    let mut gw = GatewayEngine::new("rotate", Kms::generate(&mut rng), channel, 2);
+
+    let schema = Schema::new("vault").sensitive_field(
+        "secret",
+        FieldType::Text,
+        true,
+        FieldAnnotation::new(ProtectionClass::C1, vec![FieldOp::Insert]),
+    );
+    gw.register_schema(schema).unwrap();
+
+    let mut ids = Vec::new();
+    for i in 0..5 {
+        let id = gw
+            .insert("vault", &Document::new("x").with("secret", Value::from(format!("payload-{i}"))))
+            .unwrap();
+        ids.push(id);
+    }
+    // Snapshot the ciphertexts before rotation.
+    let before: Vec<Vec<u8>> = docs
+        .collection("vault")
+        .find(&Filter::All)
+        .iter()
+        .map(|d| d.get("secret__rnd").unwrap().as_bytes().unwrap().to_vec())
+        .collect();
+
+    let version = gw.rotate_payload_key("vault", "secret").unwrap();
+    assert_eq!(version, 1);
+
+    // Every ciphertext changed...
+    let after: Vec<Vec<u8>> = docs
+        .collection("vault")
+        .find(&Filter::All)
+        .iter()
+        .map(|d| d.get("secret__rnd").unwrap().as_bytes().unwrap().to_vec())
+        .collect();
+    for a in &after {
+        assert!(!before.contains(a), "ciphertext not re-encrypted");
+    }
+    // ...and every plaintext still decrypts with the post-rotation engine.
+    for (i, id) in ids.iter().enumerate() {
+        let doc = gw.get("vault", *id).unwrap();
+        assert_eq!(doc.get("secret"), Some(&Value::from(format!("payload-{i}"))));
+    }
+    // New inserts use the rotated key and coexist with re-encrypted data.
+    let id = gw.insert("vault", &Document::new("x").with("secret", Value::from("fresh"))).unwrap();
+    assert_eq!(gw.get("vault", id).unwrap().get("secret"), Some(&Value::from("fresh")));
+}
+
+#[test]
+fn rotation_of_det_keeps_equality_search_consistent() {
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(0x0708);
+    let mut gw = GatewayEngine::new("rotate-det", Kms::generate(&mut rng), channel, 3);
+    let schema = Schema::new("cards").sensitive_field(
+        "kind",
+        FieldType::Text,
+        true,
+        FieldAnnotation::new(ProtectionClass::C4, vec![FieldOp::Insert, FieldOp::Equality]),
+    );
+    gw.register_schema(schema).unwrap();
+
+    for kind in ["visa", "visa", "amex"] {
+        gw.insert("cards", &Document::new("x").with("kind", Value::from(kind))).unwrap();
+    }
+    assert_eq!(gw.find_equal("cards", "kind", &Value::from("visa")).unwrap().len(), 2);
+
+    gw.rotate_payload_key("cards", "kind").unwrap();
+
+    // Searches after rotation use fresh tokens against re-encrypted
+    // shadow fields: results unchanged.
+    assert_eq!(gw.find_equal("cards", "kind", &Value::from("visa")).unwrap().len(), 2);
+    assert_eq!(gw.find_equal("cards", "kind", &Value::from("amex")).unwrap().len(), 1);
+    // And inserts after rotation land in the same searchable space.
+    gw.insert("cards", &Document::new("x").with("kind", Value::from("visa"))).unwrap();
+    assert_eq!(gw.find_equal("cards", "kind", &Value::from("visa")).unwrap().len(), 3);
+}
+
+#[test]
+fn zmf_variant_serves_boolean_when_2lev_deprecated() {
+    let mut registry = TacticRegistry::with_builtins();
+    registry.deprecate("biex-2lev");
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(0x0709);
+    let mut gw = GatewayEngine::with_registry("zmf", Kms::generate(&mut rng), channel, 4, registry);
+    let schema = Schema::new("posts")
+        .sensitive_field("tag", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C3, vec![FieldOp::Insert, FieldOp::Equality, FieldOp::Boolean]))
+        .sensitive_field("lang", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C3, vec![FieldOp::Insert, FieldOp::Equality, FieldOp::Boolean]));
+    gw.register_schema(schema).unwrap();
+    assert_eq!(gw.selection("posts", "tag").unwrap().search_tactics, vec!["biex-zmf"]);
+
+    gw.insert("posts", &Document::new("x").with("tag", Value::from("rust")).with("lang", Value::from("en"))).unwrap();
+    gw.insert("posts", &Document::new("x").with("tag", Value::from("rust")).with("lang", Value::from("nl"))).unwrap();
+    gw.insert("posts", &Document::new("x").with("tag", Value::from("java")).with("lang", Value::from("en"))).unwrap();
+
+    let dnf = vec![vec![("tag".to_string(), Value::from("rust")), ("lang".to_string(), Value::from("en"))]];
+    assert_eq!(gw.find_boolean("posts", &dnf).unwrap().len(), 1);
+}
+
+#[test]
+fn index_key_rotation_rebuilds_searchable_index() {
+    let cloud = CloudEngine::new();
+    let kv = cloud.kv().clone();
+    let channel = Channel::connect(cloud, LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(0x1D0);
+    let mut gw = GatewayEngine::new("rotidx", Kms::generate(&mut rng), channel, 9);
+    let schema = Schema::new("notes").sensitive_field(
+        "owner",
+        FieldType::Text,
+        true,
+        FieldAnnotation::new(ProtectionClass::C2, vec![FieldOp::Insert, FieldOp::Equality]),
+    );
+    gw.register_schema(schema).unwrap();
+    for owner in ["ann", "ann", "bob"] {
+        gw.insert("notes", &Document::new("x").with("owner", Value::from(owner))).unwrap();
+    }
+    let entries_before: Vec<Vec<u8>> = kv.keys_with_prefix(b"t/mitra/notes:owner/");
+    assert!(!entries_before.is_empty());
+    assert_eq!(gw.find_equal("notes", "owner", &Value::from("ann")).unwrap().len(), 2);
+
+    let version = gw.rotate_index_key("notes", "owner").unwrap();
+    assert_eq!(version, 1);
+
+    // The index was rebuilt: same cardinality, all-new addresses.
+    let entries_after: Vec<Vec<u8>> = kv.keys_with_prefix(b"t/mitra/notes:owner/");
+    assert_eq!(entries_after.len(), entries_before.len());
+    for e in &entries_after {
+        assert!(!entries_before.contains(e), "index entry not re-keyed");
+    }
+    // Searches under the new key see everything...
+    assert_eq!(gw.find_equal("notes", "owner", &Value::from("ann")).unwrap().len(), 2);
+    assert_eq!(gw.find_equal("notes", "owner", &Value::from("bob")).unwrap().len(), 1);
+    // ...and new inserts chain onto the rotated index.
+    gw.insert("notes", &Document::new("x").with("owner", Value::from("ann"))).unwrap();
+    assert_eq!(gw.find_equal("notes", "owner", &Value::from("ann")).unwrap().len(), 3);
+}
+
+#[test]
+fn index_rotation_rejects_non_index_tactics() {
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(0x1D1);
+    let mut gw = GatewayEngine::new("rotidx2", Kms::generate(&mut rng), channel, 10);
+    let schema = Schema::new("cards").sensitive_field(
+        "kind",
+        FieldType::Text,
+        true,
+        FieldAnnotation::new(ProtectionClass::C4, vec![FieldOp::Insert, FieldOp::Equality]),
+    );
+    gw.register_schema(schema).unwrap();
+    // DET is a payload tactic: rotate_payload_key is the right flow.
+    assert!(gw.rotate_index_key("cards", "kind").is_err());
+}

@@ -1,0 +1,108 @@
+//! Property-based integration tests: for random corpora, the middleware's
+//! query answers must equal a plaintext oracle's.
+
+use datablinder::core::cloud::CloudEngine;
+use datablinder::core::gateway::GatewayEngine;
+use datablinder::core::model::*;
+use datablinder::docstore::{Document, Value};
+use datablinder::kms::Kms;
+use datablinder::netsim::{Channel, LatencyModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Debug, Clone)]
+struct Record {
+    owner: String,
+    tag: String,
+    score: i64,
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        prop::sample::select(vec!["ann", "bob", "cid", "dee"]),
+        prop::sample::select(vec!["red", "green", "blue"]),
+        -1000i64..1000,
+    )
+        .prop_map(|(owner, tag, score)| Record { owner: owner.into(), tag: tag.into(), score })
+}
+
+fn schema() -> Schema {
+    use FieldOp::*;
+    Schema::new("records")
+        .sensitive_field("owner", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]))
+        .sensitive_field("tag", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C3, vec![Insert, Equality, Boolean]))
+        .sensitive_field(
+            "score",
+            FieldType::Integer,
+            true,
+            FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Range]).with_aggs(vec![AggFn::Sum]),
+        )
+}
+
+fn doc_of(r: &Record) -> Document {
+    Document::new("x")
+        .with("owner", Value::from(r.owner.as_str()))
+        .with("tag", Value::from(r.tag.as_str()))
+        .with("score", Value::from(r.score))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn middleware_equals_plaintext_oracle(records in prop::collection::vec(arb_record(), 1..25)) {
+        let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+        let mut rng = StdRng::seed_from_u64(0xAB);
+        let mut gw = GatewayEngine::new("prop", Kms::generate(&mut rng), channel, 3);
+        gw.register_schema(schema()).unwrap();
+        for r in &records {
+            gw.insert("records", &doc_of(r)).unwrap();
+        }
+
+        // Equality on owner.
+        for owner in ["ann", "bob", "cid", "dee", "eve"] {
+            let hits = gw.find_equal("records", "owner", &Value::from(owner)).unwrap();
+            let expect = records.iter().filter(|r| r.owner == owner).count();
+            prop_assert_eq!(hits.len(), expect, "owner {}", owner);
+        }
+
+        // Boolean on tag (disjunction).
+        let dnf = vec![
+            vec![("tag".to_string(), Value::from("red"))],
+            vec![("tag".to_string(), Value::from("blue"))],
+        ];
+        let hits = gw.find_boolean("records", &dnf).unwrap();
+        let expect = records.iter().filter(|r| r.tag == "red" || r.tag == "blue").count();
+        prop_assert_eq!(hits.len(), expect);
+
+        // Range on score.
+        let hits = gw.find_range("records", "score", &Value::from(-100i64), &Value::from(100i64)).unwrap();
+        let expect = records.iter().filter(|r| (-100..=100).contains(&r.score)).count();
+        prop_assert_eq!(hits.len(), expect);
+
+        // Homomorphic sum (signed values included).
+        let sum = gw.aggregate("records", "score", AggFn::Sum, None).unwrap();
+        let expect: i64 = records.iter().map(|r| r.score).sum();
+        prop_assert!((sum - expect as f64).abs() < 1e-6, "sum {} vs {}", sum, expect);
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_text_values(texts in prop::collection::vec("[a-zA-Z0-9 ]{0,40}", 1..8)) {
+        let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+        let mut rng = StdRng::seed_from_u64(0xCD);
+        let mut gw = GatewayEngine::new("prop2", Kms::generate(&mut rng), channel, 4);
+        let schema = Schema::new("blobs").sensitive_field(
+            "data",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C1, vec![FieldOp::Insert]),
+        );
+        gw.register_schema(schema).unwrap();
+        for t in &texts {
+            let id = gw.insert("blobs", &Document::new("x").with("data", Value::from(t.as_str()))).unwrap();
+            let got = gw.get("blobs", id).unwrap();
+            prop_assert_eq!(got.get("data"), Some(&Value::from(t.as_str())));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Policy-enforcement integration tests: the data access model's
+//! guarantees hold end to end.
+
+use datablinder::core::cloud::CloudEngine;
+use datablinder::core::gateway::GatewayEngine;
+use datablinder::core::model::*;
+use datablinder::core::CoreError;
+use datablinder::docstore::{Document, Value};
+use datablinder::kms::Kms;
+use datablinder::netsim::{Channel, LatencyModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gateway() -> GatewayEngine {
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(0xF0);
+    GatewayEngine::new("policy", Kms::generate(&mut rng), channel, 9)
+}
+
+#[test]
+fn unsatisfiable_schema_rejected_at_registration() {
+    use FieldOp::*;
+    let mut gw = gateway();
+    // Range queries demand order leakage; class 3 forbids it.
+    let schema = Schema::new("bad").sensitive_field(
+        "when",
+        FieldType::Integer,
+        true,
+        FieldAnnotation::new(ProtectionClass::C3, vec![Insert, Range]),
+    );
+    let err = gw.register_schema(schema).unwrap_err();
+    assert!(matches!(err, CoreError::PolicyUnsatisfiable { op: FieldOp::Range, .. }), "{err}");
+}
+
+#[test]
+fn schema_violations_rejected_at_insert() {
+    use FieldOp::*;
+    let mut gw = gateway();
+    let schema = Schema::new("notes")
+        .plain_field("n", FieldType::Integer, true)
+        .sensitive_field("owner", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]));
+    gw.register_schema(schema).unwrap();
+
+    // Missing required field.
+    let err = gw.insert("notes", &Document::new("d").with("owner", Value::from("a"))).unwrap_err();
+    assert!(matches!(err, CoreError::SchemaViolation(_)), "{err}");
+    // Wrong type.
+    let err = gw
+        .insert("notes", &Document::new("d").with("n", Value::from(1i64)).with("owner", Value::from(42i64)))
+        .unwrap_err();
+    assert!(matches!(err, CoreError::SchemaViolation(_)));
+    // Unknown field.
+    let err = gw
+        .insert(
+            "notes",
+            &Document::new("d").with("n", Value::from(1i64)).with("owner", Value::from("a")).with("extra", Value::Null),
+        )
+        .unwrap_err();
+    assert!(matches!(err, CoreError::SchemaViolation(_)));
+    // Nothing reached the cloud.
+    assert_eq!(gw.count("notes").unwrap(), 0);
+}
+
+#[test]
+fn operations_not_in_annotation_rejected() {
+    use FieldOp::*;
+    let mut gw = gateway();
+    let schema = Schema::new("notes")
+        .sensitive_field("owner", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]))
+        .sensitive_field("secret", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C1, vec![Insert]));
+    gw.register_schema(schema).unwrap();
+    gw.insert("notes", &Document::new("d").with("owner", Value::from("a")).with("secret", Value::from("s"))).unwrap();
+
+    // `secret` is class 1, insert-only: no search of any kind.
+    assert!(matches!(
+        gw.find_equal("notes", "secret", &Value::from("s")),
+        Err(CoreError::UnsupportedOperation(_))
+    ));
+    assert!(matches!(
+        gw.find_range("notes", "owner", &Value::from(0i64), &Value::from(1i64)),
+        Err(CoreError::UnsupportedOperation(_))
+    ));
+    assert!(matches!(
+        gw.aggregate("notes", "owner", AggFn::Avg, None),
+        Err(CoreError::UnsupportedOperation(_))
+    ));
+    // Unknown schema.
+    assert!(matches!(gw.count("nope"), Err(CoreError::UnknownSchema(_))));
+}
+
+#[test]
+fn weakest_link_rule_bounds_selection() {
+    // For every registered field, every selected tactic's worst-case
+    // leakage must be admissible under the field's class — the §3.2
+    // "chain is only as strong as its weakest link" rule, checked through
+    // the live registry.
+    use FieldOp::*;
+    let mut gw = gateway();
+    let schema = Schema::new("mixed")
+        .sensitive_field("a", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]))
+        .sensitive_field("b", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C3, vec![Insert, Equality, Boolean]))
+        .sensitive_field("c", FieldType::Integer, true, FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Range]))
+        .sensitive_field("d", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C1, vec![Insert]));
+    gw.register_schema(schema.clone()).unwrap();
+
+    for (field, annotation) in schema.sensitive_fields() {
+        let selection = gw.selection("mixed", field).unwrap();
+        for tactic in selection.all_tactics() {
+            let descriptor = gw.registry().descriptor(&tactic).unwrap();
+            assert!(
+                annotation.class.admits(descriptor.worst_leakage()),
+                "field {field} ({}) got tactic {tactic} with leakage {}",
+                annotation.class,
+                descriptor.worst_leakage()
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_boolean_across_incompatible_tactics_rejected() {
+    use FieldOp::*;
+    let mut gw = gateway();
+    let schema = Schema::new("mixed")
+        // BIEX field and Mitra-only field cannot be boolean-combined.
+        .sensitive_field("a", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C3, vec![Insert, Equality, Boolean]))
+        .sensitive_field("b", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]));
+    gw.register_schema(schema).unwrap();
+    gw.insert("mixed", &Document::new("d").with("a", Value::from("x")).with("b", Value::from("y"))).unwrap();
+    let dnf = vec![vec![("a".to_string(), Value::from("x")), ("b".to_string(), Value::from("y"))]];
+    assert!(matches!(gw.find_boolean("mixed", &dnf), Err(CoreError::UnsupportedOperation(_))));
+}

@@ -1,0 +1,159 @@
+//! Adversarial integration tests: what the untrusted zone sees, and how
+//! the system fails when the cloud misbehaves.
+
+use datablinder::core::cloud::CloudEngine;
+use datablinder::core::gateway::GatewayEngine;
+use datablinder::docstore::{Filter, Value};
+use datablinder::fhir::{example_observation, observation_schema};
+use datablinder::kms::Kms;
+use datablinder::netsim::{Channel, CloudService, LatencyModel, NetError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Sensitive plaintext strings from the example document.
+const SECRETS: [&str; 4] = ["John Doe", "John Smith", "final", "glucose"];
+
+fn contains_secret(bytes: &[u8]) -> Option<&'static str> {
+    SECRETS.iter().copied().find(|s| {
+        bytes.windows(s.len()).any(|w| w == s.as_bytes())
+    })
+}
+
+#[test]
+fn cloud_stores_see_no_plaintext() {
+    let cloud = CloudEngine::new();
+    let docs = cloud.docs().clone();
+    let kv = cloud.kv().clone();
+    let channel = Channel::connect(cloud, LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut gw = GatewayEngine::new("sec", Kms::generate(&mut rng), channel, 1);
+    gw.register_schema(observation_schema()).unwrap();
+    gw.insert("observation", &example_observation()).unwrap();
+
+    // Document store: every stored field value must be free of secrets.
+    for doc in docs.collection("observation").find(&Filter::All) {
+        for (field, value) in doc.iter() {
+            let rendered = match value {
+                Value::Str(s) => s.clone().into_bytes(),
+                Value::Bytes(b) => b.clone(),
+                other => format!("{other:?}").into_bytes(),
+            };
+            if field == "identifier" || field == "interpretation" {
+                continue; // plaintext by annotation
+            }
+            assert_eq!(
+                contains_secret(&rendered),
+                None,
+                "secret leaked into docstore field {field}"
+            );
+        }
+    }
+
+    // KV store (secure indexes): neither keys nor values may contain secrets.
+    for key in kv.keys_with_prefix(b"") {
+        assert_eq!(contains_secret(&key), None, "secret leaked into kv key");
+        if let Some(v) = kv.get(&key) {
+            assert_eq!(contains_secret(&v), None, "secret leaked into kv value");
+        }
+    }
+}
+
+#[test]
+fn wire_traffic_carries_no_plaintext_for_protected_fields() {
+    // A recording wrapper around the cloud engine inspects every frame.
+    struct Recorder {
+        inner: CloudEngine,
+    }
+    impl CloudService for Recorder {
+        fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+            // `subject` is protected by Mitra + RND: its plaintext must
+            // never cross the channel. (status/code travel as DET/BIEX
+            // tokens; identifier/interpretation are plaintext by policy.)
+            assert_eq!(
+                contains_secret(payload).filter(|s| *s == "John Doe" || *s == "John Smith"),
+                None,
+                "protected plaintext on the wire at route {route}"
+            );
+            self.inner.handle(route, payload)
+        }
+    }
+    let channel = Channel::connect(Recorder { inner: CloudEngine::new() }, LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut gw = GatewayEngine::new("sec", Kms::generate(&mut rng), channel, 2);
+    gw.register_schema(observation_schema()).unwrap();
+    let id = gw.insert("observation", &example_observation()).unwrap();
+    gw.find_equal("observation", "subject", &Value::from("John Doe")).unwrap();
+    gw.get("observation", id).unwrap();
+}
+
+#[test]
+fn tampered_ciphertexts_fail_closed() {
+    let cloud = CloudEngine::new();
+    let docs = cloud.docs().clone();
+    let channel = Channel::connect(cloud, LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut gw = GatewayEngine::new("sec", Kms::generate(&mut rng), channel, 3);
+    gw.register_schema(observation_schema()).unwrap();
+    let id = gw.insert("observation", &example_observation()).unwrap();
+
+    // The cloud flips a bit in a stored payload ciphertext.
+    let coll = docs.collection("observation");
+    let mut stored = coll.find(&Filter::All).pop().unwrap();
+    let Some(Value::Bytes(ct)) = stored.get("subject__rnd").cloned() else {
+        panic!("expected subject__rnd ciphertext");
+    };
+    let mut tampered = ct.clone();
+    tampered[ct.len() / 2] ^= 1;
+    stored.set("subject__rnd", Value::Bytes(tampered));
+    coll.update(stored).unwrap();
+
+    // Decryption must fail loudly, not return corrupted data.
+    assert!(gw.get("observation", id).is_err());
+}
+
+#[test]
+fn foreign_gateway_cannot_read_anothers_data() {
+    // Two gateways with different KMS master keys over the same cloud:
+    // gateway B must not be able to decrypt or find gateway A's data.
+    let cloud = CloudEngine::new();
+    let channel = Channel::connect(cloud, LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(4);
+
+    let mut gw_a = GatewayEngine::new("tenant-a", Kms::generate(&mut rng), channel.clone(), 4);
+    gw_a.register_schema(observation_schema()).unwrap();
+    let id = gw_a.insert("observation", &example_observation()).unwrap();
+
+    let mut gw_b = GatewayEngine::new("tenant-b", Kms::generate(&mut rng), channel, 5);
+    gw_b.register_schema(observation_schema()).unwrap();
+    // B's search tokens are keyed differently: no hits.
+    let hits = gw_b.find_equal("observation", "subject", &Value::from("John Doe")).unwrap();
+    assert!(hits.is_empty());
+    // B fetching A's document by id cannot decrypt the payload.
+    assert!(gw_b.get("observation", id).is_err());
+}
+
+#[test]
+fn rnd_hides_equality_det_reveals_it() {
+    // The leakage difference between class 1 and class 4, observable in
+    // the cloud store: equal performer values (RND) have distinct
+    // ciphertexts; equal status values (DET) have equal ciphertexts.
+    let cloud = CloudEngine::new();
+    let docs = cloud.docs().clone();
+    let channel = Channel::connect(cloud, LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut gw = GatewayEngine::new("leak", Kms::generate(&mut rng), channel, 6);
+    gw.register_schema(datablinder::workload::clients::bench_schema()).unwrap();
+
+    let base = example_observation();
+    gw.insert("observation", &base).unwrap();
+    gw.insert("observation", &base).unwrap();
+
+    let stored = docs.collection("observation").find(&Filter::All);
+    assert_eq!(stored.len(), 2);
+    let det_a = stored[0].get("status__det").unwrap();
+    let det_b = stored[1].get("status__det").unwrap();
+    assert_eq!(det_a, det_b, "DET must reveal equality (that is its function)");
+    let rnd_a = stored[0].get("performer__rnd").unwrap();
+    let rnd_b = stored[1].get("performer__rnd").unwrap();
+    assert_ne!(rnd_a, rnd_b, "RND must hide equality");
+}
