@@ -1,0 +1,101 @@
+//! Resilience overhead: throughput and tail latency of equality search
+//! through the retrying channel as the injected fault rate rises.
+//!
+//! Each group member runs the same gateway workload (200 documents, 20
+//! owners) over a [`FaultyService`] at 0%, 1% and 5% per-message fault
+//! rates (half drops, half detected corruption), with retries absorbing
+//! every fault. Comparing members isolates what faults + retries cost the
+//! application. A wall-clock summary (throughput + p50/p99) is printed per
+//! rate after the Criterion groups, histogram-style like the report
+//! harnesses.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datablinder_core::cloud::CloudEngine;
+use datablinder_core::gateway::GatewayEngine;
+use datablinder_core::model::{FieldAnnotation, FieldOp, FieldType, ProtectionClass, Schema};
+use datablinder_docstore::{Document, Value};
+use datablinder_kms::Kms;
+use datablinder_netsim::{
+    Channel, FaultPlan, FaultyService, LatencyModel, ResilienceConfig, ResilientChannel, RetryPolicy, RouteFaults,
+};
+use datablinder_workload::histogram::LatencyHistogram;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DOCS: usize = 200;
+const OWNERS: usize = 20;
+const RATES: [(&str, f64); 3] = [("faults_0pct", 0.0), ("faults_1pct", 0.01), ("faults_5pct", 0.05)];
+
+fn schema() -> Schema {
+    Schema::new("notes").sensitive_field(
+        "owner",
+        FieldType::Text,
+        true,
+        FieldAnnotation::new(ProtectionClass::C2, vec![FieldOp::Insert, FieldOp::Equality]),
+    )
+}
+
+/// A loaded gateway whose channel faults at `rate` per message.
+fn gateway_at(rate: f64, seed: u64) -> GatewayEngine {
+    let faults = RouteFaults::none().with_drop(rate / 2.0).with_corrupt(rate / 2.0);
+    let svc = Arc::new(FaultyService::new(CloudEngine::new(), FaultPlan::uniform(faults), seed));
+    let channel = Channel::from_arc(svc, LatencyModel::instant());
+    let config = ResilienceConfig {
+        retry: RetryPolicy { max_attempts: 16, ..RetryPolicy::default() },
+        deadline: Some(Duration::from_millis(10)),
+        seed,
+        ..ResilienceConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gw =
+        GatewayEngine::with_resilience("bench", Kms::generate(&mut rng), ResilientChannel::new(channel, config), seed);
+    gw.register_schema(schema()).unwrap();
+    for i in 0..DOCS {
+        gw.insert("notes", &Document::new("x").with("owner", Value::from(format!("o{}", i % OWNERS)))).unwrap();
+    }
+    gw
+}
+
+fn bench_search_under_faults(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resilience_search");
+    g.sample_size(20);
+    for (label, rate) in RATES {
+        let mut gw = gateway_at(rate, 0xBE6C);
+        let mut i = 0usize;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                i = (i + 1) % OWNERS;
+                gw.find_equal("notes", "owner", &Value::from(format!("o{i}"))).unwrap()
+            });
+        });
+    }
+    g.finish();
+
+    // Wall-clock tail summary, outside Criterion's sampling.
+    for (label, rate) in RATES {
+        let mut gw = gateway_at(rate, 0xBE6C);
+        let mut h = LatencyHistogram::new();
+        let start = Instant::now();
+        for i in 0..500usize {
+            let t = Instant::now();
+            gw.find_equal("notes", "owner", &Value::from(format!("o{}", i % OWNERS))).unwrap();
+            h.record(t.elapsed());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let m = gw.channel().metrics().snapshot();
+        eprintln!(
+            "resilience_search/{label}: {:.0} ops/s, p50 {:?}, p99 {:?}, attempts/round_trips {}/{}",
+            h.count() as f64 / elapsed,
+            h.percentile(0.50),
+            h.percentile(0.99),
+            m.attempts,
+            m.round_trips,
+        );
+    }
+}
+
+criterion_group!(benches, bench_search_under_faults);
+criterion_main!(benches);

@@ -57,9 +57,7 @@ fn bench_protect(c: &mut Criterion) {
         ("code".to_string(), Value::from("glucose")),
         ("value".to_string(), Value::from("high")),
     ];
-    g.bench_function("biex_2lev_document", |b| {
-        b.iter(|| biex.protect_document(&mut rng, &literals, id).unwrap())
-    });
+    g.bench_function("biex_2lev_document", |b| b.iter(|| biex.protect_document(&mut rng, &literals, id).unwrap()));
     g.finish();
 }
 

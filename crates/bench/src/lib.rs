@@ -8,7 +8,6 @@
 //! * `table2_tactics` — Table 2 (tactic inventory from live registry
 //!   introspection).
 
-
 #![warn(missing_docs)]
 use datablinder_core::cloud::CloudEngine;
 use datablinder_netsim::{Channel, LatencyModel};
@@ -105,9 +104,8 @@ pub fn run_all_scenarios(cfg: EvalConfig) -> (ScenarioReport, ScenarioReport, Sc
 
     eprintln!("running S_B (hard-coded tactics)");
     let cloud_b = Channel::connect(CloudEngine::new(), model);
-    let sb = run_scenario("S_B", spec, |w| {
-        Box::new(HardcodedClient::new(cloud_b.clone(), w as u64, cfg.paillier_bits))
-    });
+    let sb =
+        run_scenario("S_B", spec, |w| Box::new(HardcodedClient::new(cloud_b.clone(), w as u64, cfg.paillier_bits)));
 
     eprintln!("running S_C (DataBlinder middleware)");
     let cloud_c = Channel::connect(CloudEngine::new(), model);

@@ -173,7 +173,13 @@ mod tests {
 
     #[test]
     fn dec_roundtrip() {
-        for s in ["0", "1", "18446744073709551616", "340282366920938463463374607431768211456", "999999999999999999999999999999"] {
+        for s in [
+            "0",
+            "1",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+            "999999999999999999999999999999",
+        ] {
             let v = BigUint::from_dec_str(s).unwrap();
             assert_eq!(v.to_string(), s);
         }

@@ -32,7 +32,6 @@
 //! to reproduce functionality and performance shape of the paper, not to
 //! protect real keys.
 
-
 #![warn(missing_docs)]
 mod convert;
 mod div;

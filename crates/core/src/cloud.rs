@@ -3,7 +3,8 @@
 //! substrate and the cloud halves of the tactics. Sees only ciphertexts,
 //! tokens and opaque index entries.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use datablinder_docstore::{DocStore, Filter, Value};
@@ -11,13 +12,61 @@ use datablinder_kvstore::KvStore;
 use datablinder_netsim::{CloudService, NetError};
 use datablinder_sse::encoding::{Reader, Writer};
 use datablinder_sse::DocId;
+use parking_lot::Mutex;
 
-use crate::cloudproto::{FindIdsDnf, FindIdsEq, FindIdsRange};
+use crate::cloudproto::{FindIdsDnf, FindIdsEq, FindIdsRange, Idempotent, IDEM_ROUTE};
 use crate::error::CoreError;
 use crate::spi::CloudTactic;
 use crate::tactics;
 use crate::tactics::encode_ids;
 use crate::wire::{decode_document, encode_document, encode_documents};
+
+/// Default capacity of the idempotency dedup cache: entries only need to
+/// outlive the retry window of their request, so a small FIFO bounded well
+/// above `max_attempts × in-flight writes` suffices.
+pub const DEFAULT_DEDUP_CAPACITY: usize = 1024;
+
+/// FIFO-bounded map from idempotency token to the recorded outcome of the
+/// first execution. The request fingerprint guards against token collisions
+/// (two gateways seeding the same token stream must not read each other's
+/// cached outcomes for *different* requests).
+struct DedupCache {
+    capacity: usize,
+    entries: HashMap<[u8; 16], (u64, Result<Vec<u8>, CoreError>)>,
+    order: VecDeque<[u8; 16]>,
+}
+
+impl DedupCache {
+    fn new(capacity: usize) -> Self {
+        DedupCache { capacity: capacity.max(1), entries: HashMap::new(), order: VecDeque::new() }
+    }
+
+    fn get(&self, token: &[u8; 16], fingerprint: u64) -> Option<Result<Vec<u8>, CoreError>> {
+        match self.entries.get(token) {
+            Some((fp, outcome)) if *fp == fingerprint => Some(outcome.clone()),
+            _ => None,
+        }
+    }
+
+    fn put(&mut self, token: [u8; 16], fingerprint: u64, outcome: Result<Vec<u8>, CoreError>) {
+        if self.entries.insert(token, (fingerprint, outcome)).is_none() {
+            self.order.push_back(token);
+            if self.order.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.entries.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
+fn request_fingerprint(route: &str, payload: &[u8]) -> u64 {
+    let mut h = datablinder_primitives::sha256::Sha256::new();
+    h.update(&(route.len() as u32).to_be_bytes());
+    h.update(route.as_bytes());
+    h.update(payload);
+    u64::from_be_bytes(h.finalize()[..8].try_into().unwrap())
+}
 
 /// The cloud-side engine. Construct, then wrap into a
 /// [`datablinder_netsim::Channel`].
@@ -25,14 +74,27 @@ pub struct CloudEngine {
     docs: DocStore,
     kv: KvStore,
     tactics: HashMap<&'static str, Arc<dyn CloudTactic>>,
+    dedup: Mutex<DedupCache>,
+    dedup_hits: AtomicU64,
 }
 
 impl CloudEngine {
     /// Creates an engine with every built-in cloud tactic registered.
     pub fn new() -> Self {
+        CloudEngine::with_dedup_capacity(DEFAULT_DEDUP_CAPACITY)
+    }
+
+    /// Like [`CloudEngine::new`] with an explicit idempotency-cache bound.
+    pub fn with_dedup_capacity(capacity: usize) -> Self {
         let docs = DocStore::new();
         let kv = KvStore::new();
-        let mut engine = CloudEngine { docs: docs.clone(), kv: kv.clone(), tactics: HashMap::new() };
+        let mut engine = CloudEngine {
+            docs: docs.clone(),
+            kv: kv.clone(),
+            tactics: HashMap::new(),
+            dedup: Mutex::new(DedupCache::new(capacity)),
+            dedup_hits: AtomicU64::new(0),
+        };
         engine.register(Arc::new(tactics::mitra::MitraCloud::new(kv.clone())));
         engine.register(Arc::new(tactics::sophos::SophosCloud::new(kv.clone())));
         engine.register(Arc::new(tactics::ore::OreCloud::new(kv.clone())));
@@ -40,6 +102,12 @@ impl CloudEngine {
         engine.register(Arc::new(tactics::biex::BiexCloud::new(kv.clone(), tactics::biex::BiexVariant::TwoLev)));
         engine.register(Arc::new(tactics::biex::BiexCloud::new(kv, tactics::biex::BiexVariant::Zmf)));
         engine
+    }
+
+    /// Idempotent envelopes answered from the dedup cache instead of
+    /// re-executing (i.e. duplicate deliveries absorbed).
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits.load(Ordering::Relaxed)
     }
 
     /// Registers a cloud tactic handler (SPI extension point).
@@ -61,6 +129,23 @@ impl CloudEngine {
         let parts: Vec<&str> = route.split('/').collect();
         match parts.as_slice() {
             ["doc", op] => self.handle_doc(op, payload),
+            [r] if *r == IDEM_ROUTE => {
+                // Idempotent write envelope: execute once, record the
+                // outcome, and answer retries/duplicates from the record so
+                // a redelivered insert never double-applies index entries.
+                let req = Idempotent::decode(payload)?;
+                if req.route == IDEM_ROUTE {
+                    return Err(CoreError::UnsupportedOperation("nested idem".into()));
+                }
+                let fingerprint = request_fingerprint(&req.route, &req.payload);
+                if let Some(outcome) = self.dedup.lock().get(&req.token, fingerprint) {
+                    self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    return outcome;
+                }
+                let outcome = self.dispatch(&req.route, &req.payload);
+                self.dedup.lock().put(req.token, fingerprint, outcome.clone());
+                outcome
+            }
             ["batch"] => {
                 // Executes a list of (route, payload) calls in one round
                 // trip; responses are returned in order. Amortizes channel
@@ -125,7 +210,8 @@ impl CloudEngine {
             "get" => {
                 let (collection, rest) = split_collection(payload)?;
                 let id = std::str::from_utf8(rest).map_err(|_| CoreError::Wire("utf8 id"))?;
-                let doc = self.docs.collection(&collection).get(id).ok_or_else(|| CoreError::NotFound(id.to_string()))?;
+                let doc =
+                    self.docs.collection(&collection).get(id).ok_or_else(|| CoreError::NotFound(id.to_string()))?;
                 Ok(encode_document(&doc))
             }
             "get_many" => {
@@ -134,10 +220,8 @@ impl CloudEngine {
                 let ids = r.list()?;
                 r.finish()?;
                 let coll = self.docs.collection(&collection);
-                let docs: Vec<_> = ids
-                    .iter()
-                    .filter_map(|id| std::str::from_utf8(id).ok().and_then(|s| coll.get(s)))
-                    .collect();
+                let docs: Vec<_> =
+                    ids.iter().filter_map(|id| std::str::from_utf8(id).ok().and_then(|s| coll.get(s))).collect();
                 Ok(encode_documents(&docs))
             }
             "delete" => {
@@ -329,10 +413,7 @@ mod tests {
         let ids = crate::tactics::decode_ids(&out).unwrap();
         assert_eq!(ids, vec![DocId([1; 16]), DocId([3; 16])]);
 
-        let req = FindIdsDnf {
-            collection: "obs".into(),
-            dnf: vec![vec![("status".into(), Value::from("draft"))]],
-        };
+        let req = FindIdsDnf { collection: "obs".into(), dnf: vec![vec![("status".into(), Value::from("draft"))]] };
         let out = e.dispatch("doc/find_ids_dnf", &req.encode()).unwrap();
         assert_eq!(crate::tactics::decode_ids(&out).unwrap(), vec![DocId([2; 16])]);
     }
@@ -366,12 +447,7 @@ mod tests {
         let e = engine();
         let (_, ins) = doc(1, "final");
         let mut w = Writer::new();
-        w.list(&[
-            b"doc/insert".to_vec(),
-            ins,
-            b"doc/count".to_vec(),
-            with_collection("obs", b""),
-        ]);
+        w.list(&[b"doc/insert".to_vec(), ins, b"doc/count".to_vec(), with_collection("obs", b"")]);
         let out = e.dispatch("batch", &w.finish()).unwrap();
         let mut r = datablinder_sse::encoding::Reader::new(&out);
         let responses = r.list().unwrap();
@@ -409,6 +485,77 @@ mod tests {
         assert!(e.dispatch("nope", &[]).is_err());
         assert!(e.dispatch("doc/nope", &with_collection("c", b"")).is_err());
         assert!(e.dispatch("tactic/unknown/s/op", &[]).is_err());
+    }
+
+    fn idem(token: u8, route: &str, payload: &[u8]) -> Vec<u8> {
+        Idempotent { token: [token; 16], route: route.into(), payload: payload.to_vec() }.encode()
+    }
+
+    #[test]
+    fn idem_replay_returns_recorded_outcome_without_reexecuting() {
+        let e = engine();
+        let (_, ins) = doc(1, "final");
+        let env = idem(7, "doc/insert", &ins);
+        e.dispatch("idem", &env).unwrap();
+        // Replaying the same envelope (duplicate delivery / gateway retry)
+        // is answered from the cache — a bare re-insert would error.
+        e.dispatch("idem", &env).unwrap();
+        e.dispatch("idem", &env).unwrap();
+        assert_eq!(e.dedup_hits(), 2);
+        let count = e.dispatch("doc/count", &with_collection("obs", b"")).unwrap();
+        assert_eq!(u64::from_be_bytes(count.try_into().unwrap()), 1, "executed exactly once");
+    }
+
+    #[test]
+    fn idem_records_errors_too() {
+        let e = engine();
+        let (_, ins) = doc(1, "final");
+        e.dispatch("doc/insert", &ins).unwrap();
+        // This envelope's execution fails (duplicate document id)...
+        let env = idem(8, "doc/insert", &ins);
+        let first = e.dispatch("idem", &env).unwrap_err();
+        // ...and the retry sees the *same* recorded error, not a fresh one.
+        let second = e.dispatch("idem", &env).unwrap_err();
+        assert_eq!(first, second);
+        assert_eq!(e.dedup_hits(), 1);
+    }
+
+    #[test]
+    fn idem_token_collision_with_different_request_reexecutes() {
+        let e = engine();
+        let (_, ins1) = doc(1, "final");
+        let (_, ins2) = doc(2, "draft");
+        // Same token, different request: the fingerprint guard must treat
+        // this as a distinct request, not serve the cached outcome.
+        e.dispatch("idem", &idem(7, "doc/insert", &ins1)).unwrap();
+        e.dispatch("idem", &idem(7, "doc/insert", &ins2)).unwrap();
+        assert_eq!(e.dedup_hits(), 0);
+        let count = e.dispatch("doc/count", &with_collection("obs", b"")).unwrap();
+        assert_eq!(u64::from_be_bytes(count.try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn idem_cache_is_bounded_fifo() {
+        let e = CloudEngine::with_dedup_capacity(2);
+        let (_, ins1) = doc(1, "a");
+        let (_, ins2) = doc(2, "b");
+        let (_, ins3) = doc(3, "c");
+        let env1 = idem(1, "doc/insert", &ins1);
+        e.dispatch("idem", &env1).unwrap();
+        e.dispatch("idem", &idem(2, "doc/insert", &ins2)).unwrap();
+        e.dispatch("idem", &idem(3, "doc/insert", &ins3)).unwrap();
+        // Token 1 was evicted: the replay re-executes and hits the duplicate
+        // document error instead of the cached Ok.
+        assert!(e.dispatch("idem", &env1).is_err());
+        assert_eq!(e.dedup_hits(), 0);
+    }
+
+    #[test]
+    fn idem_rejects_nesting_and_garbage() {
+        let e = engine();
+        let inner = idem(1, "doc/count", &with_collection("obs", b""));
+        assert!(e.dispatch("idem", &idem(2, "idem", &inner)).is_err());
+        assert!(e.dispatch("idem", &[0; 5]).is_err());
     }
 
     #[test]

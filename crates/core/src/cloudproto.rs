@@ -209,6 +209,80 @@ impl PaillierSumResponse {
     }
 }
 
+/// Route for idempotent write envelopes (see [`Idempotent`]).
+pub const IDEM_ROUTE: &str = "idem";
+
+/// An idempotent envelope around a chain-advancing write.
+///
+/// The gateway wraps every write route in one of these before sending it, so
+/// a retried delivery (response lost, duplicate delivery) replays the
+/// *envelope*, and the cloud's dedup cache returns the recorded outcome
+/// instead of re-executing — an SSE insert that re-executes would double-add
+/// index entries while the gateway's chain counter advanced only once, both a
+/// correctness bug and extra leakage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Idempotent {
+    /// Unique per *logical* request; identical across its retries.
+    pub token: [u8; 16],
+    /// The wrapped route.
+    pub route: String,
+    /// The wrapped payload.
+    pub payload: Vec<u8>,
+}
+
+impl Idempotent {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 8 + self.route.len() + self.payload.len());
+        out.extend_from_slice(&self.token);
+        put_str(&mut out, &self.route);
+        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        if buf.len() < 16 {
+            return Err(CoreError::Wire("idem token"));
+        }
+        let token: [u8; 16] = buf[..16].try_into().unwrap();
+        *buf = &buf[16..];
+        let route = take_str(buf)?;
+        let len = take_count(buf)?;
+        let payload = buf[..len].to_vec();
+        *buf = &buf[len..];
+        ensure_empty(buf)?;
+        Ok(Idempotent { token, route, payload })
+    }
+}
+
+/// Whether `route` mutates cloud state, i.e. must be wrapped in an
+/// [`Idempotent`] envelope before it may be retried.
+///
+/// Reads (`doc/get`, `*/search`, `doc/count`, …) are naturally idempotent
+/// and retry bare; a conservative unknown-route default of `true` means a
+/// future write route degrades to "deduplicated" rather than
+/// "double-applied".
+pub fn is_write_route(route: &str) -> bool {
+    if let Some(op) = route.strip_prefix("doc/") {
+        return matches!(op, "insert" | "update" | "delete" | "ensure_index");
+    }
+    if route.starts_with("tactic/") {
+        // tactic/<name>/<schema>:<scope>/<op> — classify by the op suffix.
+        return matches!(route.rsplit('/').next(), Some("update" | "insert" | "delete" | "setup") | None);
+    }
+    // kv/*, batch and idem envelopes mutate; unknown routes are assumed to
+    // mutate too — degrading to "needlessly deduplicated" is safer than
+    // "double-applied".
+    true
+}
+
 // ----------------------------------------------------------------- helpers
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -288,8 +362,57 @@ mod tests {
     }
 
     #[test]
+    fn idempotent_roundtrip() {
+        let env = Idempotent { token: [7; 16], route: "doc/insert".into(), payload: vec![1, 2, 3] };
+        assert_eq!(Idempotent::decode(&env.encode()).unwrap(), env);
+        assert!(Idempotent::decode(&[0; 10]).is_err());
+        let mut truncated = env.encode();
+        truncated.pop();
+        assert!(Idempotent::decode(&truncated).is_err());
+    }
+
+    #[test]
+    fn write_route_classification() {
+        for write in [
+            "doc/insert",
+            "doc/update",
+            "doc/delete",
+            "doc/ensure_index",
+            "kv/bulk_put",
+            "kv/del_prefix",
+            "batch",
+            "idem",
+            "tactic/mitra/notes:owner/insert",
+            "tactic/sophos/notes:owner/update",
+            "tactic/ore/notes:eff/delete",
+            "tactic/paillier/notes:value/setup",
+            "something/new",
+        ] {
+            assert!(is_write_route(write), "{write} should be a write");
+        }
+        for read in [
+            "doc/get",
+            "doc/get_many",
+            "doc/count",
+            "doc/extreme",
+            "doc/list_ids",
+            "doc/find_ids_eq",
+            "doc/find_ids_range",
+            "doc/find_ids_dnf",
+            "doc/agg_plain",
+            "tactic/mitra/notes:owner/search",
+            "tactic/biex2lev/notes:flags/base_search",
+            "tactic/ore/notes:eff/range",
+            "tactic/paillier/notes:value/sum",
+        ] {
+            assert!(!is_write_route(read), "{read} should be a read");
+        }
+    }
+
+    #[test]
     fn paillier_sum_roundtrip() {
-        let r = PaillierSum { collection: "obs".into(), field: "value__phe".into(), ids: vec!["aa".into(), "bb".into()] };
+        let r =
+            PaillierSum { collection: "obs".into(), field: "value__phe".into(), ids: vec!["aa".into(), "bb".into()] };
         assert_eq!(PaillierSum::decode(&r.encode()).unwrap(), r);
         let resp = PaillierSumResponse { ciphertext: vec![1, 2, 3], count: 7 };
         assert_eq!(PaillierSumResponse::decode(&resp.encode()).unwrap(), resp);

@@ -1,5 +1,7 @@
 //! The middleware error type.
 
+use datablinder_netsim::NetError;
+
 use crate::model::{FieldOp, ProtectionClass};
 
 /// Errors surfaced by the DataBlinder middleware.
@@ -24,8 +26,10 @@ pub enum CoreError {
     NotFound(String),
     /// Wire (de)serialization failure.
     Wire(&'static str),
-    /// Failure crossing the gateway↔cloud channel.
-    Net(String),
+    /// Failure crossing the gateway↔cloud channel. Kept structured so
+    /// callers can distinguish transient transport faults (worth retrying at
+    /// a higher level or surfacing as "try again") from remote failures.
+    Net(NetError),
     /// An SSE tactic failed.
     Sse(String),
     /// A cryptographic primitive failed.
@@ -56,6 +60,15 @@ impl std::fmt::Display for CoreError {
     }
 }
 
+impl CoreError {
+    /// Whether this failure is a transient transport condition that already
+    /// exhausted the channel's retries — the caller may back off and try the
+    /// whole operation again, nothing is known to be half-applied.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CoreError::Net(NetError::Timeout | NetError::CircuitOpen))
+    }
+}
+
 impl std::error::Error for CoreError {}
 
 impl From<datablinder_sse::SseError> for CoreError {
@@ -70,9 +83,9 @@ impl From<datablinder_primitives::CryptoError> for CoreError {
     }
 }
 
-impl From<datablinder_netsim::NetError> for CoreError {
-    fn from(e: datablinder_netsim::NetError) -> Self {
-        CoreError::Net(e.to_string())
+impl From<NetError> for CoreError {
+    fn from(e: NetError) -> Self {
+        CoreError::Net(e)
     }
 }
 

@@ -4,16 +4,18 @@
 //! selects tactics adaptively, and drives the cloud over the channel.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use datablinder_docstore::{Document, Value};
 use datablinder_kms::Kms;
 use datablinder_kvstore::KvStore;
-use datablinder_netsim::Channel;
+use datablinder_netsim::{Channel, ResilienceConfig, ResilientChannel};
 use datablinder_sse::DocId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::cloud::{get_many_payload, with_collection};
+use crate::cloudproto::{is_write_route, Idempotent, IDEM_ROUTE};
 use crate::error::CoreError;
 use crate::metadata::{validate_document, SchemaStore};
 use crate::model::{AggFn, FieldOp, Schema};
@@ -24,6 +26,15 @@ use crate::wire::{decode_document, decode_documents, encode_document};
 
 /// Scope name of the shared cross-field boolean tactic instance.
 const BOOL_SCOPE: &str = "__bool__";
+
+/// SplitMix64 finalizer: spreads a seed into a well-mixed token prefix so
+/// gateways with nearby seeds still mint far-apart token ranges.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Per-field execution plan derived from selection.
 #[derive(Debug, Clone)]
@@ -55,25 +66,55 @@ pub struct GatewayEngine {
     application: String,
     kms: Kms,
     registry: TacticRegistry,
-    channel: Channel,
+    channel: ResilientChannel,
     schema_store: SchemaStore,
     plans: HashMap<String, SchemaPlan>,
     /// Tactic instances keyed by `schema / scope / tactic`.
     tactics: HashMap<String, Box<dyn GatewayTactic>>,
     idgen: Box<dyn DocIdGen>,
     rng: StdRng,
+    /// Seed-derived prefix of idempotency tokens minted by this gateway.
+    idem_prefix: u64,
+    /// Monotonic suffix of idempotency tokens (one per logical write).
+    idem_seq: AtomicU64,
 }
 
 impl GatewayEngine {
     /// Creates a gateway with the built-in registry and a seeded RNG
     /// (deterministic runs for benchmarks; use [`GatewayEngine::with_registry`]
-    /// for custom setups).
+    /// for custom setups). The channel is wrapped in a [`ResilientChannel`]
+    /// with [`ResilienceConfig::default`]; use
+    /// [`GatewayEngine::with_resilience`] to tune retries/deadlines/breaker.
     pub fn new(application: &str, kms: Kms, channel: Channel, seed: u64) -> Self {
         Self::with_registry(application, kms, channel, seed, TacticRegistry::with_builtins())
     }
 
     /// Creates a gateway with a custom registry.
     pub fn with_registry(application: &str, kms: Kms, channel: Channel, seed: u64, registry: TacticRegistry) -> Self {
+        Self::with_registry_resilient(
+            application,
+            kms,
+            ResilientChannel::new(channel, ResilienceConfig { seed, ..ResilienceConfig::default() }),
+            seed,
+            registry,
+        )
+    }
+
+    /// Creates a gateway over a pre-configured [`ResilientChannel`]
+    /// (explicit retry policy, deadline and breaker tuning).
+    pub fn with_resilience(application: &str, kms: Kms, channel: ResilientChannel, seed: u64) -> Self {
+        Self::with_registry_resilient(application, kms, channel, seed, TacticRegistry::with_builtins())
+    }
+
+    /// Creates a gateway with both a custom registry and a pre-configured
+    /// [`ResilientChannel`].
+    pub fn with_registry_resilient(
+        application: &str,
+        kms: Kms,
+        channel: ResilientChannel,
+        seed: u64,
+        registry: TacticRegistry,
+    ) -> Self {
         GatewayEngine {
             application: application.to_string(),
             kms,
@@ -84,6 +125,8 @@ impl GatewayEngine {
             tactics: HashMap::new(),
             idgen: Box::new(RandomDocIdGen::new(StdRng::seed_from_u64(seed ^ 0x1D))),
             rng: StdRng::seed_from_u64(seed),
+            idem_prefix: mix64(seed ^ 0x1DE4_70CE_7057_EA15),
+            idem_seq: AtomicU64::new(0),
         }
     }
 
@@ -94,6 +137,11 @@ impl GatewayEngine {
 
     /// The gateway↔cloud channel (metrics inspection).
     pub fn channel(&self) -> &Channel {
+        self.channel.channel()
+    }
+
+    /// The resilience wrapper around the channel (breaker state, policy).
+    pub fn resilient_channel(&self) -> &ResilientChannel {
         &self.channel
     }
 
@@ -213,21 +261,46 @@ impl GatewayEngine {
         format!("{schema}/{scope}/{tactic}")
     }
 
-    fn tactic_mut(&mut self, schema: &str, scope: &str, tactic: &str) -> Result<&mut Box<dyn GatewayTactic>, CoreError> {
-        self.tactics
-            .get_mut(&Self::tactic_key(schema, scope, tactic))
-            .ok_or_else(|| CoreError::UnsupportedOperation(format!("tactic {tactic} not instantiated for {schema}/{scope}")))
+    fn tactic_mut(
+        &mut self,
+        schema: &str,
+        scope: &str,
+        tactic: &str,
+    ) -> Result<&mut Box<dyn GatewayTactic>, CoreError> {
+        self.tactics.get_mut(&Self::tactic_key(schema, scope, tactic)).ok_or_else(|| {
+            CoreError::UnsupportedOperation(format!("tactic {tactic} not instantiated for {schema}/{scope}"))
+        })
     }
 
     fn tactic_ref(&self, schema: &str, scope: &str, tactic: &str) -> Result<&dyn GatewayTactic, CoreError> {
-        self.tactics
-            .get(&Self::tactic_key(schema, scope, tactic))
-            .map(|b| b.as_ref())
-            .ok_or_else(|| CoreError::UnsupportedOperation(format!("tactic {tactic} not instantiated for {schema}/{scope}")))
+        self.tactics.get(&Self::tactic_key(schema, scope, tactic)).map(|b| b.as_ref()).ok_or_else(|| {
+            CoreError::UnsupportedOperation(format!("tactic {tactic} not instantiated for {schema}/{scope}"))
+        })
     }
 
     fn call(&self, call: &CloudCall) -> Result<Vec<u8>, CoreError> {
-        Ok(self.channel.call(&call.route, &call.payload)?)
+        if is_write_route(&call.route) && call.route != IDEM_ROUTE {
+            // Chain-advancing writes must not re-execute when the channel
+            // retries them (SSE chains would double-advance): wrap them in
+            // an idempotency envelope the cloud deduplicates.
+            let env =
+                Idempotent { token: self.next_idem_token(), route: call.route.clone(), payload: call.payload.clone() };
+            Ok(self.channel.call(IDEM_ROUTE, &env.encode())?)
+        } else {
+            // Reads are naturally idempotent: retry bare.
+            Ok(self.channel.call(&call.route, &call.payload)?)
+        }
+    }
+
+    /// Mints a fresh idempotency token: seed-derived prefix plus a
+    /// monotonically increasing sequence number. Unique per logical write
+    /// from this gateway instance; retries of one write reuse one token.
+    fn next_idem_token(&self) -> [u8; 16] {
+        let seq = self.idem_seq.fetch_add(1, Ordering::Relaxed);
+        let mut token = [0u8; 16];
+        token[..8].copy_from_slice(&self.idem_prefix.to_be_bytes());
+        token[8..].copy_from_slice(&seq.to_be_bytes());
+        token
     }
 
     fn plan(&self, schema: &str) -> Result<&SchemaPlan, CoreError> {
@@ -267,6 +340,23 @@ impl GatewayEngine {
     /// one batched call for all index updates and inserts. Semantically
     /// identical to repeated [`GatewayEngine::insert`]; amortizes channel
     /// latency for bulk loads (initial cloud migration).
+    ///
+    /// # Partial-failure guarantee
+    ///
+    /// The batch executes cloud-side in submission order and aborts on the
+    /// first failing sub-call. Because each document's index calls precede
+    /// its `doc/insert`, a mid-batch failure leaves every *stored* document
+    /// fully indexed and every unstored document absent from queries —
+    /// never a queryable-but-half-indexed document. Documents after the
+    /// failing one are not applied at all. The whole batch travels in one
+    /// idempotency envelope, so channel-level retries cannot re-run the
+    /// already-applied prefix either.
+    ///
+    /// The gateway's local index state (e.g. chain counters) advances for
+    /// the whole batch before the call ships, so an abort leaves it ahead of
+    /// the cloud for the unapplied tail. That is safe: index chains tolerate
+    /// gaps on read (a missing entry resolves as "update lost"), so later
+    /// searches stay exact over what was actually stored.
     ///
     /// # Errors
     ///
@@ -319,10 +409,8 @@ impl GatewayEngine {
             let id = self.idgen.generate();
             // Per-field tactics as usual; collect boolean literals for the
             // bulk build instead of letting protect_document chain them.
-            let literals: Vec<(String, Value)> = bool_fields
-                .iter()
-                .filter_map(|f| doc.get(f).map(|v| (f.clone(), v.clone())))
-                .collect();
+            let literals: Vec<(String, Value)> =
+                bool_fields.iter().filter_map(|f| doc.get(f).map(|v| (f.clone(), v.clone()))).collect();
             let (cloud_doc, index_calls) = self.protect_document_calls_inner(schema_name, doc, id, false)?;
             batch.extend(index_calls);
             batch.push(CloudCall::new("doc/insert", with_collection(schema_name, &encode_document(&cloud_doc))));
@@ -348,10 +436,8 @@ impl GatewayEngine {
             return Ok(Vec::new());
         }
         let mut w = datablinder_sse::encoding::Writer::new();
-        let items: Vec<Vec<u8>> = calls
-            .iter()
-            .flat_map(|c| [c.route.clone().into_bytes(), c.payload.clone()])
-            .collect();
+        let items: Vec<Vec<u8>> =
+            calls.iter().flat_map(|c| [c.route.clone().into_bytes(), c.payload.clone()]).collect();
         w.list(&items);
         let out = self.call(&CloudCall::new("batch", w.finish()))?;
         let mut r = datablinder_sse::encoding::Reader::new(&out);
@@ -559,9 +645,7 @@ impl GatewayEngine {
             (Some(t), false) => (field.to_string(), t.clone()),
             (Some(t), true) if t.starts_with("biex") => (BOOL_SCOPE.to_string(), t.clone()),
             (Some(t), true) => (field.to_string(), t.clone()),
-            (None, _) => {
-                return Err(CoreError::UnsupportedOperation(format!("field {field} has no equality tactic")))
-            }
+            (None, _) => return Err(CoreError::UnsupportedOperation(format!("field {field} has no equality tactic"))),
         };
         let calls = self.tactic_mut(schema_name, &scope, &tactic)?.eq_query(field, value)?;
         let responses = calls.iter().map(|c| self.call(c)).collect::<Result<Vec<_>, _>>()?;
@@ -624,7 +708,13 @@ impl GatewayEngine {
     ///
     /// [`CoreError::UnsupportedOperation`] if the field's annotation did
     /// not request range search.
-    pub fn find_range(&mut self, schema_name: &str, field: &str, lo: &Value, hi: &Value) -> Result<Vec<Document>, CoreError> {
+    pub fn find_range(
+        &mut self,
+        schema_name: &str,
+        field: &str,
+        lo: &Value,
+        hi: &Value,
+    ) -> Result<Vec<Document>, CoreError> {
         let plan = self.plan(schema_name)?;
         let tactic = plan
             .fields
@@ -677,7 +767,12 @@ impl GatewayEngine {
     ///
     /// [`CoreError::UnsupportedOperation`] if the field's range tactic is
     /// not order-preserving at rest (ORE stores no comparable bytes).
-    pub fn find_extreme(&mut self, schema_name: &str, field: &str, maximum: bool) -> Result<Option<Document>, CoreError> {
+    pub fn find_extreme(
+        &mut self,
+        schema_name: &str,
+        field: &str,
+        maximum: bool,
+    ) -> Result<Option<Document>, CoreError> {
         let plan = self.plan(schema_name)?;
         let tactic = plan.fields.get(field).and_then(|p| p.range_tactic.clone());
         if tactic.as_deref() != Some("ope") {
@@ -704,9 +799,7 @@ impl GatewayEngine {
     pub fn count(&self, schema_name: &str) -> Result<u64, CoreError> {
         self.plan(schema_name)?;
         let out = self.call(&CloudCall::new("doc/count", with_collection(schema_name, b"")))?;
-        out.try_into()
-            .map(u64::from_be_bytes)
-            .map_err(|_| CoreError::Wire("count response"))
+        out.try_into().map(u64::from_be_bytes).map_err(|_| CoreError::Wire("count response"))
     }
 
     fn get_many(&self, schema_name: &str, ids: &[DocId]) -> Result<Vec<Document>, CoreError> {
@@ -747,10 +840,9 @@ impl GatewayEngine {
             let tactic = self.tactic_ref(schema_name, field, &payload_tactic)?;
             for id in &raw_ids {
                 let id = String::from_utf8(id.clone()).map_err(|_| CoreError::Wire("utf8 id"))?;
-                let stored = decode_document(&self.call(&CloudCall::new(
-                    "doc/get",
-                    with_collection(schema_name, id.as_bytes()),
-                ))?)?;
+                let stored = decode_document(
+                    &self.call(&CloudCall::new("doc/get", with_collection(schema_name, id.as_bytes())))?,
+                )?;
                 let value = tactic.recover(field, &stored)?;
                 recovered.push((id, value, stored));
             }
@@ -809,11 +901,8 @@ impl GatewayEngine {
                 .fields
                 .get(field)
                 .ok_or_else(|| CoreError::UnsupportedOperation(format!("field {field} is not annotated")))?;
-            let tactic = fp
-                .eq_tactic
-                .clone()
-                .filter(|t| matches!(t.as_str(), "mitra" | "sophos"))
-                .ok_or_else(|| {
+            let tactic =
+                fp.eq_tactic.clone().filter(|t| matches!(t.as_str(), "mitra" | "sophos")).ok_or_else(|| {
                     CoreError::UnsupportedOperation(format!("field {field} has no rotatable index tactic"))
                 })?;
             (tactic, fp.selection.payload.clone())
@@ -828,10 +917,9 @@ impl GatewayEngine {
             let payload = self.tactic_ref(schema_name, field, &payload_tactic)?;
             for id in &raw_ids {
                 let id = String::from_utf8(id.clone()).map_err(|_| CoreError::Wire("utf8 id"))?;
-                let stored = decode_document(&self.call(&CloudCall::new(
-                    "doc/get",
-                    with_collection(schema_name, id.as_bytes()),
-                ))?)?;
+                let stored = decode_document(
+                    &self.call(&CloudCall::new("doc/get", with_collection(schema_name, id.as_bytes())))?,
+                )?;
                 if let Some(value) = payload.recover(field, &stored)? {
                     recovered.push((DocId::from_hex(&id).ok_or(CoreError::Wire("doc id"))?, value));
                 }
@@ -872,11 +960,8 @@ impl GatewayEngine {
     /// Exports every stateful tactic's gateway state (Mitra counters,
     /// Sophos chains) for persistence.
     pub fn export_tactic_state(&self) -> Vec<(String, Vec<u8>)> {
-        let mut out: Vec<(String, Vec<u8>)> = self
-            .tactics
-            .iter()
-            .filter_map(|(k, t)| t.export_state().map(|s| (k.clone(), s)))
-            .collect();
+        let mut out: Vec<(String, Vec<u8>)> =
+            self.tactics.iter().filter_map(|(k, t)| t.export_state().map(|s| (k.clone(), s))).collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }

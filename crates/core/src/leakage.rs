@@ -128,8 +128,8 @@ pub fn audit_field(collection: &Collection, field: &str, plaintext_order: Option
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tactics::TacticContext;
     use crate::spi::GatewayTactic;
+    use crate::tactics::TacticContext;
     use datablinder_docstore::Document;
     use datablinder_kms::Kms;
     use datablinder_sse::DocId;
@@ -138,12 +138,21 @@ mod tests {
 
     fn ctx() -> TacticContext {
         let mut rng = StdRng::seed_from_u64(1);
-        TacticContext { application: "audit".into(), schema: "c".into(), scope: "f".into(), kms: Kms::generate(&mut rng) }
+        TacticContext {
+            application: "audit".into(),
+            schema: "c".into(),
+            scope: "f".into(),
+            kms: Kms::generate(&mut rng),
+        }
     }
 
     /// Stores protections of `values` through a tactic and returns the
     /// collection plus the plaintext order map.
-    fn populate(tactic: &mut dyn GatewayTactic, values: &[i64], as_text: bool) -> (Collection, HashMap<String, i64>, String) {
+    fn populate(
+        tactic: &mut dyn GatewayTactic,
+        values: &[i64],
+        as_text: bool,
+    ) -> (Collection, HashMap<String, i64>, String) {
         let mut rng = StdRng::seed_from_u64(2);
         let coll = Collection::new();
         let mut order = HashMap::new();

@@ -54,7 +54,6 @@
 //! # }
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod cloud;
 pub mod cloudproto;

@@ -320,7 +320,13 @@ impl Schema {
 
     /// Adds a sensitive field with an annotation.
     #[must_use]
-    pub fn sensitive_field(mut self, name: &str, field_type: FieldType, required: bool, annotation: FieldAnnotation) -> Self {
+    pub fn sensitive_field(
+        mut self,
+        name: &str,
+        field_type: FieldType,
+        required: bool,
+        annotation: FieldAnnotation,
+    ) -> Self {
         self.fields.insert(name.into(), FieldSpec { field_type, annotation: Some(annotation), required });
         self
     }
@@ -359,7 +365,11 @@ mod tests {
             family: "test".into(),
             operations: vec![
                 OpProfile { op: TacticOp::Init, leakage: LeakageLevel::Structure, metrics: PerfMetrics::new(1, 1, 1) },
-                OpProfile { op: TacticOp::EqQuery, leakage: LeakageLevel::Equalities, metrics: PerfMetrics::new(1, 1, 1) },
+                OpProfile {
+                    op: TacticOp::EqQuery,
+                    leakage: LeakageLevel::Equalities,
+                    metrics: PerfMetrics::new(1, 1, 1),
+                },
             ],
             serves: vec![FieldOp::Equality],
             serves_agg: vec![],
@@ -376,14 +386,12 @@ mod tests {
 
     #[test]
     fn schema_builder() {
-        let s = Schema::new("obs")
-            .plain_field("id", FieldType::Text, true)
-            .sensitive_field(
-                "status",
-                FieldType::Text,
-                true,
-                FieldAnnotation::new(ProtectionClass::C3, vec![FieldOp::Insert, FieldOp::Equality]),
-            );
+        let s = Schema::new("obs").plain_field("id", FieldType::Text, true).sensitive_field(
+            "status",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C3, vec![FieldOp::Insert, FieldOp::Equality]),
+        );
         assert_eq!(s.fields.len(), 2);
         assert_eq!(s.sensitive_fields().count(), 1);
     }

@@ -150,11 +150,8 @@ impl TacticRegistry {
     /// [`CoreError::PolicyUnsatisfiable`] when an operation cannot be
     /// served within the class.
     pub fn select(&self, field: &str, annotation: &FieldAnnotation) -> Result<Selection, CoreError> {
-        let admissible: Vec<&TacticDescriptor> = self
-            .descriptors
-            .iter()
-            .filter(|d| annotation.class.admits(d.worst_leakage()))
-            .collect();
+        let admissible: Vec<&TacticDescriptor> =
+            self.descriptors.iter().filter(|d| annotation.class.admits(d.worst_leakage())).collect();
 
         let required: Vec<FieldOp> = annotation.ops.iter().copied().filter(|op| *op != FieldOp::Insert).collect();
 
@@ -165,26 +162,21 @@ impl TacticRegistry {
             }
         }
 
-        let search_tactics = if required.is_empty() {
-            Vec::new()
-        } else {
-            best_cover(&admissible, &required)
-        };
+        let search_tactics = if required.is_empty() { Vec::new() } else { best_cover(&admissible, &required) };
 
         // Aggregates: cheapest admissible tactic per function.
         let mut agg_tactics: Vec<String> = Vec::new();
         for &agg in &annotation.aggs {
-            let candidate = admissible
-                .iter()
-                .filter(|d| d.serves_agg.contains(&agg))
-                .min_by_key(|d| d.cost_rank())
-                .ok_or(CoreError::PolicyUnsatisfiable {
-                    field: field.to_string(),
-                    class: annotation.class,
-                    // Aggregates surface as Insert coverage failures for
-                    // error-reporting purposes; the message names the field.
-                    op: FieldOp::Insert,
-                })?;
+            let candidate =
+                admissible.iter().filter(|d| d.serves_agg.contains(&agg)).min_by_key(|d| d.cost_rank()).ok_or(
+                    CoreError::PolicyUnsatisfiable {
+                        field: field.to_string(),
+                        class: annotation.class,
+                        // Aggregates surface as Insert coverage failures for
+                        // error-reporting purposes; the message names the field.
+                        op: FieldOp::Insert,
+                    },
+                )?;
             if !agg_tactics.contains(&candidate.name) {
                 agg_tactics.push(candidate.name.clone());
             }

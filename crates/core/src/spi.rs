@@ -108,7 +108,11 @@ pub trait GatewayTactic: Send {
     /// # Errors
     ///
     /// Tactic-specific failures.
-    fn delete_document(&mut self, literals: &[(String, Value)], id: DocId) -> Result<Option<Vec<CloudCall>>, CoreError> {
+    fn delete_document(
+        &mut self,
+        literals: &[(String, Value)],
+        id: DocId,
+    ) -> Result<Option<Vec<CloudCall>>, CoreError> {
         Ok(None)
     }
 

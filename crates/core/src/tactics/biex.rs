@@ -69,7 +69,11 @@ pub fn descriptor_2lev() -> TacticDescriptor {
             OpProfile { op: TacticOp::Init, leakage: LeakageLevel::Structure, metrics: PerfMetrics::new(2, 0, 4) },
             OpProfile { op: TacticOp::Update, leakage: LeakageLevel::Structure, metrics: PerfMetrics::new(3, 1, 4) },
             OpProfile { op: TacticOp::EqQuery, leakage: LeakageLevel::Identifiers, metrics: PerfMetrics::new(2, 1, 4) },
-            OpProfile { op: TacticOp::BoolQuery, leakage: LeakageLevel::Predicates, metrics: PerfMetrics::new(2, 1, 4) },
+            OpProfile {
+                op: TacticOp::BoolQuery,
+                leakage: LeakageLevel::Predicates,
+                metrics: PerfMetrics::new(2, 1, 4),
+            },
         ],
         serves: vec![FieldOp::Insert, FieldOp::Equality, FieldOp::Boolean],
         serves_agg: vec![],
@@ -88,7 +92,11 @@ pub fn descriptor_zmf() -> TacticDescriptor {
             OpProfile { op: TacticOp::Init, leakage: LeakageLevel::Structure, metrics: PerfMetrics::new(2, 0, 2) },
             OpProfile { op: TacticOp::Update, leakage: LeakageLevel::Structure, metrics: PerfMetrics::new(3, 1, 2) },
             OpProfile { op: TacticOp::EqQuery, leakage: LeakageLevel::Identifiers, metrics: PerfMetrics::new(3, 1, 2) },
-            OpProfile { op: TacticOp::BoolQuery, leakage: LeakageLevel::Predicates, metrics: PerfMetrics::new(4, 1, 2) },
+            OpProfile {
+                op: TacticOp::BoolQuery,
+                leakage: LeakageLevel::Predicates,
+                metrics: PerfMetrics::new(4, 1, 2),
+            },
         ],
         serves: vec![FieldOp::Insert, FieldOp::Equality, FieldOp::Boolean],
         serves_agg: vec![],
@@ -240,11 +248,22 @@ impl GatewayTactic for BiexTactic {
 
     /// Per-field protect is a no-op: cross-field tactics index whole
     /// documents via [`GatewayTactic::protect_document`].
-    fn protect(&mut self, _rng: &mut dyn RngCore, _field: &str, _value: &Value, _id: DocId) -> Result<ProtectedField, CoreError> {
+    fn protect(
+        &mut self,
+        _rng: &mut dyn RngCore,
+        _field: &str,
+        _value: &Value,
+        _id: DocId,
+    ) -> Result<ProtectedField, CoreError> {
         Ok(ProtectedField::default())
     }
 
-    fn protect_document(&mut self, _rng: &mut dyn RngCore, literals: &[(String, Value)], id: DocId) -> Result<Option<Vec<CloudCall>>, CoreError> {
+    fn protect_document(
+        &mut self,
+        _rng: &mut dyn RngCore,
+        literals: &[(String, Value)],
+        id: DocId,
+    ) -> Result<Option<Vec<CloudCall>>, CoreError> {
         let kws = Self::keywords(literals);
         let mut calls = Vec::new();
         for kw in &kws {
@@ -264,7 +283,11 @@ impl GatewayTactic for BiexTactic {
 
     /// Bulk migration: builds the *static* base structures over every
     /// document's literals and ships them in one `kv/bulk_put`.
-    fn bulk_index(&mut self, rng: &mut dyn RngCore, entries: &[(Vec<(String, Value)>, DocId)]) -> Result<Option<Vec<CloudCall>>, CoreError> {
+    fn bulk_index(
+        &mut self,
+        rng: &mut dyn RngCore,
+        entries: &[(Vec<(String, Value)>, DocId)],
+    ) -> Result<Option<Vec<CloudCall>>, CoreError> {
         use datablinder_sse::inverted::InvertedIndex;
         if self.base_seeded {
             // A second static build over the same prefix would leave stale
@@ -308,7 +331,11 @@ impl GatewayTactic for BiexTactic {
         Ok(Some(vec![CloudCall::new("kv/bulk_put", w.finish())]))
     }
 
-    fn delete_document(&mut self, literals: &[(String, Value)], id: DocId) -> Result<Option<Vec<CloudCall>>, CoreError> {
+    fn delete_document(
+        &mut self,
+        literals: &[(String, Value)],
+        id: DocId,
+    ) -> Result<Option<Vec<CloudCall>>, CoreError> {
         let kws = Self::keywords(literals);
         let mut calls = Vec::new();
         for kw in &kws {
@@ -516,7 +543,13 @@ mod tests {
         pairs.iter().map(|(f, v)| (f.to_string(), Value::from(*v))).collect()
     }
 
-    fn insert(gw: &mut BiexTactic, cloud: &BiexCloud, rng: &mut rand::rngs::StdRng, literals: &[(String, Value)], id: DocId) {
+    fn insert(
+        gw: &mut BiexTactic,
+        cloud: &BiexCloud,
+        rng: &mut rand::rngs::StdRng,
+        literals: &[(String, Value)],
+        id: DocId,
+    ) {
         let calls = gw.protect_document(rng, literals, id).unwrap().unwrap();
         for c in &calls {
             run(cloud, c);
@@ -546,10 +579,7 @@ mod tests {
         assert_eq!(query(&mut gw, &cloud, &dnf), vec![DocId([1; 16])]);
 
         // Disjunction of conjunctions.
-        let dnf = vec![
-            lits(&[("status", "final"), ("code", "glucose")]),
-            lits(&[("status", "draft")]),
-        ];
+        let dnf = vec![lits(&[("status", "final"), ("code", "glucose")]), lits(&[("status", "draft")])];
         assert_eq!(query(&mut gw, &cloud, &dnf), vec![DocId([1; 16]), DocId([3; 16])]);
 
         // Empty result.
@@ -557,7 +587,8 @@ mod tests {
         assert_eq!(query(&mut gw, &cloud, &dnf), vec![]);
 
         // Delete doc1 and requery.
-        let calls = gw.delete_document(&lits(&[("status", "final"), ("code", "glucose")]), DocId([1; 16])).unwrap().unwrap();
+        let calls =
+            gw.delete_document(&lits(&[("status", "final"), ("code", "glucose")]), DocId([1; 16])).unwrap().unwrap();
         for c in &calls {
             run(&cloud, c);
         }
@@ -601,14 +632,16 @@ mod tests {
 
         // Deleting a *seeded* document masks it via tombstones even though
         // the static base is immutable.
-        let calls = gw.delete_document(&lits(&[("status", "final"), ("code", "glucose")]), DocId([1; 16])).unwrap().unwrap();
+        let calls =
+            gw.delete_document(&lits(&[("status", "final"), ("code", "glucose")]), DocId([1; 16])).unwrap().unwrap();
         for c in &calls {
             run(&cloud, c);
         }
         let dnf = vec![lits(&[("status", "final"), ("code", "glucose")])];
         assert_eq!(query(&mut gw, &cloud, &dnf), vec![DocId([3; 16])]);
         // And deleting an overlay document works the same way.
-        let calls = gw.delete_document(&lits(&[("status", "final"), ("code", "glucose")]), DocId([3; 16])).unwrap().unwrap();
+        let calls =
+            gw.delete_document(&lits(&[("status", "final"), ("code", "glucose")]), DocId([3; 16])).unwrap().unwrap();
         for c in &calls {
             run(&cloud, c);
         }

@@ -27,7 +27,11 @@ pub fn descriptor() -> TacticDescriptor {
             OpProfile { op: TacticOp::Init, leakage: LeakageLevel::Structure, metrics: PerfMetrics::new(1, 0, 1) },
             OpProfile { op: TacticOp::Update, leakage: LeakageLevel::Equalities, metrics: PerfMetrics::new(1, 1, 1) },
             OpProfile { op: TacticOp::EqQuery, leakage: LeakageLevel::Equalities, metrics: PerfMetrics::new(1, 1, 1) },
-            OpProfile { op: TacticOp::BoolQuery, leakage: LeakageLevel::Equalities, metrics: PerfMetrics::new(1, 1, 1) },
+            OpProfile {
+                op: TacticOp::BoolQuery,
+                leakage: LeakageLevel::Equalities,
+                metrics: PerfMetrics::new(1, 1, 1),
+            },
         ],
         serves: vec![FieldOp::Insert, FieldOp::Equality, FieldOp::Boolean],
         serves_agg: vec![],
@@ -66,7 +70,13 @@ impl GatewayTactic for DetTactic {
         descriptor()
     }
 
-    fn protect(&mut self, _rng: &mut dyn RngCore, field: &str, value: &Value, _id: DocId) -> Result<ProtectedField, CoreError> {
+    fn protect(
+        &mut self,
+        _rng: &mut dyn RngCore,
+        field: &str,
+        value: &Value,
+        _id: DocId,
+    ) -> Result<ProtectedField, CoreError> {
         let ct = self.cipher.encrypt(&canonical_bytes(value));
         Ok(ProtectedField { stored: vec![(shadow_field(field, "det"), Value::Bytes(ct))], index_calls: Vec::new() })
     }
@@ -94,10 +104,7 @@ impl GatewayTactic for DetTactic {
     }
 
     fn bool_query(&mut self, dnf: &DnfLiterals) -> Result<Vec<CloudCall>, CoreError> {
-        let stored_dnf = dnf
-            .iter()
-            .map(|conj| conj.iter().map(|(f, v)| self.stored_literal(f, v)).collect())
-            .collect();
+        let stored_dnf = dnf.iter().map(|conj| conj.iter().map(|(f, v)| self.stored_literal(f, v)).collect()).collect();
         let req = FindIdsDnf { collection: self.collection.clone(), dnf: stored_dnf };
         Ok(vec![CloudCall::new("doc/find_ids_dnf", req.encode())])
     }
@@ -156,10 +163,8 @@ mod tests {
     #[test]
     fn bool_query_rewrites_literals() {
         let mut t = DetTactic::build(&ctx()).unwrap();
-        let dnf = vec![vec![
-            ("status".to_string(), Value::from("final")),
-            ("code".to_string(), Value::from("glucose")),
-        ]];
+        let dnf =
+            vec![vec![("status".to_string(), Value::from("final")), ("code".to_string(), Value::from("glucose"))]];
         let calls = t.bool_query(&dnf).unwrap();
         let req = FindIdsDnf::decode(&calls[0].payload).unwrap();
         assert_eq!(req.dnf[0][0].0, "status__det");

@@ -61,7 +61,13 @@ impl GatewayTactic for MitraTactic {
         descriptor()
     }
 
-    fn protect(&mut self, _rng: &mut dyn RngCore, field: &str, value: &Value, id: DocId) -> Result<ProtectedField, CoreError> {
+    fn protect(
+        &mut self,
+        _rng: &mut dyn RngCore,
+        field: &str,
+        value: &Value,
+        id: DocId,
+    ) -> Result<ProtectedField, CoreError> {
         let token = self.client.update_token(&Self::keyword(field, value), id, UpdateOp::Add);
         Ok(ProtectedField {
             stored: Vec::new(),

@@ -120,10 +120,9 @@ pub fn aggregable_i64(v: &Value) -> Result<i64, CoreError> {
     match v {
         Value::I64(i) => Ok(i.saturating_mul(AGG_SCALE as i64)),
         Value::F64(f) => Ok((f * AGG_SCALE).round() as i64),
-        other => Err(CoreError::UnsupportedOperation(format!(
-            "aggregates need numeric values, got {}",
-            other.type_name()
-        ))),
+        other => {
+            Err(CoreError::UnsupportedOperation(format!("aggregates need numeric values, got {}", other.type_name())))
+        }
     }
 }
 

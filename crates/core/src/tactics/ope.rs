@@ -58,7 +58,13 @@ impl GatewayTactic for OpeTactic {
         descriptor()
     }
 
-    fn protect(&mut self, _rng: &mut dyn RngCore, field: &str, value: &Value, _id: DocId) -> Result<ProtectedField, CoreError> {
+    fn protect(
+        &mut self,
+        _rng: &mut dyn RngCore,
+        field: &str,
+        value: &Value,
+        _id: DocId,
+    ) -> Result<ProtectedField, CoreError> {
         let ct = self.ciphertext_bytes(value)?;
         Ok(ProtectedField { stored: vec![(shadow_field(field, "ope"), Value::Bytes(ct))], index_calls: Vec::new() })
     }

@@ -63,12 +63,21 @@ impl GatewayTactic for OreTactic {
         descriptor()
     }
 
-    fn protect(&mut self, _rng: &mut dyn RngCore, _field: &str, value: &Value, id: DocId) -> Result<ProtectedField, CoreError> {
+    fn protect(
+        &mut self,
+        _rng: &mut dyn RngCore,
+        _field: &str,
+        value: &Value,
+        id: DocId,
+    ) -> Result<ProtectedField, CoreError> {
         let m = orderable_u64(value)?;
         let right = self.ore.encrypt_right(m);
         let mut w = Writer::new();
         w.bytes(&id.0).bytes(&right.to_bytes());
-        Ok(ProtectedField { stored: Vec::new(), index_calls: vec![CloudCall::new(self.route_insert.clone(), w.finish())] })
+        Ok(ProtectedField {
+            stored: Vec::new(),
+            index_calls: vec![CloudCall::new(self.route_insert.clone(), w.finish())],
+        })
     }
 
     fn delete(&mut self, _field: &str, _value: &Value, id: DocId) -> Result<Vec<CloudCall>, CoreError> {

@@ -123,7 +123,13 @@ impl GatewayTactic for PaillierTactic {
         descriptor()
     }
 
-    fn protect(&mut self, rng: &mut dyn RngCore, field: &str, value: &Value, _id: DocId) -> Result<ProtectedField, CoreError> {
+    fn protect(
+        &mut self,
+        rng: &mut dyn RngCore,
+        field: &str,
+        value: &Value,
+        _id: DocId,
+    ) -> Result<ProtectedField, CoreError> {
         let scaled = aggregable_i64(value)?;
         let m = self.encode_plain(scaled);
         let ct = self.keypair.public().encrypt(rng, &m)?;
@@ -131,10 +137,7 @@ impl GatewayTactic for PaillierTactic {
         if let Some(setup) = self.setup_call() {
             index_calls.push(setup);
         }
-        Ok(ProtectedField {
-            stored: vec![(shadow_field(field, "phe"), Value::Bytes(ct.to_bytes()))],
-            index_calls,
-        })
+        Ok(ProtectedField { stored: vec![(shadow_field(field, "phe"), Value::Bytes(ct.to_bytes()))], index_calls })
     }
 
     fn agg_query(&mut self, field: &str, _agg: AggFn, ids: &[DocId]) -> Result<Vec<CloudCall>, CoreError> {
@@ -227,10 +230,7 @@ impl CloudTactic for PaillierCloud {
                     });
                     count += 1;
                 }
-                let resp = PaillierSumResponse {
-                    ciphertext: acc.map(|c| c.to_bytes()).unwrap_or_default(),
-                    count,
-                };
+                let resp = PaillierSumResponse { ciphertext: acc.map(|c| c.to_bytes()).unwrap_or_default(), count };
                 Ok(resp.encode())
             }
             other => Err(CoreError::UnsupportedOperation(format!("paillier cloud op {other}"))),

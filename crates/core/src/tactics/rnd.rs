@@ -51,7 +51,13 @@ impl GatewayTactic for RndTactic {
         descriptor()
     }
 
-    fn protect(&mut self, rng: &mut dyn RngCore, field: &str, value: &Value, _id: DocId) -> Result<ProtectedField, CoreError> {
+    fn protect(
+        &mut self,
+        rng: &mut dyn RngCore,
+        field: &str,
+        value: &Value,
+        _id: DocId,
+    ) -> Result<ProtectedField, CoreError> {
         let ct = self.cipher.encrypt(rng, &canonical_bytes(value));
         Ok(ProtectedField { stored: vec![(shadow_field(field, "rnd"), Value::Bytes(ct))], index_calls: Vec::new() })
     }
@@ -104,10 +110,7 @@ mod tests {
     #[test]
     fn search_unsupported() {
         let mut t = RndTactic::build(&ctx()).unwrap();
-        assert!(matches!(
-            t.eq_query("performer", &Value::from("x")),
-            Err(CoreError::UnsupportedOperation(_))
-        ));
+        assert!(matches!(t.eq_query("performer", &Value::from("x")), Err(CoreError::UnsupportedOperation(_))));
     }
 
     #[test]

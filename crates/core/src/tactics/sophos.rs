@@ -112,7 +112,13 @@ impl GatewayTactic for SophosTactic {
         descriptor()
     }
 
-    fn protect(&mut self, rng: &mut dyn RngCore, field: &str, value: &Value, id: DocId) -> Result<ProtectedField, CoreError> {
+    fn protect(
+        &mut self,
+        rng: &mut dyn RngCore,
+        field: &str,
+        value: &Value,
+        id: DocId,
+    ) -> Result<ProtectedField, CoreError> {
         let mut index_calls = Vec::new();
         if let Some(setup) = self.setup_call() {
             index_calls.push(setup);

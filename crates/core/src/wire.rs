@@ -359,10 +359,7 @@ mod tests {
 
     #[test]
     fn documents_list_roundtrip() {
-        let docs = vec![
-            Document::new("a").with("x", Value::from(1i64)),
-            Document::new("b"),
-        ];
+        let docs = vec![Document::new("a").with("x", Value::from(1i64)), Document::new("b")];
         assert_eq!(decode_documents(&encode_documents(&docs)).unwrap(), docs);
         assert_eq!(decode_documents(&encode_documents(&[])).unwrap(), vec![]);
     }

@@ -48,9 +48,12 @@ fn fields_with_double_underscores_roundtrip() {
     // Shadow-field naming uses `__`; user fields containing `__` must not
     // be confused with shadow fields during recovery.
     let mut gw = gateway();
-    let schema = Schema::new("s")
-        .plain_field("a__b", FieldType::Text, false)
-        .sensitive_field("x__y", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C1, vec![FieldOp::Insert]));
+    let schema = Schema::new("s").plain_field("a__b", FieldType::Text, false).sensitive_field(
+        "x__y",
+        FieldType::Text,
+        true,
+        FieldAnnotation::new(ProtectionClass::C1, vec![FieldOp::Insert]),
+    );
     gw.register_schema(schema).unwrap();
     let doc = Document::new("d").with("a__b", Value::from("plain")).with("x__y", Value::from("secret"));
     let id = gw.insert("s", &doc).unwrap();
@@ -62,9 +65,12 @@ fn fields_with_double_underscores_roundtrip() {
 #[test]
 fn selection_accessor_reports_only_sensitive_fields() {
     let mut gw = gateway();
-    let schema = Schema::new("s")
-        .plain_field("meta", FieldType::Integer, false)
-        .sensitive_field("f", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C1, vec![FieldOp::Insert]));
+    let schema = Schema::new("s").plain_field("meta", FieldType::Integer, false).sensitive_field(
+        "f",
+        FieldType::Text,
+        true,
+        FieldAnnotation::new(ProtectionClass::C1, vec![FieldOp::Insert]),
+    );
     gw.register_schema(schema).unwrap();
     assert!(gw.selection("s", "f").is_some());
     assert!(gw.selection("s", "meta").is_none());
@@ -128,7 +134,12 @@ fn optional_sensitive_fields_may_be_absent() {
     let mut gw = gateway();
     let schema = Schema::new("s")
         .sensitive_field("req", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C1, vec![FieldOp::Insert]))
-        .sensitive_field("opt", FieldType::Text, false, FieldAnnotation::new(ProtectionClass::C2, vec![FieldOp::Insert, FieldOp::Equality]));
+        .sensitive_field(
+            "opt",
+            FieldType::Text,
+            false,
+            FieldAnnotation::new(ProtectionClass::C2, vec![FieldOp::Insert, FieldOp::Equality]),
+        );
     gw.register_schema(schema).unwrap();
     let id = gw.insert("s", &Document::new("x").with("req", Value::from("r"))).unwrap();
     let got = gw.get("s", id).unwrap();

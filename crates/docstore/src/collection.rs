@@ -218,9 +218,7 @@ mod tests {
     use super::*;
 
     fn sample(id: &str, status: &str, value: i64) -> Document {
-        Document::new(id)
-            .with("status", Value::from(status))
-            .with("value", Value::from(value))
+        Document::new(id).with("status", Value::from(status)).with("value", Value::from(value))
     }
 
     #[test]
@@ -285,10 +283,7 @@ mod tests {
         for i in 0..10 {
             c.insert(sample(&format!("d{i}"), "final", i)).unwrap();
         }
-        let f = Filter::and(vec![
-            Filter::eq("status", Value::from("final")),
-            Filter::gte("value", Value::from(8i64)),
-        ]);
+        let f = Filter::and(vec![Filter::eq("status", Value::from("final")), Filter::gte("value", Value::from(8i64))]);
         assert_eq!(c.find(&f).len(), 2);
     }
 

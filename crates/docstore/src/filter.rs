@@ -173,10 +173,7 @@ mod tests {
 
     #[test]
     fn index_candidate_extraction() {
-        let f = Filter::and(vec![
-            Filter::gt("age", Value::from(10i64)),
-            Filter::eq("name", Value::from("alice")),
-        ]);
+        let f = Filter::and(vec![Filter::gt("age", Value::from(10i64)), Filter::eq("name", Value::from("alice"))]);
         assert_eq!(f.index_candidate(), Some(("name", &Value::from("alice"))));
         assert_eq!(Filter::All.index_candidate(), None);
     }

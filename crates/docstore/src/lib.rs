@@ -24,7 +24,6 @@
 //! assert_eq!(hits.len(), 1);
 //! ```
 
-
 #![warn(missing_docs)]
 mod collection;
 mod filter;

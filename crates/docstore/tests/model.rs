@@ -13,9 +13,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
 }
 
 fn arb_doc(id: usize) -> impl Strategy<Value = Document> {
-    (arb_value(), arb_value()).prop_map(move |(x, y)| {
-        Document::new(format!("d{id}")).with("x", x).with("y", y)
-    })
+    (arb_value(), arb_value()).prop_map(move |(x, y)| Document::new(format!("d{id}")).with("x", x).with("y", y))
 }
 
 fn arb_filter() -> impl Strategy<Value = Filter> {

@@ -8,7 +8,6 @@
 //! partners; we substitute synthetic data with the same shape —
 //! DESIGN.md §5).
 
-
 #![warn(missing_docs)]
 use datablinder_core::model::{AggFn, FieldAnnotation, FieldOp, FieldType, ProtectionClass, Schema};
 use datablinder_docstore::{Document, Value};
@@ -53,11 +52,36 @@ pub fn observation_schema() -> Schema {
     Schema::new("observation")
         .plain_field("identifier", FieldType::Integer, true)
         .plain_field("interpretation", FieldType::Text, false)
-        .sensitive_field("status", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C3, vec![Insert, Equality, Boolean]))
-        .sensitive_field("code", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C3, vec![Insert, Equality, Boolean]))
-        .sensitive_field("subject", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]))
-        .sensitive_field("effective", FieldType::Integer, true, FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Equality, Boolean, Range]))
-        .sensitive_field("issued", FieldType::Integer, true, FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Equality, Boolean, Range]))
+        .sensitive_field(
+            "status",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C3, vec![Insert, Equality, Boolean]),
+        )
+        .sensitive_field(
+            "code",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C3, vec![Insert, Equality, Boolean]),
+        )
+        .sensitive_field(
+            "subject",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]),
+        )
+        .sensitive_field(
+            "effective",
+            FieldType::Integer,
+            true,
+            FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Equality, Boolean, Range]),
+        )
+        .sensitive_field(
+            "issued",
+            FieldType::Integer,
+            true,
+            FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Equality, Boolean, Range]),
+        )
         .sensitive_field("performer", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C1, vec![Insert]))
         .sensitive_field(
             "value",

@@ -29,7 +29,6 @@
 //! assert_ne!(k1, kms.key_for(&scope));
 //! ```
 
-
 #![warn(missing_docs)]
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -167,10 +166,7 @@ impl Kms {
 impl std::fmt::Debug for Kms {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.inner.read();
-        f.debug_struct("Kms")
-            .field("scopes", &inner.versions.len())
-            .field("secrets", &inner.secrets.len())
-            .finish()
+        f.debug_struct("Kms").field("scopes", &inner.versions.len()).field("secrets", &inner.secrets.len()).finish()
     }
 }
 

@@ -19,7 +19,6 @@
 //! assert_eq!(kv.hlen(b"index"), 1);
 //! ```
 
-
 #![warn(missing_docs)]
 mod log;
 mod store;

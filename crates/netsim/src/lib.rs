@@ -33,13 +33,19 @@
 //! assert_eq!(ch.metrics().round_trips(), 1);
 //! ```
 
-
 #![warn(missing_docs)]
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::{Buf, BufMut, BytesMut};
+
+pub mod fault;
+pub mod prelude;
+pub mod resilient;
+
+pub use fault::{FaultPlan, FaultStats, FaultStatsSnapshot, FaultyService, RouteFaults};
+pub use resilient::{BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig, ResilientChannel, RetryPolicy};
 
 /// Errors crossing the simulated network.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +56,12 @@ pub enum NetError {
     Remote(String),
     /// A frame could not be decoded.
     MalformedFrame,
+    /// The request or response was lost, or the response missed the caller's
+    /// deadline. The caller cannot tell whether the remote side executed.
+    Timeout,
+    /// The circuit breaker is open; the call was failed fast without
+    /// touching the network.
+    CircuitOpen,
 }
 
 impl std::fmt::Display for NetError {
@@ -58,6 +70,8 @@ impl std::fmt::Display for NetError {
             NetError::UnknownRoute(r) => write!(f, "unknown route: {r}"),
             NetError::Remote(e) => write!(f, "remote error: {e}"),
             NetError::MalformedFrame => write!(f, "malformed frame"),
+            NetError::Timeout => write!(f, "timed out"),
+            NetError::CircuitOpen => write!(f, "circuit breaker open"),
         }
     }
 }
@@ -72,6 +86,13 @@ pub trait CloudService: Send + Sync {
     ///
     /// Any [`NetError`]; [`NetError::Remote`] for application failures.
     fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError>;
+
+    /// Drains latency injected by fault wrappers during the last `handle`
+    /// call, to be charged to the channel's clock on top of the model cost.
+    /// Plain services have none.
+    fn take_injected_delay(&self) -> Duration {
+        Duration::ZERO
+    }
 }
 
 impl<F> CloudService for F
@@ -130,6 +151,11 @@ pub struct ChannelMetrics {
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
     virtual_nanos: AtomicU64,
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_half_opens: AtomicU64,
 }
 
 impl ChannelMetrics {
@@ -153,13 +179,102 @@ impl ChannelMetrics {
         Duration::from_nanos(self.virtual_nanos.load(Ordering::Relaxed))
     }
 
+    /// Calls issued through a [`ResilientChannel`], including retries and
+    /// attempts that never completed (dropped, timed out, breaker-rejected).
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Attempts that were re-issues of an earlier failed attempt.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Calls that ended in [`NetError::Timeout`] (lost in transit or past
+    /// their deadline).
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Times the circuit breaker tripped closed/half-open → open.
+    pub fn breaker_opens(&self) -> u64 {
+        self.breaker_opens.load(Ordering::Relaxed)
+    }
+
+    /// Times the circuit breaker admitted a half-open probe after cooldown.
+    pub fn breaker_half_opens(&self) -> u64 {
+        self.breaker_half_opens.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of all counters, e.g. for determinism checks.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            round_trips: self.round_trips(),
+            bytes_sent: self.bytes_sent(),
+            bytes_received: self.bytes_received(),
+            virtual_nanos: self.virtual_nanos.load(Ordering::Relaxed),
+            attempts: self.attempts(),
+            retries: self.retries(),
+            timeouts: self.timeouts(),
+            breaker_opens: self.breaker_opens(),
+            breaker_half_opens: self.breaker_half_opens(),
+        }
+    }
+
     /// Resets all counters.
     pub fn reset(&self) {
         self.round_trips.store(0, Ordering::Relaxed);
         self.bytes_sent.store(0, Ordering::Relaxed);
         self.bytes_received.store(0, Ordering::Relaxed);
         self.virtual_nanos.store(0, Ordering::Relaxed);
+        self.attempts.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.timeouts.store(0, Ordering::Relaxed);
+        self.breaker_opens.store(0, Ordering::Relaxed);
+        self.breaker_half_opens.store(0, Ordering::Relaxed);
     }
+
+    pub(crate) fn record_attempt(&self) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_breaker_open(&self) {
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_breaker_half_open(&self) {
+        self.breaker_half_opens.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`ChannelMetrics`].
+///
+/// Two runs of the same seeded workload must produce equal snapshots; the
+/// resilience tests compare them with `==`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// See [`ChannelMetrics::round_trips`].
+    pub round_trips: u64,
+    /// See [`ChannelMetrics::bytes_sent`].
+    pub bytes_sent: u64,
+    /// See [`ChannelMetrics::bytes_received`].
+    pub bytes_received: u64,
+    /// Simulated network time charged, in nanoseconds.
+    pub virtual_nanos: u64,
+    /// See [`ChannelMetrics::attempts`].
+    pub attempts: u64,
+    /// See [`ChannelMetrics::retries`].
+    pub retries: u64,
+    /// See [`ChannelMetrics::timeouts`].
+    pub timeouts: u64,
+    /// See [`ChannelMetrics::breaker_opens`].
+    pub breaker_opens: u64,
+    /// See [`ChannelMetrics::breaker_half_opens`].
+    pub breaker_half_opens: u64,
 }
 
 /// A gateway-side handle to a cloud service. Cloning shares the service,
@@ -174,7 +289,13 @@ pub struct Channel {
 impl Channel {
     /// Connects to `service` with the given latency model.
     pub fn connect<S: CloudService + 'static>(service: S, model: LatencyModel) -> Self {
-        Channel { service: Arc::new(service), model, metrics: Arc::new(ChannelMetrics::default()) }
+        Channel::from_arc(Arc::new(service), model)
+    }
+
+    /// Connects to an already-shared service — keep the other handle to
+    /// inspect fault stats or cloud state after the channel takes ownership.
+    pub fn from_arc(service: Arc<dyn CloudService>, model: LatencyModel) -> Self {
+        Channel { service, model, metrics: Arc::new(ChannelMetrics::default()) }
     }
 
     /// Performs one round trip: frames the request, "transmits" both ways,
@@ -184,29 +305,88 @@ impl Channel {
     ///
     /// Propagates handler errors and frame decoding failures.
     pub fn call(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        self.call_with_deadline(route, payload, None)
+    }
+
+    /// Like [`Channel::call`] but gives up once the round trip would exceed
+    /// `deadline` of simulated time.
+    ///
+    /// Two timeout shapes exist: the service layer (a fault wrapper) may lose
+    /// the message outright and report [`NetError::Timeout`], in which case
+    /// the caller waits out its full deadline; or the response arrives but
+    /// the model cost plus injected delay exceeds the deadline, in which case
+    /// the bytes crossed (and count as a round trip) yet the caller has
+    /// already given up. Either way only `deadline` — never the full cost —
+    /// is charged to the clock.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] on a lost message or missed deadline, plus
+    /// everything [`Channel::call`] returns.
+    pub fn call_with_deadline(
+        &self,
+        route: &str,
+        payload: &[u8],
+        deadline: Option<Duration>,
+    ) -> Result<Vec<u8>, NetError> {
         let frame = encode_frame(route, payload);
         self.metrics.bytes_sent.fetch_add(frame.len() as u64, Ordering::Relaxed);
 
         // The wire: decode on the "cloud side" from the serialized frame.
         let (decoded_route, decoded_payload) = decode_frame(&frame)?;
         let result = self.service.handle(&decoded_route, &decoded_payload);
+        let injected = self.service.take_injected_delay();
+
+        if matches!(result, Err(NetError::Timeout)) {
+            // Lost in transit: no response bytes, no round trip. The caller
+            // waits out its deadline (or one bare send cost when unbounded).
+            let wait = deadline.unwrap_or_else(|| self.model.cost(frame.len())) + injected;
+            self.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            self.charge(wait);
+            return Err(NetError::Timeout);
+        }
 
         let response = encode_response(&result);
         self.metrics.bytes_received.fetch_add(response.len() as u64, Ordering::Relaxed);
         self.metrics.round_trips.fetch_add(1, Ordering::Relaxed);
 
-        let cost = self.model.cost(frame.len() + response.len());
+        let cost = self.model.cost(frame.len() + response.len()) + injected;
+        if let Some(limit) = deadline {
+            if cost > limit {
+                // The response exists — the cloud did the work — but it
+                // arrived after the caller stopped listening.
+                self.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.charge(limit);
+                return Err(NetError::Timeout);
+            }
+        }
+        self.charge(cost);
+
+        decode_response(&response)
+    }
+
+    /// Advances the channel clock by `delta` without any traffic. Retry
+    /// backoff pauses and test-driven cooldown waits go through here.
+    pub fn advance(&self, delta: Duration) {
+        self.charge(delta);
+    }
+
+    fn charge(&self, cost: Duration) {
         self.metrics.virtual_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
         if self.model.real_sleep && !cost.is_zero() {
             std::thread::sleep(cost);
         }
-
-        decode_response(&response)
     }
 
     /// Traffic counters.
     pub fn metrics(&self) -> &ChannelMetrics {
         &self.metrics
+    }
+
+    /// Shared handle to the traffic counters (e.g. to keep after the channel
+    /// moves into an engine).
+    pub fn metrics_handle(&self) -> Arc<ChannelMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// The configured latency model.
@@ -217,10 +397,7 @@ impl Channel {
 
 impl std::fmt::Debug for Channel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Channel")
-            .field("model", &self.model)
-            .field("round_trips", &self.metrics.round_trips())
-            .finish()
+        f.debug_struct("Channel").field("model", &self.model).field("round_trips", &self.metrics.round_trips()).finish()
     }
 }
 
@@ -264,6 +441,8 @@ fn encode_response(result: &Result<Vec<u8>, NetError>) -> Vec<u8> {
                 NetError::UnknownRoute(r) => (1u8, r.clone()),
                 NetError::Remote(m) => (2, m.clone()),
                 NetError::MalformedFrame => (3, String::new()),
+                NetError::Timeout => (4, String::new()),
+                NetError::CircuitOpen => (5, String::new()),
             };
             buf.put_u8(tag);
             let msg = msg.into_bytes();
@@ -290,6 +469,8 @@ fn decode_response(response: &[u8]) -> Result<Vec<u8>, NetError> {
         1 => Err(NetError::UnknownRoute(String::from_utf8_lossy(&body).into_owned())),
         2 => Err(NetError::Remote(String::from_utf8_lossy(&body).into_owned())),
         3 => Err(NetError::MalformedFrame),
+        4 => Err(NetError::Timeout),
+        5 => Err(NetError::CircuitOpen),
         _ => Err(NetError::MalformedFrame),
     }
 }
@@ -390,5 +571,69 @@ mod tests {
         let ch2 = ch.clone();
         ch.call("echo", b"x").unwrap();
         assert_eq!(ch2.metrics().round_trips(), 1);
+    }
+
+    #[test]
+    fn missed_deadline_times_out_and_charges_only_the_deadline() {
+        let ch = echo_channel(LatencyModel::wan()); // 10 ms RTT
+        let deadline = Duration::from_millis(1);
+        let err = ch.call_with_deadline("echo", b"hello", Some(deadline));
+        assert_eq!(err, Err(NetError::Timeout));
+        // The response crossed the wire (the cloud did the work)...
+        assert_eq!(ch.metrics().round_trips(), 1);
+        assert_eq!(ch.metrics().timeouts(), 1);
+        // ...but the caller only waited out its deadline.
+        assert_eq!(ch.metrics().virtual_time(), deadline);
+    }
+
+    #[test]
+    fn generous_deadline_behaves_like_plain_call() {
+        let ch = echo_channel(LatencyModel::wan());
+        let ok = ch.call_with_deadline("echo", b"hello", Some(Duration::from_secs(1)));
+        assert_eq!(ok.unwrap(), b"hello");
+        assert_eq!(ch.metrics().timeouts(), 0);
+        assert!(ch.metrics().virtual_time() >= Duration::from_micros(10_000));
+    }
+
+    #[test]
+    fn service_timeout_is_a_lost_message() {
+        let ch = Channel::connect(
+            |_: &str, _: &[u8]| -> Result<Vec<u8>, NetError> { Err(NetError::Timeout) },
+            LatencyModel::instant(),
+        );
+        let err = ch.call_with_deadline("echo", b"x", Some(Duration::from_millis(5)));
+        assert_eq!(err, Err(NetError::Timeout));
+        // A lost message never completes a round trip and returns no bytes.
+        assert_eq!(ch.metrics().round_trips(), 0);
+        assert_eq!(ch.metrics().bytes_received(), 0);
+        assert_eq!(ch.metrics().timeouts(), 1);
+        assert_eq!(ch.metrics().virtual_time(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn advance_moves_the_clock_without_traffic() {
+        let ch = echo_channel(LatencyModel::instant());
+        ch.advance(Duration::from_micros(42));
+        assert_eq!(ch.metrics().virtual_time(), Duration::from_micros(42));
+        assert_eq!(ch.metrics().round_trips(), 0);
+    }
+
+    #[test]
+    fn new_error_variants_cross_the_wire() {
+        let timeout = encode_response(&Err(NetError::Timeout));
+        assert_eq!(decode_response(&timeout), Err(NetError::Timeout));
+        let open = encode_response(&Err(NetError::CircuitOpen));
+        assert_eq!(decode_response(&open), Err(NetError::CircuitOpen));
+    }
+
+    #[test]
+    fn snapshot_round_trips_all_counters() {
+        let ch = echo_channel(LatencyModel::lan());
+        ch.call("echo", b"x").unwrap();
+        let snap = ch.metrics().snapshot();
+        assert_eq!(snap.round_trips, 1);
+        assert_eq!(snap, ch.metrics().snapshot());
+        ch.metrics().reset();
+        assert_eq!(ch.metrics().snapshot(), MetricsSnapshot::default());
     }
 }

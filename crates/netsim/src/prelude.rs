@@ -1,0 +1,13 @@
+//! One-import vocabulary for integration tests and benches that exercise the
+//! simulated network: channels, latency models, fault injection and the
+//! resilience layer.
+//!
+//! ```
+//! use datablinder_netsim::prelude::*;
+//! ```
+
+pub use crate::fault::{FaultPlan, FaultStats, FaultStatsSnapshot, FaultyService, RouteFaults};
+pub use crate::resilient::{
+    BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig, ResilientChannel, RetryPolicy,
+};
+pub use crate::{Channel, ChannelMetrics, CloudService, LatencyModel, MetricsSnapshot, NetError};

@@ -1,0 +1,560 @@
+//! Retries, deadlines and circuit breaking over a [`Channel`].
+//!
+//! [`ResilientChannel`] exposes the same `call` API as [`Channel`] but
+//! absorbs transient faults: it retries retryable errors with exponential
+//! backoff and deterministic seeded jitter, applies a per-call deadline, and
+//! fails fast through a [`CircuitBreaker`] while the remote side looks dead.
+//! All waiting — backoff included — is charged to the channel's virtual
+//! clock, so simulated time reflects what a real client would have endured.
+//!
+//! What is safe to retry lives here; *whether* a retried write re-executes
+//! is the cloud's problem, solved by idempotency tokens one layer up (see
+//! DESIGN.md §Resilience).
+//!
+//! # Examples
+//!
+//! ```
+//! use datablinder_netsim::prelude::*;
+//!
+//! let plan = FaultPlan::uniform(RouteFaults::none().with_drop(0.3));
+//! let svc = FaultyService::new(
+//!     |_: &str, p: &[u8]| -> Result<Vec<u8>, NetError> { Ok(p.to_vec()) },
+//!     plan,
+//!     7,
+//! );
+//! let ch = ResilientChannel::connect(svc, LatencyModel::lan(), ResilienceConfig::default());
+//! for i in 0..50u8 {
+//!     assert_eq!(ch.call("echo", &[i]).unwrap(), vec![i]); // drops retried away
+//! }
+//! assert!(ch.metrics().attempts() > ch.metrics().round_trips());
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::fault::SplitMix64;
+use crate::{Channel, ChannelMetrics, CloudService, LatencyModel, NetError};
+
+/// When and how often to retry a failed call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total tries per call, first attempt included. `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a seeded
+    /// uniform draw from `[1 - jitter, 1]`.
+    pub jitter: f64,
+    /// Whether [`NetError::Remote`] failures are retried. Off by default:
+    /// a remote *application* error usually reproduces on retry, whereas
+    /// transport faults (timeout, corruption) usually do not.
+    pub retry_remote: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_millis(50),
+            jitter: 0.5,
+            retry_remote: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// One attempt, no retries.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// Whether `err` is worth retrying under this policy.
+    ///
+    /// Timeouts, detected corruption and breaker rejections are transport
+    /// conditions that a retry (after backoff/cooldown) may clear. Unknown
+    /// routes are deterministic bugs; remote failures are configurable.
+    pub fn is_retryable(&self, err: &NetError) -> bool {
+        match err {
+            NetError::Timeout | NetError::MalformedFrame | NetError::CircuitOpen => true,
+            NetError::Remote(_) => self.retry_remote,
+            NetError::UnknownRoute(_) => false,
+        }
+    }
+
+    /// The pause before attempt `attempt + 1`, given that `attempt` (1-based)
+    /// just failed: `min(base · 2^(attempt-1), max)`, scaled by seeded jitter.
+    pub(crate) fn backoff_for(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let raw = self.base_backoff.saturating_mul(1u32 << exp.min(31));
+        let capped = raw.min(self.max_backoff);
+        let scale = 1.0 - self.jitter.clamp(0.0, 1.0) * rng.next_f64();
+        Duration::from_nanos((capped.as_nanos() as f64 * scale) as u64)
+    }
+}
+
+/// Circuit breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive transport failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 5, cooldown: Duration::from_millis(100) }
+    }
+}
+
+/// The breaker's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; consecutive transport failures are counted.
+    Closed,
+    /// Calls fail fast until the cooldown elapses.
+    Open,
+    /// One probe is in flight; its outcome closes or re-opens the breaker.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until: Duration,
+}
+
+/// Closed → open after N consecutive transport failures → half-open probe
+/// after a cooldown → closed on probe success (open again on probe failure).
+///
+/// Time is whatever clock the caller passes in — the [`ResilientChannel`]
+/// feeds it the channel's virtual clock, keeping breaker behaviour
+/// deterministic in simulation.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                open_until: Duration::ZERO,
+            }),
+        }
+    }
+
+    /// Asks to place a call at time `now`. `Ok(true)` means the call is the
+    /// half-open probe (the breaker just transitioned); `Ok(false)` a normal
+    /// admission; `Err(remaining)` a fast-fail with the cooldown left.
+    pub fn admit(&self, now: Duration) -> Result<bool, Duration> {
+        let mut g = self.inner.lock();
+        match g.state {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(false),
+            BreakerState::Open => {
+                if now >= g.open_until {
+                    g.state = BreakerState::HalfOpen;
+                    Ok(true)
+                } else {
+                    Err(g.open_until - now)
+                }
+            }
+        }
+    }
+
+    /// Cooldown left before a half-open probe would be admitted, if open.
+    /// Never mutates state (unlike [`CircuitBreaker::admit`]).
+    pub fn remaining_cooldown(&self, now: Duration) -> Option<Duration> {
+        let g = self.inner.lock();
+        match g.state {
+            BreakerState::Open if g.open_until > now => Some(g.open_until - now),
+            _ => None,
+        }
+    }
+
+    /// Records a successful call: closes the breaker, clears the streak.
+    pub fn on_success(&self) {
+        let mut g = self.inner.lock();
+        g.state = BreakerState::Closed;
+        g.consecutive_failures = 0;
+    }
+
+    /// Records a transport failure at time `now`. Returns `true` when this
+    /// failure tripped the breaker open (threshold reached, or a half-open
+    /// probe failed).
+    pub fn on_failure(&self, now: Duration) -> bool {
+        let mut g = self.inner.lock();
+        g.consecutive_failures = g.consecutive_failures.saturating_add(1);
+        let trips = match g.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => g.consecutive_failures >= self.config.failure_threshold.max(1),
+            BreakerState::Open => false,
+        };
+        if trips {
+            g.state = BreakerState::Open;
+            g.open_until = now + self.config.cooldown;
+        }
+        trips
+    }
+
+    /// The current position.
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+}
+
+/// Everything a [`ResilientChannel`] needs to know.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Retry schedule and error classification.
+    pub retry: RetryPolicy,
+    /// Circuit breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Per-call deadline in simulated time; `None` waits forever.
+    pub deadline: Option<Duration>,
+    /// Seed for the backoff jitter stream.
+    pub seed: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            deadline: None,
+            seed: 0x5EED_CAB1E,
+        }
+    }
+}
+
+/// A [`Channel`] wrapped with retries, deadlines and a circuit breaker.
+///
+/// Exposes the same `call(route, payload)` shape as [`Channel`]. Cloning
+/// shares the underlying channel, metrics, breaker and jitter stream.
+#[derive(Debug, Clone)]
+pub struct ResilientChannel {
+    channel: Channel,
+    policy: RetryPolicy,
+    deadline: Option<Duration>,
+    breaker: Arc<CircuitBreaker>,
+    jitter: Arc<Mutex<SplitMix64>>,
+}
+
+impl ResilientChannel {
+    /// Wraps an existing channel.
+    pub fn new(channel: Channel, config: ResilienceConfig) -> Self {
+        ResilientChannel {
+            channel,
+            policy: config.retry,
+            deadline: config.deadline,
+            breaker: Arc::new(CircuitBreaker::new(config.breaker)),
+            jitter: Arc::new(Mutex::new(SplitMix64::new(config.seed))),
+        }
+    }
+
+    /// Connects to `service` and wraps the channel in one step.
+    pub fn connect<S: CloudService + 'static>(service: S, model: LatencyModel, config: ResilienceConfig) -> Self {
+        ResilientChannel::new(Channel::connect(service, model), config)
+    }
+
+    /// Calls with the configured deadline, retrying per policy.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error once retries are exhausted, or immediately
+    /// for non-retryable errors ([`NetError::Remote`], unknown routes).
+    pub fn call(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        self.call_with_deadline(route, payload, self.deadline)
+    }
+
+    /// Calls with an explicit per-call deadline (overriding the configured
+    /// one), retrying per policy.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResilientChannel::call`].
+    pub fn call_with_deadline(
+        &self,
+        route: &str,
+        payload: &[u8],
+        deadline: Option<Duration>,
+    ) -> Result<Vec<u8>, NetError> {
+        let metrics = self.channel.metrics();
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            metrics.record_attempt();
+
+            let outcome = match self.breaker.admit(metrics.virtual_time()) {
+                Ok(probe) => {
+                    if probe {
+                        metrics.record_breaker_half_open();
+                    }
+                    let result = self.channel.call_with_deadline(route, payload, deadline);
+                    match &result {
+                        Ok(_) => self.breaker.on_success(),
+                        Err(e) if is_transport_failure(e) => {
+                            if self.breaker.on_failure(metrics.virtual_time()) {
+                                metrics.record_breaker_open();
+                            }
+                        }
+                        // The remote side answered — it is alive. Application
+                        // failures must not starve the route.
+                        Err(_) => self.breaker.on_success(),
+                    }
+                    result
+                }
+                Err(_remaining) => Err(NetError::CircuitOpen),
+            };
+
+            match outcome {
+                Ok(body) => return Ok(body),
+                Err(err) => {
+                    if attempt >= max_attempts || !self.policy.is_retryable(&err) {
+                        return Err(err);
+                    }
+                    metrics.record_retry();
+                    let mut pause = self.policy.backoff_for(attempt, &mut self.jitter.lock());
+                    if let Some(remaining) = self.breaker.remaining_cooldown(metrics.virtual_time()) {
+                        // No point re-knocking on an open breaker: stretch
+                        // the pause to the cooldown so the next attempt can
+                        // be the half-open probe.
+                        pause = pause.max(remaining);
+                    }
+                    self.channel.advance(pause);
+                }
+            }
+        }
+    }
+
+    /// Traffic and resilience counters (shared with the inner channel).
+    pub fn metrics(&self) -> &ChannelMetrics {
+        self.channel.metrics()
+    }
+
+    /// The wrapped channel.
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// The breaker's current position.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Advances the simulated clock, e.g. to let a breaker cooldown elapse
+    /// in tests.
+    pub fn advance(&self, delta: Duration) {
+        self.channel.advance(delta);
+    }
+}
+
+fn is_transport_failure(err: &NetError) -> bool {
+    // Only evidence that the *path* is unhealthy counts toward the breaker.
+    // Remote/UnknownRoute mean the other side answered.
+    matches!(err, NetError::Timeout | NetError::MalformedFrame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultyService, RouteFaults};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy { jitter: 0.0, ..RetryPolicy::default() };
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(policy.backoff_for(1, &mut rng), Duration::from_micros(500));
+        assert_eq!(policy.backoff_for(2, &mut rng), Duration::from_micros(1000));
+        assert_eq!(policy.backoff_for(3, &mut rng), Duration::from_micros(2000));
+        assert_eq!(policy.backoff_for(30, &mut rng), Duration::from_millis(50), "capped at max_backoff");
+    }
+
+    #[test]
+    fn jitter_shrinks_backoff_deterministically() {
+        let policy = RetryPolicy { jitter: 0.5, ..RetryPolicy::default() };
+        let a = policy.backoff_for(1, &mut SplitMix64::new(3));
+        let b = policy.backoff_for(1, &mut SplitMix64::new(3));
+        assert_eq!(a, b, "same seed, same jitter");
+        assert!(a <= Duration::from_micros(500));
+        assert!(a >= Duration::from_micros(250), "jitter scales into [0.5, 1]·base: {a:?}");
+    }
+
+    #[test]
+    fn classification() {
+        let policy = RetryPolicy::default();
+        assert!(policy.is_retryable(&NetError::Timeout));
+        assert!(policy.is_retryable(&NetError::MalformedFrame));
+        assert!(policy.is_retryable(&NetError::CircuitOpen));
+        assert!(!policy.is_retryable(&NetError::Remote("app bug".into())));
+        assert!(!policy.is_retryable(&NetError::UnknownRoute("x".into())));
+        let lenient = RetryPolicy { retry_remote: true, ..policy };
+        assert!(lenient.is_retryable(&NetError::Remote("blip".into())));
+    }
+
+    #[test]
+    fn breaker_state_machine() {
+        let b = CircuitBreaker::new(BreakerConfig { failure_threshold: 3, cooldown: Duration::from_millis(10) });
+        let t0 = Duration::ZERO;
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.on_failure(t0));
+        assert!(!b.on_failure(t0));
+        assert!(b.on_failure(t0), "third consecutive failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(t0), Err(Duration::from_millis(10)));
+        assert_eq!(b.remaining_cooldown(Duration::from_millis(4)), Some(Duration::from_millis(6)));
+
+        // Cooldown elapses: one probe admitted.
+        assert_eq!(b.admit(Duration::from_millis(10)), Ok(true));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probe fails → straight back to open.
+        assert!(b.on_failure(Duration::from_millis(10)));
+        assert_eq!(b.state(), BreakerState::Open);
+
+        // Second probe succeeds → closed, streak cleared.
+        assert_eq!(b.admit(Duration::from_millis(20)), Ok(true));
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.on_failure(Duration::from_millis(20)), "streak restarted");
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let b = CircuitBreaker::new(BreakerConfig { failure_threshold: 2, cooldown: Duration::from_millis(1) });
+        b.on_failure(Duration::ZERO);
+        b.on_success();
+        assert!(!b.on_failure(Duration::ZERO), "streak was reset");
+        assert!(b.on_failure(Duration::ZERO));
+    }
+
+    #[test]
+    fn retries_absorb_transient_drops() {
+        let plan = FaultPlan::uniform(RouteFaults::none().with_drop(0.4));
+        let svc = FaultyService::new(|_: &str, p: &[u8]| -> Result<Vec<u8>, NetError> { Ok(p.to_vec()) }, plan, 11);
+        let ch = ResilientChannel::connect(
+            svc,
+            LatencyModel::lan(),
+            ResilienceConfig {
+                retry: RetryPolicy { max_attempts: 10, ..RetryPolicy::default() },
+                ..Default::default()
+            },
+        );
+        for i in 0..100u8 {
+            assert_eq!(ch.call("echo", &[i]).unwrap(), vec![i]);
+        }
+        let m = ch.metrics();
+        assert!(m.attempts() > m.round_trips(), "attempts {} > round trips {}", m.attempts(), m.round_trips());
+        assert!(m.retries() > 0);
+        assert!(m.timeouts() > 0);
+        assert!(m.virtual_time() > Duration::ZERO, "backoff charged to the clock");
+    }
+
+    #[test]
+    fn non_retryable_error_returns_immediately() {
+        let svc = |_: &str, _: &[u8]| -> Result<Vec<u8>, NetError> { Err(NetError::Remote("bug".into())) };
+        let ch = ResilientChannel::connect(svc, LatencyModel::instant(), ResilienceConfig::default());
+        assert_eq!(ch.call("r", b"x"), Err(NetError::Remote("bug".into())));
+        assert_eq!(ch.metrics().attempts(), 1, "no retries for application errors");
+    }
+
+    #[test]
+    fn breaker_opens_fast_fails_and_recovers() {
+        // Service: times out for the first 4 deliveries, then echoes.
+        let deliveries = AtomicU64::new(0);
+        let svc = move |_: &str, p: &[u8]| -> Result<Vec<u8>, NetError> {
+            if deliveries.fetch_add(1, Ordering::Relaxed) < 4 {
+                Err(NetError::Timeout)
+            } else {
+                Ok(p.to_vec())
+            }
+        };
+        let config = ResilienceConfig {
+            retry: RetryPolicy::none(),
+            breaker: BreakerConfig { failure_threshold: 3, cooldown: Duration::from_millis(50) },
+            deadline: Some(Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let ch = ResilientChannel::connect(svc, LatencyModel::instant(), config);
+
+        // Three timeouts trip the breaker...
+        for _ in 0..3 {
+            assert_eq!(ch.call("r", b"x"), Err(NetError::Timeout));
+        }
+        assert_eq!(ch.breaker_state(), BreakerState::Open);
+        assert_eq!(ch.metrics().breaker_opens(), 1);
+
+        // ...now calls fail fast without touching the wire.
+        let sent_before = ch.metrics().bytes_sent();
+        assert_eq!(ch.call("r", b"x"), Err(NetError::CircuitOpen));
+        assert_eq!(ch.metrics().bytes_sent(), sent_before, "fast-fail sent nothing");
+
+        // After the cooldown the half-open probe goes through. The 4th
+        // delivery still times out, re-opening; the probe after that heals.
+        ch.advance(Duration::from_millis(50));
+        assert_eq!(ch.call("r", b"x"), Err(NetError::Timeout));
+        assert_eq!(ch.breaker_state(), BreakerState::Open);
+        assert_eq!(ch.metrics().breaker_opens(), 2);
+
+        ch.advance(Duration::from_millis(50));
+        assert_eq!(ch.call("r", b"x").unwrap(), b"x");
+        assert_eq!(ch.breaker_state(), BreakerState::Closed);
+        assert_eq!(ch.metrics().breaker_half_opens(), 2);
+    }
+
+    #[test]
+    fn retry_waits_out_breaker_cooldown() {
+        // Always-timing-out service; generous retries. The breaker opens
+        // mid-retry-loop and the backoff stretches to its cooldown, so the
+        // retry loop keeps attempting (as probes) rather than burning all
+        // attempts on instant CircuitOpen fast-fails.
+        let svc = |_: &str, _: &[u8]| -> Result<Vec<u8>, NetError> { Err(NetError::Timeout) };
+        let config = ResilienceConfig {
+            retry: RetryPolicy { max_attempts: 6, jitter: 0.0, ..RetryPolicy::default() },
+            breaker: BreakerConfig { failure_threshold: 2, cooldown: Duration::from_millis(30) },
+            deadline: Some(Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let ch = ResilientChannel::connect(svc, LatencyModel::instant(), config);
+        assert_eq!(ch.call("r", b"x"), Err(NetError::Timeout));
+        let m = ch.metrics();
+        assert_eq!(m.attempts(), 6);
+        // Attempts after the breaker opened were half-open probes, not
+        // CircuitOpen fast-fails.
+        assert!(m.breaker_half_opens() >= 3, "probes: {}", m.breaker_half_opens());
+        assert!(m.virtual_time() >= Duration::from_millis(60), "cooldowns waited out: {:?}", m.virtual_time());
+    }
+
+    #[test]
+    fn clone_shares_breaker_and_metrics() {
+        let svc = |_: &str, _: &[u8]| -> Result<Vec<u8>, NetError> { Err(NetError::Timeout) };
+        let config = ResilienceConfig {
+            retry: RetryPolicy::none(),
+            breaker: BreakerConfig { failure_threshold: 1, cooldown: Duration::from_secs(1) },
+            deadline: Some(Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let ch = ResilientChannel::connect(svc, LatencyModel::instant(), config);
+        let ch2 = ch.clone();
+        let _ = ch.call("r", b"x");
+        assert_eq!(ch2.breaker_state(), BreakerState::Open);
+        assert_eq!(ch2.metrics().attempts(), 1);
+    }
+}

@@ -29,7 +29,6 @@
 //! assert_eq!(ope.decrypt(a), Some(1000));
 //! ```
 
-
 #![warn(missing_docs)]
 use datablinder_primitives::hmac::hmac_sha256;
 use datablinder_primitives::keys::SymmetricKey;
@@ -180,12 +179,7 @@ impl Ope {
         k_min: u128,
         k_max: u128,
     ) -> u128 {
-        let mut rng = self.coins(&[
-            &dlo.to_be_bytes(),
-            &dhi.to_be_bytes(),
-            &rlo.to_be_bytes(),
-            &rhi.to_be_bytes(),
-        ]);
+        let mut rng = self.coins(&[&dlo.to_be_bytes(), &dhi.to_be_bytes(), &rlo.to_be_bytes(), &rhi.to_be_bytes()]);
         let n = dsize as f64;
         let p = lower_range as f64 / rsize as f64;
         let mean = n * p;

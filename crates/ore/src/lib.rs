@@ -26,7 +26,6 @@
 //! assert_eq!(ClwwOre::compare(&a, &b), Comparison::Less);
 //! ```
 
-
 #![warn(missing_docs)]
 use datablinder_primitives::hmac::hmac_sha256;
 use datablinder_primitives::keys::SymmetricKey;

@@ -25,7 +25,6 @@
 //! Key sizes below 2048 bits are insecure; small keys are supported so tests
 //! and benchmarks finish quickly. Not constant-time.
 
-
 #![warn(missing_docs)]
 use datablinder_bigint::{prime, BigUint};
 use rand::Rng;

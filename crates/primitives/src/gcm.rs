@@ -142,10 +142,7 @@ mod tests {
     fn nist_test_case_2_one_block() {
         let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[0u8; 16])).unwrap();
         let sealed = cipher.seal(&[0u8; 12], b"", &[0u8; 16]);
-        assert_eq!(
-            hex(&sealed),
-            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
-        );
+        assert_eq!(hex(&sealed), "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf");
     }
 
     #[test]

@@ -140,10 +140,7 @@ mod tests {
         let prk = hkdf_extract(&salt, &ikm);
         assert_eq!(hex(&prk), "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
         let okm = hkdf_expand(&prk, &info, 42);
-        assert_eq!(
-            hex(&okm),
-            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
-        );
+        assert_eq!(hex(&okm), "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865");
     }
 
     #[test]

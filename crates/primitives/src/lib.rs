@@ -36,7 +36,6 @@
 //! throughout (table-based AES, variable-time big-integer ops upstream).
 //! Do not reuse outside this reproduction.
 
-
 #![warn(missing_docs)]
 pub mod aes;
 pub mod ct;

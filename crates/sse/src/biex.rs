@@ -199,7 +199,12 @@ impl Biex2LevClient {
     /// # Errors
     ///
     /// Propagates crypto and storage failures.
-    pub fn setup<R: Rng + ?Sized>(&self, rng: &mut R, index: &InvertedIndex, server: &Biex2LevServer) -> Result<(), SseError> {
+    pub fn setup<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        index: &InvertedIndex,
+        server: &Biex2LevServer,
+    ) -> Result<(), SseError> {
         self.global.setup(rng, index, &server.global)?;
         // Pair entries for all ordered co-occurring keyword pairs.
         let keywords: Vec<&Vec<u8>> = index.keywords().collect();
@@ -332,10 +337,9 @@ impl Biex2LevServer {
             .iter()
             .map(|c| match c {
                 Biex2LevConjToken::Global(t) => self.global.search(t),
-                Biex2LevConjToken::Pairs(labels) => Ok(labels
-                    .iter()
-                    .map(|l| self.kv.get(&self.pair_key(l)).unwrap_or_default())
-                    .collect()),
+                Biex2LevConjToken::Pairs(labels) => {
+                    Ok(labels.iter().map(|l| self.kv.get(&self.pair_key(l)).unwrap_or_default()).collect())
+                }
             })
             .collect()
     }
@@ -458,7 +462,12 @@ impl BiexZmfClient {
     /// # Errors
     ///
     /// Propagates crypto and storage failures.
-    pub fn setup<R: Rng + ?Sized>(&self, rng: &mut R, index: &InvertedIndex, server: &BiexZmfServer) -> Result<(), SseError> {
+    pub fn setup<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        index: &InvertedIndex,
+        server: &BiexZmfServer,
+    ) -> Result<(), SseError> {
         self.global.setup(rng, index, &server.global)?;
         for (w, postings) in index.iter() {
             let mut filter = BloomFilter::with_capacity(postings.len().max(1), ZMF_FP_RATE);
@@ -587,11 +596,7 @@ impl BiexZmfServer {
     pub fn filter_bytes(&self) -> usize {
         let mut k = self.prefix.clone();
         k.extend_from_slice(b"zmf:");
-        self.kv
-            .keys_with_prefix(&k)
-            .iter()
-            .map(|key| self.kv.get(key).map_or(0, |v| v.len()))
-            .sum()
+        self.kv.keys_with_prefix(&k).iter().map(|key| self.kv.get(key).map_or(0, |v| v.len())).sum()
     }
 }
 
@@ -662,10 +667,7 @@ mod tests {
         assert_eq!(client.resolve(&q, &resp).unwrap(), oracle_conj(&idx, &[b"red", b"blue", b"even"]));
 
         // (red AND blue) OR (even) — union.
-        let q = BiexQuery::dnf(vec![
-            vec![b"red".to_vec(), b"blue".to_vec()],
-            vec![b"even".to_vec()],
-        ]);
+        let q = BiexQuery::dnf(vec![vec![b"red".to_vec(), b"blue".to_vec()], vec![b"even".to_vec()]]);
         let resp = server.search(&client.search_token(&q)).unwrap();
         let mut expect = oracle_conj(&idx, &[b"red", b"blue"]);
         expect.extend(idx.postings(b"even"));
@@ -697,7 +699,11 @@ mod tests {
         let server = BiexZmfServer::new(KvStore::new(), b"zmf:");
         client.setup(&mut rng, &idx, &server).unwrap();
 
-        for conj in [vec![b"red".as_slice()], vec![b"red".as_slice(), b"blue".as_slice()], vec![b"red".as_slice(), b"blue".as_slice(), b"even".as_slice()]] {
+        for conj in [
+            vec![b"red".as_slice()],
+            vec![b"red".as_slice(), b"blue".as_slice()],
+            vec![b"red".as_slice(), b"blue".as_slice(), b"even".as_slice()],
+        ] {
             let q = BiexQuery::conjunction(conj.iter().map(|w| w.to_vec()).collect());
             let resp = server.search(&client.search_token(&q)).unwrap();
             let got = client.resolve(&q, &resp).unwrap();
@@ -743,10 +749,7 @@ mod tests {
     #[test]
     fn tokens_encode_roundtrip() {
         let client = Biex2LevClient::new(&SymmetricKey::from_bytes(&[1u8; 32]));
-        let q = BiexQuery::dnf(vec![
-            vec![b"a".to_vec()],
-            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()],
-        ]);
+        let q = BiexQuery::dnf(vec![vec![b"a".to_vec()], vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]]);
         let t = client.search_token(&q);
         assert_eq!(Biex2LevToken::decode(&t.encode()).unwrap(), t);
 

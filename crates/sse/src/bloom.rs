@@ -51,10 +51,7 @@ impl BloomFilter {
 
     fn hash_pair(item: &[u8]) -> (u64, u64) {
         let d = datablinder_primitives::sha256::digest(item);
-        (
-            u64::from_be_bytes(d[..8].try_into().unwrap()),
-            u64::from_be_bytes(d[8..16].try_into().unwrap()),
-        )
+        (u64::from_be_bytes(d[..8].try_into().unwrap()), u64::from_be_bytes(d[8..16].try_into().unwrap()))
     }
 
     fn positions(&self, item: &[u8]) -> impl Iterator<Item = usize> + '_ {

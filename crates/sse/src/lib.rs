@@ -19,7 +19,6 @@
 //! All tokens and responses have explicit byte encodings so they can cross
 //! the simulated gateway↔cloud channel.
 
-
 #![warn(missing_docs)]
 pub mod biex;
 pub mod bloom;

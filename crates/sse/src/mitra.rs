@@ -132,12 +132,23 @@ impl MitraClient {
     /// Unmasks server results and resolves add/delete history into the
     /// live set of document ids.
     ///
+    /// Zero-length entries mark addresses the server has no value for. That
+    /// happens when an update was minted locally (advancing the counter) but
+    /// its write never reached the cloud — e.g. an aborted batch tail or a
+    /// dropped message. Such gaps are skipped so that a failed write degrades
+    /// to "that update is missing" instead of poisoning every later search
+    /// for the keyword.
+    ///
     /// # Errors
     ///
-    /// [`SseError::Malformed`] if an entry has the wrong size or op byte.
+    /// [`SseError::Malformed`] if a present entry has the wrong size or op
+    /// byte.
     pub fn resolve(&self, keyword: &[u8], values: &[Vec<u8>]) -> Result<Vec<DocId>, SseError> {
         let mut live: Vec<DocId> = Vec::new();
         for (i, v) in values.iter().enumerate() {
+            if v.is_empty() {
+                continue;
+            }
             if v.len() != 17 {
                 return Err(SseError::Malformed("mitra entry size"));
             }
@@ -344,5 +355,16 @@ mod tests {
         let (mut client, _) = setup();
         client.update_token(b"w", id(1), UpdateOp::Add);
         assert!(client.resolve(b"w", &[vec![0u8; 5]]).is_err());
+    }
+
+    #[test]
+    fn resolve_skips_missing_entries() {
+        // Counter advanced twice but only the second write reached the
+        // server: the gap resolves to "update lost", not an error.
+        let (mut client, server) = setup();
+        let _lost = client.update_token(b"w", id(1), UpdateOp::Add);
+        server.apply_update(&client.update_token(b"w", id(2), UpdateOp::Add));
+        let ids = client.resolve(b"w", &server.search(&client.search_token(b"w"))).unwrap();
+        assert_eq!(ids, vec![id(2)]);
     }
 }

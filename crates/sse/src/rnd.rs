@@ -109,10 +109,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (RndCipher, rand::rngs::StdRng) {
-        (
-            RndCipher::new(&SymmetricKey::from_bytes(&[4u8; 32])).unwrap(),
-            rand::rngs::StdRng::seed_from_u64(1),
-        )
+        (RndCipher::new(&SymmetricKey::from_bytes(&[4u8; 32])).unwrap(), rand::rngs::StdRng::seed_from_u64(1))
     }
 
     #[test]

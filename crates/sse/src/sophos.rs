@@ -108,9 +108,7 @@ impl SophosKeypair {
     /// Serializes (private material included — KMS storage only).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.bytes(&self.public.n.to_bytes_be())
-            .bytes(&self.public.e.to_bytes_be())
-            .bytes(&self.d.to_bytes_be());
+        w.bytes(&self.public.n.to_bytes_be()).bytes(&self.public.e.to_bytes_be()).bytes(&self.d.to_bytes_be());
         w.finish()
     }
 
@@ -264,11 +262,7 @@ impl SophosClient {
     pub fn search_token(&self, keyword: &[u8]) -> Option<SophosSearchToken> {
         let s = self.state.get(keyword)?;
         let width = self.keypair.public.width();
-        Some(SophosSearchToken {
-            k_w: self.k_w(keyword),
-            st: s.st.to_bytes_be_padded(width),
-            count: s.count,
-        })
+        Some(SophosSearchToken { k_w: self.k_w(keyword), st: s.st.to_bytes_be_padded(width), count: s.count })
     }
 
     /// Unmasks the server's results into document ids.

@@ -98,7 +98,12 @@ impl TwoLevClient {
     /// # Errors
     ///
     /// Propagates crypto and storage failures.
-    pub fn setup<R: Rng + ?Sized>(&self, rng: &mut R, index: &InvertedIndex, server: &TwoLevServer) -> Result<(), SseError> {
+    pub fn setup<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        index: &InvertedIndex,
+        server: &TwoLevServer,
+    ) -> Result<(), SseError> {
         // Pass 1: produce all buckets so they can be globally shuffled.
         struct Pending {
             label: [u8; 32],
@@ -288,10 +293,7 @@ impl TwoLevServer {
                 let mut out = Vec::with_capacity(count);
                 for _ in 0..count {
                     let pos = r.u64()?;
-                    let blob = self
-                        .kv
-                        .get(&self.arr_key(pos))
-                        .ok_or(SseError::Malformed("2lev dangling pointer"))?;
+                    let blob = self.kv.get(&self.arr_key(pos)).ok_or(SseError::Malformed("2lev dangling pointer"))?;
                     out.push(blob);
                 }
                 r.finish()?;

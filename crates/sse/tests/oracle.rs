@@ -18,7 +18,7 @@ use rand::SeedableRng;
 
 #[derive(Debug, Clone)]
 enum Update {
-    Add(u8, u8),    // (keyword, doc)
+    Add(u8, u8), // (keyword, doc)
     Delete(u8, u8),
 }
 

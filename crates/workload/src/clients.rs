@@ -79,12 +79,37 @@ pub fn bench_schema_named(name: &str) -> Schema {
         .plain_field("identifier", FieldType::Integer, true)
         .plain_field("interpretation", FieldType::Text, false)
         // C4 → DET (equalities admissible, cheapest equality tactic).
-        .sensitive_field("status", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C4, vec![Insert, Equality]))
-        .sensitive_field("code", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C4, vec![Insert, Equality]))
-        .sensitive_field("effective", FieldType::Integer, true, FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Equality]))
-        .sensitive_field("issued", FieldType::Integer, true, FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Equality]))
+        .sensitive_field(
+            "status",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C4, vec![Insert, Equality]),
+        )
+        .sensitive_field(
+            "code",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C4, vec![Insert, Equality]),
+        )
+        .sensitive_field(
+            "effective",
+            FieldType::Integer,
+            true,
+            FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Equality]),
+        )
+        .sensitive_field(
+            "issued",
+            FieldType::Integer,
+            true,
+            FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Equality]),
+        )
         // C2 → Mitra.
-        .sensitive_field("subject", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]))
+        .sensitive_field(
+            "subject",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]),
+        )
         // C1 → RND.
         .sensitive_field("performer", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C1, vec![Insert]))
         // 5th DET + Paillier.
@@ -140,16 +165,15 @@ impl BenchClient for PlainClient {
     }
 
     fn search_subject(&mut self, subject: &str) -> Result<usize, String> {
-        let req = FindIdsEq { collection: self.collection.clone(), field: "subject".into(), value: Value::from(subject) };
+        let req =
+            FindIdsEq { collection: self.collection.clone(), field: "subject".into(), value: Value::from(subject) };
         let out = self.channel.call("doc/find_ids_eq", &req.encode()).map_err(|e| e.to_string())?;
         let ids = decode_ids(&out).map_err(|e| e.to_string())?;
         if ids.is_empty() {
             return Ok(0);
         }
-        let docs = self
-            .channel
-            .call("doc/get_many", &get_many_payload(&self.collection, &ids))
-            .map_err(|e| e.to_string())?;
+        let docs =
+            self.channel.call("doc/get_many", &get_many_payload(&self.collection, &ids)).map_err(|e| e.to_string())?;
         let docs = decode_documents(&docs).map_err(|e| e.to_string())?;
         Ok(docs.len())
     }
@@ -272,7 +296,10 @@ impl BenchClient for HardcodedClient {
         }
         // RND performer.
         let performer = doc.get("performer").ok_or("missing performer")?;
-        stored.set(shadow_field("performer", "rnd"), Value::Bytes(self.rnd.encrypt(&mut self.rng, &canonical_bytes(performer))));
+        stored.set(
+            shadow_field("performer", "rnd"),
+            Value::Bytes(self.rnd.encrypt(&mut self.rng, &canonical_bytes(performer))),
+        );
         // Mitra subject index.
         let subject = doc.get("subject").ok_or("missing subject")?;
         let kw = field_keyword("subject", subject);
@@ -281,7 +308,10 @@ impl BenchClient for HardcodedClient {
             .call(&format!("tactic/mitra/{}/update", self.scope), &token.encode())
             .map_err(|e| e.to_string())?;
         // RND for subject payload (recoverable storage, like the engine).
-        stored.set(shadow_field("subject", "rnd"), Value::Bytes(self.rnd.encrypt(&mut self.rng, &canonical_bytes(subject))));
+        stored.set(
+            shadow_field("subject", "rnd"),
+            Value::Bytes(self.rnd.encrypt(&mut self.rng, &canonical_bytes(subject))),
+        );
         // Paillier value.
         let value = doc.get("value").and_then(Value::as_f64).ok_or("missing value")?;
         let scaled = (value * 1000.0).round() as u64;
@@ -307,10 +337,8 @@ impl BenchClient for HardcodedClient {
         if ids.is_empty() {
             return Ok(0);
         }
-        let docs = self
-            .channel
-            .call("doc/get_many", &get_many_payload(&self.collection, &ids))
-            .map_err(|e| e.to_string())?;
+        let docs =
+            self.channel.call("doc/get_many", &get_many_payload(&self.collection, &ids)).map_err(|e| e.to_string())?;
         let docs = decode_documents(&docs).map_err(|e| e.to_string())?;
         // Decrypt the full documents like a real application (and like the
         // middleware's retrieval path) would: all five DET fields plus the
@@ -347,10 +375,7 @@ impl BenchClient for HardcodedClient {
         if resp.count == 0 {
             return Ok(0.0);
         }
-        let sum = self
-            .paillier
-            .decrypt(&Ciphertext::from_bytes(&resp.ciphertext))
-            .map_err(|e| e.to_string())?;
+        let sum = self.paillier.decrypt(&Ciphertext::from_bytes(&resp.ciphertext)).map_err(|e| e.to_string())?;
         let sum = sum.to_u64().ok_or("sum overflow")? as f64 / 1000.0;
         Ok(sum / resp.count as f64)
     }
@@ -406,9 +431,7 @@ impl BenchClient for MiddlewareClient {
     }
 
     fn average_value(&mut self) -> Result<f64, String> {
-        self.engine
-            .aggregate(&self.schema, "value", AggFn::Avg, None)
-            .map_err(|e| e.to_string())
+        self.engine.aggregate(&self.schema, "value", AggFn::Avg, None).map_err(|e| e.to_string())
     }
 
     fn label(&self) -> &'static str {
@@ -442,7 +465,8 @@ mod tests {
         assert_eq!(client.search_subject(&subject).unwrap(), expect, "{}", client.label());
         assert_eq!(client.search_subject("Nobody").unwrap(), 0);
         // Average agrees with the oracle within fixed-point error.
-        let oracle: f64 = docs.iter().map(|d| d.get("value").unwrap().as_f64().unwrap()).sum::<f64>() / docs.len() as f64;
+        let oracle: f64 =
+            docs.iter().map(|d| d.get("value").unwrap().as_f64().unwrap()).sum::<f64>() / docs.len() as f64;
         let avg = client.average_value().unwrap();
         assert!((avg - oracle).abs() < 0.01, "{}: {avg} vs {oracle}", client.label());
     }
@@ -478,7 +502,11 @@ mod tests {
         assert_eq!(det_count, 5, "five times DET");
         assert_eq!(engine.selection("observation-w9", "subject").unwrap().listed_tactics(), vec!["mitra"]);
         assert_eq!(engine.selection("observation-w9", "performer").unwrap().listed_tactics(), vec!["rnd"]);
-        assert!(engine.selection("observation-w9", "value").unwrap().listed_tactics().contains(&"paillier".to_string()));
+        assert!(engine
+            .selection("observation-w9", "value")
+            .unwrap()
+            .listed_tactics()
+            .contains(&"paillier".to_string()));
     }
 
     #[test]

@@ -27,7 +27,6 @@
 //! assert_eq!(report.failed, 0);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod clients;
 pub mod histogram;

@@ -33,7 +33,10 @@ pub fn render_figure5(reports: &[&ScenarioReport]) -> String {
     out.push_str("Figure 5 — Per-operation and overall throughput comparison\n");
     out.push_str("(requests/second; larger is better)\n\n");
     for (title, extract) in [
-        ("insert", Box::new(|r: &ScenarioReport| r.op_throughput(OpKind::Insert)) as Box<dyn Fn(&ScenarioReport) -> f64>),
+        (
+            "insert",
+            Box::new(|r: &ScenarioReport| r.op_throughput(OpKind::Insert)) as Box<dyn Fn(&ScenarioReport) -> f64>,
+        ),
         ("equality search", Box::new(|r: &ScenarioReport| r.op_throughput(OpKind::Search))),
         ("aggregate", Box::new(|r: &ScenarioReport| r.op_throughput(OpKind::Aggregate))),
         ("overall", Box::new(|r: &ScenarioReport| r.throughput())),
@@ -50,12 +53,8 @@ pub fn render_figure5(reports: &[&ScenarioReport]) -> String {
     if let [sa, sb, sc] = reports {
         let tactic_loss = 100.0 * (1.0 - sc.throughput() / sa.throughput());
         let middleware_loss = 100.0 * (1.0 - sc.throughput() / sb.throughput());
-        out.push_str(&format!(
-            "overall throughput loss S_A -> S_C (tactics): {tactic_loss:.1}% (paper: ~44%)\n"
-        ));
-        out.push_str(&format!(
-            "additional loss S_B -> S_C (middleware):      {middleware_loss:.1}% (paper: ~1.4%)\n"
-        ));
+        out.push_str(&format!("overall throughput loss S_A -> S_C (tactics): {tactic_loss:.1}% (paper: ~44%)\n"));
+        out.push_str(&format!("additional loss S_B -> S_C (middleware):      {middleware_loss:.1}% (paper: ~1.4%)\n"));
     }
     out
 }

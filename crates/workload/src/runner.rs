@@ -136,84 +136,83 @@ where
     let barrier = std::sync::Barrier::new(spec.workers + 1);
 
     let mut start = Instant::now();
-    let histograms: Vec<(LatencyHistogram, LatencyHistogram, LatencyHistogram)> =
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for w in 0..spec.workers {
-                let factory = &factory;
-                let completed = &completed;
-                let failed = &failed;
-                let barrier = &barrier;
-                handles.push(scope.spawn(move |_| {
-                    let mut client = factory(w);
-                    barrier.wait();
-                    let mut rng = StdRng::seed_from_u64(spec.seed ^ (w as u64).wrapping_mul(0x9E37_79B9));
-                    let mut gen = ObservationGenerator::new(spec.patient_pool);
-                    let mut insert_h = LatencyHistogram::new();
-                    let mut search_h = LatencyHistogram::new();
-                    let mut agg_h = LatencyHistogram::new();
-                    // Prime each worker with a few documents so early
-                    // searches/aggregates have data.
-                    for _ in 0..4 {
-                        let doc = gen.generate(&mut rng);
-                        let t = Instant::now();
-                        if client.insert(&doc).is_ok() {
-                            insert_h.record(t.elapsed());
-                            completed.fetch_add(1, Ordering::Relaxed);
-                        } else {
-                            failed.fetch_add(1, Ordering::Relaxed);
-                        }
+    let histograms: Vec<(LatencyHistogram, LatencyHistogram, LatencyHistogram)> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..spec.workers {
+            let factory = &factory;
+            let completed = &completed;
+            let failed = &failed;
+            let barrier = &barrier;
+            handles.push(scope.spawn(move |_| {
+                let mut client = factory(w);
+                barrier.wait();
+                let mut rng = StdRng::seed_from_u64(spec.seed ^ (w as u64).wrapping_mul(0x9E37_79B9));
+                let mut gen = ObservationGenerator::new(spec.patient_pool);
+                let mut insert_h = LatencyHistogram::new();
+                let mut search_h = LatencyHistogram::new();
+                let mut agg_h = LatencyHistogram::new();
+                // Prime each worker with a few documents so early
+                // searches/aggregates have data.
+                for _ in 0..4 {
+                    let doc = gen.generate(&mut rng);
+                    let t = Instant::now();
+                    if client.insert(&doc).is_ok() {
+                        insert_h.record(t.elapsed());
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        failed.fetch_add(1, Ordering::Relaxed);
                     }
-                    for _ in 0..per_worker.saturating_sub(4) {
-                        match spec.mix.pick(&mut rng) {
-                            OpKind::Insert => {
-                                let doc = gen.generate(&mut rng);
-                                let t = Instant::now();
-                                match client.insert(&doc) {
-                                    Ok(()) => {
-                                        insert_h.record(t.elapsed());
-                                        completed.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    Err(_) => {
-                                        failed.fetch_add(1, Ordering::Relaxed);
-                                    }
+                }
+                for _ in 0..per_worker.saturating_sub(4) {
+                    match spec.mix.pick(&mut rng) {
+                        OpKind::Insert => {
+                            let doc = gen.generate(&mut rng);
+                            let t = Instant::now();
+                            match client.insert(&doc) {
+                                Ok(()) => {
+                                    insert_h.record(t.elapsed());
+                                    completed.fetch_add(1, Ordering::Relaxed);
                                 }
-                            }
-                            OpKind::Search => {
-                                let subject = gen.patient(rng.gen_range(0..spec.patient_pool));
-                                let t = Instant::now();
-                                match client.search_subject(&subject) {
-                                    Ok(_) => {
-                                        search_h.record(t.elapsed());
-                                        completed.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    Err(_) => {
-                                        failed.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                }
-                            }
-                            OpKind::Aggregate => {
-                                let t = Instant::now();
-                                match client.average_value() {
-                                    Ok(_) => {
-                                        agg_h.record(t.elapsed());
-                                        completed.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    Err(_) => {
-                                        failed.fetch_add(1, Ordering::Relaxed);
-                                    }
+                                Err(_) => {
+                                    failed.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
                         }
+                        OpKind::Search => {
+                            let subject = gen.patient(rng.gen_range(0..spec.patient_pool));
+                            let t = Instant::now();
+                            match client.search_subject(&subject) {
+                                Ok(_) => {
+                                    search_h.record(t.elapsed());
+                                    completed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        OpKind::Aggregate => {
+                            let t = Instant::now();
+                            match client.average_value() {
+                                Ok(_) => {
+                                    agg_h.record(t.elapsed());
+                                    completed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
                     }
-                    (insert_h, search_h, agg_h)
-                }));
-            }
-            barrier.wait();
-            start = Instant::now();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("scope");
+                }
+                (insert_h, search_h, agg_h)
+            }));
+        }
+        barrier.wait();
+        start = Instant::now();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope");
     let elapsed = start.elapsed();
 
     let mut insert = LatencyHistogram::new();
@@ -257,10 +256,7 @@ mod tests {
         assert_eq!(report.failed, 0);
         assert_eq!(report.completed, 200);
         assert!(report.throughput() > 0.0);
-        assert_eq!(
-            report.insert.count() + report.search.count() + report.aggregate.count(),
-            report.overall.count()
-        );
+        assert_eq!(report.insert.count() + report.search.count() + report.aggregate.count(), report.overall.count());
     }
 
     #[test]

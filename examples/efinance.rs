@@ -25,16 +25,31 @@ fn invoice_schema() -> Schema {
     use FieldOp::*;
     Schema::new("invoices")
         .plain_field("number", FieldType::Integer, true)
-        .sensitive_field("customer", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]))
+        .sensitive_field(
+            "customer",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]),
+        )
         .sensitive_field(
             "amount",
             FieldType::Float,
             true,
             FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Range]).with_aggs(vec![AggFn::Sum, AggFn::Avg]),
         )
-        .sensitive_field("status", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C4, vec![Insert, Equality, Boolean]))
+        .sensitive_field(
+            "status",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C4, vec![Insert, Equality, Boolean]),
+        )
         .sensitive_field("iban", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C1, vec![Insert]))
-        .sensitive_field("due", FieldType::Integer, true, FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Range]))
+        .sensitive_field(
+            "due",
+            FieldType::Integer,
+            true,
+            FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Range]),
+        )
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -73,10 +88,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nACME GmbH invoices: {}", acme.len());
 
     // Boolean over DET fields: open OR overdue.
-    let dnf = vec![
-        vec![("status".to_string(), Value::from("open"))],
-        vec![("status".to_string(), Value::from("overdue"))],
-    ];
+    let dnf =
+        vec![vec![("status".to_string(), Value::from("open"))], vec![("status".to_string(), Value::from("overdue"))]];
     let outstanding = gateway.find_boolean("invoices", &dnf)?;
     println!("outstanding invoices (open or overdue): {}", outstanding.len());
 

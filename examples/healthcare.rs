@@ -50,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(johns.len(), 1);
 
     // Boolean cross-field search (BIEX-2Lev): final glucose observations.
-    let dnf = vec![vec![
-        ("status".to_string(), Value::from("final")),
-        ("code".to_string(), Value::from("glucose")),
-    ]];
+    let dnf = vec![vec![("status".to_string(), Value::from("final")), ("code".to_string(), Value::from("glucose"))]];
     let finals = gateway.find_boolean("observation", &dnf)?;
     println!("final AND glucose: {} observations", finals.len());
     assert!(finals.iter().any(|d| d.get("subject") == Some(&Value::from("John Doe"))));

@@ -35,10 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..60 {
         let obs = generator.generate(&mut rng);
         let id = gateway.insert("observation", &obs)?;
-        effective_order.insert(
-            datablinder::sse::DocId::to_hex(id),
-            obs.get("effective").and_then(Value::as_i64).unwrap(),
-        );
+        effective_order
+            .insert(datablinder::sse::DocId::to_hex(id), obs.get("effective").and_then(Value::as_i64).unwrap());
     }
 
     let collection = docs.collection("observation");
@@ -48,11 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "stored field", "docs", "distinct", "max class", "lengths", "order"
     );
     for (field, order) in [
-        ("performer__rnd", None),                     // class 1
-        ("subject__rnd", None),                       // payload of Mitra field
-        ("status__det", None),                        // class 4
-        ("effective__det", Some(&effective_order)),   // DET on a numeric field
-        ("value__phe", None),                         // Paillier ciphertexts
+        ("performer__rnd", None),                   // class 1
+        ("subject__rnd", None),                     // payload of Mitra field
+        ("status__det", None),                      // class 4
+        ("effective__det", Some(&effective_order)), // DET on a numeric field
+        ("value__phe", None),                       // Paillier ciphertexts
     ] {
         let audit = audit_field(&collection, field, order);
         println!(

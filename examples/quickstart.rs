@@ -36,7 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             true,
             FieldAnnotation::new(ProtectionClass::C2, vec![FieldOp::Insert, FieldOp::Equality]),
         )
-        .sensitive_field("body", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C1, vec![FieldOp::Insert]));
+        .sensitive_field(
+            "body",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C1, vec![FieldOp::Insert]),
+        );
     gateway.register_schema(schema)?;
 
     println!("tactic selection:");
@@ -46,15 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Insert a few notes.
-    let notes = [
-        ("alice", "meet at noon"),
-        ("bob", "ship the release"),
-        ("alice", "rotate the keys"),
-    ];
+    let notes = [("alice", "meet at noon"), ("bob", "ship the release"), ("alice", "rotate the keys")];
     for (author, body) in notes {
-        let doc = Document::new("ignored")
-            .with("author", Value::from(author))
-            .with("body", Value::from(body));
+        let doc = Document::new("ignored").with("author", Value::from(author)).with("body", Value::from(body));
         gateway.insert("notes", &doc)?;
     }
 

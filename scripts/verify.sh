@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local verification: the tier-1 gate (release build + tests) plus
+# lints and formatting. Run before sending a change.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: all green"

@@ -43,7 +43,6 @@
 //! # }
 //! ```
 
-
 #![warn(missing_docs)]
 pub use datablinder_bigint as bigint;
 pub use datablinder_core as core;

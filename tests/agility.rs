@@ -63,9 +63,7 @@ fn payload_key_rotation_reencrypts_documents() {
 
     let mut ids = Vec::new();
     for i in 0..5 {
-        let id = gw
-            .insert("vault", &Document::new("x").with("secret", Value::from(format!("payload-{i}"))))
-            .unwrap();
+        let id = gw.insert("vault", &Document::new("x").with("secret", Value::from(format!("payload-{i}")))).unwrap();
         ids.push(id);
     }
     // Snapshot the ciphertexts before rotation.
@@ -136,8 +134,18 @@ fn zmf_variant_serves_boolean_when_2lev_deprecated() {
     let mut rng = StdRng::seed_from_u64(0x0709);
     let mut gw = GatewayEngine::with_registry("zmf", Kms::generate(&mut rng), channel, 4, registry);
     let schema = Schema::new("posts")
-        .sensitive_field("tag", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C3, vec![FieldOp::Insert, FieldOp::Equality, FieldOp::Boolean]))
-        .sensitive_field("lang", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C3, vec![FieldOp::Insert, FieldOp::Equality, FieldOp::Boolean]));
+        .sensitive_field(
+            "tag",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C3, vec![FieldOp::Insert, FieldOp::Equality, FieldOp::Boolean]),
+        )
+        .sensitive_field(
+            "lang",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C3, vec![FieldOp::Insert, FieldOp::Equality, FieldOp::Boolean]),
+        );
     gw.register_schema(schema).unwrap();
     assert_eq!(gw.selection("posts", "tag").unwrap().search_tactics, vec!["biex-zmf"]);
 

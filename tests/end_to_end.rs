@@ -298,9 +298,11 @@ fn migration_builds_static_boolean_base_then_overlays() {
     assert_eq!(gw.find_boolean("observation", &dnf).unwrap().len(), expect + 1);
 
     // Deleting a *migrated* (base) document masks it through tombstones.
-    if let Some(victim) = corpus.iter().zip(ids.iter()).find(|(d, _)| {
-        d.get("status") == Some(&Value::from("final")) && d.get("code") == Some(&Value::from("glucose"))
-    }) {
+    if let Some(victim) = corpus
+        .iter()
+        .zip(ids.iter())
+        .find(|(d, _)| d.get("status") == Some(&Value::from("final")) && d.get("code") == Some(&Value::from("glucose")))
+    {
         gw.delete("observation", *victim.1).unwrap();
         assert_eq!(gw.find_boolean("observation", &dnf).unwrap().len(), expect);
     }

@@ -30,8 +30,18 @@ fn arb_record() -> impl Strategy<Value = Record> {
 fn schema() -> Schema {
     use FieldOp::*;
     Schema::new("records")
-        .sensitive_field("owner", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]))
-        .sensitive_field("tag", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C3, vec![Insert, Equality, Boolean]))
+        .sensitive_field(
+            "owner",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]),
+        )
+        .sensitive_field(
+            "tag",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C3, vec![Insert, Equality, Boolean]),
+        )
         .sensitive_field(
             "score",
             FieldType::Integer,

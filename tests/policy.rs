@@ -36,9 +36,12 @@ fn unsatisfiable_schema_rejected_at_registration() {
 fn schema_violations_rejected_at_insert() {
     use FieldOp::*;
     let mut gw = gateway();
-    let schema = Schema::new("notes")
-        .plain_field("n", FieldType::Integer, true)
-        .sensitive_field("owner", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]));
+    let schema = Schema::new("notes").plain_field("n", FieldType::Integer, true).sensitive_field(
+        "owner",
+        FieldType::Text,
+        true,
+        FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]),
+    );
     gw.register_schema(schema).unwrap();
 
     // Missing required field.
@@ -66,24 +69,23 @@ fn operations_not_in_annotation_rejected() {
     use FieldOp::*;
     let mut gw = gateway();
     let schema = Schema::new("notes")
-        .sensitive_field("owner", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]))
+        .sensitive_field(
+            "owner",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]),
+        )
         .sensitive_field("secret", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C1, vec![Insert]));
     gw.register_schema(schema).unwrap();
     gw.insert("notes", &Document::new("d").with("owner", Value::from("a")).with("secret", Value::from("s"))).unwrap();
 
     // `secret` is class 1, insert-only: no search of any kind.
-    assert!(matches!(
-        gw.find_equal("notes", "secret", &Value::from("s")),
-        Err(CoreError::UnsupportedOperation(_))
-    ));
+    assert!(matches!(gw.find_equal("notes", "secret", &Value::from("s")), Err(CoreError::UnsupportedOperation(_))));
     assert!(matches!(
         gw.find_range("notes", "owner", &Value::from(0i64), &Value::from(1i64)),
         Err(CoreError::UnsupportedOperation(_))
     ));
-    assert!(matches!(
-        gw.aggregate("notes", "owner", AggFn::Avg, None),
-        Err(CoreError::UnsupportedOperation(_))
-    ));
+    assert!(matches!(gw.aggregate("notes", "owner", AggFn::Avg, None), Err(CoreError::UnsupportedOperation(_))));
     // Unknown schema.
     assert!(matches!(gw.count("nope"), Err(CoreError::UnknownSchema(_))));
 }
@@ -98,7 +100,12 @@ fn weakest_link_rule_bounds_selection() {
     let mut gw = gateway();
     let schema = Schema::new("mixed")
         .sensitive_field("a", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]))
-        .sensitive_field("b", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C3, vec![Insert, Equality, Boolean]))
+        .sensitive_field(
+            "b",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C3, vec![Insert, Equality, Boolean]),
+        )
         .sensitive_field("c", FieldType::Integer, true, FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Range]))
         .sensitive_field("d", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C1, vec![Insert]));
     gw.register_schema(schema.clone()).unwrap();
@@ -123,7 +130,12 @@ fn mixed_boolean_across_incompatible_tactics_rejected() {
     let mut gw = gateway();
     let schema = Schema::new("mixed")
         // BIEX field and Mitra-only field cannot be boolean-combined.
-        .sensitive_field("a", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C3, vec![Insert, Equality, Boolean]))
+        .sensitive_field(
+            "a",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C3, vec![Insert, Equality, Boolean]),
+        )
         .sensitive_field("b", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]));
     gw.register_schema(schema).unwrap();
     gw.insert("mixed", &Document::new("d").with("a", Value::from("x")).with("b", Value::from("y"))).unwrap();

@@ -1,7 +1,9 @@
-//! Failure-injection integration tests: flaky channels, malformed cloud
-//! responses, and crash-safe gateway state persistence.
+//! Failure-injection integration tests: deterministic fault storms through
+//! the resilient channel, circuit breaking, byzantine cloud responses,
+//! batch partial-failure semantics and crash-safe gateway state.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use datablinder::core::cloud::CloudEngine;
 use datablinder::core::gateway::GatewayEngine;
@@ -10,40 +12,170 @@ use datablinder::core::CoreError;
 use datablinder::docstore::{Document, Value};
 use datablinder::kms::Kms;
 use datablinder::kvstore::KvStore;
-use datablinder::netsim::{Channel, CloudService, LatencyModel, NetError};
+use datablinder::netsim::{
+    BreakerConfig, BreakerState, Channel, FaultPlan, FaultStatsSnapshot, FaultyService, LatencyModel, MetricsSnapshot,
+    NetError, ResilienceConfig, ResilientChannel, RetryPolicy, RouteFaults,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn simple_schema() -> Schema {
-    Schema::new("notes").sensitive_field(
-        "owner",
-        FieldType::Text,
-        true,
-        FieldAnnotation::new(ProtectionClass::C2, vec![FieldOp::Insert, FieldOp::Equality]),
-    )
+    Schema::new("notes")
+        .sensitive_field(
+            "owner",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C2, vec![FieldOp::Insert, FieldOp::Equality]),
+        )
+        .plain_field("note", FieldType::Text, false)
 }
 
-/// A cloud wrapper that fails every Nth request with a remote error.
-struct Flaky {
-    inner: CloudEngine,
-    counter: AtomicU64,
-    fail_every: u64,
-}
+// ---------------------------------------------------------------- fault storm
 
-impl CloudService for Flaky {
-    fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
-        let n = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
-        if n.is_multiple_of(self.fail_every) {
-            return Err(NetError::Remote("injected transient failure".into()));
-        }
-        self.inner.handle(route, payload)
+const STORM_DOCS: usize = 220;
+const STORM_OWNERS: usize = 10;
+
+/// Pushes a workload through a gateway whose channel suffers drops, duplicate
+/// deliveries, detected corruption and latency spikes, all seeded — then
+/// verifies every search is exact. Returns everything observable so the
+/// determinism test can compare two runs bit for bit.
+fn storm_run(seed: u64) -> (MetricsSnapshot, FaultStatsSnapshot, u64, Vec<Vec<String>>) {
+    let faults = RouteFaults::none()
+        .with_drop(0.05)
+        .with_duplicate(0.04)
+        .with_corrupt(0.02)
+        .with_delay(0.10, Duration::from_millis(25));
+    let svc = Arc::new(FaultyService::new(CloudEngine::new(), FaultPlan::uniform(faults), seed));
+    let channel = Channel::from_arc(svc.clone(), LatencyModel::instant());
+    let config = ResilienceConfig {
+        retry: RetryPolicy { max_attempts: 12, ..RetryPolicy::default() },
+        deadline: Some(Duration::from_millis(10)),
+        seed,
+        ..ResilienceConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gw =
+        GatewayEngine::with_resilience("storm", Kms::generate(&mut rng), ResilientChannel::new(channel, config), seed);
+    gw.register_schema(simple_schema()).unwrap();
+
+    let mut expected: Vec<Vec<String>> = vec![Vec::new(); STORM_OWNERS];
+    for i in 0..STORM_DOCS {
+        let owner = format!("o{}", i % STORM_OWNERS);
+        let doc = Document::new("x").with("owner", Value::from(owner.as_str()));
+        // The acceptance bar: with ≥5% drops/timeouts/duplicates on every
+        // message, the application never sees a channel error.
+        let id = gw.insert("notes", &doc).expect("faults must be absorbed by retries");
+        expected[i % STORM_OWNERS].push(id.to_hex());
     }
+
+    let mut results: Vec<Vec<String>> = Vec::with_capacity(STORM_OWNERS);
+    for (o, expect) in expected.iter_mut().enumerate() {
+        let owner = format!("o{o}");
+        let hits = gw.find_equal("notes", "owner", &Value::from(owner.as_str())).expect("search survives faults");
+        let mut got: Vec<String> = hits.iter().map(|d| d.id().to_string()).collect();
+        got.sort();
+        expect.sort();
+        assert_eq!(&got, expect, "owner {owner}: every stored doc found, no duplicates, no ghosts");
+        results.push(got);
+    }
+
+    (gw.channel().metrics().snapshot(), svc.stats().snapshot(), svc.inner().dedup_hits(), results)
 }
 
 #[test]
+fn storm_of_faults_is_absorbed_with_exact_results() {
+    let (metrics, faults, dedup_hits, _) = storm_run(0x57_0131);
+
+    // The storm actually stormed.
+    assert!(faults.drops > 0, "drops: {faults:?}");
+    assert!(faults.duplicates > 0, "duplicates: {faults:?}");
+    assert!(faults.corruptions > 0, "corruptions: {faults:?}");
+    assert!(faults.delays > 0, "delays: {faults:?}");
+
+    // The resilient channel worked for a living.
+    assert!(
+        metrics.attempts > metrics.round_trips,
+        "attempts {} > round trips {}",
+        metrics.attempts,
+        metrics.round_trips
+    );
+    assert!(metrics.retries > 0, "retries recorded");
+    assert!(metrics.timeouts > 0, "timeouts recorded");
+
+    // Some retried writes found their first delivery already applied: the
+    // idempotency cache answered instead of re-executing.
+    assert!(dedup_hits > 0, "dedup hits: {dedup_hits}");
+}
+
+#[test]
+fn fault_storm_is_deterministic_per_seed() {
+    let a = storm_run(0xD1CE);
+    let b = storm_run(0xD1CE);
+    assert_eq!(a.0, b.0, "same seed, same traffic metrics");
+    assert_eq!(a.1, b.1, "same seed, same injected faults");
+    assert_eq!(a.2, b.2, "same seed, same dedup hits");
+    assert_eq!(a.3, b.3, "same seed, same results");
+
+    let c = storm_run(0xD1CF);
+    assert_ne!((a.0, a.1), (c.0, c.1), "different seed, different faults");
+}
+
+// ------------------------------------------------------------ circuit breaker
+
+#[test]
+fn breaker_fast_fails_after_consecutive_transport_failures() {
+    // Every message is lost: each insert times out until the breaker opens,
+    // then the gateway fails fast without touching the wire.
+    let svc =
+        Arc::new(FaultyService::new(CloudEngine::new(), FaultPlan::uniform(RouteFaults::none().with_drop(1.0)), 9));
+    let channel = Channel::from_arc(svc, LatencyModel::instant());
+    let config = ResilienceConfig {
+        retry: RetryPolicy::none(),
+        breaker: BreakerConfig { failure_threshold: 3, cooldown: Duration::from_millis(50) },
+        deadline: Some(Duration::from_millis(5)),
+        seed: 9,
+    };
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut gw =
+        GatewayEngine::with_resilience("breaker", Kms::generate(&mut rng), ResilientChannel::new(channel, config), 9);
+    gw.register_schema(simple_schema()).unwrap();
+
+    let insert = |gw: &mut GatewayEngine, i: usize| {
+        gw.insert("notes", &Document::new("x").with("owner", Value::from(format!("o{i}")))).unwrap_err()
+    };
+
+    for i in 0..3 {
+        let err = insert(&mut gw, i);
+        assert!(matches!(err, CoreError::Net(NetError::Timeout)), "{err}");
+        assert!(err.is_transient());
+    }
+    assert_eq!(gw.resilient_channel().breaker_state(), BreakerState::Open);
+
+    let sent_before = gw.channel().metrics().bytes_sent();
+    let err = insert(&mut gw, 3);
+    assert!(matches!(err, CoreError::Net(NetError::CircuitOpen)), "{err}");
+    assert!(err.is_transient(), "fast-fails are worth retrying later");
+    assert_eq!(gw.channel().metrics().bytes_sent(), sent_before, "fast-fail sent nothing");
+
+    // After the cooldown a half-open probe is admitted; it times out too, so
+    // the breaker re-opens — all observable through the metrics.
+    gw.resilient_channel().advance(Duration::from_millis(50));
+    let err = insert(&mut gw, 4);
+    assert!(matches!(err, CoreError::Net(NetError::Timeout)), "{err}");
+    assert_eq!(gw.resilient_channel().breaker_state(), BreakerState::Open);
+    let m = gw.channel().metrics().snapshot();
+    assert_eq!(m.breaker_opens, 2);
+    assert_eq!(m.breaker_half_opens, 1);
+}
+
+// ----------------------------------------------------- legacy fault scenarios
+
+#[test]
 fn channel_failures_surface_as_errors_not_corruption() {
-    let flaky = Flaky { inner: CloudEngine::new(), counter: AtomicU64::new(0), fail_every: 5 };
-    let channel = Channel::connect(flaky, LatencyModel::instant());
+    // Injected *remote* failures are application-level and not retried: they
+    // must surface as clean `CoreError::Net` errors, never corrupt state.
+    let svc = FaultyService::new(CloudEngine::new(), FaultPlan::uniform(RouteFaults::none().with_fail(0.2)), 21);
+    let channel = Channel::connect(svc, LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(1);
     let mut gw = GatewayEngine::new("flaky", Kms::generate(&mut rng), channel, 1);
     gw.register_schema(simple_schema()).unwrap();
@@ -73,27 +205,80 @@ fn channel_failures_surface_as_errors_not_corruption() {
 
 #[test]
 fn byzantine_cloud_responses_are_rejected() {
-    /// Returns garbage for search routes, passes everything else through.
-    struct Garbage {
-        inner: CloudEngine,
-    }
-    impl CloudService for Garbage {
-        fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
-            if route.ends_with("/search") {
-                return Ok(vec![0xFF; 37]); // malformed response body
-            }
-            self.inner.handle(route, payload)
-        }
-    }
-    let channel = Channel::connect(Garbage { inner: CloudEngine::new() }, LatencyModel::instant());
+    // A byzantine cloud garbles every tactic response (well-framed junk, so
+    // the channel cannot catch it): the SSE layer must reject it cleanly.
+    let plan = FaultPlan::none().route("tactic/", RouteFaults::none().with_garble(1.0));
+    let svc = FaultyService::new(CloudEngine::new(), plan, 2);
+    let channel = Channel::connect(svc, LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(2);
     let mut gw = GatewayEngine::new("byz", Kms::generate(&mut rng), channel, 2);
     gw.register_schema(simple_schema()).unwrap();
+    // Inserts survive: writes travel inside the idempotency envelope (route
+    // "idem"), which the tactic-only override leaves untouched.
     gw.insert("notes", &Document::new("x").with("owner", Value::from("a"))).unwrap();
 
     let err = gw.find_equal("notes", "owner", &Value::from("a")).unwrap_err();
     assert!(matches!(err, CoreError::Sse(_) | CoreError::Wire(_)), "{err}");
 }
+
+// ------------------------------------------------------- batch partial failure
+
+#[test]
+fn mid_batch_failure_leaves_no_half_indexed_documents() {
+    // Two gateways with the same id seed share one cloud: the second mints
+    // an id the first already used, so its `insert_many` batch fails on the
+    // second document's `doc/insert`. The guarantee under test: documents
+    // before the failure are fully applied and queryable, the failing and
+    // following documents are invisible — never a half-indexed ghost.
+    let cloud = Arc::new(CloudEngine::new());
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    let kms = Kms::generate(&mut rng);
+    const SEED: u64 = 42;
+
+    let mut gw_a =
+        GatewayEngine::new("app", kms.clone(), Channel::from_arc(cloud.clone(), LatencyModel::instant()), SEED);
+    gw_a.register_schema(simple_schema()).unwrap();
+    let id1 = gw_a
+        .insert("notes", &Document::new("x").with("owner", Value::from("tmp")).with("note", Value::from("d1")))
+        .unwrap();
+    let id2 = gw_a
+        .insert("notes", &Document::new("x").with("owner", Value::from("bob")).with("note", Value::from("original")))
+        .unwrap();
+    gw_a.delete("notes", id1).unwrap(); // free the first id slot
+
+    // Same id-generator seed, fresh gateway: mints id1, id2, id3 again.
+    let mut gw_b = GatewayEngine::new("app", kms, Channel::from_arc(cloud, LatencyModel::instant()), SEED);
+    gw_b.register_schema(simple_schema()).unwrap();
+    let batch = [
+        Document::new("x").with("owner", Value::from("alice")).with("note", Value::from("e1")),
+        Document::new("x").with("owner", Value::from("bob")).with("note", Value::from("e2")),
+        Document::new("x").with("owner", Value::from("carol")).with("note", Value::from("e3")),
+    ];
+    let err = gw_b.insert_many("notes", &batch).unwrap_err();
+    assert!(matches!(err, CoreError::Net(_)), "duplicate id aborts the batch: {err}");
+
+    // The document before the failure is fully applied and searchable.
+    let hits = gw_b.find_equal("notes", "owner", &Value::from("alice")).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].get("note"), Some(&Value::from("e1")));
+
+    // The failing document was never stored: its id slot still holds the
+    // original, and searches stay consistent.
+    assert_eq!(gw_b.get("notes", id2).unwrap().get("note"), Some(&Value::from("original")));
+    let hits = gw_b.find_equal("notes", "owner", &Value::from("bob")).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].get("note"), Some(&Value::from("original")));
+
+    // The document after the failure was not applied at all — its index
+    // chain advanced locally but the gap resolves to "no results", not an
+    // error and not a ghost.
+    assert!(gw_b.find_equal("notes", "owner", &Value::from("carol")).unwrap().is_empty());
+
+    // Store-level census: the original survivor plus the one applied doc.
+    assert_eq!(gw_b.count("notes").unwrap(), 2);
+}
+
+// ---------------------------------------------------------- state persistence
 
 #[test]
 fn gateway_state_survives_crash_via_semi_durable_store() {

@@ -14,9 +14,7 @@ use rand::SeedableRng;
 const SECRETS: [&str; 4] = ["John Doe", "John Smith", "final", "glucose"];
 
 fn contains_secret(bytes: &[u8]) -> Option<&'static str> {
-    SECRETS.iter().copied().find(|s| {
-        bytes.windows(s.len()).any(|w| w == s.as_bytes())
-    })
+    SECRETS.iter().copied().find(|s| bytes.windows(s.len()).any(|w| w == s.as_bytes()))
 }
 
 #[test]
@@ -41,11 +39,7 @@ fn cloud_stores_see_no_plaintext() {
             if field == "identifier" || field == "interpretation" {
                 continue; // plaintext by annotation
             }
-            assert_eq!(
-                contains_secret(&rendered),
-                None,
-                "secret leaked into docstore field {field}"
-            );
+            assert_eq!(contains_secret(&rendered), None, "secret leaked into docstore field {field}");
         }
     }
 

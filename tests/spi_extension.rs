@@ -55,12 +55,21 @@ impl GatewayTactic for HmacIndexGateway {
         descriptor()
     }
 
-    fn protect(&mut self, rng: &mut dyn RngCore, field: &str, value: &Value, id: DocId) -> Result<ProtectedField, CoreError> {
+    fn protect(
+        &mut self,
+        rng: &mut dyn RngCore,
+        field: &str,
+        value: &Value,
+        id: DocId,
+    ) -> Result<ProtectedField, CoreError> {
         let label = self.prf.eval(&field_keyword(field, value));
         let mut payload = label.to_vec();
         payload.extend_from_slice(&id.0);
         Ok(ProtectedField {
-            stored: vec![(shadow_field(field, "hmacidx"), Value::Bytes(self.payload.encrypt(rng, &canonical_bytes(value))))],
+            stored: vec![(
+                shadow_field(field, "hmacidx"),
+                Value::Bytes(self.payload.encrypt(rng, &canonical_bytes(value))),
+            )],
             index_calls: vec![CloudCall::new(self.route_insert.clone(), payload)],
         })
     }
@@ -112,12 +121,8 @@ impl CloudTactic for HmacIndexCloud {
                     return Err(CoreError::Wire("hmac-index search payload"));
                 }
                 key.extend_from_slice(payload);
-                let mut ids: Vec<DocId> = self
-                    .kv
-                    .smembers(&key)
-                    .into_iter()
-                    .filter_map(|m| m.try_into().ok().map(DocId))
-                    .collect();
+                let mut ids: Vec<DocId> =
+                    self.kv.smembers(&key).into_iter().filter_map(|m| m.try_into().ok().map(DocId)).collect();
                 ids.sort();
                 Ok(encode_ids(&ids))
             }
@@ -212,7 +217,8 @@ fn custom_tactic_key_comes_from_the_kms() {
         )
     };
     let mut rng = StdRng::seed_from_u64(78);
-    let mut gw_a = GatewayEngine::with_registry("tenant-a", Kms::generate(&mut rng), channel.clone(), 1, build_registry());
+    let mut gw_a =
+        GatewayEngine::with_registry("tenant-a", Kms::generate(&mut rng), channel.clone(), 1, build_registry());
     gw_a.register_schema(schema()).unwrap();
     gw_a.insert("records", &Document::new("x").with("owner", Value::from("ann"))).unwrap();
 
