@@ -1,0 +1,99 @@
+//! Crash-recovery cost: WAL replay throughput and time-to-first-query as
+//! the journal grows.
+//!
+//! A durable [`CloudEngine`] is loaded with 1k / 10k / 100k journaled
+//! mutations (no snapshot, so every record stays in the WAL tail), then
+//! each group member measures a cold [`CloudEngine::open_durable`] — the
+//! full recovery path: frame scan, CRC checks, decode, re-dispatch. The
+//! wall-clock summary adds records/s and time-to-first-query (recovery
+//! plus one `doc/count`), the figure an operator actually waits on after
+//! a cloud-node restart. A final member measures recovery with a snapshot
+//! covering the same state, isolating what log compaction buys.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datablinder_core::cloud::{with_collection, CloudEngine};
+use datablinder_core::durability::DurabilityOptions;
+use datablinder_core::wire::encode_document;
+use datablinder_docstore::{Document, Value};
+use datablinder_netsim::CloudService;
+
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("datablinder-recovery-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Journals `n` document inserts into a fresh durable engine at `dir`.
+/// `snapshot_every: None` keeps every mutation in the WAL tail so a reopen
+/// replays all of them.
+fn build_wal(dir: &Path, n: usize) {
+    let engine =
+        CloudEngine::open_durable_with(dir, DurabilityOptions { snapshot_every: None, ..DurabilityOptions::default() })
+            .unwrap();
+    for i in 0..n {
+        let doc = Document::new(format!("{i:032x}")).with("n", Value::from(i as i64));
+        engine.handle("doc/insert", &with_collection("bench", &encode_document(&doc))).unwrap();
+    }
+    assert_eq!(engine.wal_seq(), n as u64);
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_replay");
+    g.sample_size(10);
+    for n in SIZES {
+        let dir = bench_dir(&format!("replay-{n}"));
+        build_wal(&dir, n);
+        g.bench_function(format!("{n}_mutations"), |b| {
+            b.iter(|| {
+                let engine = CloudEngine::open_durable(&dir).unwrap();
+                assert_eq!(engine.recovery_report().replayed, n as u64);
+                engine
+            });
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Snapshot-compacted counterpart at the largest size: same state, the
+    // log folded into one materialized image.
+    let n = *SIZES.last().unwrap();
+    let dir = bench_dir("snapshot");
+    build_wal(&dir, n);
+    CloudEngine::open_durable(&dir).unwrap().snapshot_now().unwrap();
+    g.bench_function(format!("{n}_mutations_snapshotted"), |b| {
+        b.iter(|| {
+            let engine = CloudEngine::open_durable(&dir).unwrap();
+            assert!(engine.recovery_report().snapshot_restored);
+            assert_eq!(engine.recovery_report().replayed, 0);
+            engine
+        });
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    g.finish();
+
+    // Wall-clock summary, outside Criterion's sampling.
+    for n in SIZES {
+        let dir = bench_dir(&format!("summary-{n}"));
+        build_wal(&dir, n);
+        let start = Instant::now();
+        let engine = CloudEngine::open_durable(&dir).unwrap();
+        let replay = start.elapsed();
+        engine.handle("doc/count", &with_collection("bench", &[])).unwrap();
+        let first_query = start.elapsed();
+        eprintln!(
+            "wal_replay/{n}: {:.0} records/s, replay {:?}, time-to-first-query {:?}",
+            n as f64 / replay.as_secs_f64(),
+            replay,
+            first_query,
+        );
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! tokens and opaque index entries.
 
 use std::collections::{HashMap, VecDeque};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -14,7 +15,8 @@ use datablinder_sse::encoding::{Reader, Writer};
 use datablinder_sse::DocId;
 use parking_lot::Mutex;
 
-use crate::cloudproto::{FindIdsDnf, FindIdsEq, FindIdsRange, Idempotent, IDEM_ROUTE};
+use crate::cloudproto::{is_write_route, FindIdsDnf, FindIdsEq, FindIdsRange, Idempotent, IDEM_ROUTE};
+use crate::durability::{self, Durability, DurabilityOptions, JournalOutcome, RecoveryReport};
 use crate::error::CoreError;
 use crate::spi::CloudTactic;
 use crate::tactics;
@@ -76,6 +78,8 @@ pub struct CloudEngine {
     tactics: HashMap<&'static str, Arc<dyn CloudTactic>>,
     dedup: Mutex<DedupCache>,
     dedup_hits: AtomicU64,
+    durability: Option<Durability>,
+    recovery: RecoveryReport,
 }
 
 impl CloudEngine {
@@ -94,6 +98,8 @@ impl CloudEngine {
             tactics: HashMap::new(),
             dedup: Mutex::new(DedupCache::new(capacity)),
             dedup_hits: AtomicU64::new(0),
+            durability: None,
+            recovery: RecoveryReport::default(),
         };
         engine.register(Arc::new(tactics::mitra::MitraCloud::new(kv.clone())));
         engine.register(Arc::new(tactics::sophos::SophosCloud::new(kv.clone())));
@@ -102,6 +108,83 @@ impl CloudEngine {
         engine.register(Arc::new(tactics::biex::BiexCloud::new(kv.clone(), tactics::biex::BiexVariant::TwoLev)));
         engine.register(Arc::new(tactics::biex::BiexCloud::new(kv, tactics::biex::BiexVariant::Zmf)));
         engine
+    }
+
+    /// Opens a crash-consistent engine backed by `dir`: restores the
+    /// snapshot (if any), rolls the WAL tail forward, truncates a torn
+    /// tail, and journals every subsequent mutation before applying it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and on-disk corruption
+    /// ([`CoreError::Storage`]).
+    pub fn open_durable(dir: &Path) -> Result<Self, CoreError> {
+        CloudEngine::open_durable_with(dir, DurabilityOptions::default())
+    }
+
+    /// Like [`CloudEngine::open_durable`] with explicit snapshot cadence,
+    /// dedup bound and (for tests) a crash injector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and on-disk corruption.
+    pub fn open_durable_with(dir: &Path, opts: DurabilityOptions) -> Result<Self, CoreError> {
+        std::fs::create_dir_all(dir).map_err(datablinder_kvstore::KvError::from)?;
+        let engine = CloudEngine::with_dedup_capacity(opts.dedup_capacity.unwrap_or(DEFAULT_DEDUP_CAPACITY));
+        // Replay journaled mutations through the normal dispatcher so
+        // every tactic index rebuilds exactly as it was built live, and
+        // replayed idempotency envelopes repopulate the dedup cache (a
+        // gateway retry that bridges the crash gets the recorded outcome).
+        // Application-level errors are part of the recorded history (e.g.
+        // a rolled-forward duplicate insert), not recovery failures.
+        let (report, seq) = durability::recover_into(dir, &engine.kv, &engine.docs, |rec| {
+            let _ = engine.dispatch(&rec.route, &rec.payload);
+        })?;
+        let wal_backlog = report.replayed;
+        let mut engine = engine;
+        engine.recovery = report;
+        engine.durability = Some(Durability::attach(dir, seq, wal_backlog, opts.snapshot_every, opts.crash)?);
+        Ok(engine)
+    }
+
+    /// What the last [`CloudEngine::open_durable`] recovery found on disk
+    /// (all-default for volatile engines).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Whether this engine journals mutations to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Whether the crash injector has fired (the simulated machine is
+    /// down; always `false` for volatile engines).
+    pub fn crashed(&self) -> bool {
+        self.durability.as_ref().is_some_and(Durability::crashed)
+    }
+
+    /// Last durable WAL sequence number (0 for volatile engines).
+    pub fn wal_seq(&self) -> u64 {
+        self.durability.as_ref().map_or(0, Durability::seq)
+    }
+
+    /// Records journaled since the last snapshot (0 for volatile engines).
+    pub fn wal_since_snapshot(&self) -> u64 {
+        self.durability.as_ref().map_or(0, Durability::since_snapshot)
+    }
+
+    /// Forces a snapshot, compacting the WAL.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedOperation`] on a volatile engine; I/O
+    /// failures otherwise.
+    pub fn snapshot_now(&self) -> Result<(), CoreError> {
+        match &self.durability {
+            Some(d) => d.snapshot(&self.kv, &self.docs),
+            None => Err(CoreError::UnsupportedOperation("snapshot on volatile engine".into())),
+        }
     }
 
     /// Idempotent envelopes answered from the dedup cache instead of
@@ -125,7 +208,7 @@ impl CloudEngine {
         &self.kv
     }
 
-    fn dispatch(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, CoreError> {
+    pub(crate) fn dispatch(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, CoreError> {
         let parts: Vec<&str> = route.split('/').collect();
         match parts.as_slice() {
             ["doc", op] => self.handle_doc(op, payload),
@@ -328,7 +411,35 @@ impl Default for CloudEngine {
 
 impl CloudService for CloudEngine {
     fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
-        self.dispatch(route, payload).map_err(|e| NetError::Remote(e.to_string()))
+        let Some(d) = &self.durability else {
+            return self.dispatch(route, payload).map_err(|e| NetError::Remote(e.to_string()));
+        };
+        if d.crashed() {
+            // The simulated machine is down: everything times out until a
+            // restart harness rebuilds the engine from disk.
+            return Err(NetError::Timeout);
+        }
+        if !is_write_route(route) {
+            return self.dispatch(route, payload).map_err(|e| NetError::Remote(e.to_string()));
+        }
+        // Journal-before-apply. The journaling sits here rather than in
+        // `dispatch` so nested batch/idem sub-calls are covered by their
+        // enclosing envelope's single WAL record, not re-journaled.
+        match d.journal(route, payload) {
+            Ok(JournalOutcome::Written) => {}
+            // The crash point fired at this write: whatever reached disk
+            // (nothing, a torn prefix, or a full never-applied frame), the
+            // caller sees a retryable timeout and recovery sorts it out.
+            Ok(JournalOutcome::Died) => return Err(NetError::Timeout),
+            Err(e) => return Err(NetError::Remote(format!("wal: {e}"))),
+        }
+        let out = self.dispatch(route, payload).map_err(|e| NetError::Remote(e.to_string()));
+        if d.snapshot_due() {
+            if let Err(e) = d.snapshot(&self.kv, &self.docs) {
+                return Err(NetError::Remote(format!("snapshot: {e}")));
+            }
+        }
+        out
     }
 }
 

@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use datablinder_docstore::{Document, Value};
 use datablinder_kms::Kms;
 use datablinder_kvstore::KvStore;
-use datablinder_netsim::{Channel, ResilienceConfig, ResilientChannel};
+use datablinder_netsim::{Channel, NetError, ResilienceConfig, ResilientChannel};
 use datablinder_sse::DocId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,6 +57,59 @@ struct SchemaPlan {
     bool_tactic: Option<String>,
 }
 
+/// Key prefix of journaled write groups in the gateway's journal store.
+const JOURNAL_PREFIX: &[u8] = b"gwj/";
+
+fn journal_key(seq: u64) -> Vec<u8> {
+    format!("gwj/{seq:016x}").into_bytes()
+}
+
+/// The gateway's small write journal: multi-call write groups (index
+/// updates + the document write) are recorded here in their pre-minted
+/// on-wire form before anything ships, and cleared once every call is
+/// acknowledged. A gateway that dies mid-group finds the entry on restart
+/// and rolls it forward ([`GatewayEngine::recover_pending`]).
+struct WriteJournal {
+    kv: KvStore,
+    seq: AtomicU64,
+}
+
+/// Result of [`GatewayEngine::recover_pending`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PendingWriteReport {
+    /// Journal entries found pending.
+    pub entries: usize,
+    /// Entries whose every call completed on replay (the cloud's dedup
+    /// cache absorbs the already-applied prefix).
+    pub rolled_forward: usize,
+    /// Entries aborted by an application-level error; their groups did
+    /// not complete and are reported in `failures`.
+    pub failed: usize,
+    /// One message per failed entry.
+    pub failures: Vec<String>,
+}
+
+/// Result of [`GatewayEngine::fsck`]: index↔store consistency findings.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Stored documents decrypted and cross-checked.
+    pub docs_checked: usize,
+    /// Searches issued (one per field × tactic × distinct value).
+    pub searches_run: usize,
+    /// Stored documents a registered search tactic failed to return.
+    pub missing_index_entries: Vec<String>,
+    /// Search results that should not exist: ids absent from the store
+    /// (orphan index entries) or stored under a different value.
+    pub orphan_results: Vec<String>,
+}
+
+impl FsckReport {
+    /// No missing index entries and no orphan results.
+    pub fn is_clean(&self) -> bool {
+        self.missing_index_entries.is_empty() && self.orphan_results.is_empty()
+    }
+}
+
 /// The DataBlinder gateway.
 ///
 /// # Examples
@@ -77,6 +130,8 @@ pub struct GatewayEngine {
     idem_prefix: u64,
     /// Monotonic suffix of idempotency tokens (one per logical write).
     idem_seq: AtomicU64,
+    /// Crash journal for multi-call write groups, if enabled.
+    journal: Option<WriteJournal>,
 }
 
 impl GatewayEngine {
@@ -127,6 +182,7 @@ impl GatewayEngine {
             rng: StdRng::seed_from_u64(seed),
             idem_prefix: mix64(seed ^ 0x1DE4_70CE_7057_EA15),
             idem_seq: AtomicU64::new(0),
+            journal: None,
         }
     }
 
@@ -278,18 +334,123 @@ impl GatewayEngine {
         })
     }
 
-    fn call(&self, call: &CloudCall) -> Result<Vec<u8>, CoreError> {
+    /// Pre-mints the on-wire form of one call. Chain-advancing writes must
+    /// not re-execute when the channel retries them (SSE chains would
+    /// double-advance): they get a fresh idempotency envelope the cloud
+    /// deduplicates. Reads are naturally idempotent and pass through bare.
+    fn seal_call(&self, call: &CloudCall) -> (String, Vec<u8>) {
         if is_write_route(&call.route) && call.route != IDEM_ROUTE {
-            // Chain-advancing writes must not re-execute when the channel
-            // retries them (SSE chains would double-advance): wrap them in
-            // an idempotency envelope the cloud deduplicates.
             let env =
                 Idempotent { token: self.next_idem_token(), route: call.route.clone(), payload: call.payload.clone() };
-            Ok(self.channel.call(IDEM_ROUTE, &env.encode())?)
+            (IDEM_ROUTE.to_string(), env.encode())
         } else {
-            // Reads are naturally idempotent: retry bare.
-            Ok(self.channel.call(&call.route, &call.payload)?)
+            (call.route.clone(), call.payload.clone())
         }
+    }
+
+    fn call(&self, call: &CloudCall) -> Result<Vec<u8>, CoreError> {
+        let (route, payload) = self.seal_call(call);
+        Ok(self.channel.call(&route, &payload)?)
+    }
+
+    /// Sends a multi-call write group (index updates + the document write)
+    /// atomically with respect to gateway crashes: the whole group is
+    /// journaled in its sealed on-wire form before anything ships, and the
+    /// entry is cleared only after every call is acknowledged. A gateway
+    /// that dies mid-fan-out replays the entry on restart; the cloud's
+    /// dedup cache absorbs the already-applied prefix (same tokens, same
+    /// bytes), so the group completes exactly once — a document is never
+    /// left queryable-but-half-indexed.
+    fn send_write_group(&self, group: &[CloudCall]) -> Result<(), CoreError> {
+        let sealed: Vec<(String, Vec<u8>)> = group.iter().map(|c| self.seal_call(c)).collect();
+        let key = self.journal.as_ref().map(|j| {
+            let key = journal_key(j.seq.fetch_add(1, Ordering::Relaxed));
+            let mut w = datablinder_sse::encoding::Writer::new();
+            let items: Vec<Vec<u8>> = sealed.iter().flat_map(|(r, p)| [r.clone().into_bytes(), p.clone()]).collect();
+            w.list(&items);
+            j.kv.set(&key, &w.finish());
+            key
+        });
+        for (route, payload) in &sealed {
+            // Any failure leaves the journal entry pending, for
+            // recover_pending to roll forward or report.
+            self.channel.call(route, payload)?;
+        }
+        if let (Some(j), Some(key)) = (&self.journal, &key) {
+            j.kv.del(key);
+        }
+        Ok(())
+    }
+
+    /// Attaches a write journal backed by `kv` (pair with
+    /// [`KvStore::open_semi_durable`] so the journal itself survives the
+    /// crash). Existing pending entries are preserved — call
+    /// [`GatewayEngine::recover_pending`] to process them — and the entry
+    /// sequence continues after the highest one found.
+    pub fn enable_write_journal(&mut self, kv: KvStore) {
+        let next = kv
+            .keys_with_prefix(JOURNAL_PREFIX)
+            .iter()
+            .filter_map(|k| {
+                std::str::from_utf8(&k[JOURNAL_PREFIX.len()..]).ok().and_then(|s| u64::from_str_radix(s, 16).ok())
+            })
+            .max()
+            .map_or(0, |m| m + 1);
+        self.journal = Some(WriteJournal { kv, seq: AtomicU64::new(next) });
+    }
+
+    /// Number of journaled write groups not yet acknowledged.
+    pub fn pending_writes(&self) -> usize {
+        self.journal.as_ref().map_or(0, |j| j.kv.keys_with_prefix(JOURNAL_PREFIX).len())
+    }
+
+    /// Replays every pending journaled write group, oldest first. Calls
+    /// already applied before the crash are answered from the cloud's
+    /// dedup cache; the rest execute now, rolling the group forward. A
+    /// group the cloud rejects with an application error is reported
+    /// failed and dropped (its document write never completed, so nothing
+    /// half-indexed is queryable).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures propagate and leave the remaining entries
+    /// pending — call again once the cloud is reachable.
+    pub fn recover_pending(&mut self) -> Result<PendingWriteReport, CoreError> {
+        let Some(journal) = &self.journal else {
+            return Ok(PendingWriteReport::default());
+        };
+        let kv = journal.kv.clone();
+        let mut report = PendingWriteReport::default();
+        for key in kv.keys_with_prefix(JOURNAL_PREFIX) {
+            let Some(blob) = kv.get(&key) else { continue };
+            let mut r = datablinder_sse::encoding::Reader::new(&blob);
+            let items = r.list().map_err(|e| CoreError::Sse(e.to_string()))?;
+            if items.len() % 2 != 0 {
+                return Err(CoreError::Wire("journal entry arity"));
+            }
+            let mut failure: Option<String> = None;
+            for pair in items.chunks(2) {
+                let route = std::str::from_utf8(&pair[0]).map_err(|_| CoreError::Wire("utf8 route"))?;
+                match self.channel.call(route, &pair[1]) {
+                    Ok(_) => {}
+                    Err(NetError::Remote(e)) => {
+                        failure = Some(e);
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            report.entries += 1;
+            match failure {
+                None => report.rolled_forward += 1,
+                Some(e) => {
+                    report.failed += 1;
+                    report.failures.push(e);
+                }
+            }
+            kv.del(&key);
+        }
+        Ok(report)
     }
 
     /// Mints a fresh idempotency token: seed-derived prefix plus a
@@ -328,12 +489,12 @@ impl GatewayEngine {
             validate_document(&plan.schema, doc)?;
         }
         let (cloud_doc, index_calls) = self.protect_document_calls(schema_name, doc, id)?;
-        // Ship index updates, then the document itself.
-        for call in &index_calls {
-            self.call(call)?;
-        }
-        self.call(&CloudCall::new("doc/insert", with_collection(schema_name, &encode_document(&cloud_doc))))?;
-        Ok(())
+        // Index updates, then the document itself, as one journaled write
+        // group: an insert interrupted across its tactic indexes is rolled
+        // forward on recovery instead of staying half-applied.
+        let mut group = index_calls;
+        group.push(CloudCall::new("doc/insert", with_collection(schema_name, &encode_document(&cloud_doc))));
+        self.send_write_group(&group)
     }
 
     /// Inserts a batch of documents in (at most) two channel round trips:
@@ -612,11 +773,10 @@ impl GatewayEngine {
                 calls.extend(c);
             }
         }
-        for call in &calls {
-            self.call(call)?;
-        }
-        self.call(&CloudCall::new("doc/delete", with_collection(schema_name, id.to_hex().as_bytes())))?;
-        Ok(())
+        // Revocations + the delete itself as one journaled write group,
+        // mirroring insert: an interrupted delete finishes on recovery.
+        calls.push(CloudCall::new("doc/delete", with_collection(schema_name, id.to_hex().as_bytes())));
+        self.send_write_group(&calls)
     }
 
     /// Replaces a document (delete + insert under the same id).
@@ -636,6 +796,15 @@ impl GatewayEngine {
     /// [`CoreError::UnsupportedOperation`] if the field's annotation did
     /// not request equality.
     pub fn find_equal(&mut self, schema_name: &str, field: &str, value: &Value) -> Result<Vec<Document>, CoreError> {
+        let ids = self.equality_ids(schema_name, field, value)?;
+        self.get_many(schema_name, &ids)
+    }
+
+    /// Equality search returning raw ids. Shared by
+    /// [`GatewayEngine::find_equal`] and [`GatewayEngine::fsck`], which
+    /// must see ids that do *not* resolve to stored documents (`get_many`
+    /// silently skips them).
+    fn equality_ids(&mut self, schema_name: &str, field: &str, value: &Value) -> Result<Vec<DocId>, CoreError> {
         let plan = self.plan(schema_name)?;
         let fp = plan
             .fields
@@ -649,8 +818,7 @@ impl GatewayEngine {
         };
         let calls = self.tactic_mut(schema_name, &scope, &tactic)?.eq_query(field, value)?;
         let responses = calls.iter().map(|c| self.call(c)).collect::<Result<Vec<_>, _>>()?;
-        let ids = self.tactic_ref(schema_name, &scope, &tactic)?.eq_resolve(field, value, &responses)?;
-        self.get_many(schema_name, &ids)
+        self.tactic_ref(schema_name, &scope, &tactic)?.eq_resolve(field, value, &responses)
     }
 
     /// Boolean (DNF) search across fields, returning decrypted documents.
@@ -660,6 +828,12 @@ impl GatewayEngine {
     /// [`CoreError::UnsupportedOperation`] when the touched fields have no
     /// common boolean capability.
     pub fn find_boolean(&mut self, schema_name: &str, dnf: &DnfLiterals) -> Result<Vec<Document>, CoreError> {
+        let ids = self.boolean_ids(schema_name, dnf)?;
+        self.get_many(schema_name, &ids)
+    }
+
+    /// Boolean search returning raw ids (see [`GatewayEngine::equality_ids`]).
+    fn boolean_ids(&mut self, schema_name: &str, dnf: &DnfLiterals) -> Result<Vec<DocId>, CoreError> {
         let plan = self.plan(schema_name)?;
         let fields: Vec<&String> = dnf.iter().flatten().map(|(f, _)| f).collect();
         let all_boolean = fields.iter().all(|f| plan.fields.get(*f).is_some_and(|p| p.boolean));
@@ -698,7 +872,7 @@ impl GatewayEngine {
             let response = self.call(&CloudCall::new("doc/find_ids_dnf", req.encode()))?;
             decode_ids(&response)?
         };
-        self.get_many(schema_name, &ids)
+        Ok(ids)
     }
 
     /// Range search on one field (inclusive bounds), returning decrypted
@@ -715,6 +889,12 @@ impl GatewayEngine {
         lo: &Value,
         hi: &Value,
     ) -> Result<Vec<Document>, CoreError> {
+        let ids = self.range_ids(schema_name, field, lo, hi)?;
+        self.get_many(schema_name, &ids)
+    }
+
+    /// Range search returning raw ids (see [`GatewayEngine::equality_ids`]).
+    fn range_ids(&mut self, schema_name: &str, field: &str, lo: &Value, hi: &Value) -> Result<Vec<DocId>, CoreError> {
         let plan = self.plan(schema_name)?;
         let tactic = plan
             .fields
@@ -723,8 +903,7 @@ impl GatewayEngine {
             .ok_or_else(|| CoreError::UnsupportedOperation(format!("field {field} has no range tactic")))?;
         let calls = self.tactic_mut(schema_name, field, &tactic)?.range_query(field, lo, hi)?;
         let responses = calls.iter().map(|c| self.call(c)).collect::<Result<Vec<_>, _>>()?;
-        let ids = self.tactic_ref(schema_name, field, &tactic)?.range_resolve(&responses)?;
-        self.get_many(schema_name, &ids)
+        self.tactic_ref(schema_name, field, &tactic)?.range_resolve(&responses)
     }
 
     /// Cloud-side aggregate over a field, optionally restricted by a
@@ -953,6 +1132,105 @@ impl GatewayEngine {
         }
         self.call_batch(&batch)?;
         Ok(new_version)
+    }
+
+    // ------------------------------------------------------------------ fsck
+
+    /// Index↔store consistency check, meant to run after crash recovery:
+    /// decrypts every stored document, then issues every supported search
+    /// (equality, range, boolean — one per field × tactic × distinct
+    /// value) and cross-checks the results. Every stored document must be
+    /// reachable through each of its fields' registered search tactics,
+    /// and no search may return an id that is not stored with that value
+    /// (an orphan index entry).
+    ///
+    /// # Errors
+    ///
+    /// Channel/decryption failures; inconsistencies are *reported* in the
+    /// [`FsckReport`], not raised as errors.
+    pub fn fsck(&mut self, schema_name: &str) -> Result<FsckReport, CoreError> {
+        // (field, eq?, range?, boolean?) snapshot of the plan, sorted for
+        // deterministic reports.
+        let mut field_plans: Vec<(String, bool, bool, bool)> = {
+            let plan = self.plan(schema_name)?;
+            let has_bool = plan.bool_tactic.is_some();
+            plan.fields
+                .iter()
+                .map(|(f, fp)| (f.clone(), fp.eq_tactic.is_some(), fp.range_tactic.is_some(), fp.boolean && has_bool))
+                .collect()
+        };
+        field_plans.sort_by(|a, b| a.0.cmp(&b.0));
+
+        // Snapshot the store through the raw id list — NOT get_many, which
+        // silently skips missing documents and would hide orphans.
+        let ids_bytes = self.call(&CloudCall::new("doc/list_ids", with_collection(schema_name, b"")))?;
+        let mut r = datablinder_sse::encoding::Reader::new(&ids_bytes);
+        let raw_ids = r.list().map_err(|e| CoreError::Sse(e.to_string()))?;
+        let mut stored_ids: Vec<DocId> = Vec::new();
+        let mut plaintext: Vec<(DocId, Document)> = Vec::new();
+        for id in &raw_ids {
+            let hex = std::str::from_utf8(id).map_err(|_| CoreError::Wire("utf8 id"))?;
+            let doc_id = DocId::from_hex(hex).ok_or(CoreError::Wire("doc id"))?;
+            let stored = self.fetch_raw(schema_name, doc_id)?;
+            plaintext.push((doc_id, self.recover_document(schema_name, &stored)?));
+            stored_ids.push(doc_id);
+        }
+
+        let mut report = FsckReport { docs_checked: plaintext.len(), ..FsckReport::default() };
+        for (field, eq, range, boolean) in field_plans {
+            if !(eq || range || boolean) {
+                continue;
+            }
+            // Distinct values of this field and the docs expected to hold
+            // them (linear grouping: Value is neither Hash nor Ord).
+            let mut groups: Vec<(Value, Vec<DocId>)> = Vec::new();
+            for (id, doc) in &plaintext {
+                if let Some(v) = doc.get(&field) {
+                    match groups.iter_mut().find(|(gv, _)| gv == v) {
+                        Some((_, ids)) => ids.push(*id),
+                        None => groups.push((v.clone(), vec![*id])),
+                    }
+                }
+            }
+            for (value, expected) in &groups {
+                let check = |kind: &str, got: &[DocId], report: &mut FsckReport| {
+                    report.searches_run += 1;
+                    for id in expected {
+                        if !got.contains(id) {
+                            report
+                                .missing_index_entries
+                                .push(format!("{kind} {field}={value:?}: stored doc {} unreachable", id.to_hex()));
+                        }
+                    }
+                    for id in got {
+                        if !expected.contains(id) {
+                            let diagnosis = if stored_ids.contains(id) {
+                                "stored under a different value"
+                            } else {
+                                "orphan index entry"
+                            };
+                            report
+                                .orphan_results
+                                .push(format!("{kind} {field}={value:?}: returned {} ({diagnosis})", id.to_hex()));
+                        }
+                    }
+                };
+                if eq {
+                    let got = self.equality_ids(schema_name, &field, value)?;
+                    check("eq", &got, &mut report);
+                }
+                if range {
+                    let got = self.range_ids(schema_name, &field, value, value)?;
+                    check("range", &got, &mut report);
+                }
+                if boolean {
+                    let dnf = vec![vec![(field.clone(), value.clone())]];
+                    let got = self.boolean_ids(schema_name, &dnf)?;
+                    check("bool", &got, &mut report);
+                }
+            }
+        }
+        Ok(report)
     }
 
     // ----------------------------------------------- gateway state handling

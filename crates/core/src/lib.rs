@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 pub mod cloud;
 pub mod cloudproto;
+pub mod durability;
 pub mod error;
 pub mod gateway;
 pub mod leakage;

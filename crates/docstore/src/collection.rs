@@ -59,6 +59,14 @@ impl Collection {
         self.inner.read().docs.is_empty()
     }
 
+    /// Names of the fields with a secondary index, sorted — snapshot and
+    /// recovery flows persist these alongside the documents.
+    pub fn indexed_fields(&self) -> Vec<String> {
+        let mut fields: Vec<String> = self.inner.read().indexes.keys().cloned().collect();
+        fields.sort();
+        fields
+    }
+
     /// Creates a secondary index on `field` (idempotent; backfills).
     pub fn create_index(&self, field: &str) {
         let mut inner = self.inner.write();

@@ -23,7 +23,10 @@
 mod log;
 mod store;
 
-pub use log::{replay_log, AppendLog, LogRecord};
+pub use log::{
+    crc32, frame_bytes, read_frames, replay_log, replay_log_report, scan_frames, AppendLog, FrameScan, FrameWriter,
+    LogRecord, ReplayReport,
+};
 pub use store::{KvStats, KvStore};
 
 /// Errors produced by the KV store.

@@ -1,8 +1,18 @@
 //! Append-only log for the paper's "semi-persistent durability mode".
 //!
-//! Records are framed as `tag:u8 || nfields:u8 || (len:u32 || bytes)*`
-//! with a trailing CRC-less design: a truncated tail record is treated as
-//! corruption at its offset.
+//! Every record travels in a CRC-checked frame:
+//!
+//! ```text
+//! len:u32 (BE) || body[len] || crc32:u32 (BE, IEEE, over body)
+//! ```
+//!
+//! The body of a KV record is `tag:u8 || nfields:u8 || (len:u32 || bytes)*`.
+//! On replay, an *incomplete* trailing frame is a torn tail (the crash
+//! window of a buffered append) and is truncated away; a *complete* frame
+//! whose CRC does not match is corruption and is reported at its byte
+//! offset. The frame layer is generic over opaque bodies, so the cloud
+//! WAL (`datablinder-core::durability`) reuses it for its own records and
+//! snapshots.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -11,6 +21,184 @@ use std::path::Path;
 use bytes::{Buf, BufMut, BytesMut};
 
 use crate::KvError;
+
+// ------------------------------------------------------------------ CRC32
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// built at compile time so the hot replay path stays table-driven without
+/// pulling in a crc crate.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ------------------------------------------------------------- frame layer
+
+/// Frames an opaque body as `len || body || crc32(body)`.
+pub fn frame_bytes(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 8);
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_be_bytes());
+    out
+}
+
+/// Outcome of scanning a frame file.
+#[derive(Debug)]
+pub struct FrameScan {
+    /// Bodies of every complete, CRC-valid frame, in file order.
+    pub frames: Vec<Vec<u8>>,
+    /// Byte length of the valid prefix (end of the last complete frame).
+    pub valid_len: u64,
+    /// Whether bytes past `valid_len` were dropped as a torn tail.
+    pub torn_tail: bool,
+}
+
+/// Reads every complete frame from `path`.
+///
+/// An incomplete trailing frame is reported as a torn tail (callers
+/// typically truncate to `valid_len` before appending again). A complete
+/// frame with a CRC mismatch is *corruption*, not truncation.
+///
+/// # Errors
+///
+/// Propagates I/O errors; [`KvError::CorruptLog`] at the offending
+/// frame's offset on CRC mismatch.
+pub fn read_frames(path: &Path) -> Result<FrameScan, KvError> {
+    let mut file = File::open(path)?;
+    let mut raw = Vec::new();
+    file.read_to_end(&mut raw)?;
+    scan_frames(&raw)
+}
+
+/// [`read_frames`] over an in-memory buffer.
+///
+/// # Errors
+///
+/// [`KvError::CorruptLog`] at the offending frame's offset on CRC mismatch.
+pub fn scan_frames(raw: &[u8]) -> Result<FrameScan, KvError> {
+    let mut frames = Vec::new();
+    let mut offset = 0usize;
+    while raw.len() - offset >= 4 {
+        let len = u32::from_be_bytes([raw[offset], raw[offset + 1], raw[offset + 2], raw[offset + 3]]) as usize;
+        let total = 4 + len + 4;
+        if raw.len() - offset < total {
+            break; // torn tail: frame announced but not fully on disk
+        }
+        let body = &raw[offset + 4..offset + 4 + len];
+        let stored = u32::from_be_bytes([
+            raw[offset + 4 + len],
+            raw[offset + 4 + len + 1],
+            raw[offset + 4 + len + 2],
+            raw[offset + 4 + len + 3],
+        ]);
+        if crc32(body) != stored {
+            return Err(KvError::CorruptLog { offset: offset as u64 });
+        }
+        frames.push(body.to_vec());
+        offset += total;
+    }
+    Ok(FrameScan { frames, valid_len: offset as u64, torn_tail: offset < raw.len() })
+}
+
+/// A buffered appender of CRC-checked frames.
+pub struct FrameWriter {
+    writer: BufWriter<File>,
+    appended: u64,
+    flush_every: u64,
+}
+
+impl FrameWriter {
+    /// Opens (creating if needed) `path` for appending frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(path: &Path) -> Result<Self, KvError> {
+        Self::with_flush_every(path, 256)
+    }
+
+    /// [`FrameWriter::open`] with an explicit buffered-flush interval
+    /// (`0` flushes every append).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn with_flush_every(path: &Path, flush_every: u64) -> Result<Self, KvError> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(FrameWriter { writer: BufWriter::new(file), appended: 0, flush_every })
+    }
+
+    /// Appends one framed body; returns the frame's on-disk length.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn append(&mut self, body: &[u8]) -> Result<u64, KvError> {
+        let frame = frame_bytes(body);
+        self.writer.write_all(&frame)?;
+        self.appended += 1;
+        if self.flush_every == 0 || self.appended.is_multiple_of(self.flush_every.max(1)) {
+            self.writer.flush()?;
+        }
+        Ok(frame.len() as u64)
+    }
+
+    /// Writes `raw` bytes verbatim and flushes — the crash injector uses
+    /// this to leave a deliberately torn frame prefix on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn append_raw(&mut self, raw: &[u8]) -> Result<(), KvError> {
+        self.writer.write_all(raw)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Forces buffered frames to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn flush(&mut self) -> Result<(), KvError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Number of frames appended through this writer.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+}
+
+impl Drop for FrameWriter {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+// ----------------------------------------------------------- KV record log
 
 /// A single logged mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,7 +279,7 @@ impl LogRecord {
         }
     }
 
-    /// Encodes into `buf`.
+    /// Encodes the record *body* (frame-less) into `buf`.
     pub fn encode(&self, buf: &mut BytesMut) {
         buf.put_u8(self.tag());
         let fields = self.fields();
@@ -104,6 +292,13 @@ impl LogRecord {
             buf.put_u32(8);
             buf.put_i64(*by);
         }
+    }
+
+    /// Encoded body as a standalone buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64);
+        self.encode(&mut buf);
+        buf.to_vec()
     }
 
     /// Decodes one record from the front of `buf`; `None` means the buffer
@@ -153,12 +348,26 @@ impl LogRecord {
         };
         Ok(Some(rec))
     }
+
+    /// Decodes a record from a complete frame body.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::CorruptLog`] if the body is short, malformed, or holds
+    /// trailing bytes — inside a CRC-valid frame that is structural
+    /// corruption, not truncation.
+    pub fn from_body(body: &[u8]) -> Result<LogRecord, KvError> {
+        let mut buf = BytesMut::from(body);
+        match LogRecord::decode(&mut buf)? {
+            Some(rec) if buf.is_empty() => Ok(rec),
+            _ => Err(KvError::CorruptLog { offset: 0 }),
+        }
+    }
 }
 
-/// A buffered append-only writer.
+/// A buffered append-only KV record log over CRC frames.
 pub struct AppendLog {
-    writer: BufWriter<File>,
-    appended: u64,
+    frames: FrameWriter,
 }
 
 impl AppendLog {
@@ -168,8 +377,7 @@ impl AppendLog {
     ///
     /// Propagates filesystem errors.
     pub fn open(path: &Path) -> Result<Self, KvError> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(AppendLog { writer: BufWriter::new(file), appended: 0 })
+        Ok(AppendLog { frames: FrameWriter::open(path)? })
     }
 
     /// Appends one record (buffered; flushed every 256 records —
@@ -179,13 +387,7 @@ impl AppendLog {
     ///
     /// Propagates write errors.
     pub fn append(&mut self, rec: &LogRecord) -> Result<(), KvError> {
-        let mut buf = BytesMut::with_capacity(64);
-        rec.encode(&mut buf);
-        self.writer.write_all(&buf)?;
-        self.appended += 1;
-        if self.appended.is_multiple_of(256) {
-            self.writer.flush()?;
-        }
+        self.frames.append(&rec.to_bytes())?;
         Ok(())
     }
 
@@ -195,33 +397,44 @@ impl AppendLog {
     ///
     /// Propagates flush errors.
     pub fn flush(&mut self) -> Result<(), KvError> {
-        self.writer.flush()?;
-        Ok(())
+        self.frames.flush()
     }
 }
 
-impl Drop for AppendLog {
-    fn drop(&mut self) {
-        let _ = self.writer.flush();
-    }
+/// What [`replay_log_report`] found on disk.
+#[derive(Debug)]
+pub struct ReplayReport {
+    /// Records recovered from the valid prefix.
+    pub records: Vec<LogRecord>,
+    /// Byte length of the valid prefix.
+    pub valid_len: u64,
+    /// Whether a torn tail was dropped.
+    pub torn_tail: bool,
 }
 
-/// Reads every complete record from a log file; a trailing partial record
+/// Reads every complete record from a log file; a trailing partial frame
 /// is ignored (crash-consistent semi-durability).
 ///
 /// # Errors
 ///
-/// Propagates I/O errors and corrupt (non-truncation) records.
+/// Propagates I/O errors and corrupt (CRC-mismatch) records.
 pub fn replay_log(path: &Path) -> Result<Vec<LogRecord>, KvError> {
-    let mut file = File::open(path)?;
-    let mut raw = Vec::new();
-    file.read_to_end(&mut raw)?;
-    let mut buf = BytesMut::from(&raw[..]);
-    let mut out = Vec::new();
-    while let Some(rec) = LogRecord::decode(&mut buf)? {
-        out.push(rec);
+    Ok(replay_log_report(path)?.records)
+}
+
+/// [`replay_log`] plus the valid prefix length, so callers can truncate a
+/// torn tail before appending again.
+///
+/// # Errors
+///
+/// Propagates I/O errors and corrupt (CRC-mismatch) records.
+pub fn replay_log_report(path: &Path) -> Result<ReplayReport, KvError> {
+    let scan = read_frames(path)?;
+    let mut records = Vec::with_capacity(scan.frames.len());
+    for body in &scan.frames {
+        records.push(LogRecord::from_body(body)?);
     }
-    Ok(out)
+    Ok(ReplayReport { records, valid_len: scan.valid_len, torn_tail: scan.torn_tail })
 }
 
 #[cfg(test)]
@@ -233,6 +446,14 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("datablinder-kvlog-{name}-{}", std::process::id()));
         p
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Published IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
     }
 
     #[test]
@@ -276,6 +497,40 @@ mod tests {
         assert!(matches!(LogRecord::decode(&mut buf), Err(KvError::CorruptLog { .. })));
     }
 
+    /// Flipping any byte of a mid-file record — its frame length (low
+    /// byte), tag, field count, a field length, field bytes, or the CRC
+    /// itself — is detected as corruption at that frame's offset, not
+    /// silently absorbed or mistaken for a torn tail.
+    #[test]
+    fn byte_flip_in_each_field_detected() {
+        let first = LogRecord::HSet { key: b"hash-key".to_vec(), field: b"field".to_vec(), value: b"value".to_vec() };
+        // A long second record so a ±255 perturbation of the first frame's
+        // low length byte still lands inside the file.
+        let second = LogRecord::Set { key: b"pad".to_vec(), value: vec![0x5A; 400] };
+        let mut file = frame_bytes(&first.to_bytes());
+        let first_len = file.len();
+        file.extend_from_slice(&frame_bytes(&second.to_bytes()));
+
+        // Byte 3 is the low byte of the length header; 4.. is the body
+        // (tag, nfields, field lengths, field bytes); the last 4 are the CRC.
+        let positions: Vec<usize> = (3..first_len).collect();
+        for pos in positions {
+            let mut tampered = file.clone();
+            tampered[pos] ^= 0xA5;
+            let outcome = scan_frames(&tampered);
+            match outcome {
+                Err(KvError::CorruptLog { offset }) => {
+                    assert_eq!(offset, 0, "flip at byte {pos} blamed the wrong frame");
+                }
+                other => panic!("flip at byte {pos} went undetected: {other:?}"),
+            }
+        }
+        // Untampered file still scans clean.
+        let scan = scan_frames(&file).unwrap();
+        assert_eq!(scan.frames.len(), 2);
+        assert!(!scan.torn_tail);
+    }
+
     #[test]
     fn semi_durable_recovery() {
         let path = temp_path("recovery");
@@ -314,6 +569,31 @@ mod tests {
         let kv = KvStore::open_semi_durable(&path).unwrap();
         assert_eq!(kv.get(b"a"), Some(b"1".to_vec()));
         assert_eq!(kv.get(b"b"), None, "torn record must be dropped");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Reopening after a torn tail truncates the garbage, so the next
+    /// append starts at a frame boundary instead of extending the tear.
+    #[test]
+    fn torn_tail_truncated_on_reopen() {
+        let path = temp_path("torn-reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let kv = KvStore::open_semi_durable(&path).unwrap();
+            kv.set(b"a", b"1");
+            kv.set(b"b", b"2");
+        }
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        {
+            let kv = KvStore::open_semi_durable(&path).unwrap();
+            kv.set(b"c", b"3");
+        }
+        // A third generation sees a clean log: a + the new c, no b, no error.
+        let kv = KvStore::open_semi_durable(&path).unwrap();
+        assert_eq!(kv.get(b"a"), Some(b"1".to_vec()));
+        assert_eq!(kv.get(b"b"), None);
+        assert_eq!(kv.get(b"c"), Some(b"3".to_vec()));
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -75,8 +75,15 @@ impl KvStore {
     pub fn open_semi_durable(path: &std::path::Path) -> Result<Self, KvError> {
         let store = KvStore::new();
         if path.exists() {
-            for record in crate::log::replay_log(path)? {
-                store.apply(&record, false);
+            let report = crate::log::replay_log_report(path)?;
+            for record in &report.records {
+                store.apply(record, false);
+            }
+            if report.torn_tail {
+                // Drop the torn tail so the appender resumes at a frame
+                // boundary instead of extending garbage.
+                let file = std::fs::OpenOptions::new().write(true).open(path)?;
+                file.set_len(report.valid_len)?;
             }
         }
         let log = AppendLog::open(path)?;
@@ -95,6 +102,42 @@ impl KvStore {
             // only in debug; production code would expose a flush error API.
             let _ = log.append(&rec);
         }
+    }
+
+    /// Applies a log record without journaling it — used by snapshot
+    /// restore and WAL replay, where the record is already durable.
+    pub fn apply_record(&self, rec: &LogRecord) {
+        self.apply(rec, false);
+    }
+
+    /// Dumps the live state as a deterministic record sequence: replaying
+    /// the sequence into an empty store reproduces this store exactly.
+    /// Keys follow map order; hash fields and set members are sorted, so
+    /// two equal stores export byte-identical snapshots.
+    pub fn export_records(&self) -> Vec<LogRecord> {
+        let map = self.inner.map.read();
+        let mut out = Vec::with_capacity(map.len());
+        for (key, slot) in map.iter() {
+            match slot {
+                Slot::Str(v) => out.push(LogRecord::Set { key: key.clone(), value: v.clone() }),
+                Slot::Hash(h) => {
+                    let mut fields: Vec<_> = h.iter().collect();
+                    fields.sort();
+                    for (f, v) in fields {
+                        out.push(LogRecord::HSet { key: key.clone(), field: f.clone(), value: v.clone() });
+                    }
+                }
+                Slot::Set(s) => {
+                    let mut members: Vec<_> = s.iter().collect();
+                    members.sort();
+                    for m in members {
+                        out.push(LogRecord::SAdd { key: key.clone(), member: m.clone() });
+                    }
+                }
+                Slot::Counter(c) => out.push(LogRecord::Incr { key: key.clone(), by: *c }),
+            }
+        }
+        out
     }
 
     /// Applies a log record (used by recovery; `log_it` controls re-logging).

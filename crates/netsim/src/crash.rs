@@ -1,0 +1,191 @@
+//! Deterministic crash-point injection for the *cloud process* itself.
+//!
+//! [`fault`](crate::fault) kills messages; this module kills the machine.
+//! A [`CrashPlan`] names one crash point — "die after N applied records",
+//! "tear the N-th WAL append at byte M", or "journal the N-th record fully
+//! but die before applying it" — and a [`CrashInjector`] hands the cloud's
+//! durability layer a verdict at every write. Like [`FaultPlan`]
+//! (crate::fault::FaultPlan), a seeded constructor derives the point from
+//! one SplitMix64 stream, so a `(seed, workload)` pair replays the exact
+//! same crash. After the point fires the injector latches into the
+//! *crashed* state: the process is dead until a restart harness rebuilds
+//! the engine from disk and the injector is cleared or replaced.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::fault::SplitMix64;
+
+/// Where in the write path the cloud dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Refuse the `n`-th write (0-based) before anything reaches the WAL:
+    /// the first `n` writes journal and apply, then the machine vanishes.
+    BeforeAppend(u64),
+    /// Tear the `n`-th WAL append: only the first `byte` bytes of the
+    /// frame reach disk, then the machine vanishes. Recovery must treat
+    /// the partial frame as a torn tail.
+    MidAppend {
+        /// Index (0-based) of the journaled write to tear.
+        record: u64,
+        /// How many bytes of the frame survive (clamped to `len - 1`).
+        byte: u64,
+    },
+    /// The `n`-th append reaches disk in full, but the machine dies
+    /// before the mutation is applied — recovery must roll it forward.
+    AfterAppend(u64),
+}
+
+/// A single planned crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    point: CrashPoint,
+}
+
+impl CrashPlan {
+    /// A plan that crashes at exactly `point`.
+    pub fn at(point: CrashPoint) -> Self {
+        CrashPlan { point }
+    }
+
+    /// Derives a crash point from `seed`, landing on one of the first
+    /// `horizon` writes (like `FaultPlan`, all randomness comes from one
+    /// SplitMix64 stream; equal seeds give equal plans).
+    pub fn seeded(seed: u64, horizon: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xC4A5_11F0_57A7_E5EE);
+        let record = rng.next_u64() % horizon.max(1);
+        let mode = rng.next_u64() % 3;
+        let byte = rng.next_u64() % 64;
+        let point = match mode {
+            0 => CrashPoint::BeforeAppend(record),
+            1 => CrashPoint::MidAppend { record, byte },
+            _ => CrashPoint::AfterAppend(record),
+        };
+        CrashPlan { point }
+    }
+
+    /// The planned crash point.
+    pub fn point(&self) -> CrashPoint {
+        self.point
+    }
+}
+
+/// What the durability layer must do with the write it is about to journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashVerdict {
+    /// Journal and apply normally.
+    Proceed,
+    /// The machine is already gone: journal nothing, apply nothing.
+    Refuse,
+    /// Write only the first `n` bytes of the frame, then die.
+    Torn(usize),
+    /// Write the whole frame, then die before applying.
+    DieAfterAppend,
+}
+
+/// Shared, thread-safe crash state consulted by the cloud's write path.
+#[derive(Debug)]
+pub struct CrashInjector {
+    plan: CrashPlan,
+    writes: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl CrashInjector {
+    /// A live injector armed with `plan`.
+    pub fn new(plan: CrashPlan) -> Self {
+        CrashInjector { plan, writes: AtomicU64::new(0), crashed: AtomicBool::new(false) }
+    }
+
+    /// Whether the crash point has fired (the process is "down").
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Number of writes that were allowed to journal in full.
+    pub fn writes_allowed(&self) -> u64 {
+        self.writes.load(Ordering::SeqCst)
+    }
+
+    /// Consulted once per journaled write with the frame's on-disk length;
+    /// counts the write and decides whether the machine survives it.
+    pub fn on_append(&self, frame_len: usize) -> CrashVerdict {
+        if self.crashed() {
+            return CrashVerdict::Refuse;
+        }
+        let n = self.writes.load(Ordering::SeqCst);
+        let verdict = match self.plan.point {
+            CrashPoint::BeforeAppend(r) if n >= r => CrashVerdict::Refuse,
+            CrashPoint::MidAppend { record, byte } if n == record => {
+                CrashVerdict::Torn((byte as usize).min(frame_len.saturating_sub(1)))
+            }
+            CrashPoint::AfterAppend(r) if n == r => CrashVerdict::DieAfterAppend,
+            _ => CrashVerdict::Proceed,
+        };
+        match verdict {
+            CrashVerdict::Proceed => {
+                self.writes.fetch_add(1, Ordering::SeqCst);
+            }
+            CrashVerdict::DieAfterAppend => {
+                self.writes.fetch_add(1, Ordering::SeqCst);
+                self.crashed.store(true, Ordering::SeqCst);
+            }
+            CrashVerdict::Refuse | CrashVerdict::Torn(_) => {
+                self.crashed.store(true, Ordering::SeqCst);
+            }
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn before_append_counts_then_refuses() {
+        let inj = CrashInjector::new(CrashPlan::at(CrashPoint::BeforeAppend(2)));
+        assert_eq!(inj.on_append(10), CrashVerdict::Proceed);
+        assert_eq!(inj.on_append(10), CrashVerdict::Proceed);
+        assert_eq!(inj.on_append(10), CrashVerdict::Refuse);
+        assert!(inj.crashed());
+        assert_eq!(inj.on_append(10), CrashVerdict::Refuse, "stays dead");
+        assert_eq!(inj.writes_allowed(), 2);
+    }
+
+    #[test]
+    fn mid_append_tears_the_frame() {
+        let inj = CrashInjector::new(CrashPlan::at(CrashPoint::MidAppend { record: 1, byte: 7 }));
+        assert_eq!(inj.on_append(20), CrashVerdict::Proceed);
+        assert_eq!(inj.on_append(20), CrashVerdict::Torn(7));
+        assert!(inj.crashed());
+    }
+
+    #[test]
+    fn torn_byte_clamped_below_frame_len() {
+        let inj = CrashInjector::new(CrashPlan::at(CrashPoint::MidAppend { record: 0, byte: 999 }));
+        assert_eq!(inj.on_append(12), CrashVerdict::Torn(11), "never a full frame");
+    }
+
+    #[test]
+    fn after_append_dies_post_write() {
+        let inj = CrashInjector::new(CrashPlan::at(CrashPoint::AfterAppend(0)));
+        assert_eq!(inj.on_append(16), CrashVerdict::DieAfterAppend);
+        assert!(inj.crashed());
+        assert_eq!(inj.writes_allowed(), 1, "the frame did reach disk");
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_varied() {
+        let a = CrashPlan::seeded(42, 100);
+        let b = CrashPlan::seeded(42, 100);
+        assert_eq!(a, b);
+        let modes: std::collections::HashSet<u8> = (0..64)
+            .map(|s| match CrashPlan::seeded(s, 100).point() {
+                CrashPoint::BeforeAppend(_) => 0,
+                CrashPoint::MidAppend { .. } => 1,
+                CrashPoint::AfterAppend(_) => 2,
+            })
+            .collect();
+        assert_eq!(modes.len(), 3, "seeds cover all crash modes");
+    }
+}

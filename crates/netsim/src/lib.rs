@@ -40,10 +40,12 @@ use std::time::Duration;
 
 use bytes::{Buf, BufMut, BytesMut};
 
+pub mod crash;
 pub mod fault;
 pub mod prelude;
 pub mod resilient;
 
+pub use crash::{CrashInjector, CrashPlan, CrashPoint, CrashVerdict};
 pub use fault::{FaultPlan, FaultStats, FaultStatsSnapshot, FaultyService, RouteFaults};
 pub use resilient::{BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig, ResilientChannel, RetryPolicy};
 

@@ -6,6 +6,7 @@
 //! use datablinder_netsim::prelude::*;
 //! ```
 
+pub use crate::crash::{CrashInjector, CrashPlan, CrashPoint, CrashVerdict};
 pub use crate::fault::{FaultPlan, FaultStats, FaultStatsSnapshot, FaultyService, RouteFaults};
 pub use crate::resilient::{
     BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig, ResilientChannel, RetryPolicy,

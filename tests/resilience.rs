@@ -1,20 +1,25 @@
 //! Failure-injection integration tests: deterministic fault storms through
 //! the resilient channel, circuit breaking, byzantine cloud responses,
-//! batch partial-failure semantics and crash-safe gateway state.
+//! batch partial-failure semantics, crash-safe gateway state, and cloud
+//! crash storms recovered through the WAL + snapshot layer.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use datablinder::core::cloud::CloudEngine;
-use datablinder::core::gateway::GatewayEngine;
+use datablinder::core::durability::{DurabilityOptions, RestartableCloud};
+use datablinder::core::gateway::{GatewayEngine, PendingWriteReport};
 use datablinder::core::model::*;
 use datablinder::core::CoreError;
 use datablinder::docstore::{Document, Value};
 use datablinder::kms::Kms;
 use datablinder::kvstore::KvStore;
 use datablinder::netsim::{
-    BreakerConfig, BreakerState, Channel, FaultPlan, FaultStatsSnapshot, FaultyService, LatencyModel, MetricsSnapshot,
-    NetError, ResilienceConfig, ResilientChannel, RetryPolicy, RouteFaults,
+    BreakerConfig, BreakerState, Channel, CloudService, CrashInjector, CrashPlan, CrashPoint, FaultPlan,
+    FaultStatsSnapshot, FaultyService, LatencyModel, MetricsSnapshot, NetError, ResilienceConfig, ResilientChannel,
+    RetryPolicy, RouteFaults,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -315,6 +320,342 @@ fn gateway_state_survives_crash_via_semi_durable_store() {
     assert_eq!(hits.len(), 4);
 
     std::fs::remove_file(&path).unwrap();
+}
+
+// ----------------------------------------------------------- crash storms
+
+/// Equality + range + boolean in one schema: `status` rides the shared
+/// boolean tactic (BIEX), `owner` a per-field SSE chain (Mitra), `when` an
+/// order-preserving shadow (OPE) — so a crash mid-insert can strand any of
+/// three differently-shaped index structures.
+fn rich_schema() -> Schema {
+    Schema::new("vault")
+        .sensitive_field(
+            "status",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C3, vec![FieldOp::Insert, FieldOp::Equality, FieldOp::Boolean]),
+        )
+        .sensitive_field(
+            "owner",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C2, vec![FieldOp::Insert, FieldOp::Equality]),
+        )
+        .sensitive_field(
+            "when",
+            FieldType::Integer,
+            true,
+            FieldAnnotation::new(ProtectionClass::C5, vec![FieldOp::Insert, FieldOp::Range]),
+        )
+}
+
+const CRASH_DOCS: usize = 200;
+const CRASH_SEED: u64 = 0xC4A5;
+const STATUSES: [&str; 4] = ["draft", "active", "final", "void"];
+
+/// Everything a run observes, for oracle comparison.
+#[derive(Debug, PartialEq, Eq)]
+struct RunOutput {
+    eq_status: Vec<Vec<String>>,
+    eq_owner: Vec<Vec<String>>,
+    ranges: Vec<Vec<String>>,
+    bools: Vec<Vec<String>>,
+    live_docs: u64,
+}
+
+fn sorted_ids(docs: &[Document]) -> Vec<String> {
+    let mut ids: Vec<String> = docs.iter().map(|d| d.id().to_string()).collect();
+    ids.sort();
+    ids
+}
+
+/// Drives the reference workload (≥200 inserts + periodic deletes, then
+/// every search shape + fsck) through `channel`. The gateway never
+/// crashes here — the cloud behind the channel might — so any injected
+/// outage must be absorbed by retries, never surfacing to the caller.
+fn run_crash_workload(channel: Channel, seed: u64) -> RunOutput {
+    let config = ResilienceConfig {
+        retry: RetryPolicy { max_attempts: 8, ..RetryPolicy::default() },
+        seed,
+        ..ResilienceConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gw =
+        GatewayEngine::with_resilience("vault", Kms::generate(&mut rng), ResilientChannel::new(channel, config), seed);
+    gw.enable_write_journal(KvStore::new());
+    gw.register_schema(rich_schema()).unwrap();
+
+    let mut ids = Vec::with_capacity(CRASH_DOCS);
+    for i in 0..CRASH_DOCS {
+        let doc = Document::new("x")
+            .with("status", Value::from(STATUSES[i % STATUSES.len()]))
+            .with("owner", Value::from(format!("o{}", i % 10)))
+            .with("when", Value::from((i % 20) as i64));
+        ids.push(gw.insert("vault", &doc).expect("cloud crash must be absorbed by retries"));
+    }
+    for i in (0..CRASH_DOCS).step_by(11) {
+        gw.delete("vault", ids[i]).expect("delete survives the crash window");
+    }
+    assert_eq!(gw.pending_writes(), 0, "every journaled write group was acknowledged");
+
+    let eq_status = STATUSES
+        .iter()
+        .map(|s| sorted_ids(&gw.find_equal("vault", "status", &Value::from(*s)).expect("equality after recovery")))
+        .collect();
+    let eq_owner = (0..10)
+        .map(|o| {
+            let owner = format!("o{o}");
+            sorted_ids(&gw.find_equal("vault", "owner", &Value::from(owner.as_str())).expect("equality (mitra)"))
+        })
+        .collect();
+    let ranges = [0i64, 5, 13]
+        .iter()
+        .map(|lo| {
+            sorted_ids(&gw.find_range("vault", "when", &Value::from(*lo), &Value::from(lo + 4)).expect("range (ope)"))
+        })
+        .collect();
+    let single = vec![vec![("status".to_string(), Value::from("final"))]];
+    let disjunction =
+        vec![vec![("status".to_string(), Value::from("draft"))], vec![("status".to_string(), Value::from("void"))]];
+    let bools = [single, disjunction]
+        .iter()
+        .map(|dnf| sorted_ids(&gw.find_boolean("vault", dnf).expect("boolean (biex)")))
+        .collect();
+    let live_docs = gw.count("vault").unwrap();
+
+    // The ISSUE's acceptance bar: after recovery the index↔store invariants
+    // hold — every document reachable, no orphan index entries.
+    let fsck = gw.fsck("vault").expect("fsck runs");
+    assert!(fsck.is_clean(), "fsck after recovery: {fsck:?}");
+    assert_eq!(fsck.docs_checked as u64, live_docs);
+    assert!(fsck.searches_run > 0);
+
+    RunOutput { eq_status, eq_owner, ranges, bools, live_docs }
+}
+
+fn crash_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("datablinder-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn crash_storm_recovers_to_oracle_at_every_kth_mutation() {
+    // Oracle: the same workload against a cloud that never crashes.
+    let oracle = run_crash_workload(Channel::connect(CloudEngine::new(), LatencyModel::instant()), CRASH_SEED);
+    let expected_live = (CRASH_DOCS - (0..CRASH_DOCS).step_by(11).count()) as u64;
+    assert_eq!(oracle.live_docs, expected_live);
+
+    // Durable but uncrashed run: measures the journaled-write horizon and
+    // proves the WAL+snapshot layer is invisible when nothing goes wrong.
+    let base = crash_dir("base");
+    let opts = DurabilityOptions { snapshot_every: Some(64), dedup_capacity: Some(4096), crash: None };
+    let svc = Arc::new(RestartableCloud::open(&base, opts).unwrap());
+    let durable = run_crash_workload(Channel::from_arc(svc.clone(), LatencyModel::instant()), CRASH_SEED);
+    assert_eq!(durable, oracle, "durability layer must not change results");
+    assert_eq!(svc.restarts(), 0);
+    let horizon = svc.with_engine(|e| e.wal_seq()).unwrap();
+    assert!(horizon > CRASH_DOCS as u64, "every mutation journaled: {horizon}");
+
+    // Cold restart from disk alone: snapshot + WAL tail rebuild the state.
+    drop(svc);
+    let reopened = CloudEngine::open_durable(&base).unwrap();
+    assert!(reopened.recovery_report().snapshot_restored, "snapshot compaction happened");
+    assert_eq!(reopened.docs().collection("vault").len() as u64, expected_live);
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&base);
+
+    // The storm: crash at every k-th journaled mutation, rotating through
+    // all three crash modes (refuse / torn frame / journaled-not-applied),
+    // restart mid-workload, and demand oracle-exact results + clean fsck.
+    let k = (horizon / 6).max(1);
+    let mut storms = 0u32;
+    for (i, at) in (0..horizon).step_by(k as usize).enumerate() {
+        let point = match i % 3 {
+            0 => CrashPoint::BeforeAppend(at),
+            1 => CrashPoint::MidAppend { record: at, byte: 9 },
+            _ => CrashPoint::AfterAppend(at),
+        };
+        let dir = crash_dir(&format!("p{i}"));
+        let opts = DurabilityOptions {
+            snapshot_every: Some(64),
+            dedup_capacity: Some(4096),
+            crash: Some(Arc::new(CrashInjector::new(CrashPlan::at(point)))),
+        };
+        let svc = Arc::new(RestartableCloud::open(&dir, opts).unwrap());
+        let out = run_crash_workload(Channel::from_arc(svc.clone(), LatencyModel::instant()), CRASH_SEED);
+        assert_eq!(out, oracle, "crash at write {at} ({point:?}) must recover to oracle results");
+        assert_eq!(svc.restarts(), 1, "the planned crash fired exactly once ({point:?})");
+        if matches!(point, CrashPoint::MidAppend { .. }) {
+            let torn = svc.with_engine(|e| e.recovery_report().torn_tail).unwrap();
+            assert!(torn, "a mid-append crash leaves a torn tail for recovery to truncate");
+        }
+        storms += 1;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(storms >= 6, "covered the workload: {storms} crash points");
+}
+
+// ---------------------------------------------------- gateway write journal
+
+/// A cloud whose *write* intake can be cut off after a budget of calls:
+/// reads keep flowing, writes time out — the shape of a mid-fan-out outage
+/// that strands an insert across its tactic indexes.
+struct MeteredCloud {
+    inner: CloudEngine,
+    write_budget: AtomicI64,
+}
+
+impl MeteredCloud {
+    fn healthy() -> Self {
+        MeteredCloud { inner: CloudEngine::new(), write_budget: AtomicI64::new(i64::MAX) }
+    }
+}
+
+impl CloudService for MeteredCloud {
+    fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        // The gateway seals every write into an idempotency envelope, so
+        // gating on the envelope route meters exactly the write groups.
+        if route == "idem" && self.write_budget.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            return Err(NetError::Timeout);
+        }
+        self.inner.handle(route, payload)
+    }
+}
+
+#[test]
+fn interrupted_insert_rolls_forward_via_write_journal() {
+    let svc = Arc::new(MeteredCloud::healthy());
+    let journal = KvStore::new();
+    let state = KvStore::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let kms = Kms::generate(&mut rng);
+    let config = ResilienceConfig { retry: RetryPolicy::none(), ..ResilienceConfig::default() };
+    let mut gw = GatewayEngine::with_resilience(
+        "journal",
+        kms.clone(),
+        ResilientChannel::new(Channel::from_arc(svc.clone(), LatencyModel::instant()), config),
+        7,
+    );
+    gw.register_schema(simple_schema()).unwrap();
+    gw.enable_write_journal(journal.clone());
+    gw.insert("notes", &Document::new("x").with("owner", Value::from("alice"))).unwrap();
+    assert_eq!(gw.pending_writes(), 0);
+
+    // Pull the plug after one more write: bob's index update lands, the
+    // doc/insert does not — the classic half-indexed insert.
+    svc.write_budget.store(1, Ordering::SeqCst);
+    let err = gw.insert("notes", &Document::new("x").with("owner", Value::from("bob"))).unwrap_err();
+    assert!(matches!(err, CoreError::Net(NetError::Timeout)), "{err}");
+    assert_eq!(gw.pending_writes(), 1, "the interrupted group stays journaled");
+    // The half-applied insert is invisible to queries (index entry resolves
+    // to a missing document, which search drops).
+    assert!(gw.find_equal("notes", "owner", &Value::from("bob")).unwrap().is_empty());
+
+    // "Restart": plug restored, fresh gateway over the same journal and
+    // saved tactic state rolls the group forward.
+    svc.write_budget.store(i64::MAX, Ordering::SeqCst);
+    gw.save_state(&state);
+    drop(gw);
+    let mut gw2 = GatewayEngine::new("journal", kms, Channel::from_arc(svc.clone(), LatencyModel::instant()), 8);
+    gw2.register_schema(simple_schema()).unwrap();
+    gw2.load_state(&state).unwrap();
+    gw2.enable_write_journal(journal);
+    assert_eq!(gw2.pending_writes(), 1, "the entry survived the restart");
+    let report = gw2.recover_pending().unwrap();
+    assert_eq!(report, PendingWriteReport { entries: 1, rolled_forward: 1, failed: 0, failures: Vec::new() });
+    assert_eq!(gw2.pending_writes(), 0);
+
+    // Bob is now fully indexed AND stored; the store is consistent again.
+    let hits = gw2.find_equal("notes", "owner", &Value::from("bob")).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].get("owner"), Some(&Value::from("bob")));
+    let fsck = gw2.fsck("notes").unwrap();
+    assert!(fsck.is_clean(), "{fsck:?}");
+}
+
+#[test]
+fn unapplyable_journal_entry_is_reported_failed() {
+    // A pending group whose doc/insert collides with an already-stored id
+    // cannot complete: recovery must report it failed and clear it — not
+    // leave it pending forever, not half-apply it silently.
+    let svc = Arc::new(MeteredCloud::healthy());
+    let mut rng = StdRng::seed_from_u64(0xFA11);
+    let kms = Kms::generate(&mut rng);
+    const ID_SEED: u64 = 42;
+
+    let mut gw_a =
+        GatewayEngine::new("journal", kms.clone(), Channel::from_arc(svc.clone(), LatencyModel::instant()), ID_SEED);
+    gw_a.register_schema(simple_schema()).unwrap();
+    gw_a.insert("notes", &Document::new("x").with("owner", Value::from("first"))).unwrap();
+
+    // Same id seed → gw_b mints the same DocId; its insert is interrupted
+    // after the index update, leaving a pending group that can never apply.
+    let journal = KvStore::new();
+    let config = ResilienceConfig { retry: RetryPolicy::none(), ..ResilienceConfig::default() };
+    let mut gw_b = GatewayEngine::with_resilience(
+        "journal",
+        kms,
+        ResilientChannel::new(Channel::from_arc(svc.clone(), LatencyModel::instant()), config),
+        ID_SEED,
+    );
+    gw_b.register_schema(simple_schema()).unwrap();
+    gw_b.enable_write_journal(journal);
+    svc.write_budget.store(1, Ordering::SeqCst);
+    gw_b.insert("notes", &Document::new("x").with("owner", Value::from("second"))).unwrap_err();
+    assert_eq!(gw_b.pending_writes(), 1);
+
+    svc.write_budget.store(i64::MAX, Ordering::SeqCst);
+    let report = gw_b.recover_pending().unwrap();
+    assert_eq!(report.entries, 1);
+    assert_eq!(report.failed, 1);
+    assert_eq!(report.rolled_forward, 0);
+    assert_eq!(report.failures.len(), 1, "the reason is reported: {:?}", report.failures);
+    assert_eq!(gw_b.pending_writes(), 0, "failed entries are cleared, not retried forever");
+    // The collided slot still holds the original document (gw_a owns the
+    // chain state for "first", so it does the lookup), and no phantom
+    // second document appeared.
+    let hits = gw_a.find_equal("notes", "owner", &Value::from("first")).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].get("owner"), Some(&Value::from("first")));
+    assert_eq!(gw_a.count("notes").unwrap(), 1);
+}
+
+// ------------------------------------------------------------------- fsck
+
+#[test]
+fn fsck_detects_orphans_and_missing_index_entries() {
+    let cloud = Arc::new(CloudEngine::new());
+    let mut rng = StdRng::seed_from_u64(0xF5C4);
+    let mut gw = GatewayEngine::new(
+        "fsck",
+        Kms::generate(&mut rng),
+        Channel::from_arc(cloud.clone(), LatencyModel::instant()),
+        5,
+    );
+    gw.register_schema(simple_schema()).unwrap();
+    let mut ids = Vec::new();
+    for i in 0..5 {
+        ids.push(gw.insert("notes", &Document::new("x").with("owner", Value::from(format!("o{}", i % 2)))).unwrap());
+    }
+    let clean = gw.fsck("notes").unwrap();
+    assert!(clean.is_clean(), "{clean:?}");
+    assert_eq!(clean.docs_checked, 5);
+
+    // Byzantine cloud-side deletion: the document vanishes, its index
+    // entries do not. fsck must flag the orphan.
+    cloud.docs().collection("notes").delete(&ids[0].to_hex()).unwrap();
+    let report = gw.fsck("notes").unwrap();
+    assert!(!report.is_clean());
+    assert!(report.orphan_results.iter().any(|o| o.contains("orphan index entry")), "orphans flagged: {report:?}");
+
+    // Now wipe the whole mitra index scope: every surviving document
+    // becomes unreachable through equality search.
+    cloud.kv().del_prefix(b"t/mitra/notes:owner/");
+    let report = gw.fsck("notes").unwrap();
+    assert!(!report.is_clean());
+    assert!(!report.missing_index_entries.is_empty(), "missing entries flagged: {report:?}");
 }
 
 #[test]
