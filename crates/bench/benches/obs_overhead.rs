@@ -1,0 +1,161 @@
+//! Observability overhead: what carrying instrumentation costs the hot
+//! path, in three configurations of the same gateway workload.
+//!
+//! * `baseline` — gateway without any recorder installed (construction
+//!   default: a disabled [`Recorder`]).
+//! * `disabled_recorder` — an explicitly installed recorder with
+//!   recording switched off: every instrumentation point short-circuits
+//!   after one relaxed atomic load. This is the configuration every
+//!   production deployment runs, and the claim under test is that it is
+//!   indistinguishable from `baseline` (within a few percent).
+//! * `enabled_recorder` — full recording: counters, histograms, spans
+//!   and the leakage ledger all active. This bounds the worst case.
+//!
+//! After the Criterion groups a wall-clock summary prints mean
+//! nanoseconds per operation and the relative overhead of each
+//! configuration against the baseline, for insert and equality-search
+//! separately.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datablinder_core::cloud::CloudEngine;
+use datablinder_core::gateway::GatewayEngine;
+use datablinder_core::model::{FieldAnnotation, FieldOp, FieldType, ProtectionClass, Schema};
+use datablinder_docstore::{Document, Value};
+use datablinder_kms::Kms;
+use datablinder_netsim::{Channel, LatencyModel};
+use datablinder_obs::Recorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0x0B5;
+const PRIME_DOCS: usize = 100;
+const OWNERS: usize = 10;
+const MEASURE_OPS: usize = 400;
+
+/// Recorder configurations under comparison.
+#[derive(Clone, Copy)]
+enum Config {
+    Baseline,
+    Disabled,
+    Enabled,
+}
+
+impl Config {
+    fn label(self) -> &'static str {
+        match self {
+            Config::Baseline => "baseline",
+            Config::Disabled => "disabled_recorder",
+            Config::Enabled => "enabled_recorder",
+        }
+    }
+}
+
+fn schema() -> Schema {
+    Schema::new("notes").sensitive_field(
+        "owner",
+        FieldType::Text,
+        true,
+        FieldAnnotation::new(ProtectionClass::C2, vec![FieldOp::Insert, FieldOp::Equality]),
+    )
+}
+
+/// A primed gateway over an instant in-process channel, with the given
+/// recorder configuration installed.
+fn gateway(config: Config) -> GatewayEngine {
+    let channel = Channel::from_arc(Arc::new(CloudEngine::new()), LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut gw = GatewayEngine::new("bench", Kms::generate(&mut rng), channel, SEED);
+    match config {
+        Config::Baseline => {}
+        Config::Disabled => {
+            let r = Recorder::new();
+            r.set_enabled(false);
+            gw.set_recorder(r);
+        }
+        Config::Enabled => gw.set_recorder(Recorder::new()),
+    }
+    gw.register_schema(schema()).unwrap();
+    for i in 0..PRIME_DOCS {
+        gw.insert("notes", &doc(i)).unwrap();
+    }
+    gw
+}
+
+fn doc(i: usize) -> Document {
+    Document::new("x").with("owner", Value::from(format!("o{}", i % OWNERS)))
+}
+
+/// Mean nanoseconds per insert over `MEASURE_OPS` fresh documents.
+fn measure_insert(config: Config) -> f64 {
+    let mut gw = gateway(config);
+    let t0 = Instant::now();
+    for i in 0..MEASURE_OPS {
+        gw.insert("notes", &doc(PRIME_DOCS + i)).unwrap();
+    }
+    t0.elapsed().as_nanos() as f64 / MEASURE_OPS as f64
+}
+
+/// Mean nanoseconds per equality search over `MEASURE_OPS` queries.
+fn measure_query(config: Config) -> f64 {
+    let mut gw = gateway(config);
+    let t0 = Instant::now();
+    for i in 0..MEASURE_OPS {
+        let hits = gw.find_equal("notes", "owner", &Value::from(format!("o{}", i % OWNERS))).unwrap();
+        assert!(!hits.is_empty());
+    }
+    t0.elapsed().as_nanos() as f64 / MEASURE_OPS as f64
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead_insert");
+    group.sample_size(10);
+    for config in [Config::Baseline, Config::Disabled, Config::Enabled] {
+        group.bench_function(config.label(), |b| {
+            let mut gw = gateway(config);
+            let mut i = PRIME_DOCS;
+            b.iter(|| {
+                i += 1;
+                gw.insert("notes", &doc(i)).unwrap()
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("obs_overhead_find_equal");
+    group.sample_size(10);
+    for config in [Config::Baseline, Config::Disabled, Config::Enabled] {
+        group.bench_function(config.label(), |b| {
+            let mut gw = gateway(config);
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                gw.find_equal("notes", "owner", &Value::from(format!("o{}", i % OWNERS))).unwrap()
+            });
+        });
+    }
+    group.finish();
+
+    print_summary();
+}
+
+/// Wall-clock summary: per-config mean ns/op and overhead vs. baseline.
+fn print_summary() {
+    println!("\n== observability overhead (mean ns/op, {MEASURE_OPS} ops) ==");
+    println!("{:<22} {:>14} {:>14} {:>10}", "config", "insert", "find_equal", "vs base");
+    let base_insert = measure_insert(Config::Baseline);
+    let base_query = measure_query(Config::Baseline);
+    println!("{:<22} {:>14.0} {:>14.0} {:>10}", "baseline", base_insert, base_query, "-");
+    for config in [Config::Disabled, Config::Enabled] {
+        let ins = measure_insert(config);
+        let q = measure_query(config);
+        let rel = 100.0 * (ins + q - base_insert - base_query) / (base_insert + base_query);
+        println!("{:<22} {:>14.0} {:>14.0} {:>+9.1}%", config.label(), ins, q, rel);
+    }
+    println!("(disabled_recorder is the production configuration: one atomic load per probe)");
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -5,11 +5,17 @@
 //!
 //! ```sh
 //! cargo run --release -p datablinder-bench --bin fig5_throughput
-//! cargo run --release -p datablinder-bench --bin fig5_throughput -- --full   # paper scale
+//! cargo run --release -p datablinder-bench --bin fig5_throughput -- --full      # paper scale
+//! cargo run --release -p datablinder-bench --bin fig5_throughput -- --observe   # + S_C obs snapshot
 //! ```
+//!
+//! With `--observe` the middleware scenario runs through an enabled
+//! recorder and the run ends with its observability snapshot: aligned
+//! text tables on stdout and the machine-readable JSON document on a
+//! trailing line (pipe-friendly: `... --observe | tail -1 > snapshot.json`).
 
 use datablinder_bench::{run_all_scenarios, EvalConfig};
-use datablinder_workload::report::render_figure5;
+use datablinder_workload::report::{render_figure5, render_snapshot, render_snapshot_json};
 
 fn main() {
     let cfg = EvalConfig::from_args();
@@ -21,5 +27,9 @@ fn main() {
     println!("{}", render_figure5(&[&sa, &sb, &sc]));
     for r in [&sa, &sb, &sc] {
         assert_eq!(r.failed, 0, "{}: failed requests", r.label);
+    }
+    if cfg.observe {
+        println!("{}", render_snapshot(&sc));
+        println!("{}", render_snapshot_json(&sc));
     }
 }

@@ -11,8 +11,9 @@
 #![warn(missing_docs)]
 use datablinder_core::cloud::CloudEngine;
 use datablinder_netsim::{Channel, LatencyModel};
+use datablinder_obs::Recorder;
 use datablinder_workload::clients::{HardcodedClient, MiddlewareClient, PlainClient};
-use datablinder_workload::runner::{run_scenario, ScenarioReport, ScenarioSpec};
+use datablinder_workload::runner::{run_scenario, run_scenario_observed, ScenarioReport, ScenarioSpec};
 
 /// Workload sizing for the Figure-5 / latency-table runs.
 #[derive(Debug, Clone, Copy)]
@@ -31,16 +32,22 @@ pub struct EvalConfig {
     /// public cloud provider); `metro` with real sleeping is the default
     /// so round trips cost wall-clock time like they did there.
     pub net: &'static str,
+    /// Run S_C through an enabled [`Recorder`] so its report carries a
+    /// populated observability snapshot (per-route gateway counters,
+    /// channel metrics, leakage ledger). Off by default: recording costs
+    /// a little, and the headline S_B→S_C comparison should not pay it.
+    pub observe: bool,
 }
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { workers: 8, requests: 4_000, patient_pool: 64, paillier_bits: 512, net: "metro" }
+        EvalConfig { workers: 8, requests: 4_000, patient_pool: 64, paillier_bits: 512, net: "metro", observe: false }
     }
 }
 
 impl EvalConfig {
-    /// Parses `--workers N --requests N --full` style CLI arguments.
+    /// Parses `--workers N --requests N --observe --full` style CLI
+    /// arguments.
     pub fn from_args() -> Self {
         let mut cfg = EvalConfig::default();
         let mut args = std::env::args().skip(1);
@@ -63,6 +70,7 @@ impl EvalConfig {
                         _ => "metro",
                     };
                 }
+                "--observe" => cfg.observe = true,
                 // The paper's full scale: ~151k requests, 1000 users.
                 "--full" => {
                     cfg.workers = 64;
@@ -109,7 +117,18 @@ pub fn run_all_scenarios(cfg: EvalConfig) -> (ScenarioReport, ScenarioReport, Sc
 
     eprintln!("running S_C (DataBlinder middleware)");
     let cloud_c = Channel::connect(CloudEngine::new(), model);
-    let sc = run_scenario("S_C", spec, |w| Box::new(MiddlewareClient::new(cloud_c.clone(), w as u64)));
+    let sc = if cfg.observe {
+        let recorder = Recorder::new();
+        let rec = recorder.clone();
+        run_scenario_observed(
+            "S_C",
+            spec,
+            move |w| Box::new(MiddlewareClient::new_observed(cloud_c.clone(), w as u64, rec.clone())),
+            recorder,
+        )
+    } else {
+        run_scenario("S_C", spec, |w| Box::new(MiddlewareClient::new(cloud_c.clone(), w as u64)))
+    };
 
     (sa, sb, sc)
 }

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use datablinder_docstore::{DocStore, Filter, Value};
 use datablinder_kvstore::KvStore;
 use datablinder_netsim::{CloudService, NetError};
+use datablinder_obs::Recorder;
 use datablinder_sse::encoding::{Reader, Writer};
 use datablinder_sse::DocId;
 use parking_lot::Mutex;
@@ -80,6 +81,9 @@ pub struct CloudEngine {
     dedup_hits: AtomicU64,
     durability: Option<Durability>,
     recovery: RecoveryReport,
+    /// Observability recorder (disabled by default; see
+    /// [`CloudEngine::set_recorder`]).
+    obs: Recorder,
 }
 
 impl CloudEngine {
@@ -100,6 +104,7 @@ impl CloudEngine {
             dedup_hits: AtomicU64::new(0),
             durability: None,
             recovery: RecoveryReport::default(),
+            obs: Recorder::default(),
         };
         engine.register(Arc::new(tactics::mitra::MitraCloud::new(kv.clone())));
         engine.register(Arc::new(tactics::sophos::SophosCloud::new(kv.clone())));
@@ -129,8 +134,25 @@ impl CloudEngine {
     ///
     /// Propagates I/O failures and on-disk corruption.
     pub fn open_durable_with(dir: &Path, opts: DurabilityOptions) -> Result<Self, CoreError> {
+        CloudEngine::open_durable_observed(dir, opts, Recorder::default())
+    }
+
+    /// Like [`CloudEngine::open_durable_with`] with an observability
+    /// [`Recorder`] installed *before* recovery, so the replay itself is
+    /// measured: `cloud.recovery.replayed` counts rolled-forward WAL
+    /// records and the `cloud.recovery.latency` histogram captures the
+    /// time from open to the engine being query-ready (time to first
+    /// query after a crash).
+    ///
+    /// # Errors
+    ///
+    /// As [`CloudEngine::open_durable_with`].
+    pub fn open_durable_observed(dir: &Path, opts: DurabilityOptions, recorder: Recorder) -> Result<Self, CoreError> {
+        let started = recorder.start();
         std::fs::create_dir_all(dir).map_err(datablinder_kvstore::KvError::from)?;
-        let engine = CloudEngine::with_dedup_capacity(opts.dedup_capacity.unwrap_or(DEFAULT_DEDUP_CAPACITY));
+        let mut engine = CloudEngine::with_dedup_capacity(opts.dedup_capacity.unwrap_or(DEFAULT_DEDUP_CAPACITY));
+        engine.obs = recorder;
+        let engine = engine;
         // Replay journaled mutations through the normal dispatcher so
         // every tactic index rebuilds exactly as it was built live, and
         // replayed idempotency envelopes repopulate the dedup cache (a
@@ -144,6 +166,13 @@ impl CloudEngine {
         let mut engine = engine;
         engine.recovery = report;
         engine.durability = Some(Durability::attach(dir, seq, wal_backlog, opts.snapshot_every, opts.crash)?);
+        engine.obs.count("cloud.recovery.replayed", engine.recovery.replayed);
+        if engine.recovery.snapshot_restored {
+            engine.obs.count("cloud.recovery.snapshots_restored", 1);
+        }
+        if let Some(t0) = started {
+            engine.obs.observe("cloud.recovery.latency", t0.elapsed());
+        }
         Ok(engine)
     }
 
@@ -182,7 +211,11 @@ impl CloudEngine {
     /// failures otherwise.
     pub fn snapshot_now(&self) -> Result<(), CoreError> {
         match &self.durability {
-            Some(d) => d.snapshot(&self.kv, &self.docs),
+            Some(d) => {
+                d.snapshot(&self.kv, &self.docs)?;
+                self.obs.count("cloud.snapshot.compactions", 1);
+                Ok(())
+            }
             None => Err(CoreError::UnsupportedOperation("snapshot on volatile engine".into())),
         }
     }
@@ -196,6 +229,19 @@ impl CloudEngine {
     /// Registers a cloud tactic handler (SPI extension point).
     pub fn register(&mut self, tactic: Arc<dyn CloudTactic>) {
         self.tactics.insert(tactic.name(), tactic);
+    }
+
+    /// Attaches an observability [`Recorder`]: per-tactic index-op
+    /// counters, dedup-cache hits and WAL/snapshot activity record into
+    /// it. The default recorder is disabled (one atomic load per call).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.obs = recorder;
+    }
+
+    /// The observability recorder (disabled unless
+    /// [`CloudEngine::set_recorder`] installed an enabled one).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// The underlying document store (inspection/tests).
@@ -223,6 +269,7 @@ impl CloudEngine {
                 let fingerprint = request_fingerprint(&req.route, &req.payload);
                 if let Some(outcome) = self.dedup.lock().get(&req.token, fingerprint) {
                     self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    self.obs.count("cloud.dedup.hits", 1);
                     return outcome;
                 }
                 let outcome = self.dispatch(&req.route, &req.payload);
@@ -270,6 +317,7 @@ impl CloudEngine {
                     .tactics
                     .get(name)
                     .ok_or_else(|| CoreError::UnsupportedOperation(format!("unknown cloud tactic {name}")))?;
+                self.obs.count(&format!("cloud.tactic.{name}.ops"), 1);
                 tactic.handle(scope, op, payload)
             }
             _ => Err(CoreError::UnsupportedOperation(format!("unknown route {route}"))),
@@ -426,7 +474,10 @@ impl CloudService for CloudEngine {
         // `dispatch` so nested batch/idem sub-calls are covered by their
         // enclosing envelope's single WAL record, not re-journaled.
         match d.journal(route, payload) {
-            Ok(JournalOutcome::Written) => {}
+            Ok(JournalOutcome::Written) => {
+                self.obs.count("cloud.wal.appends", 1);
+                self.obs.count("cloud.wal.bytes", (route.len() + payload.len()) as u64);
+            }
             // The crash point fired at this write: whatever reached disk
             // (nothing, a torn prefix, or a full never-applied frame), the
             // caller sees a retryable timeout and recovery sorts it out.
@@ -438,6 +489,7 @@ impl CloudService for CloudEngine {
             if let Err(e) = d.snapshot(&self.kv, &self.docs) {
                 return Err(NetError::Remote(format!("snapshot: {e}")));
             }
+            self.obs.count("cloud.snapshot.compactions", 1);
         }
         out
     }

@@ -10,6 +10,7 @@ use datablinder_docstore::{Document, Value};
 use datablinder_kms::Kms;
 use datablinder_kvstore::KvStore;
 use datablinder_netsim::{Channel, NetError, ResilienceConfig, ResilientChannel};
+use datablinder_obs::Recorder;
 use datablinder_sse::DocId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,7 +19,7 @@ use crate::cloud::{get_many_payload, with_collection};
 use crate::cloudproto::{is_write_route, Idempotent, IDEM_ROUTE};
 use crate::error::CoreError;
 use crate::metadata::{validate_document, SchemaStore};
-use crate::model::{AggFn, FieldOp, Schema};
+use crate::model::{AggFn, FieldOp, Schema, TacticOp};
 use crate::registry::{Selection, TacticRegistry};
 use crate::spi::{CloudCall, DnfLiterals, DocIdGen, GatewayTactic, RandomDocIdGen};
 use crate::tactics::{decode_ids, TacticContext};
@@ -132,6 +133,9 @@ pub struct GatewayEngine {
     idem_seq: AtomicU64,
     /// Crash journal for multi-call write groups, if enabled.
     journal: Option<WriteJournal>,
+    /// Observability recorder (disabled by default; see
+    /// [`GatewayEngine::set_recorder`]).
+    obs: Recorder,
 }
 
 impl GatewayEngine {
@@ -183,7 +187,36 @@ impl GatewayEngine {
             idem_prefix: mix64(seed ^ 0x1DE4_70CE_7057_EA15),
             idem_seq: AtomicU64::new(0),
             journal: None,
+            obs: Recorder::default(),
         }
+    }
+
+    /// Attaches an observability [`Recorder`]: gateway routes, per-tactic
+    /// latencies and the leakage audit ledger record into it, and a clone
+    /// is forwarded to the resilient channel so retries/breaker activity
+    /// land in the same domain. The default recorder is disabled, so an
+    /// un-instrumented gateway pays one atomic load per operation.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.channel.set_recorder(recorder.clone());
+        self.obs = recorder;
+    }
+
+    /// The observability recorder (disabled unless
+    /// [`GatewayEngine::set_recorder`] installed an enabled one).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Folds the recorder's measured per-tactic EWMAs (`tactic.<name>.<op>`)
+    /// back into the registry as a [`MeasuredPerfMetrics`] override, so
+    /// subsequent [`GatewayEngine::register_schema`] selections rank
+    /// admissible tactics by observed latency instead of static cost ranks
+    /// — the measurement-driven half of the §5.1 adaptive selection loop.
+    ///
+    /// [`MeasuredPerfMetrics`]: crate::registry::MeasuredPerfMetrics
+    pub fn adopt_measurements(&mut self) {
+        let m = crate::registry::MeasuredPerfMetrics::from_snapshot(&self.obs.snapshot());
+        self.registry.set_measurements(m);
     }
 
     /// The tactic registry (inspection, custom registration).
@@ -369,6 +402,7 @@ impl GatewayEngine {
             let items: Vec<Vec<u8>> = sealed.iter().flat_map(|(r, p)| [r.clone().into_bytes(), p.clone()]).collect();
             w.list(&items);
             j.kv.set(&key, &w.finish());
+            self.obs.count("gateway.journal.writes", 1);
             key
         });
         for (route, payload) in &sealed {
@@ -450,6 +484,8 @@ impl GatewayEngine {
             }
             kv.del(&key);
         }
+        self.obs.count("gateway.journal.rolled_forward", report.rolled_forward as u64);
+        self.obs.count("gateway.journal.failed", report.failed as u64);
         Ok(report)
     }
 
@@ -468,6 +504,60 @@ impl GatewayEngine {
         self.plans.get(schema).ok_or_else(|| CoreError::UnknownSchema(schema.to_string()))
     }
 
+    /// Times a mutating route: `<route>.count`, `<route>.errors`,
+    /// `<route>.latency` and one span per call. With a disabled recorder
+    /// this is one atomic load plus the closure.
+    fn observed<T>(&mut self, route: &str, f: impl FnOnce(&mut Self) -> Result<T, CoreError>) -> Result<T, CoreError> {
+        let started = self.obs.start();
+        let result = f(self);
+        self.obs.finish_route(route, started, result.is_ok());
+        result
+    }
+
+    /// As [`GatewayEngine::observed`] for read-only routes.
+    fn observed_ref<T>(&self, route: &str, f: impl FnOnce(&Self) -> Result<T, CoreError>) -> Result<T, CoreError> {
+        let started = self.obs.start();
+        let result = f(self);
+        self.obs.finish_route(route, started, result.is_ok());
+        result
+    }
+
+    /// Records one leakage-audit cell: the level `tactic` actually leaked
+    /// for `op` on `field` (from its registered [`OpProfile`] — the ground
+    /// truth of what the cloud observed) against the ceiling the field's
+    /// protection class declares. Boolean-capable tactics answering
+    /// equality through their boolean machinery fall back to the
+    /// `BoolQuery` profile.
+    ///
+    /// [`OpProfile`]: crate::model::OpProfile
+    fn audit_leakage(&self, schema_name: &str, field: &str, op: TacticOp, op_name: &str, tactic: &str) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let Ok(plan) = self.plan(schema_name) else { return };
+        let Some(declared) =
+            plan.schema.sensitive_fields().find(|(f, _)| f.as_str() == field).map(|(_, a)| a.class.max_leakage())
+        else {
+            return;
+        };
+        let observed = self
+            .registry
+            .descriptor(tactic)
+            .and_then(|d| {
+                d.operations
+                    .iter()
+                    .find(|p| p.op == op)
+                    .or_else(|| {
+                        (op == TacticOp::EqQuery)
+                            .then(|| d.operations.iter().find(|p| p.op == TacticOp::BoolQuery))
+                            .flatten()
+                    })
+                    .map(|p| p.leakage)
+            })
+            .unwrap_or(declared);
+        self.obs.ledger().record(field, op_name, tactic, observed as u8, declared as u8);
+    }
+
     // ---------------------------------------------------- Entities interface
 
     /// Inserts an application document: validates, mints an id, protects
@@ -478,9 +568,11 @@ impl GatewayEngine {
     ///
     /// Schema violations, tactic failures, channel failures.
     pub fn insert(&mut self, schema_name: &str, doc: &Document) -> Result<DocId, CoreError> {
-        let id = self.idgen.generate();
-        self.insert_with_id(schema_name, doc, id)?;
-        Ok(id)
+        self.observed("gateway.insert", |g| {
+            let id = g.idgen.generate();
+            g.insert_with_id(schema_name, doc, id)?;
+            Ok(id)
+        })
     }
 
     fn insert_with_id(&mut self, schema_name: &str, doc: &Document, id: DocId) -> Result<(), CoreError> {
@@ -524,23 +616,25 @@ impl GatewayEngine {
     /// Validates *all* documents first (nothing is sent if any fails);
     /// then as [`GatewayEngine::insert`].
     pub fn insert_many(&mut self, schema_name: &str, docs: &[Document]) -> Result<Vec<DocId>, CoreError> {
-        {
-            let plan = self.plan(schema_name)?;
-            for doc in docs {
-                validate_document(&plan.schema, doc)?;
+        self.observed("gateway.insert_many", |g| {
+            {
+                let plan = g.plan(schema_name)?;
+                for doc in docs {
+                    validate_document(&plan.schema, doc)?;
+                }
             }
-        }
-        let mut ids = Vec::with_capacity(docs.len());
-        let mut batch: Vec<CloudCall> = Vec::new();
-        for doc in docs {
-            let id = self.idgen.generate();
-            let (cloud_doc, index_calls) = self.protect_document_calls(schema_name, doc, id)?;
-            batch.extend(index_calls);
-            batch.push(CloudCall::new("doc/insert", with_collection(schema_name, &encode_document(&cloud_doc))));
-            ids.push(id);
-        }
-        self.call_batch(&batch)?;
-        Ok(ids)
+            let mut ids = Vec::with_capacity(docs.len());
+            let mut batch: Vec<CloudCall> = Vec::new();
+            for doc in docs {
+                let id = g.idgen.generate();
+                let (cloud_doc, index_calls) = g.protect_document_calls(schema_name, doc, id)?;
+                batch.extend(index_calls);
+                batch.push(CloudCall::new("doc/insert", with_collection(schema_name, &encode_document(&cloud_doc))));
+                ids.push(id);
+            }
+            g.call_batch(&batch)?;
+            Ok(ids)
+        })
     }
 
     /// Initial cloud migration: inserts a corpus like
@@ -554,41 +648,43 @@ impl GatewayEngine {
     ///
     /// As [`GatewayEngine::insert_many`].
     pub fn migrate(&mut self, schema_name: &str, docs: &[Document]) -> Result<Vec<DocId>, CoreError> {
-        let bool_fields: Vec<String> = {
-            let plan = self.plan(schema_name)?;
-            for doc in docs {
-                validate_document(&plan.schema, doc)?;
-            }
-            plan.fields.iter().filter(|(_, fp)| fp.boolean).map(|(f, _)| f.clone()).collect()
-        };
-        let bool_tactic = self.plan(schema_name)?.bool_tactic.clone();
+        self.observed("gateway.migrate", |g| {
+            let bool_fields: Vec<String> = {
+                let plan = g.plan(schema_name)?;
+                for doc in docs {
+                    validate_document(&plan.schema, doc)?;
+                }
+                plan.fields.iter().filter(|(_, fp)| fp.boolean).map(|(f, _)| f.clone()).collect()
+            };
+            let bool_tactic = g.plan(schema_name)?.bool_tactic.clone();
 
-        let mut ids = Vec::with_capacity(docs.len());
-        let mut batch: Vec<CloudCall> = Vec::new();
-        let mut entries: Vec<(Vec<(String, Value)>, DocId)> = Vec::new();
-        for doc in docs {
-            let id = self.idgen.generate();
-            // Per-field tactics as usual; collect boolean literals for the
-            // bulk build instead of letting protect_document chain them.
-            let literals: Vec<(String, Value)> =
-                bool_fields.iter().filter_map(|f| doc.get(f).map(|v| (f.clone(), v.clone()))).collect();
-            let (cloud_doc, index_calls) = self.protect_document_calls_inner(schema_name, doc, id, false)?;
-            batch.extend(index_calls);
-            batch.push(CloudCall::new("doc/insert", with_collection(schema_name, &encode_document(&cloud_doc))));
-            if !literals.is_empty() {
-                entries.push((literals, id));
+            let mut ids = Vec::with_capacity(docs.len());
+            let mut batch: Vec<CloudCall> = Vec::new();
+            let mut entries: Vec<(Vec<(String, Value)>, DocId)> = Vec::new();
+            for doc in docs {
+                let id = g.idgen.generate();
+                // Per-field tactics as usual; collect boolean literals for the
+                // bulk build instead of letting protect_document chain them.
+                let literals: Vec<(String, Value)> =
+                    bool_fields.iter().filter_map(|f| doc.get(f).map(|v| (f.clone(), v.clone()))).collect();
+                let (cloud_doc, index_calls) = g.protect_document_calls_inner(schema_name, doc, id, false)?;
+                batch.extend(index_calls);
+                batch.push(CloudCall::new("doc/insert", with_collection(schema_name, &encode_document(&cloud_doc))));
+                if !literals.is_empty() {
+                    entries.push((literals, id));
+                }
+                ids.push(id);
             }
-            ids.push(id);
-        }
-        if let (Some(bt), false) = (&bool_tactic, entries.is_empty()) {
-            let rng = &mut StdRng::from_rng(&mut self.rng).expect("rng fork");
-            let t = self.tactic_mut(schema_name, BOOL_SCOPE, bt)?;
-            if let Some(calls) = t.bulk_index(rng, &entries)? {
-                batch.extend(calls);
+            if let (Some(bt), false) = (&bool_tactic, entries.is_empty()) {
+                let rng = &mut StdRng::from_rng(&mut g.rng).expect("rng fork");
+                let t = g.tactic_mut(schema_name, BOOL_SCOPE, bt)?;
+                if let Some(calls) = t.bulk_index(rng, &entries)? {
+                    batch.extend(calls);
+                }
             }
-        }
-        self.call_batch(&batch)?;
-        Ok(ids)
+            g.call_batch(&batch)?;
+            Ok(ids)
+        })
     }
 
     /// Executes calls through the cloud's `batch` route (one round trip).
@@ -664,6 +760,7 @@ impl GatewayEngine {
                 bool_literals.push((w.field.clone(), w.value.clone()));
             }
             for tactic in &w.tactics {
+                let started = self.obs.start();
                 let rng = &mut StdRng::from_rng(&mut self.rng).expect("rng fork");
                 let t = self.tactic_mut(schema_name, &w.field, tactic)?;
                 let protected = t.protect(rng, &w.field, &w.value, id)?;
@@ -671,6 +768,10 @@ impl GatewayEngine {
                     cloud_doc.set(f, v);
                 }
                 index_calls.extend(protected.index_calls);
+                if let Some(t0) = started {
+                    self.obs.ewma_observe(&format!("tactic.{tactic}.update"), t0.elapsed());
+                }
+                self.audit_leakage(schema_name, &w.field, TacticOp::Update, "insert", tactic);
             }
         }
         if let (true, Some(bt), false) = (index_boolean, &bool_tactic, bool_literals.is_empty()) {
@@ -689,9 +790,11 @@ impl GatewayEngine {
     ///
     /// [`CoreError::NotFound`], decryption failures.
     pub fn get(&self, schema_name: &str, id: DocId) -> Result<Document, CoreError> {
-        self.plan(schema_name)?;
-        let stored = self.fetch_raw(schema_name, id)?;
-        self.recover_document(schema_name, &stored)
+        self.observed_ref("gateway.get", |g| {
+            g.plan(schema_name)?;
+            let stored = g.fetch_raw(schema_name, id)?;
+            g.recover_document(schema_name, &stored)
+        })
     }
 
     fn fetch_raw(&self, schema_name: &str, id: DocId) -> Result<Document, CoreError> {
@@ -733,6 +836,10 @@ impl GatewayEngine {
     ///
     /// [`CoreError::NotFound`], channel failures.
     pub fn delete(&mut self, schema_name: &str, id: DocId) -> Result<(), CoreError> {
+        self.observed("gateway.delete", |g| g.delete_inner(schema_name, id))
+    }
+
+    fn delete_inner(&mut self, schema_name: &str, id: DocId) -> Result<(), CoreError> {
         // Recover plaintext values to produce the revocation tokens.
         let plaintext = self.get(schema_name, id)?;
         let plan = self.plan(schema_name)?;
@@ -785,8 +892,10 @@ impl GatewayEngine {
     ///
     /// As [`GatewayEngine::delete`] and [`GatewayEngine::insert`].
     pub fn update(&mut self, schema_name: &str, id: DocId, doc: &Document) -> Result<(), CoreError> {
-        self.delete(schema_name, id)?;
-        self.insert_with_id(schema_name, doc, id)
+        self.observed("gateway.update", |g| {
+            g.delete_inner(schema_name, id)?;
+            g.insert_with_id(schema_name, doc, id)
+        })
     }
 
     /// Equality search on one field, returning decrypted documents.
@@ -796,8 +905,10 @@ impl GatewayEngine {
     /// [`CoreError::UnsupportedOperation`] if the field's annotation did
     /// not request equality.
     pub fn find_equal(&mut self, schema_name: &str, field: &str, value: &Value) -> Result<Vec<Document>, CoreError> {
-        let ids = self.equality_ids(schema_name, field, value)?;
-        self.get_many(schema_name, &ids)
+        self.observed("gateway.find_equal", |g| {
+            let ids = g.equality_ids(schema_name, field, value)?;
+            g.get_many(schema_name, &ids)
+        })
     }
 
     /// Equality search returning raw ids. Shared by
@@ -816,9 +927,15 @@ impl GatewayEngine {
             (Some(t), true) => (field.to_string(), t.clone()),
             (None, _) => return Err(CoreError::UnsupportedOperation(format!("field {field} has no equality tactic"))),
         };
+        let started = self.obs.start();
         let calls = self.tactic_mut(schema_name, &scope, &tactic)?.eq_query(field, value)?;
         let responses = calls.iter().map(|c| self.call(c)).collect::<Result<Vec<_>, _>>()?;
-        self.tactic_ref(schema_name, &scope, &tactic)?.eq_resolve(field, value, &responses)
+        let ids = self.tactic_ref(schema_name, &scope, &tactic)?.eq_resolve(field, value, &responses)?;
+        if let Some(t0) = started {
+            self.obs.ewma_observe(&format!("tactic.{tactic}.eq_query"), t0.elapsed());
+        }
+        self.audit_leakage(schema_name, field, TacticOp::EqQuery, "equality", &tactic);
+        Ok(ids)
     }
 
     /// Boolean (DNF) search across fields, returning decrypted documents.
@@ -828,17 +945,22 @@ impl GatewayEngine {
     /// [`CoreError::UnsupportedOperation`] when the touched fields have no
     /// common boolean capability.
     pub fn find_boolean(&mut self, schema_name: &str, dnf: &DnfLiterals) -> Result<Vec<Document>, CoreError> {
-        let ids = self.boolean_ids(schema_name, dnf)?;
-        self.get_many(schema_name, &ids)
+        self.observed("gateway.find_boolean", |g| {
+            let ids = g.boolean_ids(schema_name, dnf)?;
+            g.get_many(schema_name, &ids)
+        })
     }
 
     /// Boolean search returning raw ids (see [`GatewayEngine::equality_ids`]).
     fn boolean_ids(&mut self, schema_name: &str, dnf: &DnfLiterals) -> Result<Vec<DocId>, CoreError> {
+        let started = self.obs.start();
         let plan = self.plan(schema_name)?;
-        let fields: Vec<&String> = dnf.iter().flatten().map(|(f, _)| f).collect();
-        let all_boolean = fields.iter().all(|f| plan.fields.get(*f).is_some_and(|p| p.boolean));
+        let fields: Vec<String> = dnf.iter().flatten().map(|(f, _)| f.clone()).collect();
+        let all_boolean = fields.iter().all(|f| plan.fields.get(f).is_some_and(|p| p.boolean));
+        let mut used_tactic = "det".to_string();
         let ids = if all_boolean && plan.bool_tactic.is_some() {
             let bt = plan.bool_tactic.clone().unwrap();
+            used_tactic = bt.clone();
             let calls = self.tactic_mut(schema_name, BOOL_SCOPE, &bt)?.bool_query(dnf)?;
             let responses = calls.iter().map(|c| self.call(c)).collect::<Result<Vec<_>, _>>()?;
             self.tactic_ref(schema_name, BOOL_SCOPE, &bt)?.bool_resolve(dnf, &responses)?
@@ -847,7 +969,7 @@ impl GatewayEngine {
             // boolean-combined cloud-side.
             let all_det = fields
                 .iter()
-                .all(|f| plan.fields.get(*f).is_some_and(|p| p.selection.all_tactics().contains(&"det".to_string())));
+                .all(|f| plan.fields.get(f).is_some_and(|p| p.selection.all_tactics().contains(&"det".to_string())));
             if !all_det {
                 return Err(CoreError::UnsupportedOperation(
                     "boolean search requires all fields to share a boolean-capable tactic".into(),
@@ -872,6 +994,12 @@ impl GatewayEngine {
             let response = self.call(&CloudCall::new("doc/find_ids_dnf", req.encode()))?;
             decode_ids(&response)?
         };
+        if let Some(t0) = started {
+            self.obs.ewma_observe(&format!("tactic.{used_tactic}.bool_query"), t0.elapsed());
+        }
+        for field in &fields {
+            self.audit_leakage(schema_name, field, TacticOp::BoolQuery, "boolean", &used_tactic);
+        }
         Ok(ids)
     }
 
@@ -889,8 +1017,10 @@ impl GatewayEngine {
         lo: &Value,
         hi: &Value,
     ) -> Result<Vec<Document>, CoreError> {
-        let ids = self.range_ids(schema_name, field, lo, hi)?;
-        self.get_many(schema_name, &ids)
+        self.observed("gateway.find_range", |g| {
+            let ids = g.range_ids(schema_name, field, lo, hi)?;
+            g.get_many(schema_name, &ids)
+        })
     }
 
     /// Range search returning raw ids (see [`GatewayEngine::equality_ids`]).
@@ -901,9 +1031,15 @@ impl GatewayEngine {
             .get(field)
             .and_then(|p| p.range_tactic.clone())
             .ok_or_else(|| CoreError::UnsupportedOperation(format!("field {field} has no range tactic")))?;
+        let started = self.obs.start();
         let calls = self.tactic_mut(schema_name, field, &tactic)?.range_query(field, lo, hi)?;
         let responses = calls.iter().map(|c| self.call(c)).collect::<Result<Vec<_>, _>>()?;
-        self.tactic_ref(schema_name, field, &tactic)?.range_resolve(&responses)
+        let ids = self.tactic_ref(schema_name, field, &tactic)?.range_resolve(&responses)?;
+        if let Some(t0) = started {
+            self.obs.ewma_observe(&format!("tactic.{tactic}.range_query"), t0.elapsed());
+        }
+        self.audit_leakage(schema_name, field, TacticOp::RangeQuery, "range", &tactic);
+        Ok(ids)
     }
 
     /// Cloud-side aggregate over a field, optionally restricted by a
@@ -920,22 +1056,30 @@ impl GatewayEngine {
         agg: AggFn,
         filter: Option<&DnfLiterals>,
     ) -> Result<f64, CoreError> {
-        let plan = self.plan(schema_name)?;
-        let tactic = plan
-            .fields
-            .get(field)
-            .and_then(|p| p.selection.agg_tactics.first().cloned())
-            .ok_or_else(|| CoreError::UnsupportedOperation(format!("field {field} has no aggregate tactic")))?;
-        let ids: Vec<DocId> = match filter {
-            None => Vec::new(),
-            Some(dnf) => {
-                let docs = self.find_boolean(schema_name, dnf)?;
-                docs.iter().filter_map(|d| DocId::from_hex(d.id())).collect()
+        self.observed("gateway.aggregate", |g| {
+            let plan = g.plan(schema_name)?;
+            let tactic = plan
+                .fields
+                .get(field)
+                .and_then(|p| p.selection.agg_tactics.first().cloned())
+                .ok_or_else(|| CoreError::UnsupportedOperation(format!("field {field} has no aggregate tactic")))?;
+            let ids: Vec<DocId> = match filter {
+                None => Vec::new(),
+                Some(dnf) => {
+                    let docs = g.find_boolean(schema_name, dnf)?;
+                    docs.iter().filter_map(|d| DocId::from_hex(d.id())).collect()
+                }
+            };
+            let started = g.obs.start();
+            let calls = g.tactic_mut(schema_name, field, &tactic)?.agg_query(field, agg, &ids)?;
+            let responses = calls.iter().map(|c| g.call(c)).collect::<Result<Vec<_>, _>>()?;
+            let out = g.tactic_ref(schema_name, field, &tactic)?.agg_resolve(agg, &responses)?;
+            if let Some(t0) = started {
+                g.obs.ewma_observe(&format!("tactic.{tactic}.aggregate"), t0.elapsed());
             }
-        };
-        let calls = self.tactic_mut(schema_name, field, &tactic)?.agg_query(field, agg, &ids)?;
-        let responses = calls.iter().map(|c| self.call(c)).collect::<Result<Vec<_>, _>>()?;
-        self.tactic_ref(schema_name, field, &tactic)?.agg_resolve(agg, &responses)
+            g.audit_leakage(schema_name, field, TacticOp::Aggregate, "aggregate", &tactic);
+            Ok(out)
+        })
     }
 
     /// Returns the document holding the extreme (min or max) value of a
@@ -952,22 +1096,25 @@ impl GatewayEngine {
         field: &str,
         maximum: bool,
     ) -> Result<Option<Document>, CoreError> {
-        let plan = self.plan(schema_name)?;
-        let tactic = plan.fields.get(field).and_then(|p| p.range_tactic.clone());
-        if tactic.as_deref() != Some("ope") {
-            return Err(CoreError::UnsupportedOperation(format!(
-                "min/max needs an order-preserving stored field; {field} has {tactic:?}"
-            )));
-        }
-        let mut rest = vec![maximum as u8];
-        rest.extend_from_slice(format!("{field}__ope").as_bytes());
-        let out = self.call(&CloudCall::new("doc/extreme", with_collection(schema_name, &rest)))?;
-        if out.is_empty() {
-            return Ok(None);
-        }
-        let id = String::from_utf8(out).map_err(|_| CoreError::Wire("utf8 id"))?;
-        let doc_id = DocId::from_hex(&id).ok_or(CoreError::Wire("doc id"))?;
-        Ok(Some(self.get(schema_name, doc_id)?))
+        self.observed("gateway.find_extreme", |g| {
+            let plan = g.plan(schema_name)?;
+            let tactic = plan.fields.get(field).and_then(|p| p.range_tactic.clone());
+            if tactic.as_deref() != Some("ope") {
+                return Err(CoreError::UnsupportedOperation(format!(
+                    "min/max needs an order-preserving stored field; {field} has {tactic:?}"
+                )));
+            }
+            let mut rest = vec![maximum as u8];
+            rest.extend_from_slice(format!("{field}__ope").as_bytes());
+            let out = g.call(&CloudCall::new("doc/extreme", with_collection(schema_name, &rest)))?;
+            if out.is_empty() {
+                return Ok(None);
+            }
+            g.audit_leakage(schema_name, field, TacticOp::RangeQuery, "extreme", "ope");
+            let id = String::from_utf8(out).map_err(|_| CoreError::Wire("utf8 id"))?;
+            let doc_id = DocId::from_hex(&id).ok_or(CoreError::Wire("doc id"))?;
+            Ok(Some(g.get(schema_name, doc_id)?))
+        })
     }
 
     /// Number of stored documents.
@@ -976,9 +1123,11 @@ impl GatewayEngine {
     ///
     /// Channel failures.
     pub fn count(&self, schema_name: &str) -> Result<u64, CoreError> {
-        self.plan(schema_name)?;
-        let out = self.call(&CloudCall::new("doc/count", with_collection(schema_name, b"")))?;
-        out.try_into().map(u64::from_be_bytes).map_err(|_| CoreError::Wire("count response"))
+        self.observed_ref("gateway.count", |g| {
+            g.plan(schema_name)?;
+            let out = g.call(&CloudCall::new("doc/count", with_collection(schema_name, b"")))?;
+            out.try_into().map(u64::from_be_bytes).map_err(|_| CoreError::Wire("count response"))
+        })
     }
 
     fn get_many(&self, schema_name: &str, ids: &[DocId]) -> Result<Vec<Document>, CoreError> {

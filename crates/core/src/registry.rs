@@ -58,16 +58,75 @@ impl Selection {
     }
 }
 
+/// Measured per-tactic latencies that override the static
+/// [`PerfMetrics`](crate::model::PerfMetrics) cost ranks during selection.
+///
+/// The static ranks in Table 2 are relative a-priori estimates; a running
+/// deployment knows better. Feeding an observability snapshot's
+/// `tactic.<name>.<op>` EWMAs back through
+/// [`TacticRegistry::set_measurements`] makes subsequent selections rank
+/// *measured* tactics by their observed latency (normalised onto the
+/// static-rank scale so measured and unmeasured tactics stay comparable)
+/// while unmeasured tactics keep their static rank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MeasuredPerfMetrics {
+    nanos: HashMap<String, f64>,
+}
+
+impl MeasuredPerfMetrics {
+    /// No measurements: selection uses static ranks only.
+    pub fn new() -> Self {
+        MeasuredPerfMetrics::default()
+    }
+
+    /// Records the observed mean latency for one tactic, in nanoseconds.
+    pub fn set(&mut self, tactic: &str, nanos: f64) {
+        if nanos.is_finite() && nanos > 0.0 {
+            self.nanos.insert(tactic.to_string(), nanos);
+        }
+    }
+
+    /// The observed latency for a tactic, if measured.
+    pub fn get(&self, tactic: &str) -> Option<f64> {
+        self.nanos.get(tactic).copied()
+    }
+
+    /// Whether no tactic has been measured.
+    pub fn is_empty(&self) -> bool {
+        self.nanos.is_empty()
+    }
+
+    /// Extracts per-tactic latencies from an observability snapshot: every
+    /// `tactic.<name>.<op>` EWMA contributes, and a tactic measured under
+    /// several operations gets the mean of its per-op EWMAs.
+    pub fn from_snapshot(snapshot: &datablinder_obs::Snapshot) -> Self {
+        let mut sums: HashMap<String, (f64, u32)> = HashMap::new();
+        for e in &snapshot.ewmas {
+            let Some(rest) = e.name.strip_prefix("tactic.") else { continue };
+            let Some((tactic, _op)) = rest.rsplit_once('.') else { continue };
+            let entry = sums.entry(tactic.to_string()).or_insert((0.0, 0));
+            entry.0 += e.nanos;
+            entry.1 += 1;
+        }
+        let mut m = MeasuredPerfMetrics::new();
+        for (tactic, (sum, n)) in sums {
+            m.set(&tactic, sum / n as f64);
+        }
+        m
+    }
+}
+
 /// The tactic registry: descriptors in priority order plus factories.
 pub struct TacticRegistry {
     descriptors: Vec<TacticDescriptor>,
     factories: HashMap<String, GatewayFactory>,
+    measurements: MeasuredPerfMetrics,
 }
 
 impl TacticRegistry {
     /// An empty registry (for fully custom deployments).
     pub fn empty() -> Self {
-        TacticRegistry { descriptors: Vec::new(), factories: HashMap::new() }
+        TacticRegistry { descriptors: Vec::new(), factories: HashMap::new(), measurements: MeasuredPerfMetrics::new() }
     }
 
     /// The registry with every built-in tactic of Table 2, in selection
@@ -122,6 +181,48 @@ impl TacticRegistry {
         self.descriptors.iter().find(|d| d.name == name)
     }
 
+    /// Installs measured per-tactic latencies; subsequent [`select`] calls
+    /// rank measured tactics by observed latency instead of static cost.
+    ///
+    /// [`select`]: TacticRegistry::select
+    pub fn set_measurements(&mut self, measurements: MeasuredPerfMetrics) {
+        self.measurements = measurements;
+    }
+
+    /// The measured latencies currently in force.
+    pub fn measurements(&self) -> &MeasuredPerfMetrics {
+        &self.measurements
+    }
+
+    /// The effective selection cost of each admissible tactic, as
+    /// `name -> cost`. With no measurements this is the static
+    /// `cost_rank()`; with measurements, measured tactics cost
+    /// `observed_nanos / unit` where `unit` (nanos per static rank point)
+    /// is calibrated over the measured admissible tactics, keeping
+    /// measured and unmeasured costs on one scale.
+    fn effective_costs(&self, admissible: &[&TacticDescriptor]) -> HashMap<String, f64> {
+        let mut measured_nanos = 0.0f64;
+        let mut measured_ranks = 0u32;
+        for d in admissible {
+            if let Some(n) = self.measurements.get(&d.name) {
+                measured_nanos += n;
+                measured_ranks += d.cost_rank();
+            }
+        }
+        let unit =
+            if measured_ranks > 0 && measured_nanos > 0.0 { measured_nanos / measured_ranks as f64 } else { 0.0 };
+        admissible
+            .iter()
+            .map(|d| {
+                let cost = match self.measurements.get(&d.name) {
+                    Some(n) if unit > 0.0 => n / unit,
+                    _ => d.cost_rank() as f64,
+                };
+                (d.name.clone(), cost)
+            })
+            .collect()
+    }
+
     /// Builds a gateway tactic instance (runtime loading — the strategy
     /// pattern of §4.2).
     ///
@@ -162,21 +263,27 @@ impl TacticRegistry {
             }
         }
 
-        let search_tactics = if required.is_empty() { Vec::new() } else { best_cover(&admissible, &required) };
+        let costs = self.effective_costs(&admissible);
+        let search_tactics = if required.is_empty() { Vec::new() } else { best_cover(&admissible, &required, &costs) };
 
         // Aggregates: cheapest admissible tactic per function.
         let mut agg_tactics: Vec<String> = Vec::new();
         for &agg in &annotation.aggs {
-            let candidate =
-                admissible.iter().filter(|d| d.serves_agg.contains(&agg)).min_by_key(|d| d.cost_rank()).ok_or(
-                    CoreError::PolicyUnsatisfiable {
-                        field: field.to_string(),
-                        class: annotation.class,
-                        // Aggregates surface as Insert coverage failures for
-                        // error-reporting purposes; the message names the field.
-                        op: FieldOp::Insert,
-                    },
-                )?;
+            let candidate = admissible
+                .iter()
+                .filter(|d| d.serves_agg.contains(&agg))
+                .min_by(|a, b| {
+                    let ca = costs.get(&a.name).copied().unwrap_or(f64::MAX);
+                    let cb = costs.get(&b.name).copied().unwrap_or(f64::MAX);
+                    ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .ok_or(CoreError::PolicyUnsatisfiable {
+                    field: field.to_string(),
+                    class: annotation.class,
+                    // Aggregates surface as Insert coverage failures for
+                    // error-reporting purposes; the message names the field.
+                    op: FieldOp::Insert,
+                })?;
             if !agg_tactics.contains(&candidate.name) {
                 agg_tactics.push(candidate.name.clone());
             }
@@ -184,7 +291,12 @@ impl TacticRegistry {
 
         let payload = if search_tactics.iter().any(|n| n == "det") { "det".to_string() } else { "rnd".to_string() };
 
-        let reason = build_reason(&search_tactics, &agg_tactics, annotation);
+        let mut reason = build_reason(&search_tactics, &agg_tactics, annotation);
+        let measured: Vec<&String> =
+            search_tactics.iter().chain(agg_tactics.iter()).filter(|n| self.measurements.get(n).is_some()).collect();
+        if !measured.is_empty() {
+            reason.push_str("; measured latencies ranked");
+        }
         Ok(Selection { search_tactics, agg_tactics, payload, reason })
     }
 }
@@ -209,16 +321,17 @@ impl RngCore for BoxRng<'_> {
 }
 
 /// Smallest covering set (ops ≤ 3, tactics ≤ ~10: exhaustive subsets of
-/// size 1..=3 are cheap), tie-broken by cost then priority order.
-fn best_cover(admissible: &[&TacticDescriptor], required: &[FieldOp]) -> Vec<String> {
+/// size 1..=3 are cheap), tie-broken by effective cost (static rank, or
+/// normalised measured latency) then priority order.
+fn best_cover(admissible: &[&TacticDescriptor], required: &[FieldOp], costs: &HashMap<String, f64>) -> Vec<String> {
     let covers = |set: &[&TacticDescriptor]| required.iter().all(|op| set.iter().any(|d| d.serves_op(*op)));
     for size in 1..=3usize {
-        let mut best: Option<(u32, Vec<String>)> = None;
+        let mut best: Option<(f64, Vec<String>)> = None;
         let mut consider = |set: Vec<&TacticDescriptor>| {
             if !covers(&set) {
                 return;
             }
-            let cost: u32 = set.iter().map(|d| d.cost_rank()).sum();
+            let cost: f64 = set.iter().map(|d| costs.get(&d.name).copied().unwrap_or(f64::MAX)).sum();
             let names: Vec<String> = set.iter().map(|d| d.name.clone()).collect();
             if best.as_ref().is_none_or(|(c, _)| cost < *c) {
                 best = Some((cost, names));
@@ -353,6 +466,58 @@ mod tests {
         // But at C2, only identifier-level SSE qualifies.
         let s = r.select("f", &annotation(ProtectionClass::C2, &[Insert, Equality])).unwrap();
         assert_eq!(s.search_tactics, vec!["mitra"]);
+    }
+
+    #[test]
+    fn measured_latencies_invert_static_ranking() {
+        use FieldOp::*;
+        let mut r = TacticRegistry::with_builtins();
+        // Statically, C4 equality prefers DET (cheapest admissible).
+        let s = r.select("f", &annotation(ProtectionClass::C4, &[Insert, Equality])).unwrap();
+        assert_eq!(s.search_tactics, vec!["det"]);
+
+        // Observed latencies invert the static ranking: DET measured slow
+        // (e.g. contended payload-key path), Mitra measured fast.
+        let mut m = MeasuredPerfMetrics::new();
+        m.set("det", 50_000.0);
+        m.set("mitra", 1_000.0);
+        r.set_measurements(m);
+        let s = r.select("f", &annotation(ProtectionClass::C4, &[Insert, Equality])).unwrap();
+        assert_eq!(s.search_tactics, vec!["mitra"], "selection follows observed latency");
+        assert!(s.reason.contains("measured latencies"), "reason: {}", s.reason);
+
+        // Clearing measurements restores the static choice.
+        r.set_measurements(MeasuredPerfMetrics::new());
+        let s = r.select("f", &annotation(ProtectionClass::C4, &[Insert, Equality])).unwrap();
+        assert_eq!(s.search_tactics, vec!["det"]);
+    }
+
+    #[test]
+    fn unmeasured_tactics_keep_static_rank() {
+        use FieldOp::*;
+        let mut r = TacticRegistry::with_builtins();
+        // Only DET is measured, and it performs exactly as its static rank
+        // suggests relative to the calibration unit — since it is the only
+        // measured tactic, its measured cost equals its static rank, so the
+        // static winner is unchanged.
+        let mut m = MeasuredPerfMetrics::new();
+        m.set("det", 10_000.0);
+        r.set_measurements(m);
+        let s = r.select("f", &annotation(ProtectionClass::C4, &[Insert, Equality])).unwrap();
+        assert_eq!(s.search_tactics, vec!["det"]);
+    }
+
+    #[test]
+    fn measurements_from_snapshot_average_per_op_ewmas() {
+        let rec = datablinder_obs::Recorder::new();
+        rec.ewma_observe("tactic.det.eq_query", std::time::Duration::from_nanos(4_000));
+        rec.ewma_observe("tactic.det.update", std::time::Duration::from_nanos(2_000));
+        rec.ewma_observe("tactic.mitra.eq_query", std::time::Duration::from_nanos(9_000));
+        rec.count("gateway.insert.count", 1); // non-EWMA noise ignored
+        let m = MeasuredPerfMetrics::from_snapshot(&rec.snapshot());
+        assert_eq!(m.get("det"), Some(3_000.0), "mean of the two per-op EWMAs");
+        assert_eq!(m.get("mitra"), Some(9_000.0));
+        assert_eq!(m.get("ope"), None);
     }
 
     #[test]

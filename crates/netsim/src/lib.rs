@@ -47,7 +47,9 @@ pub mod resilient;
 
 pub use crash::{CrashInjector, CrashPlan, CrashPoint, CrashVerdict};
 pub use fault::{FaultPlan, FaultStats, FaultStatsSnapshot, FaultyService, RouteFaults};
-pub use resilient::{BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig, ResilientChannel, RetryPolicy};
+pub use resilient::{
+    breaker_gauge, BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig, ResilientChannel, RetryPolicy,
+};
 
 /// Errors crossing the simulated network.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -32,6 +32,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use datablinder_obs::Recorder;
 use parking_lot::Mutex;
 
 use crate::fault::SplitMix64;
@@ -184,10 +185,14 @@ impl CircuitBreaker {
     }
 
     /// Records a successful call: closes the breaker, clears the streak.
-    pub fn on_success(&self) {
+    /// Returns `true` when this actually moved the breaker (it was open or
+    /// half-open) — the close transitions observability counts.
+    pub fn on_success(&self) -> bool {
         let mut g = self.inner.lock();
+        let moved = g.state != BreakerState::Closed;
         g.state = BreakerState::Closed;
         g.consecutive_failures = 0;
+        moved
     }
 
     /// Records a transport failure at time `now`. Returns `true` when this
@@ -249,6 +254,7 @@ pub struct ResilientChannel {
     deadline: Option<Duration>,
     breaker: Arc<CircuitBreaker>,
     jitter: Arc<Mutex<SplitMix64>>,
+    obs: Recorder,
 }
 
 impl ResilientChannel {
@@ -260,7 +266,25 @@ impl ResilientChannel {
             deadline: config.deadline,
             breaker: Arc::new(CircuitBreaker::new(config.breaker)),
             jitter: Arc::new(Mutex::new(SplitMix64::new(config.seed))),
+            obs: Recorder::default(),
         }
+    }
+
+    /// Attaches an observability recorder (disabled by default); clones of
+    /// this channel made *after* the call share it.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.obs = recorder;
+    }
+
+    /// Builder form of [`ResilientChannel::set_recorder`].
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.obs = recorder;
+        self
+    }
+
+    /// The attached observability recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// Connects to `service` and wraps the channel in one step.
@@ -293,26 +317,34 @@ impl ResilientChannel {
         let metrics = self.channel.metrics();
         let max_attempts = self.policy.max_attempts.max(1);
         let mut attempt = 0u32;
+        // Span durations are measured on the channel's virtual clock so they
+        // include simulated latency, timeouts and backoff sleeps.
+        let vt0 = if self.obs.is_enabled() { Some(metrics.virtual_time()) } else { None };
         loop {
             attempt += 1;
             metrics.record_attempt();
+            self.obs.count("channel.call.attempts", 1);
 
             let outcome = match self.breaker.admit(metrics.virtual_time()) {
                 Ok(probe) => {
                     if probe {
                         metrics.record_breaker_half_open();
+                        self.obs.count("channel.breaker.transitions", 1);
+                        self.obs.gauge_set("channel.breaker.state", breaker_gauge(BreakerState::HalfOpen));
                     }
                     let result = self.channel.call_with_deadline(route, payload, deadline);
                     match &result {
-                        Ok(_) => self.breaker.on_success(),
+                        Ok(_) => self.note_success(),
                         Err(e) if is_transport_failure(e) => {
                             if self.breaker.on_failure(metrics.virtual_time()) {
                                 metrics.record_breaker_open();
+                                self.obs.count("channel.breaker.transitions", 1);
+                                self.obs.gauge_set("channel.breaker.state", breaker_gauge(BreakerState::Open));
                             }
                         }
                         // The remote side answered — it is alive. Application
                         // failures must not starve the route.
-                        Err(_) => self.breaker.on_success(),
+                        Err(_) => self.note_success(),
                     }
                     result
                 }
@@ -320,12 +352,17 @@ impl ResilientChannel {
             };
 
             match outcome {
-                Ok(body) => return Ok(body),
+                Ok(body) => {
+                    self.finish_span(vt0, true);
+                    return Ok(body);
+                }
                 Err(err) => {
                     if attempt >= max_attempts || !self.policy.is_retryable(&err) {
+                        self.finish_span(vt0, false);
                         return Err(err);
                     }
                     metrics.record_retry();
+                    self.obs.count("channel.call.retries", 1);
                     let mut pause = self.policy.backoff_for(attempt, &mut self.jitter.lock());
                     if let Some(remaining) = self.breaker.remaining_cooldown(metrics.virtual_time()) {
                         // No point re-knocking on an open breaker: stretch
@@ -333,9 +370,29 @@ impl ResilientChannel {
                         // be the half-open probe.
                         pause = pause.max(remaining);
                     }
+                    self.obs.count("channel.backoff.sleeps", 1);
+                    self.obs.count("channel.backoff.nanos", pause.as_nanos() as u64);
                     self.channel.advance(pause);
                 }
             }
+        }
+    }
+
+    /// Reports a successful call to the breaker, counting the transition if
+    /// the breaker was not already closed.
+    fn note_success(&self) {
+        if self.breaker.on_success() {
+            self.obs.count("channel.breaker.transitions", 1);
+        }
+        self.obs.gauge_set("channel.breaker.state", breaker_gauge(BreakerState::Closed));
+    }
+
+    /// Records the per-call span on the virtual clock (enabled recorders
+    /// only — `vt0` is `None` otherwise).
+    fn finish_span(&self, vt0: Option<Duration>, ok: bool) {
+        if let Some(vt0) = vt0 {
+            let elapsed = self.channel.metrics().virtual_time().saturating_sub(vt0);
+            self.obs.record_op("channel.call", None, None, elapsed, ok);
         }
     }
 
@@ -363,6 +420,16 @@ impl ResilientChannel {
     /// in tests.
     pub fn advance(&self, delta: Duration) {
         self.channel.advance(delta);
+    }
+}
+
+/// Gauge encoding of a breaker position (`channel.breaker.state`):
+/// closed = 0, open = 1, half-open = 2.
+pub fn breaker_gauge(state: BreakerState) -> i64 {
+    match state {
+        BreakerState::Closed => 0,
+        BreakerState::Open => 1,
+        BreakerState::HalfOpen => 2,
     }
 }
 
@@ -540,6 +607,76 @@ mod tests {
         // CircuitOpen fast-fails.
         assert!(m.breaker_half_opens() >= 3, "probes: {}", m.breaker_half_opens());
         assert!(m.virtual_time() >= Duration::from_millis(60), "cooldowns waited out: {:?}", m.virtual_time());
+    }
+
+    #[test]
+    fn recorder_tracks_retries_and_breaker_transitions() {
+        // Times out for the first 4 deliveries, then echoes — same shape as
+        // breaker_opens_fast_fails_and_recovers, now checked via the recorder.
+        let deliveries = AtomicU64::new(0);
+        let svc = move |_: &str, p: &[u8]| -> Result<Vec<u8>, NetError> {
+            if deliveries.fetch_add(1, Ordering::Relaxed) < 4 {
+                Err(NetError::Timeout)
+            } else {
+                Ok(p.to_vec())
+            }
+        };
+        let config = ResilienceConfig {
+            retry: RetryPolicy::none(),
+            breaker: BreakerConfig { failure_threshold: 3, cooldown: Duration::from_millis(50) },
+            deadline: Some(Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let rec = Recorder::new();
+        let ch = ResilientChannel::connect(svc, LatencyModel::instant(), config).with_recorder(rec.clone());
+
+        for _ in 0..3 {
+            let _ = ch.call("r", b"x");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("channel.call.attempts"), 3);
+        assert_eq!(snap.counter("channel.breaker.transitions"), 1, "closed -> open");
+        assert_eq!(snap.gauge("channel.breaker.state"), Some(breaker_gauge(BreakerState::Open)));
+
+        // Fast-fail while open, probe fails (open again), probe heals.
+        let _ = ch.call("r", b"x");
+        ch.advance(Duration::from_millis(50));
+        let _ = ch.call("r", b"x");
+        ch.advance(Duration::from_millis(50));
+        assert_eq!(ch.call("r", b"x").unwrap(), b"x");
+
+        let snap = rec.snapshot();
+        // open, half-open, open (probe failed), half-open, closed = 5 total.
+        assert_eq!(snap.counter("channel.breaker.transitions"), 5);
+        assert_eq!(snap.gauge("channel.breaker.state"), Some(breaker_gauge(BreakerState::Closed)));
+        assert_eq!(snap.counter("channel.call.errors"), 5);
+        assert_eq!(snap.counter("channel.call.count"), 6);
+        assert!(snap.histogram("channel.call.latency").is_some());
+    }
+
+    #[test]
+    fn recorder_counts_backoff_sleeps() {
+        let plan = FaultPlan::uniform(RouteFaults::none().with_drop(0.4));
+        let svc = FaultyService::new(|_: &str, p: &[u8]| -> Result<Vec<u8>, NetError> { Ok(p.to_vec()) }, plan, 11);
+        let rec = Recorder::new();
+        let ch = ResilientChannel::connect(
+            svc,
+            LatencyModel::lan(),
+            ResilienceConfig {
+                retry: RetryPolicy { max_attempts: 10, ..RetryPolicy::default() },
+                ..Default::default()
+            },
+        )
+        .with_recorder(rec.clone());
+        for i in 0..100u8 {
+            assert_eq!(ch.call("echo", &[i]).unwrap(), vec![i]);
+        }
+        let snap = rec.snapshot();
+        let m = ch.metrics();
+        assert_eq!(snap.counter("channel.call.attempts"), m.attempts());
+        assert_eq!(snap.counter("channel.call.retries"), m.retries());
+        assert_eq!(snap.counter("channel.backoff.sleeps"), m.retries(), "every retry backed off");
+        assert!(snap.counter("channel.backoff.nanos") > 0);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! The leakage audit ledger: observed leakage per field and operation.
+//!
+//! The SoK on protected database search argues leakage must be accounted
+//! per *executed* query, not per scheme on paper. The ledger does exactly
+//! that: every instrumented operation records which tactic ran against
+//! which field and the leakage level that execution exercised, alongside
+//! the level the schema *declared* admissible for the field. A run's
+//! observed leakage envelope then falls out of [`LeakageLedger::entries`],
+//! and any operation that leaked beyond its declaration out of
+//! [`LeakageLedger::violations`].
+//!
+//! Levels are the Fuller et al. scale encoded as `u8` (1 = Structure …
+//! 5 = Order), matching `datablinder_core::model::LeakageLevel as u8` —
+//! kept numeric here so this crate stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::snapshot::LedgerEntry;
+
+/// Human-readable name of a leakage level code (1–5).
+pub fn level_name(level: u8) -> &'static str {
+    match level {
+        1 => "Structure",
+        2 => "Identifiers",
+        3 => "Predicates",
+        4 => "Equalities",
+        5 => "Order",
+        _ => "Unknown",
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Cell {
+    tactic: String,
+    observed: u8,
+    declared: u8,
+    count: u64,
+}
+
+/// The ledger: one cell per `(field, operation)` pair, tracking the worst
+/// leakage observed across executions.
+#[derive(Default)]
+pub struct LeakageLedger {
+    cells: Mutex<BTreeMap<(String, String), Cell>>,
+}
+
+impl LeakageLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        LeakageLedger::default()
+    }
+
+    /// Records one executed operation: `op` is the high-level operation
+    /// name (`insert`, `equality`, `range`, `boolean`, `aggregate`),
+    /// `observed` the leakage level that execution exercised and
+    /// `declared` the strongest level the field's protection class admits
+    /// (both on the 1–5 scale). Repeated records max-merge `observed`.
+    pub fn record(&self, field: &str, op: &str, tactic: &str, observed: u8, declared: u8) {
+        let mut cells = self.cells.lock().expect("ledger lock");
+        let cell = cells.entry((field.to_string(), op.to_string())).or_insert_with(|| Cell {
+            tactic: tactic.to_string(),
+            observed,
+            declared,
+            count: 0,
+        });
+        if observed > cell.observed {
+            cell.observed = observed;
+            cell.tactic = tactic.to_string();
+        }
+        cell.declared = cell.declared.max(declared);
+        cell.count += 1;
+    }
+
+    /// Every cell, sorted by field then operation.
+    pub fn entries(&self) -> Vec<LedgerEntry> {
+        self.cells
+            .lock()
+            .expect("ledger lock")
+            .iter()
+            .map(|((field, op), c)| LedgerEntry {
+                field: field.clone(),
+                op: op.clone(),
+                tactic: c.tactic.clone(),
+                observed: c.observed,
+                declared: c.declared,
+                count: c.count,
+            })
+            .collect()
+    }
+
+    /// Cells whose observed leakage exceeds the declared admissible level
+    /// — executed operations that over-leaked.
+    pub fn violations(&self) -> Vec<LedgerEntry> {
+        self.entries().into_iter().filter(|e| e.observed > e.declared).collect()
+    }
+
+    /// Whether any cell over-leaked.
+    pub fn is_clean(&self) -> bool {
+        self.violations().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_max_merges() {
+        let l = LeakageLedger::new();
+        l.record("subject", "equality", "mitra", 2, 2);
+        l.record("subject", "equality", "mitra", 2, 2);
+        l.record("subject", "equality", "det", 4, 2); // worse tactic ran later
+        let e = &l.entries()[0];
+        assert_eq!(e.count, 3);
+        assert_eq!(e.observed, 4);
+        assert_eq!(e.tactic, "det", "tactic tracks the worst observation");
+    }
+
+    #[test]
+    fn violations_flag_over_leaking_ops() {
+        let l = LeakageLedger::new();
+        l.record("subject", "equality", "mitra", 2, 2);
+        assert!(l.is_clean());
+        l.record("status", "boolean", "ope", 5, 3);
+        let v = l.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "status");
+        assert_eq!(level_name(v[0].observed), "Order");
+        assert_eq!(level_name(v[0].declared), "Predicates");
+        assert!(!l.is_clean());
+    }
+
+    #[test]
+    fn level_names_cover_scale() {
+        assert_eq!(level_name(1), "Structure");
+        assert_eq!(level_name(5), "Order");
+        assert_eq!(level_name(9), "Unknown");
+    }
+}

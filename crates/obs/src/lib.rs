@@ -1,0 +1,50 @@
+//! End-to-end observability for the DataBlinder reproduction, built from
+//! scratch on `std` alone (DESIGN.md §11):
+//!
+//! * [`span`] — structured spans with a ring-buffered in-memory sink,
+//! * [`metrics`] — sharded atomic counters, gauges, log-linear latency
+//!   histograms and EWMAs behind a named registry,
+//! * [`ledger`] — the leakage audit ledger: observed leakage per field
+//!   and executed operation vs the declared protection class,
+//! * [`snapshot`] — point-in-time views renderable as JSON or aligned
+//!   text tables,
+//! * [`json`] — the minimal writer/parser backing snapshot emission and
+//!   the verify smoke run,
+//! * [`recorder`] — the single cloneable [`Recorder`] handle instrumented
+//!   layers hold; disabled (the default) it costs one atomic load per
+//!   instrumentation point.
+//!
+//! # Examples
+//!
+//! ```
+//! use datablinder_obs::Recorder;
+//! use std::time::Duration;
+//!
+//! let rec = Recorder::new();
+//! let t = rec.start();
+//! // ... do the work being measured ...
+//! rec.finish_route("gateway.insert", t, true);
+//! rec.ledger().record("subject", "equality", "mitra", 2, 2);
+//!
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counter("gateway.insert.count"), 1);
+//! assert!(snap.to_json().contains("gateway.insert.count"));
+//! assert!(rec.ledger().is_clean());
+//! ```
+
+#![warn(missing_docs)]
+pub mod histogram;
+pub mod json;
+pub mod ledger;
+pub mod metrics;
+pub mod recorder;
+pub mod snapshot;
+pub mod span;
+
+pub use histogram::{AtomicHistogram, LatencyHistogram};
+pub use json::Json;
+pub use ledger::{level_name, LeakageLedger};
+pub use metrics::{Counter, Ewma, Gauge, MetricsRegistry};
+pub use recorder::Recorder;
+pub use snapshot::{EwmaSummary, HistogramSummary, LedgerEntry, Snapshot};
+pub use span::{Span, SpanOutcome, SpanSink};

@@ -1,0 +1,274 @@
+//! The metrics registry: named counters, gauges, histograms and EWMAs.
+//!
+//! Naming convention: `subsystem.route.metric`, e.g.
+//! `gateway.insert.latency` or `channel.breaker.transitions` (DESIGN.md
+//! §11). The registry hands out `Arc` handles; the handles themselves are
+//! lock-free on the hot path (sharded atomic counters, atomic histogram
+//! buckets, CAS'd EWMA cells) — only the name lookup takes a read lock.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use crate::histogram::AtomicHistogram;
+use crate::snapshot::{EwmaSummary, HistogramSummary, Snapshot};
+
+/// Shards per counter: enough to keep 8–16 hammering threads off each
+/// other's cache lines without bloating every counter.
+const SHARDS: usize = 16;
+
+/// One cache line per shard so concurrent increments don't false-share.
+#[repr(align(64))]
+struct Shard(AtomicU64);
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread gets a fixed shard assigned round-robin at first use.
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+/// A monotonically increasing counter, sharded to avoid contention.
+pub struct Counter {
+    shards: [Shard; SHARDS],
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter { shards: std::array::from_fn(|_| Shard(AtomicU64::new(0))) }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let idx = MY_SHARD.with(|s| *s);
+        self.shards[idx].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A settable instantaneous value (e.g. breaker state, queue depth).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Smoothing factor for [`Ewma`]: each sample contributes 20%, so the
+/// average tracks the last ~10–20 observations.
+pub const EWMA_ALPHA: f64 = 0.2;
+
+/// An exponentially weighted moving average of nanosecond latencies,
+/// stored as `f64` bits in one atomic cell (CAS update loop).
+#[derive(Default)]
+pub struct Ewma {
+    bits: AtomicU64,
+    samples: AtomicU64,
+}
+
+impl Ewma {
+    /// An empty average.
+    pub fn new() -> Self {
+        Ewma { bits: AtomicU64::new(0f64.to_bits()), samples: AtomicU64::new(0) }
+    }
+
+    /// Folds one latency sample into the average. The first sample seeds
+    /// the average directly.
+    pub fn observe(&self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as f64;
+        let first = self.samples.fetch_add(1, Ordering::Relaxed) == 0;
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let old = f64::from_bits(current);
+            let new = if first { nanos } else { EWMA_ALPHA * nanos + (1.0 - EWMA_ALPHA) * old };
+            match self.bits.compare_exchange_weak(current, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The smoothed latency in nanoseconds (0.0 before any sample).
+    pub fn nanos(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Samples folded in so far.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+}
+
+/// The named-instrument registry. Lookups take a read lock and clone an
+/// `Arc`; instrument updates are lock-free. Instruments are never removed,
+/// so a handle stays valid for the registry's lifetime.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
+    ewmas: RwLock<BTreeMap<String, Arc<Ewma>>>,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().expect("metrics lock").get(name) {
+        return found.clone();
+    }
+    map.write().expect("metrics lock").entry(name.to_string()).or_default().clone()
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<AtomicHistogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// The EWMA named `name`, created on first use.
+    pub fn ewma(&self, name: &str) -> Arc<Ewma> {
+        get_or_insert(&self.ewmas, name)
+    }
+
+    /// Point-in-time values of every registered instrument, sorted by
+    /// name. The ledger and span fields of the returned [`Snapshot`] are
+    /// empty; [`crate::Recorder::snapshot`] fills them in.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self.counters.read().expect("metrics lock").iter().map(|(n, c)| (n.clone(), c.get())).collect();
+        let gauges = self.gauges.read().expect("metrics lock").iter().map(|(n, g)| (n.clone(), g.get())).collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(n, h)| HistogramSummary::of(n, &h.snapshot()))
+            .collect();
+        let ewmas = self
+            .ewmas
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(n, e)| EwmaSummary { name: n.clone(), nanos: e.nanos(), samples: e.samples() })
+            .collect();
+        Snapshot { counters, gauges, histograms, ewmas, ..Snapshot::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_basics() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("a.b.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.counter("a.b.count").get(), 5, "same handle by name");
+        let g = r.gauge("a.b.state");
+        g.set(2);
+        g.add(-3);
+        assert_eq!(g.get(), -1);
+    }
+
+    #[test]
+    fn concurrent_counter_hammering_exact_total() {
+        let r = Arc::new(MetricsRegistry::new());
+        let threads = 8u64;
+        let per_thread = 50_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    let c = r.counter("hammer.total");
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(r.counter("hammer.total").get(), threads * per_thread);
+    }
+
+    #[test]
+    fn ewma_converges_to_steady_state() {
+        let e = Ewma::new();
+        e.observe(Duration::from_nanos(1_000_000));
+        assert_eq!(e.nanos(), 1_000_000.0, "first sample seeds");
+        for _ in 0..100 {
+            e.observe(Duration::from_nanos(2_000));
+        }
+        assert!(e.nanos() < 10_000.0, "converged near 2µs: {}", e.nanos());
+        assert_eq!(e.samples(), 101);
+    }
+
+    #[test]
+    fn snapshot_sorted_and_complete() {
+        let r = MetricsRegistry::new();
+        r.counter("z.last").inc();
+        r.counter("a.first").add(2);
+        r.histogram("h.lat").record(Duration::from_micros(10));
+        r.ewma("e.lat").observe(Duration::from_micros(5));
+        let s = r.snapshot();
+        assert_eq!(s.counters, vec![("a.first".into(), 2), ("z.last".into(), 1)]);
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.histograms[0].count, 1);
+        assert_eq!(s.ewmas[0].samples, 1);
+    }
+}

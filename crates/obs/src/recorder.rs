@@ -1,0 +1,250 @@
+//! The [`Recorder`]: the one handle instrumented code holds.
+//!
+//! A recorder bundles a metrics registry, a span sink and a leakage
+//! ledger behind a single enabled flag. Disabled recorders (the default
+//! everywhere) cost one relaxed atomic load per instrumentation point —
+//! no clock reads, no name lookups, no allocation — which is what lets
+//! every layer carry instrumentation unconditionally.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::ledger::LeakageLedger;
+use crate::metrics::MetricsRegistry;
+use crate::snapshot::Snapshot;
+use crate::span::{Span, SpanOutcome, SpanSink};
+
+/// Default span-ring capacity.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
+
+struct Inner {
+    enabled: AtomicBool,
+    op_ids: AtomicU64,
+    metrics: MetricsRegistry,
+    spans: SpanSink,
+    ledger: LeakageLedger,
+}
+
+/// A cloneable handle over one observability domain. Clones share state.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").field("enabled", &self.is_enabled()).finish_non_exhaustive()
+    }
+}
+
+impl Default for Recorder {
+    /// The default recorder is *disabled*, so instrumented components can
+    /// carry one unconditionally at near-zero cost.
+    fn default() -> Self {
+        Recorder::disabled()
+    }
+}
+
+impl Recorder {
+    fn build(enabled: bool, span_capacity: usize) -> Self {
+        Recorder {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(enabled),
+                op_ids: AtomicU64::new(0),
+                metrics: MetricsRegistry::new(),
+                spans: SpanSink::new(span_capacity),
+                ledger: LeakageLedger::new(),
+            }),
+        }
+    }
+
+    /// An enabled recorder with the default span-ring capacity.
+    pub fn new() -> Self {
+        Recorder::build(true, DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// An enabled recorder retaining up to `span_capacity` recent spans.
+    pub fn with_span_capacity(span_capacity: usize) -> Self {
+        Recorder::build(true, span_capacity)
+    }
+
+    /// A disabled recorder: every instrumentation call short-circuits
+    /// after one atomic load.
+    pub fn disabled() -> Self {
+        Recorder::build(false, DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// Whether recording is on. This is the hot-path guard.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// The span sink.
+    pub fn spans(&self) -> &SpanSink {
+        &self.inner.spans
+    }
+
+    /// The leakage audit ledger.
+    pub fn ledger(&self) -> &LeakageLedger {
+        &self.inner.ledger
+    }
+
+    /// Mints a fresh operation id for a span.
+    pub fn next_op_id(&self) -> u64 {
+        self.inner.op_ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Starts timing an operation: `Some(now)` when enabled, `None`
+    /// otherwise (so disabled recorders skip the clock read too). Pair
+    /// with [`Recorder::finish_route`].
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Completes an operation started with [`Recorder::start`]: bumps
+    /// `<route>.count` (and `<route>.errors` on failure), records the
+    /// latency histogram `<route>.latency` and pushes a span.
+    pub fn finish_route(&self, route: &str, started: Option<Instant>, ok: bool) {
+        let Some(started) = started else { return };
+        self.record_op(route, None, None, started.elapsed(), ok);
+    }
+
+    /// As [`Recorder::finish_route`] with the tactic and field attached to
+    /// the span.
+    pub fn record_op(&self, route: &str, tactic: Option<&str>, field: Option<&str>, duration: Duration, ok: bool) {
+        if !self.is_enabled() {
+            return;
+        }
+        let m = self.metrics();
+        m.counter(&format!("{route}.count")).inc();
+        if !ok {
+            m.counter(&format!("{route}.errors")).inc();
+        }
+        m.histogram(&format!("{route}.latency")).record(duration);
+        self.inner.spans.push(Span {
+            id: self.next_op_id(),
+            route: route.to_string(),
+            tactic: tactic.map(str::to_string),
+            field: field.map(str::to_string),
+            outcome: if ok { SpanOutcome::Ok } else { SpanOutcome::Err },
+            duration,
+        });
+    }
+
+    /// Bumps a counter by `n` (no-op when disabled).
+    #[inline]
+    pub fn count(&self, name: &str, n: u64) {
+        if self.is_enabled() {
+            self.metrics().counter(name).add(n);
+        }
+    }
+
+    /// Sets a gauge (no-op when disabled).
+    #[inline]
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        if self.is_enabled() {
+            self.metrics().gauge(name).set(value);
+        }
+    }
+
+    /// Records a latency histogram sample (no-op when disabled).
+    #[inline]
+    pub fn observe(&self, name: &str, latency: Duration) {
+        if self.is_enabled() {
+            self.metrics().histogram(name).record(latency);
+        }
+    }
+
+    /// Folds a sample into an EWMA (no-op when disabled).
+    #[inline]
+    pub fn ewma_observe(&self, name: &str, latency: Duration) {
+        if self.is_enabled() {
+            self.metrics().ewma(name).observe(latency);
+        }
+    }
+
+    /// A full point-in-time snapshot: metrics, ledger and span counters.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = self.metrics().snapshot();
+        snap.ledger = self.ledger().entries();
+        snap.spans_recorded = self.inner.spans.recorded();
+        snap.spans_dropped = self.inner.spans.dropped();
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::disabled();
+        assert!(r.start().is_none(), "disabled start skips the clock");
+        r.count("gateway.insert.count", 1);
+        r.observe("gateway.insert.latency", Duration::from_millis(1));
+        r.ewma_observe("tactic.det.eq_query", Duration::from_millis(1));
+        r.gauge_set("channel.breaker.state", 1);
+        r.record_op("gateway.insert", None, None, Duration::from_millis(1), true);
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert_eq!(snap.spans_recorded, 0);
+    }
+
+    #[test]
+    fn enabled_recorder_routes_everything() {
+        let r = Recorder::new();
+        let t = r.start();
+        assert!(t.is_some());
+        r.finish_route("gateway.insert", t, true);
+        let t = r.start();
+        r.finish_route("gateway.insert", t, false);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("gateway.insert.count"), 2);
+        assert_eq!(snap.counter("gateway.insert.errors"), 1);
+        assert_eq!(snap.histogram("gateway.insert.latency").unwrap().count, 2);
+        assert_eq!(snap.spans_recorded, 2);
+        let spans = r.spans().recent();
+        assert_eq!(spans[0].outcome, SpanOutcome::Ok);
+        assert_eq!(spans[1].outcome, SpanOutcome::Err);
+        assert_ne!(spans[0].id, spans[1].id);
+    }
+
+    #[test]
+    fn toggling_at_runtime() {
+        let r = Recorder::disabled();
+        r.count("c", 1);
+        r.set_enabled(true);
+        r.count("c", 1);
+        r.set_enabled(false);
+        r.count("c", 1);
+        assert_eq!(r.snapshot().counter("c"), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Recorder::new();
+        let r2 = r.clone();
+        r2.count("shared", 3);
+        assert_eq!(r.snapshot().counter("shared"), 3);
+    }
+}

@@ -1,0 +1,338 @@
+//! Point-in-time snapshots of a recorder, renderable as JSON and aligned
+//! text tables.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::histogram::LatencyHistogram;
+use crate::json::write_escaped;
+use crate::ledger::level_name;
+
+/// Summary of one named histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Instrument name (`subsystem.route.metric`).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean, nanoseconds.
+    pub mean_nanos: u64,
+    /// Median, nanoseconds.
+    pub p50_nanos: u64,
+    /// 90th percentile, nanoseconds.
+    pub p90_nanos: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_nanos: u64,
+    /// Largest sample, nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl HistogramSummary {
+    /// Summarises `h` under `name`.
+    pub fn of(name: &str, h: &LatencyHistogram) -> Self {
+        HistogramSummary {
+            name: name.to_string(),
+            count: h.count(),
+            mean_nanos: h.mean().as_nanos() as u64,
+            p50_nanos: h.percentile(0.50).as_nanos() as u64,
+            p90_nanos: h.percentile(0.90).as_nanos() as u64,
+            p99_nanos: h.percentile(0.99).as_nanos() as u64,
+            max_nanos: h.max().as_nanos() as u64,
+        }
+    }
+}
+
+/// Summary of one named EWMA at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EwmaSummary {
+    /// Instrument name.
+    pub name: String,
+    /// Smoothed latency, nanoseconds.
+    pub nanos: f64,
+    /// Samples folded in.
+    pub samples: u64,
+}
+
+/// One leakage-ledger cell (see [`crate::ledger::LeakageLedger`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// The field operated on.
+    pub field: String,
+    /// The high-level operation (`insert`, `equality`, …).
+    pub op: String,
+    /// The tactic whose execution produced the worst observation.
+    pub tactic: String,
+    /// Worst observed leakage level (1–5).
+    pub observed: u8,
+    /// Declared admissible level from the field's protection class (1–5).
+    pub declared: u8,
+    /// Executions recorded.
+    pub count: u64,
+}
+
+impl LedgerEntry {
+    /// Whether this cell leaked beyond its declaration.
+    pub fn violates(&self) -> bool {
+        self.observed > self.declared
+    }
+}
+
+/// A point-in-time view over every instrument of a recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+    /// EWMA summaries, sorted by name.
+    pub ewmas: Vec<EwmaSummary>,
+    /// Leakage-ledger cells, sorted by field then operation.
+    pub ledger: Vec<LedgerEntry>,
+    /// Total spans recorded since the recorder was created.
+    pub spans_recorded: u64,
+    /// Spans evicted by the ring bound.
+    pub spans_dropped: u64,
+}
+
+fn fmt_nanos(nanos: u64) -> String {
+    let d = Duration::from_nanos(nanos);
+    if d >= Duration::from_secs(1) {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d >= Duration::from_millis(1) {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else if d >= Duration::from_micros(1) {
+        format!("{:.1}µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+impl Snapshot {
+    /// The counter named `name` (0 when absent — counters that never
+    /// incremented were never created).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// The gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram summary named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The EWMA summary named `name`, if present.
+    pub fn ewma(&self, name: &str) -> Option<&EwmaSummary> {
+        self.ewmas.iter().find(|e| e.name == name)
+    }
+
+    /// Counters whose name starts with `prefix` (e.g. `"gateway."`).
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.counters.iter().filter(|(n, _)| n.starts_with(prefix)).cloned().collect()
+    }
+
+    /// Renders the snapshot as a JSON document (parseable back with
+    /// [`crate::json::Json::parse`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"counters\":[");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_escaped(&mut out, name);
+            let _ = write!(out, ",\"value\":{value}}}");
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_escaped(&mut out, name);
+            let _ = write!(out, ",\"value\":{value}}}");
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_escaped(&mut out, &h.name);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                h.count, h.mean_nanos, h.p50_nanos, h.p90_nanos, h.p99_nanos, h.max_nanos
+            );
+        }
+        out.push_str("],\"ewmas\":[");
+        for (i, e) in self.ewmas.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_escaped(&mut out, &e.name);
+            let _ = write!(out, ",\"nanos\":{:.1},\"samples\":{}}}", e.nanos, e.samples);
+        }
+        out.push_str("],\"ledger\":[");
+        for (i, e) in self.ledger.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"field\":");
+            write_escaped(&mut out, &e.field);
+            out.push_str(",\"op\":");
+            write_escaped(&mut out, &e.op);
+            out.push_str(",\"tactic\":");
+            write_escaped(&mut out, &e.tactic);
+            let _ = write!(
+                out,
+                ",\"observed\":{},\"declared\":{},\"count\":{},\"violation\":{}}}",
+                e.observed,
+                e.declared,
+                e.count,
+                e.violates()
+            );
+        }
+        let _ =
+            write!(out, "],\"spans\":{{\"recorded\":{},\"dropped\":{}}}}}", self.spans_recorded, self.spans_dropped);
+        out
+    }
+
+    /// Renders the snapshot as aligned text tables.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
+            out.push_str("counters & gauges\n");
+            let width =
+                self.counters.iter().map(|(n, _)| n.len()).chain(self.gauges.iter().map(|(n, _)| n.len())).max();
+            let width = width.unwrap_or(0).max(4);
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$} {value:>12}");
+            }
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<width$} {value:>12}");
+            }
+            out.push('\n');
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("latency histograms\n");
+            let width = self.histograms.iter().map(|h| h.name.len()).max().unwrap_or(4).max(4);
+            let _ = writeln!(
+                out,
+                "  {:<width$} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "name", "count", "mean", "p50", "p99", "max"
+            );
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<width$} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    h.name,
+                    h.count,
+                    fmt_nanos(h.mean_nanos),
+                    fmt_nanos(h.p50_nanos),
+                    fmt_nanos(h.p99_nanos),
+                    fmt_nanos(h.max_nanos)
+                );
+            }
+            out.push('\n');
+        }
+        if !self.ewmas.is_empty() {
+            out.push_str("moving averages\n");
+            let width = self.ewmas.iter().map(|e| e.name.len()).max().unwrap_or(4).max(4);
+            for e in &self.ewmas {
+                let _ = writeln!(out, "  {:<width$} {:>10} ({} samples)", e.name, fmt_nanos(e.nanos as u64), e.samples);
+            }
+            out.push('\n');
+        }
+        if !self.ledger.is_empty() {
+            out.push_str("leakage ledger (observed vs declared)\n");
+            let width = self.ledger.iter().map(|e| e.field.len()).max().unwrap_or(5).max(5);
+            let _ = writeln!(
+                out,
+                "  {:<width$} {:>9} {:>10} {:>12} {:>12} {:>7}",
+                "field", "op", "tactic", "observed", "declared", "count"
+            );
+            for e in &self.ledger {
+                let flag = if e.violates() { " VIOLATION" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "  {:<width$} {:>9} {:>10} {:>12} {:>12} {:>7}{flag}",
+                    e.field,
+                    e.op,
+                    e.tactic,
+                    level_name(e.observed),
+                    level_name(e.declared),
+                    e.count
+                );
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "spans: {} recorded, {} dropped", self.spans_recorded, self.spans_dropped);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn sample() -> Snapshot {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(100));
+        Snapshot {
+            counters: vec![("gateway.insert.count".into(), 7)],
+            gauges: vec![("channel.breaker.state".into(), 1)],
+            histograms: vec![HistogramSummary::of("gateway.insert.latency", &h)],
+            ewmas: vec![EwmaSummary { name: "tactic.mitra.eq_query".into(), nanos: 1234.5, samples: 3 }],
+            ledger: vec![LedgerEntry {
+                field: "subject".into(),
+                op: "equality".into(),
+                tactic: "mitra".into(),
+                observed: 2,
+                declared: 2,
+                count: 9,
+            }],
+            spans_recorded: 10,
+            spans_dropped: 2,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let snap = sample();
+        let parsed = Json::parse(&snap.to_json()).unwrap();
+        let counters = parsed.get("counters").unwrap().as_array().unwrap();
+        assert_eq!(counters[0].get("name").unwrap().as_str(), Some("gateway.insert.count"));
+        assert_eq!(counters[0].get("value").unwrap().as_u64(), Some(7));
+        let ledger = parsed.get("ledger").unwrap().as_array().unwrap();
+        assert_eq!(ledger[0].get("violation"), Some(&Json::Bool(false)));
+        assert_eq!(parsed.get("spans").unwrap().get("recorded").unwrap().as_u64(), Some(10));
+    }
+
+    #[test]
+    fn text_tables_align_and_name_levels() {
+        let text = sample().to_text();
+        assert!(text.contains("gateway.insert.count"));
+        assert!(text.contains("Identifiers"), "levels rendered by name: {text}");
+        assert!(text.contains("spans: 10 recorded, 2 dropped"));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let snap = sample();
+        assert_eq!(snap.counter("gateway.insert.count"), 7);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("channel.breaker.state"), Some(1));
+        assert_eq!(snap.histogram("gateway.insert.latency").unwrap().count, 1);
+        assert_eq!(snap.ewma("tactic.mitra.eq_query").unwrap().samples, 3);
+        assert_eq!(snap.counters_with_prefix("gateway.").len(), 1);
+    }
+}

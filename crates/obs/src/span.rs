@@ -1,0 +1,134 @@
+//! Structured spans and the ring-buffered in-memory sink.
+//!
+//! A [`Span`] is one completed operation as seen at an instrumentation
+//! point: which route ran, through which tactic and field (when known),
+//! how it ended and how long it took. The [`SpanSink`] keeps the most
+//! recent spans in a bounded ring; older spans are dropped and counted,
+//! never reallocated — recording cost stays flat under load.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How an operation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Completed successfully.
+    Ok,
+    /// Returned an error.
+    Err,
+}
+
+/// One completed, recorded operation.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Monotonic operation id, unique per recorder.
+    pub id: u64,
+    /// The instrumented route, e.g. `gateway.insert`.
+    pub route: String,
+    /// The tactic involved, when the instrumentation point knows it.
+    pub tactic: Option<String>,
+    /// The field involved, when known.
+    pub field: Option<String>,
+    /// How the operation ended.
+    pub outcome: SpanOutcome,
+    /// Wall-clock duration.
+    pub duration: Duration,
+}
+
+/// A bounded in-memory ring of recent spans.
+pub struct SpanSink {
+    capacity: usize,
+    ring: Mutex<VecDeque<Span>>,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl SpanSink {
+    /// A sink retaining up to `capacity` recent spans.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanSink {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a span, evicting the oldest when full.
+    pub fn push(&self, span: Span) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().expect("span lock");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(span);
+    }
+
+    /// The retained spans, oldest first.
+    pub fn recent(&self) -> Vec<Span> {
+        self.ring.lock().expect("span lock").iter().cloned().collect()
+    }
+
+    /// Total spans ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Spans evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64) -> Span {
+        Span {
+            id,
+            route: "gateway.insert".into(),
+            tactic: Some("mitra".into()),
+            field: Some("subject".into()),
+            outcome: SpanOutcome::Ok,
+            duration: Duration::from_micros(id),
+        }
+    }
+
+    #[test]
+    fn ring_bounds_and_counts() {
+        let sink = SpanSink::new(3);
+        for id in 0..5 {
+            sink.push(span(id));
+        }
+        let recent = sink.recent();
+        assert_eq!(recent.iter().map(|s| s.id).collect::<Vec<_>>(), vec![2, 3, 4], "oldest evicted first");
+        assert_eq!(sink.recorded(), 5);
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_counted() {
+        let sink = std::sync::Arc::new(SpanSink::new(64));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let sink = sink.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        sink.push(span(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(sink.recorded(), 4000);
+        assert_eq!(sink.dropped(), 4000 - 64);
+        assert_eq!(sink.recent().len(), 64);
+    }
+}

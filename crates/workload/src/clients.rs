@@ -23,6 +23,7 @@ use datablinder_core::wire::{canonical_bytes, decode_documents, decode_value, en
 use datablinder_docstore::{Document, Value};
 use datablinder_kms::Kms;
 use datablinder_netsim::Channel;
+use datablinder_obs::Recorder;
 use datablinder_paillier::{Ciphertext, Keypair};
 use datablinder_primitives::keys::SymmetricKey;
 use datablinder_sse::det::DetCipher;
@@ -407,6 +408,26 @@ impl MiddlewareClient {
         let mut rng = StdRng::seed_from_u64(0x5C + worker);
         let kms = Kms::generate(&mut rng);
         let mut engine = GatewayEngine::new(&format!("bench-w{worker}"), kms, channel, 0xC0DE + worker);
+        let schema = format!("observation-w{worker}");
+        engine.register_schema(bench_schema_named(&schema)).expect("bench schema registers");
+        MiddlewareClient { engine, schema }
+    }
+
+    /// As [`MiddlewareClient::new`], but with `recorder` installed on the
+    /// gateway before the schema registers, so every route the workload
+    /// drives lands in the shared recorder (and through it, the channel
+    /// metrics of the gateway↔cloud path). Workers typically share one
+    /// recorder: its internals are sharded atomics, clones share state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark schema fails to register (a bug, not an
+    /// input condition).
+    pub fn new_observed(channel: Channel, worker: u64, recorder: Recorder) -> Self {
+        let mut rng = StdRng::seed_from_u64(0x5C + worker);
+        let kms = Kms::generate(&mut rng);
+        let mut engine = GatewayEngine::new(&format!("bench-w{worker}"), kms, channel, 0xC0DE + worker);
+        engine.set_recorder(recorder);
         let schema = format!("observation-w{worker}");
         engine.register_schema(bench_schema_named(&schema)).expect("bench schema registers");
         MiddlewareClient { engine, schema }

@@ -1,206 +1,8 @@
-//! Log-linear latency histogram (HdrHistogram-style, fixed memory).
+//! Fixed-memory latency histograms.
+//!
+//! The implementation now lives in the observability crate
+//! ([`datablinder_obs::histogram`]) so gateway, cloud and channel
+//! instrumentation can share the exact bucket layout with workload
+//! reports; this module re-exports it so existing callers keep working.
 
-use std::time::Duration;
-
-/// Number of sub-buckets per power-of-two bucket (resolution ~1/32).
-const SUB_BUCKETS: usize = 32;
-/// Covers 1 ns .. ~2^40 ns (~18 minutes).
-const BUCKETS: usize = 40;
-
-/// A latency histogram with bounded error (~3%) and fixed memory.
-///
-/// # Examples
-///
-/// ```
-/// use datablinder_workload::histogram::LatencyHistogram;
-/// use std::time::Duration;
-///
-/// let mut h = LatencyHistogram::new();
-/// for ms in [1u64, 2, 3, 4, 100] {
-///     h.record(Duration::from_millis(ms));
-/// }
-/// assert_eq!(h.count(), 5);
-/// assert!(h.percentile(0.50) >= Duration::from_millis(2));
-/// ```
-#[derive(Clone)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    total: u64,
-    sum_nanos: u128,
-    max_nanos: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram { counts: vec![0; BUCKETS * SUB_BUCKETS], total: 0, sum_nanos: 0, max_nanos: 0 }
-    }
-
-    fn index(nanos: u64) -> usize {
-        if nanos < SUB_BUCKETS as u64 {
-            return nanos as usize;
-        }
-        let bucket = 63 - nanos.leading_zeros() as usize - SUB_BUCKETS.trailing_zeros() as usize;
-        let sub = (nanos >> bucket) as usize; // in [SUB_BUCKETS, 2*SUB_BUCKETS)
-        let idx = bucket * SUB_BUCKETS + (sub - SUB_BUCKETS) + SUB_BUCKETS;
-        idx.min(BUCKETS * SUB_BUCKETS - 1)
-    }
-
-    fn value_of(idx: usize) -> u64 {
-        if idx < SUB_BUCKETS {
-            return idx as u64;
-        }
-        let bucket = (idx - SUB_BUCKETS) / SUB_BUCKETS;
-        let sub = (idx - SUB_BUCKETS) % SUB_BUCKETS + SUB_BUCKETS;
-        (sub as u64) << bucket
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, latency: Duration) {
-        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
-        self.counts[Self::index(nanos)] += 1;
-        self.total += 1;
-        self.sum_nanos += nanos as u128;
-        self.max_nanos = self.max_nanos.max(nanos);
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum_nanos += other.sum_nanos;
-        self.max_nanos = self.max_nanos.max(other.max_nanos);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Arithmetic mean.
-    pub fn mean(&self) -> Duration {
-        if self.total == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos((self.sum_nanos / self.total as u128) as u64)
-    }
-
-    /// Largest recorded sample (exact).
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_nanos)
-    }
-
-    /// The value at quantile `q` in `[0, 1]` (upper bucket bound).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q` is not in `[0, 1]`.
-    pub fn percentile(&self, q: f64) -> Duration {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range");
-        if self.total == 0 {
-            return Duration::ZERO;
-        }
-        let target = ((self.total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Duration::from_nanos(Self::value_of(idx));
-            }
-        }
-        self.max()
-    }
-}
-
-impl std::fmt::Debug for LatencyHistogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LatencyHistogram")
-            .field("count", &self.total)
-            .field("mean", &self.mean())
-            .field("p50", &self.percentile(0.5))
-            .field("p99", &self.percentile(0.99))
-            .finish()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean(), Duration::ZERO);
-        assert_eq!(h.percentile(0.99), Duration::ZERO);
-    }
-
-    #[test]
-    fn percentiles_ordered() {
-        let mut h = LatencyHistogram::new();
-        for i in 1..=1000u64 {
-            h.record(Duration::from_micros(i));
-        }
-        let p50 = h.percentile(0.50);
-        let p75 = h.percentile(0.75);
-        let p99 = h.percentile(0.99);
-        assert!(p50 <= p75 && p75 <= p99);
-        // ~3% relative error bound.
-        let p50us = p50.as_micros() as f64;
-        assert!((p50us - 500.0).abs() / 500.0 < 0.05, "p50 = {p50us}");
-    }
-
-    #[test]
-    fn mean_exact() {
-        let mut h = LatencyHistogram::new();
-        h.record(Duration::from_nanos(100));
-        h.record(Duration::from_nanos(300));
-        assert_eq!(h.mean(), Duration::from_nanos(200));
-    }
-
-    #[test]
-    fn merge_combines() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(Duration::from_millis(1));
-        b.record(Duration::from_millis(100));
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.max(), Duration::from_millis(100));
-    }
-
-    #[test]
-    fn index_monotone_and_bounded() {
-        let mut prev = 0usize;
-        for shift in 0..40u32 {
-            let v = 1u64 << shift;
-            let idx = LatencyHistogram::index(v);
-            assert!(idx >= prev, "index must be monotone at 2^{shift}");
-            assert!(idx < BUCKETS * SUB_BUCKETS);
-            prev = idx;
-            // bucket value bound: value_of(index(v)) <= v
-            assert!(LatencyHistogram::value_of(idx) <= v);
-        }
-        // Saturation at huge values instead of overflow.
-        let _ = LatencyHistogram::index(u64::MAX);
-    }
-
-    #[test]
-    fn relative_error_bounded() {
-        for v in [100u64, 999, 12_345, 1_000_000, 123_456_789] {
-            let idx = LatencyHistogram::index(v);
-            let lo = LatencyHistogram::value_of(idx);
-            assert!(lo <= v);
-            let err = (v - lo) as f64 / v as f64;
-            assert!(err < 0.05, "error {err} at {v}");
-        }
-    }
-}
+pub use datablinder_obs::histogram::{AtomicHistogram, LatencyHistogram};

@@ -59,6 +59,21 @@ pub fn render_figure5(reports: &[&ScenarioReport]) -> String {
     out
 }
 
+/// Renders a scenario's observability snapshot as aligned text tables
+/// (counters, gauges, histograms, EWMAs and the leakage ledger). Returns
+/// a note instead when the run used a disabled recorder.
+pub fn render_snapshot(report: &ScenarioReport) -> String {
+    if report.snapshot.counters.is_empty() && report.snapshot.histograms.is_empty() {
+        return format!("{}: no observability snapshot (run used a disabled recorder)\n", report.label);
+    }
+    format!("observability snapshot — {}\n\n{}", report.label, report.snapshot.to_text())
+}
+
+/// Renders a scenario's observability snapshot as a JSON document.
+pub fn render_snapshot_json(report: &ScenarioReport) -> String {
+    report.snapshot.to_json()
+}
+
 /// Renders the §5.2 latency table: overall average, p50, p75, p99.
 pub fn render_latency_table(reports: &[&ScenarioReport]) -> String {
     let mut out = String::new();
@@ -98,6 +113,7 @@ mod tests {
             search: LatencyHistogram::new(),
             aggregate: LatencyHistogram::new(),
             overall,
+            snapshot: datablinder_obs::Snapshot::default(),
         }
     }
 
@@ -111,6 +127,20 @@ mod tests {
         let tbl = render_latency_table(&[&a, &b, &c]);
         assert!(tbl.contains("p99"));
         assert!(tbl.contains("S_C"));
+    }
+
+    #[test]
+    fn snapshot_renderers_handle_empty_and_populated() {
+        let r = fake("S_C", 1);
+        assert!(render_snapshot(&r).contains("disabled recorder"));
+        let rec = datablinder_obs::Recorder::new();
+        rec.count("gateway.insert.count", 3);
+        let mut r = fake("S_C", 1);
+        r.snapshot = rec.snapshot();
+        assert!(render_snapshot(&r).contains("gateway.insert.count"));
+        let json = render_snapshot_json(&r);
+        let doc = datablinder_obs::Json::parse(&json).expect("snapshot JSON parses");
+        assert!(doc.get("counters").is_some());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use datablinder_fhir::ObservationGenerator;
+use datablinder_obs::{Recorder, Snapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -99,6 +100,11 @@ pub struct ScenarioReport {
     pub aggregate: LatencyHistogram,
     /// All operations combined.
     pub overall: LatencyHistogram,
+    /// Observability snapshot taken at the end of the run: workload
+    /// metrics plus whatever the supplied recorder collected from the
+    /// layers underneath (gateway routes, channel retries, WAL, ledger).
+    /// Empty when the run used a disabled recorder.
+    pub snapshot: Snapshot,
 }
 
 impl ScenarioReport {
@@ -128,6 +134,24 @@ pub fn run_scenario<F>(label: &'static str, spec: ScenarioSpec, factory: F) -> S
 where
     F: Fn(usize) -> Box<dyn BenchClient> + Sync,
 {
+    run_scenario_observed(label, spec, factory, Recorder::disabled())
+}
+
+/// As [`run_scenario`], but measured through `recorder`: each operation
+/// also lands in the recorder's `workload.<op>.latency` histogram and
+/// `workload.<op>.count` / `workload.<op>.errors` counters, and the
+/// returned report carries `recorder.snapshot()` — which therefore also
+/// contains whatever the layers under the client recorded, when they
+/// share the same recorder.
+pub fn run_scenario_observed<F>(
+    label: &'static str,
+    spec: ScenarioSpec,
+    factory: F,
+    recorder: Recorder,
+) -> ScenarioReport
+where
+    F: Fn(usize) -> Box<dyn BenchClient> + Sync,
+{
     let per_worker = spec.requests / spec.workers.max(1);
     let completed = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
@@ -143,6 +167,7 @@ where
             let completed = &completed;
             let failed = &failed;
             let barrier = &barrier;
+            let recorder = &recorder;
             handles.push(scope.spawn(move |_| {
                 let mut client = factory(w);
                 barrier.wait();
@@ -156,8 +181,11 @@ where
                 for _ in 0..4 {
                     let doc = gen.generate(&mut rng);
                     let t = Instant::now();
-                    if client.insert(&doc).is_ok() {
-                        insert_h.record(t.elapsed());
+                    let ok = client.insert(&doc).is_ok();
+                    let d = t.elapsed();
+                    recorder.record_op("workload.insert", None, None, d, ok);
+                    if ok {
+                        insert_h.record(d);
                         completed.fetch_add(1, Ordering::Relaxed);
                     } else {
                         failed.fetch_add(1, Ordering::Relaxed);
@@ -168,39 +196,39 @@ where
                         OpKind::Insert => {
                             let doc = gen.generate(&mut rng);
                             let t = Instant::now();
-                            match client.insert(&doc) {
-                                Ok(()) => {
-                                    insert_h.record(t.elapsed());
-                                    completed.fetch_add(1, Ordering::Relaxed);
-                                }
-                                Err(_) => {
-                                    failed.fetch_add(1, Ordering::Relaxed);
-                                }
+                            let ok = client.insert(&doc).is_ok();
+                            let d = t.elapsed();
+                            recorder.record_op("workload.insert", None, None, d, ok);
+                            if ok {
+                                insert_h.record(d);
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                failed.fetch_add(1, Ordering::Relaxed);
                             }
                         }
                         OpKind::Search => {
                             let subject = gen.patient(rng.gen_range(0..spec.patient_pool));
                             let t = Instant::now();
-                            match client.search_subject(&subject) {
-                                Ok(_) => {
-                                    search_h.record(t.elapsed());
-                                    completed.fetch_add(1, Ordering::Relaxed);
-                                }
-                                Err(_) => {
-                                    failed.fetch_add(1, Ordering::Relaxed);
-                                }
+                            let ok = client.search_subject(&subject).is_ok();
+                            let d = t.elapsed();
+                            recorder.record_op("workload.search", None, None, d, ok);
+                            if ok {
+                                search_h.record(d);
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                failed.fetch_add(1, Ordering::Relaxed);
                             }
                         }
                         OpKind::Aggregate => {
                             let t = Instant::now();
-                            match client.average_value() {
-                                Ok(_) => {
-                                    agg_h.record(t.elapsed());
-                                    completed.fetch_add(1, Ordering::Relaxed);
-                                }
-                                Err(_) => {
-                                    failed.fetch_add(1, Ordering::Relaxed);
-                                }
+                            let ok = client.average_value().is_ok();
+                            let d = t.elapsed();
+                            recorder.record_op("workload.aggregate", None, None, d, ok);
+                            if ok {
+                                agg_h.record(d);
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                failed.fetch_add(1, Ordering::Relaxed);
                             }
                         }
                     }
@@ -237,6 +265,7 @@ where
         search,
         aggregate,
         overall,
+        snapshot: recorder.snapshot(),
     }
 }
 
@@ -257,6 +286,28 @@ mod tests {
         assert_eq!(report.completed, 200);
         assert!(report.throughput() > 0.0);
         assert_eq!(report.insert.count() + report.search.count() + report.aggregate.count(), report.overall.count());
+    }
+
+    #[test]
+    fn observed_runner_populates_snapshot() {
+        let spec = ScenarioSpec { workers: 2, requests: 100, ..ScenarioSpec::default() };
+        let rec = Recorder::new();
+        let report = run_scenario_observed(
+            "S_A",
+            spec,
+            |w| Box::new(PlainClient::new(Channel::connect(CloudEngine::new(), LatencyModel::instant()), w as u64)),
+            rec.clone(),
+        );
+        assert_eq!(report.failed, 0);
+        let total: u64 = report
+            .snapshot
+            .counters_with_prefix("workload.")
+            .iter()
+            .filter(|(name, _)| name.ends_with(".count"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(total, report.completed, "recorder counted every completed op");
+        assert!(report.snapshot.histogram("workload.insert.latency").is_some());
     }
 
     #[test]

@@ -14,6 +14,14 @@ cargo test -q
 echo "==> cargo test --release --test resilience (crash storms under optimization)"
 cargo test --release -q --test resilience
 
+echo "==> metrics smoke: observed fig5 run emits a parseable snapshot with live route counters"
+cargo run --release -q -p datablinder-bench --bin fig5_throughput -- \
+    --net instant --workers 4 --requests 200 --observe |
+    tail -1 |
+    grep -q '"name":"gateway.insert.count","value":[1-9]' ||
+    { echo "metrics smoke: gateway route counters missing from snapshot JSON" >&2; exit 1; }
+cargo test --release -q --test observability
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

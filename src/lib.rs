@@ -51,6 +51,7 @@ pub use datablinder_fhir as fhir;
 pub use datablinder_kms as kms;
 pub use datablinder_kvstore as kvstore;
 pub use datablinder_netsim as netsim;
+pub use datablinder_obs as obs;
 pub use datablinder_ope as ope;
 pub use datablinder_ore as ore;
 pub use datablinder_paillier as paillier;

@@ -681,3 +681,136 @@ fn stale_state_is_detected_by_overwritten_chains() {
     // Exactly the post-restart document is visible through the index.
     assert_eq!(hits.len(), 1);
 }
+
+// ------------------------------------------------- observability integration
+
+/// The fault-storm metrics also land in an installed obs recorder: channel
+/// attempts/retries/backoff counters agree with the channel's own metering,
+/// gateway route counters see every op, and the breaker trip under a total
+/// outage is visible as a state gauge plus a transition counter.
+#[test]
+fn fault_storm_metrics_land_in_recorder() {
+    use datablinder::obs::Recorder;
+
+    let seed = 0x0B5F;
+    let faults = RouteFaults::none().with_drop(0.06).with_duplicate(0.04).with_corrupt(0.02);
+    let svc = Arc::new(FaultyService::new(CloudEngine::new(), FaultPlan::uniform(faults), seed));
+    let channel = Channel::from_arc(svc, LatencyModel::instant());
+    let config = ResilienceConfig {
+        retry: RetryPolicy { max_attempts: 12, ..RetryPolicy::default() },
+        deadline: Some(Duration::from_millis(10)),
+        seed,
+        ..ResilienceConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gw =
+        GatewayEngine::with_resilience("storm", Kms::generate(&mut rng), ResilientChannel::new(channel, config), seed);
+    gw.set_recorder(Recorder::new());
+    gw.register_schema(simple_schema()).unwrap();
+
+    let docs = 80usize;
+    for i in 0..docs {
+        gw.insert("notes", &Document::new("x").with("owner", Value::from(format!("o{}", i % 8)))).unwrap();
+    }
+    for o in 0..8 {
+        gw.find_equal("notes", "owner", &Value::from(format!("o{o}"))).unwrap();
+    }
+
+    let snap = gw.recorder().snapshot();
+    let m = gw.channel().metrics().snapshot();
+    assert_eq!(snap.counter("channel.call.attempts"), m.attempts, "recorder agrees with channel metering");
+    assert_eq!(snap.counter("channel.call.retries"), m.retries);
+    assert!(snap.counter("channel.call.retries") > 0, "the storm forced retries");
+    assert_eq!(snap.counter("channel.backoff.sleeps"), m.retries, "every retry backed off");
+    assert!(snap.counter("channel.backoff.nanos") > 0);
+    assert_eq!(snap.counter("gateway.insert.count"), docs as u64);
+    assert_eq!(snap.counter("gateway.find_equal.count"), 8);
+    assert_eq!(snap.counter("gateway.insert.errors"), 0, "faults absorbed, not surfaced");
+
+    // Now a total outage: the breaker trips, and the recorder sees the
+    // transition and the Open state gauge.
+    let dead =
+        Arc::new(FaultyService::new(CloudEngine::new(), FaultPlan::uniform(RouteFaults::none().with_drop(1.0)), 7));
+    let config = ResilienceConfig {
+        retry: RetryPolicy::none(),
+        breaker: BreakerConfig { failure_threshold: 3, cooldown: Duration::from_millis(50) },
+        deadline: Some(Duration::from_millis(5)),
+        seed: 7,
+    };
+    let mut gw2 = GatewayEngine::with_resilience(
+        "breaker",
+        Kms::generate(&mut rng),
+        ResilientChannel::new(Channel::from_arc(dead, LatencyModel::instant()), config),
+        7,
+    );
+    let recorder = Recorder::new();
+    gw2.set_recorder(recorder.clone());
+    let _ = gw2.register_schema(simple_schema()); // schema prep may already time out
+    for i in 0..4 {
+        let _ = gw2.insert("notes", &Document::new("x").with("owner", Value::from(format!("o{i}"))));
+    }
+    assert_eq!(gw2.resilient_channel().breaker_state(), BreakerState::Open);
+    let snap = recorder.snapshot();
+    assert!(snap.counter("channel.breaker.transitions") >= 1, "breaker trip counted");
+    assert_eq!(snap.gauge("channel.breaker.state"), Some(1), "gauge shows Open");
+    assert!(snap.counter("channel.call.errors") > 0);
+}
+
+/// WAL appends, snapshot compactions and crash recovery land in the cloud
+/// engine's recorder: a durable engine journals every write, and a reopen
+/// after a simulated power cut reports how many records rolled forward and
+/// how long the engine took to become query-ready.
+#[test]
+fn wal_and_recovery_counters_reach_the_recorder() {
+    use datablinder::obs::Recorder;
+
+    let dir = crash_dir("obs");
+    let opts = DurabilityOptions { snapshot_every: Some(1000), dedup_capacity: Some(1024), crash: None };
+
+    // Live run: count WAL appends while the workload writes.
+    let live = Recorder::new();
+    let mut engine = CloudEngine::open_durable_observed(&dir, opts.clone(), live.clone()).unwrap();
+    engine.set_recorder(live.clone());
+    let svc = Arc::new(engine);
+    let channel = Channel::from_arc(svc.clone(), LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut gw = GatewayEngine::new("durable", Kms::generate(&mut rng), channel, 11);
+    gw.register_schema(simple_schema()).unwrap();
+    let docs = 20usize;
+    for i in 0..docs {
+        gw.insert("notes", &Document::new("x").with("owner", Value::from(format!("o{}", i % 4)))).unwrap();
+    }
+    svc.snapshot_now().unwrap();
+    for i in docs..docs + 5 {
+        gw.insert("notes", &Document::new("x").with("owner", Value::from(format!("o{}", i % 4)))).unwrap();
+    }
+
+    let snap = live.snapshot();
+    assert!(snap.counter("cloud.wal.appends") >= (docs + 5) as u64, "every write journaled: {:?}", snap.counters);
+    assert!(snap.counter("cloud.wal.bytes") > snap.counter("cloud.wal.appends"), "journal bytes metered");
+    assert_eq!(snap.counter("cloud.snapshot.compactions"), 1);
+    assert_eq!(snap.counter("cloud.recovery.replayed"), 0, "first open had nothing to replay");
+
+    // Power cut + reopen: the WAL tail written after the snapshot replays,
+    // and the recovery counters + time-to-first-query land in the recorder.
+    let wal_tail = svc.wal_since_snapshot();
+    assert!(wal_tail > 0, "writes landed after the snapshot");
+    drop(gw);
+    drop(svc);
+    let reopened_obs = Recorder::new();
+    let reopened = CloudEngine::open_durable_observed(&dir, opts, reopened_obs.clone()).unwrap();
+    let snap = reopened_obs.snapshot();
+    assert_eq!(snap.counter("cloud.recovery.replayed"), reopened.recovery_report().replayed);
+    assert!(snap.counter("cloud.recovery.replayed") > 0, "the WAL tail rolled forward");
+    assert_eq!(snap.counter("cloud.recovery.snapshots_restored"), 1);
+    let recovery = snap.histogram("cloud.recovery.latency").expect("time-to-first-query measured");
+    assert_eq!(recovery.count, 1);
+
+    // And the recovered store serves queries.
+    let channel = Channel::from_arc(Arc::new(reopened), LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut gw = GatewayEngine::new("durable", Kms::generate(&mut rng), channel, 11);
+    gw.register_schema(simple_schema()).unwrap();
+    assert_eq!(gw.count("notes").unwrap(), (docs + 5) as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
