@@ -21,7 +21,7 @@ use datablinder_kms::Kms;
 use datablinder_netsim::{
     Channel, FaultPlan, FaultyService, LatencyModel, ResilienceConfig, ResilientChannel, RetryPolicy, RouteFaults,
 };
-use datablinder_workload::histogram::LatencyHistogram;
+use datablinder_obs::histogram::LatencyHistogram;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

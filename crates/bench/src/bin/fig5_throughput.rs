@@ -7,18 +7,45 @@
 //! cargo run --release -p datablinder-bench --bin fig5_throughput
 //! cargo run --release -p datablinder-bench --bin fig5_throughput -- --full      # paper scale
 //! cargo run --release -p datablinder-bench --bin fig5_throughput -- --observe   # + S_C obs snapshot
+//! cargo run --release -p datablinder-bench --bin fig5_throughput -- --shared-gateway --net instant
 //! ```
 //!
 //! With `--observe` the middleware scenario runs through an enabled
 //! recorder and the run ends with its observability snapshot: aligned
 //! text tables on stdout and the machine-readable JSON document on a
 //! trailing line (pipe-friendly: `... --observe | tail -1 > snapshot.json`).
+//!
+//! With `--shared-gateway` the binary instead runs ONE gateway engine
+//! shared by every worker thread at 1/2/4/… workers (powers of two up to
+//! `--workers`), prints the throughput scaling table, and ends with the
+//! top rung's observability snapshot — per-shard contention counters and
+//! pool gauges included — as a trailing JSON line.
 
-use datablinder_bench::{run_all_scenarios, EvalConfig};
+use datablinder_bench::{run_all_scenarios, run_shared_gateway, EvalConfig};
 use datablinder_workload::report::{render_figure5, render_snapshot, render_snapshot_json};
 
 fn main() {
     let cfg = EvalConfig::from_args();
+    if cfg.shared_gateway {
+        let reports = run_shared_gateway(cfg);
+        println!(
+            "\nshared gateway: {} requests per rung, {} patients, mixed insert/search/aggregate\n",
+            cfg.requests, cfg.patient_pool
+        );
+        println!("workers  throughput    speedup");
+        let base = reports[0].throughput();
+        for r in &reports {
+            let speedup = if base > 0.0 { r.throughput() / base } else { 0.0 };
+            println!("{:<8} {:>8.1}/s   {:>5.2}x", r.label, r.throughput(), speedup);
+        }
+        for r in &reports {
+            assert_eq!(r.failed, 0, "{}: failed requests", r.label);
+        }
+        let top = reports.last().expect("at least one rung");
+        println!("\n{}", render_snapshot(top));
+        println!("{}", render_snapshot_json(top));
+        return;
+    }
     let (sa, sb, sc) = run_all_scenarios(cfg);
     println!(
         "\nworkload: {} requests x 3 scenarios, {} workers, {} patients, mixed insert/search/aggregate\n",

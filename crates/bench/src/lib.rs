@@ -9,11 +9,20 @@
 //!   introspection).
 
 #![warn(missing_docs)]
+use std::sync::Arc;
+
 use datablinder_core::cloud::CloudEngine;
+use datablinder_core::pool::WorkerPool;
+use datablinder_docstore::Document;
+use datablinder_fhir::ObservationGenerator;
 use datablinder_netsim::{Channel, LatencyModel};
 use datablinder_obs::Recorder;
-use datablinder_workload::clients::{HardcodedClient, MiddlewareClient, PlainClient};
-use datablinder_workload::runner::{run_scenario, run_scenario_observed, ScenarioReport, ScenarioSpec};
+use datablinder_workload::clients::{shared_gateway, HardcodedClient, MiddlewareClient, PlainClient, SHARED_SCHEMA};
+use datablinder_workload::runner::{
+    run_scenario, run_scenario_observed, run_shared_scenario, ScenarioReport, ScenarioSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Workload sizing for the Figure-5 / latency-table runs.
 #[derive(Debug, Clone, Copy)]
@@ -37,11 +46,23 @@ pub struct EvalConfig {
     /// channel metrics, leakage ledger). Off by default: recording costs
     /// a little, and the headline S_B→S_C comparison should not pay it.
     pub observe: bool,
+    /// Run the shared-gateway scaling ladder instead of the three-scenario
+    /// comparison: ONE gateway engine serves every worker, at 1, 2, 4, …
+    /// workers up to [`EvalConfig::workers`]. See [`run_shared_gateway`].
+    pub shared_gateway: bool,
 }
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { workers: 8, requests: 4_000, patient_pool: 64, paillier_bits: 512, net: "metro", observe: false }
+        EvalConfig {
+            workers: 8,
+            requests: 4_000,
+            patient_pool: 64,
+            paillier_bits: 512,
+            net: "metro",
+            observe: false,
+            shared_gateway: false,
+        }
     }
 }
 
@@ -71,6 +92,7 @@ impl EvalConfig {
                     };
                 }
                 "--observe" => cfg.observe = true,
+                "--shared-gateway" => cfg.shared_gateway = true,
                 // The paper's full scale: ~151k requests, 1000 users.
                 "--full" => {
                     cfg.workers = 64;
@@ -91,6 +113,15 @@ impl EvalConfig {
             ..ScenarioSpec::default()
         }
     }
+
+    fn latency_model(&self) -> LatencyModel {
+        match self.net {
+            "instant" => LatencyModel::instant(),
+            "lan" => LatencyModel { real_sleep: true, ..LatencyModel::lan() },
+            "wan" => LatencyModel { real_sleep: true, ..LatencyModel::wan() },
+            _ => LatencyModel { real_sleep: true, ..LatencyModel::metro() },
+        }
+    }
 }
 
 /// Runs the three §5.2 scenarios against fresh cloud engines and returns
@@ -99,12 +130,7 @@ pub fn run_all_scenarios(cfg: EvalConfig) -> (ScenarioReport, ScenarioReport, Sc
     // All scenarios share one latency model; each worker gets its own
     // channel handle to one shared per-scenario cloud engine.
     let spec = cfg.spec();
-    let model = match cfg.net {
-        "instant" => LatencyModel::instant(),
-        "lan" => LatencyModel { real_sleep: true, ..LatencyModel::lan() },
-        "wan" => LatencyModel { real_sleep: true, ..LatencyModel::wan() },
-        _ => LatencyModel { real_sleep: true, ..LatencyModel::metro() },
-    };
+    let model = cfg.latency_model();
 
     eprintln!("running S_A (no middleware, no tactics): {} requests / {} workers", cfg.requests, cfg.workers);
     let cloud_a = Channel::connect(CloudEngine::new(), model);
@@ -131,4 +157,76 @@ pub fn run_all_scenarios(cfg: EvalConfig) -> (ScenarioReport, ScenarioReport, Sc
     };
 
     (sa, sb, sc)
+}
+
+/// Static labels for the shared-gateway scaling rungs (scenario labels are
+/// `&'static str` throughout the runner).
+fn rung_label(workers: usize) -> &'static str {
+    match workers {
+        1 => "Gx1",
+        2 => "Gx2",
+        4 => "Gx4",
+        8 => "Gx8",
+        16 => "Gx16",
+        32 => "Gx32",
+        64 => "Gx64",
+        _ => "GxN",
+    }
+}
+
+/// Powers of two up to and including `max` (so the default `--workers 8`
+/// gives the 1/2/4/8 ladder).
+fn ladder(max: usize) -> Vec<usize> {
+    let mut rungs = Vec::new();
+    let mut w = 1usize;
+    while w <= max.max(1) {
+        rungs.push(w);
+        w *= 2;
+    }
+    rungs
+}
+
+/// Runs the shared-gateway scaling ladder: at each worker count (powers of
+/// two up to `cfg.workers`), ONE [`GatewayEngine`] instance — with a
+/// worker pool attached for parallel batch encryption — serves every
+/// worker thread over ONE shared [`CloudEngine`]. Each rung's report
+/// carries a snapshot from the run's shared recorder, taken *after*
+/// [`CloudEngine::publish_shard_metrics`], so per-shard contention
+/// counters (`cloud.kv.shard.N.contention`, `cloud.dedup.shard.N.contention`)
+/// and the pool gauges are present in the JSON document the binary prints.
+///
+/// This is the deployment shape the `&self` engine routes exist for; the
+/// three-scenario comparison in [`run_all_scenarios`] instead builds one
+/// engine per worker.
+///
+/// [`GatewayEngine`]: datablinder_core::gateway::GatewayEngine
+pub fn run_shared_gateway(cfg: EvalConfig) -> Vec<ScenarioReport> {
+    let model = cfg.latency_model();
+    let mut reports = Vec::new();
+    for workers in ladder(cfg.workers) {
+        eprintln!("running shared gateway: {} requests / {} workers on one engine", cfg.requests, workers);
+        let recorder = Recorder::new();
+        let mut cloud = CloudEngine::new();
+        cloud.set_recorder(recorder.clone());
+        let cloud = Arc::new(cloud);
+        let channel = Channel::from_arc(cloud.clone(), model);
+        let pool = Arc::new(WorkerPool::new(workers.min(4)));
+        let engine = shared_gateway(channel, recorder.clone(), Some(pool));
+
+        // Prime through the batch path so the run also exercises the
+        // worker pool (the closed-loop mix inserts one document at a
+        // time and would otherwise never fan out).
+        let mut rng = StdRng::seed_from_u64(0x51AB);
+        let mut gen = ObservationGenerator::new(cfg.patient_pool);
+        let batch: Vec<Document> = (0..16).map(|_| gen.generate(&mut rng)).collect();
+        engine.insert_many(SHARED_SCHEMA, &batch).expect("priming batch inserts");
+
+        let spec =
+            ScenarioSpec { workers, requests: cfg.requests, patient_pool: cfg.patient_pool, ..ScenarioSpec::default() };
+        let mut report = run_shared_scenario(rung_label(workers), spec, &engine, recorder.clone());
+        cloud.publish_shard_metrics();
+        report.snapshot = recorder.snapshot();
+        reports.push(report);
+    }
+    reports
 }

@@ -29,6 +29,11 @@ use crate::wire::{decode_document, encode_document, encode_documents};
 /// above `max_attempts × in-flight writes` suffices.
 pub const DEFAULT_DEDUP_CAPACITY: usize = 1024;
 
+/// Dedup-cache shard count for full-capacity caches. Tokens from one
+/// gateway spread uniformly (seed-mixed prefix + sequence), so N-way
+/// sharding divides lock hold times under concurrent writers.
+const DEDUP_SHARDS: usize = 8;
+
 /// FIFO-bounded map from idempotency token to the recorded outcome of the
 /// first execution. The request fingerprint guards against token collisions
 /// (two gateways seeding the same token stream must not read each other's
@@ -63,6 +68,53 @@ impl DedupCache {
     }
 }
 
+/// The dedup cache sharded by token hash: one mutex per shard, so
+/// concurrent writers with distinct tokens rarely contend. Tiny caches
+/// (tests, tight bounds) stay single-sharded to keep FIFO eviction
+/// meaningful.
+struct ShardedDedup {
+    shards: Vec<Mutex<DedupCache>>,
+    contention: Vec<AtomicU64>,
+}
+
+impl ShardedDedup {
+    fn new(capacity: usize) -> Self {
+        let n = if capacity >= DEDUP_SHARDS * 8 { DEDUP_SHARDS } else { 1 };
+        let per_shard = capacity.max(1).div_ceil(n);
+        ShardedDedup {
+            shards: (0..n).map(|_| Mutex::new(DedupCache::new(per_shard))).collect(),
+            contention: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn shard_of(&self, token: &[u8; 16]) -> usize {
+        // FNV-1a over the token; shard count is small so modulo is fine.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in token {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Locks one shard, counting the acquisition as contended when the
+    /// uncontended fast path fails.
+    fn lock_shard(&self, idx: usize) -> parking_lot::MutexGuard<'_, DedupCache> {
+        match self.shards[idx].try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contention[idx].fetch_add(1, Ordering::Relaxed);
+                self.shards[idx].lock()
+            }
+        }
+    }
+
+    /// Contended acquisitions per shard since construction.
+    fn contention(&self) -> Vec<u64> {
+        self.contention.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
 fn request_fingerprint(route: &str, payload: &[u8]) -> u64 {
     let mut h = datablinder_primitives::sha256::Sha256::new();
     h.update(&(route.len() as u32).to_be_bytes());
@@ -77,7 +129,7 @@ pub struct CloudEngine {
     docs: DocStore,
     kv: KvStore,
     tactics: HashMap<&'static str, Arc<dyn CloudTactic>>,
-    dedup: Mutex<DedupCache>,
+    dedup: ShardedDedup,
     dedup_hits: AtomicU64,
     durability: Option<Durability>,
     recovery: RecoveryReport,
@@ -100,7 +152,7 @@ impl CloudEngine {
             docs: docs.clone(),
             kv: kv.clone(),
             tactics: HashMap::new(),
-            dedup: Mutex::new(DedupCache::new(capacity)),
+            dedup: ShardedDedup::new(capacity),
             dedup_hits: AtomicU64::new(0),
             durability: None,
             recovery: RecoveryReport::default(),
@@ -203,6 +255,14 @@ impl CloudEngine {
         self.durability.as_ref().map_or(0, Durability::since_snapshot)
     }
 
+    /// WAL group flushes performed (0 for volatile engines or when a
+    /// crash injector forces the synchronous per-record path). Each group
+    /// commit covers one or more records, so under concurrent writers this
+    /// is strictly less than `wal_seq` when batching is effective.
+    pub fn wal_group_commits(&self) -> u64 {
+        self.durability.as_ref().map_or(0, Durability::group_commits)
+    }
+
     /// Forces a snapshot, compacting the WAL.
     ///
     /// # Errors
@@ -244,6 +304,27 @@ impl CloudEngine {
         &self.obs
     }
 
+    /// Publishes per-shard lock-contention gauges into the recorder:
+    /// `cloud.kv.shard.<i>.contention` (KV substrate, where all tactic
+    /// index state lives) and `cloud.dedup.shard.<i>.contention`
+    /// (idempotency cache). Cumulative counts of acquisitions that missed
+    /// the uncontended fast path; call before snapshotting so the hot
+    /// shards of a run are visible.
+    pub fn publish_shard_metrics(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        for (i, c) in self.kv.shard_contention().iter().enumerate() {
+            self.obs.gauge_set(&format!("cloud.kv.shard.{i}.contention"), *c as i64);
+        }
+        for (i, c) in self.dedup.contention().iter().enumerate() {
+            self.obs.gauge_set(&format!("cloud.dedup.shard.{i}.contention"), *c as i64);
+        }
+        if let Some(d) = &self.durability {
+            self.obs.gauge_set("cloud.wal.group_commits", d.group_commits() as i64);
+        }
+    }
+
     /// The underlying document store (inspection/tests).
     pub fn docs(&self) -> &DocStore {
         &self.docs
@@ -267,13 +348,14 @@ impl CloudEngine {
                     return Err(CoreError::UnsupportedOperation("nested idem".into()));
                 }
                 let fingerprint = request_fingerprint(&req.route, &req.payload);
-                if let Some(outcome) = self.dedup.lock().get(&req.token, fingerprint) {
+                let shard = self.dedup.shard_of(&req.token);
+                if let Some(outcome) = self.dedup.lock_shard(shard).get(&req.token, fingerprint) {
                     self.dedup_hits.fetch_add(1, Ordering::Relaxed);
                     self.obs.count("cloud.dedup.hits", 1);
                     return outcome;
                 }
                 let outcome = self.dispatch(&req.route, &req.payload);
-                self.dedup.lock().put(req.token, fingerprint, outcome.clone());
+                self.dedup.lock_shard(shard).put(req.token, fingerprint, outcome.clone());
                 outcome
             }
             ["batch"] => {
@@ -719,6 +801,32 @@ mod tests {
         let inner = idem(1, "doc/count", &with_collection("obs", b""));
         assert!(e.dispatch("idem", &idem(2, "idem", &inner)).is_err());
         assert!(e.dispatch("idem", &[0; 5]).is_err());
+    }
+
+    #[test]
+    fn sharded_dedup_still_deduplicates_across_tokens() {
+        let e = engine(); // full capacity → 8 shards
+        for t in 0..32u8 {
+            let (_, ins) = doc(t, "x");
+            let env = idem(t, "doc/insert", &ins);
+            e.dispatch("idem", &env).unwrap();
+            e.dispatch("idem", &env).unwrap(); // duplicate delivery
+        }
+        assert_eq!(e.dedup_hits(), 32);
+        let count = e.dispatch("doc/count", &with_collection("obs", b"")).unwrap();
+        assert_eq!(u64::from_be_bytes(count.try_into().unwrap()), 32);
+    }
+
+    #[test]
+    fn publish_shard_metrics_emits_per_shard_gauges() {
+        let mut e = engine();
+        let recorder = Recorder::new();
+        e.set_recorder(recorder.clone());
+        e.kv().set(b"k", b"v");
+        e.publish_shard_metrics();
+        let snap = recorder.snapshot();
+        assert!(snap.gauges.iter().any(|(name, _)| name == "cloud.kv.shard.0.contention"));
+        assert!(snap.gauges.iter().any(|(name, _)| name == "cloud.dedup.shard.7.contention"));
     }
 
     #[test]

@@ -161,20 +161,50 @@ pub struct DurabilityOptions {
 
 // ----------------------------------------------------------- WAL machinery
 
-struct WalState {
-    writer: FrameWriter,
-    /// Last assigned (and durable) sequence number.
+/// Sequence assignment + the pending group-commit buffer. Held only for
+/// short enqueue/drain critical sections — never across disk I/O.
+struct WalQueue {
+    /// Encoded frames awaiting the next group flush (empty when the crash
+    /// injector forces the synchronous path).
+    pending: Vec<u8>,
+    /// Last assigned sequence number.
     seq: u64,
     /// Records journaled since the last snapshot.
     since_snapshot: u64,
 }
 
 /// The journal + snapshot state attached to a durable [`CloudEngine`].
+///
+/// # Group commit
+///
+/// The WAL keeps a single serialized append point (`io`), but concurrent
+/// writers no longer serialize on the disk flush itself: each `journal`
+/// call enqueues its encoded frame under the short `queue` lock, then
+/// whoever wins `io.try_lock()` becomes the *leader* and flushes the whole
+/// pending buffer in one write — absorbing every record enqueued while the
+/// previous flush was in flight. Followers spin on `durable_seq` until the
+/// leader publishes their record as durable (no condvar: flushes on this
+/// path are microseconds, and the spin yields the thread each miss).
+/// Lock order where both are held: `io` → `queue` (enqueueing takes only
+/// `queue`).
+///
+/// With a crash injector armed, group commit is **bypassed** — every record
+/// goes through the original synchronous per-record path under both locks,
+/// so the injector's byte-exact crash points (torn prefix at append N)
+/// keep their meaning.
 pub(crate) struct Durability {
     dir: PathBuf,
     snapshot_every: Option<u64>,
     injector: Option<Arc<CrashInjector>>,
-    state: Mutex<WalState>,
+    queue: Mutex<WalQueue>,
+    io: Mutex<FrameWriter>,
+    /// Highest sequence number known flushed to disk.
+    durable_seq: AtomicU64,
+    /// Group flushes performed (each covering ≥ 1 record).
+    group_commits: AtomicU64,
+    /// Set when a leader's flush failed; followers abort instead of
+    /// spinning on a sequence that will never become durable.
+    io_failed: std::sync::atomic::AtomicBool,
 }
 
 /// What [`Durability::journal`] concluded about one write.
@@ -197,13 +227,18 @@ impl Durability {
     ) -> Result<Self, CoreError> {
         // Flush every frame: the WAL *is* the durability story, so a frame
         // buffered in userspace at crash time would break the acknowledged
-        // = durable invariant the recovery protocol relies on.
+        // = durable invariant the recovery protocol relies on. (The group
+        // path flushes whole batches via `append_raw`.)
         let writer = FrameWriter::with_flush_every(&wal_path(dir), 1)?;
         Ok(Durability {
             dir: dir.to_path_buf(),
             snapshot_every,
             injector,
-            state: Mutex::new(WalState { writer, seq, since_snapshot }),
+            queue: Mutex::new(WalQueue { pending: Vec::new(), seq, since_snapshot }),
+            io: Mutex::new(writer),
+            durable_seq: AtomicU64::new(seq),
+            group_commits: AtomicU64::new(0),
+            io_failed: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
@@ -212,12 +247,17 @@ impl Durability {
         self.injector.as_ref().is_some_and(|i| i.crashed())
     }
 
-    /// Journals one mutation ahead of its application.
+    /// Journals one mutation ahead of its application. Returns only after
+    /// the record (and, on the group path, every record enqueued before
+    /// it) is flushed to disk.
     pub(crate) fn journal(&self, route: &str, payload: &[u8]) -> Result<JournalOutcome, CoreError> {
-        let mut st = self.state.lock();
-        let rec = WalRecord::new(st.seq + 1, route, payload);
-        let body = rec.encode();
         if let Some(inj) = &self.injector {
+            // Synchronous bypass: crash points are defined per append, so
+            // batching would change which bytes hit disk at the Nth write.
+            let mut io = self.io.lock();
+            let mut q = self.queue.lock();
+            let rec = WalRecord::new(q.seq + 1, route, payload);
+            let body = rec.encode();
             let frame = frame_bytes(&body);
             match inj.on_append(frame.len()) {
                 CrashVerdict::Proceed => {}
@@ -225,38 +265,89 @@ impl Durability {
                 CrashVerdict::Torn(n) => {
                     // The "kill -9 mid-write": a prefix of the frame hits
                     // disk, recovery must truncate it away.
-                    st.writer.append_raw(&frame[..n])?;
+                    io.append_raw(&frame[..n])?;
                     return Ok(JournalOutcome::Died);
                 }
                 CrashVerdict::DieAfterAppend => {
                     // Journaled in full but never applied: recovery must
                     // roll this record forward.
-                    st.writer.append_raw(&frame)?;
+                    io.append_raw(&frame)?;
                     return Ok(JournalOutcome::Died);
                 }
             }
+            io.append(&body)?;
+            q.seq = rec.seq;
+            q.since_snapshot += 1;
+            self.durable_seq.fetch_max(rec.seq, Ordering::AcqRel);
+            return Ok(JournalOutcome::Written);
         }
-        st.writer.append(&body)?;
-        st.seq = rec.seq;
-        st.since_snapshot += 1;
+
+        // Group commit: enqueue under the short queue lock...
+        let seq = {
+            let mut q = self.queue.lock();
+            let rec = WalRecord::new(q.seq + 1, route, payload);
+            q.pending.extend_from_slice(&frame_bytes(&rec.encode()));
+            q.seq = rec.seq;
+            q.since_snapshot += 1;
+            rec.seq
+        };
+        // ...then wait for a leader (possibly this thread) to flush it.
+        self.commit_until(seq)?;
         Ok(JournalOutcome::Written)
+    }
+
+    /// Waits until every record up to `seq` is durable, flushing pending
+    /// batches whenever this thread wins the io lock.
+    fn commit_until(&self, seq: u64) -> Result<(), CoreError> {
+        while self.durable_seq.load(Ordering::Acquire) < seq {
+            if self.io_failed.load(Ordering::Acquire) {
+                return Err(CoreError::Storage("wal: a group flush failed".into()));
+            }
+            let Some(mut io) = self.io.try_lock() else {
+                // A leader is flushing; its release publishes durable_seq.
+                std::thread::yield_now();
+                continue;
+            };
+            let (buf, high) = {
+                let mut q = self.queue.lock();
+                (std::mem::take(&mut q.pending), q.seq)
+            };
+            if !buf.is_empty() {
+                if let Err(e) = io.append_raw(&buf) {
+                    self.io_failed.store(true, Ordering::Release);
+                    return Err(e.into());
+                }
+                self.group_commits.fetch_add(1, Ordering::Relaxed);
+            }
+            // Everything assigned up to `high` was either in `buf` or
+            // flushed by a previous io holder — it is durable now.
+            self.durable_seq.fetch_max(high, Ordering::AcqRel);
+        }
+        Ok(())
     }
 
     /// Whether the auto-snapshot cadence is due.
     pub(crate) fn snapshot_due(&self) -> bool {
         match self.snapshot_every {
-            Some(n) => self.state.lock().since_snapshot >= n,
+            Some(n) => self.queue.lock().since_snapshot >= n,
             None => false,
         }
     }
 
-    /// Writes a snapshot of `(kv, docs)` and compacts the WAL. The state
-    /// lock is held throughout, so no record can slip between the capture
-    /// and the truncation.
+    /// Writes a snapshot of `(kv, docs)` and compacts the WAL. Both locks
+    /// are held throughout, so no record can slip between the capture and
+    /// the truncation.
     pub(crate) fn snapshot(&self, kv: &KvStore, docs: &DocStore) -> Result<(), CoreError> {
-        let mut st = self.state.lock();
-        st.writer.flush()?;
-        let body = encode_snapshot(kv, docs, st.seq);
+        let mut io = self.io.lock();
+        let mut q = self.queue.lock();
+        if !q.pending.is_empty() {
+            let buf = std::mem::take(&mut q.pending);
+            io.append_raw(&buf)?;
+            self.group_commits.fetch_add(1, Ordering::Relaxed);
+        }
+        io.flush()?;
+        self.durable_seq.fetch_max(q.seq, Ordering::AcqRel);
+        let body = encode_snapshot(kv, docs, q.seq);
         let tmp = self.dir.join("snapshot.tmp");
         std::fs::write(&tmp, frame_bytes(&body)).map_err(KvError::from)?;
         // Atomic cutover: a crash before the rename leaves the old
@@ -265,16 +356,21 @@ impl Durability {
         std::fs::rename(&tmp, snapshot_path(&self.dir)).map_err(KvError::from)?;
         let wal = std::fs::OpenOptions::new().write(true).open(wal_path(&self.dir)).map_err(KvError::from)?;
         wal.set_len(0).map_err(KvError::from)?;
-        st.since_snapshot = 0;
+        q.since_snapshot = 0;
         Ok(())
     }
 
     pub(crate) fn seq(&self) -> u64 {
-        self.state.lock().seq
+        self.queue.lock().seq
     }
 
     pub(crate) fn since_snapshot(&self) -> u64 {
-        self.state.lock().since_snapshot
+        self.queue.lock().since_snapshot
+    }
+
+    /// Group flushes performed so far (each covering one or more records).
+    pub(crate) fn group_commits(&self) -> u64 {
+        self.group_commits.load(Ordering::Relaxed)
     }
 }
 

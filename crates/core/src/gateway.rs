@@ -2,9 +2,23 @@
 //! (Fig. 4, left side). Exposes the *Entities* interface applications use
 //! (CRUD + search + aggregates), enforces schemas and protection policies,
 //! selects tactics adaptively, and drives the cloud over the channel.
+//!
+//! # Concurrency model
+//!
+//! One `GatewayEngine` serves many threads: every CRUD/query route takes
+//! `&self`, with interior mutability confined to fine-grained locks —
+//! `plans` and `tactics` behind `RwLock`s (read-mostly after schema
+//! registration), each tactic instance behind its own `Mutex` (stateful SSE
+//! chains serialize per instance, *not* per gateway), and the seeded RNG
+//! behind a `Mutex` that is held only long enough to fork a per-operation
+//! child RNG. Lock order, where more than one is held: `registry` → `rng`;
+//! a tactic-instance lock is never held across a channel call that could
+//! re-enter the engine. See DESIGN.md §12.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use datablinder_docstore::{Document, Value};
 use datablinder_kms::Kms;
@@ -12,6 +26,7 @@ use datablinder_kvstore::KvStore;
 use datablinder_netsim::{Channel, NetError, ResilienceConfig, ResilientChannel};
 use datablinder_obs::Recorder;
 use datablinder_sse::DocId;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,13 +35,19 @@ use crate::cloudproto::{is_write_route, Idempotent, IDEM_ROUTE};
 use crate::error::CoreError;
 use crate::metadata::{validate_document, SchemaStore};
 use crate::model::{AggFn, FieldOp, Schema, TacticOp};
+use crate::pool::WorkerPool;
 use crate::registry::{Selection, TacticRegistry};
-use crate::spi::{CloudCall, DnfLiterals, DocIdGen, GatewayTactic, RandomDocIdGen};
+use crate::spi::{CloudCall, DnfLiterals, DocIdGen, GatewayTactic, ProtectedField, RandomDocIdGen};
 use crate::tactics::{decode_ids, TacticContext};
 use crate::wire::{decode_document, decode_documents, encode_document};
 
 /// Scope name of the shared cross-field boolean tactic instance.
 const BOOL_SCOPE: &str = "__bool__";
+
+/// A tactic instance shared across threads: stateful SSE chains serialize
+/// on the per-instance mutex, so two threads indexing *different* fields
+/// proceed in parallel.
+type SharedTactic = Arc<Mutex<Box<dyn GatewayTactic>>>;
 
 /// SplitMix64 finalizer: spreads a seed into a well-mixed token prefix so
 /// gateways with nearby seeds still mint far-apart token ranges.
@@ -113,26 +134,32 @@ impl FsckReport {
 
 /// The DataBlinder gateway.
 ///
+/// Every CRUD/query route takes `&self`, so one engine (behind an `Arc`)
+/// serves many threads concurrently — the shape of the paper's Fig. 5
+/// multi-client evaluation with a *shared* middleware instance.
+///
 /// # Examples
 ///
 /// See `examples/quickstart.rs` for the end-to-end flow.
 pub struct GatewayEngine {
     application: String,
     kms: Kms,
-    registry: TacticRegistry,
+    registry: RwLock<TacticRegistry>,
     channel: ResilientChannel,
     schema_store: SchemaStore,
-    plans: HashMap<String, SchemaPlan>,
+    plans: RwLock<HashMap<String, Arc<SchemaPlan>>>,
     /// Tactic instances keyed by `schema / scope / tactic`.
-    tactics: HashMap<String, Box<dyn GatewayTactic>>,
-    idgen: Box<dyn DocIdGen>,
-    rng: StdRng,
+    tactics: RwLock<HashMap<String, SharedTactic>>,
+    idgen: Mutex<Box<dyn DocIdGen>>,
+    rng: Mutex<StdRng>,
     /// Seed-derived prefix of idempotency tokens minted by this gateway.
     idem_prefix: u64,
     /// Monotonic suffix of idempotency tokens (one per logical write).
     idem_seq: AtomicU64,
     /// Crash journal for multi-call write groups, if enabled.
     journal: Option<WriteJournal>,
+    /// Worker pool parallelizing `insert_many` field encryption, if set.
+    pool: Option<Arc<WorkerPool>>,
     /// Observability recorder (disabled by default; see
     /// [`GatewayEngine::set_recorder`]).
     obs: Recorder,
@@ -177,16 +204,17 @@ impl GatewayEngine {
         GatewayEngine {
             application: application.to_string(),
             kms,
-            registry,
+            registry: RwLock::new(registry),
             channel,
             schema_store: SchemaStore::new(KvStore::new()),
-            plans: HashMap::new(),
-            tactics: HashMap::new(),
-            idgen: Box::new(RandomDocIdGen::new(StdRng::seed_from_u64(seed ^ 0x1D))),
-            rng: StdRng::seed_from_u64(seed),
+            plans: RwLock::new(HashMap::new()),
+            tactics: RwLock::new(HashMap::new()),
+            idgen: Mutex::new(Box::new(RandomDocIdGen::new(StdRng::seed_from_u64(seed ^ 0x1D)))),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
             idem_prefix: mix64(seed ^ 0x1DE4_70CE_7057_EA15),
             idem_seq: AtomicU64::new(0),
             journal: None,
+            pool: None,
             obs: Recorder::default(),
         }
     }
@@ -199,6 +227,21 @@ impl GatewayEngine {
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.channel.set_recorder(recorder.clone());
         self.obs = recorder;
+    }
+
+    /// Attaches a [`WorkerPool`]: [`GatewayEngine::insert_many`] then
+    /// parallelizes its per-field tactic encryption (Paillier
+    /// exponentiation, OPE traversal, SSE token PRFs) across the pool
+    /// before the single batched round trip. Results are byte-identical to
+    /// the sequential path — see
+    /// [`GatewayEngine::protect_documents_batch`]'s determinism notes.
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// The attached worker pool, if any.
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
     }
 
     /// The observability recorder (disabled unless
@@ -214,14 +257,16 @@ impl GatewayEngine {
     /// — the measurement-driven half of the §5.1 adaptive selection loop.
     ///
     /// [`MeasuredPerfMetrics`]: crate::registry::MeasuredPerfMetrics
-    pub fn adopt_measurements(&mut self) {
+    pub fn adopt_measurements(&self) {
         let m = crate::registry::MeasuredPerfMetrics::from_snapshot(&self.obs.snapshot());
-        self.registry.set_measurements(m);
+        self.registry.write().set_measurements(m);
     }
 
-    /// The tactic registry (inspection, custom registration).
-    pub fn registry(&self) -> &TacticRegistry {
-        &self.registry
+    /// The tactic registry (inspection, custom registration). Returns a
+    /// read guard; drop it before calling engine routes that may register
+    /// tactics.
+    pub fn registry(&self) -> RwLockReadGuard<'_, TacticRegistry> {
+        self.registry.read()
     }
 
     /// The gateway↔cloud channel (metrics inspection).
@@ -235,8 +280,8 @@ impl GatewayEngine {
     }
 
     /// The selection for a registered field (the §5.1 table row).
-    pub fn selection(&self, schema: &str, field: &str) -> Option<&Selection> {
-        self.plans.get(schema)?.fields.get(field).map(|p| &p.selection)
+    pub fn selection(&self, schema: &str, field: &str) -> Option<Selection> {
+        self.plans.read().get(schema)?.fields.get(field).map(|p| p.selection.clone())
     }
 
     // ------------------------------------------------------ Schema interface
@@ -249,48 +294,51 @@ impl GatewayEngine {
     ///
     /// [`CoreError::PolicyUnsatisfiable`] when an annotation cannot be
     /// served; channel errors during index preparation.
-    pub fn register_schema(&mut self, schema: Schema) -> Result<(), CoreError> {
+    pub fn register_schema(&self, schema: Schema) -> Result<(), CoreError> {
         let mut fields = HashMap::new();
         let mut bool_tactic: Option<String> = None;
 
-        for (field, annotation) in schema.sensitive_fields() {
-            let selection = self.registry.select(field, annotation)?;
-            let eq_tactic = annotation
-                .ops
-                .contains(&FieldOp::Equality)
-                .then(|| {
-                    selection
-                        .search_tactics
-                        .iter()
-                        .find(|n| self.registry.descriptor(n).is_some_and(|d| d.serves_op(FieldOp::Equality)))
-                        .cloned()
-                })
-                .flatten();
-            let range_tactic = annotation
-                .ops
-                .contains(&FieldOp::Range)
-                .then(|| {
-                    selection
-                        .search_tactics
-                        .iter()
-                        .find(|n| self.registry.descriptor(n).is_some_and(|d| d.serves_op(FieldOp::Range)))
-                        .cloned()
-                })
-                .flatten();
-            let boolean = selection.search_tactics.iter().any(|n| n.starts_with("biex"));
-            if boolean {
-                let name = selection.search_tactics.iter().find(|n| n.starts_with("biex")).unwrap().clone();
-                match &bool_tactic {
-                    None => bool_tactic = Some(name),
-                    Some(existing) if *existing == name => {}
-                    Some(existing) => {
-                        return Err(CoreError::SchemaViolation(format!(
-                            "conflicting boolean tactics {existing} and {name} in one schema"
-                        )));
+        {
+            let registry = self.registry.read();
+            for (field, annotation) in schema.sensitive_fields() {
+                let selection = registry.select(field, annotation)?;
+                let eq_tactic = annotation
+                    .ops
+                    .contains(&FieldOp::Equality)
+                    .then(|| {
+                        selection
+                            .search_tactics
+                            .iter()
+                            .find(|n| registry.descriptor(n).is_some_and(|d| d.serves_op(FieldOp::Equality)))
+                            .cloned()
+                    })
+                    .flatten();
+                let range_tactic = annotation
+                    .ops
+                    .contains(&FieldOp::Range)
+                    .then(|| {
+                        selection
+                            .search_tactics
+                            .iter()
+                            .find(|n| registry.descriptor(n).is_some_and(|d| d.serves_op(FieldOp::Range)))
+                            .cloned()
+                    })
+                    .flatten();
+                let boolean = selection.search_tactics.iter().any(|n| n.starts_with("biex"));
+                if boolean {
+                    let name = selection.search_tactics.iter().find(|n| n.starts_with("biex")).unwrap().clone();
+                    match &bool_tactic {
+                        None => bool_tactic = Some(name),
+                        Some(existing) if *existing == name => {}
+                        Some(existing) => {
+                            return Err(CoreError::SchemaViolation(format!(
+                                "conflicting boolean tactics {existing} and {name} in one schema"
+                            )));
+                        }
                     }
                 }
+                fields.insert(field.clone(), FieldPlan { selection, eq_tactic, range_tactic, boolean });
             }
-            fields.insert(field.clone(), FieldPlan { selection, eq_tactic, range_tactic, boolean });
         }
 
         // Instantiate tactics: per-field instances plus one shared boolean
@@ -326,13 +374,13 @@ impl GatewayEngine {
         }
 
         self.schema_store.put(&schema);
-        self.plans.insert(schema.name.clone(), SchemaPlan { schema, fields, bool_tactic });
+        self.plans.write().insert(schema.name.clone(), Arc::new(SchemaPlan { schema, fields, bool_tactic }));
         Ok(())
     }
 
-    fn ensure_tactic(&mut self, schema: &str, scope: &str, tactic: &str) -> Result<(), CoreError> {
+    fn ensure_tactic(&self, schema: &str, scope: &str, tactic: &str) -> Result<(), CoreError> {
         let key = Self::tactic_key(schema, scope, tactic);
-        if self.tactics.contains_key(&key) {
+        if self.tactics.read().contains_key(&key) {
             return Ok(());
         }
         let ctx = TacticContext {
@@ -341,8 +389,14 @@ impl GatewayEngine {
             scope: scope.to_string(),
             kms: self.kms.clone(),
         };
-        let instance = self.registry.build_gateway(tactic, &ctx, &mut self.rng)?;
-        self.tactics.insert(key, instance);
+        // Build outside the tactics write lock (lock order registry → rng);
+        // a racing builder's instance is discarded by `or_insert_with`.
+        let instance = {
+            let registry = self.registry.read();
+            let mut rng = self.rng.lock();
+            registry.build_gateway(tactic, &ctx, &mut *rng)?
+        };
+        self.tactics.write().entry(key).or_insert_with(|| Arc::new(Mutex::new(instance)));
         Ok(())
     }
 
@@ -350,21 +404,18 @@ impl GatewayEngine {
         format!("{schema}/{scope}/{tactic}")
     }
 
-    fn tactic_mut(
-        &mut self,
-        schema: &str,
-        scope: &str,
-        tactic: &str,
-    ) -> Result<&mut Box<dyn GatewayTactic>, CoreError> {
-        self.tactics.get_mut(&Self::tactic_key(schema, scope, tactic)).ok_or_else(|| {
+    /// The shared handle of one tactic instance.
+    fn tactic(&self, schema: &str, scope: &str, tactic: &str) -> Result<SharedTactic, CoreError> {
+        self.tactics.read().get(&Self::tactic_key(schema, scope, tactic)).cloned().ok_or_else(|| {
             CoreError::UnsupportedOperation(format!("tactic {tactic} not instantiated for {schema}/{scope}"))
         })
     }
 
-    fn tactic_ref(&self, schema: &str, scope: &str, tactic: &str) -> Result<&dyn GatewayTactic, CoreError> {
-        self.tactics.get(&Self::tactic_key(schema, scope, tactic)).map(|b| b.as_ref()).ok_or_else(|| {
-            CoreError::UnsupportedOperation(format!("tactic {tactic} not instantiated for {schema}/{scope}"))
-        })
+    /// Forks a per-operation child RNG off the engine's seeded stream. The
+    /// engine lock is held only for the fork, so tactic work never
+    /// serializes on the RNG.
+    fn fork_rng(&self) -> StdRng {
+        StdRng::from_rng(&mut *self.rng.lock()).expect("rng fork")
     }
 
     /// Pre-mints the on-wire form of one call. Chain-advancing writes must
@@ -449,7 +500,7 @@ impl GatewayEngine {
     ///
     /// Transport failures propagate and leave the remaining entries
     /// pending — call again once the cloud is reachable.
-    pub fn recover_pending(&mut self) -> Result<PendingWriteReport, CoreError> {
+    pub fn recover_pending(&self) -> Result<PendingWriteReport, CoreError> {
         let Some(journal) = &self.journal else {
             return Ok(PendingWriteReport::default());
         };
@@ -500,22 +551,14 @@ impl GatewayEngine {
         token
     }
 
-    fn plan(&self, schema: &str) -> Result<&SchemaPlan, CoreError> {
-        self.plans.get(schema).ok_or_else(|| CoreError::UnknownSchema(schema.to_string()))
+    fn plan(&self, schema: &str) -> Result<Arc<SchemaPlan>, CoreError> {
+        self.plans.read().get(schema).cloned().ok_or_else(|| CoreError::UnknownSchema(schema.to_string()))
     }
 
-    /// Times a mutating route: `<route>.count`, `<route>.errors`,
-    /// `<route>.latency` and one span per call. With a disabled recorder
-    /// this is one atomic load plus the closure.
-    fn observed<T>(&mut self, route: &str, f: impl FnOnce(&mut Self) -> Result<T, CoreError>) -> Result<T, CoreError> {
-        let started = self.obs.start();
-        let result = f(self);
-        self.obs.finish_route(route, started, result.is_ok());
-        result
-    }
-
-    /// As [`GatewayEngine::observed`] for read-only routes.
-    fn observed_ref<T>(&self, route: &str, f: impl FnOnce(&Self) -> Result<T, CoreError>) -> Result<T, CoreError> {
+    /// Times a route: `<route>.count`, `<route>.errors`, `<route>.latency`
+    /// and one span per call. With a disabled recorder this is one atomic
+    /// load plus the closure.
+    fn observed<T>(&self, route: &str, f: impl FnOnce(&Self) -> Result<T, CoreError>) -> Result<T, CoreError> {
         let started = self.obs.start();
         let result = f(self);
         self.obs.finish_route(route, started, result.is_ok());
@@ -542,6 +585,7 @@ impl GatewayEngine {
         };
         let observed = self
             .registry
+            .read()
             .descriptor(tactic)
             .and_then(|d| {
                 d.operations
@@ -567,15 +611,15 @@ impl GatewayEngine {
     /// # Errors
     ///
     /// Schema violations, tactic failures, channel failures.
-    pub fn insert(&mut self, schema_name: &str, doc: &Document) -> Result<DocId, CoreError> {
+    pub fn insert(&self, schema_name: &str, doc: &Document) -> Result<DocId, CoreError> {
         self.observed("gateway.insert", |g| {
-            let id = g.idgen.generate();
+            let id = g.idgen.lock().generate();
             g.insert_with_id(schema_name, doc, id)?;
             Ok(id)
         })
     }
 
-    fn insert_with_id(&mut self, schema_name: &str, doc: &Document, id: DocId) -> Result<(), CoreError> {
+    fn insert_with_id(&self, schema_name: &str, doc: &Document, id: DocId) -> Result<(), CoreError> {
         {
             let plan = self.plan(schema_name)?;
             validate_document(&plan.schema, doc)?;
@@ -592,7 +636,9 @@ impl GatewayEngine {
     /// Inserts a batch of documents in (at most) two channel round trips:
     /// one batched call for all index updates and inserts. Semantically
     /// identical to repeated [`GatewayEngine::insert`]; amortizes channel
-    /// latency for bulk loads (initial cloud migration).
+    /// latency for bulk loads (initial cloud migration). With a worker
+    /// pool attached ([`GatewayEngine::set_worker_pool`]) the CPU-heavy
+    /// per-field encryption runs in parallel, with byte-identical output.
     ///
     /// # Partial-failure guarantee
     ///
@@ -615,7 +661,7 @@ impl GatewayEngine {
     ///
     /// Validates *all* documents first (nothing is sent if any fails);
     /// then as [`GatewayEngine::insert`].
-    pub fn insert_many(&mut self, schema_name: &str, docs: &[Document]) -> Result<Vec<DocId>, CoreError> {
+    pub fn insert_many(&self, schema_name: &str, docs: &[Document]) -> Result<Vec<DocId>, CoreError> {
         self.observed("gateway.insert_many", |g| {
             {
                 let plan = g.plan(schema_name)?;
@@ -623,14 +669,22 @@ impl GatewayEngine {
                     validate_document(&plan.schema, doc)?;
                 }
             }
-            let mut ids = Vec::with_capacity(docs.len());
+            let ids: Vec<DocId> = {
+                let mut idgen = g.idgen.lock();
+                docs.iter().map(|_| idgen.generate()).collect()
+            };
+            let protected: Vec<(Document, Vec<CloudCall>)> = match &g.pool {
+                Some(pool) if docs.len() > 1 => g.protect_documents_batch(schema_name, docs, &ids, pool)?,
+                _ => docs
+                    .iter()
+                    .zip(&ids)
+                    .map(|(doc, id)| g.protect_document_calls(schema_name, doc, *id))
+                    .collect::<Result<_, _>>()?,
+            };
             let mut batch: Vec<CloudCall> = Vec::new();
-            for doc in docs {
-                let id = g.idgen.generate();
-                let (cloud_doc, index_calls) = g.protect_document_calls(schema_name, doc, id)?;
+            for (cloud_doc, index_calls) in protected {
                 batch.extend(index_calls);
                 batch.push(CloudCall::new("doc/insert", with_collection(schema_name, &encode_document(&cloud_doc))));
-                ids.push(id);
             }
             g.call_batch(&batch)?;
             Ok(ids)
@@ -647,22 +701,21 @@ impl GatewayEngine {
     /// # Errors
     ///
     /// As [`GatewayEngine::insert_many`].
-    pub fn migrate(&mut self, schema_name: &str, docs: &[Document]) -> Result<Vec<DocId>, CoreError> {
+    pub fn migrate(&self, schema_name: &str, docs: &[Document]) -> Result<Vec<DocId>, CoreError> {
         self.observed("gateway.migrate", |g| {
-            let bool_fields: Vec<String> = {
-                let plan = g.plan(schema_name)?;
-                for doc in docs {
-                    validate_document(&plan.schema, doc)?;
-                }
-                plan.fields.iter().filter(|(_, fp)| fp.boolean).map(|(f, _)| f.clone()).collect()
-            };
-            let bool_tactic = g.plan(schema_name)?.bool_tactic.clone();
+            let plan = g.plan(schema_name)?;
+            for doc in docs {
+                validate_document(&plan.schema, doc)?;
+            }
+            let bool_fields: Vec<String> =
+                plan.fields.iter().filter(|(_, fp)| fp.boolean).map(|(f, _)| f.clone()).collect();
+            let bool_tactic = plan.bool_tactic.clone();
 
             let mut ids = Vec::with_capacity(docs.len());
             let mut batch: Vec<CloudCall> = Vec::new();
             let mut entries: Vec<(Vec<(String, Value)>, DocId)> = Vec::new();
             for doc in docs {
-                let id = g.idgen.generate();
+                let id = g.idgen.lock().generate();
                 // Per-field tactics as usual; collect boolean literals for the
                 // bulk build instead of letting protect_document chain them.
                 let literals: Vec<(String, Value)> =
@@ -676,9 +729,10 @@ impl GatewayEngine {
                 ids.push(id);
             }
             if let (Some(bt), false) = (&bool_tactic, entries.is_empty()) {
-                let rng = &mut StdRng::from_rng(&mut g.rng).expect("rng fork");
-                let t = g.tactic_mut(schema_name, BOOL_SCOPE, bt)?;
-                if let Some(calls) = t.bulk_index(rng, &entries)? {
+                let mut rng = g.fork_rng();
+                let t = g.tactic(schema_name, BOOL_SCOPE, bt)?;
+                let calls = t.lock().bulk_index(&mut rng, &entries)?;
+                if let Some(calls) = calls {
                     batch.extend(calls);
                 }
             }
@@ -708,7 +762,7 @@ impl GatewayEngine {
     /// Computes one document's protected form + index calls (shared by
     /// single and batched insert).
     fn protect_document_calls(
-        &mut self,
+        &self,
         schema_name: &str,
         doc: &Document,
         id: DocId,
@@ -720,7 +774,7 @@ impl GatewayEngine {
     /// controls whether the shared boolean tactic chains the document
     /// (false during bulk migration, which static-indexes instead).
     fn protect_document_calls_inner(
-        &mut self,
+        &self,
         schema_name: &str,
         doc: &Document,
         id: DocId,
@@ -731,29 +785,7 @@ impl GatewayEngine {
         let mut index_calls: Vec<CloudCall> = Vec::new();
         let mut bool_literals: Vec<(String, Value)> = Vec::new();
 
-        struct FieldWork {
-            field: String,
-            value: Value,
-            tactics: Vec<String>,
-            boolean: bool,
-        }
-        let mut work = Vec::new();
-        for (field, value) in doc.iter() {
-            match plan.fields.get(field) {
-                None => {
-                    cloud_doc.set(field.clone(), value.clone());
-                }
-                Some(fp) => {
-                    let mut tactics: Vec<String> =
-                        fp.selection.all_tactics().into_iter().filter(|t| !t.starts_with("biex")).collect();
-                    if !tactics.contains(&fp.selection.payload) {
-                        tactics.push(fp.selection.payload.clone());
-                    }
-                    work.push(FieldWork { field: field.clone(), value: value.clone(), tactics, boolean: fp.boolean });
-                }
-            }
-        }
-        let bool_tactic = plan.bool_tactic.clone();
+        let work = plan_field_work(&plan, doc, &mut cloud_doc);
 
         for w in &work {
             if w.boolean {
@@ -761,9 +793,9 @@ impl GatewayEngine {
             }
             for tactic in &w.tactics {
                 let started = self.obs.start();
-                let rng = &mut StdRng::from_rng(&mut self.rng).expect("rng fork");
-                let t = self.tactic_mut(schema_name, &w.field, tactic)?;
-                let protected = t.protect(rng, &w.field, &w.value, id)?;
+                let mut rng = self.fork_rng();
+                let t = self.tactic(schema_name, &w.field, tactic)?;
+                let protected = t.lock().protect(&mut rng, &w.field, &w.value, id)?;
                 for (f, v) in protected.stored {
                     cloud_doc.set(f, v);
                 }
@@ -774,14 +806,189 @@ impl GatewayEngine {
                 self.audit_leakage(schema_name, &w.field, TacticOp::Update, "insert", tactic);
             }
         }
-        if let (true, Some(bt), false) = (index_boolean, &bool_tactic, bool_literals.is_empty()) {
-            let rng = &mut StdRng::from_rng(&mut self.rng).expect("rng fork");
-            let t = self.tactic_mut(schema_name, BOOL_SCOPE, bt)?;
-            if let Some(calls) = t.protect_document(rng, &bool_literals, id)? {
+        if let (true, Some(bt), false) = (index_boolean, &plan.bool_tactic, bool_literals.is_empty()) {
+            let mut rng = self.fork_rng();
+            let t = self.tactic(schema_name, BOOL_SCOPE, bt)?;
+            let calls = t.lock().protect_document(&mut rng, &bool_literals, id)?;
+            if let Some(calls) = calls {
                 index_calls.extend(calls);
             }
         }
         Ok((cloud_doc, index_calls))
+    }
+
+    /// Parallel counterpart of repeated
+    /// [`GatewayEngine::protect_document_calls`] over a batch, used by
+    /// [`GatewayEngine::insert_many`] when a worker pool is attached.
+    ///
+    /// # Determinism
+    ///
+    /// The output is byte-identical to the sequential path:
+    ///
+    /// * Per-operation RNGs are **pre-forked on the submitting thread** in
+    ///   the exact order the sequential path would fork them (doc-major,
+    ///   document field order, tactic order, boolean fork last per doc), so
+    ///   every `(doc, field, tactic)` application sees the same child RNG.
+    /// * Work is partitioned **per tactic instance**; each partition
+    ///   processes its items in document order, so stateful chains (Mitra
+    ///   counters, Sophos chains) advance exactly as sequentially. Distinct
+    ///   instances share no state, so partitions compose in any schedule.
+    /// * Results are reassembled doc-major in the sequential application
+    ///   order before the batch is encoded.
+    ///
+    /// On failure nothing ships (same abort-atomicity as sequential); the
+    /// error returned is the sequentially-first one, though later items may
+    /// already have advanced local chain state — the same tolerated
+    /// run-ahead the batch abort path documents.
+    fn protect_documents_batch(
+        &self,
+        schema_name: &str,
+        docs: &[Document],
+        ids: &[DocId],
+        pool: &WorkerPool,
+    ) -> Result<Vec<(Document, Vec<CloudCall>)>, CoreError> {
+        struct Item {
+            doc: usize,
+            ord: usize,
+            field: String,
+            value: Value,
+            tactic: String,
+            id: DocId,
+            rng: StdRng,
+        }
+        enum Out {
+            Field {
+                doc: usize,
+                ord: usize,
+                field: String,
+                tactic: String,
+                took: Duration,
+                result: Result<ProtectedField, CoreError>,
+            },
+            Boolean {
+                doc: usize,
+                result: Result<Option<Vec<CloudCall>>, CoreError>,
+            },
+        }
+
+        let plan = self.plan(schema_name)?;
+        let timing = self.obs.is_enabled();
+
+        // Plan every doc's work and pre-fork RNGs in sequential fork order.
+        let mut skeletons: Vec<Document> = Vec::with_capacity(docs.len());
+        let mut partitions: HashMap<String, (String, String, Vec<Item>)> = HashMap::new();
+        let mut bool_items: Vec<(usize, Vec<(String, Value)>, DocId, StdRng)> = Vec::new();
+        {
+            let mut rng = self.rng.lock();
+            for (di, doc) in docs.iter().enumerate() {
+                let mut cloud_doc = Document::new(ids[di].to_hex());
+                let work = plan_field_work(&plan, doc, &mut cloud_doc);
+                let mut ord = 0usize;
+                let mut bool_literals: Vec<(String, Value)> = Vec::new();
+                for w in &work {
+                    if w.boolean {
+                        bool_literals.push((w.field.clone(), w.value.clone()));
+                    }
+                    for tactic in &w.tactics {
+                        let forked = StdRng::from_rng(&mut *rng).expect("rng fork");
+                        let key = Self::tactic_key(schema_name, &w.field, tactic);
+                        partitions.entry(key).or_insert_with(|| (w.field.clone(), tactic.clone(), Vec::new())).2.push(
+                            Item {
+                                doc: di,
+                                ord,
+                                field: w.field.clone(),
+                                value: w.value.clone(),
+                                tactic: tactic.clone(),
+                                id: ids[di],
+                                rng: forked,
+                            },
+                        );
+                        ord += 1;
+                    }
+                }
+                if let (Some(_), false) = (&plan.bool_tactic, bool_literals.is_empty()) {
+                    let forked = StdRng::from_rng(&mut *rng).expect("rng fork");
+                    bool_items.push((di, bool_literals, ids[di], forked));
+                }
+                skeletons.push(cloud_doc);
+            }
+        }
+
+        // One job per tactic instance + one for the shared boolean tactic.
+        let mut jobs: Vec<Box<dyn FnOnce() -> Vec<Out> + Send>> = Vec::new();
+        for (_, (scope, tactic_name, items)) in partitions {
+            let t = self.tactic(schema_name, &scope, &tactic_name)?;
+            jobs.push(Box::new(move || {
+                let mut guard = t.lock();
+                items
+                    .into_iter()
+                    .map(|mut it| {
+                        let t0 = timing.then(std::time::Instant::now);
+                        let result = guard.protect(&mut it.rng, &it.field, &it.value, it.id);
+                        Out::Field {
+                            doc: it.doc,
+                            ord: it.ord,
+                            field: it.field,
+                            tactic: it.tactic,
+                            took: t0.map_or(Duration::ZERO, |t0| t0.elapsed()),
+                            result,
+                        }
+                    })
+                    .collect()
+            }));
+        }
+        if !bool_items.is_empty() {
+            let bt = plan.bool_tactic.clone().expect("bool items imply a bool tactic");
+            let t = self.tactic(schema_name, BOOL_SCOPE, &bt)?;
+            jobs.push(Box::new(move || {
+                let mut guard = t.lock();
+                bool_items
+                    .into_iter()
+                    .map(|(di, literals, id, mut rng)| Out::Boolean {
+                        doc: di,
+                        result: guard.protect_document(&mut rng, &literals, id),
+                    })
+                    .collect()
+            }));
+        }
+
+        self.obs.count("gateway.pool.jobs", jobs.len() as u64);
+        // Queue depth at submission = the whole fan-out; the gauge captures
+        // the high-water mark of this batch (it drains to 0 by return).
+        self.obs.gauge_set("gateway.pool.queue_depth", jobs.len() as i64);
+        let outputs = pool.run_ordered(jobs);
+        self.obs.gauge_set("gateway.pool.queue_depth", pool.queue_depth());
+
+        // Reassemble doc-major in sequential application order; the
+        // sequentially-first error wins.
+        let mut flat: Vec<Out> = outputs.into_iter().flatten().collect();
+        flat.sort_by_key(|o| match o {
+            Out::Field { doc, ord, .. } => (*doc, *ord),
+            Out::Boolean { doc, .. } => (*doc, usize::MAX),
+        });
+        let mut out: Vec<(Document, Vec<CloudCall>)> = skeletons.into_iter().map(|d| (d, Vec::new())).collect();
+        for o in flat {
+            match o {
+                Out::Field { doc, field, tactic, took, result, .. } => {
+                    let protected = result?;
+                    let (cloud_doc, index_calls) = &mut out[doc];
+                    for (f, v) in protected.stored {
+                        cloud_doc.set(f, v);
+                    }
+                    index_calls.extend(protected.index_calls);
+                    if timing {
+                        self.obs.ewma_observe(&format!("tactic.{tactic}.update"), took);
+                    }
+                    self.audit_leakage(schema_name, &field, TacticOp::Update, "insert", &tactic);
+                }
+                Out::Boolean { doc, result } => {
+                    if let Some(calls) = result? {
+                        out[doc].1.extend(calls);
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Fetches and decrypts a document.
@@ -790,7 +997,7 @@ impl GatewayEngine {
     ///
     /// [`CoreError::NotFound`], decryption failures.
     pub fn get(&self, schema_name: &str, id: DocId) -> Result<Document, CoreError> {
-        self.observed_ref("gateway.get", |g| {
+        self.observed("gateway.get", |g| {
             g.plan(schema_name)?;
             let stored = g.fetch_raw(schema_name, id)?;
             g.recover_document(schema_name, &stored)
@@ -822,8 +1029,9 @@ impl GatewayEngine {
             out.set(field.clone(), value.clone());
         }
         for (field, fp) in &plan.fields {
-            let payload_tactic = self.tactic_ref(schema_name, field, &fp.selection.payload)?;
-            if let Some(v) = payload_tactic.recover(field, stored)? {
+            let payload_tactic = self.tactic(schema_name, field, &fp.selection.payload)?;
+            let recovered = payload_tactic.lock().recover(field, stored)?;
+            if let Some(v) = recovered {
                 out.set(field.clone(), v);
             }
         }
@@ -835,11 +1043,11 @@ impl GatewayEngine {
     /// # Errors
     ///
     /// [`CoreError::NotFound`], channel failures.
-    pub fn delete(&mut self, schema_name: &str, id: DocId) -> Result<(), CoreError> {
+    pub fn delete(&self, schema_name: &str, id: DocId) -> Result<(), CoreError> {
         self.observed("gateway.delete", |g| g.delete_inner(schema_name, id))
     }
 
-    fn delete_inner(&mut self, schema_name: &str, id: DocId) -> Result<(), CoreError> {
+    fn delete_inner(&self, schema_name: &str, id: DocId) -> Result<(), CoreError> {
         // Recover plaintext values to produce the revocation tokens.
         let plaintext = self.get(schema_name, id)?;
         let plan = self.plan(schema_name)?;
@@ -870,13 +1078,15 @@ impl GatewayEngine {
                 bool_literals.push((w.field.clone(), w.value.clone()));
             }
             for tactic in &w.tactics {
-                let t = self.tactic_mut(schema_name, &w.field, tactic)?;
-                calls.extend(t.delete(&w.field, &w.value, id)?);
+                let t = self.tactic(schema_name, &w.field, tactic)?;
+                let revocations = t.lock().delete(&w.field, &w.value, id)?;
+                calls.extend(revocations);
             }
         }
         if let (Some(bt), false) = (&bool_tactic, bool_literals.is_empty()) {
-            let t = self.tactic_mut(schema_name, BOOL_SCOPE, bt)?;
-            if let Some(c) = t.delete_document(&bool_literals, id)? {
+            let t = self.tactic(schema_name, BOOL_SCOPE, bt)?;
+            let revocations = t.lock().delete_document(&bool_literals, id)?;
+            if let Some(c) = revocations {
                 calls.extend(c);
             }
         }
@@ -891,7 +1101,7 @@ impl GatewayEngine {
     /// # Errors
     ///
     /// As [`GatewayEngine::delete`] and [`GatewayEngine::insert`].
-    pub fn update(&mut self, schema_name: &str, id: DocId, doc: &Document) -> Result<(), CoreError> {
+    pub fn update(&self, schema_name: &str, id: DocId, doc: &Document) -> Result<(), CoreError> {
         self.observed("gateway.update", |g| {
             g.delete_inner(schema_name, id)?;
             g.insert_with_id(schema_name, doc, id)
@@ -904,7 +1114,7 @@ impl GatewayEngine {
     ///
     /// [`CoreError::UnsupportedOperation`] if the field's annotation did
     /// not request equality.
-    pub fn find_equal(&mut self, schema_name: &str, field: &str, value: &Value) -> Result<Vec<Document>, CoreError> {
+    pub fn find_equal(&self, schema_name: &str, field: &str, value: &Value) -> Result<Vec<Document>, CoreError> {
         self.observed("gateway.find_equal", |g| {
             let ids = g.equality_ids(schema_name, field, value)?;
             g.get_many(schema_name, &ids)
@@ -915,7 +1125,7 @@ impl GatewayEngine {
     /// [`GatewayEngine::find_equal`] and [`GatewayEngine::fsck`], which
     /// must see ids that do *not* resolve to stored documents (`get_many`
     /// silently skips them).
-    fn equality_ids(&mut self, schema_name: &str, field: &str, value: &Value) -> Result<Vec<DocId>, CoreError> {
+    fn equality_ids(&self, schema_name: &str, field: &str, value: &Value) -> Result<Vec<DocId>, CoreError> {
         let plan = self.plan(schema_name)?;
         let fp = plan
             .fields
@@ -928,9 +1138,10 @@ impl GatewayEngine {
             (None, _) => return Err(CoreError::UnsupportedOperation(format!("field {field} has no equality tactic"))),
         };
         let started = self.obs.start();
-        let calls = self.tactic_mut(schema_name, &scope, &tactic)?.eq_query(field, value)?;
+        let t = self.tactic(schema_name, &scope, &tactic)?;
+        let calls = t.lock().eq_query(field, value)?;
         let responses = calls.iter().map(|c| self.call(c)).collect::<Result<Vec<_>, _>>()?;
-        let ids = self.tactic_ref(schema_name, &scope, &tactic)?.eq_resolve(field, value, &responses)?;
+        let ids = t.lock().eq_resolve(field, value, &responses)?;
         if let Some(t0) = started {
             self.obs.ewma_observe(&format!("tactic.{tactic}.eq_query"), t0.elapsed());
         }
@@ -944,7 +1155,7 @@ impl GatewayEngine {
     ///
     /// [`CoreError::UnsupportedOperation`] when the touched fields have no
     /// common boolean capability.
-    pub fn find_boolean(&mut self, schema_name: &str, dnf: &DnfLiterals) -> Result<Vec<Document>, CoreError> {
+    pub fn find_boolean(&self, schema_name: &str, dnf: &DnfLiterals) -> Result<Vec<Document>, CoreError> {
         self.observed("gateway.find_boolean", |g| {
             let ids = g.boolean_ids(schema_name, dnf)?;
             g.get_many(schema_name, &ids)
@@ -952,7 +1163,7 @@ impl GatewayEngine {
     }
 
     /// Boolean search returning raw ids (see [`GatewayEngine::equality_ids`]).
-    fn boolean_ids(&mut self, schema_name: &str, dnf: &DnfLiterals) -> Result<Vec<DocId>, CoreError> {
+    fn boolean_ids(&self, schema_name: &str, dnf: &DnfLiterals) -> Result<Vec<DocId>, CoreError> {
         let started = self.obs.start();
         let plan = self.plan(schema_name)?;
         let fields: Vec<String> = dnf.iter().flatten().map(|(f, _)| f.clone()).collect();
@@ -961,9 +1172,11 @@ impl GatewayEngine {
         let ids = if all_boolean && plan.bool_tactic.is_some() {
             let bt = plan.bool_tactic.clone().unwrap();
             used_tactic = bt.clone();
-            let calls = self.tactic_mut(schema_name, BOOL_SCOPE, &bt)?.bool_query(dnf)?;
+            let t = self.tactic(schema_name, BOOL_SCOPE, &bt)?;
+            let calls = t.lock().bool_query(dnf)?;
             let responses = calls.iter().map(|c| self.call(c)).collect::<Result<Vec<_>, _>>()?;
-            self.tactic_ref(schema_name, BOOL_SCOPE, &bt)?.bool_resolve(dnf, &responses)?
+            let resolved = t.lock().bool_resolve(dnf, &responses)?;
+            resolved
         } else {
             // Legacy-friendly path: every field protected by DET can be
             // boolean-combined cloud-side.
@@ -982,8 +1195,9 @@ impl GatewayEngine {
             for conj in dnf {
                 let mut out_conj = Vec::new();
                 for (f, v) in conj {
-                    let t = self.tactic_ref(schema_name, f, "det")?;
+                    let t = self.tactic(schema_name, f, "det")?;
                     let lit = t
+                        .lock()
                         .stored_literal(f, v)
                         .ok_or_else(|| CoreError::UnsupportedOperation(format!("{f}: no stored literal")))?;
                     out_conj.push(lit);
@@ -1011,7 +1225,7 @@ impl GatewayEngine {
     /// [`CoreError::UnsupportedOperation`] if the field's annotation did
     /// not request range search.
     pub fn find_range(
-        &mut self,
+        &self,
         schema_name: &str,
         field: &str,
         lo: &Value,
@@ -1024,7 +1238,7 @@ impl GatewayEngine {
     }
 
     /// Range search returning raw ids (see [`GatewayEngine::equality_ids`]).
-    fn range_ids(&mut self, schema_name: &str, field: &str, lo: &Value, hi: &Value) -> Result<Vec<DocId>, CoreError> {
+    fn range_ids(&self, schema_name: &str, field: &str, lo: &Value, hi: &Value) -> Result<Vec<DocId>, CoreError> {
         let plan = self.plan(schema_name)?;
         let tactic = plan
             .fields
@@ -1032,9 +1246,10 @@ impl GatewayEngine {
             .and_then(|p| p.range_tactic.clone())
             .ok_or_else(|| CoreError::UnsupportedOperation(format!("field {field} has no range tactic")))?;
         let started = self.obs.start();
-        let calls = self.tactic_mut(schema_name, field, &tactic)?.range_query(field, lo, hi)?;
+        let t = self.tactic(schema_name, field, &tactic)?;
+        let calls = t.lock().range_query(field, lo, hi)?;
         let responses = calls.iter().map(|c| self.call(c)).collect::<Result<Vec<_>, _>>()?;
-        let ids = self.tactic_ref(schema_name, field, &tactic)?.range_resolve(&responses)?;
+        let ids = t.lock().range_resolve(&responses)?;
         if let Some(t0) = started {
             self.obs.ewma_observe(&format!("tactic.{tactic}.range_query"), t0.elapsed());
         }
@@ -1050,7 +1265,7 @@ impl GatewayEngine {
     /// [`CoreError::UnsupportedOperation`] if the field has no aggregate
     /// tactic.
     pub fn aggregate(
-        &mut self,
+        &self,
         schema_name: &str,
         field: &str,
         agg: AggFn,
@@ -1071,9 +1286,10 @@ impl GatewayEngine {
                 }
             };
             let started = g.obs.start();
-            let calls = g.tactic_mut(schema_name, field, &tactic)?.agg_query(field, agg, &ids)?;
+            let t = g.tactic(schema_name, field, &tactic)?;
+            let calls = t.lock().agg_query(field, agg, &ids)?;
             let responses = calls.iter().map(|c| g.call(c)).collect::<Result<Vec<_>, _>>()?;
-            let out = g.tactic_ref(schema_name, field, &tactic)?.agg_resolve(agg, &responses)?;
+            let out = t.lock().agg_resolve(agg, &responses)?;
             if let Some(t0) = started {
                 g.obs.ewma_observe(&format!("tactic.{tactic}.aggregate"), t0.elapsed());
             }
@@ -1090,12 +1306,7 @@ impl GatewayEngine {
     ///
     /// [`CoreError::UnsupportedOperation`] if the field's range tactic is
     /// not order-preserving at rest (ORE stores no comparable bytes).
-    pub fn find_extreme(
-        &mut self,
-        schema_name: &str,
-        field: &str,
-        maximum: bool,
-    ) -> Result<Option<Document>, CoreError> {
+    pub fn find_extreme(&self, schema_name: &str, field: &str, maximum: bool) -> Result<Option<Document>, CoreError> {
         self.observed("gateway.find_extreme", |g| {
             let plan = g.plan(schema_name)?;
             let tactic = plan.fields.get(field).and_then(|p| p.range_tactic.clone());
@@ -1123,7 +1334,7 @@ impl GatewayEngine {
     ///
     /// Channel failures.
     pub fn count(&self, schema_name: &str) -> Result<u64, CoreError> {
-        self.observed_ref("gateway.count", |g| {
+        self.observed("gateway.count", |g| {
             g.plan(schema_name)?;
             let out = g.call(&CloudCall::new("doc/count", with_collection(schema_name, b"")))?;
             out.try_into().map(u64::from_be_bytes).map_err(|_| CoreError::Wire("count response"))
@@ -1151,7 +1362,7 @@ impl GatewayEngine {
     /// Decryption failures on corrupt data; channel failures. On error the
     /// rotation may be partially applied (already re-encrypted documents
     /// stay on the new version, which remains decryptable).
-    pub fn rotate_payload_key(&mut self, schema_name: &str, field: &str) -> Result<u64, CoreError> {
+    pub fn rotate_payload_key(&self, schema_name: &str, field: &str) -> Result<u64, CoreError> {
         let plan = self.plan(schema_name)?;
         let fp = plan
             .fields
@@ -1165,13 +1376,13 @@ impl GatewayEngine {
         let raw_ids = r.list().map_err(|e| CoreError::Sse(e.to_string()))?;
         let mut recovered: Vec<(String, Option<Value>, Document)> = Vec::new();
         {
-            let tactic = self.tactic_ref(schema_name, field, &payload_tactic)?;
+            let tactic = self.tactic(schema_name, field, &payload_tactic)?;
             for id in &raw_ids {
                 let id = String::from_utf8(id.clone()).map_err(|_| CoreError::Wire("utf8 id"))?;
                 let stored = decode_document(
                     &self.call(&CloudCall::new("doc/get", with_collection(schema_name, id.as_bytes())))?,
                 )?;
-                let value = tactic.recover(field, &stored)?;
+                let value = tactic.lock().recover(field, &stored)?;
                 recovered.push((id, value, stored));
             }
         }
@@ -1185,16 +1396,20 @@ impl GatewayEngine {
             kms: self.kms.clone(),
         };
         let new_version = self.kms.rotate(&ctx.key_scope(&payload_tactic));
-        let fresh = self.registry.build_gateway(&payload_tactic, &ctx, &mut self.rng)?;
-        self.tactics.insert(Self::tactic_key(schema_name, field, &payload_tactic), fresh);
+        let fresh = {
+            let registry = self.registry.read();
+            let mut rng = self.rng.lock();
+            registry.build_gateway(&payload_tactic, &ctx, &mut *rng)?
+        };
+        self.tactics.write().insert(Self::tactic_key(schema_name, field, &payload_tactic), Arc::new(Mutex::new(fresh)));
 
         // 3. Re-protect each value and update the stored documents.
         for (id, value, mut stored) in recovered {
             let Some(value) = value else { continue };
             let doc_id = DocId::from_hex(&id).ok_or(CoreError::Wire("doc id"))?;
-            let rng = &mut StdRng::from_rng(&mut self.rng).expect("rng fork");
-            let tactic = self.tactic_mut(schema_name, field, &payload_tactic)?;
-            let protected = tactic.protect(rng, field, &value, doc_id)?;
+            let mut rng = self.fork_rng();
+            let tactic = self.tactic(schema_name, field, &payload_tactic)?;
+            let protected = tactic.lock().protect(&mut rng, field, &value, doc_id)?;
             for (f, v) in protected.stored {
                 stored.set(f, v);
             }
@@ -1222,7 +1437,7 @@ impl GatewayEngine {
     ///
     /// [`CoreError::UnsupportedOperation`] if the field's equality tactic
     /// is not a field-scoped index tactic; decryption/channel failures.
-    pub fn rotate_index_key(&mut self, schema_name: &str, field: &str) -> Result<u64, CoreError> {
+    pub fn rotate_index_key(&self, schema_name: &str, field: &str) -> Result<u64, CoreError> {
         let (tactic, payload_tactic) = {
             let plan = self.plan(schema_name)?;
             let fp = plan
@@ -1242,13 +1457,13 @@ impl GatewayEngine {
         let raw_ids = r.list().map_err(|e| CoreError::Sse(e.to_string()))?;
         let mut recovered: Vec<(DocId, Value)> = Vec::new();
         {
-            let payload = self.tactic_ref(schema_name, field, &payload_tactic)?;
+            let payload = self.tactic(schema_name, field, &payload_tactic)?;
             for id in &raw_ids {
                 let id = String::from_utf8(id.clone()).map_err(|_| CoreError::Wire("utf8 id"))?;
                 let stored = decode_document(
                     &self.call(&CloudCall::new("doc/get", with_collection(schema_name, id.as_bytes())))?,
                 )?;
-                if let Some(value) = payload.recover(field, &stored)? {
+                if let Some(value) = payload.lock().recover(field, &stored)? {
                     recovered.push((DocId::from_hex(&id).ok_or(CoreError::Wire("doc id"))?, value));
                 }
             }
@@ -1267,15 +1482,19 @@ impl GatewayEngine {
             kms: self.kms.clone(),
         };
         let new_version = self.kms.rotate(&ctx.key_scope(&tactic));
-        let fresh = self.registry.build_gateway(&tactic, &ctx, &mut self.rng)?;
-        self.tactics.insert(Self::tactic_key(schema_name, field, &tactic), fresh);
+        let fresh = {
+            let registry = self.registry.read();
+            let mut rng = self.rng.lock();
+            registry.build_gateway(&tactic, &ctx, &mut *rng)?
+        };
+        self.tactics.write().insert(Self::tactic_key(schema_name, field, &tactic), Arc::new(Mutex::new(fresh)));
 
         // 4. Re-index everything, batched.
         let mut batch = Vec::with_capacity(recovered.len());
+        let t = self.tactic(schema_name, field, &tactic)?;
         for (id, value) in &recovered {
-            let rng = &mut StdRng::from_rng(&mut self.rng).expect("rng fork");
-            let t = self.tactic_mut(schema_name, field, &tactic)?;
-            let protected = t.protect(rng, field, value, *id)?;
+            let mut rng = self.fork_rng();
+            let protected = t.lock().protect(&mut rng, field, value, *id)?;
             debug_assert!(protected.stored.is_empty(), "index tactics store nothing in documents");
             batch.extend(protected.index_calls);
         }
@@ -1297,7 +1516,7 @@ impl GatewayEngine {
     ///
     /// Channel/decryption failures; inconsistencies are *reported* in the
     /// [`FsckReport`], not raised as errors.
-    pub fn fsck(&mut self, schema_name: &str) -> Result<FsckReport, CoreError> {
+    pub fn fsck(&self, schema_name: &str) -> Result<FsckReport, CoreError> {
         // (field, eq?, range?, boolean?) snapshot of the plan, sorted for
         // deterministic reports.
         let mut field_plans: Vec<(String, bool, bool, bool)> = {
@@ -1388,7 +1607,7 @@ impl GatewayEngine {
     /// Sophos chains) for persistence.
     pub fn export_tactic_state(&self) -> Vec<(String, Vec<u8>)> {
         let mut out: Vec<(String, Vec<u8>)> =
-            self.tactics.iter().filter_map(|(k, t)| t.export_state().map(|s| (k.clone(), s))).collect();
+            self.tactics.read().iter().filter_map(|(k, t)| t.lock().export_state().map(|s| (k.clone(), s))).collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
@@ -1399,10 +1618,11 @@ impl GatewayEngine {
     /// # Errors
     ///
     /// Malformed state blobs; unknown instances are ignored.
-    pub fn import_tactic_state(&mut self, state: &[(String, Vec<u8>)]) -> Result<(), CoreError> {
+    pub fn import_tactic_state(&self, state: &[(String, Vec<u8>)]) -> Result<(), CoreError> {
+        let tactics = self.tactics.read();
         for (key, blob) in state {
-            if let Some(t) = self.tactics.get_mut(key) {
-                t.import_state(blob)?;
+            if let Some(t) = tactics.get(key) {
+                t.lock().import_state(blob)?;
             }
         }
         Ok(())
@@ -1427,7 +1647,7 @@ impl GatewayEngine {
     /// # Errors
     ///
     /// Malformed state blobs.
-    pub fn load_state(&mut self, kv: &KvStore) -> Result<(), CoreError> {
+    pub fn load_state(&self, kv: &KvStore) -> Result<(), CoreError> {
         let entries: Vec<(String, Vec<u8>)> = kv
             .keys_with_prefix(b"gwstate/")
             .into_iter()
@@ -1439,4 +1659,35 @@ impl GatewayEngine {
             .collect();
         self.import_tactic_state(&entries)
     }
+}
+
+/// One annotated field of a document, with the tactics to apply in order.
+struct FieldWork {
+    field: String,
+    value: Value,
+    tactics: Vec<String>,
+    boolean: bool,
+}
+
+/// Splits a document into protected-field work items (in document field
+/// order — the canonical application order) and copies unannotated fields
+/// straight into `cloud_doc`.
+fn plan_field_work(plan: &SchemaPlan, doc: &Document, cloud_doc: &mut Document) -> Vec<FieldWork> {
+    let mut work = Vec::new();
+    for (field, value) in doc.iter() {
+        match plan.fields.get(field) {
+            None => {
+                cloud_doc.set(field.clone(), value.clone());
+            }
+            Some(fp) => {
+                let mut tactics: Vec<String> =
+                    fp.selection.all_tactics().into_iter().filter(|t| !t.starts_with("biex")).collect();
+                if !tactics.contains(&fp.selection.payload) {
+                    tactics.push(fp.selection.payload.clone());
+                }
+                work.push(FieldWork { field: field.clone(), value: value.clone(), tactics, boolean: fp.boolean });
+            }
+        }
+    }
+    work
 }

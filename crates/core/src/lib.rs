@@ -63,6 +63,7 @@ pub mod gateway;
 pub mod leakage;
 pub mod metadata;
 pub mod model;
+pub mod pool;
 pub mod registry;
 pub mod spi;
 pub mod tactics;

@@ -1,13 +1,26 @@
 //! The in-memory store engine.
+//!
+//! Since the shared-gateway work the keyspace is sharded N ways by key
+//! hash: each shard holds its own `RwLock<BTreeMap>` so writes to
+//! independent keys (different fields, different collections) proceed in
+//! parallel. The append log stays a **single serialized append point** —
+//! sharding changes lock granularity, not durability semantics. Prefix
+//! scans and exports gather across shards and sort, so observable
+//! ordering is identical to the unsharded store.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::log::{AppendLog, LogRecord};
 use crate::KvError;
+
+/// Default number of keyspace shards. Power of two so the hash mixes
+/// into the index cheaply; 16 comfortably exceeds the worker counts the
+/// benchmarks drive (1/2/4/8).
+pub const DEFAULT_SHARDS: usize = 16;
 
 /// One value slot: Redis-style polymorphic values.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,27 +56,87 @@ impl KvStats {
     }
 }
 
+/// One keyspace shard: its own lock plus a counter of the times a lock
+/// acquisition found the shard already held and had to block.
+#[derive(Default)]
+struct Shard {
+    // BTreeMap so `keys_with_prefix` is efficient and iteration stable.
+    map: RwLock<BTreeMap<Vec<u8>, Slot>>,
+    contention: AtomicU64,
+}
+
+impl Shard {
+    fn read(&self) -> RwLockReadGuard<'_, BTreeMap<Vec<u8>, Slot>> {
+        match self.map.try_read() {
+            Some(g) => g,
+            None => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                self.map.read()
+            }
+        }
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, BTreeMap<Vec<u8>, Slot>> {
+        match self.map.try_write() {
+            Some(g) => g,
+            None => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                self.map.write()
+            }
+        }
+    }
+}
+
 /// A thread-safe Redis-like store.
 ///
 /// Cloning is cheap and shares the underlying data (like handles to one
 /// server).
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct KvStore {
     inner: Arc<Inner>,
 }
 
-#[derive(Default)]
+impl Default for KvStore {
+    fn default() -> Self {
+        KvStore::with_shards(DEFAULT_SHARDS)
+    }
+}
+
 struct Inner {
-    // BTreeMap so `keys_with_prefix` is efficient and iteration stable.
-    map: RwLock<BTreeMap<Vec<u8>, Slot>>,
+    shards: Vec<Shard>,
     stats: KvStats,
-    log: RwLock<Option<AppendLog>>,
+    log: Mutex<Option<AppendLog>>,
+}
+
+/// FNV-1a over the key bytes: deterministic across runs and platforms,
+/// so the same key always lands on the same shard.
+fn key_hash(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl KvStore {
-    /// Creates an empty volatile store.
+    /// Creates an empty volatile store with the default shard count.
     pub fn new() -> Self {
         KvStore::default()
+    }
+
+    /// Creates an empty volatile store with exactly `shards` keyspace
+    /// shards (`shards = 1` reproduces the old single-lock store; the
+    /// observable behaviour is identical either way).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1);
+        KvStore {
+            inner: Arc::new(Inner {
+                shards: (0..n).map(|_| Shard::default()).collect(),
+                stats: KvStats::default(),
+                log: Mutex::new(None),
+            }),
+        }
     }
 
     /// Creates a store in the paper's *semi-durable* mode: every write is
@@ -87,7 +160,7 @@ impl KvStore {
             }
         }
         let log = AppendLog::open(path)?;
-        *store.inner.log.write() = Some(log);
+        *store.inner.log.lock() = Some(log);
         Ok(store)
     }
 
@@ -96,10 +169,27 @@ impl KvStore {
         &self.inner.stats
     }
 
+    /// Number of keyspace shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Per-shard contention counters: how many lock acquisitions on each
+    /// shard found it held and had to block. Feed these into the
+    /// observability recorder as `cloud.kv.shard.<i>.contention`.
+    pub fn shard_contention(&self) -> Vec<u64> {
+        self.inner.shards.iter().map(|s| s.contention.load(Ordering::Relaxed)).collect()
+    }
+
+    fn shard(&self, key: &[u8]) -> &Shard {
+        let n = self.inner.shards.len();
+        &self.inner.shards[(key_hash(key) % n as u64) as usize]
+    }
+
     fn record(&self, rec: LogRecord) {
-        if let Some(log) = self.inner.log.write().as_mut() {
-            // Semi-durable: buffered append, errors are surfaced as panics
-            // only in debug; production code would expose a flush error API.
+        if let Some(log) = self.inner.log.lock().as_mut() {
+            // Semi-durable: buffered append through the single serialized
+            // append point; production code would expose a flush error API.
             let _ = log.append(&rec);
         }
     }
@@ -112,29 +202,35 @@ impl KvStore {
 
     /// Dumps the live state as a deterministic record sequence: replaying
     /// the sequence into an empty store reproduces this store exactly.
-    /// Keys follow map order; hash fields and set members are sorted, so
-    /// two equal stores export byte-identical snapshots.
+    /// Keys are gathered across shards and sorted; hash fields and set
+    /// members are sorted, so two equal stores export byte-identical
+    /// snapshots regardless of shard count.
     pub fn export_records(&self) -> Vec<LogRecord> {
-        let map = self.inner.map.read();
-        let mut out = Vec::with_capacity(map.len());
-        for (key, slot) in map.iter() {
+        let mut slots: Vec<(Vec<u8>, Slot)> = Vec::new();
+        for shard in &self.inner.shards {
+            let map = shard.read();
+            slots.extend(map.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        slots.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = Vec::with_capacity(slots.len());
+        for (key, slot) in slots {
             match slot {
-                Slot::Str(v) => out.push(LogRecord::Set { key: key.clone(), value: v.clone() }),
+                Slot::Str(v) => out.push(LogRecord::Set { key, value: v }),
                 Slot::Hash(h) => {
-                    let mut fields: Vec<_> = h.iter().collect();
+                    let mut fields: Vec<_> = h.into_iter().collect();
                     fields.sort();
                     for (f, v) in fields {
-                        out.push(LogRecord::HSet { key: key.clone(), field: f.clone(), value: v.clone() });
+                        out.push(LogRecord::HSet { key: key.clone(), field: f, value: v });
                     }
                 }
                 Slot::Set(s) => {
-                    let mut members: Vec<_> = s.iter().collect();
+                    let mut members: Vec<_> = s.into_iter().collect();
                     members.sort();
                     for m in members {
-                        out.push(LogRecord::SAdd { key: key.clone(), member: m.clone() });
+                        out.push(LogRecord::SAdd { key: key.clone(), member: m });
                     }
                 }
-                Slot::Counter(c) => out.push(LogRecord::Incr { key: key.clone(), by: *c }),
+                Slot::Counter(c) => out.push(LogRecord::Incr { key, by: c }),
             }
         }
         out
@@ -179,13 +275,13 @@ impl KvStore {
         if log_it {
             self.record(LogRecord::Set { key: key.clone(), value: value.clone() });
         }
-        self.inner.map.write().insert(key, Slot::Str(value));
+        self.shard(&key).write().insert(key, Slot::Str(value));
     }
 
     /// Reads a string value.
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
         self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
-        match self.inner.map.read().get(key) {
+        match self.shard(key).read().get(key) {
             Some(Slot::Str(v)) => Some(v.clone()),
             _ => None,
         }
@@ -201,7 +297,7 @@ impl KvStore {
         if log_it {
             self.record(LogRecord::Del { key: key.to_vec() });
         }
-        self.inner.map.write().remove(key).is_some()
+        self.shard(key).write().remove(key).is_some()
     }
 
     /// Deletes every slot whose key starts with `prefix`; returns the
@@ -218,19 +314,22 @@ impl KvStore {
     /// Whether any slot exists at `key`.
     pub fn exists(&self, key: &[u8]) -> bool {
         self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
-        self.inner.map.read().contains_key(key)
+        self.shard(key).read().contains_key(key)
     }
 
-    /// All keys with the given prefix (lexicographic order).
+    /// All keys with the given prefix (lexicographic order, gathered
+    /// across shards and sorted).
     pub fn keys_with_prefix(&self, prefix: &[u8]) -> Vec<Vec<u8>> {
         self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .map
-            .read()
-            .range(prefix.to_vec()..)
-            .take_while(|(k, _)| k.starts_with(prefix))
-            .map(|(k, _)| k.clone())
-            .collect()
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        for shard in &self.inner.shards {
+            let map = shard.read();
+            keys.extend(
+                map.range(prefix.to_vec()..).take_while(|(k, _)| k.starts_with(prefix)).map(|(k, _)| k.clone()),
+            );
+        }
+        keys.sort();
+        keys
     }
 
     // --------------------------------------------------------------- hashes
@@ -249,7 +348,8 @@ impl KvStore {
         if log_it {
             self.record(LogRecord::HSet { key: key.clone(), field: field.clone(), value: value.clone() });
         }
-        let mut map = self.inner.map.write();
+        let shard = self.shard(&key);
+        let mut map = shard.write();
         match map.entry(key.clone()).or_insert_with(|| Slot::Hash(HashMap::new())) {
             Slot::Hash(h) => Ok(h.insert(field, value).is_none()),
             _ => Err(KvError::WrongType { key, expected: "hash" }),
@@ -259,7 +359,7 @@ impl KvStore {
     /// Reads `field` from the hash at `key`.
     pub fn hget(&self, key: &[u8], field: &[u8]) -> Option<Vec<u8>> {
         self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
-        match self.inner.map.read().get(key) {
+        match self.shard(key).read().get(key) {
             Some(Slot::Hash(h)) => h.get(field).cloned(),
             _ => None,
         }
@@ -275,7 +375,8 @@ impl KvStore {
         if log_it {
             self.record(LogRecord::HDel { key: key.to_vec(), field: field.to_vec() });
         }
-        let mut map = self.inner.map.write();
+        let shard = self.shard(key);
+        let mut map = shard.write();
         match map.get_mut(key) {
             Some(Slot::Hash(h)) => Ok(h.remove(field).is_some()),
             Some(_) => Err(KvError::WrongType { key: key.to_vec(), expected: "hash" }),
@@ -286,7 +387,7 @@ impl KvStore {
     /// All `(field, value)` pairs of the hash at `key`.
     pub fn hgetall(&self, key: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
         self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
-        match self.inner.map.read().get(key) {
+        match self.shard(key).read().get(key) {
             Some(Slot::Hash(h)) => h.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
             _ => Vec::new(),
         }
@@ -295,7 +396,7 @@ impl KvStore {
     /// Number of fields in the hash at `key` (0 if absent).
     pub fn hlen(&self, key: &[u8]) -> usize {
         self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
-        match self.inner.map.read().get(key) {
+        match self.shard(key).read().get(key) {
             Some(Slot::Hash(h)) => h.len(),
             _ => 0,
         }
@@ -317,7 +418,8 @@ impl KvStore {
         if log_it {
             self.record(LogRecord::SAdd { key: key.clone(), member: member.clone() });
         }
-        let mut map = self.inner.map.write();
+        let shard = self.shard(&key);
+        let mut map = shard.write();
         match map.entry(key.clone()).or_insert_with(|| Slot::Set(HashSet::new())) {
             Slot::Set(s) => Ok(s.insert(member)),
             _ => Err(KvError::WrongType { key, expected: "set" }),
@@ -334,7 +436,8 @@ impl KvStore {
         if log_it {
             self.record(LogRecord::SRem { key: key.to_vec(), member: member.to_vec() });
         }
-        let mut map = self.inner.map.write();
+        let shard = self.shard(key);
+        let mut map = shard.write();
         match map.get_mut(key) {
             Some(Slot::Set(s)) => Ok(s.remove(member)),
             Some(_) => Err(KvError::WrongType { key: key.to_vec(), expected: "set" }),
@@ -345,7 +448,7 @@ impl KvStore {
     /// Membership test.
     pub fn sismember(&self, key: &[u8], member: &[u8]) -> bool {
         self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
-        match self.inner.map.read().get(key) {
+        match self.shard(key).read().get(key) {
             Some(Slot::Set(s)) => s.contains(member),
             _ => false,
         }
@@ -354,7 +457,7 @@ impl KvStore {
     /// All members of the set at `key`.
     pub fn smembers(&self, key: &[u8]) -> Vec<Vec<u8>> {
         self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
-        match self.inner.map.read().get(key) {
+        match self.shard(key).read().get(key) {
             Some(Slot::Set(s)) => s.iter().cloned().collect(),
             _ => Vec::new(),
         }
@@ -363,7 +466,7 @@ impl KvStore {
     /// Set cardinality (0 if absent).
     pub fn scard(&self, key: &[u8]) -> usize {
         self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
-        match self.inner.map.read().get(key) {
+        match self.shard(key).read().get(key) {
             Some(Slot::Set(s)) => s.len(),
             _ => 0,
         }
@@ -390,7 +493,8 @@ impl KvStore {
         if log_it {
             self.record(LogRecord::Incr { key: key.clone(), by });
         }
-        let mut map = self.inner.map.write();
+        let shard = self.shard(&key);
+        let mut map = shard.write();
         match map.entry(key.clone()).or_insert(Slot::Counter(0)) {
             Slot::Counter(c) => {
                 *c += by;
@@ -403,7 +507,7 @@ impl KvStore {
     /// Reads the counter at `key` (`0` if absent).
     pub fn counter(&self, key: &[u8]) -> i64 {
         self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
-        match self.inner.map.read().get(key) {
+        match self.shard(key).read().get(key) {
             Some(Slot::Counter(c)) => *c,
             _ => 0,
         }
@@ -411,17 +515,19 @@ impl KvStore {
 
     /// Total number of slots.
     pub fn len(&self) -> usize {
-        self.inner.map.read().len()
+        self.inner.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.map.read().is_empty()
+        self.inner.shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Drops everything (does not truncate the append log).
     pub fn clear(&self) {
-        self.inner.map.write().clear();
+        for shard in &self.inner.shards {
+            shard.write().clear();
+        }
     }
 }
 
@@ -429,6 +535,7 @@ impl std::fmt::Debug for KvStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KvStore")
             .field("slots", &self.len())
+            .field("shards", &self.shard_count())
             .field("reads", &self.stats().reads())
             .field("writes", &self.stats().writes())
             .finish()
@@ -551,5 +658,35 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(kv.counter(b"shared"), 8000);
+    }
+
+    #[test]
+    fn sharded_matches_single_shard() {
+        // Same op sequence against 1 shard and N shards: every observable
+        // (gets, prefix scans, exports, len) must be identical.
+        let one = KvStore::with_shards(1);
+        let many = KvStore::with_shards(8);
+        for kv in [&one, &many] {
+            for i in 0..64u32 {
+                let key = format!("k/{:02}", i % 16).into_bytes();
+                kv.set(&key, &i.to_be_bytes());
+                kv.hset(format!("h/{}", i % 8).as_bytes(), &key, b"v").unwrap();
+                kv.sadd(b"members", &key).unwrap();
+                kv.incr_by(b"count", i as i64).unwrap();
+            }
+            kv.del(b"k/03");
+        }
+        assert_eq!(one.len(), many.len());
+        assert_eq!(one.keys_with_prefix(b"k/"), many.keys_with_prefix(b"k/"));
+        assert_eq!(one.keys_with_prefix(b"h/"), many.keys_with_prefix(b"h/"));
+        assert_eq!(one.export_records(), many.export_records());
+        assert_eq!(one.counter(b"count"), many.counter(b"count"));
+    }
+
+    #[test]
+    fn shard_contention_reported() {
+        let kv = KvStore::with_shards(4);
+        assert_eq!(kv.shard_contention().len(), 4);
+        assert!(kv.shard_contention().iter().all(|&c| c == 0));
     }
 }

@@ -460,6 +460,76 @@ impl BenchClient for MiddlewareClient {
     }
 }
 
+// ====================================================================
+// S_C, shared gateway
+// ====================================================================
+
+/// Collection name used by shared-gateway runs (one tenant, many threads —
+/// in contrast to the per-worker collections of the per-worker clients).
+pub const SHARED_SCHEMA: &str = "observation-shared";
+
+/// Builds ONE gateway engine for all workers to share: registers the
+/// benchmark schema, installs `recorder`, and (optionally) attaches a
+/// worker pool for parallel batch encryption. This is the deployment shape
+/// the `&self` engine routes exist for — one middleware instance behind
+/// many application threads, not one engine per thread.
+///
+/// # Panics
+///
+/// Panics if the benchmark schema fails to register (a bug, not an input
+/// condition).
+pub fn shared_gateway(
+    channel: Channel,
+    recorder: Recorder,
+    pool: Option<std::sync::Arc<datablinder_core::pool::WorkerPool>>,
+) -> std::sync::Arc<GatewayEngine> {
+    let mut rng = StdRng::seed_from_u64(0x5C);
+    let kms = Kms::generate(&mut rng);
+    let mut engine = GatewayEngine::new("bench-shared", kms, channel, 0xC0DE);
+    engine.set_recorder(recorder);
+    if let Some(pool) = pool {
+        engine.set_worker_pool(pool);
+    }
+    engine.register_schema(bench_schema_named(SHARED_SCHEMA)).expect("bench schema registers");
+    std::sync::Arc::new(engine)
+}
+
+/// A thin per-worker handle onto one shared [`GatewayEngine`]: every
+/// worker issues its operations against the *same* engine instance, so a
+/// run measures the engine's internal concurrency (sharded locks,
+/// per-tactic mutexes) instead of N independent gateways.
+pub struct SharedMiddlewareClient {
+    engine: std::sync::Arc<GatewayEngine>,
+}
+
+impl SharedMiddlewareClient {
+    /// Wraps a handle to `engine` (built by [`shared_gateway`]).
+    pub fn new(engine: std::sync::Arc<GatewayEngine>) -> Self {
+        SharedMiddlewareClient { engine }
+    }
+}
+
+impl BenchClient for SharedMiddlewareClient {
+    fn insert(&mut self, doc: &Document) -> Result<(), String> {
+        self.engine.insert(SHARED_SCHEMA, doc).map(|_| ()).map_err(|e| e.to_string())
+    }
+
+    fn search_subject(&mut self, subject: &str) -> Result<usize, String> {
+        self.engine
+            .find_equal(SHARED_SCHEMA, "subject", &Value::from(subject))
+            .map(|docs| docs.len())
+            .map_err(|e| e.to_string())
+    }
+
+    fn average_value(&mut self) -> Result<f64, String> {
+        self.engine.aggregate(SHARED_SCHEMA, "value", AggFn::Avg, None).map_err(|e| e.to_string())
+    }
+
+    fn label(&self) -> &'static str {
+        "S_C/shared"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,6 +29,5 @@
 
 #![warn(missing_docs)]
 pub mod clients;
-pub mod histogram;
 pub mod report;
 pub mod runner;

@@ -95,7 +95,7 @@ pub fn render_latency_table(reports: &[&ScenarioReport]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::histogram::LatencyHistogram;
+    use datablinder_obs::histogram::LatencyHistogram;
 
     fn fake(label: &'static str, per_op_ms: u64) -> ScenarioReport {
         let mut h = LatencyHistogram::new();

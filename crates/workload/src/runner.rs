@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::clients::BenchClient;
-use crate::histogram::LatencyHistogram;
+use datablinder_obs::histogram::LatencyHistogram;
 
 /// The kinds of operation in the mix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -269,6 +269,26 @@ where
     }
 }
 
+/// Runs a scenario against ONE shared gateway engine: every worker gets a
+/// [`SharedMiddlewareClient`] handle onto `engine` instead of its own
+/// gateway, so the run exercises the engine's internal concurrency (the
+/// shape of a middleware instance behind a thread-pooled app server).
+/// Measure with the same `recorder` the engine carries to see gateway
+/// routes, pool gauges and shard contention in the report snapshot.
+pub fn run_shared_scenario(
+    label: &'static str,
+    spec: ScenarioSpec,
+    engine: &std::sync::Arc<datablinder_core::gateway::GatewayEngine>,
+    recorder: Recorder,
+) -> ScenarioReport {
+    run_scenario_observed(
+        label,
+        spec,
+        |_| Box::new(crate::clients::SharedMiddlewareClient::new(std::sync::Arc::clone(engine))),
+        recorder,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +328,20 @@ mod tests {
             .sum();
         assert_eq!(total, report.completed, "recorder counted every completed op");
         assert!(report.snapshot.histogram("workload.insert.latency").is_some());
+    }
+
+    #[test]
+    fn shared_gateway_runner_completes_all_requests() {
+        use crate::clients::shared_gateway;
+        let rec = Recorder::new();
+        let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+        let pool = std::sync::Arc::new(datablinder_core::pool::WorkerPool::new(2));
+        let engine = shared_gateway(channel, rec.clone(), Some(pool));
+        let spec = ScenarioSpec { workers: 4, requests: 120, ..ScenarioSpec::default() };
+        let report = run_shared_scenario("S_C/shared", spec, &engine, rec);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.completed, 120);
+        assert!(report.snapshot.counters_with_prefix("gateway.").iter().any(|(n, _)| n == "gateway.insert.count"));
     }
 
     #[test]

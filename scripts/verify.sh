@@ -14,6 +14,9 @@ cargo test -q
 echo "==> cargo test --release --test resilience (crash storms under optimization)"
 cargo test --release -q --test resilience
 
+echo "==> cargo test --release --test concurrency (shared-gateway model suite)"
+cargo test --release -q --test concurrency
+
 echo "==> metrics smoke: observed fig5 run emits a parseable snapshot with live route counters"
 cargo run --release -q -p datablinder-bench --bin fig5_throughput -- \
     --net instant --workers 4 --requests 200 --observe |
@@ -21,6 +24,13 @@ cargo run --release -q -p datablinder-bench --bin fig5_throughput -- \
     grep -q '"name":"gateway.insert.count","value":[1-9]' ||
     { echo "metrics smoke: gateway route counters missing from snapshot JSON" >&2; exit 1; }
 cargo test --release -q --test observability
+
+echo "==> shared-gateway smoke: scaling ladder emits per-shard contention counters"
+cargo run --release -q -p datablinder-bench --bin fig5_throughput -- \
+    --shared-gateway --net instant --workers 4 --requests 200 |
+    tail -1 |
+    grep -q '"name":"cloud.kv.shard.0.contention"' ||
+    { echo "shared-gateway smoke: per-shard counters missing from snapshot JSON" >&2; exit 1; }
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,282 @@
+//! Model-based concurrency suite: M threads hammer ONE shared
+//! [`GatewayEngine`] with a seeded mix of inserts, batch inserts, updates,
+//! deletes, equality/range searches and Paillier sums; every committed
+//! write is logged, then replayed against a fresh single-threaded oracle
+//! engine and a plain `HashMap` model. The shared engine's final state
+//! must match both.
+//!
+//! Threads own disjoint document-id sets (each mutates only documents it
+//! inserted), so the committed logs commute: the final state is a
+//! deterministic function of the seeds, whatever the interleaving. That
+//! is what makes the differential check exact rather than heuristic —
+//! and it mirrors the deployment the `&self` routes exist for: one
+//! middleware instance shared by an application server's thread pool.
+//!
+//! During the run every thread also checks read-your-writes through
+//! `get` (its ids are private to it, so its own last write must be
+//! visible), and every concurrent query must complete without error.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+
+use datablinder::core::cloud::CloudEngine;
+use datablinder::core::gateway::GatewayEngine;
+use datablinder::core::model::{AggFn, FieldAnnotation, FieldOp, FieldType, ProtectionClass, Schema};
+use datablinder::core::pool::WorkerPool;
+use datablinder::docstore::{Document, Value};
+use datablinder::kms::Kms;
+use datablinder::netsim::{Channel, LatencyModel};
+use datablinder::sse::DocId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SCHEMA: &str = "records";
+const OWNERS: [&str; 6] = ["o0", "o1", "o2", "o3", "o4", "o5"];
+
+fn schema() -> Schema {
+    use FieldOp::*;
+    Schema::new(SCHEMA)
+        .sensitive_field(
+            "owner",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]),
+        )
+        .sensitive_field(
+            "score",
+            FieldType::Integer,
+            true,
+            FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Range]).with_aggs(vec![AggFn::Sum]),
+        )
+}
+
+fn engine(seed: u64, pool_threads: usize) -> GatewayEngine {
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gw = GatewayEngine::new("conc", Kms::generate(&mut rng), channel, seed);
+    if pool_threads > 0 {
+        gw.set_worker_pool(Arc::new(WorkerPool::new(pool_threads)));
+    }
+    gw.register_schema(schema()).unwrap();
+    gw
+}
+
+fn doc_of(owner: &str, score: i64) -> Document {
+    Document::new("x").with("owner", Value::from(owner)).with("score", Value::from(score))
+}
+
+/// A committed write, logged by the thread that performed it.
+#[derive(Clone)]
+enum WriteOp {
+    Insert { id: DocId, owner: String, score: i64 },
+    Update { id: DocId, owner: String, score: i64 },
+    Delete { id: DocId },
+}
+
+/// One worker's seeded session against the shared engine. Returns the
+/// log of committed writes, in program order.
+fn drive(gw: &GatewayEngine, seed: u64, ops: usize) -> Vec<WriteOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut log: Vec<WriteOp> = Vec::new();
+    // (id, owner, score) of documents this thread owns, as last written.
+    let mut mine: Vec<(DocId, String, i64)> = Vec::new();
+    // Prime with one insert (as the workload runner does): queries against
+    // a scope no insert has set up yet fail identically on a
+    // single-threaded engine, so they are out of contract here too.
+    {
+        let owner = OWNERS[rng.gen_range(0..OWNERS.len())].to_string();
+        let score: i64 = rng.gen_range(-1_000..1_000);
+        let id = gw.insert(SCHEMA, &doc_of(&owner, score)).unwrap();
+        log.push(WriteOp::Insert { id, owner: owner.clone(), score });
+        mine.push((id, owner, score));
+    }
+    for op in 0..ops {
+        match rng.gen_range(0..10u32) {
+            // Inserts dominate so the other ops have material to work on.
+            0..=3 => {
+                let owner = OWNERS[rng.gen_range(0..OWNERS.len())].to_string();
+                let score: i64 = rng.gen_range(-1_000..1_000);
+                let id = gw.insert(SCHEMA, &doc_of(&owner, score)).unwrap();
+                log.push(WriteOp::Insert { id, owner: owner.clone(), score });
+                mine.push((id, owner, score));
+            }
+            // Batch insert through the worker-pool path.
+            4 => {
+                let batch: Vec<(String, i64)> = (0..3)
+                    .map(|_| (OWNERS[rng.gen_range(0..OWNERS.len())].to_string(), rng.gen_range(-1_000..1_000)))
+                    .collect();
+                let docs: Vec<Document> = batch.iter().map(|(o, s)| doc_of(o, *s)).collect();
+                let ids = gw.insert_many(SCHEMA, &docs).unwrap();
+                assert_eq!(ids.len(), docs.len());
+                for (id, (owner, score)) in ids.into_iter().zip(batch) {
+                    log.push(WriteOp::Insert { id, owner: owner.clone(), score });
+                    mine.push((id, owner, score));
+                }
+            }
+            5 => {
+                if mine.is_empty() {
+                    continue;
+                }
+                let k = rng.gen_range(0..mine.len());
+                let owner = OWNERS[rng.gen_range(0..OWNERS.len())].to_string();
+                let score: i64 = rng.gen_range(-1_000..1_000);
+                let id = mine[k].0;
+                gw.update(SCHEMA, id, &doc_of(&owner, score)).unwrap();
+                log.push(WriteOp::Update { id, owner: owner.clone(), score });
+                mine[k] = (id, owner, score);
+            }
+            6 => {
+                if mine.is_empty() {
+                    continue;
+                }
+                let k = rng.gen_range(0..mine.len());
+                let (id, _, _) = mine.swap_remove(k);
+                gw.delete(SCHEMA, id).unwrap();
+                log.push(WriteOp::Delete { id });
+                assert!(gw.get(SCHEMA, id).is_err(), "deleted doc must be gone for its owner thread");
+            }
+            7 => {
+                let owner = OWNERS[rng.gen_range(0..OWNERS.len())];
+                gw.find_equal(SCHEMA, "owner", &Value::from(owner)).unwrap();
+            }
+            8 => {
+                let lo: i64 = rng.gen_range(-1_000..0);
+                let hi: i64 = rng.gen_range(0..1_000);
+                gw.find_range(SCHEMA, "score", &Value::from(lo), &Value::from(hi)).unwrap();
+            }
+            _ => {
+                gw.aggregate(SCHEMA, "score", AggFn::Sum, None).unwrap();
+            }
+        }
+        // Read-your-writes on a private id: no other thread touches it.
+        if op % 7 == 0 && !mine.is_empty() {
+            let (id, owner, score) = &mine[mine.len() - 1];
+            let got = gw.get(SCHEMA, *id).unwrap();
+            assert_eq!(got.get("owner"), Some(&Value::from(owner.as_str())), "read-your-writes owner");
+            assert_eq!(got.get("score"), Some(&Value::from(*score)), "read-your-writes score");
+        }
+    }
+    log
+}
+
+/// The final expected state, derived by replaying committed logs.
+fn replay(logs: &[Vec<WriteOp>]) -> (GatewayEngine, HashMap<String, (String, i64)>) {
+    let oracle = engine(0x0A_C1E, 0);
+    // Model keyed by the SHARED run's id (hex): exact id-level expectations
+    // for the shared engine. The oracle mints its own ids, so it is
+    // compared by content multisets instead.
+    let mut model: HashMap<String, (String, i64)> = HashMap::new();
+    // shared-run id -> oracle id, so updates/deletes replay correctly.
+    let mut remap: HashMap<String, DocId> = HashMap::new();
+    for log in logs {
+        for op in log {
+            match op {
+                WriteOp::Insert { id, owner, score } => {
+                    let oid = oracle.insert(SCHEMA, &doc_of(owner, *score)).unwrap();
+                    remap.insert(id.to_hex(), oid);
+                    model.insert(id.to_hex(), (owner.clone(), *score));
+                }
+                WriteOp::Update { id, owner, score } => {
+                    oracle.update(SCHEMA, remap[&id.to_hex()], &doc_of(owner, *score)).unwrap();
+                    model.insert(id.to_hex(), (owner.clone(), *score));
+                }
+                WriteOp::Delete { id } => {
+                    oracle.delete(SCHEMA, remap[&id.to_hex()]).unwrap();
+                    remap.remove(&id.to_hex());
+                    model.remove(&id.to_hex());
+                }
+            }
+        }
+    }
+    (oracle, model)
+}
+
+/// Sorted (owner, score) multiset of a result set — the id-free view both
+/// engines must agree on.
+fn contents(docs: &[Document]) -> Vec<(String, i64)> {
+    let mut v: Vec<(String, i64)> = docs
+        .iter()
+        .map(|d| (d.get("owner").unwrap().as_str().unwrap().to_string(), d.get("score").unwrap().as_i64().unwrap()))
+        .collect();
+    v.sort();
+    v
+}
+
+fn sorted_ids(docs: &[Document]) -> Vec<String> {
+    let mut v: Vec<String> = docs.iter().map(|d| d.id().to_string()).collect();
+    v.sort();
+    v
+}
+
+fn run_model(threads: usize, seed: u64, ops_per_thread: usize) {
+    let shared = Arc::new(engine(seed, 2));
+    let logs: Vec<Vec<WriteOp>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let gw = Arc::clone(&shared);
+                s.spawn(move || drive(&gw, seed ^ (t as u64).wrapping_mul(0x9E37_79B9), ops_per_thread))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread must not panic")).collect()
+    });
+
+    let (oracle, model) = replay(&logs);
+
+    // Cardinality: shared engine, oracle engine and model all agree.
+    assert_eq!(shared.count(SCHEMA).unwrap(), model.len() as u64, "shared count vs model");
+    assert_eq!(oracle.count(SCHEMA).unwrap(), model.len() as u64, "oracle count vs model");
+
+    // Equality searches: the shared engine must return exactly the model's
+    // ids (and decrypt to the model's contents); the oracle must return
+    // the same contents under its own ids.
+    for owner in OWNERS {
+        let hits = shared.find_equal(SCHEMA, "owner", &Value::from(owner)).unwrap();
+        let mut expect_ids: Vec<String> =
+            model.iter().filter(|(_, (o, _))| o == owner).map(|(id, _)| id.clone()).collect();
+        expect_ids.sort();
+        assert_eq!(sorted_ids(&hits), expect_ids, "shared eq({owner}) ids");
+        let mut expect_contents: Vec<(String, i64)> = model.values().filter(|(o, _)| o == owner).cloned().collect();
+        expect_contents.sort();
+        assert_eq!(contents(&hits), expect_contents, "shared eq({owner}) contents");
+        let oracle_hits = oracle.find_equal(SCHEMA, "owner", &Value::from(owner)).unwrap();
+        assert_eq!(contents(&oracle_hits), expect_contents, "oracle eq({owner}) contents");
+    }
+
+    // Range searches at fixed windows.
+    for (lo, hi) in [(-1_000i64, 1_000i64), (-500, -1), (0, 250), (400, 999)] {
+        let hits = shared.find_range(SCHEMA, "score", &Value::from(lo), &Value::from(hi)).unwrap();
+        let mut expect_ids: Vec<String> =
+            model.iter().filter(|(_, (_, s))| (lo..=hi).contains(s)).map(|(id, _)| id.clone()).collect();
+        expect_ids.sort();
+        assert_eq!(sorted_ids(&hits), expect_ids, "shared range[{lo},{hi}] ids");
+        let oracle_hits = oracle.find_range(SCHEMA, "score", &Value::from(lo), &Value::from(hi)).unwrap();
+        assert_eq!(contents(&oracle_hits), contents(&hits), "oracle range[{lo},{hi}]");
+    }
+
+    // Paillier sum over everything.
+    let expect_sum: i64 = model.values().map(|(_, s)| *s).sum();
+    let shared_sum = shared.aggregate(SCHEMA, "score", AggFn::Sum, None).unwrap();
+    let oracle_sum = oracle.aggregate(SCHEMA, "score", AggFn::Sum, None).unwrap();
+    assert!((shared_sum - expect_sum as f64).abs() < 1e-6, "shared sum {shared_sum} vs model {expect_sum}");
+    assert!((oracle_sum - expect_sum as f64).abs() < 1e-6, "oracle sum {oracle_sum} vs model {expect_sum}");
+
+    // Index/payload cross-consistency survived the storm.
+    assert!(shared.fsck(SCHEMA).unwrap().is_clean(), "shared engine fsck");
+    assert!(oracle.fsck(SCHEMA).unwrap().is_clean(), "oracle fsck");
+}
+
+#[test]
+fn two_threads_match_oracle() {
+    run_model(2, 0xC0_01, 30);
+}
+
+#[test]
+fn four_threads_match_oracle() {
+    run_model(4, 0xC0_02, 18);
+}
+
+#[test]
+fn eight_threads_match_oracle() {
+    run_model(8, 0xC0_03, 10);
+}

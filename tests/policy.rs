@@ -113,7 +113,8 @@ fn weakest_link_rule_bounds_selection() {
     for (field, annotation) in schema.sensitive_fields() {
         let selection = gw.selection("mixed", field).unwrap();
         for tactic in selection.all_tactics() {
-            let descriptor = gw.registry().descriptor(&tactic).unwrap();
+            let registry = gw.registry();
+            let descriptor = registry.descriptor(&tactic).unwrap();
             assert!(
                 annotation.class.admits(descriptor.worst_leakage()),
                 "field {field} ({}) got tactic {tactic} with leakage {}",

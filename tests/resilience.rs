@@ -497,6 +497,99 @@ fn crash_storm_recovers_to_oracle_at_every_kth_mutation() {
     assert!(storms >= 6, "covered the workload: {storms} crash points");
 }
 
+// ---------------------------- concurrent batch inserts under cloud crashes
+
+/// Concurrency × fault injection: several threads drive `insert_many`
+/// through ONE shared gateway (worker pool attached, so per-field
+/// encryption fans out) while the cloud crash-restarts mid-storm at a
+/// planned WAL record — once per crash mode. The retrying channel must
+/// absorb the outage, and after recovery no document may be partially
+/// indexed: every batch is exactly and fully visible, and fsck is clean.
+#[test]
+fn concurrent_insert_many_crash_storm_leaves_no_partial_documents() {
+    use std::thread;
+
+    const THREADS: usize = 4;
+    const BATCHES: usize = 4;
+    const BATCH: usize = 3;
+    let total = (THREADS * BATCHES * BATCH) as u64;
+
+    // Each `insert_many` envelope journals as one WAL record, so the
+    // whole storm writes THREADS×BATCHES records — crash points must sit
+    // inside that window.
+    for (i, point) in
+        [CrashPoint::AfterAppend(5), CrashPoint::MidAppend { record: 9, byte: 9 }, CrashPoint::BeforeAppend(13)]
+            .into_iter()
+            .enumerate()
+    {
+        let dir = crash_dir(&format!("conc{i}"));
+        let opts = DurabilityOptions {
+            snapshot_every: Some(64),
+            dedup_capacity: Some(4096),
+            crash: Some(Arc::new(CrashInjector::new(CrashPlan::at(point)))),
+        };
+        let svc = Arc::new(RestartableCloud::open(&dir, opts).unwrap());
+        let config = ResilienceConfig {
+            retry: RetryPolicy { max_attempts: 16, ..RetryPolicy::default() },
+            seed: 0xC0CC,
+            ..ResilienceConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(0xC0CC);
+        let mut gw = GatewayEngine::with_resilience(
+            "conc",
+            Kms::generate(&mut rng),
+            ResilientChannel::new(Channel::from_arc(svc.clone(), LatencyModel::instant()), config),
+            0xC0CC,
+        );
+        gw.enable_write_journal(KvStore::new());
+        gw.set_worker_pool(Arc::new(datablinder::core::pool::WorkerPool::new(2)));
+        gw.register_schema(simple_schema()).unwrap();
+        let gw = Arc::new(gw);
+
+        // Each batch gets a unique owner so full-batch visibility is
+        // checkable per batch afterwards.
+        let committed: Vec<(String, Vec<String>)> = thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let gw = Arc::clone(&gw);
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        for b in 0..BATCHES {
+                            let owner = format!("t{t}b{b}");
+                            let docs: Vec<Document> = (0..BATCH)
+                                .map(|k| {
+                                    Document::new("x")
+                                        .with("owner", Value::from(owner.as_str()))
+                                        .with("note", Value::from(format!("n{k}")))
+                                })
+                                .collect();
+                            let ids = gw.insert_many("notes", &docs).expect("cloud crash must be absorbed by retries");
+                            assert_eq!(ids.len(), BATCH);
+                            mine.push((owner, ids.into_iter().map(|id| id.to_hex()).collect::<Vec<_>>()));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("no worker panics")).collect()
+        });
+
+        assert_eq!(svc.restarts(), 1, "the planned crash fired exactly once ({point:?})");
+        assert_eq!(gw.pending_writes(), 0, "every journaled write group was acknowledged");
+        assert_eq!(gw.count("notes").unwrap(), total, "crash at {point:?}: nothing lost, nothing duplicated");
+        for (owner, mut ids) in committed {
+            let hits = gw.find_equal("notes", "owner", &Value::from(owner.as_str())).unwrap();
+            let mut got: Vec<String> = hits.iter().map(|d| d.id().to_string()).collect();
+            got.sort();
+            ids.sort();
+            assert_eq!(got, ids, "batch {owner}: fully indexed, no ghosts, no partial documents");
+        }
+        let fsck = gw.fsck("notes").unwrap();
+        assert!(fsck.is_clean(), "fsck after crash recovery: {fsck:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 // ---------------------------------------------------- gateway write journal
 
 /// A cloud whose *write* intake can be cut off after a budget of calls:

@@ -151,3 +151,199 @@ fn rnd_hides_equality_det_reveals_it() {
     let rnd_b = stored[1].get("performer__rnd").unwrap();
     assert_ne!(rnd_a, rnd_b, "RND must hide equality");
 }
+
+// ------------------------------------------- boundary & property round-trips
+//
+// Plain seeded loops (no property-testing framework in the build): the
+// tactic stack must preserve order and additive structure at the i64
+// boundaries, with negatives and duplicates, and the sharded index
+// substrate must be observationally identical to an unsharded one.
+
+/// Engine-level order preservation: OPE's sign-flip mapping must keep
+/// i64::MIN/MAX, negatives, zero and duplicates in plaintext order for
+/// range search and min/max.
+#[test]
+fn range_search_is_exact_at_i64_boundaries() {
+    use datablinder::core::model::{AggFn, FieldAnnotation, FieldOp, FieldType, ProtectionClass, Schema};
+    use datablinder::docstore::Document;
+
+    let schema = Schema::new("edges").sensitive_field(
+        "score",
+        FieldType::Integer,
+        true,
+        FieldAnnotation::new(ProtectionClass::C5, vec![FieldOp::Insert, FieldOp::Range]).with_aggs(vec![AggFn::Sum]),
+    );
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(0xB0B0);
+    let mut gw = GatewayEngine::new("edges", Kms::generate(&mut rng), channel, 0xB0B0);
+    gw.register_schema(schema).unwrap();
+
+    // Duplicates on both extremes and at zero.
+    let values = [i64::MIN, i64::MIN, i64::MIN + 1, -2, -1, 0, 0, 1, 2, i64::MAX - 1, i64::MAX, i64::MAX];
+    let mut by_value: Vec<(i64, String)> = Vec::new();
+    for v in values {
+        let id = gw.insert("edges", &Document::new("x").with("score", Value::from(v))).unwrap();
+        by_value.push((v, id.to_hex()));
+    }
+
+    let sorted = |docs: Vec<datablinder::docstore::Document>| {
+        let mut ids: Vec<String> = docs.iter().map(|d| d.id().to_string()).collect();
+        ids.sort();
+        ids
+    };
+    for (lo, hi) in [
+        (i64::MIN, i64::MAX),         // everything
+        (i64::MIN, i64::MIN),         // point query at the bottom
+        (i64::MAX, i64::MAX),         // point query at the top
+        (i64::MIN, -1),               // strictly negative
+        (0, i64::MAX),                // non-negative
+        (i64::MIN + 1, i64::MAX - 1), // excluding the extremes
+        (-1, 1),                      // straddling the sign boundary
+    ] {
+        let got = sorted(gw.find_range("edges", "score", &Value::from(lo), &Value::from(hi)).unwrap());
+        let mut expect: Vec<String> =
+            by_value.iter().filter(|(v, _)| (lo..=hi).contains(v)).map(|(_, id)| id.clone()).collect();
+        expect.sort();
+        assert_eq!(got, expect, "range [{lo}, {hi}]");
+    }
+
+    // Cloud-side min/max agree with the plaintext extremes.
+    let min = gw.find_extreme("edges", "score", false).unwrap().unwrap();
+    assert_eq!(min.get("score"), Some(&Value::from(i64::MIN)));
+    let max = gw.find_extreme("edges", "score", true).unwrap().unwrap();
+    assert_eq!(max.get("score"), Some(&Value::from(i64::MAX)));
+}
+
+/// Primitive-level order preservation for both OPE and the two ORE
+/// schemes, over a seeded sample salted with the u64 boundaries and
+/// duplicated points.
+#[test]
+fn ope_and_ore_preserve_order_on_seeded_boundary_sample() {
+    use datablinder::ope::{Ope, OpeParams};
+    use datablinder::ore::{ClwwOre, Comparison, LewiWuOre};
+    use datablinder::primitives::keys::SymmetricKey;
+    use rand::Rng;
+
+    let mut rng = StdRng::seed_from_u64(0x0DE0);
+    let mut sample: Vec<u64> = vec![0, 1, 2, u64::MAX - 1, u64::MAX, 1 << 63, (1 << 63) - 1];
+    sample.extend((0..12).map(|_| rng.gen::<u64>()));
+    sample.push(sample[5]); // a seeded duplicate
+
+    let ope = Ope::new(SymmetricKey::from_bytes(&[7u8; 32]), OpeParams::default());
+    let clww = ClwwOre::new(SymmetricKey::from_bytes(&[8u8; 32]));
+    let lewi = LewiWuOre::new(SymmetricKey::from_bytes(&[9u8; 32]));
+
+    for (i, &a) in sample.iter().enumerate() {
+        for &b in &sample[i..] {
+            let expect = Comparison::from(a.cmp(&b));
+            assert_eq!(Comparison::from(ope.encrypt(a).cmp(&ope.encrypt(b))), expect, "ope order for ({a}, {b})");
+            assert_eq!(ClwwOre::compare(&clww.encrypt(a), &clww.encrypt(b)), expect, "clww order for ({a}, {b})");
+            assert_eq!(
+                LewiWuOre::compare_left_right(&lewi.encrypt_left(a), &lewi.encrypt_right(b)),
+                expect,
+                "lewi-wu order for ({a}, {b})"
+            );
+        }
+    }
+}
+
+/// Additive homomorphism through the whole stack, at the aggregable
+/// boundary: the engine fixed-point-scales by 1000 before Paillier
+/// encryption, so the aggregable domain is ±(i64::MAX / 1000); its two
+/// extremes must cancel exactly, with negatives and duplicates riding
+/// along. (The sums are small, so the f64 comparisons are strict.)
+#[test]
+fn paillier_sum_is_exact_across_sign_boundaries() {
+    use datablinder::bigint::BigUint;
+    use datablinder::core::model::{AggFn, FieldAnnotation, FieldOp, FieldType, ProtectionClass, Schema};
+    use datablinder::docstore::Document;
+    use datablinder::paillier::Keypair;
+
+    let schema = Schema::new("ledger").sensitive_field(
+        "amount",
+        FieldType::Integer,
+        true,
+        FieldAnnotation::new(ProtectionClass::C5, vec![FieldOp::Insert]).with_aggs(vec![AggFn::Sum]),
+    );
+    let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(0x5A5A);
+    let mut gw = GatewayEngine::new("ledger", Kms::generate(&mut rng), channel, 0x5A5A);
+    gw.register_schema(schema).unwrap();
+
+    // The aggregable extremes cancel to 0; negatives and duplicates ride
+    // along for a total of exactly -1.
+    let agg_max = i64::MAX / 1000;
+    let values = [-agg_max, agg_max, 5, -3, 7, 7, -17, 0];
+    for v in values {
+        gw.insert("ledger", &Document::new("x").with("amount", Value::from(v))).unwrap();
+    }
+    let expect: i64 = values.iter().sum::<i64>();
+    let sum = gw.aggregate("ledger", "amount", AggFn::Sum, None).unwrap();
+    assert_eq!(sum, expect as f64, "homomorphic sum across the sign boundary at the aggregable extremes");
+
+    // Primitive level: Enc(a)·Enc(b) decrypts to a+b exactly at the u64
+    // extremes, via BigUint so nothing rounds.
+    let mut rng = StdRng::seed_from_u64(0x5A5B);
+    let kp = Keypair::generate(&mut rng, 512);
+    let a = BigUint::from(u64::MAX);
+    let b = BigUint::from(u64::MAX);
+    let ca = kp.public().encrypt(&mut rng, &a).unwrap();
+    let cb = kp.public().encrypt(&mut rng, &b).unwrap();
+    let sum = kp.decrypt(&kp.public().add(&ca, &cb)).unwrap();
+    let expect = &a + &b;
+    assert_eq!(sum, expect, "Dec(Enc(u64::MAX) + Enc(u64::MAX)) == 2^65 - 2");
+}
+
+/// The sharded key-value store is observationally identical to a
+/// single-shard one under the same seeded op sequence — sharding is a
+/// concurrency tactic, never a semantics change.
+#[test]
+fn sharded_kvstore_matches_unsharded_replay() {
+    use datablinder::kvstore::KvStore;
+    use rand::Rng;
+
+    let sharded = KvStore::new(); // 16 shards by default
+    let single = KvStore::with_shards(1);
+    assert!(sharded.shard_count() > 1);
+    assert_eq!(single.shard_count(), 1);
+
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for op in 0..2_000 {
+        let key = format!("k/{}/{}", rng.gen_range(0..7u32), rng.gen_range(0..40u32)).into_bytes();
+        match rng.gen_range(0..6u32) {
+            0 | 1 => {
+                let val = format!("v{op}").into_bytes();
+                sharded.set(&key, &val);
+                single.set(&key, &val);
+            }
+            2 => {
+                assert_eq!(sharded.get(&key), single.get(&key), "get {}", String::from_utf8_lossy(&key));
+            }
+            3 => {
+                assert_eq!(sharded.del(&key), single.del(&key));
+            }
+            4 => {
+                // Hashes live in their own keyspace: the store enforces
+                // per-key type discipline, identically on both layouts.
+                let hkey = [b"h/".as_slice(), key.as_slice()].concat();
+                let field = format!("f{}", rng.gen_range(0..5u32)).into_bytes();
+                let val = format!("h{op}").into_bytes();
+                assert_eq!(sharded.hset(&hkey, &field, &val).unwrap(), single.hset(&hkey, &field, &val).unwrap());
+                // hgetall order is map-iteration order; compare as multisets.
+                let mut a = sharded.hgetall(&hkey);
+                let mut b = single.hgetall(&hkey);
+                a.sort();
+                b.sort();
+                assert_eq!(a, b);
+            }
+            _ => {
+                let prefix = format!("k/{}/", rng.gen_range(0..7u32)).into_bytes();
+                let mut a = sharded.keys_with_prefix(&prefix);
+                let mut b = single.keys_with_prefix(&prefix);
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "prefix scan {}", String::from_utf8_lossy(&prefix));
+            }
+        }
+    }
+}
