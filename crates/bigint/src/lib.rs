@@ -11,6 +11,9 @@
 //! * [`BigInt`] — a thin signed wrapper used by the extended Euclidean
 //!   algorithm,
 //! * modular arithmetic: [`BigUint::modpow`], [`BigUint::modinv`],
+//! * amortized contexts: [`MontgomeryCtx`] (cached Montgomery domain for
+//!   one odd modulus, allocation-free CIOS kernels) and [`CrtCtx`]
+//!   (two-prime residue systems for RSA/Paillier-style CRT),
 //! * primality testing (Miller–Rabin) and random prime generation in
 //!   [`prime`].
 //!
@@ -40,6 +43,7 @@ pub mod prime;
 mod signed;
 mod uint;
 
+pub use modular::{CrtCtx, MontgomeryCtx};
 pub use signed::{BigInt, Sign};
 pub use uint::BigUint;
 

@@ -1,5 +1,18 @@
 //! Modular arithmetic: exponentiation (with Montgomery multiplication for
-//! odd moduli), inverses, and GCD.
+//! odd moduli), inverses, GCD, and amortized contexts.
+//!
+//! Two context types let hot callers pay precomputation once:
+//!
+//! * [`MontgomeryCtx`] — a long-lived Montgomery domain for one odd
+//!   modulus. Its kernels are CIOS (coarsely integrated operand scanning)
+//!   over fixed-width limb buffers: one multiply-and-reduce pass, no
+//!   intermediate `Vec` growth and no division. [`MontgomeryCtx::modpow`]
+//!   allocates its window table and scratch once per call and reuses them
+//!   across every squaring.
+//! * [`CrtCtx`] — a pair of Montgomery domains for coprime odd moduli
+//!   `m1`, `m2` plus the precomputed `m1^{-1} mod m2`, so residue-system
+//!   exponentiation and recombination (RSA-CRT, Paillier-CRT) avoid ever
+//!   touching the full-width modulus.
 
 use crate::signed::BigInt;
 use crate::uint::BigUint;
@@ -49,17 +62,39 @@ impl BigUint {
 
     /// Modular addition: `(self + rhs) mod m`.
     pub fn modadd(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
-        &(&(self % m) + &(rhs % m)) % m
+        (self % m).modadd_reduced(&(rhs % m), m)
+    }
+
+    /// Modular addition fast path for operands already reduced mod `m`:
+    /// one add and at most one subtract, no division.
+    ///
+    /// Callers must guarantee `self < m` and `rhs < m` (checked only in
+    /// debug builds).
+    pub fn modadd_reduced(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        debug_assert!(self < m && rhs < m, "modadd_reduced operands must be reduced");
+        let s = self + rhs;
+        if &s >= m {
+            &s - m
+        } else {
+            s
+        }
     }
 
     /// Modular subtraction: `(self - rhs) mod m`, wrapping correctly.
     pub fn modsub(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
-        let a = self % m;
-        let b = rhs % m;
-        if a >= b {
-            &a - &b
+        (self % m).modsub_reduced(&(rhs % m), m)
+    }
+
+    /// Modular subtraction fast path for operands already reduced mod `m`.
+    ///
+    /// Callers must guarantee `self < m` and `rhs < m` (checked only in
+    /// debug builds).
+    pub fn modsub_reduced(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        debug_assert!(self < m && rhs < m, "modsub_reduced operands must be reduced");
+        if self >= rhs {
+            self - rhs
         } else {
-            &(&a + m) - &b
+            &(self + m) - rhs
         }
     }
 
@@ -72,7 +107,9 @@ impl BigUint {
     ///
     /// Uses Montgomery multiplication for odd moduli (the common case for
     /// RSA/Paillier) and square-and-multiply with explicit reduction
-    /// otherwise.
+    /// otherwise. Builds a fresh [`MontgomeryCtx`] per call — hot callers
+    /// exponentiating repeatedly under one modulus should hold a context
+    /// and use [`BigUint::modpow_ctx`] instead.
     ///
     /// # Panics
     ///
@@ -92,15 +129,23 @@ impl BigUint {
         // Fallback for even moduli: plain square-and-multiply.
         let mut base = self % m;
         let mut result = BigUint::one();
-        for i in 0..exp.bits() {
+        let bits = exp.bits();
+        for i in 0..bits {
             if exp.bit(i) {
                 result = result.modmul(&base, m);
             }
-            if i + 1 < exp.bits() {
+            if i + 1 < bits {
                 base = base.modmul(&base, m);
             }
         }
         result
+    }
+
+    /// Modular exponentiation through a caller-owned [`MontgomeryCtx`]:
+    /// `self^exp mod ctx.modulus()`, skipping the per-call context build
+    /// (the `R² mod n` division) that [`BigUint::modpow`] pays.
+    pub fn modpow_ctx(&self, exp: &BigUint, ctx: &MontgomeryCtx) -> BigUint {
+        ctx.modpow(self, exp)
     }
 
     /// Modular inverse: finds `x` with `self * x ≡ 1 (mod m)`.
@@ -124,21 +169,53 @@ impl BigUint {
     }
 }
 
+/// Fixed-width limb comparison: `a >= b`, both exactly `k` limbs.
+fn ge_fixed(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// Fixed-width in-place subtraction `a -= b`, returning the final borrow
+/// (for CIOS results the borrow cancels against the overflow limb).
+fn sub_fixed(a: &mut [u64], b: &[u64]) -> u64 {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let (x, b1) = a[i].overflowing_sub(b[i]);
+        let (x, b2) = x.overflowing_sub(borrow);
+        a[i] = x;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    borrow
+}
+
 /// Montgomery-form modular arithmetic context for an odd modulus.
 ///
-/// Precomputes `n' = -n^{-1} mod 2^64` and `R^2 mod n` so repeated
-/// multiplications avoid full divisions.
+/// Precomputes `n' = -n^{-1} mod 2^64`, `R² mod n` and `R mod n` (the
+/// Montgomery form of 1) so repeated multiplications avoid full divisions.
+/// All internal values are fixed-width `k`-limb buffers (`k` = limb count
+/// of `n`), letting the CIOS kernel run in place with caller-provided
+/// scratch — no per-multiply allocation.
+#[derive(Clone, Debug)]
 pub struct MontgomeryCtx {
     n: BigUint,
     n_limbs: usize,
     /// -n^{-1} mod 2^64
     n_prime: u64,
-    /// R^2 mod n where R = 2^(64 * n_limbs)
-    r2: BigUint,
+    /// R² mod n where R = 2^(64 * n_limbs), padded to `n_limbs`.
+    r2: Vec<u64>,
+    /// R mod n — the Montgomery form of 1, padded to `n_limbs`.
+    one: Vec<u64>,
 }
 
 impl MontgomeryCtx {
     /// Creates a context for odd modulus `n`.
+    ///
+    /// This is the expensive step (one full-width division for `R² mod n`);
+    /// hold the context wherever the modulus is long-lived.
     ///
     /// # Panics
     ///
@@ -155,72 +232,120 @@ impl MontgomeryCtx {
         debug_assert_eq!(n0.wrapping_mul(inv), 1);
         let n_prime = inv.wrapping_neg();
         let r = &BigUint::one() << (64 * n_limbs);
-        let r2 = &(&r * &r) % n;
-        MontgomeryCtx { n: n.clone(), n_limbs, n_prime, r2 }
+        let r2 = pad(&(&(&r * &r) % n), n_limbs);
+        let one = pad(&(&r % n), n_limbs);
+        MontgomeryCtx { n: n.clone(), n_limbs, n_prime, r2, one }
     }
 
-    /// Montgomery reduction of `t` (up to 2n_limbs wide): returns `t * R^{-1} mod n`.
-    fn redc(&self, t: &BigUint) -> BigUint {
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// CIOS Montgomery multiplication: `out = a * b * R^{-1} mod n`.
+    ///
+    /// `a`, `b` and `out` are `k`-limb buffers holding values `< n`;
+    /// `t` is `k + 2` limbs of scratch. One fused multiply-and-reduce
+    /// pass — no intermediate product, no allocation.
+    fn mont_mul_into(&self, a: &[u64], b: &[u64], out: &mut [u64], t: &mut [u64]) {
         let k = self.n_limbs;
-        let mut a = t.limbs.clone();
-        a.resize(2 * k + 1, 0);
-        for i in 0..k {
-            let m = a[i].wrapping_mul(self.n_prime);
-            // a += m * n << (64*i)
+        debug_assert!(a.len() == k && b.len() == k && out.len() == k && t.len() == k + 2);
+        let nl = &self.n.limbs;
+        t.fill(0);
+        for &ai in a.iter() {
+            // t += ai * b
             let mut carry: u128 = 0;
             for j in 0..k {
-                let s = a[i + j] as u128 + m as u128 * self.n.limbs[j] as u128 + carry;
-                a[i + j] = s as u64;
+                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
                 carry = s >> 64;
             }
-            let mut idx = i + k;
-            while carry != 0 {
-                let s = a[idx] as u128 + carry;
-                a[idx] = s as u64;
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+            // t += m * n with m killing the low limb, then t >>= 64.
+            let m = t[0].wrapping_mul(self.n_prime);
+            let s0 = t[0] as u128 + m as u128 * nl[0] as u128;
+            debug_assert_eq!(s0 as u64, 0);
+            let mut carry = s0 >> 64;
+            for j in 1..k {
+                let s = t[j] as u128 + m as u128 * nl[j] as u128 + carry;
+                t[j - 1] = s as u64;
                 carry = s >> 64;
-                idx += 1;
             }
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1] + (s >> 64) as u64;
+            t[k + 1] = 0;
         }
-        let mut out = BigUint::from_limbs(a[k..].to_vec());
-        if out >= self.n {
-            out = &out - &self.n;
+        // CIOS leaves a value < 2n: at most one subtraction, whose borrow
+        // consumes the overflow limb t[k].
+        if t[k] != 0 || ge_fixed(&t[..k], nl) {
+            let borrow = sub_fixed(&mut t[..k], nl);
+            debug_assert_eq!(borrow, t[k], "CIOS result out of the [0, 2n) range");
         }
-        out
+        out.copy_from_slice(&t[..k]);
     }
 
-    /// Converts into Montgomery form.
-    fn to_mont(&self, x: &BigUint) -> BigUint {
-        self.redc(&(&(x % &self.n) * &self.r2))
+    /// Converts `x` (any width) into a `k`-limb Montgomery-form buffer.
+    fn to_mont_into(&self, x: &BigUint, out: &mut [u64], t: &mut [u64]) {
+        let reduced = pad(&(x % &self.n), self.n_limbs);
+        self.mont_mul_into(&reduced, &self.r2, out, t);
     }
 
-    /// Multiplies two Montgomery-form values.
-    fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
-        self.redc(&(a * b))
+    /// `(a * b) mod n` through the Montgomery domain: two CIOS passes
+    /// instead of a full multiply plus division. `a` and `b` must already
+    /// be reduced mod `n`.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        debug_assert!(a < &self.n && b < &self.n, "mul_mod operands must be reduced");
+        if self.n.is_one() {
+            return BigUint::zero();
+        }
+        let k = self.n_limbs;
+        let mut t = vec![0u64; k + 2];
+        let mut am = vec![0u64; k];
+        // a * R (Montgomery form of a) ...
+        self.mont_mul_into(&pad(a, k), &self.r2, &mut am, &mut t);
+        // ... times b, leaving the domain again: a*R * b * R^{-1} = a*b.
+        let mut out = vec![0u64; k];
+        self.mont_mul_into(&am, &pad(b, k), &mut out, &mut t);
+        BigUint::from_limbs(out)
     }
 
     /// `base^exp mod n` using a 4-bit fixed window.
+    ///
+    /// The window table and both scratch buffers are allocated once per
+    /// call and reused across every squaring/multiplication, so the cost
+    /// per exponent bit is one allocation-free CIOS pass.
     pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if self.n.is_one() {
+            return BigUint::zero();
+        }
         if exp.is_zero() {
             return BigUint::one();
         }
-        let mone = self.redc(&self.r2); // R mod n = Montgomery form of 1
-        let mbase = self.to_mont(base);
+        let k = self.n_limbs;
+        let mut t = vec![0u64; k + 2];
+        let mut mbase = vec![0u64; k];
+        self.to_mont_into(base, &mut mbase, &mut t);
 
-        // Precompute mbase^0..mbase^15 in Montgomery form.
-        let mut table = Vec::with_capacity(16);
-        table.push(mone.clone());
+        // Precompute mbase^0..mbase^15 in Montgomery form, flat table.
+        let mut table = vec![0u64; 16 * k];
+        table[..k].copy_from_slice(&self.one);
         for i in 1..16 {
-            let prev: &BigUint = &table[i - 1];
-            table.push(self.mont_mul(prev, &mbase));
+            let (prev, cur) = table.split_at_mut(i * k);
+            self.mont_mul_into(&prev[(i - 1) * k..], &mbase, &mut cur[..k], &mut t);
         }
 
         let bits = exp.bits();
-        let mut acc = mone;
+        let mut acc = self.one.clone();
+        let mut tmp = vec![0u64; k];
         let mut i = bits;
         while i > 0 {
             let take = i.min(4);
             for _ in 0..take {
-                acc = self.mont_mul(&acc, &acc);
+                self.mont_mul_into(&acc, &acc, &mut tmp, &mut t);
+                std::mem::swap(&mut acc, &mut tmp);
             }
             i -= take;
             let mut window = 0usize;
@@ -228,10 +353,105 @@ impl MontgomeryCtx {
                 window = (window << 1) | exp.bit(i + take - 1 - b) as usize;
             }
             if window != 0 {
-                acc = self.mont_mul(&acc, &table[window]);
+                self.mont_mul_into(&acc, &table[window * k..(window + 1) * k], &mut tmp, &mut t);
+                std::mem::swap(&mut acc, &mut tmp);
             }
         }
-        self.redc(&acc)
+        // Leave the Montgomery domain: multiply by the plain value 1.
+        tmp.fill(0);
+        tmp[0] = 1;
+        let mut out = vec![0u64; k];
+        self.mont_mul_into(&acc, &tmp, &mut out, &mut t);
+        BigUint::from_limbs(out)
+    }
+}
+
+/// Pads a value to exactly `k` little-endian limbs.
+fn pad(x: &BigUint, k: usize) -> Vec<u64> {
+    debug_assert!(x.limbs.len() <= k);
+    let mut v = x.limbs.clone();
+    v.resize(k, 0);
+    v
+}
+
+/// Residue-system context for a two-prime (or any coprime odd pair)
+/// modulus `m1 · m2`: one [`MontgomeryCtx`] per half plus the precomputed
+/// Garner coefficient `m1^{-1} mod m2`.
+///
+/// Exponentiating separately mod `m1` and `m2` and recombining costs
+/// roughly a quarter of a full-width exponentiation when `m1` and `m2`
+/// are half the width of the product — the classic RSA/Paillier CRT
+/// speedup.
+#[derive(Clone, Debug)]
+pub struct CrtCtx {
+    ctx1: MontgomeryCtx,
+    ctx2: MontgomeryCtx,
+    /// Garner coefficient: `m1^{-1} mod m2`.
+    m1_inv_mod_m2: BigUint,
+    /// `m1 * m2`, the recombined modulus.
+    modulus: BigUint,
+}
+
+impl CrtCtx {
+    /// Builds a context for coprime odd moduli `m1`, `m2`.
+    ///
+    /// # Errors
+    ///
+    /// [`BigIntError::NotInvertible`] when the moduli are not coprime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either modulus is even or zero (Montgomery requirement).
+    pub fn new(m1: &BigUint, m2: &BigUint) -> Result<CrtCtx, BigIntError> {
+        let m1_inv_mod_m2 = m1.modinv(m2)?;
+        Ok(CrtCtx { ctx1: MontgomeryCtx::new(m1), ctx2: MontgomeryCtx::new(m2), m1_inv_mod_m2, modulus: m1 * m2 })
+    }
+
+    /// The recombined modulus `m1 · m2`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// The Montgomery context for `m1`.
+    pub fn ctx1(&self) -> &MontgomeryCtx {
+        &self.ctx1
+    }
+
+    /// The Montgomery context for `m2`.
+    pub fn ctx2(&self) -> &MontgomeryCtx {
+        &self.ctx2
+    }
+
+    /// Exponentiates in both residues: `(base^e1 mod m1, base^e2 mod m2)`.
+    ///
+    /// The exponents are per-residue so callers can apply Fermat/Carmichael
+    /// reductions (`e mod p-1`, …) the context cannot know about.
+    pub fn modpow2(&self, base: &BigUint, e1: &BigUint, e2: &BigUint) -> (BigUint, BigUint) {
+        (self.ctx1.modpow(base, e1), self.ctx2.modpow(base, e2))
+    }
+
+    /// Garner recombination: the unique `x < m1·m2` with `x ≡ x1 (mod m1)`
+    /// and `x ≡ x2 (mod m2)`. `x1` and `x2` must be reduced residues.
+    pub fn combine(&self, x1: &BigUint, x2: &BigUint) -> BigUint {
+        debug_assert!(x1 < self.ctx1.modulus() && x2 < self.ctx2.modulus());
+        let m2 = self.ctx2.modulus();
+        let h = (x1 % m2).modsub_reduced_from(x2, m2);
+        let h = self.ctx2.mul_mod(&h, &self.m1_inv_mod_m2);
+        x1 + &(self.ctx1.modulus() * &h)
+    }
+
+    /// Full CRT exponentiation: `combine(base^e1 mod m1, base^e2 mod m2)`.
+    pub fn modpow(&self, base: &BigUint, e1: &BigUint, e2: &BigUint) -> BigUint {
+        let (x1, x2) = self.modpow2(base, e1, e2);
+        self.combine(&x1, &x2)
+    }
+}
+
+impl BigUint {
+    /// `rhs - self mod m` with both operands reduced — helper for Garner
+    /// recombination where the subtrahend is the receiver.
+    fn modsub_reduced_from(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        rhs.modsub_reduced(self, m)
     }
 }
 
@@ -290,6 +510,9 @@ mod tests {
     #[test]
     fn modpow_mod_one_is_zero() {
         assert_eq!(big(5).modpow(&big(3), &big(1)), BigUint::zero());
+        let ctx = MontgomeryCtx::new(&BigUint::one());
+        assert_eq!(ctx.modpow(&big(5), &big(3)), BigUint::zero());
+        assert_eq!(ctx.modpow(&big(5), &BigUint::zero()), BigUint::zero());
     }
 
     #[test]
@@ -313,6 +536,63 @@ mod tests {
     }
 
     #[test]
+    fn cached_ctx_matches_per_call() {
+        let m = BigUint::from_limbs(vec![0xFFFF_FFFF_FFFF_FFC5, 0xFFFF_FFFF_FFFF_FFFF, 1]);
+        let ctx = MontgomeryCtx::new(&m);
+        for (b, e) in [(3u64, 5u64), (0, 9), (12345, 0), (u64::MAX, 65537)] {
+            let base = BigUint::from(b);
+            let exp = BigUint::from(e);
+            assert_eq!(base.modpow_ctx(&exp, &ctx), base.modpow(&exp, &m), "{b}^{e}");
+        }
+        // Bases at and above the modulus reduce correctly.
+        let over = &m + &big(7);
+        assert_eq!(over.modpow_ctx(&big(3), &ctx), big(7).modpow(&big(3), &m));
+        let top = &m - &BigUint::one();
+        assert_eq!(top.modpow_ctx(&big(2), &ctx), BigUint::one(), "(n-1)^2 ≡ 1 mod n");
+    }
+
+    #[test]
+    fn mul_mod_matches_modmul() {
+        let m = BigUint::from_limbs(vec![0xFFFF_FFFF_FFFF_FFC5, 0xFFFF_FFFF_FFFF_FFFF, 1]);
+        let ctx = MontgomeryCtx::new(&m);
+        let a = &m - &big(12345);
+        let b = &m - &big(1);
+        assert_eq!(ctx.mul_mod(&a, &b), a.modmul(&b, &m));
+        assert_eq!(ctx.mul_mod(&BigUint::zero(), &b), BigUint::zero());
+        assert_eq!(ctx.mul_mod(&BigUint::one(), &b), b);
+    }
+
+    #[test]
+    fn crt_ctx_matches_direct_modpow() {
+        let m1 = big(1000003);
+        let m2 = big(1000033);
+        let crt = CrtCtx::new(&m1, &m2).unwrap();
+        let n = &m1 * &m2;
+        assert_eq!(crt.modulus(), &n);
+        let base = big(987654321);
+        let e = big(65537);
+        // Same exponent on both halves == plain exponentiation mod m1*m2.
+        assert_eq!(crt.modpow(&base, &e, &e), base.modpow(&e, &n));
+    }
+
+    #[test]
+    fn crt_combine_recovers_residues() {
+        let m1 = big(101);
+        let m2 = big(103);
+        let crt = CrtCtx::new(&m1, &m2).unwrap();
+        for x in [0u128, 1, 100, 5000, 10402] {
+            let x1 = &big(x) % &m1;
+            let x2 = &big(x) % &m2;
+            assert_eq!(crt.combine(&x1, &x2), big(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn crt_rejects_non_coprime() {
+        assert!(CrtCtx::new(&big(15), &big(21)).is_err());
+    }
+
+    #[test]
     fn modinv_roundtrip() {
         let m = big(1000000007);
         for a in [2u128, 3, 999999999, 123456] {
@@ -331,6 +611,18 @@ mod tests {
     fn modsub_wraps() {
         assert_eq!(big(3).modsub(&big(5), &big(7)), big(5));
         assert_eq!(big(5).modsub(&big(3), &big(7)), big(2));
+        // Unreduced inputs still work through the general entry points.
+        assert_eq!(big(10).modsub(&big(26), &big(7)), big(5));
+        assert_eq!(big(12).modadd(&big(9), &big(7)), big(0));
+    }
+
+    #[test]
+    fn reduced_fast_paths_match_general() {
+        let m = big(1000000007);
+        for (a, b) in [(0u128, 0u128), (1, 999999999), (1000000006, 1000000006), (123, 456)] {
+            assert_eq!(big(a).modadd_reduced(&big(b), &m), big(a).modadd(&big(b), &m), "add {a}+{b}");
+            assert_eq!(big(a).modsub_reduced(&big(b), &m), big(a).modsub(&big(b), &m), "sub {a}-{b}");
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use rand::Rng;
 
+use crate::modular::MontgomeryCtx;
 use crate::uint::BigUint;
 
 /// Small primes used for fast trial division before Miller–Rabin.
@@ -45,9 +46,12 @@ pub fn is_prime<R: Rng + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
     let n_minus_1 = n.sub_u64(1);
     let two = BigUint::from(2u64);
     let upper = &n_minus_1 - &BigUint::one(); // sample witnesses in [2, n-2]
+                                              // One Montgomery context amortized across all 40 witness rounds; `n` is
+                                              // odd here (even values were rejected by trial division above).
+    let ctx = MontgomeryCtx::new(n);
     for _ in 0..MR_ROUNDS {
         let a = &BigUint::random_below(rng, &(&upper - &two)) + &two;
-        if !miller_rabin_round(n, &n_minus_1, &d, s, &a) {
+        if !miller_rabin_round(&ctx, &n_minus_1, &d, s, &a) {
             return false;
         }
     }
@@ -115,13 +119,15 @@ fn decompose(n: &BigUint) -> (BigUint, usize) {
 }
 
 /// One Miller–Rabin round with witness `a`; `true` means "probably prime".
-fn miller_rabin_round(n: &BigUint, n_minus_1: &BigUint, d: &BigUint, s: usize, a: &BigUint) -> bool {
-    let mut x = a.modpow(d, n);
+/// Takes the candidate's cached Montgomery context so the per-witness
+/// exponentiation skips the context build.
+fn miller_rabin_round(ctx: &MontgomeryCtx, n_minus_1: &BigUint, d: &BigUint, s: usize, a: &BigUint) -> bool {
+    let mut x = ctx.modpow(a, d);
     if x.is_one() || &x == n_minus_1 {
         return true;
     }
     for _ in 1..s {
-        x = x.modmul(&x, n);
+        x = ctx.mul_mod(&x, &x);
         if &x == n_minus_1 {
             return true;
         }

@@ -391,11 +391,12 @@ impl GatewayEngine {
         };
         // Build outside the tactics write lock (lock order registry → rng);
         // a racing builder's instance is discarded by `or_insert_with`.
-        let instance = {
+        let mut instance = {
             let registry = self.registry.read();
             let mut rng = self.rng.lock();
             registry.build_gateway(tactic, &ctx, &mut *rng)?
         };
+        instance.attach_recorder(&self.obs);
         self.tactics.write().entry(key).or_insert_with(|| Arc::new(Mutex::new(instance)));
         Ok(())
     }
@@ -1396,11 +1397,12 @@ impl GatewayEngine {
             kms: self.kms.clone(),
         };
         let new_version = self.kms.rotate(&ctx.key_scope(&payload_tactic));
-        let fresh = {
+        let mut fresh = {
             let registry = self.registry.read();
             let mut rng = self.rng.lock();
             registry.build_gateway(&payload_tactic, &ctx, &mut *rng)?
         };
+        fresh.attach_recorder(&self.obs);
         self.tactics.write().insert(Self::tactic_key(schema_name, field, &payload_tactic), Arc::new(Mutex::new(fresh)));
 
         // 3. Re-protect each value and update the stored documents.
@@ -1482,11 +1484,12 @@ impl GatewayEngine {
             kms: self.kms.clone(),
         };
         let new_version = self.kms.rotate(&ctx.key_scope(&tactic));
-        let fresh = {
+        let mut fresh = {
             let registry = self.registry.read();
             let mut rng = self.rng.lock();
             registry.build_gateway(&tactic, &ctx, &mut *rng)?
         };
+        fresh.attach_recorder(&self.obs);
         self.tactics.write().insert(Self::tactic_key(schema_name, field, &tactic), Arc::new(Mutex::new(fresh)));
 
         // 4. Re-index everything, batched.

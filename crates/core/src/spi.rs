@@ -26,6 +26,7 @@
 //! BoolQuery, AggFunction) are routes handled by [`CloudTactic::handle`].
 
 use datablinder_docstore::{Document, Value};
+use datablinder_obs::Recorder;
 use datablinder_sse::DocId;
 use rand::RngCore;
 
@@ -70,6 +71,12 @@ pub type DnfLiterals = Vec<Vec<(String, Value)>>;
 pub trait GatewayTactic: Send {
     /// The tactic's descriptor (drives selection and Table 2).
     fn descriptor(&self) -> TacticDescriptor;
+
+    /// Called by the engine right after the instance is built, handing it
+    /// the gateway's observability [`Recorder`]. Tactics with long-lived
+    /// amortized state (e.g. the Paillier randomizer pool) mirror their
+    /// counters into it; the default ignores it.
+    fn attach_recorder(&mut self, recorder: &Recorder) {}
 
     /// Protects a field value for insertion: produces stored shadow fields
     /// and secure-index calls. (Insertion + SecureEnc interfaces.)

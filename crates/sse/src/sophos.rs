@@ -23,8 +23,9 @@
 //! revocation list on top when needed (the middleware does this).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use datablinder_bigint::{prime, BigUint};
+use datablinder_bigint::{prime, BigUint, MontgomeryCtx};
 use datablinder_kvstore::KvStore;
 use datablinder_primitives::keys::SymmetricKey;
 use datablinder_primitives::prf::{HmacPrf, Prf};
@@ -35,16 +36,37 @@ use crate::encoding::{Reader, Writer};
 use crate::{DocId, SseError};
 
 /// The public half of the trapdoor permutation (cloud side).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Caches a [`MontgomeryCtx`] for `N` behind an `Arc`, so the server's
+/// chain walk (`count` successive `forward` calls per search) pays the
+/// Montgomery domain setup once per key, not once per permutation step.
+#[derive(Debug, Clone)]
 pub struct SophosPublicKey {
     n: BigUint,
     e: BigUint,
+    ctx: Arc<MontgomeryCtx>,
 }
 
+impl PartialEq for SophosPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for SophosPublicKey {}
+
 impl SophosPublicKey {
+    /// Assembles a key from an odd RSA modulus, building the cached
+    /// Montgomery context once.
+    fn assemble(n: BigUint, e: BigUint) -> Self {
+        debug_assert!(n.is_odd());
+        let ctx = Arc::new(MontgomeryCtx::new(&n));
+        SophosPublicKey { n, e, ctx }
+    }
+
     /// Applies the public direction `π`.
     pub fn forward(&self, x: &BigUint) -> BigUint {
-        x.modpow(&self.e, &self.n)
+        self.ctx.modpow(x, &self.e)
     }
 
     /// Modulus width in bytes (serialization width for search tokens).
@@ -63,13 +85,17 @@ impl SophosPublicKey {
     ///
     /// # Errors
     ///
-    /// [`SseError::Malformed`] on framing errors.
+    /// [`SseError::Malformed`] on framing errors or a modulus that cannot
+    /// be an RSA modulus (zero or even).
     pub fn decode(buf: &[u8]) -> Result<Self, SseError> {
         let mut r = Reader::new(buf);
         let n = BigUint::from_bytes_be(&r.bytes()?);
         let e = BigUint::from_bytes_be(&r.bytes()?);
         r.finish()?;
-        Ok(SophosPublicKey { n, e })
+        if n.is_zero() || n.is_even() {
+            return Err(SseError::Malformed("sophos modulus"));
+        }
+        Ok(SophosPublicKey::assemble(n, e))
     }
 }
 
@@ -90,7 +116,7 @@ impl SophosKeypair {
             let phi = (&p - &BigUint::one()) * (&q - &BigUint::one());
             let e = BigUint::from(65537u64);
             if let Ok(d) = e.modinv(&phi) {
-                return SophosKeypair { public: SophosPublicKey { n, e }, d };
+                return SophosKeypair { public: SophosPublicKey::assemble(n, e), d };
             }
         }
     }
@@ -100,9 +126,10 @@ impl SophosKeypair {
         &self.public
     }
 
-    /// Applies the trapdoor direction `π^{-1}`.
+    /// Applies the trapdoor direction `π^{-1}`, through the cached
+    /// Montgomery context.
     pub fn backward(&self, x: &BigUint) -> BigUint {
-        x.modpow(&self.d, &self.public.n)
+        self.public.ctx.modpow(x, &self.d)
     }
 
     /// Serializes (private material included — KMS storage only).
@@ -123,7 +150,10 @@ impl SophosKeypair {
         let e = BigUint::from_bytes_be(&r.bytes()?);
         let d = BigUint::from_bytes_be(&r.bytes()?);
         r.finish()?;
-        Ok(SophosKeypair { public: SophosPublicKey { n, e }, d })
+        if n.is_zero() || n.is_even() {
+            return Err(SseError::Malformed("sophos modulus"));
+        }
+        Ok(SophosKeypair { public: SophosPublicKey::assemble(n, e), d })
     }
 }
 

@@ -32,6 +32,17 @@ cargo run --release -q -p datablinder-bench --bin fig5_throughput -- \
     grep -q '"name":"cloud.kv.shard.0.contention"' ||
     { echo "shared-gateway smoke: per-shard counters missing from snapshot JSON" >&2; exit 1; }
 
+echo "==> crypto-bench smoke: fig_crypto --quick emits BENCH_crypto.json with CRT no slower than plain decrypt"
+CRYPTO_JSON="$(mktemp -t BENCH_crypto.XXXXXX.json)"
+cargo run --release -q -p datablinder-bench --bin fig_crypto -- --quick --out "$CRYPTO_JSON"
+[ -s "$CRYPTO_JSON" ] ||
+    { echo "crypto smoke: BENCH_crypto.json not produced" >&2; exit 1; }
+grep -q '"crt_not_slower":true' "$CRYPTO_JSON" ||
+    { echo "crypto smoke: CRT decrypt slower than plain-lambda decrypt" >&2; cat "$CRYPTO_JSON" >&2; exit 1; }
+grep -q '"cached_encrypt_faster":true' "$CRYPTO_JSON" ||
+    { echo "crypto smoke: amortized encryption not faster than per-call-context path" >&2; cat "$CRYPTO_JSON" >&2; exit 1; }
+rm -f "$CRYPTO_JSON"
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
