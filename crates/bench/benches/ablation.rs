@@ -81,7 +81,7 @@ fn bench_registration(c: &mut Criterion) {
             let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
             let mut rng = StdRng::seed_from_u64(1);
             let kms = datablinder_kms::Kms::generate(&mut rng);
-            let mut gw = datablinder_core::gateway::GatewayEngine::new("abl", kms, channel, 1);
+            let gw = datablinder_core::gateway::GatewayEngine::new("abl", kms, channel, 1);
             gw.register_schema(bench_schema()).unwrap();
         });
     });

@@ -90,7 +90,7 @@ fn doc(i: usize) -> Document {
 
 /// Mean nanoseconds per insert over `MEASURE_OPS` fresh documents.
 fn measure_insert(config: Config) -> f64 {
-    let mut gw = gateway(config);
+    let gw = gateway(config);
     let t0 = Instant::now();
     for i in 0..MEASURE_OPS {
         gw.insert("notes", &doc(PRIME_DOCS + i)).unwrap();
@@ -100,7 +100,7 @@ fn measure_insert(config: Config) -> f64 {
 
 /// Mean nanoseconds per equality search over `MEASURE_OPS` queries.
 fn measure_query(config: Config) -> f64 {
-    let mut gw = gateway(config);
+    let gw = gateway(config);
     let t0 = Instant::now();
     for i in 0..MEASURE_OPS {
         let hits = gw.find_equal("notes", "owner", &Value::from(format!("o{}", i % OWNERS))).unwrap();
@@ -114,7 +114,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.sample_size(10);
     for config in [Config::Baseline, Config::Disabled, Config::Enabled] {
         group.bench_function(config.label(), |b| {
-            let mut gw = gateway(config);
+            let gw = gateway(config);
             let mut i = PRIME_DOCS;
             b.iter(|| {
                 i += 1;
@@ -128,7 +128,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.sample_size(10);
     for config in [Config::Baseline, Config::Disabled, Config::Enabled] {
         group.bench_function(config.label(), |b| {
-            let mut gw = gateway(config);
+            let gw = gateway(config);
             let mut i = 0usize;
             b.iter(|| {
                 i += 1;

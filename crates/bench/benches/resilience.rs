@@ -50,7 +50,7 @@ fn gateway_at(rate: f64, seed: u64) -> GatewayEngine {
         ..ResilienceConfig::default()
     };
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut gw =
+    let gw =
         GatewayEngine::with_resilience("bench", Kms::generate(&mut rng), ResilientChannel::new(channel, config), seed);
     gw.register_schema(schema()).unwrap();
     for i in 0..DOCS {
@@ -63,7 +63,7 @@ fn bench_search_under_faults(c: &mut Criterion) {
     let mut g = c.benchmark_group("resilience_search");
     g.sample_size(20);
     for (label, rate) in RATES {
-        let mut gw = gateway_at(rate, 0xBE6C);
+        let gw = gateway_at(rate, 0xBE6C);
         let mut i = 0usize;
         g.bench_function(label, |b| {
             b.iter(|| {
@@ -76,7 +76,7 @@ fn bench_search_under_faults(c: &mut Criterion) {
 
     // Wall-clock tail summary, outside Criterion's sampling.
     for (label, rate) in RATES {
-        let mut gw = gateway_at(rate, 0xBE6C);
+        let gw = gateway_at(rate, 0xBE6C);
         let mut h = LatencyHistogram::new();
         let start = Instant::now();
         for i in 0..500usize {

@@ -20,12 +20,45 @@
 //! `--workers`), prints the throughput scaling table, and ends with the
 //! top rung's observability snapshot — per-shard contention counters and
 //! pool gauges included — as a trailing JSON line.
+//!
+//! With `--cluster` it instead runs the replicated-cluster node-count
+//! ladder (1/2/3/5 nodes, R = min(3, N), W = ⌊R/2⌋+1, one node killed and
+//! rejoined mid-run where the quorum tolerates it), prints the per-rung
+//! quorum-write/read throughput table, and writes `BENCH_cluster.json`
+//! (path via `--out`):
+//!
+//! ```sh
+//! cargo run --release -p datablinder-bench --bin fig5_throughput -- --cluster --requests 500
+//! ```
 
-use datablinder_bench::{run_all_scenarios, run_shared_gateway, EvalConfig};
+use datablinder_bench::{render_cluster_json, run_all_scenarios, run_cluster, run_shared_gateway, EvalConfig};
 use datablinder_workload::report::{render_figure5, render_snapshot, render_snapshot_json};
 
 fn main() {
     let cfg = EvalConfig::from_args();
+    if cfg.cluster {
+        let rungs = run_cluster(cfg);
+        println!("\ncluster ladder: {} quorum writes + reads per rung\n", cfg.requests.max(2));
+        println!("nodes  R  W   writes/s     reads/s   kills  rejoins  repairs");
+        for r in &rungs {
+            println!(
+                "{:<5}  {}  {}  {:>9.1}  {:>10.1}   {:>5}  {:>7}  {:>7}",
+                r.nodes,
+                r.replication,
+                r.write_quorum,
+                r.quorum_write_per_s,
+                r.quorum_read_per_s,
+                r.kills,
+                r.rejoins,
+                r.read_repairs
+            );
+        }
+        let json = render_cluster_json(&rungs);
+        std::fs::write(cfg.cluster_out, &json).expect("write BENCH_cluster.json");
+        eprintln!("wrote {}", cfg.cluster_out);
+        println!("\n{json}");
+        return;
+    }
     if cfg.shared_gateway {
         let reports = run_shared_gateway(cfg);
         println!(

@@ -93,7 +93,7 @@ fn main() {
     let reps = iters * rounds;
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
     let mut kernels: Vec<Kernel> = Vec::new();
-    let mut push = |kernels: &mut Vec<Kernel>, name: &'static str, iters: u64, ns: f64| {
+    let push = |kernels: &mut Vec<Kernel>, name: &'static str, iters: u64, ns: f64| {
         println!("{name:<24} {ns:>12.0} ns/op  ({iters} iters, min of rounds)");
         kernels.push(Kernel { name, iters, ns_per_op: ns });
     };
@@ -214,7 +214,7 @@ fn main() {
     let cached_encrypt_faster = ns_pooled < ns_legacy && ns_cached < ns_legacy * 1.10;
 
     let mut json = String::new();
-    json.push_str("{");
+    json.push('{');
     json.push_str("\"bench\":\"crypto_kernels\",");
     json.push_str(&format!("\"quick\":{},", args.quick));
     json.push_str(&format!("\"modulus_bits\":{},", args.bits));

@@ -50,6 +50,12 @@ pub struct EvalConfig {
     /// comparison: ONE gateway engine serves every worker, at 1, 2, 4, …
     /// workers up to [`EvalConfig::workers`]. See [`run_shared_gateway`].
     pub shared_gateway: bool,
+    /// Run the replicated-cluster node-count ladder instead: quorum-write
+    /// and quorum-read throughput at 1/2/3/5 nodes, with a node killed and
+    /// rejoined mid-run on the multi-node rungs. See [`run_cluster`].
+    pub cluster: bool,
+    /// Output path for the cluster ladder's `BENCH_cluster.json`.
+    pub cluster_out: &'static str,
 }
 
 impl Default for EvalConfig {
@@ -62,6 +68,8 @@ impl Default for EvalConfig {
             net: "metro",
             observe: false,
             shared_gateway: false,
+            cluster: false,
+            cluster_out: "BENCH_cluster.json",
         }
     }
 }
@@ -93,6 +101,12 @@ impl EvalConfig {
                 }
                 "--observe" => cfg.observe = true,
                 "--shared-gateway" => cfg.shared_gateway = true,
+                "--cluster" => cfg.cluster = true,
+                "--out" => {
+                    if let Some(path) = args.next() {
+                        cfg.cluster_out = Box::leak(path.into_boxed_str());
+                    }
+                }
                 // The paper's full scale: ~151k requests, 1000 users.
                 "--full" => {
                     cfg.workers = 64;
@@ -229,4 +243,127 @@ pub fn run_shared_gateway(cfg: EvalConfig) -> Vec<ScenarioReport> {
         reports.push(report);
     }
     reports
+}
+
+/// One rung of the replicated-cluster node-count ladder.
+#[derive(Debug, Clone)]
+pub struct ClusterRungReport {
+    /// Cluster size (N).
+    pub nodes: usize,
+    /// Replicas per key (R).
+    pub replication: usize,
+    /// Durable acks per write (W).
+    pub write_quorum: usize,
+    /// Quorum writes per second (each write fans out to R replicas and
+    /// waits for W durable acks).
+    pub quorum_write_per_s: f64,
+    /// Quorum reads per second (each read probes the key's live replicas
+    /// and answers by majority).
+    pub quorum_read_per_s: f64,
+    /// Nodes killed mid-run.
+    pub kills: u64,
+    /// Nodes rejoined mid-run.
+    pub rejoins: u64,
+    /// Replicas healed by read repair after the rejoin.
+    pub read_repairs: u64,
+}
+
+impl ClusterRungReport {
+    /// The rung as one JSON object (no serde in the bench path).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"nodes\":{},\"replication\":{},\"write_quorum\":{},\"quorum_write_per_s\":{:.1},\
+             \"quorum_read_per_s\":{:.1},\"kills\":{},\"rejoins\":{},\"read_repairs\":{}}}",
+            self.nodes,
+            self.replication,
+            self.write_quorum,
+            self.quorum_write_per_s,
+            self.quorum_read_per_s,
+            self.kills,
+            self.rejoins,
+            self.read_repairs
+        )
+    }
+}
+
+/// Renders the full `BENCH_cluster.json` document: every rung plus the
+/// top rung's headline throughputs at top level (what CI greps for).
+pub fn render_cluster_json(rungs: &[ClusterRungReport]) -> String {
+    let items: Vec<String> = rungs.iter().map(ClusterRungReport::to_json).collect();
+    let top = rungs.last().expect("at least one rung");
+    format!(
+        "{{\"bench\":\"cluster\",\"rungs\":[{}],\"quorum_write_per_s\":{:.1},\"quorum_read_per_s\":{:.1}}}",
+        items.join(","),
+        top.quorum_write_per_s,
+        top.quorum_read_per_s
+    )
+}
+
+/// Runs the replicated-cluster ladder: at 1, 2, 3 and 5 nodes (R = min(3,
+/// N), W = ⌊R/2⌋+1), a [`ClusterCloud`] takes `cfg.requests` quorum writes
+/// followed by `cfg.requests` quorum reads over the inserted keys. On
+/// rungs where the quorum tolerates it, one node is killed halfway through
+/// the writes and rejoined before the reads — so the reported throughput
+/// includes failover and the read-repair traffic that heals the rejoined
+/// (volatile, therefore empty) node.
+///
+/// [`ClusterCloud`]: datablinder_core::cluster::ClusterCloud
+pub fn run_cluster(cfg: EvalConfig) -> Vec<ClusterRungReport> {
+    use datablinder_core::cloud::with_collection;
+    use datablinder_core::cluster::{ClusterCloud, ClusterConfig};
+    use datablinder_core::wire::encode_document;
+    use datablinder_docstore::Value;
+    use datablinder_netsim::CloudService;
+
+    let requests = cfg.requests.max(2);
+    let mut rungs = Vec::new();
+    for nodes in [1usize, 2, 3, 5] {
+        let replication = nodes.min(3);
+        let write_quorum = replication / 2 + 1;
+        // A kill mid-run must leave every quorum satisfiable: a key whose
+        // replica set includes the dead node has R−1 live replicas left,
+        // which must still reach W (the ring never re-routes).
+        let survivable = replication > write_quorum;
+        eprintln!(
+            "running cluster rung: {nodes} nodes, R={replication}, W={write_quorum}, {requests} writes + reads{}",
+            if survivable { ", one kill/rejoin mid-run" } else { "" }
+        );
+        let cluster = ClusterCloud::new(ClusterConfig::volatile(nodes, replication, write_quorum, 0xBE7C))
+            .expect("valid rung config");
+
+        let payloads: Vec<(String, Vec<u8>)> = (0..requests)
+            .map(|i| {
+                let id = format!("{i:032x}");
+                let doc = Document::new(id.clone()).with("value", Value::from(i as i64));
+                (id, with_collection("bench", &encode_document(&doc)))
+            })
+            .collect();
+        let started = std::time::Instant::now();
+        for (i, (_, payload)) in payloads.iter().enumerate() {
+            if survivable && i == requests / 2 {
+                cluster.kill_node(nodes - 1);
+            }
+            cluster.handle("doc/insert", payload).expect("quorum write");
+        }
+        let write_secs = started.elapsed().as_secs_f64();
+        if survivable {
+            cluster.rejoin_node(nodes - 1).expect("rejoin");
+        }
+        let started = std::time::Instant::now();
+        for (id, _) in &payloads {
+            cluster.handle("doc/get", &with_collection("bench", id.as_bytes())).expect("quorum read");
+        }
+        let read_secs = started.elapsed().as_secs_f64();
+        rungs.push(ClusterRungReport {
+            nodes,
+            replication,
+            write_quorum,
+            quorum_write_per_s: requests as f64 / write_secs.max(f64::EPSILON),
+            quorum_read_per_s: requests as f64 / read_secs.max(f64::EPSILON),
+            kills: cluster.kills(),
+            rejoins: cluster.rejoins(),
+            read_repairs: cluster.read_repairs(),
+        });
+    }
+    rungs
 }

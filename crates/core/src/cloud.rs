@@ -34,13 +34,17 @@ pub const DEFAULT_DEDUP_CAPACITY: usize = 1024;
 /// sharding divides lock hold times under concurrent writers.
 const DEDUP_SHARDS: usize = 8;
 
+/// Recorded outcome of a deduplicated request: the request fingerprint plus
+/// the first execution's result.
+type DedupOutcome = (u64, Result<Vec<u8>, CoreError>);
+
 /// FIFO-bounded map from idempotency token to the recorded outcome of the
 /// first execution. The request fingerprint guards against token collisions
 /// (two gateways seeding the same token stream must not read each other's
 /// cached outcomes for *different* requests).
 struct DedupCache {
     capacity: usize,
-    entries: HashMap<[u8; 16], (u64, Result<Vec<u8>, CoreError>)>,
+    entries: HashMap<[u8; 16], DedupOutcome>,
     order: VecDeque<[u8; 16]>,
 }
 
@@ -528,6 +532,31 @@ impl CloudEngine {
                 out.extend_from_slice(&count.to_be_bytes());
                 Ok(out)
             }
+            "agg_plain_ids" => {
+                // Like `agg_plain` restricted to an explicit id set — the
+                // cluster partitions a collection across replicas and asks
+                // each node to aggregate only the documents it owns.
+                let (collection, rest) = split_collection(payload)?;
+                let mut r = Reader::new(rest);
+                let field = String::from_utf8(r.bytes()?).map_err(|_| CoreError::Wire("utf8 field"))?;
+                let ids = r.list()?;
+                r.finish()?;
+                let coll = self.docs.collection(&collection);
+                let mut sum = 0.0f64;
+                let mut count = 0u64;
+                for id in &ids {
+                    let Some(doc) = std::str::from_utf8(id).ok().and_then(|s| coll.get(s)) else {
+                        continue;
+                    };
+                    if let Some(v) = doc.get(&field).and_then(Value::as_f64) {
+                        sum += v;
+                        count += 1;
+                    }
+                }
+                let mut out = sum.to_be_bytes().to_vec();
+                out.extend_from_slice(&count.to_be_bytes());
+                Ok(out)
+            }
             other => Err(CoreError::UnsupportedOperation(format!("doc op {other}"))),
         }
     }
@@ -586,7 +615,7 @@ pub fn with_collection(collection: &str, rest: &[u8]) -> Vec<u8> {
     out
 }
 
-fn split_collection(payload: &[u8]) -> Result<(String, &[u8]), CoreError> {
+pub(crate) fn split_collection(payload: &[u8]) -> Result<(String, &[u8]), CoreError> {
     if payload.len() < 4 {
         return Err(CoreError::Wire("collection header"));
     }

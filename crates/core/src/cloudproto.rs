@@ -198,14 +198,9 @@ impl PaillierSumResponse {
     /// # Errors
     ///
     /// [`CoreError::Wire`] on malformed input.
-    pub fn decode(buf: &[u8]) -> Result<Self, CoreError> {
-        if buf.len() < 8 {
-            return Err(CoreError::Wire("sum response"));
-        }
-        Ok(PaillierSumResponse {
-            count: u64::from_be_bytes(buf[..8].try_into().unwrap()),
-            ciphertext: buf[8..].to_vec(),
-        })
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let count = u64::from_be_bytes(take_array(&mut buf, "sum response")?);
+        Ok(PaillierSumResponse { count, ciphertext: buf.to_vec() })
     }
 }
 
@@ -248,15 +243,10 @@ impl Idempotent {
     /// [`CoreError::Wire`] on malformed input.
     pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
         let buf = &mut buf;
-        if buf.len() < 16 {
-            return Err(CoreError::Wire("idem token"));
-        }
-        let token: [u8; 16] = buf[..16].try_into().unwrap();
-        *buf = &buf[16..];
+        let token = take_array(buf, "idem token")?;
         let route = take_str(buf)?;
         let len = take_count(buf)?;
-        let payload = buf[..len].to_vec();
-        *buf = &buf[len..];
+        let payload = take_bytes(buf, len, "idem payload")?.to_vec();
         ensure_empty(buf)?;
         Ok(Idempotent { token, route, payload })
     }
@@ -290,26 +280,31 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+/// Splits the leading `N` bytes off the cursor. The slice-pattern split is
+/// the *only* length check — there is no index arithmetic left to get
+/// wrong, so truncated input can error but never panic.
+fn take_array<const N: usize>(buf: &mut &[u8], what: &'static str) -> Result<[u8; N], CoreError> {
+    let (head, rest) = buf.split_first_chunk::<N>().ok_or(CoreError::Wire(what))?;
+    let out = *head;
+    *buf = rest;
+    Ok(out)
+}
+
+/// Splits `len` bytes off the cursor, checked, zero-copy.
+fn take_bytes<'a>(buf: &mut &'a [u8], len: usize, what: &'static str) -> Result<&'a [u8], CoreError> {
+    let (head, rest) = buf.split_at_checked(len).ok_or(CoreError::Wire(what))?;
+    *buf = rest;
+    Ok(head)
+}
+
 fn take_str(buf: &mut &[u8]) -> Result<String, CoreError> {
-    if buf.len() < 4 {
-        return Err(CoreError::Wire("truncated string"));
-    }
-    let len = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
-    *buf = &buf[4..];
-    if buf.len() < len {
-        return Err(CoreError::Wire("truncated string body"));
-    }
-    let s = String::from_utf8(buf[..len].to_vec()).map_err(|_| CoreError::Wire("utf8"))?;
-    *buf = &buf[len..];
-    Ok(s)
+    let len = u32::from_be_bytes(take_array(buf, "truncated string")?) as usize;
+    let body = take_bytes(buf, len, "truncated string body")?;
+    String::from_utf8(body.to_vec()).map_err(|_| CoreError::Wire("utf8"))
 }
 
 fn take_count(buf: &mut &[u8]) -> Result<usize, CoreError> {
-    if buf.len() < 4 {
-        return Err(CoreError::Wire("truncated count"));
-    }
-    let n = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
-    *buf = &buf[4..];
+    let n = u32::from_be_bytes(take_array(buf, "truncated count")?) as usize;
     if n > buf.len() {
         return Err(CoreError::Wire("count exceeds buffer"));
     }

@@ -1,0 +1,1184 @@
+//! ClusterCloud: N replicated [`CloudEngine`] nodes behind one
+//! [`CloudService`] facade.
+//!
+//! The gateway keeps talking to a single channel; behind it a consistent-hash
+//! ring (virtual nodes, deterministic seed) places every write on R replicas,
+//! a write is acknowledged once W of them have durably journaled it, and
+//! reads either probe a key's replica set (with read repair when replicas
+//! diverge) or scatter-gather across the cluster for collection-wide queries.
+//! Node failures come from [`NodeFailureInjector`] events or from observing a
+//! node's crash injector fire; a rejoining durable node replays the WALs of
+//! its live peers to catch up before it serves again. Quorums that cannot be
+//! met surface as typed [`NetError::Unavailable`] errors — never hangs.
+//!
+//! Ring membership is *fixed* at construction: killing a node marks it
+//! unavailable but never rebalances the ring, so key placement stays
+//! deterministic across failures (the price is reduced write fan-in, paid for
+//! by the quorum rule).
+//!
+//! # Examples
+//!
+//! ```
+//! use datablinder_core::cluster::{ClusterCloud, ClusterConfig};
+//! use datablinder_core::cloud::with_collection;
+//! use datablinder_core::wire::encode_document;
+//! use datablinder_docstore::{Document, Value};
+//! use datablinder_netsim::CloudService;
+//!
+//! let cluster = ClusterCloud::new(ClusterConfig::volatile(3, 2, 2, 7)).unwrap();
+//! let doc = Document::new("00ff").with("status", Value::from("ok"));
+//! cluster.handle("doc/insert", &with_collection("notes", &encode_document(&doc))).unwrap();
+//! let got = cluster.handle("doc/get", &with_collection("notes", b"00ff")).unwrap();
+//! assert_eq!(got, encode_document(&doc));
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use datablinder_docstore::Value;
+use datablinder_kvstore::read_frames;
+use datablinder_netsim::{
+    BreakerConfig, Channel, CloudService, CrashInjector, LatencyModel, NetError, NodeEvent, NodeFailureInjector,
+    NodeFailurePlan, ResilienceConfig, ResilientChannel, RetryPolicy,
+};
+use datablinder_obs::Recorder;
+use datablinder_sse::encoding::{Reader, Writer};
+use datablinder_sse::DocId;
+use parking_lot::{Mutex, RwLock};
+
+use crate::cloud::{split_collection, with_collection, CloudEngine};
+use crate::cloudproto::{is_write_route, Idempotent, PaillierSum, PaillierSumResponse, IDEM_ROUTE};
+use crate::durability::{snapshot_path, wal_path, DurabilityOptions, WalRecord};
+use crate::error::CoreError;
+use crate::tactics::{decode_ids, encode_ids};
+use crate::wire::{decode_document, decode_documents, encode_documents};
+
+/// Default virtual nodes per physical node: enough to spread keys evenly
+/// for single-digit cluster sizes without making replica lookups slow.
+pub const DEFAULT_VNODES: usize = 16;
+
+/// How long a rejoining node's channel clock is advanced so an open circuit
+/// breaker admits its half-open probe immediately.
+const REJOIN_COOLDOWN: Duration = Duration::from_millis(50);
+
+/// Shape of a [`ClusterCloud`]: node count, replication/quorum levels and
+/// per-node durability.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Physical node count (N).
+    pub nodes: usize,
+    /// Replicas per key (R ≤ N).
+    pub replication: usize,
+    /// Durable acks required before a write succeeds (W ≤ R).
+    pub write_quorum: usize,
+    /// Virtual nodes per physical node on the hash ring.
+    pub vnodes: usize,
+    /// Seed for ring placement and per-node channel jitter; equal seeds
+    /// give equal key placement.
+    pub seed: u64,
+    /// Per-call deadline on every gateway→node hop (`None` = unbounded).
+    pub node_deadline: Option<Duration>,
+    /// Base directory for per-node durability (`node<i>` subdirectories);
+    /// `None` runs every node volatile.
+    pub data_dir: Option<PathBuf>,
+    /// Per-node auto-snapshot cadence (see
+    /// [`DurabilityOptions::snapshot_every`]).
+    pub snapshot_every: Option<u64>,
+    /// Per-node idempotency dedup-cache bound.
+    pub dedup_capacity: Option<usize>,
+}
+
+impl ClusterConfig {
+    /// A volatile cluster: `nodes` nodes, `replication`-way replication,
+    /// `write_quorum` acks per write.
+    pub fn volatile(nodes: usize, replication: usize, write_quorum: usize, seed: u64) -> Self {
+        ClusterConfig {
+            nodes,
+            replication,
+            write_quorum,
+            vnodes: DEFAULT_VNODES,
+            seed,
+            node_deadline: None,
+            data_dir: None,
+            snapshot_every: None,
+            dedup_capacity: None,
+        }
+    }
+
+    /// Builder: back every node with a WAL + snapshot under
+    /// `dir/node<i>`.
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.nodes == 0 {
+            return Err(CoreError::UnsupportedOperation("cluster needs at least one node".into()));
+        }
+        if self.replication == 0 || self.replication > self.nodes {
+            return Err(CoreError::UnsupportedOperation(format!(
+                "replication {} must be in 1..={}",
+                self.replication, self.nodes
+            )));
+        }
+        if self.write_quorum == 0 || self.write_quorum > self.replication {
+            return Err(CoreError::UnsupportedOperation(format!(
+                "write quorum {} must be in 1..={}",
+                self.write_quorum, self.replication
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------------- ring
+
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// The consistent-hash ring: `(hash, node)` points sorted by hash, fixed at
+/// construction.
+#[derive(Debug)]
+struct Ring {
+    points: Vec<(u64, usize)>,
+    replication: usize,
+    seed: u64,
+}
+
+impl Ring {
+    fn new(nodes: usize, vnodes: usize, replication: usize, seed: u64) -> Self {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(nodes * vnodes);
+        for n in 0..nodes {
+            for v in 0..vnodes {
+                let point = mix64(seed ^ (((n as u64) << 20) | v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                points.push((point, n));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, replication, seed }
+    }
+
+    /// The first `replication` distinct nodes clockwise from the key's hash.
+    fn replicas(&self, key: &[u8]) -> Vec<usize> {
+        let h = hash_bytes(self.seed, key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut out = Vec::with_capacity(self.replication);
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == self.replication {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------------- nodes
+
+/// One cluster member: an optional engine (present while the node is up)
+/// plus its durable home on disk.
+struct NodeState {
+    dir: Option<PathBuf>,
+    engine: RwLock<Option<CloudEngine>>,
+    alive: AtomicBool,
+}
+
+impl NodeState {
+    fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Calls the engine regardless of the `alive` flag — the resync path
+    /// replays into a node that is not yet serving.
+    fn engine_call(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        match &*self.engine.read() {
+            Some(engine) => engine.handle(route, payload),
+            None => Err(NetError::Timeout),
+        }
+    }
+}
+
+impl CloudService for NodeState {
+    fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        if !self.is_alive() {
+            return Err(NetError::Timeout);
+        }
+        self.engine_call(route, payload)
+    }
+}
+
+// ------------------------------------------------------------------ target
+
+/// Where a write lands: one key's replica set, or every node.
+enum WriteTarget {
+    Key(Vec<u8>),
+    Broadcast,
+}
+
+/// The routing key for one document: `collection \0 id`.
+fn doc_key(collection: &str, id: &[u8]) -> Vec<u8> {
+    let mut k = Vec::with_capacity(collection.len() + 1 + id.len());
+    k.extend_from_slice(collection.as_bytes());
+    k.push(0);
+    k.extend_from_slice(id);
+    k
+}
+
+/// The id prefix of an [`crate::wire::encode_document`] body (the id is its
+/// first length-prefixed field — by design, so routing never decodes the
+/// whole document).
+fn encoded_doc_id(rest: &[u8]) -> Result<&[u8], CoreError> {
+    let Some(header) = rest.get(..4) else {
+        return Err(CoreError::Wire("doc id header"));
+    };
+    let len = u32::from_be_bytes(header.try_into().expect("4-byte slice")) as usize;
+    rest.get(4..4 + len).ok_or(CoreError::Wire("doc id body"))
+}
+
+/// Derives the idempotency token of batch item `idx` from the enclosing
+/// envelope's token: deterministic, so a retried batch re-derives the same
+/// per-item tokens and every replica's dedup cache absorbs the replay even
+/// when the retry reaches a different subset of nodes.
+fn sub_token(token: &[u8; 16], idx: u64) -> [u8; 16] {
+    let mut h = datablinder_primitives::sha256::Sha256::new();
+    h.update(token);
+    h.update(&idx.to_be_bytes());
+    h.finalize()[..16].try_into().expect("16-byte prefix")
+}
+
+fn remote(e: CoreError) -> NetError {
+    NetError::Remote(e.to_string())
+}
+
+fn is_not_found(err: &NetError) -> bool {
+    matches!(err, NetError::Remote(m) if m.starts_with("document not found"))
+}
+
+// ----------------------------------------------------------------- cluster
+
+/// N replicated cloud nodes behind one [`CloudService`] facade.
+///
+/// Construct with [`ClusterCloud::new`], optionally attach a
+/// [`NodeFailurePlan`] and a [`Recorder`], then wrap in a
+/// [`Channel`](datablinder_netsim::Channel) via `Channel::from_arc`.
+pub struct ClusterCloud {
+    cfg: ClusterConfig,
+    ring: Ring,
+    nodes: Vec<Arc<NodeState>>,
+    channels: Vec<ResilientChannel>,
+    injector: Option<Arc<NodeFailureInjector>>,
+    /// Crash injectors to arm on a node's *next* rejoin (tests: crash a
+    /// node again while it is resyncing).
+    rejoin_crash: Mutex<HashMap<usize, Arc<CrashInjector>>>,
+    /// Serializes membership transitions (kill/rejoin/resync) so an op that
+    /// drains several injector events applies them atomically.
+    membership: Mutex<()>,
+    obs: Recorder,
+    node_ops: Vec<String>,
+    node_errors: Vec<String>,
+    kills: AtomicU64,
+    rejoins: AtomicU64,
+    read_repairs: AtomicU64,
+    resync_replayed: AtomicU64,
+    resync_wal_gaps: AtomicU64,
+}
+
+impl ClusterCloud {
+    /// Builds the cluster, opening every node (durably when
+    /// [`ClusterConfig::data_dir`] is set).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedOperation`] on an invalid config; I/O and
+    /// recovery failures from durable node opens.
+    pub fn new(cfg: ClusterConfig) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        let ring = Ring::new(cfg.nodes, cfg.vnodes, cfg.replication, cfg.seed);
+        let mut nodes = Vec::with_capacity(cfg.nodes);
+        let mut channels = Vec::with_capacity(cfg.nodes);
+        for i in 0..cfg.nodes {
+            let dir = cfg.data_dir.as_ref().map(|base| base.join(format!("node{i}")));
+            let engine = match &dir {
+                Some(d) => CloudEngine::open_durable_with(
+                    d,
+                    DurabilityOptions {
+                        snapshot_every: cfg.snapshot_every,
+                        dedup_capacity: cfg.dedup_capacity,
+                        crash: None,
+                    },
+                )?,
+                None => CloudEngine::new(),
+            };
+            let node = Arc::new(NodeState { dir, engine: RwLock::new(Some(engine)), alive: AtomicBool::new(true) });
+            let channel = Channel::from_arc(node.clone(), LatencyModel::instant());
+            channels.push(ResilientChannel::new(
+                channel,
+                ResilienceConfig {
+                    retry: RetryPolicy {
+                        max_attempts: 2,
+                        base_backoff: Duration::from_micros(100),
+                        max_backoff: Duration::from_millis(5),
+                        jitter: 0.5,
+                        retry_remote: false,
+                    },
+                    breaker: BreakerConfig { failure_threshold: 4, cooldown: REJOIN_COOLDOWN },
+                    deadline: cfg.node_deadline,
+                    seed: cfg.seed ^ 0xC10D_5EED ^ ((i as u64) << 48),
+                },
+            ));
+            nodes.push(node);
+        }
+        let node_ops = (0..cfg.nodes).map(|i| format!("cluster.node.{i}.ops")).collect();
+        let node_errors = (0..cfg.nodes).map(|i| format!("cluster.node.{i}.errors")).collect();
+        Ok(ClusterCloud {
+            cfg,
+            ring,
+            nodes,
+            channels,
+            injector: None,
+            rejoin_crash: Mutex::new(HashMap::new()),
+            membership: Mutex::new(()),
+            obs: Recorder::default(),
+            node_ops,
+            node_errors,
+            kills: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+            read_repairs: AtomicU64::new(0),
+            resync_replayed: AtomicU64::new(0),
+            resync_wal_gaps: AtomicU64::new(0),
+        })
+    }
+
+    /// Arms a deterministic kill/rejoin schedule, ticked once per handled
+    /// cluster operation.
+    pub fn set_failure_plan(&mut self, plan: NodeFailurePlan) {
+        self.injector = Some(Arc::new(NodeFailureInjector::new(plan)));
+    }
+
+    /// The armed failure injector, if any (inspect progress from tests).
+    pub fn failure_injector(&self) -> Option<&Arc<NodeFailureInjector>> {
+        self.injector.as_ref()
+    }
+
+    /// Arms a crash injector for node `idx`'s *next* rejoin: the node's
+    /// engine reopens with it, so the resync replay itself can die mid-WAL
+    /// (satellite: durability under membership change).
+    pub fn arm_rejoin_crash(&self, idx: usize, injector: Arc<CrashInjector>) {
+        self.rejoin_crash.lock().insert(idx, injector);
+    }
+
+    /// Attaches an observability recorder for cluster-level counters,
+    /// quorum-latency histograms and per-node op/error counts.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.obs = recorder;
+        self.obs.gauge_set("cluster.nodes", self.cfg.nodes as i64);
+        self.obs.gauge_set("cluster.ring.vnodes", self.ring.points.len() as i64);
+        for i in 0..self.cfg.nodes {
+            self.obs.gauge_set(&format!("cluster.node.{i}.alive"), 1);
+        }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Whether node `idx` is currently serving.
+    pub fn node_alive(&self, idx: usize) -> bool {
+        self.nodes[idx].is_alive()
+    }
+
+    /// Runs `f` against node `idx`'s engine (`None` while the node is down).
+    pub fn with_node_engine<T>(&self, idx: usize, f: impl FnOnce(&CloudEngine) -> T) -> Option<T> {
+        self.nodes[idx].engine.read().as_ref().map(f)
+    }
+
+    /// The replica set of one document key, in ring (preference) order.
+    pub fn doc_replicas(&self, collection: &str, id: &str) -> Vec<usize> {
+        self.ring.replicas(&doc_key(collection, id.as_bytes()))
+    }
+
+    /// Nodes killed so far (events + observed crash injectors).
+    pub fn kills(&self) -> u64 {
+        self.kills.load(Ordering::Relaxed)
+    }
+
+    /// Successful rejoins so far.
+    pub fn rejoins(&self) -> u64 {
+        self.rejoins.load(Ordering::Relaxed)
+    }
+
+    /// Divergent or missing replicas repaired by reads.
+    pub fn read_repairs(&self) -> u64 {
+        self.read_repairs.load(Ordering::Relaxed)
+    }
+
+    /// WAL records replayed into rejoining nodes from their peers.
+    pub fn resync_replayed(&self) -> u64 {
+        self.resync_replayed.load(Ordering::Relaxed)
+    }
+
+    /// Resyncs that observed a peer WAL already compacted by a snapshot —
+    /// records before the compaction point cannot be replayed from that
+    /// peer (a documented limitation; read repair closes the gap lazily).
+    pub fn resync_wal_gaps(&self) -> u64 {
+        self.resync_wal_gaps.load(Ordering::Relaxed)
+    }
+
+    /// Marks node `idx` down and drops its engine (disk state stays).
+    pub fn kill_node(&self, idx: usize) {
+        let _guard = self.membership.lock();
+        self.kill_locked(idx);
+    }
+
+    /// Restarts node `idx` from its own disk, resyncs it from live peers'
+    /// WALs and marks it serving. Returns the number of replayed records.
+    ///
+    /// # Errors
+    ///
+    /// Recovery/I-O failures, or [`CoreError::Storage`] when the node dies
+    /// again mid-resync (it stays down; a later rejoin retries).
+    pub fn rejoin_node(&self, idx: usize) -> Result<u64, CoreError> {
+        let _guard = self.membership.lock();
+        self.rejoin_locked(idx)
+    }
+
+    fn kill_locked(&self, idx: usize) {
+        let node = &self.nodes[idx];
+        if !node.is_alive() && node.engine.read().is_none() {
+            return;
+        }
+        node.alive.store(false, Ordering::SeqCst);
+        // Dropping the engine models the process dying: in-memory state is
+        // gone; `journal` only acks flushed records, so every acknowledged
+        // write is already on disk.
+        *node.engine.write() = None;
+        self.kills.fetch_add(1, Ordering::Relaxed);
+        self.obs.count("cluster.kill", 1);
+        self.obs.gauge_set(&format!("cluster.node.{idx}.alive"), 0);
+    }
+
+    fn rejoin_locked(&self, idx: usize) -> Result<u64, CoreError> {
+        let node = &self.nodes[idx];
+        let engine = match &node.dir {
+            Some(dir) => {
+                let crash = self.rejoin_crash.lock().remove(&idx);
+                CloudEngine::open_durable_with(
+                    dir,
+                    DurabilityOptions {
+                        snapshot_every: self.cfg.snapshot_every,
+                        dedup_capacity: self.cfg.dedup_capacity,
+                        crash,
+                    },
+                )?
+            }
+            None => CloudEngine::new(),
+        };
+        *node.engine.write() = Some(engine);
+        match self.resync_locked(idx) {
+            Ok(replayed) => {
+                node.alive.store(true, Ordering::SeqCst);
+                // Let an open breaker admit the next call as its half-open
+                // probe instead of fast-failing through the cooldown.
+                self.channels[idx].advance(REJOIN_COOLDOWN);
+                self.rejoins.fetch_add(1, Ordering::Relaxed);
+                self.obs.count("cluster.rejoin", 1);
+                self.obs.count("cluster.resync.replayed", replayed);
+                self.obs.gauge_set(&format!("cluster.node.{idx}.alive"), 1);
+                Ok(replayed)
+            }
+            Err(e) => {
+                // Died again mid-resync: stay down, disk keeps whatever the
+                // crash point left (recovery truncates a torn tail on the
+                // next rejoin).
+                *node.engine.write() = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Replays live durable peers' WALs into the freshly reopened node:
+    /// records the node already journaled itself are skipped (its own WAL
+    /// ids are the "last durable seq" watermark), records for keys it does
+    /// not replicate are skipped, and cross-peer duplicates are folded by
+    /// record id. Replay preserves each peer's order; cross-peer order is
+    /// by peer index (peers hold disjoint missed suffixes in practice).
+    fn resync_locked(&self, idx: usize) -> Result<u64, CoreError> {
+        let node = &self.nodes[idx];
+        let Some(own_dir) = &node.dir else {
+            // A volatile node has no WAL to resync from or into; it returns
+            // empty and read repair refills it lazily.
+            return Ok(0);
+        };
+        let mut seen: HashSet<[u8; 16]> = HashSet::new();
+        if let Ok(scan) = read_frames(&wal_path(own_dir)) {
+            for body in &scan.frames {
+                if let Ok(rec) = WalRecord::decode(body) {
+                    seen.insert(rec.id);
+                }
+            }
+        }
+        let mut replayed = 0u64;
+        for (peer, state) in self.nodes.iter().enumerate() {
+            if peer == idx || !state.is_alive() {
+                continue;
+            }
+            let Some(peer_dir) = &state.dir else { continue };
+            let Ok(scan) = read_frames(&wal_path(peer_dir)) else { continue };
+            let records: Vec<WalRecord> = scan.frames.iter().filter_map(|b| WalRecord::decode(b).ok()).collect();
+            if snapshot_path(peer_dir).exists() && records.first().is_none_or(|r| r.seq > 1) {
+                // The peer compacted: records before its snapshot point are
+                // no longer individually replayable.
+                self.resync_wal_gaps.fetch_add(1, Ordering::Relaxed);
+                self.obs.count("cluster.resync.wal_gap", 1);
+            }
+            for rec in records {
+                if seen.contains(&rec.id) || !self.targets_node(&rec.route, &rec.payload, idx) {
+                    continue;
+                }
+                seen.insert(rec.id);
+                match node.engine_call(&rec.route, &rec.payload) {
+                    // Application errors are recorded history (e.g. a
+                    // duplicate insert whose first application was
+                    // snapshot-compacted out of our own WAL) — not resync
+                    // failures.
+                    Ok(_) | Err(NetError::Remote(_)) => replayed += 1,
+                    Err(_) => {
+                        return Err(CoreError::Storage(format!("node {idx} crashed during resync")));
+                    }
+                }
+            }
+        }
+        self.resync_replayed.fetch_add(replayed, Ordering::Relaxed);
+        Ok(replayed)
+    }
+
+    /// Whether a journaled `(route, payload)` belongs on node `idx`.
+    fn targets_node(&self, route: &str, payload: &[u8], idx: usize) -> bool {
+        if route == IDEM_ROUTE {
+            let Ok(env) = Idempotent::decode(payload) else { return true };
+            return match self.write_target(&env.route, &env.payload) {
+                Ok(WriteTarget::Key(k)) => self.ring.replicas(&k).contains(&idx),
+                _ => true,
+            };
+        }
+        match self.write_target(route, payload) {
+            Ok(WriteTarget::Key(k)) => self.ring.replicas(&k).contains(&idx),
+            _ => true,
+        }
+    }
+
+    /// Drains pending membership events before handling an operation.
+    fn pump_events(&self) {
+        let Some(injector) = &self.injector else { return };
+        let events = {
+            let _guard = self.membership.lock();
+            injector.on_op()
+        };
+        for event in events {
+            match event {
+                NodeEvent::Kill(i) if i < self.nodes.len() => self.kill_node(i),
+                NodeEvent::Rejoin(i) if i < self.nodes.len() => {
+                    // A failed rejoin (crash mid-resync) leaves the node
+                    // down; only a later rejoin event retries it.
+                    let _ = self.rejoin_node(i);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// A node that answered with a transport error may have crashed for
+    /// good (its crash injector fired): observe that and mark it down so
+    /// later operations skip it instead of burning retries.
+    fn note_node_failure(&self, idx: usize) {
+        self.obs.count(&self.node_errors[idx], 1);
+        let crashed = self.nodes[idx].engine.read().as_ref().is_some_and(CloudEngine::crashed);
+        if crashed {
+            self.kill_node(idx);
+        }
+    }
+
+    // ------------------------------------------------------------- writes
+
+    fn write_target(&self, route: &str, payload: &[u8]) -> Result<WriteTarget, CoreError> {
+        if let Some(op) = route.strip_prefix("doc/") {
+            let (collection, rest) = split_collection(payload)?;
+            return Ok(match op {
+                "insert" | "update" => WriteTarget::Key(doc_key(&collection, encoded_doc_id(rest)?)),
+                "delete" => WriteTarget::Key(doc_key(&collection, rest)),
+                // ensure_index and future doc-level writes shape every
+                // replica's view of the collection.
+                _ => WriteTarget::Broadcast,
+            });
+        }
+        let parts: Vec<&str> = route.split('/').collect();
+        if let ["tactic", name, scope, op] = parts[..] {
+            // Index mutations cluster on the scope so its search route
+            // reads the same replicas the updates wrote; setup broadcasts
+            // (every node may need the scope's public parameters).
+            return Ok(if op == "setup" {
+                WriteTarget::Broadcast
+            } else {
+                WriteTarget::Key(format!("tactic/{name}/{scope}").into_bytes())
+            });
+        }
+        // kv/* and unknown write routes touch shared substrate state.
+        Ok(WriteTarget::Broadcast)
+    }
+
+    /// Sends one write to its replica set and succeeds once W replicas
+    /// durably acked. Replicas are tried in ring order (deterministic);
+    /// down nodes count as missing acks.
+    fn quorum_write(&self, target: &WriteTarget, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        let replicas: Vec<usize> = match target {
+            WriteTarget::Key(k) => self.ring.replicas(k),
+            WriteTarget::Broadcast => (0..self.cfg.nodes).collect(),
+        };
+        let quorum = self.cfg.write_quorum.min(replicas.len()).max(1);
+        let started = self.obs.start();
+        let mut acks = 0usize;
+        let mut first: Option<Vec<u8>> = None;
+        let mut app_err: Option<NetError> = None;
+        for &i in &replicas {
+            if !self.nodes[i].is_alive() {
+                continue;
+            }
+            self.obs.count(&self.node_ops[i], 1);
+            match self.channels[i].call(route, payload) {
+                Ok(resp) => {
+                    acks += 1;
+                    if first.is_none() {
+                        first = Some(resp);
+                    }
+                }
+                Err(NetError::Remote(m)) => app_err = Some(NetError::Remote(m)),
+                Err(_) => self.note_node_failure(i),
+            }
+        }
+        if let Some(t0) = started {
+            self.obs.observe("cluster.write.quorum_latency", t0.elapsed());
+        }
+        if acks >= quorum {
+            self.obs.count("cluster.write.quorum_ok", 1);
+            return Ok(first.unwrap_or_default());
+        }
+        if let Some(e) = app_err {
+            // Deterministic engines fail identically on every replica: the
+            // application error *is* the answer, not an availability issue.
+            return Err(e);
+        }
+        self.obs.count("cluster.write.quorum_fail", 1);
+        Err(NetError::Unavailable(format!("write quorum not met: {acks}/{quorum} acks for {route}")))
+    }
+
+    /// Decomposes a sealed batch: every write item becomes its own quorum
+    /// write under a token derived from the envelope's (so cross-replica
+    /// retries dedup), reads run through the clustered read paths, and
+    /// responses keep the original order. Like the single-node engine, the
+    /// batch aborts on the first failing item.
+    fn handle_batch(&self, env: &Idempotent) -> Result<Vec<u8>, NetError> {
+        let mut r = Reader::new(&env.payload);
+        let items = r.list().map_err(|e| remote(e.into()))?;
+        if items.len() % 2 != 0 {
+            return Err(remote(CoreError::Wire("batch item count")));
+        }
+        let mut responses = Vec::with_capacity(items.len() / 2);
+        for (idx, pair) in items.chunks(2).enumerate() {
+            let route = std::str::from_utf8(&pair[0]).map_err(|_| remote(CoreError::Wire("utf8 route")))?;
+            if route == "batch" || route == IDEM_ROUTE {
+                return Err(remote(CoreError::UnsupportedOperation("nested batch".into())));
+            }
+            let resp = if is_write_route(route) {
+                let target = self.write_target(route, &pair[1]).map_err(remote)?;
+                let sub = Idempotent {
+                    token: sub_token(&env.token, idx as u64),
+                    route: route.to_string(),
+                    payload: pair[1].to_vec(),
+                };
+                self.quorum_write(&target, IDEM_ROUTE, &sub.encode())?
+            } else {
+                self.clustered_read(route, &pair[1])?
+            };
+            responses.push(resp);
+        }
+        let mut w = Writer::new();
+        w.list(&responses);
+        Ok(w.finish())
+    }
+
+    // -------------------------------------------------------------- reads
+
+    fn clustered_read(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        match route {
+            "doc/get" => self.read_doc(payload),
+            "doc/get_many" => self.read_get_many(payload),
+            "doc/count" => {
+                let (collection, _) = split_collection(payload).map_err(remote)?;
+                let ids = self.union_ids(&collection)?;
+                Ok((ids.len() as u64).to_be_bytes().to_vec())
+            }
+            "doc/list_ids" => {
+                let (collection, _) = split_collection(payload).map_err(remote)?;
+                let ids = self.union_ids(&collection)?;
+                let mut w = Writer::new();
+                w.list(&ids.into_iter().map(String::into_bytes).collect::<Vec<_>>());
+                Ok(w.finish())
+            }
+            "doc/find_ids_eq" | "doc/find_ids_range" | "doc/find_ids_dnf" => {
+                let mut union: BTreeSet<DocId> = BTreeSet::new();
+                for resp in self.scatter(route, payload)? {
+                    union.extend(decode_ids(&resp).map_err(remote)?);
+                }
+                Ok(encode_ids(&union.into_iter().collect::<Vec<_>>()))
+            }
+            "doc/extreme" => self.read_extreme(payload),
+            "doc/agg_plain" => self.read_agg_plain(payload),
+            _ => self.read_tactic(route, payload),
+        }
+    }
+
+    /// Probes every live replica of the document, answers with the majority
+    /// value (lexicographically smallest on ties, so the answer is
+    /// deterministic) and repairs divergent or missing replicas in place.
+    fn read_doc(&self, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        let (collection, id) = split_collection(payload).map_err(remote)?;
+        let replicas = self.ring.replicas(&doc_key(&collection, id));
+        let mut results: Vec<(usize, Result<Vec<u8>, NetError>)> = Vec::with_capacity(replicas.len());
+        for &i in &replicas {
+            if !self.nodes[i].is_alive() {
+                continue;
+            }
+            self.obs.count(&self.node_ops[i], 1);
+            let outcome = self.channels[i].call("doc/get", payload);
+            if matches!(&outcome, Err(e) if !is_not_found(e) && !matches!(e, NetError::Remote(_))) {
+                self.note_node_failure(i);
+            }
+            results.push((i, outcome));
+        }
+        let mut counts: BTreeMap<&[u8], usize> = BTreeMap::new();
+        for (_, outcome) in &results {
+            if let Ok(body) = outcome {
+                *counts.entry(body.as_slice()).or_default() += 1;
+            }
+        }
+        let Some(winner) = counts.iter().max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0))).map(|(body, _)| body.to_vec())
+        else {
+            // No replica produced the document.
+            if let Some((_, Err(e))) = results.iter().find(|(_, o)| matches!(o, Err(e) if is_not_found(e))) {
+                return Err(e.clone());
+            }
+            if let Some((_, Err(NetError::Remote(m)))) =
+                results.iter().find(|(_, o)| matches!(o, Err(NetError::Remote(_))))
+            {
+                return Err(NetError::Remote(m.clone()));
+            }
+            return Err(NetError::Unavailable(format!("no live replica answered doc/get in {collection}")));
+        };
+        for (i, outcome) in &results {
+            let repair_route = match outcome {
+                Ok(body) if *body != winner => "doc/update",
+                Err(e) if is_not_found(e) => "doc/insert",
+                _ => continue,
+            };
+            if self.channels[*i].call(repair_route, &with_collection(&collection, &winner)).is_ok() {
+                self.read_repairs.fetch_add(1, Ordering::Relaxed);
+                self.obs.count("cluster.read_repair", 1);
+            }
+        }
+        Ok(winner)
+    }
+
+    /// Scatter-gathers `get_many`: every live node contributes the subset
+    /// it holds; the union is reassembled in request order.
+    fn read_get_many(&self, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        let (_, rest) = split_collection(payload).map_err(remote)?;
+        let mut r = Reader::new(rest);
+        let requested = r.list().map_err(|e| remote(e.into()))?;
+        let mut found: HashMap<String, datablinder_docstore::Document> = HashMap::new();
+        for resp in self.scatter("doc/get_many", payload)? {
+            for doc in decode_documents(&resp).map_err(remote)? {
+                found.entry(doc.id().to_string()).or_insert(doc);
+            }
+        }
+        let docs: Vec<_> =
+            requested.iter().filter_map(|id| std::str::from_utf8(id).ok()).filter_map(|id| found.remove(id)).collect();
+        Ok(encode_documents(&docs))
+    }
+
+    /// Scatter-gathers `extreme`: each node nominates its local extreme,
+    /// the cluster fetches the candidates and compares their stored bytes
+    /// (ties break toward the smaller id, so the answer is deterministic).
+    fn read_extreme(&self, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        let (collection, rest) = split_collection(payload).map_err(remote)?;
+        if rest.is_empty() {
+            return Err(remote(CoreError::Wire("extreme payload")));
+        }
+        let want_max = rest[0] == 1;
+        let field = std::str::from_utf8(&rest[1..]).map_err(|_| remote(CoreError::Wire("utf8 field")))?;
+        let mut candidates: BTreeSet<String> = BTreeSet::new();
+        for resp in self.scatter("doc/extreme", payload)? {
+            if !resp.is_empty() {
+                candidates.insert(String::from_utf8(resp).map_err(|_| remote(CoreError::Wire("utf8 id")))?);
+            }
+        }
+        let mut best: Option<(Vec<u8>, String)> = None;
+        for id in candidates {
+            let body = match self.read_doc(&with_collection(&collection, id.as_bytes())) {
+                Ok(body) => body,
+                // The candidate vanished between the scatter and the fetch.
+                Err(e) if is_not_found(&e) => continue,
+                Err(e) => return Err(e),
+            };
+            let doc = decode_document(&body).map_err(remote)?;
+            let Some(bytes) = doc.get(field).and_then(Value::as_bytes).map(<[u8]>::to_vec) else {
+                continue;
+            };
+            best = Some(match best {
+                None => (bytes, id),
+                Some(prev) => {
+                    let challenger = (bytes, id);
+                    let challenger_wins = match challenger.0.cmp(&prev.0) {
+                        std::cmp::Ordering::Equal => challenger.1 < prev.1,
+                        std::cmp::Ordering::Greater => want_max,
+                        std::cmp::Ordering::Less => !want_max,
+                    };
+                    if challenger_wins {
+                        challenger
+                    } else {
+                        prev
+                    }
+                }
+            });
+        }
+        Ok(best.map(|(_, id)| id.into_bytes()).unwrap_or_default())
+    }
+
+    /// Distributes a plaintext aggregate: every document is assigned to its
+    /// first live replica, each node aggregates only its assignment via
+    /// `doc/agg_plain_ids`, and the partial sums/counts are combined here.
+    fn read_agg_plain(&self, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        let (collection, rest) = split_collection(payload).map_err(remote)?;
+        let field = std::str::from_utf8(rest).map_err(|_| remote(CoreError::Wire("utf8 field")))?;
+        let per_node = self.partition_ids(&collection, self.union_ids(&collection)?)?;
+        let mut sum = 0.0f64;
+        let mut count = 0u64;
+        for (node, ids) in per_node {
+            let mut w = Writer::new();
+            w.bytes(field.as_bytes());
+            w.list(&ids.into_iter().map(String::into_bytes).collect::<Vec<_>>());
+            let resp = match self.channels[node].call("doc/agg_plain_ids", &with_collection(&collection, &w.finish())) {
+                Ok(resp) => resp,
+                Err(NetError::Remote(m)) => return Err(NetError::Remote(m)),
+                Err(_) => {
+                    self.note_node_failure(node);
+                    return Err(NetError::Unavailable(format!("aggregate partition on node {node} unreachable")));
+                }
+            };
+            if resp.len() < 16 {
+                return Err(remote(CoreError::Wire("agg response")));
+            }
+            sum += f64::from_be_bytes(resp[..8].try_into().expect("8-byte slice"));
+            count += u64::from_be_bytes(resp[8..16].try_into().expect("8-byte slice"));
+        }
+        let mut out = sum.to_be_bytes().to_vec();
+        out.extend_from_slice(&count.to_be_bytes());
+        Ok(out)
+    }
+
+    fn read_tactic(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        let parts: Vec<&str> = route.split('/').collect();
+        if let ["tactic", name, scope, op] = parts[..] {
+            if name == "paillier" && op == "sum" {
+                return self.read_paillier_sum(scope, route, payload);
+            }
+            // Index reads go to the replicas its writes clustered on, in
+            // ring order, failing over past dead nodes.
+            let key = format!("tactic/{name}/{scope}").into_bytes();
+            let replicas = self.ring.replicas(&key);
+            return self.first_live_of(&replicas, route, payload);
+        }
+        // Unknown read route: any live node (replicated state or none).
+        let all: Vec<usize> = (0..self.cfg.nodes).collect();
+        self.first_live_of(&all, route, payload)
+    }
+
+    /// Distributes a Paillier sum: each partition node folds its own
+    /// documents under the scope's public key, and one of them multiplies
+    /// the partial ciphertexts together (`combine`) — the cluster never
+    /// needs the secret key, preserving the tactic's security model.
+    fn read_paillier_sum(&self, scope: &str, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        let req = PaillierSum::decode(payload).map_err(remote)?;
+        let ids = if req.ids.is_empty() { self.union_ids(&req.collection)? } else { req.ids.clone() };
+        if ids.is_empty() {
+            return Ok(PaillierSumResponse { ciphertext: Vec::new(), count: 0 }.encode());
+        }
+        let per_node = self.partition_ids(&req.collection, ids)?;
+        let mut partials = Vec::with_capacity(per_node.len());
+        let mut combine_at = None;
+        for (node, ids) in per_node {
+            let sub = PaillierSum { collection: req.collection.clone(), field: req.field.clone(), ids };
+            match self.channels[node].call(route, &sub.encode()) {
+                Ok(resp) => {
+                    combine_at.get_or_insert(node);
+                    partials.push(resp);
+                }
+                Err(NetError::Remote(m)) => return Err(NetError::Remote(m)),
+                Err(_) => {
+                    self.note_node_failure(node);
+                    return Err(NetError::Unavailable(format!("paillier partition on node {node} unreachable")));
+                }
+            }
+        }
+        if partials.len() == 1 {
+            return Ok(partials.pop().expect("one partial"));
+        }
+        let mut w = Writer::new();
+        w.list(&partials);
+        let combine_route = format!("tactic/paillier/{scope}/combine");
+        // Any node that served a partial holds the scope key.
+        let at = combine_at.expect("at least one partition");
+        match self.channels[at].call(&combine_route, &w.finish()) {
+            Ok(resp) => Ok(resp),
+            Err(NetError::Remote(m)) => Err(NetError::Remote(m)),
+            Err(_) => Err(NetError::Unavailable(format!("paillier combine on node {at} unreachable"))),
+        }
+    }
+
+    // ------------------------------------------------------------ helpers
+
+    /// Fans a read out to every live node. Fails with
+    /// [`NetError::Unavailable`] when the unreachable set is large enough
+    /// that some key could have *no* live replica (the union might miss
+    /// documents) and propagates application errors conservatively.
+    fn scatter(&self, route: &str, payload: &[u8]) -> Result<Vec<Vec<u8>>, NetError> {
+        let mut out = Vec::with_capacity(self.cfg.nodes);
+        let mut unreachable = 0usize;
+        let mut app_err: Option<NetError> = None;
+        for i in 0..self.cfg.nodes {
+            if !self.nodes[i].is_alive() {
+                unreachable += 1;
+                continue;
+            }
+            self.obs.count(&self.node_ops[i], 1);
+            match self.channels[i].call(route, payload) {
+                Ok(resp) => out.push(resp),
+                Err(NetError::Remote(m)) => app_err = Some(NetError::Remote(m)),
+                Err(_) => {
+                    unreachable += 1;
+                    self.note_node_failure(i);
+                }
+            }
+        }
+        if unreachable >= self.cfg.replication {
+            return Err(NetError::Unavailable(format!(
+                "{unreachable} of {} nodes unreachable with {}-way replication: scatter result would be partial",
+                self.cfg.nodes, self.cfg.replication
+            )));
+        }
+        if let Some(e) = app_err {
+            return Err(e);
+        }
+        Ok(out)
+    }
+
+    /// Tries `candidates` in order; the first node that answers (success or
+    /// application error) decides.
+    fn first_live_of(&self, candidates: &[usize], route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        for &i in candidates {
+            if !self.nodes[i].is_alive() {
+                continue;
+            }
+            self.obs.count(&self.node_ops[i], 1);
+            match self.channels[i].call(route, payload) {
+                Ok(resp) => return Ok(resp),
+                Err(NetError::Remote(m)) => return Err(NetError::Remote(m)),
+                Err(_) => self.note_node_failure(i),
+            }
+        }
+        Err(NetError::Unavailable(format!("no live replica for {route}")))
+    }
+
+    /// The distinct document ids of a collection across all live nodes.
+    fn union_ids(&self, collection: &str) -> Result<Vec<String>, NetError> {
+        let payload = with_collection(collection, &[]);
+        let mut union: BTreeSet<String> = BTreeSet::new();
+        for resp in self.scatter("doc/list_ids", &payload)? {
+            let mut r = Reader::new(&resp);
+            for id in r.list().map_err(|e| remote(e.into()))? {
+                union.insert(String::from_utf8(id).map_err(|_| remote(CoreError::Wire("utf8 id")))?);
+            }
+        }
+        Ok(union.into_iter().collect())
+    }
+
+    /// Assigns each document id to the first live node of its replica set.
+    fn partition_ids(&self, collection: &str, ids: Vec<String>) -> Result<BTreeMap<usize, Vec<String>>, NetError> {
+        let mut per_node: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for id in ids {
+            let replicas = self.ring.replicas(&doc_key(collection, id.as_bytes()));
+            let Some(&live) = replicas.iter().find(|&&r| self.nodes[r].is_alive()) else {
+                return Err(NetError::Unavailable(format!("every replica of document {id} is down")));
+            };
+            per_node.entry(live).or_default().push(id);
+        }
+        Ok(per_node)
+    }
+}
+
+impl CloudService for ClusterCloud {
+    fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        self.pump_events();
+        self.obs.count("cluster.ops", 1);
+        if route == IDEM_ROUTE {
+            let env = Idempotent::decode(payload).map_err(remote)?;
+            if env.route == "batch" {
+                return self.handle_batch(&env);
+            }
+            let target = self.write_target(&env.route, &env.payload).map_err(remote)?;
+            // The whole envelope replicates: every replica dedups on the
+            // same token, so a retry that lands on a different replica
+            // subset cannot double-apply.
+            return self.quorum_write(&target, IDEM_ROUTE, payload);
+        }
+        if route == "batch" {
+            // A bare batch (no envelope) still decomposes; its item tokens
+            // derive from the batch content so retries stay idempotent.
+            let mut h = datablinder_primitives::sha256::Sha256::new();
+            h.update(payload);
+            let token: [u8; 16] = h.finalize()[..16].try_into().expect("16-byte prefix");
+            let env = Idempotent { token, route: "batch".into(), payload: payload.to_vec() };
+            return self.handle_batch(&env);
+        }
+        if is_write_route(route) {
+            let target = self.write_target(route, payload).map_err(remote)?;
+            return self.quorum_write(&target, route, payload);
+        }
+        self.clustered_read(route, payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::encode_document;
+    use datablinder_docstore::Document;
+
+    fn insert_payload(collection: &str, idx: u8) -> Vec<u8> {
+        let id = DocId([idx; 16]);
+        let doc = Document::new(id.to_hex()).with("v", Value::from(i64::from(idx)));
+        with_collection(collection, &encode_document(&doc))
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_distinct() {
+        let a = Ring::new(5, 16, 3, 42);
+        let b = Ring::new(5, 16, 3, 42);
+        for key in [b"alpha".as_slice(), b"beta", b"gamma", b""] {
+            let reps = a.replicas(key);
+            assert_eq!(reps, b.replicas(key), "same seed, same placement");
+            assert_eq!(reps.len(), 3);
+            let distinct: BTreeSet<_> = reps.iter().collect();
+            assert_eq!(distinct.len(), 3, "replicas are distinct nodes");
+        }
+        let c = Ring::new(5, 16, 3, 43);
+        let moved = (0u32..64).filter(|i| a.replicas(&i.to_be_bytes()) != c.replicas(&i.to_be_bytes())).count();
+        assert!(moved > 0, "a different seed moves keys");
+    }
+
+    #[test]
+    fn ring_spreads_keys_across_nodes() {
+        let ring = Ring::new(4, 16, 1, 7);
+        let mut hits = [0usize; 4];
+        for i in 0u32..256 {
+            hits[ring.replicas(&i.to_be_bytes())[0]] += 1;
+        }
+        for (node, &h) in hits.iter().enumerate() {
+            assert!(h > 0, "node {node} owns no keys: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn write_replicates_and_survives_replica_loss() {
+        let cluster = ClusterCloud::new(ClusterConfig::volatile(5, 3, 2, 9)).unwrap();
+        cluster.handle("doc/insert", &insert_payload("notes", 1)).unwrap();
+        let id = DocId([1; 16]).to_hex();
+        let replicas = cluster.doc_replicas("notes", &id);
+        assert_eq!(replicas.len(), 3);
+        for &r in &replicas {
+            let held = cluster.with_node_engine(r, |e| e.docs().collection("notes").get(&id).is_some()).unwrap();
+            assert!(held, "replica {r} holds the document");
+        }
+        // Killing R-1 replicas leaves the read answerable.
+        cluster.kill_node(replicas[0]);
+        cluster.kill_node(replicas[1]);
+        let got = cluster.handle("doc/get", &with_collection("notes", id.as_bytes())).unwrap();
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn unmet_quorum_is_typed_unavailable_not_a_hang() {
+        let cluster = ClusterCloud::new(ClusterConfig::volatile(3, 3, 3, 5)).unwrap();
+        cluster.kill_node(0);
+        let err = cluster.handle("doc/insert", &insert_payload("notes", 2)).unwrap_err();
+        assert!(matches!(err, NetError::Unavailable(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn read_repair_heals_a_stale_replica() {
+        let cluster = ClusterCloud::new(ClusterConfig::volatile(3, 2, 1, 11)).unwrap();
+        cluster.handle("doc/insert", &insert_payload("notes", 3)).unwrap();
+        let id = DocId([3; 16]).to_hex();
+        let replicas = cluster.doc_replicas("notes", &id);
+        // Erase the document on one replica behind the cluster's back.
+        cluster.with_node_engine(replicas[1], |e| e.docs().collection("notes").delete(&id).unwrap()).unwrap();
+        cluster.handle("doc/get", &with_collection("notes", id.as_bytes())).unwrap();
+        assert_eq!(cluster.read_repairs(), 1);
+        let healed =
+            cluster.with_node_engine(replicas[1], |e| e.docs().collection("notes").get(&id).is_some()).unwrap();
+        assert!(healed, "read repair reinserted the lost replica");
+    }
+
+    #[test]
+    fn batch_sub_tokens_are_deterministic_and_distinct() {
+        let t = [7u8; 16];
+        assert_eq!(sub_token(&t, 0), sub_token(&t, 0));
+        assert_ne!(sub_token(&t, 0), sub_token(&t, 1));
+        assert_ne!(sub_token(&t, 0), sub_token(&[8u8; 16], 0));
+    }
+
+    #[test]
+    fn scatter_reads_union_across_partitions() {
+        let cluster = ClusterCloud::new(ClusterConfig::volatile(4, 1, 1, 13)).unwrap();
+        for i in 1..=6u8 {
+            cluster.handle("doc/insert", &insert_payload("notes", i)).unwrap();
+        }
+        // With R=1 every doc lives on exactly one node, so the count only
+        // comes out right if the read really unions all partitions.
+        let count = cluster.handle("doc/count", &with_collection("notes", &[])).unwrap();
+        assert_eq!(u64::from_be_bytes(count[..8].try_into().unwrap()), 6);
+        let ids = cluster.handle("doc/list_ids", &with_collection("notes", &[])).unwrap();
+        let mut r = Reader::new(&ids);
+        assert_eq!(r.list().unwrap().len(), 6);
+    }
+}

@@ -878,7 +878,9 @@ impl GatewayEngine {
         // Plan every doc's work and pre-fork RNGs in sequential fork order.
         let mut skeletons: Vec<Document> = Vec::with_capacity(docs.len());
         let mut partitions: HashMap<String, (String, String, Vec<Item>)> = HashMap::new();
-        let mut bool_items: Vec<(usize, Vec<(String, Value)>, DocId, StdRng)> = Vec::new();
+        // (doc index, boolean literals, doc id, forked rng) per document.
+        type BoolItem = (usize, Vec<(String, Value)>, DocId, StdRng);
+        let mut bool_items: Vec<BoolItem> = Vec::new();
         {
             let mut rng = self.rng.lock();
             for (di, doc) in docs.iter().enumerate() {

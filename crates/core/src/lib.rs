@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 pub mod cloud;
 pub mod cloudproto;
+pub mod cluster;
 pub mod durability;
 pub mod error;
 pub mod gateway;

@@ -220,7 +220,7 @@ mod tests {
     fn panic_in_job_propagates_and_pool_survives() {
         let pool = WorkerPool::new(2);
         let boom = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            pool.run_ordered(vec![Box::new(|| panic!("job died")) as Box<dyn FnOnce() -> () + Send>]);
+            pool.run_ordered(vec![Box::new(|| panic!("job died")) as Box<dyn FnOnce() + Send>]);
         }));
         assert!(boom.is_err());
         // Workers are still alive and useful afterwards.

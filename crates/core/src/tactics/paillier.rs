@@ -166,10 +166,13 @@ impl GatewayTactic for PaillierTactic {
     }
 
     fn agg_query(&mut self, field: &str, _agg: AggFn, ids: &[DocId]) -> Result<Vec<CloudCall>, CoreError> {
-        let mut calls = Vec::new();
-        if let Some(setup) = self.setup_call() {
-            calls.push(setup);
-        }
+        // The setup call rides along unconditionally: it is idempotent, and
+        // gating it on `setup_sent` races under a shared gateway — another
+        // thread's insert may have claimed the flag without its group having
+        // reached the cloud yet, letting this `sum` arrive at a cloud that
+        // has no public key. In-batch ordering puts setup before sum.
+        self.setup_sent = true;
+        let mut calls = vec![CloudCall::new(self.route_setup.clone(), self.keypair.public().to_bytes())];
         let req = PaillierSum {
             collection: self.collection.clone(),
             field: shadow_field(field, "phe"),
@@ -271,6 +274,32 @@ impl CloudTactic for PaillierCloud {
                         Some(prev) => pk.add(&prev, &ct),
                     });
                     count += 1;
+                }
+                let resp = PaillierSumResponse { ciphertext: acc.map(|c| c.to_bytes()).unwrap_or_default(), count };
+                Ok(resp.encode())
+            }
+            "combine" => {
+                // Folds per-replica partial sums into one accumulator: a
+                // clustered cloud computes `sum` on each document partition
+                // and any node holding the scope key merges the partials —
+                // homomorphic addition needs only the public modulus.
+                let mut r = datablinder_sse::encoding::Reader::new(payload);
+                let partials = r.list().map_err(|_| CoreError::Wire("combine partials"))?;
+                r.finish().map_err(|_| CoreError::Wire("combine trailing"))?;
+                let pk = self.scope_pk(scope)?;
+                let mut acc: Option<Ciphertext> = None;
+                let mut count = 0u64;
+                for partial in &partials {
+                    let part = PaillierSumResponse::decode(partial)?;
+                    count += part.count;
+                    if part.ciphertext.is_empty() {
+                        continue;
+                    }
+                    let ct = Ciphertext::from_bytes(&part.ciphertext);
+                    acc = Some(match acc {
+                        None => ct,
+                        Some(prev) => pk.add(&prev, &ct),
+                    });
                 }
                 let resp = PaillierSumResponse { ciphertext: acc.map(|c| c.to_bytes()).unwrap_or_default(), count };
                 Ok(resp.encode())

@@ -1,0 +1,316 @@
+//! ClusterCloud integration suite: the PR's acceptance scenario (N=5, R=3,
+//! W=2 — killing any single node mid-workload loses no acknowledged write,
+//! the rejoined node resyncs from its peers' WALs, fsck stays clean), quorum
+//! reads with R−1 nodes down, typed unavailability instead of hangs, the
+//! cross-replica retry/idempotency regression and durability under a crash
+//! in the middle of rejoin-resync.
+
+use std::sync::Arc;
+
+use datablinder_core::cloud::{with_collection, CloudEngine};
+use datablinder_core::cloudproto::{Idempotent, IDEM_ROUTE};
+use datablinder_core::cluster::{ClusterCloud, ClusterConfig};
+use datablinder_core::durability::wal_path;
+use datablinder_core::gateway::GatewayEngine;
+use datablinder_core::model::{FieldAnnotation, FieldOp, FieldType, ProtectionClass, Schema};
+use datablinder_core::wire::encode_document;
+use datablinder_docstore::{Document, Value};
+use datablinder_kms::Kms;
+use datablinder_kvstore::read_frames;
+use datablinder_netsim::{
+    Channel, CloudService, CrashInjector, CrashPlan, CrashPoint, LatencyModel, NetError, NodeEvent, NodeFailurePlan,
+};
+use datablinder_sse::DocId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("datablinder-cluster-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn schema() -> Schema {
+    Schema::new("patients").sensitive_field(
+        "ward",
+        FieldType::Text,
+        true,
+        FieldAnnotation::new(ProtectionClass::C2, vec![FieldOp::Insert, FieldOp::Equality]),
+    )
+}
+
+fn gateway_over(cluster: Arc<ClusterCloud>) -> GatewayEngine {
+    let channel = Channel::from_arc(cluster, LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(0xC105);
+    let gw = GatewayEngine::new("cluster-suite", Kms::generate(&mut rng), channel, 17);
+    gw.register_schema(schema()).unwrap();
+    gw
+}
+
+/// The PR's acceptance scenario. A deterministic failure plan kills one
+/// node mid-workload and rejoins it later; every write acknowledged to the
+/// gateway must stay readable, the rejoined node must catch up through WAL
+/// replay, and fsck must hold afterwards. Finally every node's disk is
+/// reopened standalone and checked to hold each document it replicates.
+#[test]
+fn acked_writes_survive_single_node_failure() {
+    let dir = temp_dir("acceptance");
+    let mut cluster = ClusterCloud::new(ClusterConfig::volatile(5, 3, 2, 0xACCE).durable(&dir)).unwrap();
+    // Ops are cluster-level operations: schema registration and each
+    // sealed insert count one. Kill node 2 early, rejoin it late enough
+    // that a batch of inserts happened without it.
+    cluster.set_failure_plan(NodeFailurePlan::at(vec![(6, NodeEvent::Kill(2)), (22, NodeEvent::Rejoin(2))]));
+    let cluster = Arc::new(cluster);
+    let gw = gateway_over(cluster.clone());
+
+    let mut acked = Vec::new();
+    for i in 0..30u32 {
+        let doc = Document::new(format!("{i:032x}")).with("ward", Value::from(format!("w{}", i % 4)));
+        // With W=2 and a single dead node every write must succeed; an
+        // Unavailable here is itself a bug for this scenario.
+        let id = gw.insert("patients", &doc).unwrap();
+        acked.push((id, i % 4));
+    }
+    assert!(cluster.failure_injector().unwrap().exhausted(), "plan fully exercised");
+    assert_eq!(cluster.kills(), 1);
+    assert_eq!(cluster.rejoins(), 1);
+    assert!(cluster.resync_replayed() > 0, "rejoin caught up via WAL replay");
+
+    // Every acknowledged write is still readable through the gateway.
+    for (id, ward) in &acked {
+        let doc = gw.get("patients", *id).unwrap();
+        assert_eq!(doc.get("ward"), Some(&Value::from(format!("w{ward}"))));
+    }
+    // Index ↔ store consistency across the whole cluster.
+    assert!(gw.fsck("patients").unwrap().is_clean());
+
+    // Reopen every node's disk standalone: each must hold every document
+    // whose replica set includes it (durability is per-node, not just
+    // cluster-wide).
+    let replicas: Vec<(DocId, Vec<usize>)> =
+        acked.iter().map(|(id, _)| (*id, cluster.doc_replicas("patients", &id.to_hex()))).collect();
+    drop(gw);
+    drop(cluster);
+    for node in 0..5 {
+        let engine = CloudEngine::open_durable(&dir.join(format!("node{node}"))).unwrap();
+        let coll = engine.docs().collection("patients");
+        for (id, reps) in &replicas {
+            if reps.contains(&node) {
+                assert!(coll.get(&id.to_hex()).is_some(), "node {node} lost acked doc {}", id.to_hex());
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Quorum reads keep answering with R−1 replicas of the key down, and
+/// cluster-wide scatter reads keep answering with R−1 arbitrary nodes down.
+#[test]
+fn reads_survive_r_minus_one_failures() {
+    let cluster = Arc::new(ClusterCloud::new(ClusterConfig::volatile(5, 3, 2, 0x9EAD)).unwrap());
+    let gw = gateway_over(cluster.clone());
+    let mut ids = Vec::new();
+    for i in 0..10u32 {
+        let doc = Document::new(format!("{i:032x}")).with("ward", Value::from("icu"));
+        ids.push(gw.insert("patients", &doc).unwrap());
+    }
+    // Down R−1 = 2 replicas of the first document.
+    let reps = cluster.doc_replicas("patients", &ids[0].to_hex());
+    cluster.kill_node(reps[0]);
+    cluster.kill_node(reps[1]);
+    let doc = gw.get("patients", ids[0]).unwrap();
+    assert_eq!(doc.get("ward"), Some(&Value::from("icu")));
+    // Scatter queries still see the full collection (2 < R nodes down).
+    assert_eq!(gw.find_equal("patients", "ward", &Value::from("icu")).unwrap().len(), 10);
+}
+
+/// An unsatisfiable quorum is a typed `Unavailable` error, never a hang:
+/// with only one of five nodes left no W=2 write and no complete scatter
+/// read can be served.
+#[test]
+fn unsatisfiable_quorum_is_unavailable() {
+    let cluster = ClusterCloud::new(ClusterConfig::volatile(5, 3, 2, 0x0BAD)).unwrap();
+    let doc = Document::new(DocId([9; 16]).to_hex()).with("v", Value::from(1i64));
+    cluster.handle("doc/insert", &with_collection("c", &encode_document(&doc))).unwrap();
+    for node in 1..5 {
+        cluster.kill_node(node);
+    }
+    let late = Document::new(DocId([10; 16]).to_hex()).with("v", Value::from(2i64));
+    let write = cluster.handle("doc/insert", &with_collection("c", &encode_document(&late)));
+    assert!(matches!(write, Err(NetError::Unavailable(_))), "got {write:?}");
+    let scan = cluster.handle("doc/count", &with_collection("c", b""));
+    assert!(matches!(scan, Err(NetError::Unavailable(_))), "got {scan:?}");
+}
+
+/// Satellite regression: a write that timed out short of its quorum and is
+/// retried after the acking node died must not double-apply. The retry
+/// lands on a different replica subset; the replica that already applied
+/// it (via resync) absorbs the replay through the idempotency cache, and
+/// the one that never saw it applies it fresh. A double-apply would
+/// surface as a `DuplicateId` application error.
+#[test]
+fn quorum_timeout_retry_does_not_double_apply() {
+    let dir = temp_dir("retry");
+    let cluster = ClusterCloud::new(ClusterConfig::volatile(3, 3, 2, 0x7E57).durable(&dir)).unwrap();
+    let doc = Document::new(DocId([5; 16]).to_hex()).with("v", Value::from(5i64));
+    let env = Idempotent {
+        token: [0xAB; 16],
+        route: "doc/insert".into(),
+        payload: with_collection("c", &encode_document(&doc)),
+    };
+    let reps = cluster.doc_replicas("c", &DocId([5; 16]).to_hex());
+
+    // Two replicas down: the write reaches only the first one — durably
+    // applied there, but below quorum, so the client sees Unavailable and
+    // will retry.
+    cluster.kill_node(reps[1]);
+    cluster.kill_node(reps[2]);
+    let first = cluster.handle(IDEM_ROUTE, &env.encode());
+    assert!(matches!(first, Err(NetError::Unavailable(_))), "got {first:?}");
+
+    // The second replica comes back (resync replays the record into it
+    // from the acking node's WAL), then the acking node dies and the third
+    // replica resyncs off the second's re-journaled copy.
+    cluster.rejoin_node(reps[1]).unwrap();
+    cluster.kill_node(reps[0]);
+    cluster.rejoin_node(reps[2]).unwrap();
+
+    // Retry of the very same envelope against the surviving replicas: both
+    // already applied it through resync, so the idempotency cache answers
+    // and nothing double-applies (a second application would be a
+    // DuplicateId application error, failing this unwrap).
+    cluster.handle(IDEM_ROUTE, &env.encode()).unwrap();
+    let dedup = cluster.with_node_engine(reps[1], CloudEngine::dedup_hits).unwrap();
+    assert!(dedup > 0, "the retry was absorbed by the dedup cache");
+    for &r in &reps[1..] {
+        let held = cluster.with_node_engine(r, |e| e.docs().collection("c").get(doc.id()).is_some());
+        assert_eq!(held, Some(true), "replica {r} holds exactly the retried doc");
+    }
+    // The first acker's disk still has its copy; after it rejoins all
+    // three replicas agree and the count is exactly one.
+    cluster.rejoin_node(reps[0]).unwrap();
+    let count = cluster.handle("doc/count", &with_collection("c", b"")).unwrap();
+    assert_eq!(u64::from_be_bytes(count[..8].try_into().unwrap()), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite durability-under-membership-change: a node that crashes in
+/// the middle of its rejoin-resync (tearing its WAL tail mid-append, with
+/// a snapshot already on disk) stays down, and a later clean rejoin
+/// recovers: the torn tail is truncated, the snapshot restores, resync
+/// completes, and the node converges with its peers.
+#[test]
+fn crash_during_rejoin_resync_recovers_cleanly() {
+    let dir = temp_dir("rejoin-crash");
+    let cluster = ClusterCloud::new(ClusterConfig::volatile(3, 3, 2, 0x5EED).durable(&dir)).unwrap();
+    let insert = |i: u8| {
+        let doc = Document::new(DocId([i; 16]).to_hex()).with("v", Value::from(i64::from(i)));
+        cluster.handle("doc/insert", &with_collection("c", &encode_document(&doc))).unwrap();
+    };
+    for i in 1..=4 {
+        insert(i);
+    }
+    // Give the failing node a snapshot so its recovery exercises the
+    // snapshot + WAL-tail path, then take it down and let it miss writes.
+    cluster.with_node_engine(2, |e| e.snapshot_now()).unwrap().unwrap();
+    cluster.kill_node(2);
+    for i in 5..=8 {
+        insert(i);
+    }
+
+    // First rejoin dies mid-resync: the second replayed record's WAL
+    // append tears after 7 bytes.
+    cluster
+        .arm_rejoin_crash(2, Arc::new(CrashInjector::new(CrashPlan::at(CrashPoint::MidAppend { record: 1, byte: 7 }))));
+    let failed = cluster.rejoin_node(2);
+    assert!(failed.is_err(), "rejoin under a mid-append crash must fail");
+    assert!(!cluster.node_alive(2), "the crashed node stays down");
+    let scan = read_frames(&wal_path(&dir.join("node2"))).unwrap();
+    assert!(scan.torn_tail, "the crash left a torn WAL tail on disk");
+
+    // Second, clean rejoin: recovery truncates the torn tail and resync
+    // finishes the catch-up.
+    cluster.rejoin_node(2).unwrap();
+    assert!(cluster.node_alive(2));
+    let report = cluster.with_node_engine(2, |e| e.recovery_report().clone()).unwrap();
+    assert!(report.torn_tail, "recovery observed and truncated the torn tail");
+    assert!(report.snapshot_restored, "recovery restored the pre-crash snapshot");
+    // The rejoined node converged: it holds all eight documents.
+    let held = cluster.with_node_engine(2, |e| e.docs().collection("c").ids().len()).unwrap();
+    assert_eq!(held, 8, "node 2 converged with its peers after the crashed resync");
+    let count = cluster.handle("doc/count", &with_collection("c", b"")).unwrap();
+    assert_eq!(u64::from_be_bytes(count[..8].try_into().unwrap()), 8);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The cluster's counters, gauges and quorum-latency histogram all flow
+/// through an attached recorder: per-node op counts, membership gauges,
+/// kill/rejoin/read-repair/resync counters.
+#[test]
+fn cluster_metrics_flow_through_recorder() {
+    let recorder = datablinder_obs::Recorder::new();
+    let mut cluster = ClusterCloud::new(ClusterConfig::volatile(3, 2, 2, 0x0B5)).unwrap();
+    cluster.set_recorder(recorder.clone());
+    for i in 0..8u8 {
+        let doc = Document::new(DocId([i + 1; 16]).to_hex()).with("v", Value::from(i64::from(i)));
+        cluster.handle("doc/insert", &with_collection("c", &encode_document(&doc))).unwrap();
+    }
+    cluster.handle("doc/get", &with_collection("c", DocId([1; 16]).to_hex().as_bytes())).unwrap();
+    cluster.kill_node(1);
+    cluster.rejoin_node(1).unwrap();
+
+    let snap = recorder.snapshot();
+    assert!(snap.counter("cluster.ops") >= 9);
+    assert!(snap.counter("cluster.write.quorum_ok") >= 8);
+    let node_ops: u64 = (0..3).map(|i| snap.counter(&format!("cluster.node.{i}.ops"))).sum();
+    assert!(node_ops >= 16, "every quorum write touched R nodes: {node_ops}");
+    assert_eq!(snap.gauge("cluster.nodes"), Some(3));
+    assert_eq!(snap.gauge("cluster.node.1.alive"), Some(1), "rejoin restored the liveness gauge");
+    assert_eq!(snap.counter("cluster.kill"), 1);
+    assert_eq!(snap.counter("cluster.rejoin"), 1);
+    let lat = snap.histogram("cluster.write.quorum_latency").expect("latency histogram present");
+    assert!(lat.count >= 8);
+}
+
+/// A kill/rejoin storm driven by the seeded failure plan: the workload
+/// keeps running (writes may be Unavailable while too many nodes are down,
+/// but must never hang or double-apply) and at the end, once every node is
+/// back, the surviving acknowledged writes are all readable and fsck holds.
+#[test]
+fn seeded_crash_storm_converges() {
+    let dir = temp_dir("storm");
+    let mut cluster = ClusterCloud::new(ClusterConfig::volatile(5, 3, 2, 0x5708).durable(&dir)).unwrap();
+    cluster.set_failure_plan(NodeFailurePlan::seeded(0x5708, 5, 3, 120));
+    let cluster = Arc::new(cluster);
+    let mut gw = gateway_over(cluster.clone());
+    // Journal write groups so interrupted fan-outs can roll forward once
+    // the cluster is reachable again.
+    gw.enable_write_journal(datablinder_kvstore::KvStore::new());
+
+    let mut acked = Vec::new();
+    for i in 0..60u32 {
+        let doc = Document::new(format!("{i:032x}")).with("ward", Value::from(format!("w{}", i % 3)));
+        match gw.insert("patients", &doc) {
+            Ok(id) => acked.push(id),
+            // Below-quorum intervals surface as typed channel errors the
+            // gateway classifies as transient — never hangs.
+            Err(e) => assert!(e.is_transient(), "{e}"),
+        }
+    }
+    // Bring every node back, let resync settle the stragglers, and roll
+    // the gateway's pending write groups forward (their sub-tokens dedup
+    // the already-applied prefixes).
+    for node in 0..5 {
+        if !cluster.node_alive(node) {
+            cluster.rejoin_node(node).unwrap();
+        }
+    }
+    gw.recover_pending().unwrap();
+    assert!(!acked.is_empty(), "the storm must not starve the workload");
+    for id in &acked {
+        gw.get("patients", *id).unwrap();
+    }
+    assert!(gw.fsck("patients").unwrap().is_clean());
+    let _ = std::fs::remove_dir_all(&dir);
+}

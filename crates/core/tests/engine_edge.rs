@@ -20,7 +20,7 @@ fn gateway() -> GatewayEngine {
 
 #[test]
 fn unknown_schema_paths_error() {
-    let mut gw = gateway();
+    let gw = gateway();
     let doc = Document::new("x").with("f", Value::from("v"));
     assert!(matches!(gw.insert("nope", &doc), Err(CoreError::UnknownSchema(_))));
     assert!(matches!(gw.get("nope", DocId([0; 16])), Err(CoreError::UnknownSchema(_))));
@@ -30,7 +30,7 @@ fn unknown_schema_paths_error() {
 
 #[test]
 fn get_unknown_id_is_not_found() {
-    let mut gw = gateway();
+    let gw = gateway();
     let schema = Schema::new("s").sensitive_field(
         "f",
         FieldType::Text,
@@ -47,7 +47,7 @@ fn get_unknown_id_is_not_found() {
 fn fields_with_double_underscores_roundtrip() {
     // Shadow-field naming uses `__`; user fields containing `__` must not
     // be confused with shadow fields during recovery.
-    let mut gw = gateway();
+    let gw = gateway();
     let schema = Schema::new("s").plain_field("a__b", FieldType::Text, false).sensitive_field(
         "x__y",
         FieldType::Text,
@@ -64,7 +64,7 @@ fn fields_with_double_underscores_roundtrip() {
 
 #[test]
 fn selection_accessor_reports_only_sensitive_fields() {
-    let mut gw = gateway();
+    let gw = gateway();
     let schema = Schema::new("s").plain_field("meta", FieldType::Integer, false).sensitive_field(
         "f",
         FieldType::Text,
@@ -80,7 +80,7 @@ fn selection_accessor_reports_only_sensitive_fields() {
 
 #[test]
 fn reregistering_a_schema_is_idempotent_for_data() {
-    let mut gw = gateway();
+    let gw = gateway();
     let schema = || {
         Schema::new("s").sensitive_field(
             "owner",
@@ -101,7 +101,7 @@ fn reregistering_a_schema_is_idempotent_for_data() {
 
 #[test]
 fn empty_dnf_returns_nothing() {
-    let mut gw = gateway();
+    let gw = gateway();
     let schema = Schema::new("s").sensitive_field(
         "t",
         FieldType::Text,
@@ -116,7 +116,7 @@ fn empty_dnf_returns_nothing() {
 
 #[test]
 fn range_with_inverted_bounds_is_empty() {
-    let mut gw = gateway();
+    let gw = gateway();
     let schema = Schema::new("s").sensitive_field(
         "n",
         FieldType::Integer,
@@ -131,7 +131,7 @@ fn range_with_inverted_bounds_is_empty() {
 
 #[test]
 fn optional_sensitive_fields_may_be_absent() {
-    let mut gw = gateway();
+    let gw = gateway();
     let schema = Schema::new("s")
         .sensitive_field("req", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C1, vec![FieldOp::Insert]))
         .sensitive_field(

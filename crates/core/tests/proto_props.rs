@@ -1,0 +1,123 @@
+//! Truncation robustness for the cloud protocol codecs: every strict
+//! prefix of a *valid* encoded message must decode to a `Wire` error —
+//! never a panic, and (for the self-delimiting, trailing-byte-checked
+//! messages) never a bogus success. Complements `wire_fuzz`, which throws
+//! fully random bytes at the same decoders.
+
+use datablinder_core::cloudproto::{FindIdsDnf, FindIdsEq, FindIdsRange, Idempotent, PaillierSum, PaillierSumResponse};
+use datablinder_docstore::Value;
+use proptest::prelude::*;
+
+/// Decodes every strict prefix of `encoded`, asserting each one errors.
+/// The loop is exhaustive rather than sampled: a single byte boundary is
+/// exactly where an unchecked index would panic.
+fn assert_all_truncations_err<T: std::fmt::Debug>(
+    encoded: &[u8],
+    decode: impl Fn(&[u8]) -> Result<T, datablinder_core::CoreError>,
+) {
+    for cut in 0..encoded.len() {
+        assert!(decode(&encoded[..cut]).is_err(), "prefix of {cut}/{} decoded", encoded.len());
+    }
+}
+
+fn hexish(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn truncated_find_ids_eq_errors(
+        coll in prop::collection::vec(any::<u8>(), 0..12),
+        field in prop::collection::vec(any::<u8>(), 0..12),
+        value in prop::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let msg = FindIdsEq { collection: hexish(&coll), field: hexish(&field), value: Value::Bytes(value) };
+        let enc = msg.encode();
+        prop_assert_eq!(FindIdsEq::decode(&enc).unwrap(), msg);
+        assert_all_truncations_err(&enc, FindIdsEq::decode);
+    }
+
+    #[test]
+    fn truncated_find_ids_range_errors(
+        coll in prop::collection::vec(any::<u8>(), 0..12),
+        lo in prop::collection::vec(any::<u8>(), 0..16),
+        hi in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let msg = FindIdsRange {
+            collection: hexish(&coll),
+            field: "f__ope".into(),
+            lo: Value::Bytes(lo),
+            hi: Value::Bytes(hi),
+        };
+        let enc = msg.encode();
+        prop_assert_eq!(FindIdsRange::decode(&enc).unwrap(), msg);
+        assert_all_truncations_err(&enc, FindIdsRange::decode);
+    }
+
+    #[test]
+    fn truncated_find_ids_dnf_errors(
+        literals in prop::collection::vec(
+            prop::collection::vec((prop::collection::vec(any::<u8>(), 0..6), any::<i64>()), 0..3),
+            0..3,
+        ),
+    ) {
+        let dnf: Vec<Vec<(String, Value)>> = literals
+            .iter()
+            .map(|conj| conj.iter().map(|(f, v)| (hexish(f), Value::from(*v))).collect())
+            .collect();
+        let msg = FindIdsDnf { collection: "c".into(), dnf };
+        let enc = msg.encode();
+        prop_assert_eq!(FindIdsDnf::decode(&enc).unwrap(), msg);
+        assert_all_truncations_err(&enc, FindIdsDnf::decode);
+    }
+
+    #[test]
+    fn truncated_paillier_sum_errors(
+        ids in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..16), 0..5),
+    ) {
+        let msg = PaillierSum {
+            collection: "c".into(),
+            field: "v__phe".into(),
+            ids: ids.iter().map(|i| hexish(i)).collect(),
+        };
+        let enc = msg.encode();
+        prop_assert_eq!(PaillierSum::decode(&enc).unwrap(), msg);
+        assert_all_truncations_err(&enc, PaillierSum::decode);
+    }
+
+    #[test]
+    fn truncated_idempotent_errors(
+        token in any::<u128>(),
+        route in prop::collection::vec(any::<u8>(), 0..16),
+        payload in prop::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let msg = Idempotent { token: token.to_be_bytes(), route: hexish(&route), payload };
+        let enc = msg.encode();
+        prop_assert_eq!(Idempotent::decode(&enc).unwrap(), msg);
+        assert_all_truncations_err(&enc, Idempotent::decode);
+    }
+
+    #[test]
+    fn truncated_sum_response_never_panics(
+        count in any::<u64>(),
+        ciphertext in prop::collection::vec(any::<u8>(), 0..48),
+    ) {
+        // The ciphertext is the unframed tail, so truncation inside it
+        // still parses (with a shorter accumulator); truncation inside
+        // the count header must error. Either way: no panic.
+        let msg = PaillierSumResponse { ciphertext, count };
+        let enc = msg.encode();
+        prop_assert_eq!(PaillierSumResponse::decode(&enc).unwrap(), msg);
+        for cut in 0..enc.len() {
+            match PaillierSumResponse::decode(&enc[..cut]) {
+                Ok(partial) => {
+                    prop_assert!(cut >= 8);
+                    prop_assert_eq!(partial.count, count);
+                }
+                Err(_) => prop_assert!(cut < 8),
+            }
+        }
+    }
+}

@@ -137,6 +137,122 @@ impl CrashInjector {
     }
 }
 
+/// A cluster-membership event: one node leaves or returns.
+///
+/// Where [`CrashPoint`] kills *the* cloud process, a [`NodeEvent`] kills one
+/// node of a replicated cluster — the rest keep serving, and a rejoining
+/// node is expected to resync from its peers' WALs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// Node `idx` vanishes: its in-memory engine is dropped, its durable
+    /// state stays on disk.
+    Kill(usize),
+    /// Node `idx` restarts from its own disk and resyncs from live peers.
+    Rejoin(usize),
+}
+
+/// A deterministic schedule of [`NodeEvent`]s keyed by operation count.
+///
+/// The cluster ticks the companion [`NodeFailureInjector`] once per handled
+/// request; every event whose op index has been reached fires exactly once,
+/// in schedule order. Like [`CrashPlan`], a seeded constructor derives the
+/// whole schedule from one SplitMix64 stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeFailurePlan {
+    events: Vec<(u64, NodeEvent)>,
+}
+
+impl NodeFailurePlan {
+    /// A plan firing exactly the given `(op_index, event)` pairs. The list
+    /// is sorted by op index (stable, so same-index events keep their
+    /// relative order).
+    pub fn at(mut events: Vec<(u64, NodeEvent)>) -> Self {
+        events.sort_by_key(|(op, _)| *op);
+        NodeFailurePlan { events }
+    }
+
+    /// An empty plan: the cluster never loses a node.
+    pub fn none() -> Self {
+        NodeFailurePlan { events: Vec::new() }
+    }
+
+    /// Derives `cycles` kill/rejoin pairs over `nodes` nodes from `seed`,
+    /// landing on the first `horizon` operations. Each cycle kills one
+    /// node and rejoins it a seeded number of ops later; equal seeds give
+    /// equal plans.
+    pub fn seeded(seed: u64, nodes: usize, cycles: usize, horizon: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x0DE7_EC7A_B1E0_FA11);
+        let nodes = nodes.max(1) as u64;
+        let horizon = horizon.max(2);
+        let mut events = Vec::with_capacity(cycles * 2);
+        for _ in 0..cycles {
+            let victim = (rng.next_u64() % nodes) as usize;
+            let kill_at = rng.next_u64() % (horizon - 1);
+            let down_for = 1 + rng.next_u64() % (horizon - kill_at).max(1);
+            events.push((kill_at, NodeEvent::Kill(victim)));
+            events.push((kill_at + down_for, NodeEvent::Rejoin(victim)));
+        }
+        NodeFailurePlan::at(events)
+    }
+
+    /// The scheduled events, sorted by op index.
+    pub fn events(&self) -> &[(u64, NodeEvent)] {
+        &self.events
+    }
+}
+
+/// Shared, thread-safe membership-event source the cluster ticks per op.
+///
+/// `on_op` counts the operation and returns every not-yet-fired event whose
+/// op index has been reached, in schedule order — the caller executes the
+/// kills/rejoins. Firing is exactly-once even under concurrent ticks.
+#[derive(Debug)]
+pub struct NodeFailureInjector {
+    plan: NodeFailurePlan,
+    ops: AtomicU64,
+    cursor: AtomicU64,
+}
+
+impl NodeFailureInjector {
+    /// A live injector armed with `plan`.
+    pub fn new(plan: NodeFailurePlan) -> Self {
+        NodeFailureInjector { plan, ops: AtomicU64::new(0), cursor: AtomicU64::new(0) }
+    }
+
+    /// Counts one cluster operation and drains the events it triggers.
+    pub fn on_op(&self) -> Vec<NodeEvent> {
+        let n = self.ops.fetch_add(1, Ordering::SeqCst);
+        let mut fired = Vec::new();
+        loop {
+            let cur = self.cursor.load(Ordering::SeqCst) as usize;
+            match self.plan.events.get(cur) {
+                Some(&(op, event)) if op <= n => {
+                    // Claim this event; lose the race → another thread fires it.
+                    if self
+                        .cursor
+                        .compare_exchange(cur as u64, cur as u64 + 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        fired.push(event);
+                    }
+                }
+                _ => break,
+            }
+        }
+        fired
+    }
+
+    /// Operations ticked so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Whether every scheduled event has fired.
+    pub fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::SeqCst) as usize >= self.plan.events.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +303,38 @@ mod tests {
             })
             .collect();
         assert_eq!(modes.len(), 3, "seeds cover all crash modes");
+    }
+
+    #[test]
+    fn node_events_fire_once_in_order() {
+        let plan = NodeFailurePlan::at(vec![(3, NodeEvent::Rejoin(1)), (1, NodeEvent::Kill(1))]);
+        assert_eq!(plan.events(), &[(1, NodeEvent::Kill(1)), (3, NodeEvent::Rejoin(1))]);
+        let inj = NodeFailureInjector::new(plan);
+        assert!(inj.on_op().is_empty(), "op 0: nothing scheduled yet");
+        assert_eq!(inj.on_op(), vec![NodeEvent::Kill(1)], "op 1: kill fires");
+        assert!(inj.on_op().is_empty());
+        assert_eq!(inj.on_op(), vec![NodeEvent::Rejoin(1)]);
+        assert!(inj.exhausted());
+        assert!(inj.on_op().is_empty(), "events fire exactly once");
+    }
+
+    #[test]
+    fn node_events_catch_up_in_one_tick() {
+        // Two events scheduled at op 0 both drain on the first tick.
+        let plan = NodeFailurePlan::at(vec![(0, NodeEvent::Kill(2)), (0, NodeEvent::Rejoin(2))]);
+        let inj = NodeFailureInjector::new(plan);
+        assert_eq!(inj.on_op(), vec![NodeEvent::Kill(2), NodeEvent::Rejoin(2)]);
+    }
+
+    #[test]
+    fn seeded_node_plans_are_deterministic_and_paired() {
+        let a = NodeFailurePlan::seeded(9, 5, 3, 100);
+        assert_eq!(a, NodeFailurePlan::seeded(9, 5, 3, 100));
+        assert_eq!(a.events().len(), 6, "3 cycles = 3 kills + 3 rejoins");
+        let kills = a.events().iter().filter(|(_, e)| matches!(e, NodeEvent::Kill(_))).count();
+        assert_eq!(kills, 3);
+        for (op, _) in a.events() {
+            assert!(*op <= 200, "events land near the horizon: {op}");
+        }
     }
 }

@@ -45,7 +45,7 @@ pub mod fault;
 pub mod prelude;
 pub mod resilient;
 
-pub use crash::{CrashInjector, CrashPlan, CrashPoint, CrashVerdict};
+pub use crash::{CrashInjector, CrashPlan, CrashPoint, CrashVerdict, NodeEvent, NodeFailureInjector, NodeFailurePlan};
 pub use fault::{FaultPlan, FaultStats, FaultStatsSnapshot, FaultyService, RouteFaults};
 pub use resilient::{
     breaker_gauge, BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig, ResilientChannel, RetryPolicy,
@@ -66,6 +66,10 @@ pub enum NetError {
     /// The circuit breaker is open; the call was failed fast without
     /// touching the network.
     CircuitOpen,
+    /// Too few replicas answered to satisfy the requested quorum. Unlike
+    /// [`NetError::Timeout`], the cluster *did* respond — it simply could
+    /// not gather enough durable acks. Retryable: replicas may rejoin.
+    Unavailable(String),
 }
 
 impl std::fmt::Display for NetError {
@@ -76,6 +80,7 @@ impl std::fmt::Display for NetError {
             NetError::MalformedFrame => write!(f, "malformed frame"),
             NetError::Timeout => write!(f, "timed out"),
             NetError::CircuitOpen => write!(f, "circuit breaker open"),
+            NetError::Unavailable(m) => write!(f, "quorum unavailable: {m}"),
         }
     }
 }
@@ -447,6 +452,7 @@ fn encode_response(result: &Result<Vec<u8>, NetError>) -> Vec<u8> {
                 NetError::MalformedFrame => (3, String::new()),
                 NetError::Timeout => (4, String::new()),
                 NetError::CircuitOpen => (5, String::new()),
+                NetError::Unavailable(m) => (6, m.clone()),
             };
             buf.put_u8(tag);
             let msg = msg.into_bytes();
@@ -475,6 +481,7 @@ fn decode_response(response: &[u8]) -> Result<Vec<u8>, NetError> {
         3 => Err(NetError::MalformedFrame),
         4 => Err(NetError::Timeout),
         5 => Err(NetError::CircuitOpen),
+        6 => Err(NetError::Unavailable(String::from_utf8_lossy(&body).into_owned())),
         _ => Err(NetError::MalformedFrame),
     }
 }
@@ -628,6 +635,8 @@ mod tests {
         assert_eq!(decode_response(&timeout), Err(NetError::Timeout));
         let open = encode_response(&Err(NetError::CircuitOpen));
         assert_eq!(decode_response(&open), Err(NetError::CircuitOpen));
+        let unavail = encode_response(&Err(NetError::Unavailable("1/2 acks".into())));
+        assert_eq!(decode_response(&unavail), Err(NetError::Unavailable("1/2 acks".into())));
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! use datablinder_netsim::prelude::*;
 //! ```
 
-pub use crate::crash::{CrashInjector, CrashPlan, CrashPoint, CrashVerdict};
+pub use crate::crash::{
+    CrashInjector, CrashPlan, CrashPoint, CrashVerdict, NodeEvent, NodeFailureInjector, NodeFailurePlan,
+};
 pub use crate::fault::{FaultPlan, FaultStats, FaultStatsSnapshot, FaultyService, RouteFaults};
 pub use crate::resilient::{
     BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig, ResilientChannel, RetryPolicy,

@@ -81,7 +81,7 @@ impl RetryPolicy {
     /// routes are deterministic bugs; remote failures are configurable.
     pub fn is_retryable(&self, err: &NetError) -> bool {
         match err {
-            NetError::Timeout | NetError::MalformedFrame | NetError::CircuitOpen => true,
+            NetError::Timeout | NetError::MalformedFrame | NetError::CircuitOpen | NetError::Unavailable(_) => true,
             NetError::Remote(_) => self.retry_remote,
             NetError::UnknownRoute(_) => false,
         }
@@ -435,7 +435,7 @@ pub fn breaker_gauge(state: BreakerState) -> i64 {
 
 fn is_transport_failure(err: &NetError) -> bool {
     // Only evidence that the *path* is unhealthy counts toward the breaker.
-    // Remote/UnknownRoute mean the other side answered.
+    // Remote/UnknownRoute/Unavailable mean the other side answered.
     matches!(err, NetError::Timeout | NetError::MalformedFrame)
 }
 
@@ -471,6 +471,7 @@ mod tests {
         assert!(policy.is_retryable(&NetError::Timeout));
         assert!(policy.is_retryable(&NetError::MalformedFrame));
         assert!(policy.is_retryable(&NetError::CircuitOpen));
+        assert!(policy.is_retryable(&NetError::Unavailable("1/2 acks".into())));
         assert!(!policy.is_retryable(&NetError::Remote("app bug".into())));
         assert!(!policy.is_retryable(&NetError::UnknownRoute("x".into())));
         let lenient = RetryPolicy { retry_remote: true, ..policy };

@@ -407,7 +407,7 @@ impl MiddlewareClient {
     pub fn new(channel: Channel, worker: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(0x5C + worker);
         let kms = Kms::generate(&mut rng);
-        let mut engine = GatewayEngine::new(&format!("bench-w{worker}"), kms, channel, 0xC0DE + worker);
+        let engine = GatewayEngine::new(&format!("bench-w{worker}"), kms, channel, 0xC0DE + worker);
         let schema = format!("observation-w{worker}");
         engine.register_schema(bench_schema_named(&schema)).expect("bench schema registers");
         MiddlewareClient { engine, schema }

@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The application keeps working against the re-routed registry.
     let kms = Kms::generate(&mut rng);
     let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
-    let mut gateway = GatewayEngine::with_registry("agile", kms.clone(), channel, 11, registry);
+    let gateway = GatewayEngine::with_registry("agile", kms.clone(), channel, 11, registry);
     gateway.register_schema(schema())?;
     gateway.insert("records", &Document::new("x").with("owner", Value::from("dana")))?;
     let hits = gateway.find_equal("records", "owner", &Value::from("dana"))?;

@@ -55,7 +55,7 @@ fn invoice_schema() -> Schema {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let channel = Channel::connect(CloudEngine::new(), LatencyModel::lan());
     let mut rng = rand::rngs::StdRng::seed_from_u64(77);
-    let mut gateway = GatewayEngine::new("unifiedpost", Kms::generate(&mut rng), channel, 3);
+    let gateway = GatewayEngine::new("unifiedpost", Kms::generate(&mut rng), channel, 3);
     gateway.register_schema(invoice_schema())?;
 
     println!("invoice field protection:");

@@ -23,7 +23,7 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let channel = Channel::connect(CloudEngine::new(), LatencyModel::lan());
     let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
-    let mut gateway = GatewayEngine::new("ehealth", Kms::generate(&mut rng), channel, 99);
+    let gateway = GatewayEngine::new("ehealth", Kms::generate(&mut rng), channel, 99);
 
     gateway.register_schema(observation_schema())?;
 

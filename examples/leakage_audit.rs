@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let docs = cloud.docs().clone();
     let channel = Channel::connect(cloud, LatencyModel::instant());
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    let mut gateway = GatewayEngine::new("audit", Kms::generate(&mut rng), channel, 8);
+    let gateway = GatewayEngine::new("audit", Kms::generate(&mut rng), channel, 8);
     gateway.register_schema(bench_schema())?;
 
     // Insert a corpus and remember the plaintext order of `effective`

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The trusted zone: KMS + gateway.
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     let kms = Kms::generate(&mut rng);
-    let mut gateway = GatewayEngine::new("quickstart", kms, channel, 7);
+    let gateway = GatewayEngine::new("quickstart", kms, channel, 7);
 
     // Annotate the schema: author is searchable at protection class 2
     // (identifier-level leakage), the body is class 1 (structure only).

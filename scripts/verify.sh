@@ -17,6 +17,9 @@ cargo test --release -q --test resilience
 echo "==> cargo test --release --test concurrency (shared-gateway model suite)"
 cargo test --release -q --test concurrency
 
+echo "==> cargo test --release --test cluster (replicated-cloud crash storms under optimization)"
+cargo test --release -q -p datablinder-core --test cluster
+
 echo "==> metrics smoke: observed fig5 run emits a parseable snapshot with live route counters"
 cargo run --release -q -p datablinder-bench --bin fig5_throughput -- \
     --net instant --workers 4 --requests 200 --observe |
@@ -42,6 +45,20 @@ grep -q '"crt_not_slower":true' "$CRYPTO_JSON" ||
 grep -q '"cached_encrypt_faster":true' "$CRYPTO_JSON" ||
     { echo "crypto smoke: amortized encryption not faster than per-call-context path" >&2; cat "$CRYPTO_JSON" >&2; exit 1; }
 rm -f "$CRYPTO_JSON"
+
+echo "==> cluster-bench smoke: node-count ladder emits BENCH_cluster.json with quorum throughput fields"
+CLUSTER_JSON="$(mktemp -t BENCH_cluster.XXXXXX.json)"
+cargo run --release -q -p datablinder-bench --bin fig5_throughput -- \
+    --cluster --requests 300 --out "$CLUSTER_JSON" > /dev/null
+[ -s "$CLUSTER_JSON" ] ||
+    { echo "cluster smoke: BENCH_cluster.json not produced" >&2; exit 1; }
+grep -q '"quorum_write_per_s":[1-9]' "$CLUSTER_JSON" ||
+    { echo "cluster smoke: quorum write throughput missing or zero" >&2; cat "$CLUSTER_JSON" >&2; exit 1; }
+grep -q '"quorum_read_per_s":[1-9]' "$CLUSTER_JSON" ||
+    { echo "cluster smoke: quorum read throughput missing or zero" >&2; cat "$CLUSTER_JSON" >&2; exit 1; }
+grep -q '"rejoins":1' "$CLUSTER_JSON" ||
+    { echo "cluster smoke: mid-run kill/rejoin did not happen on a multi-node rung" >&2; cat "$CLUSTER_JSON" >&2; exit 1; }
+rm -f "$CLUSTER_JSON"
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

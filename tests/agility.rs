@@ -32,7 +32,7 @@ fn ore_serves_ranges_when_ope_is_deprecated() {
 
     let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(0x0AE);
-    let mut gw = GatewayEngine::with_registry("agile", Kms::generate(&mut rng), channel, 1, registry);
+    let gw = GatewayEngine::with_registry("agile", Kms::generate(&mut rng), channel, 1, registry);
     gw.register_schema(range_schema()).unwrap();
 
     for t in [100i64, 200, 300, 400] {
@@ -51,7 +51,7 @@ fn payload_key_rotation_reencrypts_documents() {
     let docs = cloud.docs().clone();
     let channel = Channel::connect(cloud, LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(0x0707);
-    let mut gw = GatewayEngine::new("rotate", Kms::generate(&mut rng), channel, 2);
+    let gw = GatewayEngine::new("rotate", Kms::generate(&mut rng), channel, 2);
 
     let schema = Schema::new("vault").sensitive_field(
         "secret",
@@ -101,7 +101,7 @@ fn payload_key_rotation_reencrypts_documents() {
 fn rotation_of_det_keeps_equality_search_consistent() {
     let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(0x0708);
-    let mut gw = GatewayEngine::new("rotate-det", Kms::generate(&mut rng), channel, 3);
+    let gw = GatewayEngine::new("rotate-det", Kms::generate(&mut rng), channel, 3);
     let schema = Schema::new("cards").sensitive_field(
         "kind",
         FieldType::Text,
@@ -132,7 +132,7 @@ fn zmf_variant_serves_boolean_when_2lev_deprecated() {
     registry.deprecate("biex-2lev");
     let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(0x0709);
-    let mut gw = GatewayEngine::with_registry("zmf", Kms::generate(&mut rng), channel, 4, registry);
+    let gw = GatewayEngine::with_registry("zmf", Kms::generate(&mut rng), channel, 4, registry);
     let schema = Schema::new("posts")
         .sensitive_field(
             "tag",
@@ -163,7 +163,7 @@ fn index_key_rotation_rebuilds_searchable_index() {
     let kv = cloud.kv().clone();
     let channel = Channel::connect(cloud, LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(0x1D0);
-    let mut gw = GatewayEngine::new("rotidx", Kms::generate(&mut rng), channel, 9);
+    let gw = GatewayEngine::new("rotidx", Kms::generate(&mut rng), channel, 9);
     let schema = Schema::new("notes").sensitive_field(
         "owner",
         FieldType::Text,
@@ -199,7 +199,7 @@ fn index_key_rotation_rebuilds_searchable_index() {
 fn index_rotation_rejects_non_index_tactics() {
     let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(0x1D1);
-    let mut gw = GatewayEngine::new("rotidx2", Kms::generate(&mut rng), channel, 10);
+    let gw = GatewayEngine::new("rotidx2", Kms::generate(&mut rng), channel, 10);
     let schema = Schema::new("cards").sensitive_field(
         "kind",
         FieldType::Text,

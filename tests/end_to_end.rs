@@ -16,7 +16,7 @@ use rand::SeedableRng;
 fn setup() -> (GatewayEngine, Vec<Document>) {
     let channel = Channel::connect(CloudEngine::new(), LatencyModel::lan());
     let mut rng = StdRng::seed_from_u64(0xE2E);
-    let mut gateway = GatewayEngine::new("e2e", Kms::generate(&mut rng), channel, 5);
+    let gateway = GatewayEngine::new("e2e", Kms::generate(&mut rng), channel, 5);
     gateway.register_schema(observation_schema()).unwrap();
 
     let mut corpus = vec![example_observation()];
@@ -36,7 +36,7 @@ fn subject_of(d: &Document) -> &str {
 
 #[test]
 fn equality_search_matches_oracle() {
-    let (mut gw, corpus) = setup();
+    let (gw, corpus) = setup();
     for needle in ["John Doe", "Patient 00003", "Patient 00007", "Nobody"] {
         let hits = gw.find_equal("observation", "subject", &Value::from(needle)).unwrap();
         let expect = corpus.iter().filter(|d| subject_of(d) == needle).count();
@@ -49,7 +49,7 @@ fn equality_search_matches_oracle() {
 
 #[test]
 fn boolean_search_matches_oracle() {
-    let (mut gw, corpus) = setup();
+    let (gw, corpus) = setup();
     let dnf: DnfLiterals = vec![
         vec![("status".into(), Value::from("final")), ("code".into(), Value::from("glucose"))],
         vec![("status".into(), Value::from("amended"))],
@@ -67,7 +67,7 @@ fn boolean_search_matches_oracle() {
 
 #[test]
 fn range_search_matches_oracle() {
-    let (mut gw, corpus) = setup();
+    let (gw, corpus) = setup();
     let (lo, hi) = (1_400_000_000i64, 1_500_000_000i64);
     let hits = gw.find_range("observation", "effective", &Value::from(lo), &Value::from(hi)).unwrap();
     let expect = corpus
@@ -86,7 +86,7 @@ fn range_search_matches_oracle() {
 
 #[test]
 fn homomorphic_average_matches_oracle() {
-    let (mut gw, corpus) = setup();
+    let (gw, corpus) = setup();
     let avg = gw.aggregate("observation", "value", AggFn::Avg, None).unwrap();
     let oracle: f64 =
         corpus.iter().map(|d| d.get("value").unwrap().as_f64().unwrap()).sum::<f64>() / corpus.len() as f64;
@@ -111,7 +111,7 @@ fn homomorphic_average_matches_oracle() {
 
 #[test]
 fn get_roundtrips_every_field() {
-    let (mut gw, _) = setup();
+    let (gw, _) = setup();
     let doc = example_observation();
     let id = gw.insert("observation", &doc).unwrap();
     let got = gw.get("observation", id).unwrap();
@@ -122,7 +122,7 @@ fn get_roundtrips_every_field() {
 
 #[test]
 fn delete_removes_document_and_index_entries() {
-    let (mut gw, _) = setup();
+    let (gw, _) = setup();
     let doc = Document::new("x")
         .with("identifier", Value::from(999_999i64))
         .with("status", Value::from("final"))
@@ -146,7 +146,7 @@ fn delete_removes_document_and_index_entries() {
 
 #[test]
 fn update_replaces_values_and_indexes() {
-    let (mut gw, _) = setup();
+    let (gw, _) = setup();
     let doc = example_observation();
     let id = gw.insert("observation", &doc).unwrap();
 
@@ -166,7 +166,7 @@ fn update_replaces_values_and_indexes() {
 
 #[test]
 fn count_tracks_inserts() {
-    let (mut gw, corpus) = setup();
+    let (gw, corpus) = setup();
     assert_eq!(gw.count("observation").unwrap(), corpus.len() as u64);
     gw.insert("observation", &example_observation()).unwrap();
     assert_eq!(gw.count("observation").unwrap(), corpus.len() as u64 + 1);
@@ -182,14 +182,14 @@ fn tactic_state_survives_gateway_restart() {
     let mut rng = StdRng::seed_from_u64(404);
     let kms = Kms::generate(&mut rng);
 
-    let mut gw1 = GatewayEngine::new("restart", kms.clone(), channel.clone(), 1);
+    let gw1 = GatewayEngine::new("restart", kms.clone(), channel.clone(), 1);
     gw1.register_schema(observation_schema()).unwrap();
     gw1.insert("observation", &example_observation()).unwrap();
     let state = gw1.export_tactic_state();
     assert!(!state.is_empty(), "mitra/biex state expected");
     drop(gw1);
 
-    let mut gw2 = GatewayEngine::new("restart", kms, channel, 2);
+    let gw2 = GatewayEngine::new("restart", kms, channel, 2);
     gw2.register_schema(observation_schema()).unwrap();
     gw2.import_tactic_state(&state).unwrap();
     let hits = gw2.find_equal("observation", "subject", &Value::from("John Doe")).unwrap();
@@ -202,7 +202,7 @@ fn tactic_state_survives_gateway_restart() {
 
 #[test]
 fn min_max_over_encrypted_timestamps() {
-    let (mut gw, corpus) = setup();
+    let (gw, corpus) = setup();
     let max_doc = gw.find_extreme("observation", "effective", true).unwrap().unwrap();
     let min_doc = gw.find_extreme("observation", "effective", false).unwrap().unwrap();
     let oracle_max = corpus.iter().map(|d| d.get("effective").unwrap().as_i64().unwrap()).max().unwrap();
@@ -221,9 +221,9 @@ fn batched_insert_is_equivalent_and_cheaper_on_round_trips() {
     let mut rng = StdRng::seed_from_u64(0xBA7C);
     let kms = Kms::generate(&mut rng);
 
-    let mut gw_single = GatewayEngine::new("batch", kms.clone(), channel_single, 1);
+    let gw_single = GatewayEngine::new("batch", kms.clone(), channel_single, 1);
     gw_single.register_schema(observation_schema()).unwrap();
-    let mut gw_batch = GatewayEngine::new("batch", kms, channel_batch, 1);
+    let gw_batch = GatewayEngine::new("batch", kms, channel_batch, 1);
     gw_batch.register_schema(observation_schema()).unwrap();
 
     let mut generator = ObservationGenerator::new(5);
@@ -264,7 +264,7 @@ fn batched_insert_is_equivalent_and_cheaper_on_round_trips() {
 fn migration_builds_static_boolean_base_then_overlays() {
     let channel = Channel::connect(CloudEngine::new(), LatencyModel::lan());
     let mut rng = StdRng::seed_from_u64(0x316);
-    let mut gw = GatewayEngine::new("migrate", Kms::generate(&mut rng), channel, 6);
+    let gw = GatewayEngine::new("migrate", Kms::generate(&mut rng), channel, 6);
     gw.register_schema(observation_schema()).unwrap();
 
     // Initial migration: a corpus bulk-loaded with the static BIEX base.

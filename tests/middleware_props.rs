@@ -64,7 +64,7 @@ proptest! {
     fn middleware_equals_plaintext_oracle(records in prop::collection::vec(arb_record(), 1..25)) {
         let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
         let mut rng = StdRng::seed_from_u64(0xAB);
-        let mut gw = GatewayEngine::new("prop", Kms::generate(&mut rng), channel, 3);
+        let gw = GatewayEngine::new("prop", Kms::generate(&mut rng), channel, 3);
         gw.register_schema(schema()).unwrap();
         for r in &records {
             gw.insert("records", &doc_of(r)).unwrap();
@@ -101,7 +101,7 @@ proptest! {
     fn roundtrip_arbitrary_text_values(texts in prop::collection::vec("[a-zA-Z0-9 ]{0,40}", 1..8)) {
         let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
         let mut rng = StdRng::seed_from_u64(0xCD);
-        let mut gw = GatewayEngine::new("prop2", Kms::generate(&mut rng), channel, 4);
+        let gw = GatewayEngine::new("prop2", Kms::generate(&mut rng), channel, 4);
         let schema = Schema::new("blobs").sensitive_field(
             "data",
             FieldType::Text,

@@ -40,7 +40,7 @@ fn corpus(seed: u64, n: usize) -> Vec<Document> {
 
 #[test]
 fn gateway_routes_record_counts_latencies_and_spans() {
-    let mut gw = observed_gateway(0x0B51);
+    let gw = observed_gateway(0x0B51);
     let docs = corpus(0x0B51, 12);
     let ids: Vec<_> = docs.iter().map(|d| gw.insert("observation", d).unwrap()).collect();
 
@@ -96,7 +96,7 @@ fn gateway_routes_record_counts_latencies_and_spans() {
 fn default_gateway_records_nothing() {
     let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(7);
-    let mut gw = GatewayEngine::new("obs-test", Kms::generate(&mut rng), channel, 7);
+    let gw = GatewayEngine::new("obs-test", Kms::generate(&mut rng), channel, 7);
     gw.register_schema(observation_schema()).unwrap();
     gw.insert("observation", &example_observation()).unwrap();
     gw.find_equal("observation", "subject", &Value::from("John Doe")).unwrap();
@@ -110,7 +110,7 @@ fn default_gateway_records_nothing() {
 
 #[test]
 fn leakage_audit_stays_within_declared_bounds() {
-    let mut gw = observed_gateway(0x0B52);
+    let gw = observed_gateway(0x0B52);
     for doc in corpus(0x0B52, 20) {
         gw.insert("observation", &doc).unwrap();
     }
@@ -230,7 +230,7 @@ fn measurements_can_be_cleared() {
 
 #[test]
 fn snapshot_json_parses_with_nonzero_route_counters() {
-    let mut gw = observed_gateway(0x0B54);
+    let gw = observed_gateway(0x0B54);
     for doc in corpus(0x0B54, 5) {
         gw.insert("observation", &doc).unwrap();
     }
@@ -264,7 +264,7 @@ fn cloud_engine_counts_tactic_ops_and_dedup_hits() {
     cloud.set_recorder(recorder.clone());
     let channel = Channel::from_arc(Arc::new(cloud), LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(0x0B55);
-    let mut gw = GatewayEngine::new("obs-test", Kms::generate(&mut rng), channel, 0x0B55);
+    let gw = GatewayEngine::new("obs-test", Kms::generate(&mut rng), channel, 0x0B55);
     gw.register_schema(observation_schema()).unwrap();
     for doc in corpus(0x0B55, 6) {
         gw.insert("observation", &doc).unwrap();

@@ -20,7 +20,7 @@ fn gateway() -> GatewayEngine {
 #[test]
 fn unsatisfiable_schema_rejected_at_registration() {
     use FieldOp::*;
-    let mut gw = gateway();
+    let gw = gateway();
     // Range queries demand order leakage; class 3 forbids it.
     let schema = Schema::new("bad").sensitive_field(
         "when",
@@ -35,7 +35,7 @@ fn unsatisfiable_schema_rejected_at_registration() {
 #[test]
 fn schema_violations_rejected_at_insert() {
     use FieldOp::*;
-    let mut gw = gateway();
+    let gw = gateway();
     let schema = Schema::new("notes").plain_field("n", FieldType::Integer, true).sensitive_field(
         "owner",
         FieldType::Text,
@@ -67,7 +67,7 @@ fn schema_violations_rejected_at_insert() {
 #[test]
 fn operations_not_in_annotation_rejected() {
     use FieldOp::*;
-    let mut gw = gateway();
+    let gw = gateway();
     let schema = Schema::new("notes")
         .sensitive_field(
             "owner",
@@ -97,7 +97,7 @@ fn weakest_link_rule_bounds_selection() {
     // "chain is only as strong as its weakest link" rule, checked through
     // the live registry.
     use FieldOp::*;
-    let mut gw = gateway();
+    let gw = gateway();
     let schema = Schema::new("mixed")
         .sensitive_field("a", FieldType::Text, true, FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]))
         .sensitive_field(
@@ -128,7 +128,7 @@ fn weakest_link_rule_bounds_selection() {
 #[test]
 fn mixed_boolean_across_incompatible_tactics_rejected() {
     use FieldOp::*;
-    let mut gw = gateway();
+    let gw = gateway();
     let schema = Schema::new("mixed")
         // BIEX field and Mitra-only field cannot be boolean-combined.
         .sensitive_field(

@@ -59,7 +59,7 @@ fn storm_run(seed: u64) -> (MetricsSnapshot, FaultStatsSnapshot, u64, Vec<Vec<St
         ..ResilienceConfig::default()
     };
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut gw =
+    let gw =
         GatewayEngine::with_resilience("storm", Kms::generate(&mut rng), ResilientChannel::new(channel, config), seed);
     gw.register_schema(simple_schema()).unwrap();
 
@@ -182,7 +182,7 @@ fn channel_failures_surface_as_errors_not_corruption() {
     let svc = FaultyService::new(CloudEngine::new(), FaultPlan::uniform(RouteFaults::none().with_fail(0.2)), 21);
     let channel = Channel::connect(svc, LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(1);
-    let mut gw = GatewayEngine::new("flaky", Kms::generate(&mut rng), channel, 1);
+    let gw = GatewayEngine::new("flaky", Kms::generate(&mut rng), channel, 1);
     gw.register_schema(simple_schema()).unwrap();
 
     let mut ok = 0usize;
@@ -216,7 +216,7 @@ fn byzantine_cloud_responses_are_rejected() {
     let svc = FaultyService::new(CloudEngine::new(), plan, 2);
     let channel = Channel::connect(svc, LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(2);
-    let mut gw = GatewayEngine::new("byz", Kms::generate(&mut rng), channel, 2);
+    let gw = GatewayEngine::new("byz", Kms::generate(&mut rng), channel, 2);
     gw.register_schema(simple_schema()).unwrap();
     // Inserts survive: writes travel inside the idempotency envelope (route
     // "idem"), which the tactic-only override leaves untouched.
@@ -240,8 +240,7 @@ fn mid_batch_failure_leaves_no_half_indexed_documents() {
     let kms = Kms::generate(&mut rng);
     const SEED: u64 = 42;
 
-    let mut gw_a =
-        GatewayEngine::new("app", kms.clone(), Channel::from_arc(cloud.clone(), LatencyModel::instant()), SEED);
+    let gw_a = GatewayEngine::new("app", kms.clone(), Channel::from_arc(cloud.clone(), LatencyModel::instant()), SEED);
     gw_a.register_schema(simple_schema()).unwrap();
     let id1 = gw_a
         .insert("notes", &Document::new("x").with("owner", Value::from("tmp")).with("note", Value::from("d1")))
@@ -252,7 +251,7 @@ fn mid_batch_failure_leaves_no_half_indexed_documents() {
     gw_a.delete("notes", id1).unwrap(); // free the first id slot
 
     // Same id-generator seed, fresh gateway: mints id1, id2, id3 again.
-    let mut gw_b = GatewayEngine::new("app", kms, Channel::from_arc(cloud, LatencyModel::instant()), SEED);
+    let gw_b = GatewayEngine::new("app", kms, Channel::from_arc(cloud, LatencyModel::instant()), SEED);
     gw_b.register_schema(simple_schema()).unwrap();
     let batch = [
         Document::new("x").with("owner", Value::from("alice")).with("note", Value::from("e1")),
@@ -297,7 +296,7 @@ fn gateway_state_survives_crash_via_semi_durable_store() {
 
     {
         let state_store = KvStore::open_semi_durable(&path).unwrap();
-        let mut gw = GatewayEngine::new("crashy", kms.clone(), channel.clone(), 3);
+        let gw = GatewayEngine::new("crashy", kms.clone(), channel.clone(), 3);
         gw.register_schema(simple_schema()).unwrap();
         for i in 0..5 {
             gw.insert("notes", &Document::new("x").with("owner", Value::from(format!("o{}", i % 2)))).unwrap();
@@ -307,7 +306,7 @@ fn gateway_state_survives_crash_via_semi_durable_store() {
     }
 
     let state_store = KvStore::open_semi_durable(&path).unwrap();
-    let mut gw = GatewayEngine::new("crashy", kms, channel, 4);
+    let gw = GatewayEngine::new("crashy", kms, channel, 4);
     gw.register_schema(simple_schema()).unwrap();
     gw.load_state(&state_store).unwrap();
 
@@ -678,7 +677,7 @@ fn unapplyable_journal_entry_is_reported_failed() {
     let kms = Kms::generate(&mut rng);
     const ID_SEED: u64 = 42;
 
-    let mut gw_a =
+    let gw_a =
         GatewayEngine::new("journal", kms.clone(), Channel::from_arc(svc.clone(), LatencyModel::instant()), ID_SEED);
     gw_a.register_schema(simple_schema()).unwrap();
     gw_a.insert("notes", &Document::new("x").with("owner", Value::from("first"))).unwrap();
@@ -721,7 +720,7 @@ fn unapplyable_journal_entry_is_reported_failed() {
 fn fsck_detects_orphans_and_missing_index_entries() {
     let cloud = Arc::new(CloudEngine::new());
     let mut rng = StdRng::seed_from_u64(0xF5C4);
-    let mut gw = GatewayEngine::new(
+    let gw = GatewayEngine::new(
         "fsck",
         Kms::generate(&mut rng),
         Channel::from_arc(cloud.clone(), LatencyModel::instant()),
@@ -760,14 +759,14 @@ fn stale_state_is_detected_by_overwritten_chains() {
     let mut rng = StdRng::seed_from_u64(4);
     let kms = Kms::generate(&mut rng);
 
-    let mut gw1 = GatewayEngine::new("stale", kms.clone(), channel.clone(), 5);
+    let gw1 = GatewayEngine::new("stale", kms.clone(), channel.clone(), 5);
     gw1.register_schema(simple_schema()).unwrap();
     gw1.insert("notes", &Document::new("x").with("owner", Value::from("a"))).unwrap();
     drop(gw1);
 
     // Fresh gateway, same keys, no state: its first update for "a"
     // re-uses chain position 1 and overwrites the cloud entry.
-    let mut gw2 = GatewayEngine::new("stale", kms, channel, 6);
+    let gw2 = GatewayEngine::new("stale", kms, channel, 6);
     gw2.register_schema(simple_schema()).unwrap();
     gw2.insert("notes", &Document::new("x").with("owner", Value::from("a"))).unwrap();
     let hits = gw2.find_equal("notes", "owner", &Value::from("a")).unwrap();
@@ -867,7 +866,7 @@ fn wal_and_recovery_counters_reach_the_recorder() {
     let svc = Arc::new(engine);
     let channel = Channel::from_arc(svc.clone(), LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(11);
-    let mut gw = GatewayEngine::new("durable", Kms::generate(&mut rng), channel, 11);
+    let gw = GatewayEngine::new("durable", Kms::generate(&mut rng), channel, 11);
     gw.register_schema(simple_schema()).unwrap();
     let docs = 20usize;
     for i in 0..docs {
@@ -902,7 +901,7 @@ fn wal_and_recovery_counters_reach_the_recorder() {
     // And the recovered store serves queries.
     let channel = Channel::from_arc(Arc::new(reopened), LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(11);
-    let mut gw = GatewayEngine::new("durable", Kms::generate(&mut rng), channel, 11);
+    let gw = GatewayEngine::new("durable", Kms::generate(&mut rng), channel, 11);
     gw.register_schema(simple_schema()).unwrap();
     assert_eq!(gw.count("notes").unwrap(), (docs + 5) as u64);
     let _ = std::fs::remove_dir_all(&dir);

@@ -24,7 +24,7 @@ fn cloud_stores_see_no_plaintext() {
     let kv = cloud.kv().clone();
     let channel = Channel::connect(cloud, LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(1);
-    let mut gw = GatewayEngine::new("sec", Kms::generate(&mut rng), channel, 1);
+    let gw = GatewayEngine::new("sec", Kms::generate(&mut rng), channel, 1);
     gw.register_schema(observation_schema()).unwrap();
     gw.insert("observation", &example_observation()).unwrap();
 
@@ -73,7 +73,7 @@ fn wire_traffic_carries_no_plaintext_for_protected_fields() {
     }
     let channel = Channel::connect(Recorder { inner: CloudEngine::new() }, LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(2);
-    let mut gw = GatewayEngine::new("sec", Kms::generate(&mut rng), channel, 2);
+    let gw = GatewayEngine::new("sec", Kms::generate(&mut rng), channel, 2);
     gw.register_schema(observation_schema()).unwrap();
     let id = gw.insert("observation", &example_observation()).unwrap();
     gw.find_equal("observation", "subject", &Value::from("John Doe")).unwrap();
@@ -86,7 +86,7 @@ fn tampered_ciphertexts_fail_closed() {
     let docs = cloud.docs().clone();
     let channel = Channel::connect(cloud, LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(3);
-    let mut gw = GatewayEngine::new("sec", Kms::generate(&mut rng), channel, 3);
+    let gw = GatewayEngine::new("sec", Kms::generate(&mut rng), channel, 3);
     gw.register_schema(observation_schema()).unwrap();
     let id = gw.insert("observation", &example_observation()).unwrap();
 
@@ -113,11 +113,11 @@ fn foreign_gateway_cannot_read_anothers_data() {
     let channel = Channel::connect(cloud, LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(4);
 
-    let mut gw_a = GatewayEngine::new("tenant-a", Kms::generate(&mut rng), channel.clone(), 4);
+    let gw_a = GatewayEngine::new("tenant-a", Kms::generate(&mut rng), channel.clone(), 4);
     gw_a.register_schema(observation_schema()).unwrap();
     let id = gw_a.insert("observation", &example_observation()).unwrap();
 
-    let mut gw_b = GatewayEngine::new("tenant-b", Kms::generate(&mut rng), channel, 5);
+    let gw_b = GatewayEngine::new("tenant-b", Kms::generate(&mut rng), channel, 5);
     gw_b.register_schema(observation_schema()).unwrap();
     // B's search tokens are keyed differently: no hits.
     let hits = gw_b.find_equal("observation", "subject", &Value::from("John Doe")).unwrap();
@@ -135,7 +135,7 @@ fn rnd_hides_equality_det_reveals_it() {
     let docs = cloud.docs().clone();
     let channel = Channel::connect(cloud, LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(5);
-    let mut gw = GatewayEngine::new("leak", Kms::generate(&mut rng), channel, 6);
+    let gw = GatewayEngine::new("leak", Kms::generate(&mut rng), channel, 6);
     gw.register_schema(datablinder::workload::clients::bench_schema()).unwrap();
 
     let base = example_observation();
@@ -175,7 +175,7 @@ fn range_search_is_exact_at_i64_boundaries() {
     );
     let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(0xB0B0);
-    let mut gw = GatewayEngine::new("edges", Kms::generate(&mut rng), channel, 0xB0B0);
+    let gw = GatewayEngine::new("edges", Kms::generate(&mut rng), channel, 0xB0B0);
     gw.register_schema(schema).unwrap();
 
     // Duplicates on both extremes and at zero.
@@ -267,7 +267,7 @@ fn paillier_sum_is_exact_across_sign_boundaries() {
     );
     let channel = Channel::connect(CloudEngine::new(), LatencyModel::instant());
     let mut rng = StdRng::seed_from_u64(0x5A5A);
-    let mut gw = GatewayEngine::new("ledger", Kms::generate(&mut rng), channel, 0x5A5A);
+    let gw = GatewayEngine::new("ledger", Kms::generate(&mut rng), channel, 0x5A5A);
     gw.register_schema(schema).unwrap();
 
     // The aggregable extremes cancel to 0; negatives and duplicates ride

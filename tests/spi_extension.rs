@@ -161,7 +161,7 @@ fn third_party_tactic_plugs_in_end_to_end() {
     assert_eq!(selection.search_tactics, vec!["hmac-index"]);
 
     let mut rng = StdRng::seed_from_u64(77);
-    let mut gw = GatewayEngine::with_registry("thirdparty", Kms::generate(&mut rng), channel, 7, registry);
+    let gw = GatewayEngine::with_registry("thirdparty", Kms::generate(&mut rng), channel, 7, registry);
     let schema = Schema::new("records").sensitive_field(
         "owner",
         FieldType::Text,
@@ -217,12 +217,11 @@ fn custom_tactic_key_comes_from_the_kms() {
         )
     };
     let mut rng = StdRng::seed_from_u64(78);
-    let mut gw_a =
-        GatewayEngine::with_registry("tenant-a", Kms::generate(&mut rng), channel.clone(), 1, build_registry());
+    let gw_a = GatewayEngine::with_registry("tenant-a", Kms::generate(&mut rng), channel.clone(), 1, build_registry());
     gw_a.register_schema(schema()).unwrap();
     gw_a.insert("records", &Document::new("x").with("owner", Value::from("ann"))).unwrap();
 
-    let mut gw_b = GatewayEngine::with_registry("tenant-b", Kms::generate(&mut rng), channel, 2, build_registry());
+    let gw_b = GatewayEngine::with_registry("tenant-b", Kms::generate(&mut rng), channel, 2, build_registry());
     gw_b.register_schema(schema()).unwrap();
     assert!(gw_b.find_equal("records", "owner", &Value::from("ann")).unwrap().is_empty());
 }
