@@ -266,6 +266,14 @@ pub struct ClusterRungReport {
     pub rejoins: u64,
     /// Replicas healed by read repair after the rejoin.
     pub read_repairs: u64,
+    /// Wall-clock milliseconds the mid-run rejoin spent resyncing state
+    /// from its peers (0 on rungs without a kill/rejoin).
+    pub resync_ms: f64,
+    /// Anti-entropy passes until the quiesced cluster converged (every
+    /// live replica reporting byte-identical per-shard Merkle state).
+    pub anti_entropy_rounds: u64,
+    /// Bytes shipped by anti-entropy repairs while converging.
+    pub anti_entropy_repaired_bytes: u64,
 }
 
 impl ClusterRungReport {
@@ -273,7 +281,8 @@ impl ClusterRungReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"nodes\":{},\"replication\":{},\"write_quorum\":{},\"quorum_write_per_s\":{:.1},\
-             \"quorum_read_per_s\":{:.1},\"kills\":{},\"rejoins\":{},\"read_repairs\":{}}}",
+             \"quorum_read_per_s\":{:.1},\"kills\":{},\"rejoins\":{},\"read_repairs\":{},\
+             \"resync_ms\":{:.2},\"anti_entropy_rounds\":{},\"anti_entropy_repaired_bytes\":{}}}",
             self.nodes,
             self.replication,
             self.write_quorum,
@@ -281,7 +290,10 @@ impl ClusterRungReport {
             self.quorum_read_per_s,
             self.kills,
             self.rejoins,
-            self.read_repairs
+            self.read_repairs,
+            self.resync_ms,
+            self.anti_entropy_rounds,
+            self.anti_entropy_repaired_bytes
         )
     }
 }
@@ -292,10 +304,13 @@ pub fn render_cluster_json(rungs: &[ClusterRungReport]) -> String {
     let items: Vec<String> = rungs.iter().map(ClusterRungReport::to_json).collect();
     let top = rungs.last().expect("at least one rung");
     format!(
-        "{{\"bench\":\"cluster\",\"rungs\":[{}],\"quorum_write_per_s\":{:.1},\"quorum_read_per_s\":{:.1}}}",
+        "{{\"bench\":\"cluster\",\"rungs\":[{}],\"quorum_write_per_s\":{:.1},\"quorum_read_per_s\":{:.1},\
+         \"resync_ms\":{:.2},\"anti_entropy_rounds\":{}}}",
         items.join(","),
         top.quorum_write_per_s,
-        top.quorum_read_per_s
+        top.quorum_read_per_s,
+        top.resync_ms,
+        top.anti_entropy_rounds
     )
 }
 
@@ -346,14 +361,26 @@ pub fn run_cluster(cfg: EvalConfig) -> Vec<ClusterRungReport> {
             cluster.handle("doc/insert", payload).expect("quorum write");
         }
         let write_secs = started.elapsed().as_secs_f64();
-        if survivable {
+        let resync_ms = if survivable {
+            let started = std::time::Instant::now();
             cluster.rejoin_node(nodes - 1).expect("rejoin");
-        }
+            started.elapsed().as_secs_f64() * 1_000.0
+        } else {
+            0.0
+        };
         let started = std::time::Instant::now();
         for (id, _) in &payloads {
             cluster.handle("doc/get", &with_collection("bench", id.as_bytes())).expect("quorum read");
         }
         let read_secs = started.elapsed().as_secs_f64();
+        // Quiesced convergence: how many Merkle-diff passes until every
+        // live replica reports identical per-shard state. One clean pass
+        // is the floor (the pass that observes convergence).
+        let mut anti_entropy_rounds = 1u64;
+        while !cluster.run_anti_entropy().converged() {
+            anti_entropy_rounds += 1;
+            assert!(anti_entropy_rounds < 32, "anti-entropy must converge on a quiet cluster");
+        }
         rungs.push(ClusterRungReport {
             nodes,
             replication,
@@ -363,6 +390,9 @@ pub fn run_cluster(cfg: EvalConfig) -> Vec<ClusterRungReport> {
             kills: cluster.kills(),
             rejoins: cluster.rejoins(),
             read_repairs: cluster.read_repairs(),
+            resync_ms,
+            anti_entropy_rounds,
+            anti_entropy_repaired_bytes: cluster.anti_entropy_repaired_bytes(),
         });
     }
     rungs

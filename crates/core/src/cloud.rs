@@ -9,17 +9,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use datablinder_docstore::{DocStore, Filter, Value};
-use datablinder_kvstore::KvStore;
+use datablinder_kvstore::{crc32, KvStore, LogRecord};
 use datablinder_netsim::{CloudService, NetError};
 use datablinder_obs::Recorder;
 use datablinder_sse::encoding::{Reader, Writer};
 use datablinder_sse::DocId;
 use parking_lot::Mutex;
 
-use crate::cloudproto::{is_write_route, FindIdsDnf, FindIdsEq, FindIdsRange, Idempotent, IDEM_ROUTE};
-use crate::durability::{self, Durability, DurabilityOptions, JournalOutcome, RecoveryReport};
+use crate::cloudproto::{
+    is_write_route, BlobList, ChunkRequest, ChunkResponse, DigestRequest, FindIdsDnf, FindIdsEq, FindIdsRange,
+    Idempotent, RangeSelect, SyncEntries, TransferBegin, TransferInfo, WalTailRequest, ENTRY_DOC, ENTRY_INDEX,
+    ENTRY_KV, IDEM_ROUTE,
+};
+use crate::durability::{self, Durability, DurabilityOptions, JournalOutcome, RecoveryReport, WalRecord};
 use crate::error::CoreError;
 use crate::spi::CloudTactic;
+use crate::sync::{DigestCache, DigestWork, MutationScope, Selector};
 use crate::tactics;
 use crate::tactics::encode_ids;
 use crate::wire::{decode_document, encode_document, encode_documents};
@@ -137,6 +142,13 @@ pub struct CloudEngine {
     dedup_hits: AtomicU64,
     durability: Option<Durability>,
     recovery: RecoveryReport,
+    /// Pinned snapshot bodies for in-flight `sync/begin`..`sync/end`
+    /// transfers, keyed by transfer token — chunk requests at any offset
+    /// read one immutable body, which is what makes transfers resumable.
+    transfers: Mutex<HashMap<[u8; 16], Arc<Vec<u8>>>>,
+    /// Incremental Merkle digest state (see [`DigestCache`]); populated on
+    /// the first `sync/digest` request, dirty-tracked by every write.
+    digests: Mutex<Option<DigestCache>>,
     /// Observability recorder (disabled by default; see
     /// [`CloudEngine::set_recorder`]).
     obs: Recorder,
@@ -160,6 +172,8 @@ impl CloudEngine {
             dedup_hits: AtomicU64::new(0),
             durability: None,
             recovery: RecoveryReport::default(),
+            transfers: Mutex::new(HashMap::new()),
+            digests: Mutex::new(None),
             obs: Recorder::default(),
         };
         engine.register(Arc::new(tactics::mitra::MitraCloud::new(kv.clone())));
@@ -385,6 +399,11 @@ impl CloudEngine {
             }
             ["kv", "del_prefix"] => {
                 let n = self.kv.del_prefix(payload) as u64;
+                if n > 0 {
+                    // A prefix can straddle scoped and broadcast keys;
+                    // invalidate everything rather than under-mark.
+                    self.note(&MutationScope::All);
+                }
                 Ok(n.to_be_bytes().to_vec())
             }
             ["kv", "bulk_put"] => {
@@ -395,6 +414,7 @@ impl CloudEngine {
                 }
                 for kv in pairs.chunks(2) {
                     self.kv.set(&kv[0], &kv[1]);
+                    self.note(&MutationScope::KvKey(kv[0].clone()));
                 }
                 Ok(Vec::new())
             }
@@ -404,10 +424,190 @@ impl CloudEngine {
                     .get(name)
                     .ok_or_else(|| CoreError::UnsupportedOperation(format!("unknown cloud tactic {name}")))?;
                 self.obs.count(&format!("cloud.tactic.{name}.ops"), 1);
-                tactic.handle(scope, op, payload)
+                let out = tactic.handle(scope, op, payload);
+                if out.is_ok() {
+                    // Mirror the write-route classification: setups touch
+                    // broadcast state, scoped writes touch their scope key.
+                    match *op {
+                        "setup" => self.note(&MutationScope::Broadcast),
+                        "update" | "insert" | "delete" => {
+                            self.note(&MutationScope::Routing(format!("tactic/{name}/{scope}").into_bytes()));
+                        }
+                        _ => {}
+                    }
+                }
+                out
             }
+            ["sync", op] => self.handle_sync(op, payload),
             _ => Err(CoreError::UnsupportedOperation(format!("unknown route {route}"))),
         }
+    }
+
+    /// Marks the digest cache dirty for a mutation's scope (no-op until the
+    /// first `sync/digest` request builds the cache).
+    fn note(&self, scope: &MutationScope) {
+        DigestCache::note(&mut self.digests.lock(), scope);
+    }
+
+    /// Cluster-synchronization routes: snapshot streaming (`begin`/`chunk`/
+    /// `end`), WAL tails, Merkle digests, range exports, and the two
+    /// journaled apply ops (`put`, `retire`). See
+    /// [`sync`](crate::sync) for the state model.
+    fn handle_sync(&self, op: &str, payload: &[u8]) -> Result<Vec<u8>, CoreError> {
+        match op {
+            "begin" => {
+                let req = TransferBegin::decode(payload)?;
+                let body = {
+                    let mut transfers = self.transfers.lock();
+                    match transfers.get(&req.token) {
+                        Some(body) => body.clone(),
+                        None => {
+                            let body = match &self.durability {
+                                Some(d) => d.snapshot_body()?.unwrap_or_default(),
+                                None => Vec::new(),
+                            };
+                            let body = Arc::new(body);
+                            transfers.insert(req.token, body.clone());
+                            body
+                        }
+                    }
+                };
+                let snapshot_seq = if body.is_empty() { 0 } else { durability::snapshot_body_seq(&body)? };
+                self.obs.count("cloud.sync.transfers", 1);
+                Ok(TransferInfo { total_len: body.len() as u64, snapshot_seq, crc: crc32(&body) }.encode())
+            }
+            "chunk" => {
+                let req = ChunkRequest::decode(payload)?;
+                let body = self
+                    .transfers
+                    .lock()
+                    .get(&req.token)
+                    .cloned()
+                    .ok_or_else(|| CoreError::Storage("sync: unknown transfer token".into()))?;
+                let start = (req.offset as usize).min(body.len());
+                let end = start.saturating_add(req.max_len as usize).min(body.len());
+                let data = body[start..end].to_vec();
+                self.obs.count("cloud.sync.chunk_bytes", data.len() as u64);
+                Ok(ChunkResponse { offset: req.offset, crc: crc32(&data), data }.encode())
+            }
+            "end" => {
+                let req = TransferBegin::decode(payload)?;
+                self.transfers.lock().remove(&req.token);
+                Ok(Vec::new())
+            }
+            "tail" => {
+                let req = WalTailRequest::decode(payload)?;
+                let records = match &self.durability {
+                    Some(d) => d.wal_tail(req.from_seq)?,
+                    None => Vec::new(),
+                };
+                Ok(BlobList { items: records.iter().map(WalRecord::encode).collect() }.encode())
+            }
+            "digest" => {
+                let req = DigestRequest::decode(payload)?;
+                if req.boundaries.is_empty() {
+                    return Err(CoreError::Wire("digest boundaries"));
+                }
+                let mut slot = self.digests.lock();
+                let (resp, work) = DigestCache::respond(&mut slot, &self.kv, &self.docs, req.seed, &req.boundaries);
+                drop(slot);
+                match work {
+                    DigestWork::Cached => self.obs.count("cloud.sync.digest.cached", 1),
+                    DigestWork::Partial(n) => {
+                        self.obs.count("cloud.sync.digest.partial", 1);
+                        self.obs.count("cloud.sync.digest.leaves_rehashed", n);
+                    }
+                    DigestWork::Full => self.obs.count("cloud.sync.digest.full", 1),
+                }
+                Ok(resp.encode())
+            }
+            "entries" => {
+                let req = RangeSelect::decode(payload)?;
+                let sel = Selector::Ranges { ranges: &req.ranges, include_broadcast: req.include_broadcast };
+                let entries = crate::sync::export_entries(&self.kv, &self.docs, req.seed, &sel);
+                Ok(SyncEntries { entries: entries.into_iter().map(|(e, _)| e).collect() }.encode())
+            }
+            "put" => self.apply_sync_entries(payload),
+            "retire" => {
+                let req = RangeSelect::decode(payload)?;
+                // Drop scoped state in the given ranges (after a handoff the
+                // old owner no longer serves them; a node must never answer
+                // a scatter from state it retired). Broadcast state — setup
+                // keys, index definitions — is never retired.
+                let sel = Selector::Ranges { ranges: &req.ranges, include_broadcast: false };
+                let entries = crate::sync::export_entries(&self.kv, &self.docs, req.seed, &sel);
+                let mut removed = 0u64;
+                for (e, _) in entries {
+                    match e.kind {
+                        ENTRY_KV => {
+                            self.kv.del(&e.key);
+                            removed += 1;
+                        }
+                        ENTRY_DOC => {
+                            let (collection, id) = split_doc_key(&e.key)?;
+                            if self.docs.collection(&collection).delete(&id).is_ok() {
+                                removed += 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if removed > 0 {
+                    self.note(&MutationScope::All);
+                }
+                Ok(removed.to_be_bytes().to_vec())
+            }
+            other => Err(CoreError::UnsupportedOperation(format!("sync op {other}"))),
+        }
+    }
+
+    /// Applies a batch of [`SyncEntries`]: each entry *replaces* this
+    /// node's state for its key with the canonical bytes — KV slots are
+    /// rebuilt from their record list (empty list = delete), docs are
+    /// upserted (empty value = delete), index definitions union in.
+    /// Deterministic and idempotent, so it replays safely from the WAL and
+    /// through the idempotent-envelope dedup path.
+    fn apply_sync_entries(&self, payload: &[u8]) -> Result<Vec<u8>, CoreError> {
+        let req = SyncEntries::decode(payload)?;
+        let mut applied = 0u64;
+        for e in &req.entries {
+            match e.kind {
+                ENTRY_KV => {
+                    self.kv.del(&e.key);
+                    for body in BlobList::decode(&e.value)?.items {
+                        self.kv.apply_record(&LogRecord::from_body(&body)?);
+                    }
+                    self.note(&MutationScope::KvKey(e.key.clone()));
+                }
+                ENTRY_DOC => {
+                    let (collection, id) = split_doc_key(&e.key)?;
+                    let coll = self.docs.collection(&collection);
+                    if e.value.is_empty() {
+                        let _ = coll.delete(&id);
+                    } else {
+                        let doc = decode_document(&e.value)?;
+                        if coll.get(&id).is_some() {
+                            coll.update(doc)?;
+                        } else {
+                            coll.insert(doc)?;
+                        }
+                    }
+                    self.note(&MutationScope::Routing(e.key.clone()));
+                }
+                ENTRY_INDEX => {
+                    let name = std::str::from_utf8(&e.key).map_err(|_| CoreError::Wire("utf8 collection"))?;
+                    let coll = self.docs.collection(name);
+                    for field in BlobList::decode(&e.value)?.items {
+                        let field = String::from_utf8(field).map_err(|_| CoreError::Wire("utf8 index field"))?;
+                        coll.create_index(&field);
+                    }
+                    self.note(&MutationScope::Broadcast);
+                }
+                _ => return Err(CoreError::Wire("unknown entry kind")),
+            }
+            applied += 1;
+        }
+        Ok(applied.to_be_bytes().to_vec())
     }
 
     fn handle_doc(&self, op: &str, payload: &[u8]) -> Result<Vec<u8>, CoreError> {
@@ -415,13 +615,17 @@ impl CloudEngine {
             "insert" => {
                 let (collection, rest) = split_collection(payload)?;
                 let doc = decode_document(rest)?;
+                let key = crate::sync::doc_key(&collection, doc.id().as_bytes());
                 self.docs.collection(&collection).insert(doc)?;
+                self.note(&MutationScope::Routing(key));
                 Ok(Vec::new())
             }
             "update" => {
                 let (collection, rest) = split_collection(payload)?;
                 let doc = decode_document(rest)?;
+                let key = crate::sync::doc_key(&collection, doc.id().as_bytes());
                 self.docs.collection(&collection).update(doc)?;
+                self.note(&MutationScope::Routing(key));
                 Ok(Vec::new())
             }
             "get" => {
@@ -445,6 +649,7 @@ impl CloudEngine {
                 let (collection, rest) = split_collection(payload)?;
                 let id = std::str::from_utf8(rest).map_err(|_| CoreError::Wire("utf8 id"))?;
                 self.docs.collection(&collection).delete(id)?;
+                self.note(&MutationScope::Routing(crate::sync::doc_key(&collection, id.as_bytes())));
                 Ok(Vec::new())
             }
             "count" => {
@@ -491,6 +696,7 @@ impl CloudEngine {
                 let (collection, rest) = split_collection(payload)?;
                 let field = std::str::from_utf8(rest).map_err(|_| CoreError::Wire("utf8 field"))?;
                 self.docs.collection(&collection).create_index(field);
+                self.note(&MutationScope::Broadcast);
                 Ok(Vec::new())
             }
             "find_ids_eq" => {
@@ -613,6 +819,14 @@ pub fn with_collection(collection: &str, rest: &[u8]) -> Vec<u8> {
     out.extend_from_slice(collection.as_bytes());
     out.extend_from_slice(rest);
     out
+}
+
+/// Splits a doc entry key (collection ‖ 0x00 ‖ id) back into its parts.
+pub(crate) fn split_doc_key(key: &[u8]) -> Result<(String, String), CoreError> {
+    let sep = key.iter().position(|&b| b == 0).ok_or(CoreError::Wire("doc key separator"))?;
+    let collection = String::from_utf8(key[..sep].to_vec()).map_err(|_| CoreError::Wire("utf8 collection"))?;
+    let id = String::from_utf8(key[sep + 1..].to_vec()).map_err(|_| CoreError::Wire("utf8 id"))?;
+    Ok((collection, id))
 }
 
 pub(crate) fn split_collection(payload: &[u8]) -> Result<(String, &[u8]), CoreError> {

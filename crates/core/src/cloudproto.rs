@@ -252,6 +252,443 @@ impl Idempotent {
     }
 }
 
+/// [`SyncEntry`] kind: one replicated document (`key` = collection ‖ 0x00 ‖
+/// id, `value` = encoded document; empty value = tombstone/delete).
+pub const ENTRY_DOC: u8 = b'd';
+/// [`SyncEntry`] kind: one KV key's canonical state (`value` = length-
+/// prefixed [`LogRecord`](datablinder_kvstore::LogRecord) bodies that
+/// rebuild the slot from empty; an empty list = delete the slot).
+pub const ENTRY_KV: u8 = b'k';
+/// [`SyncEntry`] kind: a collection's indexed-field set (`key` = collection
+/// name, `value` = length-prefixed field names). Repair is additive union —
+/// `doc/ensure_index` never removes an index.
+pub const ENTRY_INDEX: u8 = b'i';
+
+/// One exported unit of replicated cloud state, the common currency of
+/// snapshot-filtered resync, membership key handoff and anti-entropy
+/// repair. Entries are self-describing (`kind` + entry key + canonical
+/// value bytes), so "what do you hold for this key?" and "make your state
+/// for this key exactly these bytes" are the same message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncEntry {
+    /// One of [`ENTRY_DOC`], [`ENTRY_KV`], [`ENTRY_INDEX`].
+    pub kind: u8,
+    /// Entry key within the kind's namespace.
+    pub key: Vec<u8>,
+    /// Canonical value bytes (kind-specific encoding).
+    pub value: Vec<u8>,
+}
+
+impl SyncEntry {
+    /// Serializes into `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.kind);
+        out.extend_from_slice(&(self.key.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.key);
+        out.extend_from_slice(&(self.value.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.value);
+    }
+
+    fn take(buf: &mut &[u8]) -> Result<Self, CoreError> {
+        let [kind] = take_array::<1>(buf, "entry kind")?;
+        if !matches!(kind, ENTRY_DOC | ENTRY_KV | ENTRY_INDEX) {
+            return Err(CoreError::Wire("unknown entry kind"));
+        }
+        let klen = take_count(buf)?;
+        let key = take_bytes(buf, klen, "entry key")?.to_vec();
+        let vlen = take_count(buf)?;
+        let value = take_bytes(buf, vlen, "entry value")?.to_vec();
+        Ok(SyncEntry { kind, key, value })
+    }
+}
+
+/// A batch of [`SyncEntry`]s: the `sync/entries` response and the
+/// `sync/put` (apply) payload.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SyncEntries {
+    /// The entries, sorted by `(kind, key)` when produced by an export.
+    pub entries: Vec<SyncEntry>,
+}
+
+impl SyncEntries {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.entries.len() as u32).to_be_bytes());
+        for e in &self.entries {
+            e.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        let n = take_count(buf)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(SyncEntry::take(buf)?);
+        }
+        ensure_empty(buf)?;
+        Ok(SyncEntries { entries })
+    }
+}
+
+/// `sync/entries` and `sync/retire`: selects the slice of a node's state
+/// whose routing hash falls in one of the given ring ranges. Ranges are
+/// `(lo, hi]` half-open intervals on the hash circle; `lo >= hi` wraps
+/// through `u64::MAX`. `seed` pins the hash function — a donor whose ring
+/// seed differs would silently select the wrong keys, so it is part of the
+/// request and validated by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeSelect {
+    /// Ring hash seed the ranges were computed under.
+    pub seed: u64,
+    /// `(lo_exclusive, hi_inclusive]` hash intervals, wrapping when `lo >= hi`.
+    pub ranges: Vec<(u64, u64)>,
+    /// Also select broadcast-domain state (setup keys, index definitions…).
+    pub include_broadcast: bool,
+}
+
+impl RangeSelect {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.seed.to_be_bytes());
+        out.push(self.include_broadcast as u8);
+        out.extend_from_slice(&(self.ranges.len() as u32).to_be_bytes());
+        for (lo, hi) in &self.ranges {
+            out.extend_from_slice(&lo.to_be_bytes());
+            out.extend_from_slice(&hi.to_be_bytes());
+        }
+        out
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        let seed = u64::from_be_bytes(take_array(buf, "select seed")?);
+        let [flag] = take_array::<1>(buf, "select flag")?;
+        if flag > 1 {
+            return Err(CoreError::Wire("select flag"));
+        }
+        let n = take_count(buf)?;
+        let mut ranges = Vec::with_capacity(n);
+        for _ in 0..n {
+            let lo = u64::from_be_bytes(take_array(buf, "range lo")?);
+            let hi = u64::from_be_bytes(take_array(buf, "range hi")?);
+            ranges.push((lo, hi));
+        }
+        ensure_empty(buf)?;
+        Ok(RangeSelect { seed, ranges, include_broadcast: flag == 1 })
+    }
+}
+
+/// `sync/begin`: opens a snapshot transfer. The token names the transfer
+/// for subsequent [`ChunkRequest`]s and lets a retried begin re-pin the
+/// same cached body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferBegin {
+    /// Unique per transfer attempt; identical across its chunk requests.
+    pub token: [u8; 16],
+}
+
+impl TransferBegin {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        self.token.to_vec()
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        let token = take_array(buf, "transfer token")?;
+        ensure_empty(buf)?;
+        Ok(TransferBegin { token })
+    }
+}
+
+/// `sync/begin` response: the pinned snapshot body's size, the WAL seq it
+/// compacts up to, and a whole-body CRC the receiver checks after
+/// reassembly. `total_len == 0` means the donor has no snapshot (nothing
+/// compacted yet) — the receiver goes straight to the WAL tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferInfo {
+    /// Snapshot body length in bytes (0 = no snapshot).
+    pub total_len: u64,
+    /// WAL sequence the snapshot covers through.
+    pub snapshot_seq: u64,
+    /// CRC32 of the whole body.
+    pub crc: u32,
+}
+
+impl TransferInfo {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20);
+        out.extend_from_slice(&self.total_len.to_be_bytes());
+        out.extend_from_slice(&self.snapshot_seq.to_be_bytes());
+        out.extend_from_slice(&self.crc.to_be_bytes());
+        out
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        let total_len = u64::from_be_bytes(take_array(buf, "transfer len")?);
+        let snapshot_seq = u64::from_be_bytes(take_array(buf, "transfer seq")?);
+        let crc = u32::from_be_bytes(take_array(buf, "transfer crc")?);
+        ensure_empty(buf)?;
+        Ok(TransferInfo { total_len, snapshot_seq, crc })
+    }
+}
+
+/// `sync/chunk`: requests one slice of a pinned snapshot body. Offsets are
+/// caller-chosen, so a receiver that lost a response simply re-requests the
+/// same offset — the transfer is resumable at chunk granularity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRequest {
+    /// Transfer token from [`TransferBegin`].
+    pub token: [u8; 16],
+    /// Byte offset into the pinned body.
+    pub offset: u64,
+    /// Maximum bytes to return.
+    pub max_len: u32,
+}
+
+impl ChunkRequest {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(28);
+        out.extend_from_slice(&self.token);
+        out.extend_from_slice(&self.offset.to_be_bytes());
+        out.extend_from_slice(&self.max_len.to_be_bytes());
+        out
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        let token = take_array(buf, "chunk token")?;
+        let offset = u64::from_be_bytes(take_array(buf, "chunk offset")?);
+        let max_len = u32::from_be_bytes(take_array(buf, "chunk max")?);
+        ensure_empty(buf)?;
+        Ok(ChunkRequest { token, offset, max_len })
+    }
+}
+
+/// `sync/chunk` response: the requested slice plus its own CRC32, so a
+/// corrupted hop is detected per chunk, not only at the end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkResponse {
+    /// Echoed offset of this slice.
+    pub offset: u64,
+    /// CRC32 of `data`.
+    pub crc: u32,
+    /// The slice (shorter than `max_len` at the tail; empty past the end).
+    pub data: Vec<u8>,
+}
+
+impl ChunkResponse {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.data.len());
+        out.extend_from_slice(&self.offset.to_be_bytes());
+        out.extend_from_slice(&self.crc.to_be_bytes());
+        out.extend_from_slice(&(self.data.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        let offset = u64::from_be_bytes(take_array(buf, "chunk offset")?);
+        let crc = u32::from_be_bytes(take_array(buf, "chunk crc")?);
+        let len = take_count(buf)?;
+        let data = take_bytes(buf, len, "chunk data")?.to_vec();
+        ensure_empty(buf)?;
+        Ok(ChunkResponse { offset, crc, data })
+    }
+}
+
+/// `sync/tail`: asks a donor for every WAL record with `seq > from_seq` —
+/// the tail above a shipped snapshot. The response is a [`BlobList`] of
+/// encoded [`WalRecord`](crate::durability::WalRecord)s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalTailRequest {
+    /// Replay records strictly above this sequence number.
+    pub from_seq: u64,
+}
+
+impl WalTailRequest {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        self.from_seq.to_be_bytes().to_vec()
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        let from_seq = u64::from_be_bytes(take_array(buf, "tail seq")?);
+        ensure_empty(buf)?;
+        Ok(WalTailRequest { from_seq })
+    }
+}
+
+/// A length-prefixed list of opaque byte blobs (WAL tail responses).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlobList {
+    /// The blobs, in order.
+    pub items: Vec<Vec<u8>>,
+}
+
+impl BlobList {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.items.len() as u32).to_be_bytes());
+        for item in &self.items {
+            out.extend_from_slice(&(item.len() as u32).to_be_bytes());
+            out.extend_from_slice(item);
+        }
+        out
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        let n = take_count(buf)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = take_count(buf)?;
+            items.push(take_bytes(buf, len, "blob body")?.to_vec());
+        }
+        ensure_empty(buf)?;
+        Ok(BlobList { items })
+    }
+}
+
+/// `sync/digest`: asks a node for its Merkle digests under the given ring
+/// layout. Boundaries are the sorted vnode hash points; leaf `j` covers
+/// `(boundaries[j-1], boundaries[j]]` with leaf 0 wrapping — the same
+/// intervals the ring uses for ownership, so "per-shard root" and "ring
+/// leaf digest" are the same thing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestRequest {
+    /// Ring hash seed.
+    pub seed: u64,
+    /// Sorted vnode hash points defining the leaf intervals.
+    pub boundaries: Vec<u64>,
+}
+
+impl DigestRequest {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.boundaries.len() * 8);
+        out.extend_from_slice(&self.seed.to_be_bytes());
+        out.extend_from_slice(&(self.boundaries.len() as u32).to_be_bytes());
+        for b in &self.boundaries {
+            out.extend_from_slice(&b.to_be_bytes());
+        }
+        out
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        let seed = u64::from_be_bytes(take_array(buf, "digest seed")?);
+        let n = take_count(buf)?;
+        let mut boundaries = Vec::with_capacity(n);
+        for _ in 0..n {
+            boundaries.push(u64::from_be_bytes(take_array(buf, "digest boundary")?));
+        }
+        ensure_empty(buf)?;
+        Ok(DigestRequest { seed, boundaries })
+    }
+}
+
+/// `sync/digest` response: one 32-byte digest per ring leaf, one for the
+/// broadcast domain (state every node must replicate), and the Merkle root
+/// over the leaves — two nodes with equal roots need no further exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestResponse {
+    /// Per-leaf digests, index-aligned with the request boundaries.
+    pub leaves: Vec<[u8; 32]>,
+    /// Digest over broadcast-domain state.
+    pub broadcast: [u8; 32],
+    /// Merkle root over `leaves`.
+    pub root: [u8; 32],
+}
+
+impl DigestResponse {
+    /// Serializes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(68 + self.leaves.len() * 32);
+        out.extend_from_slice(&(self.leaves.len() as u32).to_be_bytes());
+        for leaf in &self.leaves {
+            out.extend_from_slice(leaf);
+        }
+        out.extend_from_slice(&self.broadcast);
+        out.extend_from_slice(&self.root);
+        out
+    }
+
+    /// Deserializes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CoreError> {
+        let buf = &mut buf;
+        let n = take_count(buf)?;
+        let mut leaves = Vec::with_capacity(n);
+        for _ in 0..n {
+            leaves.push(take_array(buf, "leaf digest")?);
+        }
+        let broadcast = take_array(buf, "broadcast digest")?;
+        let root = take_array(buf, "merkle root")?;
+        ensure_empty(buf)?;
+        Ok(DigestResponse { leaves, broadcast, root })
+    }
+}
+
 /// Whether `route` mutates cloud state, i.e. must be wrapped in an
 /// [`Idempotent`] envelope before it may be retried.
 ///
@@ -266,6 +703,11 @@ pub fn is_write_route(route: &str) -> bool {
     if route.starts_with("tactic/") {
         // tactic/<name>/<schema>:<scope>/<op> — classify by the op suffix.
         return matches!(route.rsplit('/').next(), Some("update" | "insert" | "delete" | "setup") | None);
+    }
+    if let Some(op) = route.strip_prefix("sync/") {
+        // Snapshot streaming, WAL tails, digests and range exports are
+        // reads and retry bare; only the two applying ops mutate.
+        return matches!(op, "put" | "retire");
     }
     // kv/*, batch and idem envelopes mutate; unknown routes are assumed to
     // mutate too — degrading to "needlessly deduplicated" is safer than
@@ -381,6 +823,8 @@ mod tests {
             "tactic/sophos/notes:owner/update",
             "tactic/ore/notes:eff/delete",
             "tactic/paillier/notes:value/setup",
+            "sync/put",
+            "sync/retire",
             "something/new",
         ] {
             assert!(is_write_route(write), "{write} should be a write");
@@ -399,6 +843,12 @@ mod tests {
             "tactic/biex2lev/notes:flags/base_search",
             "tactic/ore/notes:eff/range",
             "tactic/paillier/notes:value/sum",
+            "sync/begin",
+            "sync/chunk",
+            "sync/end",
+            "sync/tail",
+            "sync/digest",
+            "sync/entries",
         ] {
             assert!(!is_write_route(read), "{read} should be a read");
         }

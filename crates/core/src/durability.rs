@@ -372,6 +372,52 @@ impl Durability {
     pub(crate) fn group_commits(&self) -> u64 {
         self.group_commits.load(Ordering::Relaxed)
     }
+
+    /// The current on-disk snapshot body (the bytes inside its CRC frame),
+    /// or `None` when nothing has been compacted yet — what a donor pins
+    /// and streams to a resyncing peer. Read under the io lock so a
+    /// concurrent compaction's rename-and-truncate cutover can't be
+    /// half-observed.
+    pub(crate) fn snapshot_body(&self) -> Result<Option<Vec<u8>>, CoreError> {
+        let _io = self.io.lock();
+        let path = snapshot_path(&self.dir);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let scan = read_frames(&path)?;
+        match scan.frames.into_iter().next() {
+            Some(body) => Ok(Some(body)),
+            None => Err(CoreError::Storage("snapshot: no complete frame".into())),
+        }
+    }
+
+    /// Every WAL record with `seq > from_seq`, in order — the tail a donor
+    /// ships above its snapshot. Pending group-commit bytes are flushed
+    /// first, so the tail reflects every record this node has acknowledged.
+    pub(crate) fn wal_tail(&self, from_seq: u64) -> Result<Vec<WalRecord>, CoreError> {
+        let mut io = self.io.lock();
+        {
+            let mut q = self.queue.lock();
+            if !q.pending.is_empty() {
+                let buf = std::mem::take(&mut q.pending);
+                io.append_raw(&buf)?;
+                self.group_commits.fetch_add(1, Ordering::Relaxed);
+            }
+            io.flush()?;
+            self.durable_seq.fetch_max(q.seq, Ordering::AcqRel);
+        }
+        // Still under the io lock: no append or compaction can interleave
+        // with the file read below.
+        let scan = read_frames(&wal_path(&self.dir))?;
+        let mut out = Vec::new();
+        for body in &scan.frames {
+            let rec = WalRecord::decode(body)?;
+            if rec.seq > from_seq {
+                out.push(rec);
+            }
+        }
+        Ok(out)
+    }
 }
 
 // ------------------------------------------------------------- snapshots
@@ -402,6 +448,18 @@ fn encode_snapshot(kv: &KvStore, docs: &DocStore, seq: u64) -> Vec<u8> {
         .collect();
     w.list(&blobs);
     w.finish()
+}
+
+/// Reads just the high-water sequence number out of a snapshot body
+/// (magic + seq header) without restoring it.
+pub(crate) fn snapshot_body_seq(body: &[u8]) -> Result<u64, CoreError> {
+    let mut r = Reader::new(body);
+    let bad = |e: datablinder_sse::SseError| CoreError::Storage(format!("snapshot: {e}"));
+    let magic = r.bytes().map_err(bad)?;
+    if magic != SNAP_MAGIC {
+        return Err(CoreError::Storage("snapshot: bad magic".into()));
+    }
+    r.u64().map_err(bad)
 }
 
 /// Restores a snapshot body into `(kv, docs)`; returns the snapshot's

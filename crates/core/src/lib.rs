@@ -67,6 +67,7 @@ pub mod model;
 pub mod pool;
 pub mod registry;
 pub mod spi;
+pub mod sync;
 pub mod tactics;
 pub mod wire;
 

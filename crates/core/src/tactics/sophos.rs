@@ -229,7 +229,18 @@ impl CloudTactic for SophosCloud {
             "setup" => {
                 // Validate before storing.
                 SophosPublicKey::decode(payload)?;
-                self.kv.set(&Self::pk_key(scope), payload);
+                // Compare-and-set on scope creation: the first setup pins
+                // the scope's public key; a racing or replayed setup with
+                // the *same* key is an idempotent success, but a different
+                // key is rejected — silently overwriting the pk would
+                // orphan every trapdoor-chain entry built under the old
+                // one (first-writer-wins race, ROADMAP item 3).
+                let key = Self::pk_key(scope);
+                if !self.kv.set_nx(&key, payload) && self.kv.get(&key).as_deref() != Some(payload) {
+                    return Err(CoreError::Storage(format!(
+                        "sophos scope {scope} already set up with a different key"
+                    )));
+                }
                 Ok(Vec::new())
             }
             "update" => {
@@ -332,6 +343,48 @@ mod tests {
         let (mut gw, _, _) = setup();
         assert!(gw.eq_query("subject", &Value::from("nobody")).unwrap().is_empty());
         assert_eq!(gw.eq_resolve("subject", &Value::from("nobody"), &[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn racing_setups_cas_exactly_one_key() {
+        // Two gateways with *different* keypairs race setup on one scope:
+        // compare-and-set lets exactly one pin the key, the loser gets a
+        // typed error instead of silently overwriting (which would orphan
+        // the winner's trapdoor chain), and replaying the winning setup
+        // stays an idempotent success.
+        let pk_payload = |seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let ctx = TacticContext {
+                application: "app".into(),
+                schema: "obs".into(),
+                scope: "subject".into(),
+                kms: datablinder_kms::Kms::generate(&mut rng),
+            };
+            let mut gw = SophosTactic::build_with_bits(&ctx, &mut rng, 256).unwrap();
+            let p = gw.protect(&mut rng, "f", &Value::from("a"), DocId([1; 16])).unwrap();
+            assert!(p.index_calls[0].route.ends_with("/setup"));
+            p.index_calls[0].payload.clone()
+        };
+        let (pk_a, pk_b) = (pk_payload(1), pk_payload(2));
+        assert_ne!(pk_a, pk_b);
+
+        let cloud = std::sync::Arc::new(SophosCloud::new(KvStore::new()));
+        let race = |pk: Vec<u8>| {
+            let cloud = cloud.clone();
+            std::thread::spawn(move || cloud.handle("obs:f", "setup", &pk).is_ok())
+        };
+        let (a, b) = (race(pk_a.clone()), race(pk_b.clone()));
+        let oks = [a.join().unwrap(), b.join().unwrap()].iter().filter(|&&ok| ok).count();
+        assert_eq!(oks, 1, "exactly one racing setup wins the CAS");
+
+        let winner = cloud.kv.get(&SophosCloud::pk_key("obs:f")).unwrap();
+        assert!(winner == pk_a || winner == pk_b);
+        // Replaying the winning setup (resync, retried broadcast) is fine…
+        assert!(cloud.handle("obs:f", "setup", &winner).is_ok());
+        // …but the losing key stays rejected.
+        let loser = if winner == pk_a { &pk_b } else { &pk_a };
+        let err = cloud.handle("obs:f", "setup", loser).unwrap_err();
+        assert!(err.to_string().contains("different key"), "{err}");
     }
 
     #[test]

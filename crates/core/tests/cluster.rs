@@ -314,3 +314,216 @@ fn seeded_crash_storm_converges() {
     assert!(gw.fsck("patients").unwrap().is_clean());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Tentpole regression: a rejoin across peers that already compacted their
+/// WALs must not leave a resync gap. The snapshot stream covers the
+/// compacted history, the WAL tail covers the rest, and the wal-gap metric
+/// stays at zero — under the old WAL-only resync this exact scenario
+/// counted gaps and leaned on lazy read repair.
+#[test]
+fn snapshot_resync_closes_wal_gap() {
+    let dir = temp_dir("snapshot-resync");
+    let mut cfg = ClusterConfig::volatile(3, 3, 2, 0x5AFE).durable(&dir);
+    // Aggressive compaction: peers snapshot (and truncate their WALs)
+    // every 4 journaled records, so the downed node's missed writes are
+    // mostly *not* individually replayable from any WAL.
+    cfg.snapshot_every = Some(4);
+    let cluster = ClusterCloud::new(cfg).unwrap();
+    let insert = |i: u8| {
+        let doc = Document::new(DocId([i; 16]).to_hex()).with("v", Value::from(i64::from(i)));
+        cluster.handle("doc/insert", &with_collection("c", &encode_document(&doc))).unwrap();
+    };
+    for i in 1..=4 {
+        insert(i);
+    }
+    cluster.kill_node(2);
+    // 12 more writes while node 2 is down: the live peers compact several
+    // times over, burying the missed records under their snapshots.
+    for i in 5..=16 {
+        insert(i);
+    }
+    let compacted = {
+        let scan = read_frames(&wal_path(&dir.join("node0"))).unwrap();
+        match scan.frames.first() {
+            // Fully truncated WAL: everything lives in the snapshot.
+            None => true,
+            Some(f) => datablinder_core::durability::WalRecord::decode(f).unwrap().seq > 1,
+        }
+    };
+    assert!(compacted, "the scenario requires peers with compacted WALs");
+
+    cluster.rejoin_node(2).unwrap();
+    assert_eq!(cluster.resync_wal_gaps(), 0, "snapshot shipping closed the compaction gap");
+    assert!(cluster.resync_filled() > 0, "the snapshot stream installed the compacted history");
+    let held = cluster.with_node_engine(2, |e| e.docs().collection("c").ids().len()).unwrap();
+    assert_eq!(held, 16, "the rejoined node holds every document, including compacted ones");
+    // The gap is closed eagerly: a full read sweep finds nothing left for
+    // lazy read repair (the counter the old design leaned on).
+    for i in 1..=16u8 {
+        cluster.handle("doc/get", &with_collection("c", DocId([i; 16]).to_hex().as_bytes())).unwrap();
+    }
+    assert_eq!(cluster.read_repairs(), 0, "no lazy repairs outstanding after resync");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Elastic membership on durable nodes: growing the cluster hands the new
+/// member exactly its gained ranges before it serves, shrinking hands the
+/// leaving member's ranges to the survivors, and every document stays fully
+/// replicated under each new ring.
+#[test]
+fn membership_change_hands_off_durably() {
+    let dir = temp_dir("membership");
+    let cluster = ClusterCloud::new(ClusterConfig::volatile(3, 2, 2, 0xE1A5).durable(&dir)).unwrap();
+    let insert = |i: u8| {
+        let doc = Document::new(DocId([i; 16]).to_hex()).with("v", Value::from(i64::from(i)));
+        cluster.handle("doc/insert", &with_collection("c", &encode_document(&doc))).unwrap();
+    };
+    for i in 1..=20 {
+        insert(i);
+    }
+    let slot = cluster.add_node().unwrap();
+    assert_eq!(slot, 3);
+    assert_eq!(cluster.members(), vec![0, 1, 2, 3]);
+    let on_new = cluster.with_node_engine(slot, |e| e.docs().collection("c").ids().len()).unwrap();
+    assert!(on_new > 0, "the new member took over part of the keyspace");
+    for i in 1..=20u8 {
+        let id = DocId([i; 16]).to_hex();
+        for r in cluster.doc_replicas("c", &id) {
+            let held = cluster.with_node_engine(r, |e| e.docs().collection("c").get(&id).is_some()).unwrap();
+            assert!(held, "replica {r} of doc {i} holds it under the grown ring");
+        }
+    }
+    // The handoff was durable: the new node survives a kill/rejoin cycle
+    // purely from its own disk + peers.
+    cluster.kill_node(slot);
+    cluster.rejoin_node(slot).unwrap();
+    let after_cycle = cluster.with_node_engine(slot, |e| e.docs().collection("c").ids().len()).unwrap();
+    assert_eq!(after_cycle, on_new, "the handed-off ranges were journaled, not just cached");
+
+    // Shrink: the original node 0 leaves; survivors inherit its ranges.
+    cluster.remove_node(0).unwrap();
+    assert_eq!(cluster.members(), vec![1, 2, 3]);
+    for i in 1..=20u8 {
+        let id = DocId([i; 16]).to_hex();
+        let replicas = cluster.doc_replicas("c", &id);
+        assert!(!replicas.contains(&0), "the ring forgot the removed member");
+        for r in replicas {
+            let held = cluster.with_node_engine(r, |e| e.docs().collection("c").get(&id).is_some()).unwrap();
+            assert!(held, "replica {r} of doc {i} holds it under the shrunk ring");
+        }
+        cluster.handle("doc/get", &with_collection("c", id.as_bytes())).unwrap();
+    }
+    let count = cluster.handle("doc/count", &with_collection("c", b"")).unwrap();
+    assert_eq!(u64::from_be_bytes(count[..8].try_into().unwrap()), 20);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash in the middle of an `add_node` handoff (the joining node tears
+/// its WAL applying pulled entries) leaves the ring unchanged and the slot
+/// uninstalled; a retry recovers the torn disk state and completes the
+/// join cleanly.
+#[test]
+fn crash_during_add_node_handoff_leaves_ring_unchanged() {
+    let dir = temp_dir("add-crash");
+    let cluster = ClusterCloud::new(ClusterConfig::volatile(3, 2, 2, 0xADD0).durable(&dir)).unwrap();
+    for i in 1..=20u8 {
+        let doc = Document::new(DocId([i; 16]).to_hex()).with("v", Value::from(i64::from(i)));
+        cluster.handle("doc/insert", &with_collection("c", &encode_document(&doc))).unwrap();
+    }
+    // The joining slot will be 3: its first handoff WAL append tears.
+    cluster
+        .arm_rejoin_crash(3, Arc::new(CrashInjector::new(CrashPlan::at(CrashPoint::MidAppend { record: 0, byte: 5 }))));
+    let failed = cluster.add_node();
+    assert!(failed.is_err(), "the torn handoff must fail the join");
+    assert_eq!(cluster.members(), vec![0, 1, 2], "the ring is unchanged after the failed join");
+    assert_eq!(cluster.nodes_added(), 0);
+    let scan = read_frames(&wal_path(&dir.join("node3"))).unwrap();
+    assert!(scan.torn_tail, "the crash left a torn WAL tail in the joining node's dir");
+    // The cluster still serves during and after the failed join.
+    let count = cluster.handle("doc/count", &with_collection("c", b"")).unwrap();
+    assert_eq!(u64::from_be_bytes(count[..8].try_into().unwrap()), 20);
+
+    // Retry: recovery truncates the torn tail and the handoff completes.
+    let slot = cluster.add_node().unwrap();
+    assert_eq!(slot, 3);
+    assert_eq!(cluster.members(), vec![0, 1, 2, 3]);
+    for i in 1..=20u8 {
+        let id = DocId([i; 16]).to_hex();
+        for r in cluster.doc_replicas("c", &id) {
+            let held = cluster.with_node_engine(r, |e| e.docs().collection("c").get(&id).is_some()).unwrap();
+            assert!(held, "replica {r} of doc {i} holds it after the retried join");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// While a membership change holds the topology for its handoff, cluster
+/// operations fail fast with a typed `Unavailable` — they never read a
+/// half-moved ring and never hang.
+#[test]
+fn membership_transfer_window_is_typed_unavailable() {
+    let cluster = ClusterCloud::new(ClusterConfig::volatile(3, 2, 2, 0xF02E)).unwrap();
+    let doc = Document::new(DocId([1; 16]).to_hex()).with("v", Value::from(1i64));
+    cluster.handle("doc/insert", &with_collection("c", &encode_document(&doc))).unwrap();
+    let during = cluster.with_membership_frozen(|| {
+        cluster.handle("doc/get", &with_collection("c", DocId([1; 16]).to_hex().as_bytes()))
+    });
+    match during {
+        Err(NetError::Unavailable(m)) => assert!(m.contains("membership"), "{m}"),
+        other => panic!("expected Unavailable during the transfer window, got {other:?}"),
+    }
+    // The window closes with the handoff: the same read works again.
+    cluster.handle("doc/get", &with_collection("c", DocId([1; 16]).to_hex().as_bytes())).unwrap();
+}
+
+/// The PR's acceptance storm: seeded churn mixes kills, rejoins, node
+/// additions and removals under a live workload. Afterwards every live
+/// replica reports byte-identical per-shard Merkle state, a full read
+/// sweep finds zero lazy read repairs outstanding, no acknowledged quorum
+/// write is lost, and fsck holds.
+#[test]
+fn membership_churn_storm_converges() {
+    let dir = temp_dir("churn-storm");
+    let mut cluster = ClusterCloud::new(ClusterConfig::volatile(5, 3, 2, 0xC806).durable(&dir)).unwrap();
+    cluster.set_failure_plan(NodeFailurePlan::seeded_churn(0xC806, 5, 4, 100));
+    let cluster = Arc::new(cluster);
+    let mut gw = gateway_over(cluster.clone());
+    gw.enable_write_journal(datablinder_kvstore::KvStore::new());
+
+    let mut acked = Vec::new();
+    for i in 0..60u32 {
+        let doc = Document::new(format!("{i:032x}")).with("ward", Value::from(format!("w{}", i % 3)));
+        match gw.insert("patients", &doc) {
+            Ok(id) => acked.push(id),
+            Err(e) => assert!(e.is_transient(), "{e}"),
+        }
+    }
+    assert!(cluster.failure_injector().unwrap().exhausted(), "churn plan fully exercised");
+    assert!(!acked.is_empty(), "the storm must not starve the workload");
+
+    // Settle: rejoin every dead *member* (removed slots stay gone), roll
+    // pending write groups forward, then run anti-entropy to a fixpoint.
+    for m in cluster.members() {
+        if !cluster.node_alive(m) {
+            cluster.rejoin_node(m).unwrap();
+        }
+    }
+    gw.recover_pending().unwrap();
+    let mut rounds = 0;
+    while !cluster.run_anti_entropy().converged() {
+        rounds += 1;
+        assert!(rounds < 32, "anti-entropy must converge on a quiet cluster");
+    }
+    assert!(cluster.replica_digests_converged(), "live replicas report byte-identical Merkle state");
+
+    // Zero lazy read repairs outstanding: anti-entropy already healed
+    // everything a read would have repaired.
+    let repairs_before = cluster.read_repairs();
+    for id in &acked {
+        let doc = gw.get("patients", *id).unwrap();
+        assert!(doc.get("ward").is_some(), "acked doc {} lost its field", id.to_hex());
+    }
+    assert_eq!(cluster.read_repairs(), repairs_before, "no lazy repairs outstanding after anti-entropy");
+    assert!(gw.fsck("patients").unwrap().is_clean());
+    let _ = std::fs::remove_dir_all(&dir);
+}

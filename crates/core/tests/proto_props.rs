@@ -4,7 +4,11 @@
 //! messages) never a bogus success. Complements `wire_fuzz`, which throws
 //! fully random bytes at the same decoders.
 
-use datablinder_core::cloudproto::{FindIdsDnf, FindIdsEq, FindIdsRange, Idempotent, PaillierSum, PaillierSumResponse};
+use datablinder_core::cloudproto::{
+    BlobList, ChunkRequest, ChunkResponse, DigestRequest, DigestResponse, FindIdsDnf, FindIdsEq, FindIdsRange,
+    Idempotent, PaillierSum, PaillierSumResponse, RangeSelect, SyncEntries, SyncEntry, TransferBegin, TransferInfo,
+    WalTailRequest, ENTRY_DOC, ENTRY_INDEX, ENTRY_KV,
+};
 use datablinder_docstore::Value;
 use proptest::prelude::*;
 
@@ -119,5 +123,120 @@ proptest! {
                 Err(_) => prop_assert!(cut < 8),
             }
         }
+    }
+
+    // ── Resync / membership / anti-entropy wire messages ────────────────
+    // All of these are strict codecs (trailing bytes rejected), so every
+    // strict prefix must fail — a half-received sync frame can never be
+    // mistaken for a complete one.
+
+    #[test]
+    fn truncated_sync_entries_errors(
+        raw in prop::collection::vec(
+            (prop::sample::select(vec![ENTRY_DOC, ENTRY_KV, ENTRY_INDEX]),
+             prop::collection::vec(any::<u8>(), 0..12),
+             prop::collection::vec(any::<u8>(), 0..24)),
+            0..4,
+        ),
+    ) {
+        let entries = raw.into_iter().map(|(kind, key, value)| SyncEntry { kind, key, value }).collect();
+        let msg = SyncEntries { entries };
+        let enc = msg.encode();
+        prop_assert_eq!(SyncEntries::decode(&enc).unwrap(), msg);
+        assert_all_truncations_err(&enc, SyncEntries::decode);
+    }
+
+    #[test]
+    fn truncated_range_select_errors(
+        seed in any::<u64>(),
+        ranges in prop::collection::vec((any::<u64>(), any::<u64>()), 0..5),
+        include_broadcast in any::<bool>(),
+    ) {
+        let msg = RangeSelect { seed, ranges, include_broadcast };
+        let enc = msg.encode();
+        prop_assert_eq!(RangeSelect::decode(&enc).unwrap(), msg);
+        assert_all_truncations_err(&enc, RangeSelect::decode);
+    }
+
+    #[test]
+    fn truncated_transfer_handshake_errors(
+        token in any::<u128>(),
+        total_len in any::<u64>(),
+        snapshot_seq in any::<u64>(),
+        crc in any::<u32>(),
+    ) {
+        let begin = TransferBegin { token: token.to_be_bytes() };
+        let enc = begin.encode();
+        prop_assert_eq!(TransferBegin::decode(&enc).unwrap(), begin);
+        assert_all_truncations_err(&enc, TransferBegin::decode);
+
+        let info = TransferInfo { total_len, snapshot_seq, crc };
+        let enc = info.encode();
+        prop_assert_eq!(TransferInfo::decode(&enc).unwrap(), info);
+        assert_all_truncations_err(&enc, TransferInfo::decode);
+    }
+
+    #[test]
+    fn truncated_chunk_messages_error(
+        token in any::<u128>(),
+        offset in any::<u64>(),
+        max_len in any::<u32>(),
+        crc in any::<u32>(),
+        data in prop::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let req = ChunkRequest { token: token.to_be_bytes(), offset, max_len };
+        let enc = req.encode();
+        prop_assert_eq!(ChunkRequest::decode(&enc).unwrap(), req);
+        assert_all_truncations_err(&enc, ChunkRequest::decode);
+
+        let resp = ChunkResponse { offset, crc, data };
+        let enc = resp.encode();
+        prop_assert_eq!(ChunkResponse::decode(&enc).unwrap(), resp);
+        assert_all_truncations_err(&enc, ChunkResponse::decode);
+    }
+
+    #[test]
+    fn truncated_wal_tail_messages_error(
+        from_seq in any::<u64>(),
+        items in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..24), 0..5),
+    ) {
+        let req = WalTailRequest { from_seq };
+        let enc = req.encode();
+        prop_assert_eq!(WalTailRequest::decode(&enc).unwrap(), req);
+        assert_all_truncations_err(&enc, WalTailRequest::decode);
+
+        let list = BlobList { items };
+        let enc = list.encode();
+        prop_assert_eq!(BlobList::decode(&enc).unwrap(), list);
+        assert_all_truncations_err(&enc, BlobList::decode);
+    }
+
+    #[test]
+    fn truncated_digest_messages_error(
+        seed in any::<u64>(),
+        boundaries in prop::collection::vec(any::<u64>(), 0..6),
+        leaves in prop::collection::vec((any::<u128>(), any::<u128>()), 0..4),
+        broadcast in (any::<u128>(), any::<u128>()),
+        root in (any::<u128>(), any::<u128>()),
+    ) {
+        let req = DigestRequest { seed, boundaries };
+        let enc = req.encode();
+        prop_assert_eq!(DigestRequest::decode(&enc).unwrap(), req);
+        assert_all_truncations_err(&enc, DigestRequest::decode);
+
+        fn digest((hi, lo): (u128, u128)) -> [u8; 32] {
+            let mut d = [0u8; 32];
+            d[..16].copy_from_slice(&hi.to_be_bytes());
+            d[16..].copy_from_slice(&lo.to_be_bytes());
+            d
+        }
+        let resp = DigestResponse {
+            leaves: leaves.into_iter().map(digest).collect(),
+            broadcast: digest(broadcast),
+            root: digest(root),
+        };
+        let enc = resp.encode();
+        prop_assert_eq!(DigestResponse::decode(&enc).unwrap(), resp);
+        assert_all_truncations_err(&enc, DigestResponse::decode);
     }
 }

@@ -278,6 +278,23 @@ impl KvStore {
         self.shard(&key).write().insert(key, Slot::Str(value));
     }
 
+    /// Sets a string value only if no slot exists at `key` (compare-and-set
+    /// on vacancy). Returns `true` if the value was stored, `false` if the
+    /// key was already occupied (by any slot type) — in which case nothing
+    /// changes. The check-and-insert happens under one shard lock, so two
+    /// racing `set_nx` calls on the same key serialize: exactly one wins.
+    pub fn set_nx(&self, key: &[u8], value: &[u8]) -> bool {
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.shard(key).write();
+        if map.contains_key(key) {
+            return false;
+        }
+        map.insert(key.to_vec(), Slot::Str(value.to_vec()));
+        drop(map);
+        self.record(LogRecord::Set { key: key.to_vec(), value: value.to_vec() });
+        true
+    }
+
     /// Reads a string value.
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
         self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
@@ -558,6 +575,29 @@ mod tests {
         assert!(kv.del(b"k"));
         assert!(!kv.del(b"k"));
         assert!(!kv.exists(b"k"));
+    }
+
+    #[test]
+    fn set_nx_first_writer_wins() {
+        let kv = KvStore::new();
+        assert!(kv.set_nx(b"k", b"first"));
+        assert!(!kv.set_nx(b"k", b"second"), "occupied key rejects the CAS");
+        assert_eq!(kv.get(b"k"), Some(b"first".to_vec()));
+        // Any slot type occupies the key, not just strings.
+        kv.hset(b"h", b"f", b"v").unwrap();
+        assert!(!kv.set_nx(b"h", b"x"));
+        // Racing setters on a fresh key: exactly one wins.
+        let kv2 = kv.clone();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let kv = kv2.clone();
+                std::thread::spawn(move || kv.set_nx(b"race", format!("w{i}").as_bytes()))
+            })
+            .collect();
+        let wins = handles.into_iter().map(|h| h.join().unwrap()).filter(|&w| w).count();
+        assert_eq!(wins, 1, "exactly one racing set_nx succeeds");
+        let winner = kv.get(b"race").unwrap();
+        assert!(winner.starts_with(b"w"));
     }
 
     #[test]

@@ -149,6 +149,15 @@ pub enum NodeEvent {
     Kill(usize),
     /// Node `idx` restarts from its own disk and resyncs from live peers.
     Rejoin(usize),
+    /// A brand-new node joins the ring (the cluster assigns its index);
+    /// vnode ownership is recomputed and the newcomer pulls the key
+    /// ranges it gained before serving quorums.
+    AddNode,
+    /// Node `idx` is decommissioned: surviving replicas pull the ranges
+    /// they inherit, then the node leaves the ring for good. The cluster
+    /// refuses the event if it would drop membership below the
+    /// replication factor.
+    RemoveNode(usize),
 }
 
 /// A deterministic schedule of [`NodeEvent`]s keyed by operation count.
@@ -191,6 +200,38 @@ impl NodeFailurePlan {
             let down_for = 1 + rng.next_u64() % (horizon - kill_at).max(1);
             events.push((kill_at, NodeEvent::Kill(victim)));
             events.push((kill_at + down_for, NodeEvent::Rejoin(victim)));
+        }
+        NodeFailurePlan::at(events)
+    }
+
+    /// Derives a full membership-churn storm from `seed`: kill/rejoin
+    /// cycles interleaved with ring-membership changes (add a node,
+    /// remove a node) over the first `horizon` operations. `cycles`
+    /// counts scheduled disturbances; roughly one in three is a
+    /// membership change, the rest are kill/rejoin pairs. Victim indices
+    /// are drawn from the *initial* `nodes` — the cluster maps a
+    /// `RemoveNode` of an already-removed or essential node to a no-op,
+    /// so any seed yields a valid storm. Equal seeds give equal plans.
+    pub fn seeded_churn(seed: u64, nodes: usize, cycles: usize, horizon: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xE1A5_71CC_1B57_E111);
+        let nodes = nodes.max(1) as u64;
+        let horizon = horizon.max(2);
+        let mut events = Vec::with_capacity(cycles * 2);
+        for _ in 0..cycles {
+            let at = rng.next_u64() % (horizon - 1);
+            match rng.next_u64() % 6 {
+                0 => events.push((at, NodeEvent::AddNode)),
+                1 => {
+                    let victim = (rng.next_u64() % nodes) as usize;
+                    events.push((at, NodeEvent::RemoveNode(victim)));
+                }
+                _ => {
+                    let victim = (rng.next_u64() % nodes) as usize;
+                    let down_for = 1 + rng.next_u64() % (horizon - at).max(1);
+                    events.push((at, NodeEvent::Kill(victim)));
+                    events.push((at + down_for, NodeEvent::Rejoin(victim)));
+                }
+            }
         }
         NodeFailurePlan::at(events)
     }
@@ -324,6 +365,25 @@ mod tests {
         let plan = NodeFailurePlan::at(vec![(0, NodeEvent::Kill(2)), (0, NodeEvent::Rejoin(2))]);
         let inj = NodeFailureInjector::new(plan);
         assert_eq!(inj.on_op(), vec![NodeEvent::Kill(2), NodeEvent::Rejoin(2)]);
+    }
+
+    #[test]
+    fn seeded_churn_plans_mix_membership_and_failures() {
+        let a = NodeFailurePlan::seeded_churn(7, 5, 24, 200);
+        assert_eq!(a, NodeFailurePlan::seeded_churn(7, 5, 24, 200), "deterministic");
+        let mut kinds = std::collections::HashSet::new();
+        for (_, e) in a.events() {
+            kinds.insert(match e {
+                NodeEvent::Kill(_) => 0u8,
+                NodeEvent::Rejoin(_) => 1,
+                NodeEvent::AddNode => 2,
+                NodeEvent::RemoveNode(_) => 3,
+            });
+        }
+        assert_eq!(kinds.len(), 4, "24 cycles cover all event kinds");
+        let kills = a.events().iter().filter(|(_, e)| matches!(e, NodeEvent::Kill(_))).count();
+        let rejoins = a.events().iter().filter(|(_, e)| matches!(e, NodeEvent::Rejoin(_))).count();
+        assert_eq!(kills, rejoins, "every kill is paired with a rejoin");
     }
 
     #[test]
