@@ -31,7 +31,9 @@
 //! cargo run --release -p datablinder-bench --bin fig5_throughput -- --cluster --requests 500
 //! ```
 
-use datablinder_bench::{render_cluster_json, run_all_scenarios, run_cluster, run_shared_gateway, EvalConfig};
+use datablinder_bench::{
+    render_cluster_json, run_all_scenarios, run_cluster, run_cluster_obs_overhead, run_shared_gateway, EvalConfig,
+};
 use datablinder_workload::report::{render_figure5, render_snapshot, render_snapshot_json};
 
 fn main() {
@@ -53,7 +55,14 @@ fn main() {
                 r.read_repairs
             );
         }
-        let json = render_cluster_json(&rungs);
+        let overhead = run_cluster_obs_overhead(cfg);
+        println!(
+            "\nobservability overhead (top rung, write-only): {:.1}/s off, {:.1}/s on ({:+.2}%)",
+            overhead.obs_disabled_write_per_s,
+            overhead.obs_enabled_write_per_s,
+            overhead.overhead_pct()
+        );
+        let json = render_cluster_json(&rungs, &overhead);
         std::fs::write(cfg.cluster_out, &json).expect("write BENCH_cluster.json");
         eprintln!("wrote {}", cfg.cluster_out);
         println!("\n{json}");

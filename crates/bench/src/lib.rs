@@ -298,20 +298,86 @@ impl ClusterRungReport {
     }
 }
 
+/// Observability cost on the top cluster rung: the identical write-only
+/// workload with recording off (the default) and fully on (enabled
+/// recorder, every write rooted in a trace, per-node recorders federated).
+#[derive(Debug, Clone, Copy)]
+pub struct ObsOverheadReport {
+    /// Quorum writes per second with the disabled (default) recorder.
+    pub obs_disabled_write_per_s: f64,
+    /// Quorum writes per second with tracing and metrics fully enabled.
+    pub obs_enabled_write_per_s: f64,
+}
+
+impl ObsOverheadReport {
+    /// The enabled path's slowdown relative to disabled, in percent
+    /// (negative when enabled happened to measure faster).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.obs_disabled_write_per_s <= 0.0 {
+            return 0.0;
+        }
+        (self.obs_disabled_write_per_s / self.obs_enabled_write_per_s.max(f64::EPSILON) - 1.0) * 100.0
+    }
+}
+
 /// Renders the full `BENCH_cluster.json` document: every rung plus the
 /// top rung's headline throughputs at top level (what CI greps for).
-pub fn render_cluster_json(rungs: &[ClusterRungReport]) -> String {
+pub fn render_cluster_json(rungs: &[ClusterRungReport], overhead: &ObsOverheadReport) -> String {
     let items: Vec<String> = rungs.iter().map(ClusterRungReport::to_json).collect();
     let top = rungs.last().expect("at least one rung");
     format!(
         "{{\"bench\":\"cluster\",\"rungs\":[{}],\"quorum_write_per_s\":{:.1},\"quorum_read_per_s\":{:.1},\
-         \"resync_ms\":{:.2},\"anti_entropy_rounds\":{}}}",
+         \"resync_ms\":{:.2},\"anti_entropy_rounds\":{},\"obs_disabled_write_per_s\":{:.1},\
+         \"obs_enabled_write_per_s\":{:.1},\"obs_overhead_pct\":{:.2}}}",
         items.join(","),
         top.quorum_write_per_s,
         top.quorum_read_per_s,
         top.resync_ms,
-        top.anti_entropy_rounds
+        top.anti_entropy_rounds,
+        overhead.obs_disabled_write_per_s,
+        overhead.obs_enabled_write_per_s,
+        overhead.overhead_pct()
     )
+}
+
+/// Measures the observability tax on the top rung (5 nodes, R=3, W=2):
+/// `cfg.requests` quorum writes against an un-instrumented cluster, then
+/// the same writes against one with an enabled recorder where every write
+/// opens a root trace — so the measured path includes span guards, traced
+/// envelopes on every replica channel, per-node apply spans and federation
+/// bookkeeping.
+pub fn run_cluster_obs_overhead(cfg: EvalConfig) -> ObsOverheadReport {
+    use datablinder_core::cluster::{ClusterCloud, ClusterConfig};
+
+    let requests = cfg.requests.max(2);
+    let rate = |instrument: bool| -> f64 {
+        use datablinder_core::cloud::with_collection;
+        use datablinder_core::wire::encode_document;
+        use datablinder_docstore::Value;
+        use datablinder_netsim::CloudService;
+
+        let mut cluster = ClusterCloud::new(ClusterConfig::volatile(5, 3, 2, 0xBE7C)).expect("valid config");
+        let obs = instrument.then(|| {
+            let recorder = Recorder::new();
+            cluster.set_recorder(recorder.clone());
+            recorder
+        });
+        let payloads: Vec<Vec<u8>> = (0..requests)
+            .map(|i| {
+                let id = format!("{i:032x}");
+                let doc = Document::new(id).with("value", Value::from(i as i64));
+                with_collection("bench", &encode_document(&doc))
+            })
+            .collect();
+        let started = std::time::Instant::now();
+        for payload in &payloads {
+            let _root = obs.as_ref().map(|r| r.span_root("workload.insert"));
+            cluster.handle("doc/insert", payload).expect("quorum write");
+        }
+        requests as f64 / started.elapsed().as_secs_f64().max(f64::EPSILON)
+    };
+    eprintln!("measuring observability overhead: {requests} writes, recorder off vs on");
+    ObsOverheadReport { obs_disabled_write_per_s: rate(false), obs_enabled_write_per_s: rate(true) }
 }
 
 /// Runs the replicated-cluster ladder: at 1, 2, 3 and 5 nodes (R = min(3,

@@ -418,6 +418,12 @@ impl CloudEngine {
                 }
                 Ok(Vec::new())
             }
+            ["obs", "snapshot"] => {
+                // Metrics federation: export this node's recorder snapshot
+                // so a cluster coordinator can merge per-node observability
+                // into one cluster-wide view.
+                Ok(self.obs.snapshot().to_json().into_bytes())
+            }
             ["tactic", name, scope, op] => {
                 let tactic = self
                     .tactics
@@ -776,6 +782,22 @@ impl Default for CloudEngine {
 
 impl CloudService for CloudEngine {
     fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        if route == datablinder_obs::trace::TRACED_ROUTE {
+            // Traced envelope: adopt the caller's trace context and recurse
+            // on the inner route, so the crash check, journal and dedup all
+            // see the real operation — the envelope never reaches the WAL.
+            let (ctx, inner_route, inner_payload) = datablinder_obs::trace::decode_traced(payload)
+                .map_err(|e| NetError::Remote(format!("trace envelope: {e}")))?;
+            let _scope = ctx.enter();
+            let mut guard = self.obs.quiet_span("cloud.apply");
+            guard.set_detail(inner_route);
+            let out = self.handle(inner_route, inner_payload);
+            if let Err(e) = &out {
+                guard.fail();
+                guard.set_detail(&e.to_string());
+            }
+            return out;
+        }
         let Some(d) = &self.durability else {
             return self.dispatch(route, payload).map_err(|e| NetError::Remote(e.to_string()));
         };
@@ -789,8 +811,18 @@ impl CloudService for CloudEngine {
         }
         // Journal-before-apply. The journaling sits here rather than in
         // `dispatch` so nested batch/idem sub-calls are covered by their
-        // enclosing envelope's single WAL record, not re-journaled.
-        match d.journal(route, payload) {
+        // enclosing envelope's single WAL record, not re-journaled. The
+        // journal call blocks on the group-commit flush, so the span around
+        // it is the per-operation WAL fsync latency.
+        let flush = {
+            let mut guard = self.obs.quiet_span("cloud.wal.flush");
+            let outcome = d.journal(route, payload);
+            if outcome.is_err() {
+                guard.fail();
+            }
+            outcome
+        };
+        match flush {
             Ok(JournalOutcome::Written) => {
                 self.obs.count("cloud.wal.appends", 1);
                 self.obs.count("cloud.wal.bytes", (route.len() + payload.len()) as u64);

@@ -709,6 +709,12 @@ pub fn is_write_route(route: &str) -> bool {
         // reads and retry bare; only the two applying ops mutate.
         return matches!(op, "put" | "retire");
     }
+    if route.starts_with("obs/") {
+        // Observability routes (snapshot export, traced envelopes) never
+        // mutate cloud state. The envelope's *inner* route is classified
+        // after the service unwraps it, before any journal decision.
+        return false;
+    }
     // kv/*, batch and idem envelopes mutate; unknown routes are assumed to
     // mutate too — degrading to "needlessly deduplicated" is safer than
     // "double-applied".
@@ -849,6 +855,8 @@ mod tests {
             "sync/tail",
             "sync/digest",
             "sync/entries",
+            "obs/snapshot",
+            "obs/traced",
         ] {
             assert!(!is_write_route(read), "{read} should be a read");
         }

@@ -58,7 +58,7 @@ use datablinder_netsim::{
     BreakerConfig, Channel, CloudService, CrashInjector, LatencyModel, NetError, NodeEvent, NodeFailureInjector,
     NodeFailurePlan, ResilienceConfig, ResilientChannel, RetryPolicy,
 };
-use datablinder_obs::Recorder;
+use datablinder_obs::{ClusterSnapshot, Recorder, Snapshot};
 use datablinder_primitives::sha256::Sha256;
 use datablinder_sse::encoding::{Reader, Writer};
 use datablinder_sse::DocId;
@@ -314,6 +314,10 @@ struct NodeState {
     dir: Option<PathBuf>,
     engine: RwLock<Option<CloudEngine>>,
     alive: AtomicBool,
+    /// The node's own recorder, labeled `node{slot}`. It outlives engine
+    /// rebuilds (kill/rejoin), so per-node counters survive restarts, and
+    /// it is what `obs/snapshot` federation reads.
+    obs: Recorder,
 }
 
 impl NodeState {
@@ -542,7 +546,7 @@ impl ClusterCloud {
         let mut channels = Vec::with_capacity(cfg.nodes);
         for i in 0..cfg.nodes {
             let dir = cfg.data_dir.as_ref().map(|base| base.join(format!("node{i}")));
-            let engine = match &dir {
+            let mut engine = match &dir {
                 Some(d) => CloudEngine::open_durable_with(
                     d,
                     DurabilityOptions {
@@ -553,7 +557,10 @@ impl ClusterCloud {
                 )?,
                 None => CloudEngine::new(),
             };
-            let node = Arc::new(NodeState { dir, engine: RwLock::new(Some(engine)), alive: AtomicBool::new(true) });
+            let obs = node_recorder(i);
+            engine.set_recorder(obs.clone());
+            let node =
+                Arc::new(NodeState { dir, engine: RwLock::new(Some(engine)), alive: AtomicBool::new(true), obs });
             channels.push(make_channel(&cfg, &node, i));
             nodes.push(node);
         }
@@ -603,15 +610,49 @@ impl ClusterCloud {
     }
 
     /// Attaches an observability recorder for cluster-level counters,
-    /// quorum-latency histograms and per-node op/error counts.
+    /// quorum-latency histograms and per-node op/error counts. Also wires
+    /// the whole cluster for tracing and federation: the coordinator's
+    /// node channels record their retry/breaker spans here, and every
+    /// member's own recorder is switched to the same enabled state so
+    /// [`ClusterCloud::snapshot`] has per-node data to merge.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.obs = recorder;
-        let topo = self.topo.read();
+        if self.obs.label().is_none() {
+            self.obs.set_label("cluster");
+        }
+        let mut topo = self.topo.write();
         self.obs.gauge_set("cluster.nodes", topo.members.len() as i64);
         self.obs.gauge_set("cluster.ring.vnodes", topo.ring.points.len() as i64);
         for &i in &topo.members {
             self.obs.gauge_set(&format!("cluster.node.{i}.alive"), i64::from(topo.alive(i)));
         }
+        for channel in &mut topo.channels {
+            channel.set_recorder(self.obs.clone());
+        }
+        for node in &topo.nodes {
+            node.obs.set_enabled(self.obs.is_enabled());
+        }
+    }
+
+    /// Federates observability across the cluster: the coordinator's own
+    /// snapshot plus every live member's, pulled over the node channels via
+    /// the `obs/snapshot` route and merged into one [`ClusterSnapshot`].
+    /// Dead or unreachable members are skipped (their slots reappear after
+    /// a rejoin, counters intact — node recorders outlive engine rebuilds).
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let topo = self.topo.read();
+        let mut nodes = vec![self.obs.snapshot()];
+        for &m in &topo.members {
+            if !topo.alive(m) {
+                continue;
+            }
+            let Ok(resp) = topo.channels[m].call("obs/snapshot", b"") else { continue };
+            let Ok(text) = String::from_utf8(resp) else { continue };
+            if let Ok(snap) = Snapshot::from_json(&text) {
+                nodes.push(snap);
+            }
+        }
+        ClusterSnapshot::federate(nodes)
     }
 
     /// The cluster's configuration.
@@ -743,7 +784,7 @@ impl ClusterCloud {
 
     fn rejoin_in(&self, topo: &Topology, idx: usize) -> Result<u64, CoreError> {
         let node = &topo.nodes[idx];
-        let engine = match &node.dir {
+        let mut engine = match &node.dir {
             Some(dir) => {
                 let crash = self.rejoin_crash.lock().remove(&idx);
                 CloudEngine::open_durable_with(
@@ -757,6 +798,9 @@ impl ClusterCloud {
             }
             None => CloudEngine::new(),
         };
+        // Re-attach the slot's long-lived recorder so counters and spans
+        // accumulated before the crash stay in the same federated view.
+        engine.set_recorder(node.obs.clone());
         *node.engine.write() = Some(engine);
         match self.resync_in(topo, idx) {
             Ok((filled, replayed)) => {
@@ -780,6 +824,14 @@ impl ClusterCloud {
             }
         }
     }
+}
+
+/// A per-node recorder, labeled by slot. Starts disabled (near-zero cost)
+/// until [`ClusterCloud::set_recorder`] turns cluster observability on.
+fn node_recorder(slot: usize) -> Recorder {
+    let obs = Recorder::disabled();
+    obs.set_label(&format!("node{slot}"));
+    obs
 }
 
 fn make_channel(cfg: &ClusterConfig, node: &Arc<NodeState>, slot: usize) -> ResilientChannel {
@@ -809,6 +861,19 @@ impl ClusterCloud {
     /// state wins ties, the anti-entropy majority arbitrates divergence),
     /// then retire whatever the node holds outside its owned ranges.
     fn resync_in(&self, topo: &Topology, idx: usize) -> Result<(u64, u64), CoreError> {
+        // Background work: detach from whatever client operation triggered
+        // the rejoin so the resync gets its own root trace.
+        let mut root = self.obs.span_root("cluster.resync");
+        root.set_detail(&format!("node{idx}"));
+        let out = self.resync_body(topo, idx);
+        if let Err(e) = &out {
+            root.fail();
+            root.set_detail(&e.to_string());
+        }
+        out
+    }
+
+    fn resync_body(&self, topo: &Topology, idx: usize) -> Result<(u64, u64), CoreError> {
         let node = &topo.nodes[idx];
         let owned = topo.ring.ranges_of(idx, true);
         let unowned = topo.ring.ranges_of(idx, false);
@@ -1045,7 +1110,7 @@ impl ClusterCloud {
         let slot = topo.nodes.len();
         let dir = self.cfg.data_dir.as_ref().map(|base| base.join(format!("node{slot}")));
         let crash = self.rejoin_crash.lock().remove(&slot);
-        let engine = match &dir {
+        let mut engine = match &dir {
             Some(d) => CloudEngine::open_durable_with(
                 d,
                 DurabilityOptions {
@@ -1056,7 +1121,10 @@ impl ClusterCloud {
             )?,
             None => CloudEngine::new(),
         };
-        let node = Arc::new(NodeState { dir, engine: RwLock::new(Some(engine)), alive: AtomicBool::new(false) });
+        let obs = node_recorder(slot);
+        obs.set_enabled(self.obs.is_enabled());
+        engine.set_recorder(obs.clone());
+        let node = Arc::new(NodeState { dir, engine: RwLock::new(Some(engine)), alive: AtomicBool::new(false), obs });
         let mut new_members = topo.members.clone();
         new_members.push(slot);
         let new_ring = Ring::new(&new_members, self.cfg.vnodes, self.cfg.replication, self.cfg.seed);
@@ -1073,7 +1141,7 @@ impl ClusterCloud {
             }
         }
         node.alive.store(true, Ordering::SeqCst);
-        topo.channels.push(make_channel(&self.cfg, &node, slot));
+        topo.channels.push(make_channel(&self.cfg, &node, slot).with_recorder(self.obs.clone()));
         topo.node_ops.push(format!("cluster.node.{slot}.ops"));
         topo.node_errors.push(format!("cluster.node.{slot}.errors"));
         topo.nodes.push(node);
@@ -1202,6 +1270,9 @@ impl ClusterCloud {
     }
 
     fn anti_entropy_in(&self, topo: &Topology) -> AntiEntropyRound {
+        // Background repair gets its own root trace, detached from the
+        // client operation whose tick triggered it.
+        let _root = self.obs.span_root("cluster.antientropy.round");
         let mut round = AntiEntropyRound::default();
         let boundaries = topo.ring.boundaries();
         let req = DigestRequest { seed: self.cfg.seed, boundaries: boundaries.clone() }.encode();
@@ -1499,6 +1570,8 @@ impl ClusterCloud {
             WriteTarget::Broadcast => topo.members.clone(),
         };
         let quorum = self.cfg.write_quorum.min(replicas.len()).max(1);
+        let mut span = self.obs.quiet_span("cluster.quorum_write");
+        span.set_detail(route);
         let started = self.obs.start();
         let mut acks = 0usize;
         let mut first: Option<Vec<u8>> = None;
@@ -1529,10 +1602,15 @@ impl ClusterCloud {
         if let Some(e) = app_err {
             // Deterministic engines fail identically on every replica: the
             // application error *is* the answer, not an availability issue.
+            span.fail();
+            span.set_detail(&e.to_string());
             return Err(e);
         }
         self.obs.count("cluster.write.quorum_fail", 1);
-        Err(NetError::Unavailable(format!("write quorum not met: {acks}/{quorum} acks for {route}")))
+        let message = format!("write quorum not met: {acks}/{quorum} acks for {route}");
+        span.fail();
+        span.set_detail(&message);
+        Err(NetError::Unavailable(message))
     }
 
     /// Decomposes a sealed batch: every write item becomes its own quorum
@@ -1904,6 +1982,19 @@ impl ClusterCloud {
 
 impl CloudService for ClusterCloud {
     fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        if route == datablinder_obs::trace::TRACED_ROUTE {
+            // Adopt the gateway's trace context before fanning out, so the
+            // per-replica channel spans hang off the caller's tree.
+            let (ctx, inner_route, inner_payload) = datablinder_obs::trace::decode_traced(payload)
+                .map_err(|e| NetError::Remote(format!("trace envelope: {e}")))?;
+            let _scope = ctx.enter();
+            return self.handle(inner_route, inner_payload);
+        }
+        if route == "obs/snapshot" {
+            // Metric scraping must not perturb the deterministic failure
+            // schedule or op counters: answer before any event pump.
+            return Ok(self.snapshot().to_json().into_bytes());
+        }
         self.pump_events();
         self.maybe_anti_entropy();
         self.obs.count("cluster.ops", 1);

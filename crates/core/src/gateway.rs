@@ -226,6 +226,9 @@ impl GatewayEngine {
     /// un-instrumented gateway pays one atomic load per operation.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.channel.set_recorder(recorder.clone());
+        if recorder.label().is_none() {
+            recorder.set_label("gateway");
+        }
         self.obs = recorder;
     }
 
@@ -557,12 +560,17 @@ impl GatewayEngine {
     }
 
     /// Times a route: `<route>.count`, `<route>.errors`, `<route>.latency`
-    /// and one span per call. With a disabled recorder this is one atomic
-    /// load plus the closure.
+    /// and one span per call. The guard opens (or roots) a trace context,
+    /// so everything the closure touches — channel attempts, replica
+    /// applies, WAL flushes — lands in one reconstructable trace tree. With
+    /// a disabled recorder this is one atomic load plus the closure.
     fn observed<T>(&self, route: &str, f: impl FnOnce(&Self) -> Result<T, CoreError>) -> Result<T, CoreError> {
-        let started = self.obs.start();
+        let mut span = self.obs.span(route);
         let result = f(self);
-        self.obs.finish_route(route, started, result.is_ok());
+        if let Err(e) = &result {
+            span.fail();
+            span.set_detail(&e.to_string());
+        }
         result
     }
 

@@ -10,6 +10,7 @@ use datablinder_core::cloudproto::{
     WalTailRequest, ENTRY_DOC, ENTRY_INDEX, ENTRY_KV,
 };
 use datablinder_docstore::Value;
+use datablinder_obs::trace::{self, TraceCtx};
 use proptest::prelude::*;
 
 /// Decodes every strict prefix of `encoded`, asserting each one errors.
@@ -238,5 +239,70 @@ proptest! {
         let enc = resp.encode();
         prop_assert_eq!(DigestResponse::decode(&enc).unwrap(), resp);
         assert_all_truncations_err(&enc, DigestResponse::decode);
+    }
+}
+
+// --------------------------------------------------- traced envelopes
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The trace envelope wrapping every on-the-wire call under an active
+    /// trace: round-trips exactly, rejects every strict prefix, and rejects
+    /// trailing garbage (it is self-delimiting).
+    #[test]
+    fn truncated_trace_envelopes_error(
+        trace_id in 1..u64::MAX,
+        span_id in 1..u64::MAX,
+        route in prop::collection::vec(any::<u8>(), 0..24),
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let ctx = TraceCtx { trace_id, span_id };
+        let route = hexish(&route);
+        let enc = trace::encode_traced(ctx, &route, &payload);
+
+        let (got_ctx, got_route, got_payload) = trace::decode_traced(&enc).unwrap();
+        prop_assert_eq!(got_ctx, ctx);
+        prop_assert_eq!(got_route, route.as_str());
+        prop_assert_eq!(got_payload, payload.as_slice());
+
+        for cut in 0..enc.len() {
+            prop_assert!(trace::decode_traced(&enc[..cut]).is_err(), "prefix of {}/{} decoded", cut, enc.len());
+        }
+        let mut trailing = enc.clone();
+        trailing.push(0);
+        prop_assert!(trace::decode_traced(&trailing).is_err(), "trailing byte accepted");
+    }
+
+    /// Back-compat: frames without a trace context keep working. A plain
+    /// (pre-trace) route reaches the engine unwrapped and answers exactly
+    /// like its enveloped twin, and an envelope carrying the zero (untraced)
+    /// context still decodes and serves.
+    #[test]
+    fn plain_frames_and_untraced_envelopes_still_serve(value in prop::collection::vec(any::<u8>(), 1..32)) {
+        use datablinder_core::cloud::CloudEngine;
+        use datablinder_netsim::CloudService;
+
+        let engine = CloudEngine::new();
+        let key = format!("k{}", hexish(&value));
+        let mut w = datablinder_sse::encoding::Writer::new();
+        w.list(&[key.clone().into_bytes(), value.clone()]);
+        let put = w.finish();
+
+        // Plain frame: served without any envelope.
+        engine.handle("kv/bulk_put", &put).unwrap();
+
+        // The same route under an envelope with *no* trace context (both
+        // ids zero) decodes and routes identically.
+        let zero = TraceCtx { trace_id: 0, span_id: 0 };
+        let enveloped = trace::encode_traced(zero, "kv/bulk_put", &put);
+        let (ctx, inner_route, inner_payload) = trace::decode_traced(&enveloped).unwrap();
+        prop_assert_eq!(ctx, zero);
+        prop_assert_eq!(inner_route, "kv/bulk_put");
+        prop_assert_eq!(inner_payload, put.as_slice());
+        engine.handle(trace::TRACED_ROUTE, &enveloped).unwrap();
+
+        // Both writes landed on the same key.
+        prop_assert_eq!(engine.kv().get(key.as_bytes()).as_deref(), Some(value.as_slice()));
     }
 }

@@ -1,0 +1,281 @@
+//! End-to-end distributed tracing and metrics federation: one gateway
+//! write through a replicated cluster must yield a single trace tree —
+//! gateway root, channel call/attempt children, per-replica applies and
+//! WAL flushes as leaves — reconstructable purely from the exported JSON
+//! snapshots, with retries and quorum failures visible in the same tree.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use datablinder_core::cluster::{ClusterCloud, ClusterConfig};
+use datablinder_core::gateway::GatewayEngine;
+use datablinder_core::model::{FieldAnnotation, FieldOp, FieldType, ProtectionClass, Schema};
+use datablinder_docstore::{Document, Value};
+use datablinder_kms::Kms;
+use datablinder_netsim::{Channel, LatencyModel};
+use datablinder_obs::{render_trace_timeline, ClusterSnapshot, Recorder, Snapshot, Span, SpanOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("datablinder-trace-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn schema() -> Schema {
+    Schema::new("patients").sensitive_field(
+        "ward",
+        FieldType::Text,
+        true,
+        FieldAnnotation::new(ProtectionClass::C2, vec![FieldOp::Insert, FieldOp::Equality]),
+    )
+}
+
+fn gateway_over(cluster: Arc<ClusterCloud>, recorder: Recorder) -> GatewayEngine {
+    let channel = Channel::from_arc(cluster, LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(0x7ACE);
+    let mut gw = GatewayEngine::new("trace-suite", Kms::generate(&mut rng), channel, 23);
+    gw.set_recorder(recorder);
+    gw.register_schema(schema()).unwrap();
+    gw
+}
+
+/// Every span of `trace_id` across all exported snapshots, reconstructed
+/// purely from the JSON (never from in-process state).
+fn spans_of_trace(exports: &[&str], trace_id: u64) -> Vec<Span> {
+    let mut spans = Vec::new();
+    for text in exports {
+        let snap = Snapshot::from_json(text).expect("snapshot JSON parses");
+        spans.extend(snap.trace_spans.into_iter().filter(|s| s.trace_id == trace_id));
+    }
+    spans
+}
+
+fn routes_of<'a>(spans: &'a [Span], route: &str) -> Vec<&'a Span> {
+    spans.iter().filter(|s| s.route == route).collect()
+}
+
+/// The acceptance scenario: a W-of-R quorum write through a 5-node durable
+/// cluster produces exactly one trace tree, reconstructed from the exported
+/// gateway snapshot plus the federated cluster snapshot.
+#[test]
+fn quorum_write_produces_one_reconstructable_trace_tree() {
+    let dir = temp_dir("quorum");
+    let mut cluster = ClusterCloud::new(ClusterConfig::volatile(5, 3, 2, 0x7ACE).durable(&dir)).unwrap();
+    cluster.set_recorder(Recorder::new());
+    let cluster = Arc::new(cluster);
+    let gw_obs = Recorder::new();
+    let gw = gateway_over(cluster.clone(), gw_obs.clone());
+
+    let doc = Document::new("00aa00aa00aa00aa00aa00aa00aa00aa").with("ward", Value::from("icu"));
+    gw.insert("patients", &doc).unwrap();
+
+    // Reconstruct purely from exported JSON: the gateway's own snapshot and
+    // the cluster federation (coordinator + every live node's recorder).
+    let gateway_json = gw_obs.snapshot().to_json();
+    let cluster_json = cluster.snapshot().to_json();
+    let federated = ClusterSnapshot::from_json(&cluster_json).expect("federated JSON parses");
+    let merged_json = federated.merged.to_json();
+    let exports = [gateway_json.as_str(), merged_json.as_str()];
+
+    // Exactly one trace roots at gateway.insert.
+    let roots: Vec<Span> = Snapshot::from_json(&gateway_json)
+        .unwrap()
+        .trace_spans
+        .into_iter()
+        .filter(|s| s.route == "gateway.insert" && s.parent_id == 0)
+        .collect();
+    assert_eq!(roots.len(), 1, "one insert, one root span");
+    let root = &roots[0];
+    assert_eq!(root.trace_id, root.span_id, "roots start their trace");
+    assert_eq!(root.outcome, SpanOutcome::Ok);
+
+    let spans = spans_of_trace(&exports, root.trace_id);
+    // Every parent link resolves within the tree (single-rooted).
+    let ids: HashMap<u64, &Span> = spans.iter().map(|s| (s.span_id, s)).collect();
+    assert_eq!(ids.len(), spans.len(), "span ids are process-unique");
+    for s in &spans {
+        if s.parent_id == 0 {
+            assert_eq!(s.span_id, root.span_id, "single root: {}", s.route);
+        } else {
+            assert!(ids.contains_key(&s.parent_id), "dangling parent for {}", s.route);
+        }
+    }
+
+    // Gateway side: the channel call and its attempt hang off the root.
+    let calls = routes_of(&spans, "channel.call");
+    assert!(!calls.is_empty(), "channel.call spans recorded");
+    let attempts = routes_of(&spans, "channel.attempt");
+    assert!(!attempts.is_empty(), "channel.attempt spans recorded");
+    for a in &attempts {
+        assert_eq!(ids[&a.parent_id].route, "channel.call", "attempts nest under their call");
+    }
+
+    // Cluster side: the quorum fan-out span bridges gateway and replicas.
+    assert!(!routes_of(&spans, "cluster.quorum_write").is_empty(), "quorum span recorded");
+
+    // Replica side: at least W=2 applies on distinct nodes, each flushing
+    // the WAL inside its apply.
+    let applies = routes_of(&spans, "cloud.apply");
+    let apply_nodes: std::collections::BTreeSet<&str> = applies.iter().filter_map(|s| s.node.as_deref()).collect();
+    assert!(apply_nodes.len() >= 2, "applies on >=W distinct nodes, got {apply_nodes:?}");
+    let flushes = routes_of(&spans, "cloud.wal.flush");
+    assert!(flushes.len() >= 2, "every durable apply flushed the WAL");
+    for f in &flushes {
+        assert_eq!(ids[&f.parent_id].route, "cloud.apply", "flush is a leaf of its apply");
+        assert_eq!(f.outcome, SpanOutcome::Ok);
+    }
+
+    // The timeline renderer accepts the reconstructed tree.
+    let rendered = render_trace_timeline(&spans);
+    assert!(rendered.contains("gateway.insert"), "timeline shows the root:\n{rendered}");
+    assert!(rendered.contains("cloud.wal.flush"), "timeline shows the leaves:\n{rendered}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Killing a replica under an all-nodes write quorum shows the retry and
+/// the typed Unavailable leaves in the same trace tree.
+#[test]
+fn failed_quorum_shows_retries_and_unavailable_in_one_tree() {
+    let mut cluster = ClusterCloud::new(ClusterConfig::volatile(5, 5, 5, 0xDEAD)).unwrap();
+    cluster.set_recorder(Recorder::new());
+    let cluster = Arc::new(cluster);
+    let gw_obs = Recorder::new();
+    let gw = gateway_over(cluster.clone(), gw_obs.clone());
+
+    cluster.kill_node(1);
+    let doc = Document::new("00bb00bb00bb00bb00bb00bb00bb00bb").with("ward", Value::from("er"));
+    let err = gw.insert("patients", &doc).unwrap_err();
+    assert!(err.to_string().contains("write quorum not met"), "typed quorum failure: {err}");
+
+    let gateway_json = gw_obs.snapshot().to_json();
+    let cluster_json = cluster.snapshot().to_json();
+    let federated = ClusterSnapshot::from_json(&cluster_json).unwrap();
+    let merged_json = federated.merged.to_json();
+    let exports = [gateway_json.as_str(), merged_json.as_str()];
+
+    let roots: Vec<Span> = Snapshot::from_json(&gateway_json)
+        .unwrap()
+        .trace_spans
+        .into_iter()
+        .filter(|s| s.route == "gateway.insert" && s.parent_id == 0)
+        .collect();
+    assert_eq!(roots.len(), 1);
+    assert_eq!(roots[0].outcome, SpanOutcome::Err);
+
+    let spans = spans_of_trace(&exports, roots[0].trace_id);
+    let attempts = routes_of(&spans, "channel.attempt");
+    // The gateway-side attempts (children of the gateway channel.call) show
+    // the retry loop; each carries the quorum failure as its detail.
+    let failed: Vec<_> = attempts
+        .iter()
+        .filter(|s| {
+            s.outcome == SpanOutcome::Err && s.detail.as_deref().is_some_and(|d| d.contains("write quorum not met"))
+        })
+        .collect();
+    assert!(failed.len() >= 2, "the retry and the original failure share the tree, got {}", failed.len());
+
+    // The per-replica quorum spans failed too, in the same trace.
+    let quorum = routes_of(&spans, "cluster.quorum_write");
+    assert!(quorum.iter().any(|s| s.outcome == SpanOutcome::Err), "quorum fan-out recorded its failure");
+}
+
+/// Federation covers exactly the live members: a dead node drops out of the
+/// per-node breakouts and returns (counters intact) after a rejoin.
+#[test]
+fn snapshot_federates_live_node_recorders() {
+    let mut cluster = ClusterCloud::new(ClusterConfig::volatile(3, 3, 2, 0xFEDE)).unwrap();
+    cluster.set_recorder(Recorder::new());
+    let cluster = Arc::new(cluster);
+    let gw = gateway_over(cluster.clone(), Recorder::new());
+
+    let doc = Document::new("00cc00cc00cc00cc00cc00cc00cc00cc").with("ward", Value::from("icu"));
+    gw.insert("patients", &doc).unwrap();
+
+    let all = cluster.snapshot();
+    assert!(all.node("cluster").is_some(), "coordinator snapshot present");
+    for i in 0..3 {
+        assert!(all.node(&format!("node{i}")).is_some(), "node{i} federated");
+    }
+    let spans_before = all.node("node1").unwrap().spans_recorded;
+    assert!(spans_before > 0, "replica applies were recorded on node1");
+
+    cluster.kill_node(1);
+    let down = cluster.snapshot();
+    assert!(down.node("node1").is_none(), "dead node skipped");
+    assert!(down.node("node0").is_some() && down.node("node2").is_some());
+
+    cluster.rejoin_node(1).unwrap();
+    let back = cluster.snapshot();
+    let node1 = back.node("node1").expect("rejoined node federated again");
+    // The slot recorder outlived the engine rebuild: pre-kill activity is
+    // still visible after the rejoin.
+    assert!(node1.spans_recorded >= spans_before, "node1 history survived the restart");
+
+    // The merged view sums the per-node totals; the document round-trips.
+    let round = ClusterSnapshot::from_json(&back.to_json()).unwrap();
+    assert_eq!(round.nodes.len(), back.nodes.len());
+    let summed: u64 = back.nodes.iter().map(|n| n.spans_recorded).sum();
+    assert_eq!(round.merged.spans_recorded, summed, "merged totals are the per-node sum");
+}
+
+/// The Prometheus exposition of a live federated snapshot round-trips
+/// through the metric-name registry: every family's original dot name
+/// (carried on its `# HELP` line) is documented in `docs/METRICS.md` —
+/// exactly, via a `{}`-wildcard row, or as a `.count`/`.errors`/`.latency`
+/// derivative of a registered span route.
+#[test]
+fn prometheus_exposition_round_trips_through_the_registry() {
+    let doc_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/METRICS.md");
+    let doc = std::fs::read_to_string(&doc_path).expect("docs/METRICS.md is checked in");
+    let registry: Vec<String> = doc
+        .split('`')
+        .skip(1)
+        .step_by(2)
+        .filter(|n| n.contains('.') && n.chars().next().is_some_and(|c| c.is_ascii_lowercase()))
+        .map(str::to_string)
+        .collect();
+    assert!(registry.len() > 50, "registry parsed from the doc");
+
+    let segments_match = |name: &str, pattern: &str| -> bool {
+        let (n, p): (Vec<&str>, Vec<&str>) = (name.split('.').collect(), pattern.split('.').collect());
+        n.len() == p.len() && n.iter().zip(&p).all(|(a, b)| *b == "{}" || a == b)
+    };
+    let registered = |name: &str| -> bool {
+        if registry.iter().any(|r| segments_match(name, r)) {
+            return true;
+        }
+        name.rsplit_once('.').is_some_and(|(base, suffix)| {
+            matches!(suffix, "count" | "errors" | "latency") && registry.iter().any(|r| segments_match(base, r))
+        })
+    };
+
+    // Populate a real federated snapshot: one success, one quorum failure,
+    // shard gauges published on every node.
+    let mut cluster = ClusterCloud::new(ClusterConfig::volatile(3, 3, 3, 0x9801)).unwrap();
+    cluster.set_recorder(Recorder::new());
+    let cluster = Arc::new(cluster);
+    let gw_obs = Recorder::new();
+    let gw = gateway_over(cluster.clone(), gw_obs.clone());
+    let doc_ok = Document::new("00dd00dd00dd00dd00dd00dd00dd00dd").with("ward", Value::from("icu"));
+    gw.insert("patients", &doc_ok).unwrap();
+    cluster.kill_node(2);
+    let doc_fail = Document::new("00ee00ee00ee00ee00ee00ee00ee00ee").with("ward", Value::from("er"));
+    let _ = gw.insert("patients", &doc_fail).unwrap_err();
+    for i in 0..3 {
+        cluster.with_node_engine(i, |e| e.publish_shard_metrics());
+    }
+
+    let mut snapshots = vec![gw_obs.snapshot()];
+    snapshots.extend(cluster.snapshot().nodes);
+    let exposition = datablinder_obs::render_multi_exposition(&snapshots);
+    let names = datablinder_obs::prometheus::help_names(&exposition);
+    assert!(!names.is_empty(), "exposition produced families");
+    assert!(names.iter().any(|n| n == "gateway.insert.count"), "gateway counters exported");
+    assert!(names.iter().any(|n| n.starts_with("cloud.")), "replica metrics exported");
+    let unregistered: Vec<&String> = names.iter().filter(|n| !registered(n)).collect();
+    assert!(unregistered.is_empty(), "exposition names missing from docs/METRICS.md: {unregistered:?}");
+}

@@ -297,7 +297,17 @@ impl<S> std::fmt::Debug for FaultyService<S> {
 
 impl<S: CloudService> CloudService for FaultyService<S> {
     fn handle(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
-        let faults = self.plan.faults_for(route);
+        // A traced envelope carries the real route inside; fault plans are
+        // keyed on that inner route, so peek through the envelope (the
+        // inner service still does the authoritative unwrap itself).
+        let faults = if route == datablinder_obs::trace::TRACED_ROUTE {
+            match datablinder_obs::trace::decode_traced(payload) {
+                Ok((_, inner_route, _)) => self.plan.faults_for(inner_route),
+                Err(_) => self.plan.faults_for(route),
+            }
+        } else {
+            self.plan.faults_for(route)
+        };
 
         // Draw every die up front so the stream position after this call is
         // independent of which faults fire.

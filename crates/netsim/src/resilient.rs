@@ -32,6 +32,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use datablinder_obs::trace::{self, TraceCtx};
 use datablinder_obs::Recorder;
 use parking_lot::Mutex;
 
@@ -317,9 +318,13 @@ impl ResilientChannel {
         let metrics = self.channel.metrics();
         let max_attempts = self.policy.max_attempts.max(1);
         let mut attempt = 0u32;
+        // A trace installed by the caller (the gateway route span) makes
+        // this call — and every attempt under it — part of that trace.
+        let ambient = trace::current();
         // Span durations are measured on the channel's virtual clock so they
         // include simulated latency, timeouts and backoff sleeps.
         let vt0 = if self.obs.is_enabled() { Some(metrics.virtual_time()) } else { None };
+        let mut call_guard = vt0.map(|_| self.obs.span("channel.call"));
         loop {
             attempt += 1;
             metrics.record_attempt();
@@ -332,7 +337,7 @@ impl ResilientChannel {
                         self.obs.count("channel.breaker.transitions", 1);
                         self.obs.gauge_set("channel.breaker.state", breaker_gauge(BreakerState::HalfOpen));
                     }
-                    let result = self.channel.call_with_deadline(route, payload, deadline);
+                    let result = self.attempt_once(route, payload, deadline, ambient);
                     match &result {
                         Ok(_) => self.note_success(),
                         Err(e) if is_transport_failure(e) => {
@@ -353,12 +358,12 @@ impl ResilientChannel {
 
             match outcome {
                 Ok(body) => {
-                    self.finish_span(vt0, true);
+                    finish_call_guard(call_guard.as_mut(), vt0, metrics, true, None);
                     return Ok(body);
                 }
                 Err(err) => {
                     if attempt >= max_attempts || !self.policy.is_retryable(&err) {
-                        self.finish_span(vt0, false);
+                        finish_call_guard(call_guard.as_mut(), vt0, metrics, false, Some(&err));
                         return Err(err);
                     }
                     metrics.record_retry();
@@ -387,13 +392,35 @@ impl ResilientChannel {
         self.obs.gauge_set("channel.breaker.state", breaker_gauge(BreakerState::Closed));
     }
 
-    /// Records the per-call span on the virtual clock (enabled recorders
-    /// only — `vt0` is `None` otherwise).
-    fn finish_span(&self, vt0: Option<Duration>, ok: bool) {
-        if let Some(vt0) = vt0 {
-            let elapsed = self.channel.metrics().virtual_time().saturating_sub(vt0);
-            self.obs.record_op("channel.call", None, None, elapsed, ok);
+    /// One attempt over the wire. Under an ambient trace the request is
+    /// wrapped in the [`trace::TRACED_ROUTE`] envelope — so the remote
+    /// service joins the trace — and a quiet per-attempt span (no counters,
+    /// virtual-clock duration, error detail) is recorded. With no ambient
+    /// trace the frame on the wire is byte-identical to before tracing
+    /// existed.
+    fn attempt_once(
+        &self,
+        route: &str,
+        payload: &[u8],
+        deadline: Option<Duration>,
+        ambient: Option<TraceCtx>,
+    ) -> Result<Vec<u8>, NetError> {
+        let Some(ambient) = ambient else {
+            return self.channel.call_with_deadline(route, payload, deadline);
+        };
+        let va0 = self.channel.metrics().virtual_time();
+        let mut guard = self.obs.quiet_span("channel.attempt");
+        // Propagate even when this channel's recorder is disabled: the
+        // trace belongs to the caller, not to us.
+        let ctx = guard.ctx().unwrap_or(ambient);
+        let framed = trace::encode_traced(ctx, route, payload);
+        let result = self.channel.call_with_deadline(trace::TRACED_ROUTE, &framed, deadline);
+        guard.set_duration(self.channel.metrics().virtual_time().saturating_sub(va0));
+        if let Err(e) = &result {
+            guard.fail();
+            guard.set_detail(&e.to_string());
         }
+        result
     }
 
     /// Traffic and resilience counters (shared with the inner channel).
@@ -437,6 +464,25 @@ fn is_transport_failure(err: &NetError) -> bool {
     // Only evidence that the *path* is unhealthy counts toward the breaker.
     // Remote/UnknownRoute/Unavailable mean the other side answered.
     matches!(err, NetError::Timeout | NetError::MalformedFrame)
+}
+
+/// Closes the per-call span guard with the virtual-clock duration and
+/// outcome. The guard carries the `channel.call` counters and histogram, so
+/// this replicates exactly what `record_op("channel.call", …)` used to do.
+fn finish_call_guard(
+    guard: Option<&mut datablinder_obs::SpanGuard>,
+    vt0: Option<Duration>,
+    metrics: &ChannelMetrics,
+    ok: bool,
+    err: Option<&NetError>,
+) {
+    if let (Some(guard), Some(vt0)) = (guard, vt0) {
+        guard.set_duration(metrics.virtual_time().saturating_sub(vt0));
+        guard.set_ok(ok);
+        if let Some(e) = err {
+            guard.set_detail(&e.to_string());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -653,6 +699,67 @@ mod tests {
         assert_eq!(snap.counter("channel.call.errors"), 5);
         assert_eq!(snap.counter("channel.call.count"), 6);
         assert!(snap.histogram("channel.call.latency").is_some());
+    }
+
+    #[test]
+    fn ambient_trace_wraps_attempts_in_the_envelope() {
+        // Under a trace, the wire carries TRACED_ROUTE with the real route
+        // inside, and per-attempt quiet spans join the caller's tree.
+        let svc = |route: &str, payload: &[u8]| -> Result<Vec<u8>, NetError> {
+            assert_eq!(route, trace::TRACED_ROUTE);
+            let (ctx, inner, body) = trace::decode_traced(payload).expect("traced envelope");
+            assert_ne!(ctx.trace_id, 0);
+            assert_eq!(inner, "echo");
+            Ok(body.to_vec())
+        };
+        let rec = Recorder::new();
+        let ch = ResilientChannel::connect(svc, LatencyModel::instant(), ResilienceConfig::default())
+            .with_recorder(rec.clone());
+        {
+            let _root = rec.span("gateway.op");
+            assert_eq!(ch.call("echo", b"ping").unwrap(), b"ping");
+        }
+        let spans = rec.spans().recent();
+        let root = spans.iter().find(|s| s.route == "gateway.op").unwrap();
+        let call = spans.iter().find(|s| s.route == "channel.call").unwrap();
+        let attempt = spans.iter().find(|s| s.route == "channel.attempt").unwrap();
+        assert_eq!(call.parent_id, root.span_id, "call nests under the caller's span");
+        assert_eq!(attempt.parent_id, call.span_id, "attempt nests under the call");
+        assert!(spans.iter().all(|s| s.trace_id == root.trace_id), "one trace");
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("channel.call.count"), 1);
+        assert_eq!(snap.counter("channel.attempt.count"), 0, "attempt spans are quiet");
+    }
+
+    #[test]
+    fn untraced_calls_stay_unwrapped_on_the_wire() {
+        // No ambient trace: the frame is byte-identical to pre-tracing
+        // behavior even with an enabled recorder attached.
+        let svc = |route: &str, p: &[u8]| -> Result<Vec<u8>, NetError> {
+            assert_eq!(route, "echo", "no envelope without a trace");
+            Ok(p.to_vec())
+        };
+        let ch = ResilientChannel::connect(svc, LatencyModel::instant(), ResilienceConfig::default())
+            .with_recorder(Recorder::new());
+        assert_eq!(ch.call("echo", b"ping").unwrap(), b"ping");
+    }
+
+    #[test]
+    fn traced_faults_target_the_inner_route() {
+        // A fault plan keyed on the inner route still fires when the wire
+        // carries the traced envelope.
+        let plan = FaultPlan::none().route("echo", RouteFaults::none().with_fail(1.0));
+        let svc = FaultyService::new(|_: &str, p: &[u8]| -> Result<Vec<u8>, NetError> { Ok(p.to_vec()) }, plan, 5);
+        let rec = Recorder::new();
+        let ch = ResilientChannel::connect(
+            svc,
+            LatencyModel::instant(),
+            ResilienceConfig { retry: RetryPolicy::none(), ..Default::default() },
+        )
+        .with_recorder(rec.clone());
+        let _root = rec.span("gateway.op");
+        let err = ch.call("echo", b"x");
+        assert_eq!(err, Err(NetError::Remote("injected transient failure".into())));
     }
 
     #[test]

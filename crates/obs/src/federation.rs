@@ -1,0 +1,195 @@
+//! Cluster-wide snapshot federation: folding per-node [`Snapshot`]s into
+//! one [`ClusterSnapshot`] with per-node breakouts and a merged view.
+//!
+//! Federation is lossless where it can be: histograms merge through their
+//! raw buckets (see [`HistogramSummary::to_histogram`]), counters and span
+//! totals sum, EWMAs combine weighted by sample count, and ledger cells
+//! with the same `(field, op)` key keep the worst observation. Traced
+//! spans concatenate — they carry process-unique ids, so trees recorded
+//! across different nodes reassemble without renumbering.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::snapshot::{EwmaSummary, HistogramSummary, LedgerEntry, Snapshot};
+
+/// A federated view over every recorder in a cluster: the per-node
+/// snapshots (each carrying its node label) plus the merged whole.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterSnapshot {
+    /// Per-node snapshots, in cluster slot order.
+    pub nodes: Vec<Snapshot>,
+    /// Everything folded together (see [`merge_snapshots`]).
+    pub merged: Snapshot,
+}
+
+impl ClusterSnapshot {
+    /// Federates `nodes` into per-node breakouts plus a merged view.
+    pub fn federate(nodes: Vec<Snapshot>) -> Self {
+        let merged = merge_snapshots(&nodes);
+        ClusterSnapshot { nodes, merged }
+    }
+
+    /// The snapshot labelled `label`, if any node carries it.
+    pub fn node(&self, label: &str) -> Option<&Snapshot> {
+        self.nodes.iter().find(|s| s.label.as_deref() == Some(label))
+    }
+
+    /// Renders the federation as one JSON document:
+    /// `{"nodes":[…],"merged":{…}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"nodes\":[");
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&node.to_json());
+        }
+        out.push_str("],\"merged\":");
+        out.push_str(&self.merged.to_json());
+        out.push('}');
+        out
+    }
+
+    /// Parses a federation back from its [`ClusterSnapshot::to_json`] form.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed field.
+    pub fn from_json(text: &str) -> Result<ClusterSnapshot, String> {
+        let doc = Json::parse(text)?;
+        let mut nodes = Vec::new();
+        for node in doc.get("nodes").and_then(Json::as_array).unwrap_or(&[]) {
+            nodes.push(Snapshot::from_value(node)?);
+        }
+        let merged = match doc.get("merged") {
+            Some(m) => Snapshot::from_value(m)?,
+            None => Snapshot::default(),
+        };
+        Ok(ClusterSnapshot { nodes, merged })
+    }
+}
+
+/// Folds `snapshots` into one: counters/gauges/span totals summed by name,
+/// histograms merged through raw buckets, EWMAs weighted by samples,
+/// ledger cells keyed by `(field, op)` keeping the worst observation, and
+/// traced spans concatenated. The merged snapshot carries no label.
+pub fn merge_snapshots(snapshots: &[Snapshot]) -> Snapshot {
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, i64> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, HistogramSummary> = BTreeMap::new();
+    let mut ewmas: BTreeMap<String, EwmaSummary> = BTreeMap::new();
+    let mut ledger: BTreeMap<(String, String), LedgerEntry> = BTreeMap::new();
+    let mut merged = Snapshot::default();
+    for snap in snapshots {
+        for (name, value) in &snap.counters {
+            *counters.entry(name.clone()).or_default() += value;
+        }
+        for (name, value) in &snap.gauges {
+            *gauges.entry(name.clone()).or_default() += value;
+        }
+        for h in &snap.histograms {
+            match histograms.get_mut(&h.name) {
+                Some(existing) => {
+                    let mut folded = existing.to_histogram();
+                    folded.merge(&h.to_histogram());
+                    *existing = HistogramSummary::of(&h.name, &folded);
+                }
+                None => {
+                    histograms.insert(h.name.clone(), h.clone());
+                }
+            }
+        }
+        for e in &snap.ewmas {
+            match ewmas.get_mut(&e.name) {
+                Some(existing) => {
+                    let total = existing.samples + e.samples;
+                    if total > 0 {
+                        existing.nanos =
+                            (existing.nanos * existing.samples as f64 + e.nanos * e.samples as f64) / total as f64;
+                    }
+                    existing.samples = total;
+                }
+                None => {
+                    ewmas.insert(e.name.clone(), e.clone());
+                }
+            }
+        }
+        for e in &snap.ledger {
+            let key = (e.field.clone(), e.op.clone());
+            match ledger.get_mut(&key) {
+                Some(existing) => {
+                    existing.count += e.count;
+                    existing.declared = existing.declared.min(e.declared);
+                    if e.observed > existing.observed {
+                        existing.observed = e.observed;
+                        existing.tactic = e.tactic.clone();
+                    }
+                }
+                None => {
+                    ledger.insert(key, e.clone());
+                }
+            }
+        }
+        merged.trace_spans.extend(snap.trace_spans.iter().cloned());
+        merged.spans_recorded += snap.spans_recorded;
+        merged.spans_dropped += snap.spans_dropped;
+    }
+    merged.counters = counters.into_iter().collect();
+    merged.gauges = gauges.into_iter().collect();
+    merged.histograms = histograms.into_values().collect();
+    merged.ewmas = ewmas.into_values().collect();
+    merged.ledger = ledger.into_values().collect();
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use std::time::Duration;
+
+    fn node_snapshot(label: &str, micros: u64) -> Snapshot {
+        let r = Recorder::new();
+        r.set_label(label);
+        r.record_op("cloud.apply", None, None, Duration::from_micros(micros), true);
+        r.count("cloud.wal.appends", 2);
+        r.ewma_observe("cloud.apply.ewma", Duration::from_micros(micros));
+        r.ledger().record("subject", "equality", "mitra", 2, 2);
+        r.snapshot()
+    }
+
+    #[test]
+    fn merged_counters_and_histograms_equal_union() {
+        let a = node_snapshot("node0", 100);
+        let b = node_snapshot("node1", 900);
+        let merged = merge_snapshots(&[a.clone(), b.clone()]);
+        assert_eq!(merged.counter("cloud.apply.count"), 2);
+        assert_eq!(merged.counter("cloud.wal.appends"), 4);
+        let h = merged.histogram("cloud.apply.latency").unwrap();
+        assert_eq!(h.count, 2);
+        // The merged histogram must equal recording the union directly.
+        let mut union = crate::histogram::LatencyHistogram::new();
+        union.record(Duration::from_micros(100));
+        union.record(Duration::from_micros(900));
+        assert_eq!(h, &HistogramSummary::of("cloud.apply.latency", &union));
+        let e = merged.ewma("cloud.apply.ewma").unwrap();
+        assert_eq!(e.samples, 2);
+        assert!((e.nanos - 500_000.0).abs() < 1.0, "sample-weighted mean: {}", e.nanos);
+        assert_eq!(merged.ledger.len(), 1, "same (field, op) cells fold");
+        assert_eq!(merged.ledger[0].count, 2);
+        assert_eq!(merged.spans_recorded, a.spans_recorded + b.spans_recorded);
+    }
+
+    #[test]
+    fn federation_json_round_trips() {
+        let fed = ClusterSnapshot::federate(vec![node_snapshot("node0", 10), node_snapshot("node1", 20)]);
+        let back = ClusterSnapshot::from_json(&fed.to_json()).unwrap();
+        assert_eq!(back.nodes.len(), 2);
+        assert_eq!(back.node("node1").unwrap().counter("cloud.apply.count"), 1);
+        assert!(back.node("node9").is_none());
+        assert_eq!(back.merged.counter("cloud.apply.count"), 2);
+        assert_eq!(back.merged.histogram("cloud.apply.latency").unwrap().count, 2);
+    }
+}

@@ -86,6 +86,32 @@ impl LatencyHistogram {
         self.max_nanos = self.max_nanos.max(other.max_nanos);
     }
 
+    /// The non-empty buckets as `(index, count)` pairs — a sparse, lossless
+    /// serialization of the distribution (the federation wire format).
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i as u32, c)).collect()
+    }
+
+    /// Rebuilds a histogram from [`LatencyHistogram::nonzero_buckets`]
+    /// output plus the exact sum and max. Out-of-range indices are ignored.
+    pub fn from_buckets(buckets: &[(u32, u64)], sum_nanos: u64, max_nanos: u64) -> Self {
+        let mut h = LatencyHistogram::new();
+        for &(idx, count) in buckets {
+            if let Some(slot) = h.counts.get_mut(idx as usize) {
+                *slot += count;
+                h.total += count;
+            }
+        }
+        h.sum_nanos = sum_nanos as u128;
+        h.max_nanos = max_nanos;
+        h
+    }
+
+    /// Sum of all recorded nanoseconds (saturating at `u64::MAX`).
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum_nanos.min(u64::MAX as u128) as u64
+    }
+
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.total
@@ -238,6 +264,21 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn buckets_round_trip_losslessly() {
+        let mut h = LatencyHistogram::new();
+        for i in [1u64, 5, 5, 900, 12_345, 1_000_000] {
+            h.record(Duration::from_nanos(i));
+        }
+        let rebuilt = LatencyHistogram::from_buckets(&h.nonzero_buckets(), h.sum_nanos(), h.max().as_nanos() as u64);
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.mean(), h.mean());
+        assert_eq!(rebuilt.max(), h.max());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(rebuilt.percentile(q), h.percentile(q));
+        }
     }
 
     #[test]

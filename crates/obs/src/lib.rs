@@ -12,7 +12,11 @@
 //!   the verify smoke run,
 //! * [`recorder`] — the single cloneable [`Recorder`] handle instrumented
 //!   layers hold; disabled (the default) it costs one atomic load per
-//!   instrumentation point.
+//!   instrumentation point,
+//! * [`trace`] — causal trace contexts: span trees spanning recorders and
+//!   (via the [`trace::TRACED_ROUTE`] envelope) the simulated wire,
+//! * [`federation`] — folding per-node snapshots into one cluster view,
+//! * [`prometheus`] — Prometheus/OpenMetrics text exposition.
 //!
 //! # Examples
 //!
@@ -33,18 +37,24 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod federation;
 pub mod histogram;
 pub mod json;
 pub mod ledger;
 pub mod metrics;
+pub mod prometheus;
 pub mod recorder;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
+pub use federation::{merge_snapshots, ClusterSnapshot};
 pub use histogram::{AtomicHistogram, LatencyHistogram};
 pub use json::Json;
 pub use ledger::{level_name, LeakageLedger};
 pub use metrics::{Counter, Ewma, Gauge, MetricsRegistry};
-pub use recorder::Recorder;
+pub use prometheus::{render_exposition, render_multi_exposition};
+pub use recorder::{Recorder, SpanGuard};
 pub use snapshot::{EwmaSummary, HistogramSummary, LedgerEntry, Snapshot};
 pub use span::{Span, SpanOutcome, SpanSink};
+pub use trace::{render_trace_timeline, TraceCtx, TRACED_ROUTE};

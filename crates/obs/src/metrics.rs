@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Duration;
 
 use crate::histogram::AtomicHistogram;
@@ -149,11 +149,22 @@ pub struct MetricsRegistry {
     ewmas: RwLock<BTreeMap<String, Arc<Ewma>>>,
 }
 
+/// Lock recovery: instrument maps hold plain `Arc`s, so a panic while a
+/// guard was held cannot leave a half-written invariant — recording must
+/// never panic just because some *other* recorder thread died.
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
 fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
-    if let Some(found) = map.read().expect("metrics lock").get(name) {
+    if let Some(found) = read_lock(map).get(name) {
         return found.clone();
     }
-    map.write().expect("metrics lock").entry(name.to_string()).or_default().clone()
+    write_lock(map).entry(name.to_string()).or_default().clone()
 }
 
 impl MetricsRegistry {
@@ -186,19 +197,11 @@ impl MetricsRegistry {
     /// name. The ledger and span fields of the returned [`Snapshot`] are
     /// empty; [`crate::Recorder::snapshot`] fills them in.
     pub fn snapshot(&self) -> Snapshot {
-        let counters = self.counters.read().expect("metrics lock").iter().map(|(n, c)| (n.clone(), c.get())).collect();
-        let gauges = self.gauges.read().expect("metrics lock").iter().map(|(n, g)| (n.clone(), g.get())).collect();
-        let histograms = self
-            .histograms
-            .read()
-            .expect("metrics lock")
-            .iter()
-            .map(|(n, h)| HistogramSummary::of(n, &h.snapshot()))
-            .collect();
-        let ewmas = self
-            .ewmas
-            .read()
-            .expect("metrics lock")
+        let counters = read_lock(&self.counters).iter().map(|(n, c)| (n.clone(), c.get())).collect();
+        let gauges = read_lock(&self.gauges).iter().map(|(n, g)| (n.clone(), g.get())).collect();
+        let histograms =
+            read_lock(&self.histograms).iter().map(|(n, h)| HistogramSummary::of(n, &h.snapshot())).collect();
+        let ewmas = read_lock(&self.ewmas)
             .iter()
             .map(|(n, e)| EwmaSummary { name: n.clone(), nanos: e.nanos(), samples: e.samples() })
             .collect();
@@ -256,6 +259,25 @@ mod tests {
         }
         assert!(e.nanos() < 10_000.0, "converged near 2µs: {}", e.nanos());
         assert_eq!(e.samples(), 101);
+    }
+
+    #[test]
+    fn poisoned_registry_keeps_recording() {
+        let r = Arc::new(MetricsRegistry::new());
+        r.counter("hammer.total").inc();
+        let poisoner = r.clone();
+        let result = std::thread::spawn(move || {
+            let _guard = poisoner.counters.write().unwrap();
+            panic!("recorder thread dies holding the registry lock");
+        })
+        .join();
+        assert!(result.is_err());
+        assert!(r.counters.read().is_err(), "lock really is poisoned");
+        r.counter("hammer.total").inc();
+        r.counter("hammer.fresh").inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("hammer.total"), 2);
+        assert_eq!(snap.counter("hammer.fresh"), 1);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Prometheus / OpenMetrics text exposition for snapshots.
+//!
+//! Every family is prefixed `datablinder_` with dots mapped to
+//! underscores; the `# HELP` line carries the *original* dot-separated
+//! instrument name, which is what lets the metric-name registry check
+//! (`scripts/check_metrics.sh` + `docs/METRICS.md`) round-trip the
+//! exposition back to source literals. Multi-node expositions distinguish
+//! samples with a `node="…"` label taken from each snapshot's recorder
+//! label. Histograms render as summaries (quantiles in seconds, plus
+//! `_sum`/`_count`); EWMAs render as gauges in seconds.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::snapshot::Snapshot;
+
+/// Exposition family-name prefix.
+pub const PROMETHEUS_PREFIX: &str = "datablinder_";
+
+/// Maps a dot-separated instrument name onto a Prometheus family name:
+/// `gateway.insert.count` → `datablinder_gateway_insert_count`.
+pub fn family_name(name: &str) -> String {
+    let mut out = String::with_capacity(PROMETHEUS_PREFIX.len() + name.len());
+    out.push_str(PROMETHEUS_PREFIX);
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+fn label_suffix(node: Option<&str>, extra: Option<(&str, &str)>) -> String {
+    let mut pairs = Vec::new();
+    if let Some(n) = node {
+        pairs.push(format!("node=\"{}\"", n.replace('"', "'")));
+    }
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Renders one snapshot as Prometheus text exposition.
+pub fn render_exposition(snapshot: &Snapshot) -> String {
+    render_multi_exposition(std::slice::from_ref(snapshot))
+}
+
+/// Renders many snapshots (e.g. every node of a cluster) as one
+/// exposition: one `# HELP`/`# TYPE` header per family, one sample per
+/// snapshot carrying that instrument, distinguished by the `node` label.
+pub fn render_multi_exposition(snapshots: &[Snapshot]) -> String {
+    // family -> (help dot-name, type, rendered sample lines)
+    let mut families: BTreeMap<String, (String, &'static str, Vec<String>)> = BTreeMap::new();
+    let mut add = |name: &str, kind: &'static str, lines: Vec<String>| {
+        let family = family_name(name);
+        let entry = families.entry(family).or_insert_with(|| (name.to_string(), kind, Vec::new()));
+        entry.2.extend(lines);
+    };
+    for snap in snapshots {
+        let node = snap.label.as_deref();
+        for (name, value) in &snap.counters {
+            add(name, "counter", vec![format!("{}{} {value}", family_name(name), label_suffix(node, None))]);
+        }
+        for (name, value) in &snap.gauges {
+            add(name, "gauge", vec![format!("{}{} {value}", family_name(name), label_suffix(node, None))]);
+        }
+        for h in &snap.histograms {
+            let family = family_name(&h.name);
+            let mut lines = Vec::with_capacity(5);
+            for (q, nanos) in [("0.5", h.p50_nanos), ("0.9", h.p90_nanos), ("0.99", h.p99_nanos)] {
+                lines.push(format!("{family}{} {:.9}", label_suffix(node, Some(("quantile", q))), nanos as f64 / 1e9));
+            }
+            lines.push(format!("{family}_sum{} {:.9}", label_suffix(node, None), h.sum_nanos as f64 / 1e9));
+            lines.push(format!("{family}_count{} {}", label_suffix(node, None), h.count));
+            add(&h.name, "summary", lines);
+        }
+        for e in &snap.ewmas {
+            add(
+                &e.name,
+                "gauge",
+                vec![format!("{}{} {:.9}", family_name(&e.name), label_suffix(node, None), e.nanos / 1e9)],
+            );
+        }
+    }
+    let mut out = String::with_capacity(4096);
+    for (family, (dot_name, kind, lines)) in &families {
+        let _ = writeln!(out, "# HELP {family} {dot_name}");
+        let _ = writeln!(out, "# TYPE {family} {kind}");
+        for line in lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The dot-separated instrument names carried on `# HELP` lines of an
+/// exposition — the reverse mapping the registry check builds on.
+pub fn help_names(exposition: &str) -> Vec<String> {
+    exposition
+        .lines()
+        .filter_map(|l| l.strip_prefix("# HELP "))
+        .filter_map(|rest| rest.split_once(' '))
+        .map(|(_, dot_name)| dot_name.to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use std::time::Duration;
+
+    #[test]
+    fn family_names_sanitize() {
+        assert_eq!(family_name("gateway.insert.count"), "datablinder_gateway_insert_count");
+        assert_eq!(family_name("cluster.node.3.ops"), "datablinder_cluster_node_3_ops");
+    }
+
+    #[test]
+    fn exposition_renders_all_kinds_and_help_round_trips() {
+        let r = Recorder::new();
+        r.set_label("node0");
+        r.record_op("gateway.insert", None, None, Duration::from_micros(120), true);
+        r.record_op("gateway.insert", None, None, Duration::from_micros(300), false);
+        r.gauge_set("channel.breaker.state", 1);
+        r.ewma_observe("cloud.apply.ewma", Duration::from_micros(5));
+        let text = render_exposition(&r.snapshot());
+        assert!(text.contains("# TYPE datablinder_gateway_insert_count counter"), "{text}");
+        assert!(text.contains("datablinder_gateway_insert_count{node=\"node0\"} 2"), "{text}");
+        assert!(text.contains("datablinder_gateway_insert_errors{node=\"node0\"} 1"), "{text}");
+        assert!(text.contains("# TYPE datablinder_gateway_insert_latency summary"), "{text}");
+        assert!(text.contains("quantile=\"0.99\""), "{text}");
+        assert!(text.contains("datablinder_gateway_insert_latency_count{node=\"node0\"} 2"), "{text}");
+        assert!(text.contains("# TYPE datablinder_channel_breaker_state gauge"), "{text}");
+        let names = help_names(&text);
+        for expected in [
+            "gateway.insert.count",
+            "gateway.insert.errors",
+            "gateway.insert.latency",
+            "channel.breaker.state",
+            "cloud.apply.ewma",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "HELP carries {expected}: {names:?}");
+        }
+    }
+
+    #[test]
+    fn multi_node_samples_share_one_family_header() {
+        let mk = |label: &str| {
+            let r = Recorder::new();
+            r.set_label(label);
+            r.count("cloud.wal.appends", 3);
+            r.snapshot()
+        };
+        let text = render_multi_exposition(&[mk("node0"), mk("node1")]);
+        assert_eq!(text.matches("# HELP datablinder_cloud_wal_appends").count(), 1, "{text}");
+        assert!(text.contains("datablinder_cloud_wal_appends{node=\"node0\"} 3"), "{text}");
+        assert!(text.contains("datablinder_cloud_wal_appends{node=\"node1\"} 3"), "{text}");
+    }
+}

@@ -1,14 +1,19 @@
 //! Point-in-time snapshots of a recorder, renderable as JSON and aligned
-//! text tables.
+//! text tables — and parseable back from JSON ([`Snapshot::from_json`]),
+//! which is how per-node snapshots travel over the `obs/snapshot` cloud
+//! route for federation.
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use crate::histogram::LatencyHistogram;
-use crate::json::write_escaped;
+use crate::json::{write_escaped, Json};
 use crate::ledger::level_name;
+use crate::span::{Span, SpanOutcome};
 
-/// Summary of one named histogram at snapshot time.
+/// Summary of one named histogram at snapshot time. Carries the raw
+/// non-zero buckets alongside the derived statistics, so summaries from
+/// different nodes merge losslessly ([`HistogramSummary::to_histogram`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSummary {
     /// Instrument name (`subsystem.route.metric`).
@@ -25,6 +30,11 @@ pub struct HistogramSummary {
     pub p99_nanos: u64,
     /// Largest sample, nanoseconds.
     pub max_nanos: u64,
+    /// Sum of all samples, nanoseconds (saturating).
+    pub sum_nanos: u64,
+    /// Sparse non-zero `(bucket index, count)` pairs — the lossless raw
+    /// form backing federation merges.
+    pub buckets: Vec<(u32, u64)>,
 }
 
 impl HistogramSummary {
@@ -38,7 +48,15 @@ impl HistogramSummary {
             p90_nanos: h.percentile(0.90).as_nanos() as u64,
             p99_nanos: h.percentile(0.99).as_nanos() as u64,
             max_nanos: h.max().as_nanos() as u64,
+            sum_nanos: h.sum_nanos(),
+            buckets: h.nonzero_buckets(),
         }
+    }
+
+    /// Rebuilds the histogram this summary was taken from (lossless up to
+    /// bucket resolution).
+    pub fn to_histogram(&self) -> LatencyHistogram {
+        LatencyHistogram::from_buckets(&self.buckets, self.sum_nanos, self.max_nanos)
     }
 }
 
@@ -80,6 +98,8 @@ impl LedgerEntry {
 /// A point-in-time view over every instrument of a recorder.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
+    /// The recorder's node label, when one was set (e.g. `node3`).
+    pub label: Option<String>,
     /// Counters, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// Gauges, sorted by name.
@@ -90,6 +110,9 @@ pub struct Snapshot {
     pub ewmas: Vec<EwmaSummary>,
     /// Leakage-ledger cells, sorted by field then operation.
     pub ledger: Vec<LedgerEntry>,
+    /// Traced spans still retained in the ring (trace_id ≠ 0), the raw
+    /// material trace trees are reconstructed from.
+    pub trace_spans: Vec<Span>,
     /// Total spans recorded since the recorder was created.
     pub spans_recorded: u64,
     /// Spans evicted by the ring bound.
@@ -106,6 +129,14 @@ fn fmt_nanos(nanos: u64) -> String {
         format!("{:.1}µs", d.as_secs_f64() * 1e6)
     } else {
         format!("{nanos}ns")
+    }
+}
+
+fn write_opt_str(out: &mut String, key: &str, value: Option<&str>) {
+    let _ = write!(out, ",\"{key}\":");
+    match value {
+        Some(v) => write_escaped(out, v),
+        None => out.push_str("null"),
     }
 }
 
@@ -137,10 +168,15 @@ impl Snapshot {
     }
 
     /// Renders the snapshot as a JSON document (parseable back with
-    /// [`crate::json::Json::parse`]).
+    /// [`Snapshot::from_json`]).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
-        out.push_str("{\"counters\":[");
+        out.push_str("{\"label\":");
+        match &self.label {
+            Some(l) => write_escaped(&mut out, l),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"counters\":[");
         for (i, (name, value)) in self.counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -167,9 +203,17 @@ impl Snapshot {
             write_escaped(&mut out, &h.name);
             let _ = write!(
                 out,
-                ",\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
-                h.count, h.mean_nanos, h.p50_nanos, h.p90_nanos, h.p99_nanos, h.max_nanos
+                ",\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"sum_ns\":{}",
+                h.count, h.mean_nanos, h.p50_nanos, h.p90_nanos, h.p99_nanos, h.max_nanos, h.sum_nanos
             );
+            out.push_str(",\"buckets\":[");
+            for (j, (idx, count)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{idx},{count}]");
+            }
+            out.push_str("]}");
         }
         out.push_str("],\"ewmas\":[");
         for (i, e) in self.ewmas.iter().enumerate() {
@@ -200,9 +244,131 @@ impl Snapshot {
                 e.violates()
             );
         }
+        out.push_str("],\"trace_spans\":[");
+        for (i, s) in self.trace_spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"trace\":{},\"span\":{},\"parent\":{}",
+                s.id, s.trace_id, s.span_id, s.parent_id
+            );
+            out.push_str(",\"route\":");
+            write_escaped(&mut out, &s.route);
+            write_opt_str(&mut out, "node", s.node.as_deref());
+            write_opt_str(&mut out, "tactic", s.tactic.as_deref());
+            write_opt_str(&mut out, "field", s.field.as_deref());
+            write_opt_str(&mut out, "detail", s.detail.as_deref());
+            let _ = write!(
+                out,
+                ",\"ok\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+                s.outcome == SpanOutcome::Ok,
+                s.start_nanos,
+                s.duration.as_nanos().min(u64::MAX as u128) as u64
+            );
+        }
         let _ =
             write!(out, "],\"spans\":{{\"recorded\":{},\"dropped\":{}}}}}", self.spans_recorded, self.spans_dropped);
         out
+    }
+
+    /// Parses a snapshot back from its [`Snapshot::to_json`] form.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed field. Absent optional keys (e.g.
+    /// from an older emitter without `label`/`trace_spans`) default to
+    /// empty rather than erroring.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        Snapshot::from_value(&Json::parse(text)?)
+    }
+
+    /// As [`Snapshot::from_json`] over an already-parsed JSON node (used
+    /// when the snapshot is nested in a larger document, e.g. a federated
+    /// cluster snapshot).
+    pub fn from_value(doc: &Json) -> Result<Snapshot, String> {
+        let arr = |key: &str| -> &[Json] { doc.get(key).and_then(Json::as_array).unwrap_or(&[]) };
+        let name_of = |j: &Json| -> Result<String, String> {
+            Ok(j.get("name").and_then(Json::as_str).ok_or("snapshot: entry without name")?.to_string())
+        };
+        let mut snap =
+            Snapshot { label: doc.get("label").and_then(Json::as_str).map(str::to_string), ..Snapshot::default() };
+        for c in arr("counters") {
+            let value = c.get("value").and_then(Json::as_u64).ok_or("snapshot: counter without value")?;
+            snap.counters.push((name_of(c)?, value));
+        }
+        for g in arr("gauges") {
+            let value = g.get("value").and_then(Json::as_f64).ok_or("snapshot: gauge without value")? as i64;
+            snap.gauges.push((name_of(g)?, value));
+        }
+        for h in arr("histograms") {
+            let u = |key: &str| h.get(key).and_then(Json::as_u64).unwrap_or(0);
+            let mut buckets = Vec::new();
+            for pair in h.get("buckets").and_then(Json::as_array).unwrap_or(&[]) {
+                let pair = pair.as_array().ok_or("snapshot: histogram bucket not a pair")?;
+                if pair.len() != 2 {
+                    return Err("snapshot: histogram bucket not a pair".into());
+                }
+                let idx = pair[0].as_u64().ok_or("snapshot: bucket index")? as u32;
+                let count = pair[1].as_u64().ok_or("snapshot: bucket count")?;
+                buckets.push((idx, count));
+            }
+            snap.histograms.push(HistogramSummary {
+                name: name_of(h)?,
+                count: u("count"),
+                mean_nanos: u("mean_ns"),
+                p50_nanos: u("p50_ns"),
+                p90_nanos: u("p90_ns"),
+                p99_nanos: u("p99_ns"),
+                max_nanos: u("max_ns"),
+                sum_nanos: u("sum_ns"),
+                buckets,
+            });
+        }
+        for e in arr("ewmas") {
+            snap.ewmas.push(EwmaSummary {
+                name: name_of(e)?,
+                nanos: e.get("nanos").and_then(Json::as_f64).unwrap_or(0.0),
+                samples: e.get("samples").and_then(Json::as_u64).unwrap_or(0),
+            });
+        }
+        for e in arr("ledger") {
+            let s = |key: &str| -> Result<String, String> {
+                Ok(e.get(key).and_then(Json::as_str).ok_or("snapshot: ledger field missing")?.to_string())
+            };
+            snap.ledger.push(LedgerEntry {
+                field: s("field")?,
+                op: s("op")?,
+                tactic: s("tactic")?,
+                observed: e.get("observed").and_then(Json::as_u64).unwrap_or(0) as u8,
+                declared: e.get("declared").and_then(Json::as_u64).unwrap_or(0) as u8,
+                count: e.get("count").and_then(Json::as_u64).unwrap_or(0),
+            });
+        }
+        for s in arr("trace_spans") {
+            let u = |key: &str| s.get(key).and_then(Json::as_u64).unwrap_or(0);
+            let opt = |key: &str| s.get(key).and_then(Json::as_str).map(str::to_string);
+            snap.trace_spans.push(Span {
+                id: u("id"),
+                trace_id: u("trace"),
+                span_id: u("span"),
+                parent_id: u("parent"),
+                node: opt("node"),
+                route: s.get("route").and_then(Json::as_str).ok_or("snapshot: span without route")?.to_string(),
+                tactic: opt("tactic"),
+                field: opt("field"),
+                detail: opt("detail"),
+                outcome: if s.get("ok") == Some(&Json::Bool(false)) { SpanOutcome::Err } else { SpanOutcome::Ok },
+                start_nanos: u("start_ns"),
+                duration: Duration::from_nanos(u("dur_ns")),
+            });
+        }
+        if let Some(spans) = doc.get("spans") {
+            snap.spans_recorded = spans.get("recorded").and_then(Json::as_u64).unwrap_or(0);
+            snap.spans_dropped = spans.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+        }
+        Ok(snap)
     }
 
     /// Renders the snapshot as aligned text tables.
@@ -287,7 +453,15 @@ mod tests {
     fn sample() -> Snapshot {
         let mut h = LatencyHistogram::new();
         h.record(Duration::from_micros(100));
+        let mut span = Span::untraced(3, "gateway.insert", SpanOutcome::Err, Duration::from_micros(40));
+        span.trace_id = 11;
+        span.span_id = 12;
+        span.parent_id = 11;
+        span.node = Some("node1".into());
+        span.detail = Some("quorum not met".into());
+        span.start_nanos = 5_000;
         Snapshot {
+            label: Some("gw".into()),
             counters: vec![("gateway.insert.count".into(), 7)],
             gauges: vec![("channel.breaker.state".into(), 1)],
             histograms: vec![HistogramSummary::of("gateway.insert.latency", &h)],
@@ -300,6 +474,7 @@ mod tests {
                 declared: 2,
                 count: 9,
             }],
+            trace_spans: vec![span],
             spans_recorded: 10,
             spans_dropped: 2,
         }
@@ -315,6 +490,54 @@ mod tests {
         let ledger = parsed.get("ledger").unwrap().as_array().unwrap();
         assert_eq!(ledger[0].get("violation"), Some(&Json::Bool(false)));
         assert_eq!(parsed.get("spans").unwrap().get("recorded").unwrap().as_u64(), Some(10));
+        assert_eq!(parsed.get("label").unwrap().as_str(), Some("gw"));
+    }
+
+    #[test]
+    fn from_json_reconstructs_the_snapshot() {
+        let snap = sample();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.label.as_deref(), Some("gw"));
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms, snap.histograms, "buckets survive the round trip");
+        assert_eq!(back.ledger, snap.ledger);
+        assert_eq!(back.spans_recorded, 10);
+        assert_eq!(back.spans_dropped, 2);
+        assert_eq!(back.trace_spans.len(), 1);
+        let s = &back.trace_spans[0];
+        assert_eq!((s.trace_id, s.span_id, s.parent_id), (11, 12, 11));
+        assert_eq!(s.node.as_deref(), Some("node1"));
+        assert_eq!(s.detail.as_deref(), Some("quorum not met"));
+        assert_eq!(s.outcome, SpanOutcome::Err);
+        assert_eq!(s.start_nanos, 5_000);
+        assert_eq!(s.duration, Duration::from_micros(40));
+        assert_eq!(s.tactic, None, "null decodes back to None");
+    }
+
+    #[test]
+    fn from_json_tolerates_pre_trace_documents() {
+        // A snapshot emitted before label/trace_spans existed.
+        let old = r#"{"counters":[{"name":"a.count","value":2}],"gauges":[],"histograms":[],"ewmas":[],"ledger":[],"spans":{"recorded":1,"dropped":0}}"#;
+        let snap = Snapshot::from_json(old).unwrap();
+        assert_eq!(snap.label, None);
+        assert_eq!(snap.counter("a.count"), 2);
+        assert!(snap.trace_spans.is_empty());
+        assert_eq!(snap.spans_recorded, 1);
+    }
+
+    #[test]
+    fn summary_rebuilds_histogram_losslessly() {
+        let mut h = LatencyHistogram::new();
+        for us in [3, 50, 50, 900, 12_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let summary = HistogramSummary::of("x", &h);
+        let back = summary.to_histogram();
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.mean(), h.mean());
+        assert_eq!(back.max(), h.max());
+        assert_eq!(back.percentile(0.99), h.percentile(0.99));
     }
 
     #[test]

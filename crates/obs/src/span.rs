@@ -2,13 +2,23 @@
 //!
 //! A [`Span`] is one completed operation as seen at an instrumentation
 //! point: which route ran, through which tactic and field (when known),
-//! how it ended and how long it took. The [`SpanSink`] keeps the most
-//! recent spans in a bounded ring; older spans are dropped and counted,
-//! never reallocated — recording cost stays flat under load.
+//! how it ended and how long it took. Since the tracing layer landed a
+//! span also names its position in a causal tree — `trace_id`, `span_id`
+//! and `parent_id` (all 0 for untraced spans) — plus the node label of
+//! the recorder that produced it and its start offset from the process
+//! trace epoch, which is what lets spans recorded by *different*
+//! recorders (gateway, cluster, each replica) reassemble into one tree.
+//!
+//! The [`SpanSink`] keeps the most recent spans in a bounded ring; older
+//! spans are dropped and counted, never reallocated — recording cost
+//! stays flat under load. Recording never panics: a sink whose lock was
+//! poisoned by a panicking recorder thread recovers the guard and keeps
+//! accepting spans (the ring holds plain data, so no invariant can be
+//! half-written).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 /// How an operation ended.
@@ -25,16 +35,48 @@ pub enum SpanOutcome {
 pub struct Span {
     /// Monotonic operation id, unique per recorder.
     pub id: u64,
+    /// The trace this span belongs to (0 = untraced).
+    pub trace_id: u64,
+    /// This span's process-unique id within the trace (0 = untraced).
+    pub span_id: u64,
+    /// The parent span's id (0 = root or untraced).
+    pub parent_id: u64,
+    /// Label of the recorder that produced the span (e.g. `node3`).
+    pub node: Option<String>,
     /// The instrumented route, e.g. `gateway.insert`.
     pub route: String,
     /// The tactic involved, when the instrumentation point knows it.
     pub tactic: Option<String>,
     /// The field involved, when known.
     pub field: Option<String>,
+    /// Free-form annotation, e.g. the error an attempt died with.
+    pub detail: Option<String>,
     /// How the operation ended.
     pub outcome: SpanOutcome,
+    /// Start offset from the process trace epoch, nanoseconds.
+    pub start_nanos: u64,
     /// Wall-clock duration.
     pub duration: Duration,
+}
+
+impl Span {
+    /// A span outside any trace: id and timing only, every tree field 0.
+    pub fn untraced(id: u64, route: &str, outcome: SpanOutcome, duration: Duration) -> Self {
+        Span {
+            id,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
+            node: None,
+            route: route.to_string(),
+            tactic: None,
+            field: None,
+            detail: None,
+            outcome,
+            start_nanos: 0,
+            duration,
+        }
+    }
 }
 
 /// A bounded in-memory ring of recent spans.
@@ -57,10 +99,12 @@ impl SpanSink {
         }
     }
 
-    /// Records a span, evicting the oldest when full.
+    /// Records a span, evicting the oldest when full. Never panics — a
+    /// poisoned ring (some recorder thread panicked mid-push) is recovered,
+    /// since the ring's contents are plain data.
     pub fn push(&self, span: Span) {
         self.recorded.fetch_add(1, Ordering::Relaxed);
-        let mut ring = self.ring.lock().expect("span lock");
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
         if ring.len() == self.capacity {
             ring.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -70,7 +114,7 @@ impl SpanSink {
 
     /// The retained spans, oldest first.
     pub fn recent(&self) -> Vec<Span> {
-        self.ring.lock().expect("span lock").iter().cloned().collect()
+        self.ring.lock().unwrap_or_else(PoisonError::into_inner).iter().cloned().collect()
     }
 
     /// Total spans ever recorded.
@@ -90,12 +134,9 @@ mod tests {
 
     fn span(id: u64) -> Span {
         Span {
-            id,
-            route: "gateway.insert".into(),
             tactic: Some("mitra".into()),
             field: Some("subject".into()),
-            outcome: SpanOutcome::Ok,
-            duration: Duration::from_micros(id),
+            ..Span::untraced(id, "gateway.insert", SpanOutcome::Ok, Duration::from_micros(id))
         }
     }
 
@@ -130,5 +171,27 @@ mod tests {
         assert_eq!(sink.recorded(), 4000);
         assert_eq!(sink.dropped(), 4000 - 64);
         assert_eq!(sink.recent().len(), 64);
+    }
+
+    #[test]
+    fn poisoned_ring_keeps_recording() {
+        let sink = std::sync::Arc::new(SpanSink::new(8));
+        sink.push(span(1));
+        let poisoner = sink.clone();
+        let result = std::thread::spawn(move || {
+            // Panic while holding the ring lock — exactly what a panicking
+            // recorder thread does to a std Mutex.
+            let _guard = poisoner.ring.lock().unwrap();
+            panic!("recorder thread dies mid-record");
+        })
+        .join();
+        assert!(result.is_err(), "the poisoning thread must have panicked");
+        assert!(sink.ring.lock().is_err(), "lock really is poisoned");
+
+        // Later pushes and reads must survive the poison.
+        sink.push(span(2));
+        let recent = sink.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(sink.recorded(), 2);
     }
 }

@@ -1,0 +1,85 @@
+//! Property tests for histogram merging — the operation snapshot
+//! federation leans on. The invariant: merging per-node histograms must be
+//! indistinguishable from having recorded the union of all samples into
+//! one histogram, and every derived statistic (count, sum, mean, max,
+//! quantiles) must agree exactly, since both sides quantize through the
+//! same log-linear buckets.
+
+use std::time::Duration;
+
+use datablinder_obs::snapshot::HistogramSummary;
+use datablinder_obs::LatencyHistogram;
+use proptest::prelude::*;
+
+fn histogram_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &nanos in samples {
+        h.record(Duration::from_nanos(nanos));
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// merge(a, b) ≡ record(a ∪ b): all statistics agree exactly.
+    #[test]
+    fn merge_equals_recording_the_union(
+        a in prop::collection::vec(1u64..=30_000_000_000, 0..200),
+        b in prop::collection::vec(1u64..=30_000_000_000, 0..200),
+    ) {
+        let mut merged = histogram_of(&a);
+        merged.merge(&histogram_of(&b));
+        let union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let direct = histogram_of(&union);
+
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.mean(), direct.mean());
+        prop_assert_eq!(merged.max(), direct.max());
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            prop_assert_eq!(merged.percentile(q), direct.percentile(q));
+        }
+        prop_assert_eq!(
+            HistogramSummary::of("x", &merged),
+            HistogramSummary::of("x", &direct),
+            "summaries (incl. raw buckets) agree"
+        );
+    }
+
+    /// Quantiles of the merge are bounded by the true sample range up to
+    /// bucket quantization: log-linear buckets are 1/32-relative wide, so a
+    /// bucket's representative value sits within one sub-bucket step of any
+    /// sample it absorbed.
+    #[test]
+    fn merged_quantiles_bound_the_samples(
+        a in prop::collection::vec(1u64..=30_000_000_000, 1..100),
+        b in prop::collection::vec(1u64..=30_000_000_000, 1..100),
+    ) {
+        let mut merged = histogram_of(&a);
+        merged.merge(&histogram_of(&b));
+        let lo = *a.iter().chain(b.iter()).min().unwrap();
+        let hi = *a.iter().chain(b.iter()).max().unwrap();
+        for q in [0.0, 0.5, 1.0] {
+            let v = merged.percentile(q).as_nanos() as u64;
+            prop_assert!(v >= lo.saturating_sub(lo / 16 + 1), "p{q} {v} far below smallest sample {lo}");
+            prop_assert!(v <= hi + hi / 16 + 1, "p{q} {v} far above largest sample {hi}");
+        }
+        prop_assert_eq!(merged.sum_nanos(), histogram_of(&a).sum_nanos() + histogram_of(&b).sum_nanos());
+    }
+
+    /// Merging through the lossless summary-bucket round trip (what
+    /// federation actually does over the wire) equals merging directly.
+    #[test]
+    fn bucket_round_trip_preserves_merge(
+        a in prop::collection::vec(1u64..=30_000_000_000, 0..100),
+        b in prop::collection::vec(1u64..=30_000_000_000, 0..100),
+    ) {
+        let (ha, hb) = (histogram_of(&a), histogram_of(&b));
+        let mut direct = ha.clone();
+        direct.merge(&hb);
+        let mut via_wire = HistogramSummary::of("x", &ha).to_histogram();
+        via_wire.merge(&HistogramSummary::of("x", &hb).to_histogram());
+        prop_assert_eq!(HistogramSummary::of("x", &via_wire), HistogramSummary::of("x", &direct));
+    }
+}

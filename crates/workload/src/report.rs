@@ -74,6 +74,23 @@ pub fn render_snapshot_json(report: &ScenarioReport) -> String {
     report.snapshot.to_json()
 }
 
+/// Renders every slow operation captured in `recorder`'s ring as a text
+/// timeline, oldest first — one tree per operation that crossed the
+/// armed threshold. Returns a note when the ring is empty (threshold
+/// disarmed, or nothing was slow enough).
+pub fn render_slow_ops(recorder: &datablinder_obs::Recorder) -> String {
+    let trees = recorder.slow_ops();
+    if trees.is_empty() {
+        return "no slow operations captured (threshold disarmed or never crossed)\n".to_string();
+    }
+    let mut out = format!("slow operations — {} captured\n\n", trees.len());
+    for tree in &trees {
+        out.push_str(&datablinder_obs::render_trace_timeline(tree));
+        out.push('\n');
+    }
+    out
+}
+
 /// Renders the §5.2 latency table: overall average, p50, p75, p99.
 pub fn render_latency_table(reports: &[&ScenarioReport]) -> String {
     let mut out = String::new();
@@ -141,6 +158,21 @@ mod tests {
         let json = render_snapshot_json(&r);
         let doc = datablinder_obs::Json::parse(&json).expect("snapshot JSON parses");
         assert!(doc.get("counters").is_some());
+    }
+
+    #[test]
+    fn slow_op_renderer_handles_empty_and_captured_rings() {
+        let rec = datablinder_obs::Recorder::new();
+        assert!(render_slow_ops(&rec).contains("no slow operations"));
+        rec.set_slow_op_threshold(Duration::from_nanos(1));
+        {
+            let _root = rec.span("workload.insert");
+            let _child = rec.quiet_span("channel.call");
+        }
+        let text = render_slow_ops(&rec);
+        assert!(text.contains("1 captured"), "{text}");
+        assert!(text.contains("workload.insert"), "{text}");
+        assert!(text.contains("channel.call"), "{text}");
     }
 
     #[test]

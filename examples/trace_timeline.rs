@@ -1,0 +1,81 @@
+//! Distributed tracing end-to-end: one gateway write through a 5-node
+//! replicated cluster, rendered as a causal timeline plus a federated
+//! Prometheus exposition.
+//!
+//! ```sh
+//! cargo run --example trace_timeline
+//! ```
+//!
+//! Shows the observability pipeline: a root span opens at the gateway
+//! route, propagates through the resilient channel's traced envelope to
+//! the cluster coordinator, fans out to the write quorum, and every
+//! replica's apply lands in the same tree. The slow-op ring captures the
+//! whole operation, and `ClusterCloud::snapshot()` federates each node's
+//! recorder into one cluster view.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use datablinder::core::cluster::{ClusterCloud, ClusterConfig};
+use datablinder::core::gateway::GatewayEngine;
+use datablinder::core::model::*;
+use datablinder::docstore::{Document, Value};
+use datablinder::kms::Kms;
+use datablinder::netsim::{Channel, LatencyModel};
+use datablinder::obs::{render_multi_exposition, Recorder};
+use datablinder::workload::report::render_slow_ops;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The untrusted zone: a 5-node replicated cluster (R=3, W=2), each
+    // node carrying its own recorder.
+    let mut cluster = ClusterCloud::new(ClusterConfig::volatile(5, 3, 2, 0x7ACE))?;
+    cluster.set_recorder(Recorder::new());
+    let cluster = Arc::new(cluster);
+
+    // The trusted zone: a gateway whose recorder roots one trace per
+    // operation. The 1ns slow-op threshold captures every operation for
+    // the demo; production would arm something like 50ms.
+    let obs = Recorder::new();
+    obs.set_slow_op_threshold(Duration::from_nanos(1));
+    let channel = Channel::from_arc(cluster.clone(), LatencyModel::lan());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut gateway = GatewayEngine::new("trace-demo", Kms::generate(&mut rng), channel, 7);
+    gateway.set_recorder(obs.clone());
+
+    let schema = Schema::new("notes").sensitive_field(
+        "author",
+        FieldType::Text,
+        true,
+        FieldAnnotation::new(ProtectionClass::C2, vec![FieldOp::Insert, FieldOp::Equality]),
+    );
+    gateway.register_schema(schema)?;
+
+    let doc = Document::new("ignored").with("author", Value::from("alice"));
+    gateway.insert("notes", &doc)?;
+    let hits = gateway.find_equal("notes", "author", &Value::from("alice"))?;
+    assert_eq!(hits.len(), 1);
+
+    // Where did each operation spend its time? The ring holds the full
+    // tree: gateway root, channel attempts, per-replica applies.
+    println!("{}", render_slow_ops(&obs));
+
+    // Federation: the coordinator pulls every live node's recorder over
+    // the obs/snapshot route and merges them into one cluster view.
+    let federated = cluster.snapshot();
+    println!("federated snapshot — {} members:", federated.nodes.len());
+    for node in &federated.nodes {
+        println!("  {:<8} {:>4} spans recorded", node.label.as_deref().unwrap_or("?"), node.spans_recorded);
+    }
+    println!("  merged   {:>4} spans recorded\n", federated.merged.spans_recorded);
+
+    // The same data as a Prometheus/OpenMetrics exposition (excerpt).
+    let mut snapshots = vec![obs.snapshot()];
+    snapshots.extend(federated.nodes);
+    let exposition = render_multi_exposition(&snapshots);
+    println!("prometheus exposition ({} lines, excerpt):", exposition.lines().count());
+    for line in exposition.lines().filter(|l| l.contains("gateway_insert") || l.contains("cloud_apply")).take(10) {
+        println!("  {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Metric-name registry lint: the dotted observability names used in source
+# must equal the names documented in docs/METRICS.md, both ways. Catches
+# undocumented names sneaking into code and stale rows lingering in docs.
+#
+# Extraction: every quoted lowercase dotted literal in crates/*/src whose
+# first segment is a known metric family. Runtime-formatted segments are
+# normalized ({i}, {slot}, {tactic}, … → {}), and literals containing a
+# purely numeric segment (concrete shard/slot instances in tests) are
+# folded into their {} row.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAMILIES='gateway|channel|cloud|cluster|paillier|workload|tactic|obs'
+DOC=docs/METRICS.md
+
+[ -f "$DOC" ] || { echo "check_metrics: $DOC missing" >&2; exit 1; }
+
+from_source="$(mktemp -t metrics_src.XXXXXX)"
+from_docs="$(mktemp -t metrics_doc.XXXXXX)"
+trap 'rm -f "$from_source" "$from_docs"' EXIT
+
+grep -rhoE '"[a-z][a-z0-9_]*(\.[a-z0-9_{}]+)+"' crates/*/src |
+    tr -d '"' |
+    grep -E "^($FAMILIES)\." |
+    sed -E 's/\{[a-z_]+\}/{}/g' |
+    grep -vE '\.[0-9]+(\.|$)' |
+    sort -u > "$from_source"
+
+grep -oE '`[a-z][a-z0-9_]*(\.[a-z0-9_{}]+)+`' "$DOC" |
+    tr -d '\`' |
+    grep -E "^($FAMILIES)\." |
+    sort -u > "$from_docs"
+
+undocumented="$(comm -23 "$from_source" "$from_docs" || true)"
+stale="$(comm -13 "$from_source" "$from_docs" || true)"
+
+status=0
+if [ -n "$undocumented" ]; then
+    echo "check_metrics: names in crates/*/src missing from $DOC:" >&2
+    printf '  %s\n' $undocumented >&2
+    status=1
+fi
+if [ -n "$stale" ]; then
+    echo "check_metrics: names in $DOC with no source occurrence (stale rows):" >&2
+    printf '  %s\n' $stale >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "check_metrics: $(wc -l < "$from_source" | tr -d ' ') names in sync with $DOC"
+fi
+exit "$status"

@@ -21,6 +21,9 @@ if [ -f .devstubs/config.toml ]; then
     }
 fi
 
+echo "==> metric-name registry lint (scripts/check_metrics.sh)"
+bash scripts/check_metrics.sh
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -44,6 +47,7 @@ cargo run --release -q -p datablinder-bench --bin fig5_throughput -- \
     grep -q '"name":"gateway.insert.count","value":[1-9]' ||
     { echo "metrics smoke: gateway route counters missing from snapshot JSON" >&2; exit 1; }
 cargo test --release -q --test observability
+cargo test --release -q -p datablinder-core --test trace
 
 echo "==> shared-gateway smoke: scaling ladder emits per-shard contention counters"
 cargo run --release -q -p datablinder-bench --bin fig5_throughput -- \
@@ -79,6 +83,12 @@ grep -Eq '"resync_ms":[0-9]*\.[0-9]+' "$CLUSTER_JSON" ||
     { echo "cluster smoke: rejoin resync time missing from rung reports" >&2; cat "$CLUSTER_JSON" >&2; exit 1; }
 grep -q '"anti_entropy_rounds":[1-9]' "$CLUSTER_JSON" ||
     { echo "cluster smoke: anti-entropy convergence rounds missing from rung reports" >&2; cat "$CLUSTER_JSON" >&2; exit 1; }
+grep -Eq '"obs_disabled_write_per_s":[1-9][0-9]*\.' "$CLUSTER_JSON" ||
+    { echo "cluster smoke: obs-off baseline throughput missing or zero" >&2; cat "$CLUSTER_JSON" >&2; exit 1; }
+grep -Eq '"obs_enabled_write_per_s":[1-9][0-9]*\.' "$CLUSTER_JSON" ||
+    { echo "cluster smoke: obs-on throughput missing or zero" >&2; cat "$CLUSTER_JSON" >&2; exit 1; }
+grep -Eq '"obs_overhead_pct":-?[0-9]+\.[0-9]+' "$CLUSTER_JSON" ||
+    { echo "cluster smoke: observability overhead percentage missing" >&2; cat "$CLUSTER_JSON" >&2; exit 1; }
 rm -f "$CLUSTER_JSON"
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
