@@ -30,14 +30,49 @@
 //! ```sh
 //! cargo run --release -p datablinder-bench --bin fig5_throughput -- --cluster --requests 500
 //! ```
+//!
+//! With `--tcp` it runs the shared-gateway closed loop over a real
+//! loopback socket — an in-process `datablinder-cloudd`-style server on
+//! an ephemeral port, the gateway connecting through the pipelining
+//! `TcpChannel` — and writes `BENCH_tcp.json` (path via `--out`):
+//!
+//! ```sh
+//! cargo run --release -p datablinder-bench --bin fig5_throughput -- --tcp --net instant --requests 500
+//! ```
 
 use datablinder_bench::{
-    render_cluster_json, run_all_scenarios, run_cluster, run_cluster_obs_overhead, run_shared_gateway, EvalConfig,
+    render_cluster_json, render_tcp_json, run_all_scenarios, run_cluster, run_cluster_obs_overhead, run_shared_gateway,
+    run_tcp, EvalConfig,
 };
 use datablinder_workload::report::{render_figure5, render_snapshot, render_snapshot_json};
 
 fn main() {
     let cfg = EvalConfig::from_args();
+    if cfg.tcp {
+        let run = run_tcp(cfg);
+        println!(
+            "\ntcp loopback: {} requests, {} workers sharing one gateway and one socket\n",
+            cfg.requests, cfg.workers
+        );
+        println!("completed   ops/s      p50        p99        round-trips  retries  MB out/in");
+        println!(
+            "{:<9}  {:>7.1}  {:>9.2?}  {:>9.2?}  {:>11}  {:>7}  {:.2}/{:.2}",
+            run.report.completed,
+            run.report.throughput(),
+            run.report.overall.percentile(0.50),
+            run.report.overall.percentile(0.99),
+            run.round_trips,
+            run.retries,
+            run.bytes_sent as f64 / 1e6,
+            run.bytes_received as f64 / 1e6
+        );
+        assert_eq!(run.report.failed, 0, "tcp rung: failed requests");
+        let json = render_tcp_json(&run);
+        std::fs::write(cfg.tcp_out, &json).expect("write BENCH_tcp.json");
+        eprintln!("wrote {}", cfg.tcp_out);
+        println!("\n{json}");
+        return;
+    }
     if cfg.cluster {
         let rungs = run_cluster(cfg);
         println!("\ncluster ladder: {} quorum writes + reads per rung\n", cfg.requests.max(2));

@@ -15,9 +15,14 @@ use datablinder_core::cloud::CloudEngine;
 use datablinder_core::pool::WorkerPool;
 use datablinder_docstore::Document;
 use datablinder_fhir::ObservationGenerator;
-use datablinder_netsim::{Channel, LatencyModel};
+use datablinder_netsim::{
+    Channel, CloudServer, CloudService, LatencyModel, ResilienceConfig, ResilientChannel, ServerConfig, TcpChannel,
+    TcpConfig,
+};
 use datablinder_obs::Recorder;
-use datablinder_workload::clients::{shared_gateway, HardcodedClient, MiddlewareClient, PlainClient, SHARED_SCHEMA};
+use datablinder_workload::clients::{
+    shared_gateway, shared_gateway_over, HardcodedClient, MiddlewareClient, PlainClient, SHARED_SCHEMA,
+};
 use datablinder_workload::runner::{
     run_scenario, run_scenario_observed, run_shared_scenario, ScenarioReport, ScenarioSpec,
 };
@@ -56,6 +61,13 @@ pub struct EvalConfig {
     pub cluster: bool,
     /// Output path for the cluster ladder's `BENCH_cluster.json`.
     pub cluster_out: &'static str,
+    /// Run the loopback-TCP rung instead: ONE shared gateway speaking the
+    /// framed wire protocol over a real socket to an in-process
+    /// [`CloudServer`] — the repo's first honest end-to-end latency
+    /// numbers. See [`run_tcp`].
+    pub tcp: bool,
+    /// Output path for the TCP rung's `BENCH_tcp.json`.
+    pub tcp_out: &'static str,
 }
 
 impl Default for EvalConfig {
@@ -70,6 +82,8 @@ impl Default for EvalConfig {
             shared_gateway: false,
             cluster: false,
             cluster_out: "BENCH_cluster.json",
+            tcp: false,
+            tcp_out: "BENCH_tcp.json",
         }
     }
 }
@@ -102,9 +116,12 @@ impl EvalConfig {
                 "--observe" => cfg.observe = true,
                 "--shared-gateway" => cfg.shared_gateway = true,
                 "--cluster" => cfg.cluster = true,
+                "--tcp" => cfg.tcp = true,
                 "--out" => {
                     if let Some(path) = args.next() {
-                        cfg.cluster_out = Box::leak(path.into_boxed_str());
+                        let leaked: &'static str = Box::leak(path.into_boxed_str());
+                        cfg.cluster_out = leaked;
+                        cfg.tcp_out = leaked;
                     }
                 }
                 // The paper's full scale: ~151k requests, 1000 users.
@@ -243,6 +260,104 @@ pub fn run_shared_gateway(cfg: EvalConfig) -> Vec<ScenarioReport> {
         reports.push(report);
     }
     reports
+}
+
+/// The loopback-TCP rung: the shared-gateway closed loop, but every hop
+/// crosses a real socket.
+#[derive(Debug)]
+pub struct TcpRunReport {
+    /// The closed-loop scenario report (same shape as a shared-gateway rung).
+    pub report: ScenarioReport,
+    /// Worker threads that shared the one gateway (and its one socket).
+    pub workers: usize,
+    /// Wire round trips the gateway's channel completed.
+    pub round_trips: u64,
+    /// Requests the resilience layer re-sent after a transport failure
+    /// (should be zero on loopback).
+    pub retries: u64,
+    /// Bytes written to the socket (frame overhead included).
+    pub bytes_sent: u64,
+    /// Bytes read back from the socket.
+    pub bytes_received: u64,
+    /// Requests the server's workers answered, priming traffic included.
+    pub served: u64,
+}
+
+/// Runs the same closed-loop mix as one [`run_shared_gateway`] rung, but
+/// over a real kernel socket: an in-process [`CloudServer`] bound to an
+/// ephemeral loopback port serves the shared [`CloudEngine`], and the ONE
+/// shared gateway reaches it through a pipelining [`TcpChannel`] wrapped
+/// in the same [`ResilientChannel`] the simulated path uses. Identical
+/// seeds and schema to [`run_shared_gateway`] — the only variable is the
+/// wire.
+pub fn run_tcp(cfg: EvalConfig) -> TcpRunReport {
+    eprintln!("running tcp loopback: {} requests / {} workers over one socket", cfg.requests, cfg.workers);
+    let recorder = Recorder::new();
+    let mut cloud = CloudEngine::new();
+    cloud.set_recorder(recorder.clone());
+    let cloud = Arc::new(cloud);
+    let service: Arc<dyn CloudService> = cloud.clone();
+    let server = CloudServer::bind(
+        "127.0.0.1:0",
+        service,
+        ServerConfig { workers: cfg.workers.max(2), ..ServerConfig::default() },
+    )
+    .expect("bind loopback cloud server");
+    let tcp = Arc::new(TcpChannel::connect(server.local_addr(), TcpConfig::default()).expect("connect loopback"));
+    let resilient = ResilientChannel::over(tcp, ResilienceConfig { seed: 0xC0DE, ..ResilienceConfig::default() });
+    let pool = Arc::new(WorkerPool::new(cfg.workers.min(4)));
+    let engine = shared_gateway_over(resilient, recorder.clone(), Some(pool));
+
+    // Same priming batch as the shared-gateway ladder: exercises the
+    // worker pool's parallel encryption and the pipelined multi-frame
+    // insert path before timing starts.
+    let mut rng = StdRng::seed_from_u64(0x51AB);
+    let mut gen = ObservationGenerator::new(cfg.patient_pool);
+    let batch: Vec<Document> = (0..16).map(|_| gen.generate(&mut rng)).collect();
+    engine.insert_many(SHARED_SCHEMA, &batch).expect("priming batch inserts");
+
+    let spec = ScenarioSpec {
+        workers: cfg.workers,
+        requests: cfg.requests,
+        patient_pool: cfg.patient_pool,
+        ..ScenarioSpec::default()
+    };
+    let mut report = run_shared_scenario("tcp-loopback", spec, &engine, recorder.clone());
+    cloud.publish_shard_metrics();
+    report.snapshot = recorder.snapshot();
+
+    let metrics = engine.channel().metrics();
+    TcpRunReport {
+        workers: cfg.workers,
+        round_trips: metrics.round_trips(),
+        retries: metrics.retries(),
+        bytes_sent: metrics.bytes_sent(),
+        bytes_received: metrics.bytes_received(),
+        served: server.served(),
+        report,
+    }
+}
+
+/// Renders `BENCH_tcp.json`: the rung's throughput (`ops_per_s`, what CI
+/// greps for) plus the wire-level counters only a real socket produces.
+pub fn render_tcp_json(run: &TcpRunReport) -> String {
+    format!(
+        "{{\"bench\":\"tcp\",\"label\":\"{}\",\"workers\":{},\"completed\":{},\"failed\":{},\
+         \"ops_per_s\":{:.1},\"p50_us\":{:.1},\"p99_us\":{:.1},\"round_trips\":{},\"retries\":{},\
+         \"bytes_sent\":{},\"bytes_received\":{},\"served\":{}}}",
+        run.report.label,
+        run.workers,
+        run.report.completed,
+        run.report.failed,
+        run.report.throughput(),
+        run.report.overall.percentile(0.50).as_secs_f64() * 1e6,
+        run.report.overall.percentile(0.99).as_secs_f64() * 1e6,
+        run.round_trips,
+        run.retries,
+        run.bytes_sent,
+        run.bytes_received,
+        run.served
+    )
 }
 
 /// One rung of the replicated-cluster node-count ladder.

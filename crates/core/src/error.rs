@@ -65,7 +65,12 @@ impl CoreError {
     /// exhausted the channel's retries — the caller may back off and try the
     /// whole operation again, nothing is known to be half-applied.
     pub fn is_transient(&self) -> bool {
-        matches!(self, CoreError::Net(NetError::Timeout | NetError::CircuitOpen | NetError::Unavailable(_)))
+        matches!(
+            self,
+            CoreError::Net(
+                NetError::Timeout | NetError::CircuitOpen | NetError::Unavailable(_) | NetError::Disconnected(_)
+            )
+        )
     }
 }
 

@@ -23,7 +23,7 @@ use std::time::Duration;
 use datablinder_docstore::{Document, Value};
 use datablinder_kms::Kms;
 use datablinder_kvstore::KvStore;
-use datablinder_netsim::{Channel, NetError, ResilienceConfig, ResilientChannel};
+use datablinder_netsim::{Channel, NetError, ResilienceConfig, ResilientChannel, Transport};
 use datablinder_obs::Recorder;
 use datablinder_sse::DocId;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
@@ -272,9 +272,9 @@ impl GatewayEngine {
         self.registry.read()
     }
 
-    /// The gateway↔cloud channel (metrics inspection).
-    pub fn channel(&self) -> &Channel {
-        self.channel.channel()
+    /// The gateway↔cloud transport (metrics inspection).
+    pub fn channel(&self) -> &dyn Transport {
+        self.channel.transport()
     }
 
     /// The resilience wrapper around the channel (breaker state, policy).

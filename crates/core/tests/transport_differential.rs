@@ -1,0 +1,446 @@
+//! Differential transport suite: the netsim [`Channel`] and the real
+//! [`TcpChannel`] must be indistinguishable above the [`Transport`] trait.
+//!
+//! Three angles:
+//!
+//! * **Byte-identical wire logs** — the same seeded single-threaded
+//!   workload, run once over the in-process channel and once over a real
+//!   loopback [`CloudServer`], produces the *exact same* request and
+//!   response bytes at the transport boundary (a [`RecordingTransport`]
+//!   wrapper captures them). Seeded keys, seeded document ids and the
+//!   atomic idempotency sequence make a single-threaded run fully
+//!   deterministic; the shared `encode_request`/`encode_response` layer
+//!   does the rest.
+//! * **Model-based concurrency oracle over TCP** — the suite from
+//!   `tests/concurrency.rs`, re-run with the shared engine speaking real
+//!   sockets to a loopback daemon, replayed against a netsim-backed
+//!   single-threaded oracle and a `HashMap` model.
+//! * **Crash semantics** — killing the server *after applying a write but
+//!   before acking it* surfaces a typed transient [`NetError::Disconnected`];
+//!   with retries off the write journal rolls it forward
+//!   ([`GatewayEngine::recover_pending`]), and with retries on the
+//!   idempotency envelope deduplicates the retry across the
+//!   dropped-then-reestablished connection (the ISSUE 9 regression fix).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use datablinder_core::cloud::CloudEngine;
+use datablinder_core::gateway::GatewayEngine;
+use datablinder_core::model::{AggFn, FieldAnnotation, FieldOp, FieldType, ProtectionClass, Schema};
+use datablinder_docstore::{Document, Value};
+use datablinder_kms::Kms;
+use datablinder_kvstore::KvStore;
+use datablinder_netsim::{
+    Channel, ChannelMetrics, CloudServer, CloudService, LatencyModel, NetError, ResilienceConfig, ResilientChannel,
+    RetryPolicy, ServerConfig, TcpChannel, TcpConfig, Transport,
+};
+use datablinder_sse::DocId;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SCHEMA: &str = "records";
+const OWNERS: [&str; 6] = ["o0", "o1", "o2", "o3", "o4", "o5"];
+
+fn schema() -> Schema {
+    use FieldOp::*;
+    Schema::new(SCHEMA)
+        .sensitive_field(
+            "owner",
+            FieldType::Text,
+            true,
+            FieldAnnotation::new(ProtectionClass::C2, vec![Insert, Equality]),
+        )
+        .sensitive_field(
+            "score",
+            FieldType::Integer,
+            true,
+            FieldAnnotation::new(ProtectionClass::C5, vec![Insert, Range]).with_aggs(vec![AggFn::Sum]),
+        )
+}
+
+fn doc_of(owner: &str, score: i64) -> Document {
+    Document::new("x").with("owner", Value::from(owner)).with("score", Value::from(score))
+}
+
+/// A loopback daemon serving a fresh [`CloudEngine`] — the in-process
+/// stand-in for `datablinder-cloudd`.
+fn loopback_server() -> CloudServer {
+    let service: Arc<dyn CloudService> = Arc::new(CloudEngine::new());
+    CloudServer::bind("127.0.0.1:0", service, ServerConfig::default()).expect("bind loopback")
+}
+
+fn tcp_transport(server: &CloudServer) -> Arc<dyn Transport> {
+    Arc::new(TcpChannel::connect(server.local_addr(), TcpConfig::default()).expect("loopback resolve"))
+}
+
+fn netsim_transport() -> Arc<dyn Transport> {
+    Arc::new(Channel::connect(CloudEngine::new(), LatencyModel::instant()))
+}
+
+/// A gateway over any transport, deterministically seeded.
+fn gateway_over(transport: Arc<dyn Transport>, seed: u64, retry: RetryPolicy) -> GatewayEngine {
+    let config = ResilienceConfig { retry, seed, ..ResilienceConfig::default() };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gw = GatewayEngine::with_resilience(
+        "transport-diff",
+        Kms::generate(&mut rng),
+        ResilientChannel::over(transport, config),
+        seed,
+    );
+    gw.register_schema(schema()).unwrap();
+    gw
+}
+
+// ----------------------------------------------- byte-identical wire logs
+
+/// One captured hop: what went down the wire and what came back.
+type WireRecord = (String, Vec<u8>, Result<Vec<u8>, NetError>);
+
+/// A [`Transport`] wrapper logging every (route, request, response) triple.
+struct RecordingTransport {
+    inner: Arc<dyn Transport>,
+    log: Mutex<Vec<WireRecord>>,
+}
+
+impl RecordingTransport {
+    fn over(inner: Arc<dyn Transport>) -> Arc<Self> {
+        Arc::new(RecordingTransport { inner, log: Mutex::new(Vec::new()) })
+    }
+
+    fn take_log(&self) -> Vec<WireRecord> {
+        std::mem::take(&mut self.log.lock())
+    }
+}
+
+impl Transport for RecordingTransport {
+    fn call_with_deadline(&self, route: &str, payload: &[u8], deadline: Option<Duration>) -> Result<Vec<u8>, NetError> {
+        let result = self.inner.call_with_deadline(route, payload, deadline);
+        self.log.lock().push((route.to_string(), payload.to_vec(), result.clone()));
+        result
+    }
+
+    fn advance(&self, delta: Duration) {
+        self.inner.advance(delta);
+    }
+
+    fn metrics(&self) -> &ChannelMetrics {
+        self.inner.metrics()
+    }
+}
+
+/// A fixed seeded single-threaded workload: inserts, updates, deletes and
+/// every read shape. Identical gateway seeds must make it byte-identical
+/// across transports.
+fn drive_scripted(gw: &GatewayEngine, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mine: Vec<DocId> = Vec::new();
+    for op in 0..60usize {
+        match op % 6 {
+            0 | 1 => {
+                let owner = OWNERS[rng.gen_range(0..OWNERS.len())];
+                let score: i64 = rng.gen_range(-1_000..1_000);
+                mine.push(gw.insert(SCHEMA, &doc_of(owner, score)).unwrap());
+            }
+            2 => {
+                let k = rng.gen_range(0..mine.len());
+                let owner = OWNERS[rng.gen_range(0..OWNERS.len())];
+                let score: i64 = rng.gen_range(-1_000..1_000);
+                gw.update(SCHEMA, mine[k], &doc_of(owner, score)).unwrap();
+            }
+            3 => {
+                let owner = OWNERS[rng.gen_range(0..OWNERS.len())];
+                gw.find_equal(SCHEMA, "owner", &Value::from(owner)).unwrap();
+            }
+            4 => {
+                if mine.len() > 3 && rng.gen_bool(0.4) {
+                    let k = rng.gen_range(0..mine.len());
+                    gw.delete(SCHEMA, mine.swap_remove(k)).unwrap();
+                } else {
+                    gw.find_range(SCHEMA, "score", &Value::from(-500i64), &Value::from(500i64)).unwrap();
+                }
+            }
+            _ => {
+                gw.aggregate(SCHEMA, "score", AggFn::Sum, None).unwrap();
+            }
+        }
+    }
+    assert!(gw.fsck(SCHEMA).unwrap().is_clean());
+}
+
+#[test]
+fn seeded_workload_is_byte_identical_across_transports() {
+    const SEED: u64 = 0xD1FF_5EED;
+
+    let sim = RecordingTransport::over(netsim_transport());
+    drive_scripted(&gateway_over(sim.clone(), SEED, RetryPolicy::default()), SEED);
+    let sim_log = sim.take_log();
+
+    let server = loopback_server();
+    let tcp = RecordingTransport::over(tcp_transport(&server));
+    drive_scripted(&gateway_over(tcp.clone(), SEED, RetryPolicy::default()), SEED);
+    let tcp_log = tcp.take_log();
+
+    assert!(!sim_log.is_empty());
+    assert_eq!(sim_log.len(), tcp_log.len(), "same number of wire hops");
+    for (i, (sim_rec, tcp_rec)) in sim_log.iter().zip(&tcp_log).enumerate() {
+        assert_eq!(sim_rec.0, tcp_rec.0, "hop {i}: route");
+        assert_eq!(sim_rec.1, tcp_rec.1, "hop {i} ({}): request bytes", sim_rec.0);
+        assert_eq!(sim_rec.2, tcp_rec.2, "hop {i} ({}): response", sim_rec.0);
+    }
+}
+
+#[test]
+fn different_seeds_actually_change_the_bytes() {
+    // Sanity check on the oracle itself: if the log were insensitive to
+    // the workload, the byte-identical assertion above would be vacuous.
+    let a = RecordingTransport::over(netsim_transport());
+    drive_scripted(&gateway_over(a.clone(), 0xA, RetryPolicy::default()), 0xA);
+    let b = RecordingTransport::over(netsim_transport());
+    drive_scripted(&gateway_over(b.clone(), 0xB, RetryPolicy::default()), 0xB);
+    assert_ne!(a.take_log(), b.take_log());
+}
+
+// ------------------------------------- model-based concurrency, over TCP
+
+/// A committed write, logged by the thread that performed it.
+#[derive(Clone)]
+enum WriteOp {
+    Insert { id: DocId, owner: String, score: i64 },
+    Update { id: DocId, owner: String, score: i64 },
+    Delete { id: DocId },
+}
+
+/// One worker's seeded session against the shared engine (the
+/// `tests/concurrency.rs` driver, without the worker-pool batch path).
+fn drive(gw: &GatewayEngine, seed: u64, ops: usize) -> Vec<WriteOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut log: Vec<WriteOp> = Vec::new();
+    let mut mine: Vec<(DocId, String, i64)> = Vec::new();
+    {
+        let owner = OWNERS[rng.gen_range(0..OWNERS.len())].to_string();
+        let score: i64 = rng.gen_range(-1_000..1_000);
+        let id = gw.insert(SCHEMA, &doc_of(&owner, score)).unwrap();
+        log.push(WriteOp::Insert { id, owner: owner.clone(), score });
+        mine.push((id, owner, score));
+    }
+    for op in 0..ops {
+        match rng.gen_range(0..10u32) {
+            0..=4 => {
+                let owner = OWNERS[rng.gen_range(0..OWNERS.len())].to_string();
+                let score: i64 = rng.gen_range(-1_000..1_000);
+                let id = gw.insert(SCHEMA, &doc_of(&owner, score)).unwrap();
+                log.push(WriteOp::Insert { id, owner: owner.clone(), score });
+                mine.push((id, owner, score));
+            }
+            5 => {
+                if mine.is_empty() {
+                    continue;
+                }
+                let k = rng.gen_range(0..mine.len());
+                let owner = OWNERS[rng.gen_range(0..OWNERS.len())].to_string();
+                let score: i64 = rng.gen_range(-1_000..1_000);
+                let id = mine[k].0;
+                gw.update(SCHEMA, id, &doc_of(&owner, score)).unwrap();
+                log.push(WriteOp::Update { id, owner: owner.clone(), score });
+                mine[k] = (id, owner, score);
+            }
+            6 => {
+                if mine.is_empty() {
+                    continue;
+                }
+                let k = rng.gen_range(0..mine.len());
+                let (id, _, _) = mine.swap_remove(k);
+                gw.delete(SCHEMA, id).unwrap();
+                log.push(WriteOp::Delete { id });
+            }
+            7 => {
+                let owner = OWNERS[rng.gen_range(0..OWNERS.len())];
+                gw.find_equal(SCHEMA, "owner", &Value::from(owner)).unwrap();
+            }
+            8 => {
+                let lo: i64 = rng.gen_range(-1_000..0);
+                let hi: i64 = rng.gen_range(0..1_000);
+                gw.find_range(SCHEMA, "score", &Value::from(lo), &Value::from(hi)).unwrap();
+            }
+            _ => {
+                gw.aggregate(SCHEMA, "score", AggFn::Sum, None).unwrap();
+            }
+        }
+        // Read-your-writes on a private id across real sockets.
+        if op % 7 == 0 && !mine.is_empty() {
+            let (id, owner, score) = &mine[mine.len() - 1];
+            let got = gw.get(SCHEMA, *id).unwrap();
+            assert_eq!(got.get("owner"), Some(&Value::from(owner.as_str())));
+            assert_eq!(got.get("score"), Some(&Value::from(*score)));
+        }
+    }
+    log
+}
+
+fn contents(docs: &[Document]) -> Vec<(String, i64)> {
+    let mut v: Vec<(String, i64)> = docs
+        .iter()
+        .map(|d| (d.get("owner").unwrap().as_str().unwrap().to_string(), d.get("score").unwrap().as_i64().unwrap()))
+        .collect();
+    v.sort();
+    v
+}
+
+fn sorted_ids(docs: &[Document]) -> Vec<String> {
+    let mut v: Vec<String> = docs.iter().map(|d| d.id().to_string()).collect();
+    v.sort();
+    v
+}
+
+/// The concurrency suite's oracle check, with the shared engine speaking
+/// TCP to a loopback daemon and the oracle staying on netsim.
+fn run_model_over_tcp(threads: usize, seed: u64, ops_per_thread: usize) {
+    let server = loopback_server();
+    let shared = Arc::new(gateway_over(tcp_transport(&server), seed, RetryPolicy::default()));
+    let logs: Vec<Vec<WriteOp>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let gw = Arc::clone(&shared);
+                s.spawn(move || drive(&gw, seed ^ (t as u64).wrapping_mul(0x9E37_79B9), ops_per_thread))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread must not panic")).collect()
+    });
+
+    // Replay the committed logs on a netsim-backed single-threaded oracle
+    // and a plain HashMap model.
+    let oracle = gateway_over(netsim_transport(), 0x0A_C1E, RetryPolicy::default());
+    let mut model: HashMap<String, (String, i64)> = HashMap::new();
+    let mut remap: HashMap<String, DocId> = HashMap::new();
+    for log in &logs {
+        for op in log {
+            match op {
+                WriteOp::Insert { id, owner, score } => {
+                    let oid = oracle.insert(SCHEMA, &doc_of(owner, *score)).unwrap();
+                    remap.insert(id.to_hex(), oid);
+                    model.insert(id.to_hex(), (owner.clone(), *score));
+                }
+                WriteOp::Update { id, owner, score } => {
+                    oracle.update(SCHEMA, remap[&id.to_hex()], &doc_of(owner, *score)).unwrap();
+                    model.insert(id.to_hex(), (owner.clone(), *score));
+                }
+                WriteOp::Delete { id } => {
+                    oracle.delete(SCHEMA, remap[&id.to_hex()]).unwrap();
+                    remap.remove(&id.to_hex());
+                    model.remove(&id.to_hex());
+                }
+            }
+        }
+    }
+
+    assert_eq!(shared.count(SCHEMA).unwrap(), model.len() as u64, "tcp count vs model");
+    assert_eq!(oracle.count(SCHEMA).unwrap(), model.len() as u64, "oracle count vs model");
+
+    for owner in OWNERS {
+        let hits = shared.find_equal(SCHEMA, "owner", &Value::from(owner)).unwrap();
+        let mut expect_ids: Vec<String> =
+            model.iter().filter(|(_, (o, _))| o == owner).map(|(id, _)| id.clone()).collect();
+        expect_ids.sort();
+        assert_eq!(sorted_ids(&hits), expect_ids, "tcp eq({owner}) ids");
+        let oracle_hits = oracle.find_equal(SCHEMA, "owner", &Value::from(owner)).unwrap();
+        assert_eq!(contents(&oracle_hits), contents(&hits), "oracle eq({owner}) contents");
+    }
+
+    for (lo, hi) in [(-1_000i64, 1_000i64), (-500, -1), (0, 250)] {
+        let hits = shared.find_range(SCHEMA, "score", &Value::from(lo), &Value::from(hi)).unwrap();
+        let mut expect_ids: Vec<String> =
+            model.iter().filter(|(_, (_, s))| (lo..=hi).contains(s)).map(|(id, _)| id.clone()).collect();
+        expect_ids.sort();
+        assert_eq!(sorted_ids(&hits), expect_ids, "tcp range[{lo},{hi}] ids");
+        let oracle_hits = oracle.find_range(SCHEMA, "score", &Value::from(lo), &Value::from(hi)).unwrap();
+        assert_eq!(contents(&oracle_hits), contents(&hits), "oracle range[{lo},{hi}]");
+    }
+
+    let expect_sum: i64 = model.values().map(|(_, s)| *s).sum();
+    let tcp_sum = shared.aggregate(SCHEMA, "score", AggFn::Sum, None).unwrap();
+    assert!((tcp_sum - expect_sum as f64).abs() < 1e-6, "tcp sum {tcp_sum} vs model {expect_sum}");
+
+    assert!(shared.fsck(SCHEMA).unwrap().is_clean(), "tcp engine fsck");
+    assert!(oracle.fsck(SCHEMA).unwrap().is_clean(), "oracle fsck");
+}
+
+#[test]
+fn two_threads_over_tcp_match_netsim_oracle() {
+    run_model_over_tcp(2, 0x7C_901, 25);
+}
+
+#[test]
+fn four_threads_over_tcp_match_netsim_oracle() {
+    run_model_over_tcp(4, 0x7C_902, 15);
+}
+
+// ------------------------------------------------------- crash semantics
+
+#[test]
+fn server_kill_mid_write_is_transient_and_recover_pending_rolls_forward() {
+    let server = loopback_server();
+    // Retries OFF: the Disconnected error must reach the caller, leaving
+    // the journaled write group pending.
+    let mut gw = GatewayEngine::with_resilience(
+        "transport-diff",
+        Kms::generate(&mut StdRng::seed_from_u64(0xDEAD)),
+        ResilientChannel::over(
+            tcp_transport(&server),
+            ResilienceConfig { retry: RetryPolicy::none(), seed: 0xDEAD, ..ResilienceConfig::default() },
+        ),
+        0xDEAD,
+    );
+    gw.register_schema(schema()).unwrap();
+    gw.enable_write_journal(KvStore::new());
+
+    // Prime so schema/tactic setup traffic is out of the way.
+    gw.insert(SCHEMA, &doc_of("o0", 1)).unwrap();
+    assert_eq!(gw.pending_writes(), 0);
+    let count_before = gw.count(SCHEMA).unwrap();
+
+    // The next request is applied server-side, then the connection dies
+    // before the ack — the classic retry-ambiguity window.
+    server.kill_after_applies(0);
+    let err = gw.insert(SCHEMA, &doc_of("o1", 2)).unwrap_err();
+    assert!(err.is_transient(), "typed transient failure, got {err:?}");
+    assert!(
+        matches!(&err, datablinder_core::error::CoreError::Net(NetError::Disconnected(_))),
+        "Disconnected, got {err:?}"
+    );
+    assert_eq!(gw.pending_writes(), 1, "the interrupted group stays journaled");
+
+    // Roll forward: the already-applied call dedups through the
+    // idempotency envelope, the rest complete.
+    let report = gw.recover_pending().unwrap();
+    assert_eq!(report.entries, 1);
+    assert_eq!(report.rolled_forward, 1, "failures: {:?}", report.failures);
+    assert_eq!(gw.pending_writes(), 0);
+    assert_eq!(gw.count(SCHEMA).unwrap(), count_before + 1, "exactly one new document");
+    assert!(gw.fsck(SCHEMA).unwrap().is_clean());
+}
+
+#[test]
+fn retry_across_reconnect_deduplicates_via_idempotency_envelope() {
+    // The ISSUE 9 regression: retries ON. The write is applied, the ack is
+    // lost, the connection drops — the retry reconnects and MUST NOT
+    // double-apply.
+    let server = loopback_server();
+    let gw = gateway_over(tcp_transport(&server), 0x1DEA, RetryPolicy { max_attempts: 5, ..RetryPolicy::default() });
+
+    gw.insert(SCHEMA, &doc_of("o0", 1)).unwrap();
+    let count_before = gw.count(SCHEMA).unwrap();
+    let attempts_before = gw.channel().metrics().attempts();
+
+    server.kill_after_applies(0);
+    let id = gw.insert(SCHEMA, &doc_of("o1", 2)).expect("retry absorbs the dropped connection");
+
+    assert!(gw.channel().metrics().attempts() > attempts_before + 1, "the kill forced at least one retry");
+    assert_eq!(gw.count(SCHEMA).unwrap(), count_before + 1, "retried write applied exactly once");
+    let hits = gw.find_equal(SCHEMA, "owner", &Value::from("o1")).unwrap();
+    assert_eq!(sorted_ids(&hits), vec![id.to_hex()], "no duplicate under a second id");
+    assert!(gw.fsck(SCHEMA).unwrap().is_clean());
+}

@@ -44,12 +44,16 @@ pub mod crash;
 pub mod fault;
 pub mod prelude;
 pub mod resilient;
+pub mod tcp;
+pub mod transport;
 
 pub use crash::{CrashInjector, CrashPlan, CrashPoint, CrashVerdict, NodeEvent, NodeFailureInjector, NodeFailurePlan};
 pub use fault::{FaultPlan, FaultStats, FaultStatsSnapshot, FaultyService, RouteFaults};
 pub use resilient::{
     breaker_gauge, BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig, ResilientChannel, RetryPolicy,
 };
+pub use tcp::{CloudServer, FrameDecoder, FrameError, ServerConfig, TcpChannel, TcpConfig};
+pub use transport::Transport;
 
 /// Errors crossing the simulated network.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +74,15 @@ pub enum NetError {
     /// [`NetError::Timeout`], the cluster *did* respond — it simply could
     /// not gather enough durable acks. Retryable: replicas may rejoin.
     Unavailable(String),
+    /// The connection to the remote side dropped (dial failure, reset, or
+    /// close mid-conversation). Like [`NetError::Timeout`], the caller
+    /// cannot tell whether the remote side executed — retries must ride
+    /// the idempotency envelope. Retryable: the next attempt reconnects.
+    Disconnected(String),
+    /// A frame exceeded the configured size limit; the offending side
+    /// closed the connection rather than allocate unboundedly. Not
+    /// retryable — the same request would be oversized again.
+    FrameTooLarge(String),
 }
 
 impl std::fmt::Display for NetError {
@@ -81,6 +94,8 @@ impl std::fmt::Display for NetError {
             NetError::Timeout => write!(f, "timed out"),
             NetError::CircuitOpen => write!(f, "circuit breaker open"),
             NetError::Unavailable(m) => write!(f, "quorum unavailable: {m}"),
+            NetError::Disconnected(m) => write!(f, "disconnected: {m}"),
+            NetError::FrameTooLarge(m) => write!(f, "frame too large: {m}"),
         }
     }
 }
@@ -338,11 +353,11 @@ impl Channel {
         payload: &[u8],
         deadline: Option<Duration>,
     ) -> Result<Vec<u8>, NetError> {
-        let frame = encode_frame(route, payload);
+        let frame = encode_request(route, payload);
         self.metrics.bytes_sent.fetch_add(frame.len() as u64, Ordering::Relaxed);
 
         // The wire: decode on the "cloud side" from the serialized frame.
-        let (decoded_route, decoded_payload) = decode_frame(&frame)?;
+        let (decoded_route, decoded_payload) = decode_request(&frame)?;
         let result = self.service.handle(&decoded_route, &decoded_payload);
         let injected = self.service.take_injected_delay();
 
@@ -410,7 +425,12 @@ impl std::fmt::Debug for Channel {
     }
 }
 
-fn encode_frame(route: &str, payload: &[u8]) -> Vec<u8> {
+/// Encodes one request body: `route_len: u32 | route | payload_len: u32 |
+/// payload` (big-endian lengths). This is the byte layout every transport
+/// puts on its wire — the simulated [`Channel`] and the TCP frames of
+/// [`crate::tcp`] carry identical request bytes, which is what makes the
+/// differential transport suite's byte-for-byte comparison meaningful.
+pub fn encode_request(route: &str, payload: &[u8]) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(8 + route.len() + payload.len());
     buf.put_u32(route.len() as u32);
     buf.put_slice(route.as_bytes());
@@ -419,7 +439,12 @@ fn encode_frame(route: &str, payload: &[u8]) -> Vec<u8> {
     buf.to_vec()
 }
 
-fn decode_frame(frame: &[u8]) -> Result<(String, Vec<u8>), NetError> {
+/// Decodes an [`encode_request`] body back into `(route, payload)`.
+///
+/// # Errors
+///
+/// [`NetError::MalformedFrame`] on truncation or non-UTF-8 routes.
+pub fn decode_request(frame: &[u8]) -> Result<(String, Vec<u8>), NetError> {
     let mut buf = frame;
     if buf.remaining() < 4 {
         return Err(NetError::MalformedFrame);
@@ -437,7 +462,11 @@ fn decode_frame(frame: &[u8]) -> Result<(String, Vec<u8>), NetError> {
     Ok((route, buf[..plen].to_vec()))
 }
 
-fn encode_response(result: &Result<Vec<u8>, NetError>) -> Vec<u8> {
+/// Encodes one response body: `tag: u8 | len: u32 | bytes`, where tag 0 is
+/// success (bytes = the payload) and tags 1–8 map onto [`NetError`]
+/// variants (bytes = the error message, possibly empty). Shared by every
+/// transport, like [`encode_request`].
+pub fn encode_response(result: &Result<Vec<u8>, NetError>) -> Vec<u8> {
     let mut buf = BytesMut::new();
     match result {
         Ok(payload) => {
@@ -453,6 +482,8 @@ fn encode_response(result: &Result<Vec<u8>, NetError>) -> Vec<u8> {
                 NetError::Timeout => (4, String::new()),
                 NetError::CircuitOpen => (5, String::new()),
                 NetError::Unavailable(m) => (6, m.clone()),
+                NetError::Disconnected(m) => (7, m.clone()),
+                NetError::FrameTooLarge(m) => (8, m.clone()),
             };
             buf.put_u8(tag);
             let msg = msg.into_bytes();
@@ -463,7 +494,13 @@ fn encode_response(result: &Result<Vec<u8>, NetError>) -> Vec<u8> {
     buf.to_vec()
 }
 
-fn decode_response(response: &[u8]) -> Result<Vec<u8>, NetError> {
+/// Decodes an [`encode_response`] body back into the handler result.
+///
+/// # Errors
+///
+/// The decoded error itself, or [`NetError::MalformedFrame`] on
+/// truncation or an unknown tag.
+pub fn decode_response(response: &[u8]) -> Result<Vec<u8>, NetError> {
     let mut buf = response;
     if buf.remaining() < 5 {
         return Err(NetError::MalformedFrame);
@@ -482,6 +519,8 @@ fn decode_response(response: &[u8]) -> Result<Vec<u8>, NetError> {
         4 => Err(NetError::Timeout),
         5 => Err(NetError::CircuitOpen),
         6 => Err(NetError::Unavailable(String::from_utf8_lossy(&body).into_owned())),
+        7 => Err(NetError::Disconnected(String::from_utf8_lossy(&body).into_owned())),
+        8 => Err(NetError::FrameTooLarge(String::from_utf8_lossy(&body).into_owned())),
         _ => Err(NetError::MalformedFrame),
     }
 }
@@ -541,8 +580,8 @@ mod tests {
 
     #[test]
     fn frame_decode_rejects_garbage() {
-        assert_eq!(decode_frame(&[]), Err(NetError::MalformedFrame));
-        assert_eq!(decode_frame(&[0, 0, 0, 10, b'a']), Err(NetError::MalformedFrame));
+        assert_eq!(decode_request(&[]), Err(NetError::MalformedFrame));
+        assert_eq!(decode_request(&[0, 0, 0, 10, b'a']), Err(NetError::MalformedFrame));
         assert!(decode_response(&[9, 0, 0, 0, 0]).is_err());
         assert_eq!(decode_response(&[]), Err(NetError::MalformedFrame));
     }
@@ -637,6 +676,10 @@ mod tests {
         assert_eq!(decode_response(&open), Err(NetError::CircuitOpen));
         let unavail = encode_response(&Err(NetError::Unavailable("1/2 acks".into())));
         assert_eq!(decode_response(&unavail), Err(NetError::Unavailable("1/2 acks".into())));
+        let gone = encode_response(&Err(NetError::Disconnected("reset".into())));
+        assert_eq!(decode_response(&gone), Err(NetError::Disconnected("reset".into())));
+        let big = encode_response(&Err(NetError::FrameTooLarge("9 > 8".into())));
+        assert_eq!(decode_response(&big), Err(NetError::FrameTooLarge("9 > 8".into())));
     }
 
     #[test]

@@ -13,4 +13,6 @@ pub use crate::fault::{FaultPlan, FaultStats, FaultStatsSnapshot, FaultyService,
 pub use crate::resilient::{
     BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig, ResilientChannel, RetryPolicy,
 };
+pub use crate::tcp::{CloudServer, FrameDecoder, FrameError, ServerConfig, TcpChannel, TcpConfig};
+pub use crate::transport::Transport;
 pub use crate::{Channel, ChannelMetrics, CloudService, LatencyModel, MetricsSnapshot, NetError};

@@ -1,11 +1,12 @@
-//! Retries, deadlines and circuit breaking over a [`Channel`].
+//! Retries, deadlines and circuit breaking over any [`Transport`].
 //!
 //! [`ResilientChannel`] exposes the same `call` API as [`Channel`] but
 //! absorbs transient faults: it retries retryable errors with exponential
 //! backoff and deterministic seeded jitter, applies a per-call deadline, and
 //! fails fast through a [`CircuitBreaker`] while the remote side looks dead.
-//! All waiting — backoff included — is charged to the channel's virtual
-//! clock, so simulated time reflects what a real client would have endured.
+//! All waiting — backoff included — goes through [`Transport::advance`]: a
+//! simulated channel charges its virtual clock, so simulated time reflects
+//! what a real client would have endured; a TCP channel really sleeps.
 //!
 //! What is safe to retry lives here; *whether* a retried write re-executes
 //! is the cloud's problem, solved by idempotency tokens one layer up (see
@@ -37,6 +38,7 @@ use datablinder_obs::Recorder;
 use parking_lot::Mutex;
 
 use crate::fault::SplitMix64;
+use crate::transport::Transport;
 use crate::{Channel, ChannelMetrics, CloudService, LatencyModel, NetError};
 
 /// When and how often to retry a failed call.
@@ -77,14 +79,19 @@ impl RetryPolicy {
 
     /// Whether `err` is worth retrying under this policy.
     ///
-    /// Timeouts, detected corruption and breaker rejections are transport
-    /// conditions that a retry (after backoff/cooldown) may clear. Unknown
-    /// routes are deterministic bugs; remote failures are configurable.
+    /// Timeouts, detected corruption, dropped connections and breaker
+    /// rejections are transport conditions that a retry (after
+    /// backoff/cooldown) may clear. Unknown routes and oversized frames are
+    /// deterministic bugs; remote failures are configurable.
     pub fn is_retryable(&self, err: &NetError) -> bool {
         match err {
-            NetError::Timeout | NetError::MalformedFrame | NetError::CircuitOpen | NetError::Unavailable(_) => true,
+            NetError::Timeout
+            | NetError::MalformedFrame
+            | NetError::CircuitOpen
+            | NetError::Unavailable(_)
+            | NetError::Disconnected(_) => true,
             NetError::Remote(_) => self.retry_remote,
-            NetError::UnknownRoute(_) => false,
+            NetError::UnknownRoute(_) | NetError::FrameTooLarge(_) => false,
         }
     }
 
@@ -244,13 +251,16 @@ impl Default for ResilienceConfig {
     }
 }
 
-/// A [`Channel`] wrapped with retries, deadlines and a circuit breaker.
+/// A [`Transport`] wrapped with retries, deadlines and a circuit breaker.
 ///
-/// Exposes the same `call(route, payload)` shape as [`Channel`]. Cloning
-/// shares the underlying channel, metrics, breaker and jitter stream.
-#[derive(Debug, Clone)]
+/// Exposes the same `call(route, payload)` shape as [`Channel`]. Works over
+/// any transport — the simulated [`Channel`] or a real
+/// [`TcpChannel`](crate::tcp::TcpChannel) — with identical retry, deadline,
+/// breaker and tracing behaviour. Cloning shares the underlying transport,
+/// metrics, breaker and jitter stream.
+#[derive(Clone)]
 pub struct ResilientChannel {
-    channel: Channel,
+    transport: Arc<dyn Transport>,
     policy: RetryPolicy,
     deadline: Option<Duration>,
     breaker: Arc<CircuitBreaker>,
@@ -259,10 +269,15 @@ pub struct ResilientChannel {
 }
 
 impl ResilientChannel {
-    /// Wraps an existing channel.
+    /// Wraps an existing simulated channel.
     pub fn new(channel: Channel, config: ResilienceConfig) -> Self {
+        ResilientChannel::over(Arc::new(channel), config)
+    }
+
+    /// Wraps any transport.
+    pub fn over(transport: Arc<dyn Transport>, config: ResilienceConfig) -> Self {
         ResilientChannel {
-            channel,
+            transport,
             policy: config.retry,
             deadline: config.deadline,
             breaker: Arc::new(CircuitBreaker::new(config.breaker)),
@@ -315,7 +330,7 @@ impl ResilientChannel {
         payload: &[u8],
         deadline: Option<Duration>,
     ) -> Result<Vec<u8>, NetError> {
-        let metrics = self.channel.metrics();
+        let metrics = self.transport.metrics();
         let max_attempts = self.policy.max_attempts.max(1);
         let mut attempt = 0u32;
         // A trace installed by the caller (the gateway route span) makes
@@ -377,7 +392,7 @@ impl ResilientChannel {
                     }
                     self.obs.count("channel.backoff.sleeps", 1);
                     self.obs.count("channel.backoff.nanos", pause.as_nanos() as u64);
-                    self.channel.advance(pause);
+                    self.transport.advance(pause);
                 }
             }
         }
@@ -406,16 +421,16 @@ impl ResilientChannel {
         ambient: Option<TraceCtx>,
     ) -> Result<Vec<u8>, NetError> {
         let Some(ambient) = ambient else {
-            return self.channel.call_with_deadline(route, payload, deadline);
+            return self.transport.call_with_deadline(route, payload, deadline);
         };
-        let va0 = self.channel.metrics().virtual_time();
+        let va0 = self.transport.metrics().virtual_time();
         let mut guard = self.obs.quiet_span("channel.attempt");
         // Propagate even when this channel's recorder is disabled: the
         // trace belongs to the caller, not to us.
         let ctx = guard.ctx().unwrap_or(ambient);
         let framed = trace::encode_traced(ctx, route, payload);
-        let result = self.channel.call_with_deadline(trace::TRACED_ROUTE, &framed, deadline);
-        guard.set_duration(self.channel.metrics().virtual_time().saturating_sub(va0));
+        let result = self.transport.call_with_deadline(trace::TRACED_ROUTE, &framed, deadline);
+        guard.set_duration(self.transport.metrics().virtual_time().saturating_sub(va0));
         if let Err(e) = &result {
             guard.fail();
             guard.set_detail(&e.to_string());
@@ -423,14 +438,14 @@ impl ResilientChannel {
         result
     }
 
-    /// Traffic and resilience counters (shared with the inner channel).
+    /// Traffic and resilience counters (shared with the inner transport).
     pub fn metrics(&self) -> &ChannelMetrics {
-        self.channel.metrics()
+        self.transport.metrics()
     }
 
-    /// The wrapped channel.
-    pub fn channel(&self) -> &Channel {
-        &self.channel
+    /// The wrapped transport.
+    pub fn transport(&self) -> &dyn Transport {
+        &*self.transport
     }
 
     /// The breaker's current position.
@@ -443,10 +458,20 @@ impl ResilientChannel {
         self.policy
     }
 
-    /// Advances the simulated clock, e.g. to let a breaker cooldown elapse
-    /// in tests.
+    /// Advances the transport clock (simulated or real), e.g. to let a
+    /// breaker cooldown elapse in tests.
     pub fn advance(&self, delta: Duration) {
-        self.channel.advance(delta);
+        self.transport.advance(delta);
+    }
+}
+
+impl std::fmt::Debug for ResilientChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientChannel")
+            .field("policy", &self.policy)
+            .field("deadline", &self.deadline)
+            .field("breaker", &self.breaker.state())
+            .finish()
     }
 }
 
@@ -462,8 +487,9 @@ pub fn breaker_gauge(state: BreakerState) -> i64 {
 
 fn is_transport_failure(err: &NetError) -> bool {
     // Only evidence that the *path* is unhealthy counts toward the breaker.
-    // Remote/UnknownRoute/Unavailable mean the other side answered.
-    matches!(err, NetError::Timeout | NetError::MalformedFrame)
+    // Remote/UnknownRoute/Unavailable mean the other side answered, and
+    // FrameTooLarge is the caller's own deterministic bug.
+    matches!(err, NetError::Timeout | NetError::MalformedFrame | NetError::Disconnected(_))
 }
 
 /// Closes the per-call span guard with the virtual-clock duration and

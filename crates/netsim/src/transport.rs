@@ -1,0 +1,90 @@
+//! The gateway↔cloud hop as a trait.
+//!
+//! Everything above the wire — [`ResilientChannel`](crate::ResilientChannel)
+//! retries, deadlines, the circuit breaker, the `obs/traced` envelope, the
+//! gateway engines — speaks to the cloud through one request/response
+//! operation. [`Transport`] names that operation so two very different
+//! implementations can sit under the same stack:
+//!
+//! * [`Channel`] — the deterministic in-process simulation (seeded faults,
+//!   crash injection, a virtual clock). Every fault/crash/storm suite runs
+//!   over it unchanged.
+//! * [`TcpChannel`](crate::tcp::TcpChannel) — a real socket to a
+//!   `datablinder-cloudd` server, speaking the length-prefixed CRC-framed
+//!   protocol of [`crate::tcp`], with many pipelined requests in flight per
+//!   connection.
+//!
+//! The differential transport suite (`crates/core/tests/
+//! transport_differential.rs`) holds the two to byte-identical behaviour.
+
+use std::time::Duration;
+
+use crate::{Channel, ChannelMetrics, NetError};
+
+/// One request/response hop between the gateway and the cloud.
+///
+/// Implementations must be safe to share across threads: concurrent calls
+/// may be in flight at once (the shared-gateway deployment pipelines many
+/// requests through one transport).
+pub trait Transport: Send + Sync {
+    /// Performs one round trip, giving up after `deadline` if set.
+    ///
+    /// # Errors
+    ///
+    /// Any [`NetError`]; transient transport conditions ([`NetError::Timeout`],
+    /// [`NetError::Disconnected`]) are worth retrying one layer up.
+    fn call_with_deadline(&self, route: &str, payload: &[u8], deadline: Option<Duration>) -> Result<Vec<u8>, NetError>;
+
+    /// Performs one round trip with no deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::call_with_deadline`].
+    fn call(&self, route: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        self.call_with_deadline(route, payload, None)
+    }
+
+    /// Waits out `delta`: simulated transports charge their virtual clock,
+    /// real transports actually sleep. Retry backoff goes through here.
+    fn advance(&self, delta: Duration);
+
+    /// Traffic counters for this transport. The clock readable through
+    /// [`ChannelMetrics::virtual_time`] must move monotonically with
+    /// traffic and [`Transport::advance`] — the circuit breaker uses it as
+    /// its time source.
+    fn metrics(&self) -> &ChannelMetrics;
+}
+
+impl Transport for Channel {
+    fn call_with_deadline(&self, route: &str, payload: &[u8], deadline: Option<Duration>) -> Result<Vec<u8>, NetError> {
+        Channel::call_with_deadline(self, route, payload, deadline)
+    }
+
+    fn advance(&self, delta: Duration) {
+        Channel::advance(self, delta);
+    }
+
+    fn metrics(&self) -> &ChannelMetrics {
+        Channel::metrics(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LatencyModel;
+    use std::sync::Arc;
+
+    #[test]
+    fn channel_is_a_transport() {
+        let ch = Channel::connect(
+            |_: &str, p: &[u8]| -> Result<Vec<u8>, NetError> { Ok(p.to_vec()) },
+            LatencyModel::instant(),
+        );
+        let t: Arc<dyn Transport> = Arc::new(ch);
+        assert_eq!(t.call("echo", b"x").unwrap(), b"x");
+        assert_eq!(t.metrics().round_trips(), 1);
+        t.advance(Duration::from_micros(5));
+        assert_eq!(t.metrics().virtual_time(), Duration::from_micros(5));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the TCP frame codec, mirroring the strict-prefix
+//! discipline of `tests/proto_props.rs`: every strict prefix of a valid
+//! frame is "need more bytes", corruption is rejected without panicking,
+//! and decoding is invariant under how the byte stream is chunked across
+//! `read()` boundaries.
+
+use datablinder_netsim::tcp::{encode_wire_frame, Frame, DEFAULT_MAX_FRAME};
+use datablinder_netsim::{FrameDecoder, FrameError};
+use proptest::prelude::*;
+
+fn arb_frame() -> impl Strategy<Value = (u64, Vec<u8>)> {
+    (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..512))
+}
+
+/// Decodes `bytes` in one shot, draining every complete frame.
+fn decode_one_shot(bytes: &[u8]) -> Result<Vec<Frame>, FrameError> {
+    let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+    dec.extend(bytes);
+    let mut frames = Vec::new();
+    while let Some(f) = dec.next_frame()? {
+        frames.push(f);
+    }
+    Ok(frames)
+}
+
+/// Decodes `bytes` split at the given cut points, draining after each push —
+/// the shape of a socket read loop with arbitrary packet boundaries.
+fn decode_chunked(bytes: &[u8], cuts: &[usize]) -> Result<Vec<Frame>, FrameError> {
+    let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+    let mut frames = Vec::new();
+    let mut last = 0;
+    let mut offsets: Vec<usize> = cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+    offsets.sort_unstable();
+    for off in offsets.into_iter().chain(std::iter::once(bytes.len())) {
+        if off < last {
+            continue;
+        }
+        dec.extend(&bytes[last..off]);
+        last = off;
+        while let Some(f) = dec.next_frame()? {
+            frames.push(f);
+        }
+    }
+    Ok(frames)
+}
+
+proptest! {
+    #[test]
+    fn round_trip((corr, body) in arb_frame()) {
+        let encoded = encode_wire_frame(corr, &body);
+        let frames = decode_one_shot(&encoded).expect("valid frame decodes");
+        prop_assert_eq!(frames, vec![Frame { corr_id: corr, body }]);
+    }
+
+    #[test]
+    fn every_strict_prefix_is_incomplete((corr, body) in arb_frame()) {
+        let encoded = encode_wire_frame(corr, &body);
+        for cut in 0..encoded.len() {
+            let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+            dec.extend(&encoded[..cut]);
+            // Never an error, never a frame: strictly "need more bytes".
+            prop_assert_eq!(dec.next_frame(), Ok(None), "prefix len {}", cut);
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics_or_misdelivers(
+        (corr, body) in arb_frame(),
+        pos in any::<usize>(),
+        flip in 1..=255u8,
+    ) {
+        let mut encoded = encode_wire_frame(corr, &body);
+        let pos = pos % encoded.len();
+        encoded[pos] ^= flip;
+        // Corruption may surface as an error (length/CRC) or as a frame —
+        // but a delivered frame must never be the original (the CRC over
+        // corr||body would have had to collide with a flipped bit, which a
+        // single-bit-error-detecting CRC rules out), unless the corrupted
+        // byte produced an identical encoding, which a XOR with a nonzero
+        // mask cannot.
+        if let Ok(frames) = decode_one_shot(&encoded) {
+            prop_assert!(
+                frames != vec![Frame { corr_id: corr, body: body.clone() }],
+                "corrupted stream decoded to the original frame"
+            );
+        } // Err(_) — rejected — is the expected outcome.
+    }
+
+    #[test]
+    fn chunking_is_invisible(
+        frames in proptest::collection::vec(arb_frame(), 1..8),
+        cuts in proptest::collection::vec(any::<usize>(), 0..32),
+    ) {
+        let mut stream = Vec::new();
+        for (corr, body) in &frames {
+            stream.extend_from_slice(&encode_wire_frame(*corr, body));
+        }
+        let one_shot = decode_one_shot(&stream).expect("valid stream");
+        let chunked = decode_chunked(&stream, &cuts).expect("valid stream, chunked");
+        prop_assert_eq!(one_shot.clone(), chunked);
+        let expect: Vec<Frame> =
+            frames.into_iter().map(|(corr_id, body)| Frame { corr_id, body }).collect();
+        prop_assert_eq!(one_shot, expect);
+    }
+
+    #[test]
+    fn trailing_garbage_after_valid_frames_is_contained(
+        (corr, body) in arb_frame(),
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        // A valid frame followed by garbage: the frame comes out intact;
+        // the garbage either waits for more bytes or errors — never panics.
+        let mut stream = encode_wire_frame(corr, &body);
+        stream.extend_from_slice(&garbage);
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.extend(&stream);
+        prop_assert_eq!(dec.next_frame(), Ok(Some(Frame { corr_id: corr, body })));
+        let _ = dec.next_frame(); // any Result is fine; no panic, no bogus original
+    }
+}

@@ -22,7 +22,7 @@ use datablinder_core::tactics::{decode_ids, shadow_field};
 use datablinder_core::wire::{canonical_bytes, decode_documents, decode_value, encode_document, field_keyword};
 use datablinder_docstore::{Document, Value};
 use datablinder_kms::Kms;
-use datablinder_netsim::Channel;
+use datablinder_netsim::{Channel, ResilienceConfig, ResilientChannel};
 use datablinder_obs::Recorder;
 use datablinder_paillier::{Ciphertext, Keypair};
 use datablinder_primitives::keys::SymmetricKey;
@@ -483,9 +483,27 @@ pub fn shared_gateway(
     recorder: Recorder,
     pool: Option<std::sync::Arc<datablinder_core::pool::WorkerPool>>,
 ) -> std::sync::Arc<GatewayEngine> {
+    let resilient = ResilientChannel::new(channel, ResilienceConfig { seed: 0xC0DE, ..ResilienceConfig::default() });
+    shared_gateway_over(resilient, recorder, pool)
+}
+
+/// [`shared_gateway`] over any pre-wrapped resilient transport — the same
+/// engine, schema and seeds whether the hop underneath is the simulated
+/// channel or a real TCP connection to `datablinder-cloudd` (the `--tcp`
+/// bench rung uses this).
+///
+/// # Panics
+///
+/// Panics if the benchmark schema fails to register (a bug, not an input
+/// condition).
+pub fn shared_gateway_over(
+    channel: ResilientChannel,
+    recorder: Recorder,
+    pool: Option<std::sync::Arc<datablinder_core::pool::WorkerPool>>,
+) -> std::sync::Arc<GatewayEngine> {
     let mut rng = StdRng::seed_from_u64(0x5C);
     let kms = Kms::generate(&mut rng);
-    let mut engine = GatewayEngine::new("bench-shared", kms, channel, 0xC0DE);
+    let mut engine = GatewayEngine::with_resilience("bench-shared", kms, channel, 0xC0DE);
     engine.set_recorder(recorder);
     if let Some(pool) = pool {
         engine.set_worker_pool(pool);

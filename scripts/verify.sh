@@ -91,6 +91,48 @@ grep -Eq '"obs_overhead_pct":-?[0-9]+\.[0-9]+' "$CLUSTER_JSON" ||
     { echo "cluster smoke: observability overhead percentage missing" >&2; cat "$CLUSTER_JSON" >&2; exit 1; }
 rm -f "$CLUSTER_JSON"
 
+echo "==> tcp transport: frame/pipelining suites and the netsim-vs-TCP differential oracle"
+cargo test --release -q -p datablinder-netsim --test tcp_transport
+cargo test --release -q -p datablinder-netsim --test tcpframe_props
+cargo test --release -q -p datablinder-core --test transport_differential
+
+echo "==> tcp smoke: loopback datablinder-cloudd answers a wire ping"
+cargo build --release -q -p datablinder-cloudd
+# --listen :0 makes the kernel pick a free port (port-in-use safe); the
+# daemon prints "LISTENING <addr>" for us to parse.
+CLOUDD_LOG="$(mktemp -t cloudd.XXXXXX.log)"
+./target/release/datablinder-cloudd --listen 127.0.0.1:0 > "$CLOUDD_LOG" &
+CLOUDD_PID=$!
+trap 'kill "$CLOUDD_PID" 2> /dev/null || true' EXIT
+CLOUDD_ADDR=""
+for _ in $(seq 1 50); do
+    CLOUDD_ADDR="$(sed -n 's/^LISTENING //p' "$CLOUDD_LOG")"
+    [ -n "$CLOUDD_ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$CLOUDD_ADDR" ] ||
+    { echo "tcp smoke: daemon never printed LISTENING" >&2; cat "$CLOUDD_LOG" >&2; exit 1; }
+./target/release/datablinder-cloudd --smoke "$CLOUDD_ADDR" | grep -q '^PONG' ||
+    { echo "tcp smoke: ping against $CLOUDD_ADDR failed" >&2; exit 1; }
+kill "$CLOUDD_PID" 2> /dev/null || true
+wait "$CLOUDD_PID" 2> /dev/null || true
+trap - EXIT
+rm -f "$CLOUDD_LOG"
+
+echo "==> tcp-bench smoke: loopback rung emits BENCH_tcp.json with a throughput field"
+TCP_JSON="$(mktemp -t BENCH_tcp.XXXXXX.json)"
+cargo run --release -q -p datablinder-bench --bin fig5_throughput -- \
+    --tcp --net instant --workers 4 --requests 200 --out "$TCP_JSON" > /dev/null
+[ -s "$TCP_JSON" ] ||
+    { echo "tcp smoke: BENCH_tcp.json not produced" >&2; exit 1; }
+grep -q '"ops_per_s":[1-9]' "$TCP_JSON" ||
+    { echo "tcp smoke: ops_per_s missing or zero" >&2; cat "$TCP_JSON" >&2; exit 1; }
+grep -q '"round_trips":[1-9]' "$TCP_JSON" ||
+    { echo "tcp smoke: no wire round trips recorded" >&2; cat "$TCP_JSON" >&2; exit 1; }
+grep -q '"failed":0' "$TCP_JSON" ||
+    { echo "tcp smoke: rung reported failed requests" >&2; cat "$TCP_JSON" >&2; exit 1; }
+rm -f "$TCP_JSON"
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
