@@ -62,6 +62,22 @@ pub struct ProtectedField {
 /// A boolean query: DNF over `(field, value)` equality literals.
 pub type DnfLiterals = Vec<Vec<(String, Value)>>;
 
+/// One unit of work for the batch insertion path
+/// ([`GatewayTactic::protect_many`]): the same arguments
+/// [`GatewayTactic::protect`] takes, gathered so a tactic can amortize
+/// per-key setup (cipher contexts, HMAC midstates) across a batch.
+pub struct ProtectItem<'a> {
+    /// Per-item randomness source. Each item carries its own RNG so batch
+    /// and sequential protection draw identical streams per document.
+    pub rng: &'a mut dyn RngCore,
+    /// Field name being protected.
+    pub field: &'a str,
+    /// Plaintext value.
+    pub value: &'a Value,
+    /// Document id the field belongs to.
+    pub id: DocId,
+}
+
 /// Gateway-side tactic SPI (Table 1, left column).
 ///
 /// Implementations may keep per-keyword state (Mitra counters, Sophos
@@ -91,6 +107,16 @@ pub trait GatewayTactic: Send {
         value: &Value,
         id: DocId,
     ) -> Result<ProtectedField, CoreError>;
+
+    /// Protects a contiguous batch of field values, one result per item in
+    /// order. The contract is *byte-identity with the sequential path*:
+    /// item `k`'s result must equal `self.protect(items[k].rng, ...)` —
+    /// batching may only change throughput, never output. Tactics with
+    /// batch-friendly ciphers (RND's `encrypt_many`, DET's `encrypt_many`)
+    /// override this; the default simply loops over [`GatewayTactic::protect`].
+    fn protect_many(&mut self, items: &mut [ProtectItem<'_>]) -> Vec<Result<ProtectedField, CoreError>> {
+        items.iter_mut().map(|it| self.protect(it.rng, it.field, it.value, it.id)).collect()
+    }
 
     /// Protects a whole document's annotated literals at once — implemented
     /// by *cross-field* tactics (BIEX), which index keyword pairs and thus

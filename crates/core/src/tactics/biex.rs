@@ -239,6 +239,15 @@ impl BiexTactic {
 }
 
 impl GatewayTactic for BiexTactic {
+    fn attach_recorder(&mut self, recorder: &datablinder_obs::Recorder) {
+        // Mirror the base client's cipher-cache hit/miss counters
+        // (`primitives.cipher_cache.*`) into the gateway recorder.
+        match &mut self.base {
+            BaseClient::TwoLev(c) => c.set_recorder(recorder.clone()),
+            BaseClient::Zmf(c) => c.set_recorder(recorder.clone()),
+        }
+    }
+
     fn descriptor(&self) -> TacticDescriptor {
         match self.variant {
             BiexVariant::TwoLev => descriptor_2lev(),

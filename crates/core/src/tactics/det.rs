@@ -14,7 +14,7 @@ use super::{decode_ids, shadow_field, TacticContext};
 use crate::cloudproto::{FindIdsDnf, FindIdsEq};
 use crate::error::CoreError;
 use crate::model::*;
-use crate::spi::{CloudCall, DnfLiterals, GatewayTactic, ProtectedField};
+use crate::spi::{CloudCall, DnfLiterals, GatewayTactic, ProtectItem, ProtectedField};
 use crate::wire::{canonical_bytes, decode_value};
 
 /// Descriptor for DET (Table 2: class 4, leakage *Equalities*,
@@ -79,6 +79,24 @@ impl GatewayTactic for DetTactic {
     ) -> Result<ProtectedField, CoreError> {
         let ct = self.cipher.encrypt(&canonical_bytes(value));
         Ok(ProtectedField { stored: vec![(shadow_field(field, "det"), Value::Bytes(ct))], index_calls: Vec::new() })
+    }
+
+    fn protect_many(&mut self, items: &mut [ProtectItem<'_>]) -> Vec<Result<ProtectedField, CoreError>> {
+        // DET ignores the per-item RNGs entirely (deterministic), so the
+        // batch path is trivially byte-identical to the sequential one.
+        let plains: Vec<Vec<u8>> = items.iter().map(|it| canonical_bytes(it.value)).collect();
+        let refs: Vec<&[u8]> = plains.iter().map(|p| p.as_slice()).collect();
+        let cts = self.cipher.encrypt_many(&refs);
+        items
+            .iter()
+            .zip(cts)
+            .map(|(it, ct)| {
+                Ok(ProtectedField {
+                    stored: vec![(shadow_field(it.field, "det"), Value::Bytes(ct))],
+                    index_calls: Vec::new(),
+                })
+            })
+            .collect()
     }
 
     fn recover(&self, field: &str, stored: &Document) -> Result<Option<Value>, CoreError> {
@@ -147,6 +165,25 @@ mod tests {
         let mut doc = Document::new("x");
         doc.set(a.stored[0].0.clone(), a.stored[0].1.clone());
         assert_eq!(t.recover("effective", &doc).unwrap(), Some(Value::from(1359966610i64)));
+    }
+
+    #[test]
+    fn protect_many_matches_sequential_protect() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut t = DetTactic::build(&ctx()).unwrap();
+        let values: Vec<Value> = (0..4).map(|i| Value::from(i as i64 * 1000)).collect();
+        let sequential: Vec<_> =
+            values.iter().map(|v| t.protect(&mut rng, "effective", v, DocId([1; 16])).unwrap()).collect();
+        let mut rngs: Vec<_> = (0..values.len()).map(|i| rand::rngs::StdRng::seed_from_u64(i as u64)).collect();
+        let mut items: Vec<ProtectItem<'_>> = rngs
+            .iter_mut()
+            .zip(&values)
+            .map(|(rng, value)| ProtectItem { rng, field: "effective", value, id: DocId([1; 16]) })
+            .collect();
+        let batched = t.protect_many(&mut items);
+        for (s, b) in sequential.iter().zip(&batched) {
+            assert_eq!(s.stored, b.as_ref().unwrap().stored);
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! ```
 
 #![warn(missing_docs)]
-use datablinder_primitives::hmac::hmac_sha256;
+use datablinder_primitives::hmac::HmacCtx;
 use datablinder_primitives::keys::SymmetricKey;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -54,7 +54,10 @@ impl Default for OpeParams {
 /// A deterministic order-preserving cipher for unsigned integers.
 #[derive(Clone)]
 pub struct Ope {
-    key: SymmetricKey,
+    // HMAC midstates for the coin-tape PRF, prepared once per key: an
+    // encryption walks one tree level per domain bit and seeds a coin
+    // tape at each, so skipping HMAC key preparation there compounds.
+    mac: HmacCtx,
     params: OpeParams,
 }
 
@@ -69,7 +72,7 @@ impl Ope {
         assert!(params.domain_bits >= 1 && params.domain_bits <= 64, "domain_bits must be 1..=64");
         assert!(params.range_bits <= 127, "range_bits must be <= 127");
         assert!(params.range_bits > params.domain_bits, "range must be strictly larger than domain");
-        Ope { key, params }
+        Ope { mac: HmacCtx::new(key.as_bytes()), params }
     }
 
     /// The sizing parameters.
@@ -206,7 +209,7 @@ impl Ope {
             buf.extend_from_slice(&(p.len() as u64).to_be_bytes());
             buf.extend_from_slice(p);
         }
-        let seed = hmac_sha256(self.key.as_bytes(), &buf);
+        let seed = self.mac.mac(&buf);
         StdRng::from_seed(seed)
     }
 }

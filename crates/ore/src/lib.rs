@@ -27,7 +27,7 @@
 //! ```
 
 #![warn(missing_docs)]
-use datablinder_primitives::hmac::hmac_sha256;
+use datablinder_primitives::hmac::{hmac_sha256, HmacCtx};
 use datablinder_primitives::keys::SymmetricKey;
 use datablinder_primitives::prf::{HmacPrf, Prf};
 
@@ -254,6 +254,9 @@ impl LewiWuOre {
                 let prefix = Self::prefix_of(m, i);
                 let v = Self::block_of(m, i) as i32;
                 let key = self.mark_key(prefix, i);
+                // One HMAC context serves every candidate in this block —
+                // LW_DOMAIN pad evaluations share a single key preparation.
+                let pad_mac = HmacCtx::new(&key);
                 let mut marks = vec![0u8; LW_DOMAIN];
                 for candidate in 0..LW_DOMAIN as i32 {
                     // cmp(candidate, v): candidate < v -> 0, == -> 1, > -> 2
@@ -265,7 +268,7 @@ impl LewiWuOre {
                     let pos = self.position(prefix, i, candidate as u8);
                     // Blind the mark with a PRF over (key, pos) so marks do
                     // not directly reveal the ordering table.
-                    let pad = hmac_sha256(&key, &[pos])[0] % 3;
+                    let pad = pad_mac.mac(&[pos])[0] % 3;
                     marks[pos as usize] = (cmp + pad) % 3;
                 }
                 marks

@@ -10,6 +10,31 @@ use crate::CryptoError;
 /// AES block size in bytes.
 pub const BLOCK_LEN: usize = 16;
 
+/// Round-function lookup tables for the encrypt direction ("T-tables").
+///
+/// `TE0[x]` packs the MixColumns column produced by an S-boxed byte in row
+/// 0 as a big-endian word `[2S, S, S, 3S]`; `TEi` is `TE0` rotated right by
+/// `8*i` bits, matching the byte landing in row `i`. One round then costs
+/// 16 table lookups and 16 XORs instead of per-byte SubBytes + ShiftRows +
+/// MixColumns passes. Derived from the computed S-box at first use, like
+/// the S-box itself.
+fn enc_tables() -> &'static [[u32; 256]; 4] {
+    static TABLES: OnceLock<[[u32; 256]; 4]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let (sbox, _) = sboxes();
+        let mut te = [[0u32; 256]; 4];
+        for x in 0..256usize {
+            let s = sbox[x];
+            let te0 = u32::from_be_bytes([xtime(s), s, s, gmul3(s)]);
+            te[0][x] = te0;
+            te[1][x] = te0.rotate_right(8);
+            te[2][x] = te0.rotate_right(16);
+            te[3][x] = te0.rotate_right(24);
+        }
+        te
+    })
+}
+
 fn sboxes() -> &'static ([u8; 256], [u8; 256]) {
     static TABLES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
     TABLES.get_or_init(|| {
@@ -80,6 +105,9 @@ fn gmul(mut a: u8, mut b: u8) -> u8 {
 #[derive(Clone)]
 pub struct Aes {
     round_keys: Vec<[u8; 16]>,
+    /// Round keys as big-endian column words, the layout the T-table
+    /// encrypt path consumes directly.
+    enc_keys: Vec<[u32; 4]>,
     rounds: usize,
 }
 
@@ -120,7 +148,7 @@ impl Aes {
             let prev = w[i - nk];
             w.push([temp[0] ^ prev[0], temp[1] ^ prev[1], temp[2] ^ prev[2], temp[3] ^ prev[3]]);
         }
-        let round_keys = (0..=rounds)
+        let round_keys: Vec<[u8; 16]> = (0..=rounds)
             .map(|r| {
                 let mut rk = [0u8; 16];
                 for c in 0..4 {
@@ -129,11 +157,79 @@ impl Aes {
                 rk
             })
             .collect();
-        Ok(Aes { round_keys, rounds })
+        let enc_keys = round_keys
+            .iter()
+            .map(|rk| {
+                let mut words = [0u32; 4];
+                for (c, word) in words.iter_mut().enumerate() {
+                    *word = u32::from_be_bytes([rk[4 * c], rk[4 * c + 1], rk[4 * c + 2], rk[4 * c + 3]]);
+                }
+                words
+            })
+            .collect();
+        Ok(Aes { round_keys, enc_keys, rounds })
     }
 
-    /// Encrypts one 16-byte block in place.
+    /// Encrypts one 16-byte block in place (T-table round function).
+    ///
+    /// The state lives in four big-endian column words; each round combines
+    /// ShiftRows + SubBytes + MixColumns + AddRoundKey into four table-lookup
+    /// XOR chains. Byte-identical to [`Aes::encrypt_block_ref`].
     pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        let te = enc_tables();
+        let rk = &self.enc_keys;
+        let mut s0 = u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ rk[0][0];
+        let mut s1 = u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ rk[0][1];
+        let mut s2 = u32::from_be_bytes([block[8], block[9], block[10], block[11]]) ^ rk[0][2];
+        let mut s3 = u32::from_be_bytes([block[12], block[13], block[14], block[15]]) ^ rk[0][3];
+        for k in &rk[1..self.rounds] {
+            let t0 = te[0][(s0 >> 24) as usize]
+                ^ te[1][((s1 >> 16) & 0xff) as usize]
+                ^ te[2][((s2 >> 8) & 0xff) as usize]
+                ^ te[3][(s3 & 0xff) as usize]
+                ^ k[0];
+            let t1 = te[0][(s1 >> 24) as usize]
+                ^ te[1][((s2 >> 16) & 0xff) as usize]
+                ^ te[2][((s3 >> 8) & 0xff) as usize]
+                ^ te[3][(s0 & 0xff) as usize]
+                ^ k[1];
+            let t2 = te[0][(s2 >> 24) as usize]
+                ^ te[1][((s3 >> 16) & 0xff) as usize]
+                ^ te[2][((s0 >> 8) & 0xff) as usize]
+                ^ te[3][(s1 & 0xff) as usize]
+                ^ k[2];
+            let t3 = te[0][(s3 >> 24) as usize]
+                ^ te[1][((s0 >> 16) & 0xff) as usize]
+                ^ te[2][((s1 >> 8) & 0xff) as usize]
+                ^ te[3][(s2 & 0xff) as usize]
+                ^ k[3];
+            (s0, s1, s2, s3) = (t0, t1, t2, t3);
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        let (sbox, _) = sboxes();
+        let k = &rk[self.rounds];
+        let sub = |a: u32, b: u32, c: u32, d: u32| -> u32 {
+            (u32::from(sbox[(a >> 24) as usize]) << 24)
+                | (u32::from(sbox[((b >> 16) & 0xff) as usize]) << 16)
+                | (u32::from(sbox[((c >> 8) & 0xff) as usize]) << 8)
+                | u32::from(sbox[(d & 0xff) as usize])
+        };
+        let t0 = sub(s0, s1, s2, s3) ^ k[0];
+        let t1 = sub(s1, s2, s3, s0) ^ k[1];
+        let t2 = sub(s2, s3, s0, s1) ^ k[2];
+        let t3 = sub(s3, s0, s1, s2) ^ k[3];
+        block[0..4].copy_from_slice(&t0.to_be_bytes());
+        block[4..8].copy_from_slice(&t1.to_be_bytes());
+        block[8..12].copy_from_slice(&t2.to_be_bytes());
+        block[12..16].copy_from_slice(&t3.to_be_bytes());
+    }
+
+    /// Encrypts one 16-byte block with the straight-line byte-wise round
+    /// passes (SubBytes → ShiftRows → MixColumns → AddRoundKey).
+    ///
+    /// Kept as the differential oracle for [`Aes::encrypt_block`] and as the
+    /// legacy baseline the symmetric benchmarks measure against.
+    pub fn encrypt_block_ref(&self, block: &mut [u8; BLOCK_LEN]) {
         let (sbox, _) = sboxes();
         add_round_key(block, &self.round_keys[0]);
         for r in 1..self.rounds {
@@ -279,6 +375,25 @@ mod tests {
     fn invalid_key_length() {
         assert!(matches!(Aes::new(&[0u8; 15]), Err(CryptoError::InvalidKeyLength { .. })));
         assert!(matches!(Aes::new(&[0u8; 0]), Err(CryptoError::InvalidKeyLength { .. })));
+    }
+
+    #[test]
+    fn ttable_encrypt_matches_bytewise_reference() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        for keylen in [16usize, 24, 32] {
+            let mut key = vec![0u8; keylen];
+            rng.fill_bytes(&mut key);
+            let aes = Aes::new(&key).unwrap();
+            for _ in 0..200 {
+                let mut fast = [0u8; 16];
+                rng.fill_bytes(&mut fast);
+                let mut slow = fast;
+                aes.encrypt_block(&mut fast);
+                aes.encrypt_block_ref(&mut slow);
+                assert_eq!(fast, slow);
+            }
+        }
     }
 
     #[test]

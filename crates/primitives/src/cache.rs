@@ -1,0 +1,201 @@
+//! A bounded per-label cache of derived cipher contexts.
+//!
+//! The SSE/DET/RND tactics derive a fresh key per label (keyword, bucket,
+//! pair) and used to rebuild the full cipher context — AES key schedule
+//! plus the 4 KiB GHASH table — on **every** operation. [`CipherCache`]
+//! amortizes that: the first use of a label pays for derivation and
+//! schedule expansion, every later use is a map lookup returning a shared
+//! [`Arc`]. Counters are kept in plain atomics and mirrored into an
+//! optional [`Recorder`] under `primitives.cipher_cache.*`, the same
+//! pattern the Paillier randomizer pool uses for `paillier.pool.*`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use datablinder_obs::Recorder;
+
+/// Point-in-time counters of a [`CipherCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a fresh context.
+    pub misses: u64,
+    /// Entries dropped to stay within the capacity bound.
+    pub evictions: u64,
+    /// Contexts currently cached.
+    pub size: usize,
+}
+
+/// A bounded map from label bytes to a shared cipher context.
+///
+/// Thread-safe: lookups take a `Mutex` around the map but expensive
+/// context builds run outside it, so concurrent misses never serialize on
+/// key-schedule expansion (racing builders insert first-wins and the
+/// losers share the winner's context).
+pub struct CipherCache<C> {
+    capacity: usize,
+    map: Mutex<HashMap<Vec<u8>, Arc<C>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    obs: Recorder,
+}
+
+impl<C> std::fmt::Debug for CipherCache<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CipherCache").field("capacity", &self.capacity).field("stats", &self.stats()).finish()
+    }
+}
+
+impl<C> CipherCache<C> {
+    /// Creates a cache holding at most `capacity` contexts (min 1).
+    pub fn new(capacity: usize) -> Self {
+        CipherCache {
+            capacity: capacity.max(1),
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            obs: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches an observability recorder; the cache mirrors its counters
+    /// as `primitives.cipher_cache.hit` / `primitives.cipher_cache.miss` /
+    /// `primitives.cipher_cache.evict` and the gauge
+    /// `primitives.cipher_cache.size`.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.obs = recorder;
+    }
+
+    /// Returns the context for `label`, building it with `build` on a miss.
+    ///
+    /// The build runs without the map lock held; if two threads race on
+    /// the same label the first insert wins and the loser's context is
+    /// discarded (both count as misses — a build happened).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error from `build`; nothing is cached on failure.
+    pub fn get_or_try_build<E>(&self, label: &[u8], build: impl FnOnce() -> Result<C, E>) -> Result<Arc<C>, E> {
+        if let Some(hit) = self.map.lock().expect("cipher cache poisoned").get(label) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.count("primitives.cipher_cache.hit", 1);
+            return Ok(Arc::clone(hit));
+        }
+        let built = Arc::new(build()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.count("primitives.cipher_cache.miss", 1);
+        let mut map = self.map.lock().expect("cipher cache poisoned");
+        let out = match map.get(label) {
+            // Lost the build race: share the winner's context.
+            Some(existing) => Arc::clone(existing),
+            None => {
+                if map.len() >= self.capacity {
+                    // Arbitrary-victim eviction: cheap, keeps the bound, and
+                    // label reuse is skewed enough that any victim works.
+                    if let Some(victim) = map.keys().next().cloned() {
+                        map.remove(&victim);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        self.obs.count("primitives.cipher_cache.evict", 1);
+                    }
+                }
+                map.insert(label.to_vec(), Arc::clone(&built));
+                built
+            }
+        };
+        self.obs.gauge_set("primitives.cipher_cache.size", map.len() as i64);
+        Ok(out)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            size: self.map.lock().expect("cipher cache poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits_without_rebuilding() {
+        let cache: CipherCache<u32> = CipherCache::new(8);
+        let mut builds = 0u32;
+        for _ in 0..3 {
+            let v = cache
+                .get_or_try_build(b"label", || {
+                    builds += 1;
+                    Ok::<_, ()>(7)
+                })
+                .unwrap();
+            assert_eq!(*v, 7);
+        }
+        assert_eq!(builds, 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.size), (2, 1, 1));
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_evictions() {
+        let cache: CipherCache<usize> = CipherCache::new(4);
+        for i in 0..10usize {
+            cache.get_or_try_build(&[i as u8], || Ok::<_, ()>(i)).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.size, 4);
+        assert_eq!(s.misses, 10);
+        assert_eq!(s.evictions, 6);
+    }
+
+    #[test]
+    fn build_errors_are_propagated_and_not_cached() {
+        let cache: CipherCache<u32> = CipherCache::new(2);
+        assert_eq!(cache.get_or_try_build(b"x", || Err::<u32, _>("boom")), Err("boom"));
+        assert_eq!(cache.stats().size, 0);
+        // A later successful build for the same label still works.
+        assert_eq!(*cache.get_or_try_build(b"x", || Ok::<_, &str>(1)).unwrap(), 1);
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_cache() {
+        let cache: Arc<CipherCache<u64>> = Arc::new(CipherCache::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..32u64 {
+                        let v = cache.get_or_try_build(&i.to_be_bytes(), || Ok::<_, ()>(i * 10)).unwrap();
+                        assert_eq!(*v, i * 10);
+                        let _ = t;
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 128);
+        assert!(s.misses >= 32, "every label built at least once");
+        assert_eq!(s.size, 32);
+    }
+
+    #[test]
+    fn recorder_mirroring_counts_hits_and_misses() {
+        let mut cache: CipherCache<u8> = CipherCache::new(2);
+        let rec = Recorder::new();
+        cache.set_recorder(rec.clone());
+        cache.get_or_try_build(b"a", || Ok::<_, ()>(1)).unwrap();
+        cache.get_or_try_build(b"a", || Ok::<_, ()>(1)).unwrap();
+        let snap = rec.snapshot();
+        let get = |name: &str| snap.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(get("primitives.cipher_cache.miss"), Some(1));
+        assert_eq!(get("primitives.cipher_cache.hit"), Some(1));
+        assert_eq!(snap.gauges.iter().find(|(n, _)| n == "primitives.cipher_cache.size").map(|(_, v)| *v), Some(1));
+    }
+}

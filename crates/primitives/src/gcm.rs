@@ -1,9 +1,17 @@
 //! AES-GCM authenticated encryption (NIST SP 800-38D) with GHASH over
 //! GF(2^128).
+//!
+//! GHASH is table-driven: [`AesGcm::new`] precomputes a per-key 256-entry
+//! multiplication table from the hash subkey `h`, so absorbing a block
+//! costs 16 table lookups instead of the 128-round bit loop. The bit loop
+//! ([`gf_mul`]) is kept as the differential oracle, and [`AesGcm::seal_scalar`]
+//! preserves the whole pre-table seal path for benchmarks and tests.
+
+use std::sync::OnceLock;
 
 use crate::aes::{Aes, BLOCK_LEN};
 use crate::ct::constant_time_eq;
-use crate::ctr::{counter_block, ctr_xor};
+use crate::ctr::{counter_block, ctr_xor, ctr_xor_scalar};
 use crate::keys::SymmetricKey;
 use crate::CryptoError;
 
@@ -18,7 +26,11 @@ pub const TAG_LEN: usize = 16;
 const R: u128 = 0xE1u128 << 120;
 
 /// Multiplication in GF(2^128) with GCM bit ordering.
-fn gf_mul(x: u128, y: u128) -> u128 {
+///
+/// The 128-round bit loop. No longer on the hot path — kept public as the
+/// differential oracle the table-driven GHASH is checked against, and as
+/// the baseline the symmetric benchmarks measure.
+pub fn gf_mul(x: u128, y: u128) -> u128 {
     let mut z = 0u128;
     let mut v = y;
     for i in 0..128 {
@@ -34,20 +46,117 @@ fn gf_mul(x: u128, y: u128) -> u128 {
     z
 }
 
-/// GHASH over `aad` and `ciphertext` with hash subkey `h`.
-fn ghash(h: u128, aad: &[u8], ciphertext: &[u8]) -> u128 {
-    let mut y = 0u128;
-    let mut absorb = |data: &[u8]| {
-        for chunk in data.chunks(BLOCK_LEN) {
-            let mut block = [0u8; BLOCK_LEN];
-            block[..chunk.len()].copy_from_slice(chunk);
-            y = gf_mul(y ^ u128::from_be_bytes(block), h);
+/// Multiply by x in GCM's reflected representation (bit 127 = coefficient
+/// of x^0, so "times x" is a right shift plus conditional reduction).
+fn mulx(v: u128) -> u128 {
+    let out = v >> 1;
+    if v & 1 == 1 {
+        out ^ R
+    } else {
+        out
+    }
+}
+
+/// Key-independent reduction table for shifting a GHASH accumulator down
+/// by one byte: `R8[b] = x^8 · b` where `b` occupies the low 8 bits of the
+/// accumulator (the x^120..x^127 coefficients that fall off the end).
+fn r8_table() -> &'static [u128; 256] {
+    static TABLE: OnceLock<[u128; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u128; 256];
+        for (b, slot) in t.iter_mut().enumerate() {
+            let mut v = b as u128;
+            for _ in 0..8 {
+                v = mulx(v);
+            }
+            *slot = v;
         }
-    };
-    absorb(aad);
-    absorb(ciphertext);
-    let lengths = ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
-    gf_mul(y ^ lengths, h)
+        t
+    })
+}
+
+/// Key-independent reduction table for shifting the accumulator down by
+/// two bytes in one step: `R16LO[b] = x^16 · b` for `b` in the low 8 bits.
+/// Together with [`r8_table`] this decomposes `x^16 · v` into three
+/// independent lookups (see [`GhashTable::mul_h`]).
+fn r16lo_table() -> &'static [u128; 256] {
+    static TABLE: OnceLock<[u128; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let r8 = r8_table();
+        let mut t = [0u128; 256];
+        for (b, slot) in t.iter_mut().enumerate() {
+            let v = r8[b];
+            *slot = (v >> 8) ^ r8[(v & 0xff) as usize];
+        }
+        t
+    })
+}
+
+/// Per-key GHASH multiplication tables: `t[b]` is the field product of the
+/// hash subkey `h` with the one-byte polynomial `b` placed at the top of
+/// the block (coefficients x^0..x^7), and `t8[b] = x^8 · t[b]` so the
+/// Horner loop can consume two bytes per step. 2 × 256 × 16 bytes = 8 KiB
+/// per key, built once in [`AesGcm::new`].
+#[derive(Clone)]
+struct GhashTable {
+    t: Box<[u128; 256]>,
+    t8: Box<[u128; 256]>,
+}
+
+impl GhashTable {
+    fn new(h: u128) -> Self {
+        let mut t = Box::new([0u128; 256]);
+        // Single-bit entries by repeated halving: byte 0x80 is x^0 (whose
+        // product is h itself), and each lower bit is one more power of x.
+        let mut v = h;
+        let mut bit = 0x80usize;
+        while bit >= 1 {
+            t[bit] = v;
+            v = mulx(v);
+            bit >>= 1;
+        }
+        // Remaining entries by linearity, combining the lowest set bit
+        // with the (already filled) rest of the byte.
+        for b in 2..256usize {
+            if b & (b - 1) != 0 {
+                let low = b & b.wrapping_neg();
+                t[b] = t[low] ^ t[b ^ low];
+            }
+        }
+        // The odd-byte companion: every entry shifted down one byte.
+        let r8 = r8_table();
+        let mut t8 = Box::new([0u128; 256]);
+        for (e8, e) in t8.iter_mut().zip(t.iter()) {
+            *e8 = (e >> 8) ^ r8[(e & 0xff) as usize];
+        }
+        GhashTable { t, t8 }
+    }
+
+    /// Multiplies the accumulator by `h`: Horner over the 16 bytes of `y`
+    /// from the highest powers (bottom bytes) up, two bytes per step. The
+    /// `x^16` shift is decomposed into three *independent* lookups
+    /// (`v >> 16`, `R8` on the middle byte, `R16LO` on the low byte), so
+    /// each step's serial dependency is a single XOR tree — roughly twice
+    /// the throughput of the byte-at-a-time loop.
+    fn mul_h(&self, y: u128) -> u128 {
+        let r8 = r8_table();
+        let r16 = r16lo_table();
+        let bytes = y.to_be_bytes();
+        let mut z = self.t[bytes[14] as usize] ^ self.t8[bytes[15] as usize];
+        let mut j = 12;
+        loop {
+            z = (z >> 16)
+                ^ r8[((z >> 8) & 0xff) as usize]
+                ^ r16[(z & 0xff) as usize]
+                ^ self.t[bytes[j] as usize]
+                ^ self.t8[bytes[j + 1] as usize];
+            if j == 0 {
+                break;
+            }
+            j -= 2;
+        }
+        z
+    }
 }
 
 /// An AES-GCM AEAD instance.
@@ -69,10 +178,14 @@ fn ghash(h: u128, aad: &[u8], ciphertext: &[u8]) -> u128 {
 pub struct AesGcm {
     aes: Aes,
     h: u128,
+    table: GhashTable,
 }
 
 impl AesGcm {
     /// Creates a GCM instance from a 16/24/32-byte key.
+    ///
+    /// Builds the AES key schedule and the 4 KiB per-key GHASH table once;
+    /// every subsequent seal/open reuses both.
     ///
     /// # Errors
     ///
@@ -81,17 +194,45 @@ impl AesGcm {
         let aes = Aes::new(key.as_bytes())?;
         let mut hb = [0u8; BLOCK_LEN];
         aes.encrypt_block(&mut hb);
-        Ok(AesGcm { aes, h: u128::from_be_bytes(hb) })
+        let h = u128::from_be_bytes(hb);
+        Ok(AesGcm { aes, h, table: GhashTable::new(h) })
     }
 
     /// Encrypts `plaintext` with `nonce` and `aad`; output is
     /// `ciphertext || tag`.
     pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
-        let mut out = plaintext.to_vec();
-        ctr_xor(&self.aes, &counter_block(nonce, 2), &mut out);
-        let tag = self.tag(nonce, aad, &out);
-        out.extend_from_slice(&tag);
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        self.seal_into(nonce, aad, plaintext, &mut out);
         out
+    }
+
+    /// Appends `ciphertext || tag` to `out` without any intermediate
+    /// allocation; one `reserve` covers the whole sealed record, so batch
+    /// callers that pre-size `out` pay zero allocator round trips here.
+    pub fn seal_into(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8], out: &mut Vec<u8>) {
+        out.reserve(plaintext.len() + TAG_LEN);
+        let start = out.len();
+        out.extend_from_slice(plaintext);
+        ctr_xor(&self.aes, &counter_block(nonce, 2), &mut out[start..]);
+        let tag = self.tag(nonce, aad, &out[start..]);
+        out.extend_from_slice(&tag);
+    }
+
+    /// Seals a contiguous batch of `(nonce, plaintext)` items with one
+    /// cipher context, returning one `ciphertext || tag` record per item.
+    ///
+    /// Each record is produced with a single exact-capacity allocation via
+    /// [`AesGcm::seal_into`]; the AES schedule, GHASH table and the CTR
+    /// stack keystream buffer are shared across the whole batch.
+    pub fn seal_many(&self, aad: &[u8], items: &[(&[u8; NONCE_LEN], &[u8])]) -> Vec<Vec<u8>> {
+        items
+            .iter()
+            .map(|(nonce, plaintext)| {
+                let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+                self.seal_into(nonce, aad, plaintext, &mut out);
+                out
+            })
+            .collect()
     }
 
     /// Decrypts and verifies `ciphertext || tag`.
@@ -101,6 +242,26 @@ impl AesGcm {
     /// [`CryptoError::MalformedCiphertext`] if shorter than a tag,
     /// [`CryptoError::AuthenticationFailed`] if the tag does not verify.
     pub fn open(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let mut out = Vec::new();
+        self.open_into(nonce, aad, sealed, &mut out)?;
+        Ok(out)
+    }
+
+    /// Verifies `ciphertext || tag` and appends the plaintext to `out`.
+    ///
+    /// The tag is checked **before** any plaintext is written; on error
+    /// `out` is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AesGcm::open`].
+    pub fn open_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
         if sealed.len() < TAG_LEN {
             return Err(CryptoError::MalformedCiphertext);
         }
@@ -109,16 +270,89 @@ impl AesGcm {
         if !constant_time_eq(&expect, tag) {
             return Err(CryptoError::AuthenticationFailed);
         }
-        let mut pt = ct.to_vec();
-        ctr_xor(&self.aes, &counter_block(nonce, 2), &mut pt);
-        Ok(pt)
+        out.reserve(ct.len());
+        let start = out.len();
+        out.extend_from_slice(ct);
+        ctr_xor(&self.aes, &counter_block(nonce, 2), &mut out[start..]);
+        Ok(())
+    }
+
+    /// Opens a contiguous batch of `(nonce, sealed)` records with one
+    /// cipher context.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first record that does not verify (same contract as
+    /// [`AesGcm::open`]); earlier plaintexts are discarded.
+    pub fn open_many(&self, aad: &[u8], items: &[(&[u8; NONCE_LEN], &[u8])]) -> Result<Vec<Vec<u8>>, CryptoError> {
+        items
+            .iter()
+            .map(|(nonce, sealed)| {
+                let mut out = Vec::with_capacity(sealed.len().saturating_sub(TAG_LEN));
+                self.open_into(nonce, aad, sealed, &mut out)?;
+                Ok(out)
+            })
+            .collect()
+    }
+
+    /// The pre-table seal path: bit-loop GHASH, one-block scalar CTR and
+    /// the original copy-then-extend allocation pattern.
+    ///
+    /// Kept as the differential oracle for [`AesGcm::seal`] /
+    /// [`AesGcm::seal_many`] and as the legacy baseline the symmetric
+    /// benchmarks measure against. Byte-identical output to `seal`.
+    pub fn seal_scalar(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        ctr_xor_scalar(&self.aes, &counter_block(nonce, 2), &mut out);
+        let s = self.ghash_ref(aad, &out);
+        let mut j0 = counter_block(nonce, 1);
+        self.aes.encrypt_block_ref(&mut j0);
+        let tag = (u128::from_be_bytes(s) ^ u128::from_be_bytes(j0)).to_be_bytes();
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// GHASH over `aad` and `ciphertext` via the per-key table.
+    ///
+    /// Exposed for the differential proptests and the symmetric benchmark;
+    /// production callers go through seal/open.
+    pub fn ghash(&self, aad: &[u8], ciphertext: &[u8]) -> [u8; BLOCK_LEN] {
+        let mut y = 0u128;
+        let mut absorb = |data: &[u8]| {
+            for chunk in data.chunks(BLOCK_LEN) {
+                let mut block = [0u8; BLOCK_LEN];
+                block[..chunk.len()].copy_from_slice(chunk);
+                y = self.table.mul_h(y ^ u128::from_be_bytes(block));
+            }
+        };
+        absorb(aad);
+        absorb(ciphertext);
+        let lengths = ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
+        self.table.mul_h(y ^ lengths).to_be_bytes()
+    }
+
+    /// GHASH via the 128-round [`gf_mul`] bit loop — the differential
+    /// oracle for [`AesGcm::ghash`].
+    pub fn ghash_ref(&self, aad: &[u8], ciphertext: &[u8]) -> [u8; BLOCK_LEN] {
+        let mut y = 0u128;
+        let mut absorb = |data: &[u8]| {
+            for chunk in data.chunks(BLOCK_LEN) {
+                let mut block = [0u8; BLOCK_LEN];
+                block[..chunk.len()].copy_from_slice(chunk);
+                y = gf_mul(y ^ u128::from_be_bytes(block), self.h);
+            }
+        };
+        absorb(aad);
+        absorb(ciphertext);
+        let lengths = ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
+        gf_mul(y ^ lengths, self.h).to_be_bytes()
     }
 
     fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
-        let s = ghash(self.h, aad, ciphertext);
+        let s = self.ghash(aad, ciphertext);
         let mut j0 = counter_block(nonce, 1);
         self.aes.encrypt_block(&mut j0);
-        (s ^ u128::from_be_bytes(j0)).to_be_bytes()
+        (u128::from_be_bytes(s) ^ u128::from_be_bytes(j0)).to_be_bytes()
     }
 }
 
@@ -146,6 +380,35 @@ mod tests {
     }
 
     #[test]
+    fn nist_test_case_13_aes256_empty() {
+        // AES-256, zero key, zero IV, empty everything (SP 800-38D set).
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[0u8; 32])).unwrap();
+        let sealed = cipher.seal(&[0u8; 12], b"", b"");
+        assert_eq!(hex(&sealed), "530f8afbc74536b9a963b4f1c4cb738b");
+    }
+
+    #[test]
+    fn nist_test_case_14_aes256_one_block() {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[0u8; 32])).unwrap();
+        let sealed = cipher.seal(&[0u8; 12], b"", &[0u8; 16]);
+        assert_eq!(hex(&sealed), "cea7403d4d606b6e074ec5d3baf39d18d0d1c8a799996bf0265b98b5d48ab919");
+    }
+
+    #[test]
+    fn nist_test_case_7_aes192_empty() {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[0u8; 24])).unwrap();
+        let sealed = cipher.seal(&[0u8; 12], b"", b"");
+        assert_eq!(hex(&sealed), "cd33b28ac773f74ba00ed1f312572435");
+    }
+
+    #[test]
+    fn nist_test_case_8_aes192_one_block() {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[0u8; 24])).unwrap();
+        let sealed = cipher.seal(&[0u8; 12], b"", &[0u8; 16]);
+        assert_eq!(hex(&sealed), "98e7247c07f0fe411c267e4384b0f6002ff58d80033927ab8ef4d4587514f0fb");
+    }
+
+    #[test]
     fn roundtrip_with_aad() {
         let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[3u8; 32])).unwrap();
         let nonce = [5u8; 12];
@@ -155,6 +418,50 @@ mod tests {
             assert_eq!(sealed.len(), len + TAG_LEN);
             assert_eq!(cipher.open(&nonce, b"context", &sealed).unwrap(), pt, "len {len}");
         }
+    }
+
+    #[test]
+    fn table_seal_matches_scalar_oracle() {
+        for keylen in [16usize, 24, 32] {
+            let cipher = AesGcm::new(&SymmetricKey::from_bytes(&vec![7u8; keylen])).unwrap();
+            let nonce = [9u8; 12];
+            for len in [0usize, 1, 15, 16, 17, 64, 100, 255] {
+                let pt: Vec<u8> = (0..len as u32).map(|i| (i * 3) as u8).collect();
+                assert_eq!(
+                    cipher.seal(&nonce, b"aad", &pt),
+                    cipher.seal_scalar(&nonce, b"aad", &pt),
+                    "keylen {keylen} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seal_many_matches_per_field_seal() {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[11u8; 16])).unwrap();
+        let nonces: Vec<[u8; 12]> = (0..5u8).map(|i| [i; 12]).collect();
+        let plains: Vec<Vec<u8>> = (0..5usize).map(|i| vec![i as u8; 7 * i + 1]).collect();
+        let items: Vec<(&[u8; 12], &[u8])> = nonces.iter().zip(&plains).map(|(n, p)| (n, p.as_slice())).collect();
+        let batch = cipher.seal_many(b"x", &items);
+        for ((nonce, plain), sealed) in nonces.iter().zip(&plains).zip(&batch) {
+            assert_eq!(sealed, &cipher.seal(nonce, b"x", plain));
+        }
+        let sealed_refs: Vec<(&[u8; 12], &[u8])> = nonces.iter().zip(&batch).map(|(n, s)| (n, s.as_slice())).collect();
+        assert_eq!(cipher.open_many(b"x", &sealed_refs).unwrap(), plains);
+    }
+
+    #[test]
+    fn open_into_leaves_out_untouched_on_failure() {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[3u8; 16])).unwrap();
+        let nonce = [5u8; 12];
+        let mut sealed = cipher.seal(&nonce, b"aad", b"payload");
+        sealed[0] ^= 1;
+        let mut out = b"prefix".to_vec();
+        assert_eq!(cipher.open_into(&nonce, b"aad", &sealed, &mut out), Err(CryptoError::AuthenticationFailed));
+        assert_eq!(out, b"prefix");
+        sealed[0] ^= 1;
+        cipher.open_into(&nonce, b"aad", &sealed, &mut out).unwrap();
+        assert_eq!(out, b"prefixpayload");
     }
 
     #[test]
@@ -196,5 +503,21 @@ mod tests {
         let a = 0x0123_4567_89ab_cdef_u128;
         let b = 0xfeed_face_cafe_beef_u128 << 32;
         assert_eq!(gf_mul(a, b), gf_mul(b, a));
+    }
+
+    #[test]
+    fn ghash_table_matches_gf_mul_oracle() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2718);
+        let mut key = [0u8; 16];
+        rng.fill_bytes(&mut key);
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&key)).unwrap();
+        for len in [0usize, 1, 16, 17, 33, 100, 4096] {
+            let mut aad = vec![0u8; len / 3];
+            let mut ct = vec![0u8; len];
+            rng.fill_bytes(&mut aad);
+            rng.fill_bytes(&mut ct);
+            assert_eq!(cipher.ghash(&aad, &ct), cipher.ghash_ref(&aad, &ct), "len {len}");
+        }
     }
 }

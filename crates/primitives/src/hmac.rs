@@ -1,24 +1,31 @@
 //! HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//!
+//! [`HmacCtx`] precomputes the ipad/opad SHA-256 midstates once per key;
+//! each subsequent MAC then skips key preparation and both pad
+//! compressions (half the compression-function calls of a from-scratch
+//! HMAC for short messages). [`hmac_sha256`] stays as a thin wrapper for
+//! one-off call sites.
 
 use crate::sha256::{digest, Sha256, BLOCK_LEN, DIGEST_LEN};
 
-/// Incremental HMAC-SHA256.
+/// A reusable HMAC-SHA256 key context holding the ipad/opad midstates.
 ///
 /// # Examples
 ///
 /// ```
-/// use datablinder_primitives::hmac::hmac_sha256;
-/// let tag = hmac_sha256(b"key", b"message");
-/// assert_eq!(tag.len(), 32);
+/// use datablinder_primitives::hmac::{hmac_sha256, HmacCtx};
+/// let ctx = HmacCtx::new(b"key");
+/// assert_eq!(ctx.mac(b"message"), hmac_sha256(b"key", b"message"));
 /// ```
 #[derive(Clone)]
-pub struct HmacSha256 {
+pub struct HmacCtx {
     inner: Sha256,
-    opad_key: [u8; BLOCK_LEN],
+    outer: Sha256,
 }
 
-impl HmacSha256 {
-    /// Creates a MAC context for `key` (any length; hashed down if long).
+impl HmacCtx {
+    /// Prepares the key (any length; hashed down if long) and absorbs the
+    /// ipad/opad blocks into two hasher midstates.
     pub fn new(key: &[u8]) -> Self {
         let mut block_key = [0u8; BLOCK_LEN];
         if key.len() > BLOCK_LEN {
@@ -34,7 +41,46 @@ impl HmacSha256 {
         }
         let mut inner = Sha256::new();
         inner.update(&ipad);
-        HmacSha256 { inner, opad_key: opad }
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacCtx { inner, outer }
+    }
+
+    /// Starts an incremental MAC from the stored midstates.
+    pub fn begin(&self) -> HmacSha256 {
+        HmacSha256 { inner: self.inner.clone(), outer: self.outer.clone() }
+    }
+
+    /// One-shot MAC of `message` under this key.
+    pub fn mac(&self, message: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut m = self.begin();
+        m.update(message);
+        m.finalize()
+    }
+}
+
+/// Incremental HMAC-SHA256.
+///
+/// # Examples
+///
+/// ```
+/// use datablinder_primitives::hmac::hmac_sha256;
+/// let tag = hmac_sha256(b"key", b"message");
+/// assert_eq!(tag.len(), 32);
+/// ```
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256 {
+    /// Creates a MAC context for `key` (any length; hashed down if long).
+    ///
+    /// Call sites that MAC repeatedly under one key should build an
+    /// [`HmacCtx`] once and [`HmacCtx::begin`] per message instead.
+    pub fn new(key: &[u8]) -> Self {
+        HmacCtx::new(key).begin()
     }
 
     /// Absorbs message bytes.
@@ -45,8 +91,7 @@ impl HmacSha256 {
     /// Produces the 32-byte tag.
     pub fn finalize(self) -> [u8; DIGEST_LEN] {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad_key);
+        let mut outer = self.outer;
         outer.update(&inner_digest);
         outer.finalize()
     }
@@ -54,9 +99,7 @@ impl HmacSha256 {
 
 /// One-shot HMAC-SHA256.
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
-    let mut mac = HmacSha256::new(key);
-    mac.update(message);
-    mac.finalize()
+    HmacCtx::new(key).mac(message)
 }
 
 /// HKDF-Extract (RFC 5869 §2.2).
@@ -71,11 +114,12 @@ pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
 /// Panics if `len > 255 * 32` (the RFC limit).
 pub fn hkdf_expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
     assert!(len <= 255 * DIGEST_LEN, "HKDF output too long");
+    let ctx = HmacCtx::new(prk);
     let mut okm = Vec::with_capacity(len);
     let mut t: Vec<u8> = Vec::new();
     let mut counter = 1u8;
     while okm.len() < len {
-        let mut mac = HmacSha256::new(prk);
+        let mut mac = ctx.begin();
         mac.update(&t);
         mac.update(info);
         mac.update(&[counter]);
@@ -149,6 +193,21 @@ mod tests {
         mac.update(b"hello ");
         mac.update(b"world");
         assert_eq!(mac.finalize(), hmac_sha256(b"k", b"hello world"));
+    }
+
+    #[test]
+    fn ctx_reuse_equals_fresh_key_prep() {
+        // One context, many messages: every MAC must equal the from-scratch
+        // computation, including for a long (hashed-down) key.
+        for key in [&[0x0b; 20][..], b"Jefe", &[0xaa; 131][..]] {
+            let ctx = HmacCtx::new(key);
+            for msg in [&b""[..], b"Hi There", &[0xdd; 50][..], &[0x61; 200][..]] {
+                assert_eq!(ctx.mac(msg), hmac_sha256(key, msg));
+                let mut inc = ctx.begin();
+                inc.update(msg);
+                assert_eq!(inc.finalize(), hmac_sha256(key, msg));
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! * [`aes`] — FIPS 197 AES-128/192/256 block cipher,
 //! * [`ctr`] — AES-CTR stream encryption,
 //! * [`gcm`] — AES-GCM authenticated encryption (GHASH over GF(2^128)),
+//! * [`cache`] — a bounded per-label cache of derived cipher contexts,
 //! * [`prf`] — the keyed PRF abstraction tactics are built on,
 //! * [`ct`] — constant-time comparison,
 //! * [`keys`] — symmetric key material with best-effort zeroization.
@@ -38,6 +39,7 @@
 
 #![warn(missing_docs)]
 pub mod aes;
+pub mod cache;
 pub mod ct;
 pub mod ctr;
 pub mod gcm;

@@ -2,7 +2,7 @@
 //! the data protection tactics (paper §4.2, "cryptographic primitives as
 //! building blocks, e.g. PRF").
 
-use crate::hmac::hmac_sha256;
+use crate::hmac::HmacCtx;
 use crate::keys::SymmetricKey;
 
 /// A pseudorandom function family keyed by a [`SymmetricKey`].
@@ -54,19 +54,23 @@ pub trait Prf: Send + Sync {
 /// ```
 #[derive(Clone)]
 pub struct HmacPrf {
-    key: SymmetricKey,
+    // The ipad/opad midstates are precomputed once here, so each eval
+    // skips HMAC key preparation (an [`HmacCtx`] amortization; the
+    // heaviest users — the ORE bit-position PRFs — call eval dozens of
+    // times per encryption under one key).
+    ctx: HmacCtx,
 }
 
 impl HmacPrf {
     /// Creates the PRF from a key.
     pub fn new(key: SymmetricKey) -> Self {
-        HmacPrf { key }
+        HmacPrf { ctx: HmacCtx::new(key.as_bytes()) }
     }
 }
 
 impl Prf for HmacPrf {
     fn eval(&self, input: &[u8]) -> [u8; 32] {
-        hmac_sha256(self.key.as_bytes(), input)
+        self.ctx.mac(input)
     }
 }
 

@@ -1,0 +1,112 @@
+//! Differential property tests for the batched/table-driven symmetric
+//! fast paths against their straight-line oracles.
+//!
+//! Every optimization in the symmetric layer keeps its predecessor as a
+//! reference implementation: `gf_mul` for table GHASH,
+//! `Aes::encrypt_block_ref` for the T-table rounds, `ctr_xor_scalar` for
+//! the multi-block keystream, and `AesGcm::seal_scalar` for the whole
+//! seal pipeline. These proptests pin the pairs byte-for-byte.
+
+use datablinder_primitives::aes::Aes;
+use datablinder_primitives::ctr::{counter_block, ctr_xor, ctr_xor_scalar};
+use datablinder_primitives::gcm::AesGcm;
+use datablinder_primitives::hmac::{hmac_sha256, HmacCtx};
+use datablinder_primitives::keys::SymmetricKey;
+use proptest::prelude::*;
+
+fn any_key() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 16..=16),
+        prop::collection::vec(any::<u8>(), 24..=24),
+        prop::collection::vec(any::<u8>(), 32..=32),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn ttable_aes_matches_bytewise_oracle(key in any_key(),
+                                          block in prop::collection::vec(any::<u8>(), 16..=16)) {
+        let aes = Aes::new(&key).unwrap();
+        let mut fast: [u8; 16] = block.clone().try_into().unwrap();
+        let mut slow = fast;
+        aes.encrypt_block(&mut fast);
+        aes.encrypt_block_ref(&mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn batched_ctr_matches_scalar_oracle(key in any_key(),
+                                         nonce in prop::collection::vec(any::<u8>(), 12..=12),
+                                         count in any::<u32>(),
+                                         data in prop::collection::vec(any::<u8>(), 0..600)) {
+        let aes = Aes::new(&key).unwrap();
+        let iv = counter_block(&nonce.try_into().unwrap(), count);
+        let mut fast = data.clone();
+        let mut slow = data;
+        ctr_xor(&aes, &iv, &mut fast);
+        ctr_xor_scalar(&aes, &iv, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn table_ghash_matches_gf_mul_oracle(key in any_key(),
+                                         aad in prop::collection::vec(any::<u8>(), 0..64),
+                                         ct in prop::collection::vec(any::<u8>(), 0..300)) {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&key)).unwrap();
+        prop_assert_eq!(cipher.ghash(&aad, &ct), cipher.ghash_ref(&aad, &ct));
+    }
+
+    #[test]
+    fn seal_matches_scalar_seal_oracle(key in any_key(),
+                                       nonce in prop::collection::vec(any::<u8>(), 12..=12),
+                                       aad in prop::collection::vec(any::<u8>(), 0..32),
+                                       pt in prop::collection::vec(any::<u8>(), 0..300)) {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&key)).unwrap();
+        let nonce: [u8; 12] = nonce.try_into().unwrap();
+        let fast = cipher.seal(&nonce, &aad, &pt);
+        let slow = cipher.seal_scalar(&nonce, &aad, &pt);
+        prop_assert_eq!(&fast, &slow);
+        prop_assert_eq!(cipher.open(&nonce, &aad, &fast).unwrap(), pt);
+    }
+
+    #[test]
+    fn seal_many_matches_per_field_seal(key in any_key(),
+                                        items in prop::collection::vec(
+                                            (prop::collection::vec(any::<u8>(), 12..=12),
+                                             prop::collection::vec(any::<u8>(), 0..120)),
+                                            0..8)) {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&key)).unwrap();
+        let nonces: Vec<[u8; 12]> = items.iter().map(|(n, _)| n.clone().try_into().unwrap()).collect();
+        let refs: Vec<(&[u8; 12], &[u8])> =
+            nonces.iter().zip(&items).map(|(n, (_, p))| (n, p.as_slice())).collect();
+        let batch = cipher.seal_many(b"aad", &refs);
+        prop_assert_eq!(batch.len(), items.len());
+        for ((nonce, (_, pt)), sealed) in nonces.iter().zip(&items).zip(&batch) {
+            prop_assert_eq!(sealed, &cipher.seal(nonce, b"aad", pt));
+        }
+        let sealed_refs: Vec<(&[u8; 12], &[u8])> =
+            nonces.iter().zip(&batch).map(|(n, s)| (n, s.as_slice())).collect();
+        let opened = cipher.open_many(b"aad", &sealed_refs).unwrap();
+        prop_assert_eq!(opened, items.into_iter().map(|(_, p)| p).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seal_into_appends_without_disturbing_prefix(prefix in prop::collection::vec(any::<u8>(), 0..32),
+                                                   pt in prop::collection::vec(any::<u8>(), 0..120)) {
+        let cipher = AesGcm::new(&SymmetricKey::from_bytes(&[9u8; 16])).unwrap();
+        let nonce = [4u8; 12];
+        let mut out = prefix.clone();
+        cipher.seal_into(&nonce, b"a", &pt, &mut out);
+        prop_assert_eq!(&out[..prefix.len()], &prefix[..]);
+        prop_assert_eq!(&out[prefix.len()..], &cipher.seal(&nonce, b"a", &pt)[..]);
+    }
+
+    #[test]
+    fn hmac_ctx_matches_oneshot(key in prop::collection::vec(any::<u8>(), 0..100),
+                                msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 1..6)) {
+        let ctx = HmacCtx::new(&key);
+        for msg in &msgs {
+            prop_assert_eq!(ctx.mac(msg), hmac_sha256(&key, msg));
+        }
+    }
+}

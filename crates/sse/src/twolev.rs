@@ -15,7 +15,11 @@
 //! keyword (its bucket positions and count), never document ids: postings
 //! buckets are encrypted under a client-only key.
 
+use std::sync::Arc;
+
 use datablinder_kvstore::KvStore;
+use datablinder_obs::Recorder;
+use datablinder_primitives::cache::{CacheStats, CipherCache};
 use datablinder_primitives::gcm::AesGcm;
 use datablinder_primitives::keys::SymmetricKey;
 use datablinder_primitives::prf::{HmacPrf, Prf};
@@ -65,16 +69,35 @@ impl TwoLevToken {
     }
 }
 
+/// Cached per-keyword bucket ciphers kept per client (bounded).
+const BUCKET_CIPHER_CACHE: usize = 512;
+
 /// The gateway-side half: key material and token/bucket cryptography.
 pub struct TwoLevClient {
     prf: HmacPrf,
     master: SymmetricKey,
+    ciphers: CipherCache<AesGcm>,
 }
 
 impl TwoLevClient {
     /// Creates a client.
     pub fn new(key: &SymmetricKey) -> Self {
-        TwoLevClient { prf: HmacPrf::new(key.derive(b"2lev/prf", 32)), master: key.derive(b"2lev/enc", 32) }
+        TwoLevClient {
+            prf: HmacPrf::new(key.derive(b"2lev/prf", 32)),
+            master: key.derive(b"2lev/enc", 32),
+            ciphers: CipherCache::new(BUCKET_CIPHER_CACHE),
+        }
+    }
+
+    /// Attaches an observability recorder to the bucket-cipher cache
+    /// (`primitives.cipher_cache.*`).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.ciphers.set_recorder(recorder);
+    }
+
+    /// Counters of the bucket-cipher cache.
+    pub fn cipher_cache_stats(&self) -> CacheStats {
+        self.ciphers.stats()
     }
 
     fn label(&self, keyword: &[u8]) -> [u8; 32] {
@@ -85,11 +108,13 @@ impl TwoLevClient {
         self.prf.eval_parts(&[b"unlock", keyword])
     }
 
-    /// Per-keyword bucket cipher (client-only).
-    fn bucket_cipher(&self, keyword: &[u8]) -> Result<AesGcm, SseError> {
+    /// Per-keyword bucket cipher (client-only), derived once per keyword
+    /// and then served from the bounded cache — the key schedule and GHASH
+    /// table are built exactly once per label.
+    fn bucket_cipher(&self, keyword: &[u8]) -> Result<Arc<AesGcm>, SseError> {
         let mut label = b"bucket/".to_vec();
         label.extend_from_slice(keyword);
-        Ok(AesGcm::new(&self.master.derive(&label, 32))?)
+        self.ciphers.get_or_try_build(&label, || Ok(AesGcm::new(&self.master.derive(&label, 32))?))
     }
 
     /// Builds the encrypted structures from a plaintext inverted index and
@@ -124,11 +149,7 @@ impl TwoLevClient {
                     buckets: Vec::new(),
                 });
             } else {
-                let buckets = ids
-                    .chunks(BUCKET_CAPACITY)
-                    .enumerate()
-                    .map(|(i, chunk)| seal_bucket(&cipher, keyword, i as u64, chunk))
-                    .collect();
+                let buckets = seal_buckets(&cipher, keyword, &ids);
                 pending.push(Pending {
                     label: self.label(keyword),
                     unlock: self.unlock_key(keyword),
@@ -184,9 +205,15 @@ impl TwoLevClient {
     /// Crypto failures on tampered buckets.
     pub fn resolve(&self, keyword: &[u8], buckets: &[Vec<u8>]) -> Result<Vec<DocId>, SseError> {
         let cipher = self.bucket_cipher(keyword)?;
+        let mut aad = b"2lev-bucket/".to_vec();
+        aad.extend_from_slice(keyword);
+        // Open the whole result set as one batch through the shared cipher.
+        let nonces: Vec<[u8; 12]> = (0..buckets.len() as u64).map(bucket_nonce).collect();
+        let items: Vec<(&[u8; 12], &[u8])> = nonces.iter().zip(buckets).map(|(n, b)| (n, b.as_slice())).collect();
+        let plains = cipher.open_many(&aad, &items)?;
         let mut out = Vec::new();
-        for (i, blob) in buckets.iter().enumerate() {
-            out.extend(open_bucket(&cipher, keyword, i as u64, blob)?);
+        for plain in &plains {
+            out.extend(decode_bucket(plain)?);
         }
         out.sort();
         out.dedup();
@@ -200,7 +227,7 @@ fn bucket_nonce(index: u64) -> [u8; 12] {
     nonce
 }
 
-fn seal_bucket(cipher: &AesGcm, keyword: &[u8], index: u64, ids: &[DocId]) -> Vec<u8> {
+fn bucket_plain(ids: &[DocId]) -> Vec<u8> {
     let mut plain = Vec::with_capacity(BUCKET_CAPACITY * 16);
     for id in ids {
         plain.extend_from_slice(&id.0);
@@ -208,16 +235,28 @@ fn seal_bucket(cipher: &AesGcm, keyword: &[u8], index: u64, ids: &[DocId]) -> Ve
     for _ in ids.len()..BUCKET_CAPACITY {
         plain.extend_from_slice(&PAD_ID);
     }
-    let mut aad = b"2lev-bucket/".to_vec();
-    aad.extend_from_slice(keyword);
-    cipher.seal(&bucket_nonce(index), &aad, &plain)
+    plain
 }
 
-fn open_bucket(cipher: &AesGcm, keyword: &[u8], index: u64, blob: &[u8]) -> Result<Vec<DocId>, SseError> {
+fn seal_bucket(cipher: &AesGcm, keyword: &[u8], index: u64, ids: &[DocId]) -> Vec<u8> {
     let mut aad = b"2lev-bucket/".to_vec();
     aad.extend_from_slice(keyword);
-    let plain = cipher.open(&bucket_nonce(index), &aad, blob)?;
-    if plain.len() % 16 != 0 {
+    cipher.seal(&bucket_nonce(index), &aad, &bucket_plain(ids))
+}
+
+/// Seals every [`BUCKET_CAPACITY`]-sized chunk of `ids` as one contiguous
+/// batch through [`AesGcm::seal_many`] — one cipher context, one pass.
+fn seal_buckets(cipher: &AesGcm, keyword: &[u8], ids: &[DocId]) -> Vec<Vec<u8>> {
+    let mut aad = b"2lev-bucket/".to_vec();
+    aad.extend_from_slice(keyword);
+    let plains: Vec<Vec<u8>> = ids.chunks(BUCKET_CAPACITY).map(bucket_plain).collect();
+    let nonces: Vec<[u8; 12]> = (0..plains.len() as u64).map(bucket_nonce).collect();
+    let items: Vec<(&[u8; 12], &[u8])> = nonces.iter().zip(&plains).map(|(n, p)| (n, p.as_slice())).collect();
+    cipher.seal_many(&aad, &items)
+}
+
+fn decode_bucket(plain: &[u8]) -> Result<Vec<DocId>, SseError> {
+    if !plain.len().is_multiple_of(16) {
         return Err(SseError::Malformed("2lev bucket size"));
     }
     Ok(plain
@@ -404,6 +443,29 @@ mod tests {
         let t = client.search_token(b"w");
         assert_eq!(TwoLevToken::decode(&t.encode()).unwrap(), t);
         assert!(TwoLevToken::decode(b"short").is_err());
+    }
+
+    #[test]
+    fn one_key_schedule_per_keyword_label() {
+        // Regression for the per-op rebuild: repeated searches over the
+        // same keywords must build each bucket cipher exactly once.
+        let mut idx = InvertedIndex::new();
+        for n in 0..40 {
+            idx.add(b"alpha", id(n));
+            idx.add(b"beta", id(n + 100));
+        }
+        let (client, server) = setup(&idx);
+        let after_setup = client.cipher_cache_stats();
+        assert_eq!(after_setup.misses, 2, "setup builds one cipher per keyword");
+        for _ in 0..5 {
+            for kw in [&b"alpha"[..], b"beta"] {
+                let buckets = server.search(&client.search_token(kw)).unwrap();
+                client.resolve(kw, &buckets).unwrap();
+            }
+        }
+        let s = client.cipher_cache_stats();
+        assert_eq!(s.misses, 2, "searches reuse the cached schedules");
+        assert_eq!(s.hits, after_setup.hits + 10);
     }
 
     #[test]

@@ -12,7 +12,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-FAMILIES='gateway|channel|cloud|cluster|paillier|workload|tactic|obs'
+FAMILIES='gateway|channel|cloud|cluster|paillier|primitives|workload|tactic|obs'
 DOC=docs/METRICS.md
 
 [ -f "$DOC" ] || { echo "check_metrics: $DOC missing" >&2; exit 1; }

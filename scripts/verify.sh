@@ -36,6 +36,9 @@ cargo test --release -q --test resilience
 echo "==> cargo test --release --test concurrency (shared-gateway model suite)"
 cargo test --release -q --test concurrency
 
+echo "==> cargo test --release --test symmetric_props (table-GHASH / batched-CTR / batch-seal differential oracles)"
+cargo test --release -q -p datablinder-primitives --test symmetric_props
+
 echo "==> cargo test --release --test cluster (replicated-cloud crash + membership-churn storms under optimization)"
 cargo test --release -q -p datablinder-core --test cluster
 cargo test --release -q -p datablinder-core --test cluster membership_churn_storm_converges -- --exact
@@ -65,6 +68,15 @@ grep -q '"crt_not_slower":true' "$CRYPTO_JSON" ||
     { echo "crypto smoke: CRT decrypt slower than plain-lambda decrypt" >&2; cat "$CRYPTO_JSON" >&2; exit 1; }
 grep -q '"cached_encrypt_faster":true' "$CRYPTO_JSON" ||
     { echo "crypto smoke: amortized encryption not faster than per-call-context path" >&2; cat "$CRYPTO_JSON" >&2; exit 1; }
+grep -q '"ghash_tables_mib_per_sec":' "$CRYPTO_JSON" && grep -q '"ctr_batched_mib_per_sec":' "$CRYPTO_JSON" &&
+    grep -q '"seal_batched_ops_per_sec":' "$CRYPTO_JSON" && grep -q '"hmac_ctx_ops_per_sec":' "$CRYPTO_JSON" ||
+    { echo "crypto smoke: symmetric throughput fields missing" >&2; cat "$CRYPTO_JSON" >&2; exit 1; }
+grep -q '"ghash_tables_faster":true' "$CRYPTO_JSON" ||
+    { echo "crypto smoke: table GHASH under the 5x floor over the bit-loop" >&2; cat "$CRYPTO_JSON" >&2; exit 1; }
+grep -q '"ctr_batched_faster":true' "$CRYPTO_JSON" ||
+    { echo "crypto smoke: batched CTR regressed against the path it replaced" >&2; cat "$CRYPTO_JSON" >&2; exit 1; }
+grep -q '"seal_batched_faster":true' "$CRYPTO_JSON" ||
+    { echo "crypto smoke: batch seal not faster than the scalar seal pipeline" >&2; cat "$CRYPTO_JSON" >&2; exit 1; }
 rm -f "$CRYPTO_JSON"
 
 echo "==> cluster-bench smoke: node-count ladder emits BENCH_cluster.json with quorum throughput fields"

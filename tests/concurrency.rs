@@ -266,6 +266,89 @@ fn run_model(threads: usize, seed: u64, ops_per_thread: usize) {
     assert!(oracle.fsck(SCHEMA).unwrap().is_clean(), "oracle fsck");
 }
 
+/// An engine wired to a cloud we keep a handle on, so the test can
+/// compare raw stored state (ciphertext bytes, index records) across runs.
+fn engine_with_cloud(seed: u64, pool_threads: usize) -> (Arc<CloudEngine>, GatewayEngine) {
+    let cloud = Arc::new(CloudEngine::new());
+    let channel = Channel::from_arc(cloud.clone(), LatencyModel::instant());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gw = GatewayEngine::new("conc", Kms::generate(&mut rng), channel, seed);
+    if pool_threads > 0 {
+        gw.set_worker_pool(Arc::new(WorkerPool::new(pool_threads)));
+    }
+    gw.register_schema(schema()).unwrap();
+    (cloud, gw)
+}
+
+/// Seeded insert_many workload: mixed batch sizes (1..=5) so both the
+/// pooled batch path (len > 1) and the sequential fallback (len == 1)
+/// are exercised in one run.
+fn drive_batches(gw: &GatewayEngine, seed: u64) -> Vec<DocId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids = Vec::new();
+    for round in 0..8usize {
+        let n = 1 + round % 5;
+        let docs: Vec<Document> =
+            (0..n).map(|_| doc_of(OWNERS[rng.gen_range(0..OWNERS.len())], rng.gen_range(-1_000..1_000))).collect();
+        ids.extend(gw.insert_many(SCHEMA, &docs).unwrap());
+    }
+    ids
+}
+
+/// The cloud's full observable state: every stored document (ids plus
+/// shadow-field ciphertexts) per collection, and every key-value index
+/// record, both canonically ordered.
+fn cloud_state(cloud: &CloudEngine) -> (Vec<(String, Vec<Document>)>, Vec<String>) {
+    let mut collections = cloud.docs().collection_names();
+    collections.sort();
+    let docs = collections
+        .into_iter()
+        .map(|name| {
+            let coll = cloud.docs().collection(&name);
+            let mut ids = coll.ids();
+            ids.sort();
+            let docs = ids.iter().map(|id| coll.get(id).unwrap()).collect();
+            (name, docs)
+        })
+        .collect();
+    let mut kv: Vec<String> = cloud.kv().export_records().iter().map(|r| format!("{r:?}")).collect();
+    kv.sort();
+    (docs, kv)
+}
+
+/// Satellite of the batch-encryption PR: `insert_many` through the
+/// worker-pool batch path (which protects each tactic partition with one
+/// `protect_many` / `seal_many` call) must leave the cloud **byte-identical**
+/// to the sequential no-pool path — same document ids, same shadow-field
+/// ciphertexts, same index records — at 1, 2 and 4 worker threads. Abort
+/// atomicity is also unchanged: a batch with an invalid document ships
+/// nothing on either path.
+#[test]
+fn batched_insert_many_is_byte_identical_to_sequential() {
+    const SEED: u64 = 0xBA7C4;
+    let (seq_cloud, seq_gw) = engine_with_cloud(SEED, 0);
+    let seq_ids = drive_batches(&seq_gw, SEED);
+    let baseline = cloud_state(&seq_cloud);
+
+    for threads in [1usize, 2, 4] {
+        let (cloud, gw) = engine_with_cloud(SEED, threads);
+        let ids = drive_batches(&gw, SEED);
+        assert_eq!(ids, seq_ids, "doc ids with {threads}-thread pool");
+        let state = cloud_state(&cloud);
+        assert_eq!(state.0, baseline.0, "stored documents with {threads}-thread pool");
+        assert_eq!(state.1, baseline.1, "kv index records with {threads}-thread pool");
+
+        // Abort atomicity: one invalid document poisons the whole batch.
+        let before = gw.count(SCHEMA).unwrap();
+        let bad = vec![
+            doc_of("o0", 1),
+            Document::new("x").with("owner", Value::from("o1")).with("score", Value::from("not-a-number")),
+        ];
+        assert!(gw.insert_many(SCHEMA, &bad).is_err(), "invalid doc must abort the batch");
+        assert_eq!(gw.count(SCHEMA).unwrap(), before, "aborted batch must ship nothing");
+    }
+}
+
 #[test]
 fn two_threads_match_oracle() {
     run_model(2, 0xC0_01, 30);
